@@ -1,0 +1,96 @@
+"""Ablation — each distribution ingredient's contribution.
+
+Measured on the simulator (tomcatv + tfft2 at reference sizes, H = 8):
+
+1. naive BLOCK layout, CYCLIC(1) scheduling       (no analysis at all)
+2. LCG chain layouts but forced chunk p = 1        (locality, no ILP)
+3. the full Eq. 7 plan                             (locality + ILP)
+
+and, on TFFT2, the reverse-distribution fold on/off — without the
+segmented layout F8's mirror references go remote.
+"""
+
+import copy
+
+from conftest import banner
+
+from repro import analyze
+from repro.dsm import execute_static, execute_with_plan
+
+
+def run_tomcatv_variants():
+    from repro.codes import build_tomcatv
+
+    env = {"M": 48, "N": 48}
+    H = 8
+    prog = build_tomcatv()
+    result = analyze(prog, env=env, H=H)
+
+    naive = execute_static(prog, env, H=H)
+
+    forced = copy.copy(result.plan)
+    forced.phase_chunks = {k: 1 for k in result.plan.phase_chunks}
+    forced.chunks = {k: 1 for k in result.plan.chunks}
+    chain_only = execute_with_plan(prog, result.lcg, forced, env, H)
+
+    return naive, chain_only, result.report
+
+
+def test_ablation_distribution_ladder(benchmark):
+    naive, chain_only, full = benchmark.pedantic(
+        run_tomcatv_variants, rounds=1, iterations=1
+    )
+    assert naive.efficiency() < full.efficiency()
+    assert chain_only.efficiency() <= full.efficiency() + 0.02
+    banner(
+        "Ablation: distribution ladder (tomcatv, H=8)",
+        [
+            ("naive BLOCK + CYCLIC(1)", f"eff = {naive.efficiency():.1%}"),
+            ("chain layouts, p forced to 1",
+             f"eff = {chain_only.efficiency():.1%}"),
+            ("full Eq. 7 plan", f"eff = {full.efficiency():.1%}"),
+        ],
+    )
+
+
+def test_ablation_reverse_distribution():
+    """Without the segmented (reverse) layout, F8's mirrors go remote."""
+    from repro.codes import build_tfft2
+    from repro.distribution.schedule import SegmentedLayout
+    from repro.dsm.executor import _phase_stats
+    from repro.distribution import CyclicSchedule, BlockCyclicLayout
+    from repro.dsm import chain_layouts
+
+    env = {"P": 16, "p": 4, "Q": 16, "q": 4}
+    H = 4
+    prog = build_tfft2()
+    result = analyze(prog, env=env, H=H)
+    layouts = chain_layouts(result.lcg, result.plan, env, H)
+    layouts.pop("__fold_edges__", None)
+    f8 = prog.phase("F8_DO_110_RCFFTZ")
+    p8 = result.plan.phase_chunks[f8.name]
+    trip = 16 * 16 // 2
+    schedule = CyclicSchedule(trip=trip, p=p8, H=H)
+
+    folded_layout = layouts[(f8.name, "X")]
+    assert isinstance(folded_layout, SegmentedLayout)
+    with_fold = _phase_stats(
+        f8, env, H, schedule, {"X": folded_layout, "Y": layouts[(f8.name, "Y")]}
+    )
+
+    monotone = BlockCyclicLayout(origin=0, chunk=max(p8, 1), H=H)
+    without_fold = _phase_stats(
+        f8, env, H, schedule, {"X": monotone, "Y": monotone}
+    )
+
+    assert with_fold.remote.sum() == 0
+    assert without_fold.remote.sum() > 0.4 * without_fold.total_accesses
+    banner(
+        "Ablation: reverse distribution on TFFT2 F8",
+        [
+            ("segmented (reverse) layout", f"remote = {int(with_fold.remote.sum())}"),
+            ("monotone BLOCK-CYCLIC only",
+             f"remote = {int(without_fold.remote.sum())} of "
+             f"{without_fold.total_accesses}"),
+        ],
+    )

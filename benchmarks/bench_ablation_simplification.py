@@ -1,0 +1,86 @@
+"""Ablation — what the §2.1 descriptor simplifications buy.
+
+The paper motivates stride coalescing and descriptor union as the
+enablers of the whole downstream analysis.  This ablation quantifies
+that on TFFT2's F3:
+
+* raw ARDs are 4-dimensional and *not self-contained* (their strides
+  reference other loop indices), so no iteration descriptor — and hence
+  no balanced-locality equation — can be formed from them;
+* after coalescing the descriptor is 2-dimensional and self-contained;
+* after union the PD is a single row, halving the ILP's row count and
+  enabling the Figure 3(d) closed form.
+
+The bench also times the two pipeline stages separately.
+"""
+
+import numpy as np
+import pytest
+from conftest import banner
+
+from repro.descriptors import (
+    coalesce_pd,
+    compute_pd,
+    pd_addresses,
+    union_rows,
+)
+from repro.ir import phase_access_set
+from repro.iteration import IterationDescriptor
+
+
+def stage_coalesce(tfft2):
+    phase = tfft2.phase("F3_CFFTZWORK")
+    raw = compute_pd(phase, tfft2.arrays["X"], tfft2.context, simplify=False)
+    ctx = phase.loop_context(tfft2.context)
+    return raw, coalesce_pd(raw, ctx), ctx
+
+
+def test_ablation_simplification(benchmark, tfft2, paper_env):
+    raw, coalesced, ctx = benchmark(stage_coalesce, tfft2)
+    final = union_rows(coalesced, ctx)
+
+    # --- without simplification: the analysis cannot proceed ---------
+    assert not raw.is_self_contained()
+    with pytest.raises(ValueError):
+        IterationDescriptor(raw, ctx)
+
+    # --- with simplification: everything downstream works ------------
+    assert coalesced.is_self_contained()
+    idesc = IterationDescriptor(final, ctx)
+    assert idesc.balanced_affine(__import__("repro.symbolic",
+                                            fromlist=["sym"]).sym("p")) is not None
+
+    # --- and nothing was lost: identical address sets -----------------
+    phase = tfft2.phase("F3_CFFTZWORK")
+    oracle = phase_access_set(phase, paper_env, "X")
+    assert np.array_equal(pd_addresses(coalesced, paper_env), oracle)
+    assert np.array_equal(pd_addresses(final, paper_env), oracle)
+
+    dims_raw = sum(len(r.dims) for r in raw.rows)
+    dims_final = sum(len(r.dims) for r in final.rows)
+    banner(
+        "Ablation: descriptor simplification (TFFT2 F3)",
+        [
+            ("raw: 2 rows x 4 dims, not self-contained, no ID derivable",
+             f"{len(raw.rows)} rows, {dims_raw} dims total"),
+            ("simplified: 1 row x 2 dims, ID + balanced equation derivable",
+             f"{len(final.rows)} rows, {dims_final} dims total"),
+        ],
+    )
+
+
+def test_ablation_union_halves_ilp_rows(tfft2, paper_env):
+    """Without row union the storage analysis sees two shifted rows of
+    X in F3 (a spurious Δd = P/2) — union removes the artefact."""
+    from repro.iteration import analyze_symmetry
+
+    phase = tfft2.phase("F3_CFFTZWORK")
+    ctx = phase.loop_context(tfft2.context)
+    raw = compute_pd(phase, tfft2.arrays["X"], tfft2.context, simplify=False)
+    coalesced = coalesce_pd(raw, ctx)
+    final = union_rows(coalesced, ctx)
+
+    sym_no_union = analyze_symmetry(IterationDescriptor(coalesced, ctx), ctx)
+    sym_union = analyze_symmetry(IterationDescriptor(final, ctx), ctx)
+    assert sym_no_union.has_shifted      # the spurious Δd = P/2 pair
+    assert not sym_union.has_shifted     # gone after union

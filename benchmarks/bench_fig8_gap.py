@@ -1,0 +1,44 @@
+"""Figure 8 — upper limits and the memory gap (Q=3, P=4).
+
+Paper artifact: UL(I^3(X,0)) = 3, UL(I^3(X,1)) = 11, UL(I^3(X,2)) = 19,
+memory gap h = 4 (symbolically h = P).
+"""
+
+from fractions import Fraction
+
+from conftest import banner
+
+from repro.descriptors import compute_pd
+from repro.iteration import IterationDescriptor
+from repro.symbolic import sym
+
+
+def compute(tfft2):
+    phase = tfft2.phase("F3_CFFTZWORK")
+    pd = compute_pd(phase, tfft2.arrays["X"], tfft2.context)
+    return IterationDescriptor(pd, phase.loop_context(tfft2.context))
+
+
+def test_fig8_upper_limits_and_gap(benchmark, tfft2, fig4_env):
+    idesc = benchmark(compute, tfft2)
+    fenv = {k: Fraction(v) for k, v in fig4_env.items()}
+
+    uls = [int(idesc.upper_limit(i).evalf(fenv)) for i in range(3)]
+    gap = idesc.memory_gap()
+
+    assert uls == [3, 11, 19]
+    assert gap == sym("P")
+    assert int(gap.evalf(fenv)) == 4
+
+    # and the balanced value the gap feeds into: UL(p)+h+1 = 2P*p
+    p3 = sym("p3")
+    assert idesc.balanced_value(p3) == 2 * sym("P") * p3
+
+    banner(
+        "Figure 8: upper limits and memory gap",
+        [
+            ("UL = 3, 11, 19", f"UL = {uls[0]}, {uls[1]}, {uls[2]}"),
+            ("h = 4  (h = P)", f"h = {int(gap.evalf(fenv))}  (h = {gap})"),
+            ("UL(p)+h+1 = 2P*p", f"UL(p)+h+1 = {idesc.balanced_value(p3)}"),
+        ],
+    )

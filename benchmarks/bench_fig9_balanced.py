@@ -1,0 +1,80 @@
+"""Figure 9 and Eq. 4–6 — the balanced locality condition on TFFT2.
+
+Paper artifacts:
+
+* Eq. 4–6 (F2–F3): ``p2 + 2QP - P = 2P p3`` whose only integer solution
+  is ``(p2, p3) = (P, Q)`` — outside the load-balance boxes for H > 1,
+  hence communication.
+* Figure 9 (F3–F4): ``2P p3 = 2P p4`` with ``ceil(Q/H)`` boxed integer
+  solutions; picking ``p3 = p4 = 1`` makes the two phases cover the
+  same region (checked against the simulator oracle).
+"""
+
+import numpy as np
+from conftest import banner
+
+from repro.descriptors import compute_pd
+from repro.ir import iteration_access_set
+from repro.iteration import IterationDescriptor
+from repro.locality import balanced_condition
+from repro.symbolic import symbols
+
+P, Q, H = symbols("P Q H")
+
+
+def build_conditions(tfft2):
+    ids = {}
+    for name in ("F2_TRANSA", "F3_CFFTZWORK", "F4_TRANSC"):
+        ph = tfft2.phase(name)
+        pd = compute_pd(ph, tfft2.arrays["X"], tfft2.context)
+        ids[name] = IterationDescriptor(pd, ph.loop_context(tfft2.context))
+    ctx = tfft2.context
+    return (
+        balanced_condition(ids["F2_TRANSA"], ids["F3_CFFTZWORK"], ctx),
+        balanced_condition(ids["F3_CFFTZWORK"], ids["F4_TRANSC"], ctx),
+    )
+
+
+def test_fig9_balanced_conditions(benchmark, tfft2, paper_env):
+    f2f3, f3f4 = benchmark(build_conditions, tfft2)
+
+    # Eq. 4: p2 + 2QP - P = 2P p3
+    assert f2f3.slope_k.is_one
+    assert f2f3.slope_g == 2 * P
+    assert f2f3.shift == P - 2 * P * Q
+
+    # unbounded solution (P, Q); infeasible in the boxes for H = 4
+    unbounded = f2f3.solve_concrete(paper_env, H=1)
+    assert unbounded.smallest() == (paper_env["P"], paper_env["Q"])
+    assert not f2f3.solve_concrete(paper_env, H=4).feasible
+
+    # Figure 9(c): F3-F4 has ceil(Q/H) solutions, all p3 = p4
+    sol = f3f4.solve_concrete(paper_env, H=4)
+    assert sol.count == -(-paper_env["Q"] // 4)
+    assert all(a == b for a, b in sol)
+
+    # Figure 9(a)(b): with p3 = p4 = 1 the two phases' allotments cover
+    # the same data region — F3's ID plus its memory gap h = P spans the
+    # full 2P slot that F4's ID reads densely.
+    env = paper_env
+    r3 = iteration_access_set(tfft2.phase("F3_CFFTZWORK"), env, "X", 0)
+    r4 = iteration_access_set(tfft2.phase("F4_TRANSC"), env, "X", 0)
+    assert np.array_equal(r4, np.arange(2 * env["P"]))
+    assert np.array_equal(r3, np.arange(env["P"]))
+    assert set(r3) <= set(r4)
+    # the balanced *values* coincide: 2P*p3 == 2P*p4
+    assert f3f4.slope_k == f3f4.slope_g and f3f4.shift.is_zero
+
+    banner(
+        "Figure 9 / Eq. 4-6: balanced locality",
+        [
+            ("p2 + 2QP - P = 2P p3", f2f3.equation_str()),
+            ("only solution (P, Q); infeasible for H>1",
+             f"unbounded smallest = {unbounded.smallest()}, "
+             f"H=4 feasible = {f2f3.solve_concrete(paper_env, 4).feasible}"),
+            (f"ceil(Q/H) = {-(-paper_env['Q'] // 4)} solutions, p3 = p4",
+             f"{sol.count} solutions, first {sol.smallest()}"),
+            ("I^3(X,0)+gap covers I^4(X,0)",
+             f"r3 = {list(r3[:4])}..., r4 = {list(r4[:4])}..."),
+        ],
+    )

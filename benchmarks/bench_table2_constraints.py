@@ -1,0 +1,82 @@
+"""Table 2 — the full TFFT2 constraint system.
+
+Paper artifact (legible rows)::
+
+    Locality (X):  p31 = p41;  P p41 = Q p51;  p51 = p61;  p61 = p71;
+                   2Q p71 = p81
+    Locality (Y):  p12 = Q p22;  2Q p72 = p82   (printed "p62"; see
+                   DESIGN.md's ambiguity notes)
+    Load balance:  1 <= p11, p81 <= ceil(PQ/H); p21, p51, p61, p71 (and
+                   the Y twins) <= ceil(P/H); p31, p41 <= ceil(Q/H)
+    Storage:       p81 H <= Δd = PQ;  p81 H <= Δr(1)/2 = PQ/2;
+                   p81 H <= Δr(2)/2 = PQ;  p12 H <= PQ;  Q p22 H <= PQ;
+                   and the p82 twins
+    Affinity:      p_k1 = p_k2 for every phase k
+"""
+
+from conftest import banner
+
+from repro.distribution import extract_constraints
+from repro.symbolic import symbols
+
+P, Q = symbols("P Q")
+
+
+def test_table2_constraints(benchmark, tfft2_lcg):
+    system = benchmark(extract_constraints, tfft2_lcg)
+
+    loc = {(c.var_k, c.var_g): c for c in system.locality}
+
+    # X locality chain
+    assert loc[("p31", "p41")].slope_k == loc[("p31", "p41")].slope_g
+    c = loc[("p41", "p51")]
+    assert (c.slope_k, c.slope_g) == (2 * P, 2 * Q)  # P p41 = Q p51
+    assert loc[("p51", "p61")].shift.is_zero
+    assert loc[("p61", "p71")].shift.is_zero
+    c = loc[("p71", "p81")]
+    assert (c.slope_k, c.slope_g) == (2 * Q, c.slope_g)
+    assert c.slope_g.is_one
+
+    # Y locality
+    c = loc[("p12", "p22")]
+    assert c.slope_k.is_one and c.slope_g == Q
+    c = loc[("p72", "p82")]
+    assert c.slope_k == 2 * Q and c.slope_g.is_one
+
+    # load balance trips
+    trips = {c.var: c.trip for c in system.load_balance}
+    assert trips["p11"] == P * Q and trips["p12"] == P * Q
+    for var in ("p21", "p51", "p61", "p71", "p22", "p52", "p62", "p72"):
+        assert trips[var] == P
+    for var in ("p31", "p41", "p32", "p42"):
+        assert trips[var] == Q
+
+    # storage rows
+    stor = {}
+    for c in system.storage:
+        stor.setdefault(c.var, set()).add((c.kind, str(c.limit)))
+    assert ("shifted", "P*Q") in stor["p81"]
+    assert ("reverse", "1/2*P*Q") in stor["p81"]
+    assert ("reverse", "P*Q") in stor["p81"]
+    assert ("shifted", "P*Q") in stor["p12"]
+    assert ("shifted", "P*Q") in stor["p22"]
+    assert ("shifted", "P*Q") in stor["p82"]
+    assert ("reverse", "1/2*P*Q") in stor["p82"]
+
+    # affinity: one row per phase
+    assert len(system.affinity) == 8
+    assert {(c.var_a, c.var_b) for c in system.affinity} == {
+        (f"p{k}1", f"p{k}2") for k in range(1, 9)
+    }
+
+    banner(
+        "Table 2: the TFFT2 constraint system",
+        [
+            ("7 locality + 16 load-balance + storage + 8 affinity rows",
+             f"{len(system.locality)} locality, "
+             f"{len(system.load_balance)} load-balance, "
+             f"{len(system.storage)} storage, "
+             f"{len(system.affinity)} affinity"),
+        ],
+    )
+    print(system.render())

@@ -1,0 +1,49 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Every ``bench_*`` file reproduces one figure or table of the paper (see
+DESIGN.md's experiment index): it recomputes the artifact, asserts the
+paper's values, prints a side-by-side comparison (run with ``-s`` to see
+it) and times the computation under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def tfft2():
+    from repro.codes import build_tfft2
+
+    return build_tfft2()
+
+
+@pytest.fixture(scope="session")
+def paper_env():
+    """Concrete sizes used for the numeric artifacts (P = Q = 16)."""
+    return {"P": 16, "p": 4, "Q": 16, "q": 4}
+
+
+@pytest.fixture(scope="session")
+def fig4_env():
+    """The exact sizes of Figures 4 and 8: Q = 3, P = 4."""
+    return {"P": 4, "p": 2, "Q": 3, "q": 0}
+
+
+@pytest.fixture(scope="session")
+def tfft2_lcg(tfft2, paper_env):
+    from repro.locality import build_lcg
+
+    return build_lcg(tfft2, env=paper_env, H_value=4)
+
+
+def banner(title: str, rows):
+    """Print a paper-vs-computed comparison block."""
+    width = max(len(title), *(len(a) + len(b) + 6 for a, b in rows))
+    print("\n" + "=" * width)
+    print(title)
+    print("-" * width)
+    for paper, computed in rows:
+        print(f"  paper: {paper}")
+        print(f"  ours : {computed}")
+    print("=" * width)

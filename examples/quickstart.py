@@ -1,0 +1,57 @@
+"""Quickstart: analyse a program end-to-end in ~20 lines.
+
+Builds a two-phase Jacobi relaxation with the Python DSL, runs the full
+paper pipeline (descriptors -> LCG -> integer program -> DSM execution)
+and prints what a parallelizing compiler would learn from it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze
+from repro.ir import ProgramBuilder
+
+# -- 1. describe the program (a compiler front end would do this) --------
+bld = ProgramBuilder("jacobi")
+N = bld.param("N", minimum=8)
+U = bld.array("U", N)
+V = bld.array("V", N)
+
+with bld.phase("sweep") as ph:
+    with ph.doall("i", 1, N - 2) as i:
+        ph.read(U, i - 1)
+        ph.read(U, i)
+        ph.read(U, i + 1)
+        ph.write(V, i)
+
+with bld.phase("copy_back") as ph:
+    with ph.doall("i", 1, N - 2) as i:
+        ph.read(V, i)
+        ph.write(U, i)
+
+program = bld.build()
+
+# -- 2. run the pipeline on 8 simulated processors ------------------------
+result = analyze(
+    program,
+    env={"N": 4096},
+    H=8,
+    back_edges=[("copy_back", "sweep")],  # the enclosing time loop
+)
+
+# -- 3. what the compiler learned ----------------------------------------
+print("Locality-Communication Graph")
+print(result.lcg.render())
+print()
+print("Constraint system (Table-2 style)")
+print(result.constraints.render())
+print()
+print("CYCLIC(p) chunk per phase:", result.plan.phase_chunks)
+print()
+print("Measured on the DSM simulator:")
+print(" ", result.report.summary())
+for stats in result.report.phases:
+    print(
+        f"  {stats.phase}: local={int(stats.local.sum())} "
+        f"remote={int(stats.remote.sum())} "
+        f"({stats.remote_fraction:.2%} remote)"
+    )

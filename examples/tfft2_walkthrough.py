@@ -1,0 +1,98 @@
+"""Walk through every paper artifact on the TFFT2 running example.
+
+Prints, in order: the Figure 2 ARDs, the Figure 3 descriptor
+simplification, the Figure 4/8 iteration descriptors with upper limits
+and memory gap, the Eq. 4–6 balanced-locality systems, the Figure 6
+LCG, the Table 2 constraint system, the Eq. 7 distribution, and the
+measured execution.
+
+Run:  python examples/tfft2_walkthrough.py
+"""
+
+from fractions import Fraction
+
+from repro import analyze
+from repro.codes import build_tfft2
+from repro.descriptors import (
+    coalesce_pd,
+    compute_ard,
+    compute_pd,
+    union_rows,
+)
+from repro.iteration import IterationDescriptor
+from repro.locality import balanced_condition
+from repro.viz import format_ard, format_id, format_pd, lcg_to_dot
+
+program = build_tfft2()
+ctx = program.context
+f3 = program.phase("F3_CFFTZWORK")
+X = program.arrays["X"]
+
+print("=" * 70)
+print("Figure 2: ARDs of X in F3 (indices normalized: L' = L - 1)")
+print("=" * 70)
+for idx, acc in enumerate(f3.accesses("X"), 1):
+    print(format_ard(compute_ard(acc, ctx), name=f"A_{idx}^3(X)"))
+
+print()
+print("=" * 70)
+print("Figure 3: stride coalescing and access descriptor union")
+print("=" * 70)
+raw = compute_pd(f3, X, ctx, simplify=False)
+phase_ctx = f3.loop_context(ctx)
+print("(a) raw:")
+print(format_pd(raw))
+coalesced = coalesce_pd(raw, phase_ctx)
+print("(c) coalesced:")
+print(format_pd(coalesced))
+final = union_rows(coalesced, phase_ctx)
+print("(d) after union:")
+print(format_pd(final))
+
+print()
+print("=" * 70)
+print("Figures 4 and 8: iteration descriptors, UL and memory gap")
+print("=" * 70)
+idesc = IterationDescriptor(final, phase_ctx)
+fig_env = {"P": 4, "p": 2, "Q": 3, "q": 0}
+print(format_id(idesc, iterations=[0, 1, 2], env=fig_env))
+fenv = {k: Fraction(v) for k, v in fig_env.items()}
+print(f"memory gap h = {idesc.memory_gap()} = "
+      f"{idesc.memory_gap().evalf(fenv)} at P=4")
+
+print()
+print("=" * 70)
+print("Eq. 4-6: the balanced locality condition")
+print("=" * 70)
+f2 = program.phase("F2_TRANSA")
+f4 = program.phase("F4_TRANSC")
+id2 = IterationDescriptor(compute_pd(f2, X, ctx), f2.loop_context(ctx))
+id4 = IterationDescriptor(compute_pd(f4, X, ctx), f4.loop_context(ctx))
+bal_23 = balanced_condition(id2, idesc, ctx)
+bal_34 = balanced_condition(idesc, id4, ctx)
+env = {"P": 16, "p": 4, "Q": 16, "q": 4}
+print(f"F2-F3:  {bal_23.equation_str()}")
+print(f"        unbounded solution {bal_23.solve_concrete(env, 1).smallest()}"
+      f" = (P, Q); inside boxes at H=4: "
+      f"{bal_23.solve_concrete(env, 4).feasible}  -> edge C")
+print(f"F3-F4:  {bal_34.equation_str()}")
+sol = bal_34.solve_concrete(env, 4)
+print(f"        {sol.count} boxed solutions (= ceil(Q/H)); "
+      f"smallest {sol.smallest()}  -> edge L")
+
+print()
+print("=" * 70)
+print("Figure 6 LCG, Table 2 constraints, Eq. 7 plan, measured run")
+print("=" * 70)
+result = analyze(program, env=env, H=4)
+print(result.lcg.render())
+print()
+print(result.constraints.render())
+print()
+print("chunks:", result.plan.phase_chunks)
+if result.plan.relaxed_edges:
+    print("relaxed to communication:", result.plan.relaxed_edges)
+print(result.report.summary())
+print()
+print("Graphviz (X):")
+print(lcg_to_dot(result.lcg, "X"))

@@ -1,0 +1,41 @@
+"""Benchmark programs: TFFT2 (the paper's running example) plus five
+representative kernels standing in for the six-code PACT'98 suite.
+
+Each module exports ``build_<name>()`` returning a :class:`Program` and
+a ``REFERENCE_ENV`` concrete instantiation.  :data:`ALL_CODES` maps a
+short name to ``(builder, reference_env, back_edges)``.
+"""
+
+from .tfft2 import build_tfft2, REFERENCE_ENV as TFFT2_ENV, TFFT2_PHASES
+from .jacobi import build_jacobi, REFERENCE_ENV as JACOBI_ENV, BACK_EDGES as JACOBI_BACK
+from .swim import build_swim, REFERENCE_ENV as SWIM_ENV
+from .adi import build_adi, REFERENCE_ENV as ADI_ENV
+from .mgrid import build_mgrid, REFERENCE_ENV as MGRID_ENV
+from .tomcatv import build_tomcatv, REFERENCE_ENV as TOMCATV_ENV
+from .redblack import (
+    build_redblack,
+    REFERENCE_ENV as REDBLACK_ENV,
+    BACK_EDGES as REDBLACK_BACK,
+)
+
+ALL_CODES = {
+    "tfft2": (build_tfft2, TFFT2_ENV, []),
+    "jacobi": (build_jacobi, JACOBI_ENV, JACOBI_BACK),
+    "swim": (build_swim, SWIM_ENV, []),
+    "adi": (build_adi, ADI_ENV, []),
+    "mgrid": (build_mgrid, MGRID_ENV, []),
+    "tomcatv": (build_tomcatv, TOMCATV_ENV, []),
+    "redblack": (build_redblack, REDBLACK_ENV, REDBLACK_BACK),
+}
+
+__all__ = [
+    "ALL_CODES",
+    "TFFT2_PHASES",
+    "build_adi",
+    "build_jacobi",
+    "build_mgrid",
+    "build_swim",
+    "build_redblack",
+    "build_tfft2",
+    "build_tomcatv",
+]

@@ -1,0 +1,51 @@
+"""Jacobi-style 1-D relaxation — the overlapping-storage exercise.
+
+Stand-in for the stencil-dominated codes of the paper's six-benchmark
+suite (SWIM/HYDRO2D flavour).  Two phases inside an (implicit) time
+loop::
+
+    F_sweep:  doall i = 1..N-2:   V(i) = f(U(i-1), U(i), U(i+1))
+    F_copy:   doall i = 1..N-2:   U(i) = V(i)
+
+What it exercises:
+
+* **overlapping storage** (Δs = 2): consecutive parallel iterations of
+  F_sweep share two elements of ``U`` — Theorem 1 case (c) applies
+  because the accesses to ``U`` are reads, so the sweep is local with
+  replicated halos;
+* **frontier communications**: the copy-back phase re-writes ``U``, so
+  the halo copies must be refreshed on the back edge of the time loop;
+* an LCG **cycle** via the ``back_edges`` mechanism.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+__all__ = ["build_jacobi", "REFERENCE_ENV", "BACK_EDGES"]
+
+REFERENCE_ENV = {"N": 4096}
+
+BACK_EDGES = [("F_copy", "F_sweep")]
+
+
+def build_jacobi() -> Program:
+    """Two-phase Jacobi relaxation over U, V of size N."""
+    bld = ProgramBuilder("jacobi")
+    N = bld.param("N")
+    U = bld.array("U", N)
+    V = bld.array("V", N)
+
+    with bld.phase("F_sweep") as sweep:
+        with sweep.doall("I", 1, N - 2) as i:
+            sweep.read(U, i - 1, label="west")
+            sweep.read(U, i, label="center")
+            sweep.read(U, i + 1, label="east")
+            sweep.write(V, i, label="out")
+
+    with bld.phase("F_copy") as copy:
+        with copy.doall("J", 1, N - 2) as j:
+            copy.read(V, j, label="in")
+            copy.write(U, j, label="back")
+
+    return bld.build()

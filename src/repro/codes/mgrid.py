@@ -1,0 +1,63 @@
+"""MGRID-like multigrid ladder — power-of-two strides beyond TFFT2.
+
+Stand-in for the NAS MG member of the paper's suite.  A V-cycle leg:
+restriction from the fine grid to a coarser one, a coarse smoothing
+phase, and prolongation back::
+
+    F_restrict: doall i = 0..N/2-1:  C(i) from F(2i-1), F(2i), F(2i+1)
+    F_smooth:   doall i = 1..N/2-2:  C2(i) from C(i-1), C(i), C(i+1)
+    F_prolong:  doall i = 0..N/2-1:  F(2i) and F(2i+1) from C2(i)
+
+(The smoother writes a second coarse buffer ``C2`` — an in-place
+smoother would be correctly rejected by Theorem 1: R/W with overlapping
+storage means another processor's halo copy could be stale.)
+
+What it exercises:
+
+* **non-unit power-of-two parallel strides** (``delta_P = 2`` on the
+  fine grid) interacting with unit-stride coarse phases — the balanced
+  condition between F_restrict and F_prolong is ``2*p = 2*p'`` via the
+  coarse phase's unit slope (ratio constraints with c = 0);
+* overlapping storage on the fine grid (the 2i±1 halo);
+* shifted storage on the prolongation's even/odd write pair (Δd = 1 is
+  *not* unionable across the stride-2 lattice, so both rows survive).
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+__all__ = ["build_mgrid", "REFERENCE_ENV"]
+
+REFERENCE_ENV = {"N": 4096, "n": 12}
+
+
+def build_mgrid() -> Program:
+    """One V-cycle leg over fine grid F (size N) and coarse grid C."""
+    bld = ProgramBuilder("mgrid")
+    N, n = bld.pow2_param("N", "n")
+    F = bld.array("F", N)
+    C = bld.array("C", N / 2)
+    C2 = bld.array("C2", N / 2)
+
+    with bld.phase("F_restrict") as f:
+        with f.doall("I", 1, N / 2 - 2) as i:
+            f.read(F, 2 * i - 1, label="fw")
+            f.read(F, 2 * i, label="fc")
+            f.read(F, 2 * i + 1, label="fe")
+            f.write(C, i, label="c")
+
+    with bld.phase("F_smooth") as f:
+        with f.doall("I2", 1, N / 2 - 2) as i:
+            f.read(C, i - 1, label="cw")
+            f.read(C, i, label="cc")
+            f.read(C, i + 1, label="ce")
+            f.write(C2, i, label="c_out")
+
+    with bld.phase("F_prolong") as f:
+        with f.doall("I3", 1, N / 2 - 2) as i:
+            f.read(C2, i, label="c_in")
+            f.write(F, 2 * i, label="f_even")
+            f.write(F, 2 * i + 1, label="f_odd")
+
+    return bld.build()

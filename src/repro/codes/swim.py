@@ -1,0 +1,69 @@
+"""SWIM-like 2-D shallow-water kernel — multi-array stencils.
+
+Stand-in for the SPEC SWIM member of the paper's benchmark suite.
+Three phases over a (linearised) M×N grid of four arrays::
+
+    F_uv:    doall j: for i:  CU(i,j), CV(i,j) from U, V (E/N neighbours)
+    F_zh:    doall j: for i:  Z(i,j), H(i,j) from CU, CV, P-like fields
+    F_new:   doall j: for i:  U(i,j), V(i,j) updated from Z, H
+
+What it exercises:
+
+* column-major **linearisation** of 2-D subscripts (``i + M*j``),
+* column-parallel phases whose IDs are dense M-element panels
+  (``delta_P = M``) with *column-boundary* overlapping storage,
+* a three-node all-``L`` chain per array when the stencil width stays
+  within one column, plus C edges where neighbour columns are read.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+__all__ = ["build_swim", "REFERENCE_ENV"]
+
+REFERENCE_ENV = {"M": 64, "N": 64}
+
+
+def build_swim() -> Program:
+    """Three-phase shallow-water time step on an M x N grid."""
+    bld = ProgramBuilder("swim")
+    M = bld.param("M")
+    N = bld.param("N")
+    U = bld.array("U", M, N)
+    V = bld.array("V", M, N)
+    CU = bld.array("CU", M, N)
+    CV = bld.array("CV", M, N)
+    Z = bld.array("Z", M, N)
+    Hh = bld.array("Hh", M, N)
+
+    # F_uv: mass fluxes; reads the eastern neighbour column of U —
+    # an inter-column dependence that widens the ID by one column.
+    with bld.phase("F_uv") as f:
+        with f.doall("J1", 0, N - 2) as j:
+            with f.do("I1", 0, M - 1) as i:
+                f.read(U, i, j, label="u")
+                f.read(U, i, j + 1, label="u_east")
+                f.read(V, i, j, label="v")
+                f.write(CU, i, j, label="cu")
+                f.write(CV, i, j, label="cv")
+
+    # F_zh: vorticity/height; purely intra-column.
+    with bld.phase("F_zh") as f:
+        with f.doall("J2", 0, N - 2) as j:
+            with f.do("I2", 0, M - 1) as i:
+                f.read(CU, i, j, label="cu")
+                f.read(CV, i, j, label="cv")
+                f.write(Z, i, j, label="z")
+                f.write(Hh, i, j, label="h")
+
+    # F_new: velocity update; reads Z/H of the same column.
+    with bld.phase("F_new") as f:
+        with f.doall("J3", 0, N - 2) as j:
+            with f.do("I3", 0, M - 1) as i:
+                f.read(Z, i, j, label="z")
+                f.read(Hh, i, j, label="h")
+                f.write(U, i, j, label="u_new")
+                f.write(V, i, j, label="v_new")
+
+    return bld.build()

@@ -1,0 +1,175 @@
+"""The paper's running example: an 8-phase section of NASA's TFFT2.
+
+The paper publishes only phase F3's source (Figure 1); the other seven
+phase bodies are reconstructed here so that the analysis pipeline
+reproduces *every* legible artifact of the paper:
+
+* the ARDs of Figure 2 and the PD chain of Figure 3 (F3),
+* the IDs/upper limits/memory gap of Figures 4 and 8,
+* the LCG of Figure 6 (attributes and L/C/D edge labels),
+* the balanced-locality systems of Figure 9 and Eq. 4–6, and
+* the full constraint table (Table 2): locality, load-balance, storage
+  and affinity constraints, including the storage distances
+  ``Δd = P*Q``, ``Δr(1) = P*Q`` and ``Δr(2) = 2*P*Q`` of F1/F2/F8.
+
+Reconstruction rationale (per phase; ``N = 2*P*Q`` is the linear size of
+both arrays — a P×Q complex grid):
+
+=====  ============  ====  ========================================================
+phase  subroutine    trip  accesses
+=====  ============  ====  ========================================================
+F1     DO_100        P*Q   R: X(i);  W: Y(i), Y(i+PQ)           (split re/im planes)
+F2     TRANSA        P     R: Y(Q*j+t), Y(PQ+Q*j+t) t<Q;  W: X(j+P*t) t<2Q
+F3     CFFTZWORK     Q     R/W: X — the Figure 1 butterfly;  P(riv): Y(2P*i+t)
+F4     TRANSC        Q     R: X(2P*i+t) t<2P;  W: Y(2*i + 2Q*t + c) t<P, c<2
+F5     CMULTF        P     R: Y(2Q*k+t);  W: X(2Q*k+t) t<2Q     (twiddle multiply)
+F6     CFFTZWORK     P     R/W: X — butterfly on the transposed grid;  P(riv): Y
+F7     TRANSB        P     R: X(2Q*j+t);  W: Y(2Q*j+t) t<2Q
+F8     DO_110        P*Q   R: Y(i), Y(PQ-i), Y(PQ+i);  W: X ditto  (real-FFT unpack)
+=====  ============  ====  ========================================================
+
+These shapes are forced by Table 2 up to isomorphism: the load-balance
+rows fix every trip count, the locality rows fix every parallel stride
+and per-iteration extent, and the storage rows fix the shifted/reverse
+reference pairs of F1, F2 and F8.
+
+Known ambiguities in the scanned paper (documented in EXPERIMENTS.md):
+the Y-column locality constraint printed as ``P*p32 = Q*p52`` is
+inconsistent with Y being privatizable in F3 (its edges are D and carry
+no locality constraint); we read the printed ``2*Q*p62 = p82`` as
+``2*Q*p72 = p82`` (F7→F8 is the only Y edge that can carry it, and the
+affinity row ``p71 = p72`` confirms F7 accesses Y).
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from ..symbolic import pow2
+
+__all__ = ["build_tfft2", "TFFT2_PHASES", "REFERENCE_ENV"]
+
+TFFT2_PHASES = (
+    "F1_DO_100_RCFFTZ",
+    "F2_TRANSA",
+    "F3_CFFTZWORK",
+    "F4_TRANSC",
+    "F5_CMULTF",
+    "F6_CFFTZWORK",
+    "F7_TRANSB",
+    "F8_DO_110_RCFFTZ",
+)
+
+#: A concrete instantiation used whenever the symbolic engine needs a
+#: numeric fallback (mirrors a realistic 64x64 complex grid).
+REFERENCE_ENV = {"P": 64, "p": 6, "Q": 64, "q": 6}
+
+
+def build_tfft2() -> Program:
+    """Construct the 8-phase TFFT2 fragment over arrays X and Y."""
+    bld = ProgramBuilder("tfft2")
+    P, p = bld.pow2_param("P", "p")
+    Q, q = bld.pow2_param("Q", "q")
+    PQ = P * Q
+    # One guard element beyond 2*P*Q: F8's mirrored references reach
+    # index 2*P*Q exactly (Fortran's 1-based X(1..2PQ) shifted to base
+    # 0), which keeps the paper's storage distances Δr = PQ and 2PQ
+    # exact instead of off by one.
+    X = bld.array("X", 2 * PQ + 1)
+    Y = bld.array("Y", 2 * PQ + 1)
+
+    # F1 — first radix pass over the raw samples; writes the split
+    # real/imaginary planes of Y (shifted storage Δd = P*Q).
+    with bld.phase(TFFT2_PHASES[0]) as f1:
+        with f1.doall("I1", 0, PQ - 1) as i:
+            f1.read(X, i, label="x_in")
+            f1.write(Y, i, label="y_re")
+            f1.write(Y, i + PQ, label="y_im")
+
+    # F2 — TRANSA: gathers a Q-element row from each Y plane and writes
+    # it transposed into X at unit parallel stride.
+    with bld.phase(TFFT2_PHASES[1]) as f2:
+        with f2.doall("J2", 0, P - 1) as j:
+            with f2.do("T2", 0, Q - 1) as t:
+                f2.read(Y, Q * j + t, label="y_re_row")
+                f2.read(Y, PQ + Q * j + t, label="y_im_row")
+            with f2.do("U2", 0, 2 * Q - 1) as t:
+                f2.write(X, j + P * t, label="x_col")
+
+    # F3 — CFFTZWORK: the paper's Figure 1 loop nest, verbatim, plus the
+    # privatizable workspace Y.
+    with bld.phase(TFFT2_PHASES[2]) as f3:
+        with f3.doall("I3", 0, Q - 1) as i:
+            with f3.do("L3", 1, p) as l:
+                with f3.do("J3", 0, P * pow2(-l) - 1) as jj:
+                    with f3.do("K3", 0, pow2(l - 1) - 1) as k:
+                        f3.read(X, 2 * P * i + pow2(l - 1) * jj + k,
+                                label="phi1")
+                        f3.write(X, 2 * P * i + pow2(l - 1) * jj + k + P / 2,
+                                 label="phi2")
+            with f3.do("W3", 0, 2 * P - 1) as w:
+                f3.write(Y, 2 * P * i + w, label="work_w")
+                f3.read(Y, 2 * P * i + w, label="work_r")
+        f3.mark_privatizable(Y)
+
+    # F4 — TRANSC: consumes one 2P-wide row of X per iteration and
+    # scatters it into Y at parallel stride 2 (pair-interleaved layout).
+    with bld.phase(TFFT2_PHASES[3]) as f4:
+        with f4.doall("I4", 0, Q - 1) as i:
+            with f4.do("T4", 0, 2 * P - 1) as t:
+                f4.read(X, 2 * P * i + t, label="x_row")
+            with f4.do("U4", 0, P - 1) as t:
+                with f4.do("C4", 0, 1) as c:
+                    f4.write(Y, 2 * i + 2 * Q * t + c, label="y_scatter")
+
+    # F5 — CMULTF: twiddle-factor multiply, contiguous 2Q-wide panels.
+    with bld.phase(TFFT2_PHASES[4]) as f5:
+        with f5.doall("K5", 0, P - 1) as k:
+            with f5.do("T5", 0, 2 * Q - 1) as t:
+                f5.read(Y, 2 * Q * k + t, label="y_panel")
+                f5.write(X, 2 * Q * k + t, label="x_panel")
+
+    # F6 — CFFTZWORK on the transposed grid: the Figure 1 pattern with
+    # the roles of P and Q exchanged, plus the privatizable workspace.
+    with bld.phase(TFFT2_PHASES[5]) as f6:
+        with f6.doall("I6", 0, P - 1) as i:
+            with f6.do("L6", 1, q) as l:
+                with f6.do("J6", 0, Q * pow2(-l) - 1) as jj:
+                    with f6.do("K6", 0, pow2(l - 1) - 1) as k:
+                        f6.read(X, 2 * Q * i + pow2(l - 1) * jj + k,
+                                label="phi1T")
+                        f6.write(X, 2 * Q * i + pow2(l - 1) * jj + k + Q / 2,
+                                 label="phi2T")
+            with f6.do("W6", 0, 2 * Q - 1) as w:
+                f6.write(Y, 2 * Q * i + w, label="work_w")
+                f6.read(Y, 2 * Q * i + w, label="work_r")
+        f6.mark_privatizable(Y)
+
+    # F7 — TRANSB: copies the 2Q-wide panels of X into Y.
+    with bld.phase(TFFT2_PHASES[6]) as f7:
+        with f7.doall("J7", 0, P - 1) as j:
+            with f7.do("T7", 0, 2 * Q - 1) as t:
+                f7.read(X, 2 * Q * j + t, label="x_panel")
+                f7.write(Y, 2 * Q * j + t, label="y_panel")
+
+    # F8 — final real-FFT unpack: the conjugate-pair combination runs
+    # over HALF the spectrum (k and its mirror are produced together),
+    # touching four disjoint segments per iteration:
+    #   Y(k) in [0, PQ/2),          Y(PQ-k)  in (PQ/2, PQ]   (reversed),
+    #   Y(PQ+k) in [PQ, 3PQ/2),     Y(2PQ-k) in (3PQ/2, 2PQ] (reversed),
+    # and likewise for the X writes.  The shifted pair (k, PQ+k) gives
+    # Δd = PQ; the reverse pairs give Δr = PQ and Δr = 2PQ — the paper's
+    # Table 2 storage distances.  The half-range trip is what makes the
+    # reverse distribution communication-free (elements are touched by
+    # exactly one parallel iteration).
+    with bld.phase(TFFT2_PHASES[7]) as f8:
+        with f8.doall("I8", 0, PQ / 2 - 1) as i:
+            f8.read(Y, i, label="y_lo")
+            f8.read(Y, PQ - i, label="y_mirror_lo")
+            f8.read(Y, PQ + i, label="y_hi")
+            f8.read(Y, 2 * PQ - i, label="y_mirror_hi")
+            f8.write(X, i, label="x_lo")
+            f8.write(X, PQ - i, label="x_mirror_lo")
+            f8.write(X, PQ + i, label="x_hi")
+            f8.write(X, 2 * PQ - i, label="x_mirror_hi")
+
+    return bld.build()

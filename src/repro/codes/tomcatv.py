@@ -1,0 +1,71 @@
+"""TOMCATV-like mesh generation — privatizable workspaces in anger.
+
+Stand-in for the SPEC TOMCATV member of the paper's suite.  One outer
+iteration of the mesh smoother::
+
+    F_resid:  doall j: for i:  RX(i,j), RY(i,j) from X, Y stencils
+    F_solve:  doall j: for i:  tridiagonal solve into private work AA/DD
+    F_update: doall j: for i:  X(i,j), Y(i,j) += relaxed residuals
+
+What it exercises:
+
+* a phase (F_solve) whose working arrays are **privatizable** — its Y
+  (workspace) nodes are attribute ``P`` and every incident edge is D,
+  splitting the residual arrays' graphs exactly as TFFT2's workspace
+  does;
+* three-phase chains on the mesh arrays with unit-ratio balanced
+  equations (all phases share ``delta_P = M``), i.e. the easy all-``L``
+  case the integer program collapses to one parameter.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+__all__ = ["build_tomcatv", "REFERENCE_ENV"]
+
+REFERENCE_ENV = {"M": 64, "N": 64}
+
+
+def build_tomcatv() -> Program:
+    """One smoothing iteration over mesh arrays X, Y (M x N)."""
+    bld = ProgramBuilder("tomcatv")
+    M = bld.param("M")
+    N = bld.param("N")
+    X = bld.array("X", M, N)
+    Y = bld.array("Y", M, N)
+    RX = bld.array("RX", M, N)
+    RY = bld.array("RY", M, N)
+    AA = bld.array("AA", M, N)
+    DD = bld.array("DD", M, N)
+
+    with bld.phase("F_resid") as f:
+        with f.doall("J", 1, N - 2) as j:
+            with f.do("I", 1, M - 2) as i:
+                f.read(X, i, j, label="x")
+                f.read(Y, i, j, label="y")
+                f.write(RX, i, j, label="rx")
+                f.write(RY, i, j, label="ry")
+
+    with bld.phase("F_solve") as f:
+        with f.doall("J2", 1, N - 2) as j:
+            with f.do("I2", 1, M - 2) as i:
+                f.read(RX, i, j, label="rx")
+                f.read(RY, i, j, label="ry")
+                f.write(AA, i, j, label="aa_w")
+                f.read(AA, i, j, label="aa_r")
+                f.write(DD, i, j, label="dd_w")
+                f.read(DD, i, j, label="dd_r")
+        f.mark_privatizable(AA, DD)
+
+    with bld.phase("F_update") as f:
+        with f.doall("J3", 1, N - 2) as j:
+            with f.do("I3", 1, M - 2) as i:
+                f.read(RX, i, j, label="rx")
+                f.read(RY, i, j, label="ry")
+                f.read(X, i, j, label="x_old")
+                f.read(Y, i, j, label="y_old")
+                f.write(X, i, j, label="x_new")
+                f.write(Y, i, j, label="y_new")
+
+    return bld.build()

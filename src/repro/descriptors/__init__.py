@@ -1,0 +1,34 @@
+"""Access descriptors: ARDs, phase descriptors and their simplifications.
+
+Pipeline (§2 of the paper)::
+
+    reference --compute_ard--> ARD --coalesce_row--> simplified ARD
+    phase     --compute_pd---> PhaseDescriptor (coalesced + row-unioned)
+
+:mod:`repro.descriptors.region` materialises descriptor regions for
+concrete parameters (the validation oracle glue).
+"""
+
+from .ard import ARD, Dim, UnsupportedAccess, compute_ard
+from .pd import PhaseDescriptor, compute_pd
+from .coalesce import coalesce_pd, coalesce_row
+from .union import adjust_distance, homogenize, try_union_rows, union_rows
+from .region import pd_addresses, row_addresses, row_addresses_fixed_parallel
+
+__all__ = [
+    "ARD",
+    "Dim",
+    "PhaseDescriptor",
+    "UnsupportedAccess",
+    "adjust_distance",
+    "coalesce_pd",
+    "coalesce_row",
+    "compute_ard",
+    "compute_pd",
+    "homogenize",
+    "pd_addresses",
+    "row_addresses",
+    "row_addresses_fixed_parallel",
+    "try_union_rows",
+    "union_rows",
+]

@@ -1,0 +1,264 @@
+"""Array Reference Descriptors (ARDs) — §2 of the paper.
+
+The ARD of the s-th reference to array ``X`` in phase ``F_k`` is
+``A_s^k(X, i_k) = (alpha, delta, lambda, tau)`` with one element per loop
+of the nest:
+
+* ``delta[j]``  — |stride|: the absolute difference of the subscript
+  expression φ at two consecutive values of the j-th loop index,
+* ``lambda[j]`` — the stride's sign,
+* ``alpha[j]``  — the *trip count* along that dimension: the difference
+  of φ at the loop limits divided by the (signed) stride, **plus one**.
+  (The paper's prose omits the "+1" but its Figure 2 values — ``Q``,
+  ``(P-2)*2**-L + 1``, ``P*2**-L``, ``2**(L-1)`` — and the concrete IDs
+  of Figures 4 and 8 all require the trip-count convention, which we
+  therefore adopt; ``span = (alpha - 1) * delta``.)
+* ``tau``       — the offset of the accessed region's *lowest* address
+  from the array base (for a descending dimension the loop upper limit
+  realises the minimum, so τ is evaluated at the minimising corner).
+
+Strides are computed by **symbolic differencing**, which is what lets the
+whole machinery work for non-affine subscripts such as TFFT2's
+``2*P*I + 2**(L-1)*J + K`` and for non-constant loop bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from ..ir.core import AccessKind, ArrayDecl, PhaseAccess
+from ..symbolic import Context, Expr, Symbol, ZERO, as_expr, divide_exact
+
+__all__ = ["Dim", "ARD", "UnsupportedAccess", "compute_ard"]
+
+
+class UnsupportedAccess(Exception):
+    """The reference falls outside the descriptor algebra.
+
+    Raised when a stride's sign cannot be proven or a span is not an
+    exact multiple of its stride; callers treat the reference (and hence
+    its phase edge) conservatively as communication.
+    """
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One dimension of an access descriptor.
+
+    ``stride`` is the absolute stride (a positive expression), ``count``
+    the number of points (``alpha``), ``sign`` the traversal direction
+    (the λ entry), ``index`` the originating loop variable (``None``
+    once merges have dissolved it), ``parallel`` whether the dimension
+    comes from the phase's parallel loop, and ``dense`` whether the
+    dimension's coverage is known to be contiguous at step ``stride``
+    (used by the coalescing rules).
+    """
+
+    stride: Expr
+    count: Expr
+    sign: int = 1
+    index: Optional[Symbol] = None
+    parallel: bool = False
+    dense: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "stride", as_expr(self.stride))
+        object.__setattr__(self, "count", as_expr(self.count))
+
+    @property
+    def span(self) -> Expr:
+        """Total extent covered along this dimension: ``(count-1)*stride``."""
+        return (self.count - 1) * self.stride
+
+    def with_count(self, count: Expr) -> "Dim":
+        return replace(self, count=as_expr(count))
+
+    def __str__(self) -> str:
+        mark = "∥" if self.parallel else ""
+        sign = "" if self.sign > 0 else "-"
+        return f"[{mark}{sign}{self.stride} x {self.count}]"
+
+
+@dataclass(frozen=True)
+class ARD:
+    """A single-reference access descriptor (one row of a PD).
+
+    ``dims`` are ordered outermost loop first (the paper lists the
+    parallel stride first; our phases have the parallel loop outermost so
+    the orders coincide).  ``tau`` is the minimum address of the region.
+    ``subscript`` retains the original φ (used by the exactness tests of
+    the coalescing rules).
+    """
+
+    array: ArrayDecl
+    kinds: frozenset  # frozenset[AccessKind] — R, W or both (paper's §2
+    # builds descriptors ignoring access kinds; we retain the set so the
+    # renderer can annotate rows, but simplifications may fuse R with W)
+    dims: tuple  # tuple[Dim, ...]
+    tau: Expr
+    subscript: Expr
+    label: str = ""
+    #: minimising corner of each contributing loop variable, innermost
+    #: last: ``((symbol, bound_expr), ...)``.  Retained because the exact
+    #: slice-identity test of Rule-B coalescing needs per-variable corners
+    #: even after merges have dissolved the variables' dimensions.
+    corners: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "tau", as_expr(self.tau))
+        object.__setattr__(self, "subscript", as_expr(self.subscript))
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def alpha(self) -> tuple:
+        """The α vector (counts), paper order."""
+        return tuple(d.count for d in self.dims)
+
+    @property
+    def delta(self) -> tuple:
+        """The δ vector (absolute strides), paper order."""
+        return tuple(d.stride for d in self.dims)
+
+    @property
+    def lam(self) -> tuple:
+        """The λ vector (stride signs), paper order."""
+        return tuple(d.sign for d in self.dims)
+
+    @property
+    def parallel_dim(self) -> Optional[Dim]:
+        for d in self.dims:
+            if d.parallel:
+                return d
+        return None
+
+    @property
+    def sequential_dims(self) -> tuple:
+        return tuple(d for d in self.dims if not d.parallel)
+
+    def sequential_span(self) -> Expr:
+        """Σ (count-1)*stride over sequential dimensions.
+
+        For self-contained descriptors (post-coalescing) this is the
+        extent of the region touched by one parallel iteration.
+        """
+        total: Expr = ZERO
+        for d in self.sequential_dims:
+            total = total + d.span
+        return total
+
+    def is_self_contained(self) -> bool:
+        """True when no dim's stride/count references another dim's index.
+
+        Only self-contained descriptors can be enumerated independently of
+        the original subscript; coalescing aims to reach this state.
+        """
+        own = {d.index for d in self.dims if d.index is not None}
+        for d in self.dims:
+            free = d.stride.free_symbols() | d.count.free_symbols()
+            others = own - ({d.index} if d.index is not None else set())
+            if free & others:
+                return False
+        if self.tau.free_symbols() & own:
+            return False
+        return True
+
+    def same_pattern(self, other: "ARD") -> bool:
+        """Equal α and δ vectors (the paper's "similar" access pattern)."""
+        return (
+            len(self.dims) == len(other.dims)
+            and all(
+                a.stride == b.stride
+                and a.count == b.count
+                and a.sign == b.sign
+                and a.parallel == b.parallel
+                for a, b in zip(self.dims, other.dims)
+            )
+        )
+
+    @property
+    def kind_label(self) -> str:
+        labels = sorted(k.value for k in self.kinds)
+        return "/".join(labels)
+
+    def __str__(self) -> str:
+        dims = " ".join(str(d) for d in self.dims)
+        return f"{self.kind_label}:{self.array.name} τ={self.tau} {dims}"
+
+
+def compute_ard(access: PhaseAccess, ctx: Context) -> ARD:
+    """Compute the ARD of one reference by symbolic differencing (§2).
+
+    ``ctx`` must carry the program parameter assumptions; the loop ranges
+    are taken from the access's own loop chain.
+    """
+    phi = access.ref.subscript
+    local = ctx.copy()
+    from ..symbolic import LoopVar
+
+    for loop in access.loops:
+        local.push_loop(LoopVar(loop.index, loop.lower, loop.upper))
+
+    dims: list[Dim] = []
+    corner: dict = {}
+    for loop in access.loops:
+        index = loop.index
+        if index not in phi.free_symbols():
+            continue
+        diff = phi.subs({index: index + 1}) - phi
+        if diff.is_zero:
+            continue
+        if local.is_nonneg(diff):
+            sign = 1
+            stride = diff
+        elif local.is_nonneg(-diff):
+            sign = -1
+            stride = -diff
+        else:
+            raise UnsupportedAccess(
+                f"{access.ref}: cannot determine stride sign of {diff} "
+                f"for index {index}"
+            )
+        span = phi.subs({index: loop.upper}) - phi.subs({index: loop.lower})
+        count_minus_1 = divide_exact(span, diff)
+        if count_minus_1 is None:
+            subst = local.pow2_substitution()
+            if subst:
+                count_minus_1 = divide_exact(span.subs(subst), diff.subs(subst))
+        if count_minus_1 is None:
+            raise UnsupportedAccess(
+                f"{access.ref}: span {span} is not an exact multiple of "
+                f"stride {diff} for index {index}"
+            )
+        count = count_minus_1 + 1
+        dims.append(
+            Dim(
+                stride=stride,
+                count=count,
+                sign=sign,
+                index=index,
+                parallel=loop.parallel,
+                dense=stride.is_one,
+            )
+        )
+        corner[index] = loop.lower if sign > 0 else loop.upper
+
+    # Substitute minimising corners innermost-first so that a corner that
+    # itself references outer indices (e.g. J's upper bound P*2**-L - 1)
+    # is resolved by the subsequent outer substitutions.
+    tau = phi
+    corner_order: list = []
+    for loop in reversed(access.loops):
+        if loop.index in corner:
+            tau = tau.subs({loop.index: corner[loop.index]})
+            corner_order.append((loop.index, corner[loop.index]))
+    return ARD(
+        array=access.ref.array,
+        kinds=frozenset((access.ref.kind,)),
+        dims=tuple(dims),
+        tau=tau,
+        subscript=phi,
+        label=access.ref.label or str(access.ref),
+        corners=tuple(corner_order),
+    )

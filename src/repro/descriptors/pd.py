@@ -1,0 +1,144 @@
+"""Phase Descriptors (PDs) — the per-phase union of an array's ARDs (§2).
+
+A PD collects the ``m`` occurrences of an array in a phase as rows.  The
+paper presents a PD as ``(A, delta, Lambda, tau)`` with one *shared*
+stride vector and per-occurrence rows of A; semantically the rows are
+independent ARDs, so we store them as such and expose the shared-vector
+presentation through :meth:`PhaseDescriptor.stride_vector` /
+:meth:`PhaseDescriptor.alpha_matrix` (used by the paper-style renderer
+and the Figure 3 reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..ir.core import AccessKind, ArrayDecl, Phase
+from ..symbolic import Context, Expr, smin
+from .ard import ARD, Dim, UnsupportedAccess, compute_ard
+
+__all__ = ["PhaseDescriptor", "compute_pd"]
+
+
+@dataclass
+class PhaseDescriptor:
+    """All accesses to one array in one phase, as descriptor rows."""
+
+    phase_name: str
+    array: ArrayDecl
+    rows: list  # list[ARD]
+
+    # -- paper-style shared-vector views --------------------------------------
+
+    def stride_vector(self) -> list:
+        """The union of the rows' stride columns (paper's shared δ).
+
+        Columns are identified by (stride, sign, parallel) in row order of
+        first appearance; rows missing a column simply have no extent
+        there (α treated as 1).
+        """
+        seen: list[tuple] = []
+        for row in self.rows:
+            for d in row.dims:
+                key = (d.stride, d.sign, d.parallel)
+                if key not in seen:
+                    seen.append(key)
+        return [k[0] for k in seen]
+
+    def alpha_matrix(self) -> list:
+        """Per-row α values aligned to :meth:`stride_vector` columns."""
+        columns: list[tuple] = []
+        for row in self.rows:
+            for d in row.dims:
+                key = (d.stride, d.sign, d.parallel)
+                if key not in columns:
+                    columns.append(key)
+        matrix = []
+        for row in self.rows:
+            by_key = {(d.stride, d.sign, d.parallel): d.count for d in row.dims}
+            matrix.append([by_key.get(key) for key in columns])
+        return matrix
+
+    @property
+    def tau_vector(self) -> list:
+        return [row.tau for row in self.rows]
+
+    def tau_min(self) -> Expr:
+        """The smallest base offset over all rows (symbolic min)."""
+        taus = self.tau_vector
+        if not taus:
+            raise ValueError("empty phase descriptor")
+        if len(taus) == 1:
+            return taus[0]
+        return smin(*taus)
+
+    # -- access-kind summary ----------------------------------------------------
+
+    def kinds(self) -> set:
+        out: set = set()
+        for row in self.rows:
+            out |= row.kinds
+        return out
+
+    @property
+    def reads(self) -> bool:
+        return AccessKind.READ in self.kinds()
+
+    @property
+    def writes(self) -> bool:
+        return AccessKind.WRITE in self.kinds()
+
+    def is_self_contained(self) -> bool:
+        return all(row.is_self_contained() for row in self.rows)
+
+    def parallel_strides(self) -> list:
+        """δ_P(j) for each row (None when a row has no parallel dim)."""
+        out = []
+        for row in self.rows:
+            d = row.parallel_dim
+            out.append(d.stride if d is not None else None)
+        return out
+
+    def __str__(self) -> str:
+        lines = [f"PD[{self.phase_name}, {self.array.name}]"]
+        for row in self.rows:
+            lines.append("  " + str(row))
+        return "\n".join(lines)
+
+
+def compute_pd(
+    phase: Phase,
+    array: ArrayDecl,
+    ctx: Context,
+    simplify: bool = True,
+) -> PhaseDescriptor:
+    """Compute the PD of ``array`` in ``phase`` (optionally simplified).
+
+    ``simplify=True`` runs the §2.1 pipeline: stride coalescing on every
+    row followed by access-descriptor union across rows.
+    """
+    cache = getattr(phase, "_pd_cache", None)
+    if cache is None:
+        cache = {}
+        setattr(phase, "_pd_cache", cache)
+    key = (array.name, simplify, id(ctx))
+    if key in cache:
+        return cache[key]
+
+    accesses = phase.accesses(array)
+    if not accesses:
+        raise KeyError(
+            f"array {array.name} is not accessed in phase {phase.name}"
+        )
+    rows = [compute_ard(acc, ctx) for acc in accesses]
+    pd = PhaseDescriptor(phase_name=phase.name, array=array, rows=rows)
+    if simplify:
+        from .coalesce import coalesce_pd
+        from .union import union_rows
+
+        phase_ctx = phase.loop_context(ctx)
+        pd = coalesce_pd(pd, phase_ctx)
+        pd = union_rows(pd, phase_ctx)
+    cache[key] = pd
+    return pd

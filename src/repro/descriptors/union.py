@@ -1,0 +1,151 @@
+"""Access-descriptor union, homogenization and offset adjustment — §2.1.
+
+*Access descriptor union* merges two rows of one PD that have the same
+access pattern (equal α and δ vectors — the paper's "similar" rows) but
+shifted base offsets.  If the shift ``d = tau_2 - tau_1`` is a multiple
+of some dimension's stride and does not jump past that dimension's
+extent (``d <= count * stride``), the union is a single row whose count
+along that dimension grows by ``d / stride`` — exactly how Figure 3(c)'s
+two ``(Q, P/2)`` rows at offsets ``0`` and ``P/2`` fuse into Figure
+3(d)'s single ``(Q, P)`` row.
+
+*Descriptor homogenization* is the same operation applied to rows of
+*different* phases' PDs (used when computing the common data region of a
+chain), and *offset adjustment* expresses a PD's base relative to the
+array-wide minimum offset via the adjust distance ``R^k = floor((tau_1^k
+- tau_min) / delta_1^k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.core import AccessKind
+from ..symbolic import Context, Expr, divide_exact, floor_div
+from .ard import ARD, Dim
+from .pd import PhaseDescriptor
+
+__all__ = [
+    "try_union_rows",
+    "union_rows",
+    "homogenize",
+    "adjust_distance",
+]
+
+
+def _combine_kinds(a: frozenset, b: frozenset) -> frozenset:
+    """Rows fuse regardless of access mode (§2: descriptors are built
+    "without taking into account the different kinds of accesses"); the
+    union row carries both modes for rendering."""
+    return a | b
+
+
+def try_union_rows(a: ARD, b: ARD, ctx: Context) -> Optional[ARD]:
+    """Union two same-pattern rows into one; None when not exactly fusable.
+
+    The rows must have equal dims; the base shift must be a nonnegative
+    multiple ``m`` of some dimension's stride with ``m <= count`` (an
+    adjacency ``m == count`` concatenates, an overlap ``m < count``
+    absorbs).  Access kinds need not match — the phase attribute is
+    derived from the phase's references, not from PD rows.
+    """
+    kinds = _combine_kinds(a.kinds, b.kinds)
+    if not a.same_pattern(b):
+        return None
+    low, high = a, b
+    d = high.tau - low.tau
+    if not ctx.is_nonneg(d):
+        low, high = b, a
+        d = high.tau - low.tau
+        if not ctx.is_nonneg(d):
+            return None  # cannot order the offsets
+    if d.is_zero:
+        # Identical regions: collapse, retaining both access modes.
+        return ARD(
+            array=low.array,
+            kinds=kinds,
+            dims=low.dims,
+            tau=low.tau,
+            subscript=low.subscript,
+            label=f"{low.label} ∪ {high.label}",
+            corners=low.corners,
+        )
+    for idx, dim in enumerate(low.dims):
+        if dim.parallel:
+            # Never fuse along the parallel dimension: the fused count
+            # would exceed the loop trip and break per-iteration (ID)
+            # semantics.  Shifted same-pattern rows are instead related
+            # by the Δd storage distance (see repro.iteration.symmetry).
+            continue
+        steps = divide_exact(d, dim.stride)
+        if steps is None:
+            subst = ctx.pow2_substitution()
+            if subst:
+                steps = divide_exact(d.subs(subst), dim.stride.subs(subst))
+        if steps is None or not ctx.is_integer_valued(steps):
+            continue
+        if not ctx.is_nonneg(steps):
+            continue
+        if not ctx.is_le(steps, dim.count):
+            continue
+        new_dim = dim.with_count(dim.count + steps)
+        dims = tuple(
+            new_dim if i == idx else dd for i, dd in enumerate(low.dims)
+        )
+        return ARD(
+            array=low.array,
+            kinds=kinds,
+            dims=dims,
+            tau=low.tau,
+            subscript=low.subscript,
+            label=f"{low.label} ∪ {high.label}",
+            corners=low.corners,
+        )
+    return None
+
+
+def union_rows(pd: PhaseDescriptor, ctx: Context) -> PhaseDescriptor:
+    """Fuse every fusable pair of rows (fixpoint)."""
+    rows = list(pd.rows)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(rows)):
+            for j in range(i + 1, len(rows)):
+                fused = try_union_rows(rows[i], rows[j], ctx)
+                if fused is not None:
+                    rows[i] = fused
+                    del rows[j]
+                    changed = True
+                    break
+            if changed:
+                break
+    return PhaseDescriptor(phase_name=pd.phase_name, array=pd.array, rows=rows)
+
+
+def homogenize(
+    pd_k: PhaseDescriptor, pd_g: PhaseDescriptor, ctx: Context
+) -> Optional[ARD]:
+    """Union the regions of two phases' PDs into one row when possible.
+
+    Used to find the common data sub-region covered by a chain of nodes;
+    returns the fused row or ``None`` when the PDs are not single-row
+    same-pattern shifted copies of each other.
+    """
+    if len(pd_k.rows) != 1 or len(pd_g.rows) != 1:
+        return None
+    return try_union_rows(pd_k.rows[0], pd_g.rows[0], ctx)
+
+
+def adjust_distance(pd: PhaseDescriptor, tau_min: Expr) -> Expr:
+    """The adjust distance ``R^k = floor((tau_1^k - tau_min) / delta_1^k)``.
+
+    ``delta_1^k`` is the first (parallel) stride of the phase descriptor;
+    the result expresses how many parallel-stride units the phase's region
+    is shifted from the array-wide base position.
+    """
+    row = pd.rows[0]
+    if not row.dims:
+        return row.tau - tau_min
+    delta_1 = row.dims[0].stride
+    return floor_div(row.tau - tau_min, delta_1)

@@ -1,0 +1,96 @@
+"""Chain data regions — the common sub-region a chain's layout anchors.
+
+§4.3(a): "all nodes belonging to the same chain cover the same data
+region of array X (inter-phase locality).  Thus, the data allocation
+procedure of array X only takes place before the first node of the
+chain."
+
+This module computes that common region: the *descriptor homogenization*
+of the chain members' PDs (§2.1) plus each member's *adjust distance*
+``R^k = floor((tau_1^k - tau_min) / delta_1^k)`` relative to the
+chain-wide base offset.  The region (base, extent and the chunk lattice)
+is what the allocation step materialises once per chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..symbolic import Context, Expr, ZERO, smin
+from ..descriptors import compute_pd
+from ..descriptors.union import adjust_distance, try_union_rows
+
+__all__ = ["ChainRegion", "chain_region"]
+
+
+@dataclass
+class ChainRegion:
+    """The homogenized data region of one chain.
+
+    ``base`` is the chain-wide τ_min; ``descriptor`` the fused row when
+    homogenization succeeded (None when members' shapes differ — the
+    chain still shares a layout anchored at ``base``); ``adjusts`` maps
+    each member phase to its adjust distance R^k from ``base``.
+    """
+
+    array: str
+    members: tuple  # phase names
+    base: Expr
+    descriptor: Optional[object]  # ARD | None
+    adjusts: dict  # phase -> Expr
+
+    def aligned(self) -> bool:
+        """True when every member's region starts at the chain base."""
+        return all(r.is_zero for r in self.adjusts.values())
+
+
+def chain_region(lcg, array_name: str, chain: List[str]) -> ChainRegion:
+    """Homogenize the PDs of a chain's members into one region."""
+    program = lcg.program
+    ctx: Context = program.context
+    array = next(
+        a for a in program.arrays_in_use() if a.name == array_name
+    )
+    pds = []
+    for name in chain:
+        phase = program.phase(name)
+        pds.append((name, compute_pd(phase, array, ctx)))
+
+    # chain-wide base offset: the provably-smallest row tau; only when
+    # the order genuinely cannot be established does a symbolic min
+    # survive
+    taus = [row.tau for _, pd in pds for row in pd.rows]
+    base = taus[0]
+    for t in taus[1:]:
+        if ctx.is_le(t, base):
+            base = t
+        elif not ctx.is_le(base, t):
+            base = smin(base, t)
+
+    # homogenize pairwise when single-row and same-pattern
+    fused = pds[0][1].rows[0] if len(pds[0][1].rows) == 1 else None
+    if fused is not None:
+        phase0 = program.phase(chain[0])
+        hctx = phase0.loop_context(ctx)
+        for _, pd in pds[1:]:
+            if len(pd.rows) != 1:
+                fused = None
+                break
+            merged = try_union_rows(fused, pd.rows[0], hctx)
+            if merged is None:
+                fused = None
+                break
+            fused = merged
+
+    adjusts = {}
+    for name, pd in pds:
+        adjusts[name] = adjust_distance(pd, base)
+
+    return ChainRegion(
+        array=array_name,
+        members=tuple(chain),
+        base=base,
+        descriptor=fused,
+        adjusts=adjusts,
+    )

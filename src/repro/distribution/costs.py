@@ -1,0 +1,105 @@
+"""Cost model: load-imbalance ``D^k`` and communication ``C^kg`` (§4.3a).
+
+The paper's objective (Eq. 7)::
+
+    min  Σ_arrays Σ_phases  D^k(X_j, p_k) + C^kg(X_j, p_k)
+
+The detailed cost functions live in the unavailable refs [7]/[8]; this
+module supplies an explicit, documented substitution validated against
+the DSM simulator (see ``benchmarks/bench_eq7_ilp.py``):
+
+* ``D^k`` — **idle-cycle imbalance** of a CYCLIC(p) schedule: a trip of
+  ``T`` iterations in blocks of ``p`` over ``H`` processors executes in
+  makespan ``p * ceil(T / (p*H))`` block-rounds per processor; the
+  wasted processor-iterations are ``H * p * ceil(T/(p*H)) - T``, scaled
+  by the per-iteration work ``w_k``.
+* ``C^kg`` — **put-based transfer cost** on a C edge.  A *global*
+  redistribution moves the whole region: ``volume = |R|`` elements in at
+  most ``H * (H - 1)`` aggregated messages; a *frontier* update moves
+  only the ``Δs`` halo per processor boundary: ``volume = Δs * H`` in
+  ``2 * H`` messages.  Cost = ``alpha * messages + beta * volume``,
+  the standard latency/bandwidth model (SHMEM put on the T3D: high
+  per-word cost off-node, negligible startup on-node).
+
+Machine coefficients default to Cray T3D-flavoured ratios (remote word
+~30x a local access; message startup ~100 local accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Optional
+
+__all__ = ["MachineCosts", "imbalance_cost", "communication_cost", "edge_volume"]
+
+
+@dataclass(frozen=True)
+class MachineCosts:
+    """Latency/bandwidth coefficients in units of one local access.
+
+    ``alpha`` — per-message startup; ``beta`` — per-element transfer;
+    ``local`` — per-element local access (the unit); ``remote`` — per-
+    element remote access when no bulk transfer amortises it;
+    ``compute_scale`` — useful work per dynamic array access (arithmetic
+    plus scalar traffic riding along with each element touched).
+
+    Defaults are Cray T3D-flavoured: a local access ≈ 50 ns is the unit;
+    a SHMEM put startup ≈ 1 µs ≈ 20 units; pipelined transfer ≈ 1 unit
+    per word; an un-aggregated remote word ≈ 30 units; and the FFT-like
+    codes of the evaluation perform ≈ 6 units of work per element
+    touched (butterfly arithmetic).
+    """
+
+    alpha: float = 20.0
+    beta: float = 1.0
+    local: float = 1.0
+    remote: float = 30.0
+    compute_scale: float = 6.0
+
+
+T3D = MachineCosts()
+
+
+def imbalance_cost(
+    trip: int, p: int, H: int, work_per_iter: float = 1.0
+) -> float:
+    """``D^k``: wasted processor-iterations of a CYCLIC(p) schedule."""
+    if trip <= 0:
+        return 0.0
+    if p <= 0:
+        raise ValueError("chunk size must be >= 1")
+    rounds = -(-trip // (p * H))  # ceil
+    makespan_iters = rounds * p
+    return (H * makespan_iters - trip) * work_per_iter
+
+
+def edge_volume(
+    region_size: int,
+    overlap: Optional[int],
+    H: int,
+) -> tuple:
+    """(volume, messages) moved across one C edge.
+
+    ``overlap`` not None selects the frontier pattern (halo updates of
+    ``Δs`` elements per processor boundary); otherwise the edge is a
+    global redistribution of the whole ``region_size``.
+    """
+    if overlap is not None:
+        volume = overlap * max(H - 1, 0)
+        messages = 2 * max(H - 1, 0)
+    else:
+        volume = region_size
+        messages = H * max(H - 1, 0)
+    return volume, messages
+
+
+def communication_cost(
+    region_size: int,
+    H: int,
+    overlap: Optional[int] = None,
+    machine: MachineCosts = T3D,
+) -> float:
+    """``C^kg``: aggregated put cost of one C edge."""
+    volume, messages = edge_volume(region_size, overlap, H)
+    return machine.alpha * messages + machine.beta * volume

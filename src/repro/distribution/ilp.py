@@ -1,0 +1,478 @@
+"""The integer programming model and its solvers (§4.3a).
+
+The paper feeds Table-2 style systems to GAMS; we provide two
+independent solvers and cross-check them in the test suite:
+
+* :func:`solve_enumerative` — exact.  Affine union-find over the
+  equality constraints (locality + affinity) collapses each connected
+  component of variables onto a single integer parameter ``t``
+  (``p_v = a_v * t + b_v``); the box/storage constraints clip ``t`` to a
+  finite range; the (nonlinear, ceil-laden) objective of Eq. 7 is then
+  evaluated exactly for every feasible ``t`` per component.  This
+  mirrors the mathematical structure the paper exploits — chains share
+  one degree of freedom.
+* :func:`solve_milp` — the same discretised problem expressed as a 0/1
+  selection program and handed to ``scipy.optimize.milp`` (the GAMS
+  stand-in).  Used as a cross-check and as the extension point for
+  richer linear models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..symbolic import Expr
+from .constraints import ConstraintSystem
+from .costs import MachineCosts, T3D, communication_cost, imbalance_cost
+
+__all__ = [
+    "DistributionPlan",
+    "VariableComponent",
+    "reduce_system",
+    "solve_enumerative",
+    "solve_milp",
+]
+
+
+def _ev(expr: Expr, env: Mapping[str, int]) -> Fraction:
+    return expr.evalf({k: Fraction(v) for k, v in env.items()})
+
+
+def _ev_int(expr: Expr, env: Mapping[str, int]) -> int:
+    v = _ev(expr, env)
+    if v.denominator != 1:
+        raise ValueError(f"{expr} not integral under {env}")
+    return int(v)
+
+
+class _AffineUnionFind:
+    """Union-find maintaining ``p_v = a_v * p_root + b_v`` (rationals)."""
+
+    def __init__(self):
+        self.parent: dict[str, str] = {}
+        self.rel: dict[str, tuple] = {}  # v -> (a, b) wrt parent
+
+    def add(self, v: str) -> None:
+        if v not in self.parent:
+            self.parent[v] = v
+            self.rel[v] = (Fraction(1), Fraction(0))
+
+    def find(self, v: str) -> tuple:
+        """Return (root, a, b) with p_v = a * p_root + b (path-compressed)."""
+        if self.parent[v] == v:
+            return v, Fraction(1), Fraction(0)
+        root, pa, pb = self.find(self.parent[v])
+        a, b = self.rel[v]
+        # p_v = a * p_parent + b;  p_parent = pa * p_root + pb
+        na, nb = a * pa, a * pb + b
+        self.parent[v] = root
+        self.rel[v] = (na, nb)
+        return root, na, nb
+
+    def union(self, u: str, v: str, a: Fraction, b: Fraction) -> bool:
+        """Impose ``p_u = a * p_v + b``.  Returns False on inconsistency."""
+        ru, au, bu = self.find(u)
+        rv, av, bv = self.find(v)
+        if ru == rv:
+            # au * t + bu must equal a * (av * t + bv) + b for all feasible t
+            # -> consistent only when coefficients match (else the system
+            #    pins t to a single value; callers handle via bounds).
+            return (au == a * av) and (bu == a * bv + b)
+        # p_ru: from p_u = au * p_ru + bu  ->  p_ru = (p_u - bu)/au
+        # p_u = a*p_v + b = a*(av*p_rv + bv) + b
+        # p_ru = (a*av*p_rv + a*bv + b - bu) / au
+        self.parent[ru] = rv
+        self.rel[ru] = ((a * av) / au, (a * bv + b - bu) / au)
+        return True
+
+
+@dataclass
+class VariableComponent:
+    """One connected set of p-variables sharing the parameter ``t``."""
+
+    root: str
+    members: dict  # var -> (a: Fraction, b: Fraction): p = a*t + b
+    t_min: int
+    t_max: int
+    pinned: Optional[int] = None  # inconsistent union resolved to fixed t
+
+    def values_for(self, t: int) -> Optional[dict]:
+        """All member p values at parameter ``t`` (None if non-integral)."""
+        out = {}
+        for var, (a, b) in self.members.items():
+            val = a * t + b
+            if val.denominator != 1 or val < 1:
+                return None
+            out[var] = int(val)
+        return out
+
+    def feasible_ts(self, limit: int = 100_000) -> list:
+        if self.t_max - self.t_min > limit:
+            raise ValueError(
+                f"component {self.root}: t range too large "
+                f"({self.t_min}..{self.t_max})"
+            )
+        return [
+            t
+            for t in range(max(self.t_min, 1), self.t_max + 1)
+            if self.values_for(t) is not None
+        ]
+
+
+@dataclass
+class DistributionPlan:
+    """Solver output: chunk sizes and objective breakdown.
+
+    ``relaxed_edges`` lists locality (L) edges the solver had to demote
+    to communication because no integer chunking satisfied the full
+    system — e.g. when a balanced equation forces a chunk past a storage
+    bound.  The executor treats them exactly like C edges.
+    """
+
+    chunks: dict  # var name -> p value
+    phase_chunks: dict  # phase name -> p value (affinity-merged)
+    objective: float
+    imbalance: float
+    communication: float
+    components: list = field(default_factory=list)
+    relaxed_edges: list = field(default_factory=list)  # (phase_k, phase_g, array)
+
+    def chunk(self, phase: str) -> int:
+        return self.phase_chunks[phase]
+
+
+def reduce_system(
+    system: ConstraintSystem,
+    env: Mapping[str, int],
+    H: int,
+    skip_locality: Optional[set] = None,
+) -> list:
+    """Collapse equalities into :class:`VariableComponent` boxes.
+
+    ``skip_locality`` holds (phase_k, phase_g, array) triples whose
+    locality constraint is ignored (relaxed to communication).
+    """
+    skip_locality = skip_locality or set()
+    uf = _AffineUnionFind()
+    for var in system.variables:
+        uf.add(var)
+
+    pinned_values: dict[str, int] = {}
+
+    for c in system.affinity:
+        uf.union(c.var_a, c.var_b, Fraction(1), Fraction(0))
+    for c in system.locality:
+        if (c.edge[0], c.edge[1], c.array) in skip_locality:
+            continue
+        a_k = _ev(c.slope_k, env)
+        a_g = _ev(c.slope_g, env)
+        shift = _ev(c.shift, env)
+        # a_k p_k = a_g p_g + shift  ->  p_k = (a_g/a_k) p_g + shift/a_k
+        ok = uf.union(c.var_k, c.var_g, a_g / a_k, shift / a_k)
+        if not ok:
+            # The component is over-constrained: the two relations pin t.
+            root, a, b = uf.find(c.var_k)
+            # a*t + b = (a_g/a_k) * (a'*t + b') + shift/a_k with (a',b') of var_g
+            _, ag2, bg2 = uf.find(c.var_g)
+            lhs_a, lhs_b = a, b
+            rhs_a = (a_g / a_k) * ag2
+            rhs_b = (a_g / a_k) * bg2 + shift / a_k
+            if lhs_a == rhs_a:
+                continue  # same relation, fine
+            t_star = (rhs_b - lhs_b) / (lhs_a - rhs_a)
+            if t_star.denominator == 1 and t_star >= 1:
+                pinned_values[root] = int(t_star)
+            else:
+                pinned_values[root] = -1  # infeasible marker
+
+    # Gather bounds per variable, then per component.
+    ub: dict[str, int] = {}
+    for c in system.load_balance:
+        trip = _ev_int(c.trip, env)
+        ub_v = -(-trip // H)
+        ub[c.var] = min(ub.get(c.var, 1 << 60), ub_v)
+    for c in system.storage:
+        dp = _ev(c.delta_p, env)
+        limit = _ev(c.limit, env)
+        # delta_p * p * H <= limit  ->  p <= limit / (delta_p * H)
+        bound = limit / (dp * H)
+        ub_v = int(bound) if bound >= 1 else 0
+        ub[c.var] = min(ub.get(c.var, 1 << 60), ub_v)
+
+    groups: dict[str, dict] = {}
+    for var in system.variables:
+        root, a, b = uf.find(var)
+        groups.setdefault(root, {})[var] = (a, b)
+
+    components = []
+    for root, members in groups.items():
+        t_lo, t_hi = 1, 1 << 60
+        for var, (a, b) in members.items():
+            ub_v = ub.get(var, 1 << 60)
+            # 1 <= a*t + b <= ub_v, with a possibly negative
+            if a > 0:
+                t_lo = max(t_lo, _ceil_frac(Fraction(1) - b, a))
+                t_hi = min(t_hi, _floor_frac(Fraction(ub_v) - b, a))
+            elif a < 0:
+                t_lo = max(t_lo, _ceil_frac(Fraction(ub_v) - b, a))
+                t_hi = min(t_hi, _floor_frac(Fraction(1) - b, a))
+            else:
+                if not (1 <= b <= ub_v):
+                    t_hi = 0  # infeasible
+        comp = VariableComponent(
+            root=root, members=members, t_min=t_lo, t_max=min(t_hi, 1 << 31)
+        )
+        if root in pinned_values:
+            pv = pinned_values[root]
+            if pv < 0 or not (t_lo <= pv <= t_hi):
+                comp.t_max = 0  # infeasible component
+            else:
+                comp.t_min = comp.t_max = pv
+                comp.pinned = pv
+        components.append(comp)
+    return components
+
+
+def _ceil_frac(num: Fraction, den: Fraction) -> int:
+    q = num / den
+    return -int((-q.numerator) // q.denominator) if q.denominator else int(q)
+
+
+def _floor_frac(num: Fraction, den: Fraction) -> int:
+    q = num / den
+    return int(q.numerator // q.denominator)
+
+
+def _component_cost(
+    system: ConstraintSystem,
+    comp: VariableComponent,
+    t: int,
+    env: Mapping[str, int],
+    H: int,
+    machine: MachineCosts,
+    work: Mapping[str, float],
+) -> Optional[float]:
+    """Eq. 7 objective restricted to one component.
+
+    D^k — CYCLIC(p) idle-cycle imbalance — plus the p-dependent slice of
+    C^kg: frontier/halo traffic, which pays ``beta * Δs`` per block
+    boundary (``ceil(trip/p)`` boundaries), so larger chunks trade load
+    balance against halo volume exactly as the paper's model does.
+    """
+    values = comp.values_for(t)
+    if values is None:
+        return None
+    total = 0.0
+    trips = {c.var: c for c in system.load_balance}
+    for var, p in values.items():
+        lb = trips.get(var)
+        if lb is None:
+            continue
+        trip = _ev_int(lb.trip, env)
+        total += imbalance_cost(trip, p, H, work.get(lb.phase, 1.0))
+        overlap = system.overlaps.get(var) if hasattr(system, "overlaps") else None
+        if overlap is not None:
+            try:
+                width = _ev_int(overlap, env)
+            except (ValueError, KeyError):
+                width = 0
+            blocks = -(-trip // p)
+            total += machine.beta * width * blocks + machine.alpha * min(
+                blocks, 2 * H
+            )
+    return total
+
+
+def solve_enumerative(
+    system: ConstraintSystem,
+    env: Mapping[str, int],
+    H: int,
+    machine: MachineCosts = T3D,
+    work: Optional[Mapping[str, float]] = None,
+    region_sizes: Optional[Mapping[tuple, int]] = None,
+) -> DistributionPlan:
+    """Exact optimisation of Eq. 7 by per-component enumeration.
+
+    ``work`` optionally weights each phase's per-iteration work;
+    ``region_sizes`` maps (phase_k, phase_g, array) C edges to moved
+    element counts for the communication term (constant per labelling,
+    reported in the objective but not steering the argmin).
+
+    When the full system is infeasible, locality constraints are relaxed
+    one at a time (greedy, largest-slope-ratio first — the tightest
+    coupling is the likeliest culprit) and the affected L edge is
+    demoted to communication; relaxations are reported in
+    ``DistributionPlan.relaxed_edges``.
+    """
+    work = dict(work or {})
+    relaxed: set = set()
+    while True:
+        components = reduce_system(system, env, H, skip_locality=relaxed)
+        infeasible = [c for c in components if not c.feasible_ts()]
+        if not infeasible:
+            break
+        culprit = _pick_relaxation(system, env, infeasible, relaxed)
+        if culprit is None:
+            raise ValueError(
+                f"infeasible component rooted at {infeasible[0].root}: no "
+                f"locality relaxation restores integer feasibility"
+            )
+        relaxed.add(culprit)
+
+    chunks: dict[str, int] = {}
+    imbalance_total = 0.0
+    for comp in components:
+        ts = comp.feasible_ts()
+        best_t, best_cost = None, None
+        for t in ts:
+            cost = _component_cost(system, comp, t, env, H, machine, work)
+            if cost is None:
+                continue
+            if best_cost is None or cost < best_cost:
+                best_t, best_cost = t, cost
+        values = comp.values_for(best_t)
+        chunks.update(values)
+        imbalance_total += best_cost
+
+    comm_total = 0.0
+    for array in system.lcg.arrays():
+        for edge in system.lcg.communication_edges(array):
+            size = 0
+            if region_sizes:
+                size = region_sizes.get((edge.phase_k, edge.phase_g, array), 0)
+            overlap = None
+            if edge.intra_k.has_overlap and edge.intra_k.symmetry is not None:
+                first = edge.intra_k.symmetry.overlap[0][2]
+                try:
+                    overlap = _ev_int(first, env)
+                except (ValueError, KeyError):
+                    overlap = None
+            comm_total += communication_cost(size, H, overlap, machine)
+
+    phase_chunks: dict[str, int] = {}
+    for var, p in chunks.items():
+        phase, _ = system.variables[var]
+        prev = phase_chunks.get(phase)
+        if prev is not None and prev != p:
+            raise AssertionError(
+                f"affinity violated for phase {phase}: {prev} vs {p}"
+            )
+        phase_chunks[phase] = p
+
+    return DistributionPlan(
+        chunks=chunks,
+        phase_chunks=phase_chunks,
+        objective=imbalance_total + comm_total,
+        imbalance=imbalance_total,
+        communication=comm_total,
+        components=components,
+        relaxed_edges=sorted(relaxed),
+    )
+
+
+def _pick_relaxation(
+    system: ConstraintSystem,
+    env: Mapping[str, int],
+    infeasible: list,
+    already: set,
+) -> Optional[tuple]:
+    """Choose a locality constraint to demote to communication.
+
+    Only constraints whose variables live in an infeasible component are
+    candidates; among them the one with the largest slope ratio (the
+    steepest chunk amplification, e.g. ``p81 = 2*Q*p71``) is dropped
+    first — it is the constraint that blows chunks past their boxes.
+    """
+    bad_vars: set = set()
+    for comp in infeasible:
+        bad_vars.update(comp.members)
+    best, best_ratio = None, None
+    for c in system.locality:
+        key = (c.edge[0], c.edge[1], c.array)
+        if key in already:
+            continue
+        if c.var_k not in bad_vars and c.var_g not in bad_vars:
+            continue
+        a_k = _ev(c.slope_k, env)
+        a_g = _ev(c.slope_g, env)
+        ratio = max(a_k / a_g, a_g / a_k)
+        if best_ratio is None or ratio > best_ratio:
+            best, best_ratio = key, ratio
+    return best
+
+
+def solve_milp(
+    system: ConstraintSystem,
+    env: Mapping[str, int],
+    H: int,
+    machine: MachineCosts = T3D,
+    work: Optional[Mapping[str, float]] = None,
+) -> DistributionPlan:
+    """The same optimisation as a 0/1 selection MILP via scipy.
+
+    One binary variable per (component, feasible t); per-component
+    exactly-one constraints; the linear objective carries the exact
+    precomputed cost of each choice.  Serves as the GAMS stand-in and as
+    an independent cross-check of :func:`solve_enumerative`.
+    """
+    from scipy.optimize import LinearConstraint, milp
+    from scipy.optimize import Bounds
+
+    work = dict(work or {})
+    components = reduce_system(system, env, H)
+    choices: list[tuple] = []  # (component index, t, cost)
+    for ci, comp in enumerate(components):
+        ts = comp.feasible_ts()
+        if not ts:
+            raise ValueError(f"infeasible component rooted at {comp.root}")
+        for t in ts:
+            cost = _component_cost(system, comp, t, env, H, machine, work)
+            if cost is not None:
+                choices.append((ci, t, cost))
+
+    n = len(choices)
+    # Small t-proportional epsilon so ties break toward the smallest
+    # chunking, matching solve_enumerative's deterministic choice (the
+    # solver runs with a zero MIP gap so the epsilon is respected).
+    c_vec = np.array(
+        [cost + 1e-6 * t for (_, t, cost) in choices], dtype=float
+    )
+    # exactly-one per component
+    A = np.zeros((len(components), n))
+    for j, (ci, _, _) in enumerate(choices):
+        A[ci, j] = 1.0
+    constraint = LinearConstraint(A, lb=1.0, ub=1.0)
+    res = milp(
+        c=c_vec,
+        constraints=[constraint],
+        integrality=np.ones(n),
+        bounds=Bounds(0.0, 1.0),
+        options={"mip_rel_gap": 0.0},
+    )
+    if not res.success:
+        raise RuntimeError(f"milp failed: {res.message}")
+    chosen = [choices[j] for j in range(n) if res.x[j] > 0.5]
+
+    chunks: dict[str, int] = {}
+    imbalance_total = 0.0
+    for ci, t, cost in chosen:
+        chunks.update(components[ci].values_for(t))
+        imbalance_total += cost
+
+    phase_chunks: dict[str, int] = {}
+    for var, p in chunks.items():
+        phase, _ = system.variables[var]
+        phase_chunks[phase] = p
+
+    return DistributionPlan(
+        chunks=chunks,
+        phase_chunks=phase_chunks,
+        objective=imbalance_total,
+        imbalance=imbalance_total,
+        communication=0.0,
+        components=components,
+    )

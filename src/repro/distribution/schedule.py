@@ -1,0 +1,144 @@
+"""CYCLIC(p) iteration schedules and chain data distributions (§4, §4.3).
+
+Once the ILP fixes the chunk size ``p_k`` of every phase, iterations are
+dealt BLOCK-CYCLICally — iteration ``i`` runs on processor
+``(i // p) mod H`` — and each *chain* of the LCG receives one static
+data distribution for its array: the region covered by the chunk of
+parallel iterations a processor owns in the chain's first phase.  For a
+primary ID row with base τ, parallel stride ``delta_P`` and chunk ``p``
+this is exactly a BLOCK-CYCLIC(``p * delta_P``) layout anchored at τ,
+spanning the extent+gap of each iteration (that is the inter-phase
+locality theorem at work: every node of the chain covers the same
+region, so one layout serves them all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+__all__ = ["CyclicSchedule", "BlockCyclicLayout", "BlockLayout", "ReplicatedLayout"]
+
+
+@dataclass(frozen=True)
+class CyclicSchedule:
+    """CYCLIC(p) mapping of ``trip`` parallel iterations onto H PEs."""
+
+    trip: int
+    p: int
+    H: int
+
+    def owner(self, i: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+        return (np.asarray(i) // self.p) % self.H
+
+    def iterations_of(self, pe: int) -> np.ndarray:
+        """All iteration indices scheduled on processor ``pe``."""
+        i = np.arange(self.trip)
+        return i[self.owner(i) == pe]
+
+    def block_count(self) -> int:
+        return -(-self.trip // self.p)
+
+    def __str__(self) -> str:
+        return f"CYCLIC({self.p}) of {self.trip} iters on {self.H} PEs"
+
+
+@dataclass(frozen=True)
+class BlockCyclicLayout:
+    """BLOCK-CYCLIC data distribution of a linear array region.
+
+    Element ``addr`` (within [origin, origin+span)) lives on processor
+    ``((addr - origin) // chunk) % H``.  Addresses outside the anchored
+    region fall back to the same formula clamped at the origin — the
+    owner of out-of-region data is well-defined but chains never rely
+    on it.
+    """
+
+    origin: int
+    chunk: int
+    H: int
+    span: Optional[int] = None
+    reversed_: bool = False
+
+    def owner(self, addr: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+        rel = np.asarray(addr) - self.origin
+        rel = np.maximum(rel, 0)
+        if self.reversed_:
+            if self.span is None:
+                raise ValueError("reversed layout requires a span")
+            rel = (self.span - 1) - rel
+            rel = np.maximum(rel, 0)
+        return (rel // self.chunk) % self.H
+
+    def __str__(self) -> str:
+        tag = "REVERSED-" if self.reversed_ else ""
+        return f"{tag}BLOCK-CYCLIC({self.chunk}) @ {self.origin} on {self.H} PEs"
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Plain BLOCK distribution (the naive baseline): ceil(n/H) each."""
+
+    size: int
+    H: int
+
+    def owner(self, addr: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+        block = -(-self.size // self.H)
+        return np.minimum(np.asarray(addr) // block, self.H - 1)
+
+    def __str__(self) -> str:
+        return f"BLOCK over {self.size} elems on {self.H} PEs"
+
+
+@dataclass(frozen=True)
+class SegmentedLayout:
+    """Piecewise layout: one sub-layout per disjoint address segment.
+
+    This realises the paper's *shifted* and *reverse* distributions: a
+    multi-row iteration descriptor (e.g. TFFT2 F8's four conjugate-pair
+    segments) maps each row's segment with its own BLOCK-CYCLIC layout —
+    ascending rows anchored at the segment base, descending rows
+    **reversed** so that the iteration touching an element owns it.
+    ``segments`` is a tuple of ``(start, end_inclusive, layout)`` sorted
+    by start; addresses outside every segment fall back to the first
+    sub-layout.
+    """
+
+    segments: tuple  # tuple[(int, int, layout), ...]
+    H: int
+
+    def owner(self, addr: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+        a = np.asarray(addr)
+        scalar = a.ndim == 0
+        a = np.atleast_1d(a)
+        out = np.asarray(self.segments[0][2].owner(a)).copy()
+        out = np.atleast_1d(out)
+        for start, end, layout in self.segments:
+            mask = (a >= start) & (a <= end)
+            if mask.any():
+                out[mask] = np.atleast_1d(layout.owner(a[mask]))
+        return out[0] if scalar else out
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"[{s},{e}]:{lay}" for s, e, lay in self.segments
+        )
+        return f"SEGMENTED({parts})"
+
+
+@dataclass(frozen=True)
+class ReplicatedLayout:
+    """Every processor holds a private copy (privatizable arrays)."""
+
+    H: int
+
+    def owner(self, addr: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+        # Replication means every access is local; report the accessing
+        # PE itself.  The executor special-cases this class, so owner()
+        # answers are only used as a fallback.
+        return np.zeros_like(np.asarray(addr))
+
+    def __str__(self) -> str:
+        return f"REPLICATED on {self.H} PEs"

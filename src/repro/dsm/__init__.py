@@ -1,0 +1,37 @@
+"""DSM machine simulator: executor, communication generation, metrics."""
+
+from .comm import (
+    CommunicationPlan,
+    PutOperation,
+    frontier_update,
+    redistribution,
+)
+from .schedule_comm import (
+    CommStep,
+    PhaseStep,
+    ProgramSchedule,
+    schedule_communications,
+)
+from .executor import (
+    ExecutionReport,
+    PhaseStats,
+    chain_layouts,
+    execute_static,
+    execute_with_plan,
+)
+
+__all__ = [
+    "CommStep",
+    "CommunicationPlan",
+    "ExecutionReport",
+    "PhaseStats",
+    "PutOperation",
+    "chain_layouts",
+    "execute_static",
+    "execute_with_plan",
+    "frontier_update",
+    "redistribution",
+    "PhaseStep",
+    "ProgramSchedule",
+    "schedule_communications",
+]

@@ -1,0 +1,539 @@
+"""Deterministic DSM machine executor.
+
+Plays the Cray T3D's role in the reproduction: executes a program's
+phases under an iteration schedule and per-array data layouts, counting
+— from the *actual address streams* of the loop nests — how many
+accesses each processor serves locally vs. remotely, and generating the
+aggregated put traffic between phases.
+
+Two execution modes back the §4.3 experiment:
+
+* :func:`execute_static` — one fixed layout per array for the whole run
+  (the naive baseline: BLOCK or any layout you pass); every non-local
+  access pays the remote cost.
+* :func:`execute_with_plan` — the LCG-driven mode: each chain gets its
+  balanced BLOCK-CYCLIC layout, privatizable arrays are replicated,
+  C edges trigger explicit redistributions (global pattern) or halo
+  updates (frontier), after which phase accesses are intended to be
+  local — any residual remote access is *measured*, not assumed, so the
+  simulator doubles as a soundness check of the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..ir import Phase, Program, enumerate_phase
+from ..ir.core import AccessKind
+from ..distribution.costs import MachineCosts, T3D
+from ..distribution.schedule import (
+    BlockCyclicLayout,
+    BlockLayout,
+    CyclicSchedule,
+    ReplicatedLayout,
+)
+from .comm import CommunicationPlan, frontier_update, redistribution
+
+__all__ = [
+    "PhaseStats",
+    "ExecutionReport",
+    "execute_static",
+    "execute_with_plan",
+    "chain_layouts",
+]
+
+
+@dataclass
+class PhaseStats:
+    """Per-phase access accounting."""
+
+    phase: str
+    local: np.ndarray  # per-PE local access counts
+    remote: np.ndarray  # per-PE remote access counts
+    iterations: np.ndarray  # per-PE iteration counts
+
+    @property
+    def total_accesses(self) -> int:
+        return int(self.local.sum() + self.remote.sum())
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.total_accesses
+        return float(self.remote.sum()) / total if total else 0.0
+
+    def compute_time(self, machine: MachineCosts = T3D) -> float:
+        """Makespan of the phase: slowest processor's access bill.
+
+        Each access carries ``compute_scale`` units of useful work on
+        top of its local/remote memory cost.
+        """
+        work = (self.local + self.remote) * machine.compute_scale
+        per_pe = (
+            work + self.local * machine.local + self.remote * machine.remote
+        )
+        return float(per_pe.max()) if per_pe.size else 0.0
+
+
+@dataclass
+class ExecutionReport:
+    """Whole-program execution under one strategy."""
+
+    program: str
+    H: int
+    phases: list = field(default_factory=list)  # list[PhaseStats]
+    comms: list = field(default_factory=list)  # list[CommunicationPlan]
+    machine: MachineCosts = T3D
+
+    @property
+    def total_local(self) -> int:
+        return int(sum(p.local.sum() for p in self.phases))
+
+    @property
+    def total_remote(self) -> int:
+        return int(sum(p.remote.sum() for p in self.phases))
+
+    @property
+    def comm_volume(self) -> int:
+        return sum(c.volume for c in self.comms)
+
+    @property
+    def comm_messages(self) -> int:
+        return sum(c.messages for c in self.comms)
+
+    def parallel_time(self) -> float:
+        compute = sum(p.compute_time(self.machine) for p in self.phases)
+        comm = sum(c.makespan(self.machine, self.H) for c in self.comms)
+        return compute + comm
+
+    def serial_time(self) -> float:
+        """All accesses on one processor, all local, no communication."""
+        total = sum(p.total_accesses for p in self.phases)
+        return total * (self.machine.local + self.machine.compute_scale)
+
+    def efficiency(self) -> float:
+        """Parallel efficiency  E = T_1 / (H * T_H)."""
+        t_h = self.parallel_time()
+        return self.serial_time() / (self.H * t_h) if t_h else 1.0
+
+    def speedup(self) -> float:
+        t_h = self.parallel_time()
+        return self.serial_time() / t_h if t_h else float(self.H)
+
+    def summary(self) -> str:
+        return (
+            f"{self.program} on H={self.H}: "
+            f"local={self.total_local} remote={self.total_remote} "
+            f"comm={self.comm_volume}el/{self.comm_messages}msg "
+            f"speedup={self.speedup():.2f} eff={self.efficiency():.1%}"
+        )
+
+
+def _try_fast_stats(
+    phase: Phase,
+    env: Mapping[str, int],
+    H: int,
+    schedule: CyclicSchedule,
+    layouts: Mapping[str, object],
+):
+    """Vectorised accounting for fully-affine rectangular phases.
+
+    Applicable when the phase is a single parallel-rooted nest whose
+    loop bounds are parameter-only (rectangular) and whose subscripts
+    have constant strides in every index.  The whole address matrix
+    (iterations x inner points) is then materialised per reference with
+    NumPy broadcasting — orders of magnitude faster than per-iteration
+    interpretation.  Returns None when any feature falls outside the
+    fast fragment (the caller falls back to the exact interpreter).
+    """
+    from fractions import Fraction
+
+    from ..ir.core import LoopNode, RefNode
+
+    if len(phase.roots) != 1:
+        return None
+    par = phase.roots[0]
+    if not par.parallel:
+        return None
+    fenv = {k: Fraction(v) for k, v in env.items()}
+
+    def const_int(expr):
+        try:
+            value = expr.evalf(fenv)
+        except (KeyError, ValueError, ZeroDivisionError):
+            return None
+        return int(value) if value.denominator == 1 else None
+
+    par_lo = const_int(par.lower)
+    par_hi = const_int(par.upper)
+    if par_lo is None or par_hi is None or par_hi < par_lo:
+        return None
+    trip = par_hi - par_lo + 1
+
+    local = np.zeros(H, dtype=np.int64)
+    remote = np.zeros(H, dtype=np.int64)
+    pe_of_iter = np.asarray(
+        schedule.owner(np.arange(par_lo, par_hi + 1)), dtype=np.int64
+    )
+    iterations = np.bincount(pe_of_iter, minlength=H).astype(np.int64)
+
+    MAX_CELLS = 1 << 25
+
+    def walk(node, chain):
+        """Yield (ref, loop chain incl. the parallel loop) or raise."""
+        for child in node.children:
+            if isinstance(child, RefNode):
+                yield child.ref, chain
+            elif isinstance(child, LoopNode):
+                yield from walk(child, chain + (child,))
+            else:  # pragma: no cover - defensive
+                raise _FastPathMiss()
+
+    class _FastPathMiss(Exception):
+        pass
+
+    try:
+        for ref, chain in walk(par, (par,)):
+            layout = layouts.get(ref.array.name)
+            # dimensions: parallel first, then the sequential chain
+            offsets = np.zeros(1, dtype=np.int64)
+            base_expr = ref.subscript
+            indices = [loop.index for loop in chain]
+            for loop in chain[1:]:
+                lo = const_int(loop.lower)
+                hi = const_int(loop.upper)
+                if lo is None or hi is None:
+                    raise _FastPathMiss()
+                if hi < lo:
+                    offsets = None
+                    break
+                diff = ref.subscript.subs({loop.index: loop.index + 1}) - \
+                    ref.subscript
+                if any(s in diff.free_symbols() for s in indices):
+                    raise _FastPathMiss()
+                stride = const_int(diff)
+                if stride is None:
+                    raise _FastPathMiss()
+                steps = np.arange(hi - lo + 1, dtype=np.int64) * stride
+                offsets = (offsets[:, None] + steps[None, :]).ravel()
+                base_expr = base_expr.subs({loop.index: loop.lower})
+            if offsets is None:
+                continue  # zero-trip inner loop: no accesses
+            dpar_expr = ref.subscript.subs({par.index: par.index + 1}) - \
+                ref.subscript
+            if any(s in dpar_expr.free_symbols() for s in indices):
+                raise _FastPathMiss()
+            dpar = const_int(dpar_expr)
+            if dpar is None:
+                raise _FastPathMiss()
+            base0 = const_int(base_expr.subs({par.index: par.lower}))
+            if base0 is None:
+                raise _FastPathMiss()
+            if trip * offsets.size > MAX_CELLS:
+                raise _FastPathMiss()
+            if layout is None or isinstance(layout, ReplicatedLayout):
+                counts = np.full(trip, offsets.size, dtype=np.int64)
+                local_add = np.bincount(
+                    pe_of_iter, weights=counts, minlength=H
+                )
+                local += local_add.astype(np.int64)
+                continue
+            addresses = (
+                base0
+                + np.arange(trip, dtype=np.int64)[:, None] * dpar
+                + offsets[None, :]
+            )
+            owners = np.asarray(layout.owner(addresses))
+            hits = (owners == pe_of_iter[:, None]).sum(axis=1)
+            local += np.bincount(
+                pe_of_iter, weights=hits, minlength=H
+            ).astype(np.int64)
+            remote += np.bincount(
+                pe_of_iter,
+                weights=offsets.size - hits,
+                minlength=H,
+            ).astype(np.int64)
+    except _FastPathMiss:
+        return None
+    return PhaseStats(
+        phase=phase.name, local=local, remote=remote, iterations=iterations
+    )
+
+
+def _phase_stats(
+    phase: Phase,
+    env: Mapping[str, int],
+    H: int,
+    schedule: CyclicSchedule,
+    layouts: Mapping[str, object],
+) -> PhaseStats:
+    fast = _try_fast_stats(phase, env, H, schedule, layouts)
+    if fast is not None:
+        return fast
+    local = np.zeros(H, dtype=np.int64)
+    remote = np.zeros(H, dtype=np.int64)
+    iterations = np.zeros(H, dtype=np.int64)
+    for ia in enumerate_phase(phase, env):
+        pe = 0 if ia.iteration is None else int(schedule.owner(ia.iteration))
+        if ia.iteration is not None:
+            iterations[pe] += 1
+        for tr in ia.traces:
+            layout = layouts.get(tr.array)
+            n = tr.addresses.size
+            if n == 0:
+                continue
+            if layout is None or isinstance(layout, ReplicatedLayout):
+                local[pe] += n
+                continue
+            owners = layout.owner(tr.addresses)
+            n_local = int(np.count_nonzero(owners == pe))
+            local[pe] += n_local
+            remote[pe] += n - n_local
+    return PhaseStats(phase=phase.name, local=local, remote=remote,
+                      iterations=iterations)
+
+
+def execute_static(
+    program: Program,
+    env: Mapping[str, int],
+    H: int,
+    layouts: Optional[Mapping[str, object]] = None,
+    chunk: int = 1,
+    machine: MachineCosts = T3D,
+) -> ExecutionReport:
+    """Run with one fixed layout per array and CYCLIC(chunk) scheduling.
+
+    Default layouts are BLOCK over each array's full extent — the naive
+    baseline a compiler without locality analysis would pick.
+    """
+    if layouts is None:
+        layouts = {
+            a.name: BlockLayout(size=_ev_int(a.size, env), H=H)
+            for a in program.arrays_in_use()
+        }
+    report = ExecutionReport(program=program.name, H=H, machine=machine)
+    for phase in program.phases:
+        par = phase.parallel_loop
+        trip = _ev_int(par.trip_count, env) if par is not None else 1
+        schedule = CyclicSchedule(trip=trip, p=chunk, H=H)
+        report.phases.append(_phase_stats(phase, env, H, schedule, layouts))
+    return report
+
+
+def chain_layouts(
+    lcg,
+    plan,
+    env: Mapping[str, int],
+    H: int,
+) -> dict:
+    """Per-(phase, array) layouts from the LCG chains and the ILP plan.
+
+    Each chain's layout derives from its first node's primary ID row:
+    BLOCK-CYCLIC with chunk ``p * delta_P`` anchored at the region base.
+    Privatizable nodes get a replicated layout.
+    """
+    from ..locality.intra import check_intra_phase
+
+    program = lcg.program
+    ctx = program.context
+    layouts: dict = {}
+    relaxed = {
+        (k, g)
+        for (k, g, arr) in getattr(plan, "relaxed_edges", [])
+    }
+    relaxed_by_array: dict = {}
+    for (k, g, arr) in getattr(plan, "relaxed_edges", []):
+        relaxed_by_array.setdefault(arr, set()).add((k, g))
+    fold_edges: list = []
+    for array in program.arrays_in_use():
+        broken = relaxed_by_array.get(array.name, set())
+        for chain in lcg.chains(array.name, broken=broken):
+            head = program.phase(chain[0])
+            intra = check_intra_phase(head, array, ctx)
+            chain_layout = None
+            if (
+                intra.attribute != "P"
+                and intra.iteration_descriptor is not None
+            ):
+                p = plan.phase_chunks.get(head.name, 1)
+                chain_layout = _layout_from_id(
+                    intra.iteration_descriptor, p, env, H
+                )
+            prev_name = None
+            for name in chain:
+                node = program.phase(name)
+                node_intra = check_intra_phase(node, array, ctx)
+                if node_intra.attribute == "P":
+                    layouts[(name, array.name)] = ReplicatedLayout(H=H)
+                elif chain_layout is not None:
+                    member_layout = chain_layout
+                    if node_intra.iteration_descriptor is not None:
+                        own = _layout_from_id(
+                            node_intra.iteration_descriptor,
+                            plan.phase_chunks.get(name, 1),
+                            env,
+                            H,
+                        )
+                        # Reverse/shifted distribution switch: a folded
+                        # (segmented) member adopts its own layout; the
+                        # balanced condition makes it agree with the
+                        # chain layout on the primary segment, so the
+                        # fold redistribution only moves the mirrors.
+                        from ..distribution.schedule import SegmentedLayout
+
+                        if isinstance(own, SegmentedLayout) and not isinstance(
+                            chain_layout, SegmentedLayout
+                        ):
+                            member_layout = own
+                            if prev_name is not None:
+                                fold_edges.append(
+                                    (prev_name, name, array.name)
+                                )
+                    layouts[(name, array.name)] = member_layout
+                else:
+                    layouts[(name, array.name)] = BlockLayout(
+                        size=_ev_int(array.size, env), H=H
+                    )
+                prev_name = name
+    layouts["__fold_edges__"] = fold_edges
+    return layouts
+
+
+def _layout_from_id(idesc, p: int, env: Mapping[str, int], H: int):
+    """Layout realising locality for a (possibly multi-row) ID.
+
+    Single ascending row: plain BLOCK-CYCLIC(p * delta_P) at the base.
+    Multiple rows with disjoint segments: a :class:`SegmentedLayout`
+    whose descending segments use the *reverse distribution* (the
+    processor of the touching iteration owns the element).  Overlapping
+    segments fall back to the primary row's layout.
+    """
+    from ..distribution.schedule import SegmentedLayout
+
+    segments = []
+    for row in idesc.rows:
+        delta = _ev_int(row.delta_p, env) if not row.delta_p.is_zero else 1
+        delta = max(delta, 1)
+        count = _ev_int(row.count_p, env)
+        extent = _ev_int(row.extent, env)
+        base0 = _ev_int(row.base0, env)
+        chunk = max(p * delta, 1)
+        lo = base0
+        hi = base0 + (count - 1) * delta + extent
+        if row.sign_p >= 0:
+            lay = BlockCyclicLayout(origin=lo, chunk=chunk, H=H)
+        else:
+            lay = BlockCyclicLayout(
+                origin=lo, chunk=chunk, H=H, span=hi - lo + 1, reversed_=True
+            )
+        segments.append((lo, hi, lay))
+    if len(segments) == 1:
+        return segments[0][2]
+    segments.sort(key=lambda s: s[0])
+    for (l1, h1, lay1), (l2, h2, lay2) in zip(segments, segments[1:]):
+        if l2 <= h1:
+            # Overlapping rows: piecewise locality only holds if both
+            # sub-layouts agree on every shared address (e.g. the single
+            # boundary element of TFFT2 F8's conjugate-pair segments).
+            shared = np.arange(l2, min(h1, h2) + 1)
+            if shared.size > 4096 or not np.array_equal(
+                np.atleast_1d(lay1.owner(shared)),
+                np.atleast_1d(lay2.owner(shared)),
+            ):
+                primary = idesc.primary_row()
+                delta = (
+                    _ev_int(primary.delta_p, env)
+                    if not primary.delta_p.is_zero
+                    else 1
+                )
+                return BlockCyclicLayout(
+                    origin=_ev_int(primary.base0, env),
+                    chunk=max(p * max(delta, 1), 1),
+                    H=H,
+                )
+    return SegmentedLayout(segments=tuple(segments), H=H)
+
+
+def execute_with_plan(
+    program: Program,
+    lcg,
+    plan,
+    env: Mapping[str, int],
+    H: int,
+    machine: MachineCosts = T3D,
+) -> ExecutionReport:
+    """LCG-driven execution: chain layouts + explicit C-edge communication."""
+    from ..ir.interp import phase_access_set
+
+    layouts = chain_layouts(lcg, plan, env, H)
+    fold_edges = layouts.pop("__fold_edges__", [])
+    report = ExecutionReport(program=program.name, H=H, machine=machine)
+
+    for phase in program.phases:
+        par = phase.parallel_loop
+        trip = _ev_int(par.trip_count, env) if par is not None else 1
+        p = plan.phase_chunks.get(phase.name, 1)
+        schedule = CyclicSchedule(trip=trip, p=p, H=H)
+        phase_layouts = {
+            a.name: layouts[(phase.name, a.name)] for a in phase.arrays()
+        }
+        report.phases.append(
+            _phase_stats(phase, env, H, schedule, phase_layouts)
+        )
+
+    # Communication on C edges (plus any L edges the ILP relaxed):
+    # global redistribution between the two phases' layouts, or a
+    # frontier halo update when the source overlap is what forces the
+    # edge.
+    relaxed = {
+        (k, g, arr) for (k, g, arr) in getattr(plan, "relaxed_edges", [])
+    }
+    for array in program.arrays_in_use():
+        comm_edges = list(lcg.communication_edges(array.name))
+        fold_here = {
+            (k, g) for (k, g, arr) in fold_edges if arr == array.name
+        }
+        for e in lcg.edges(array.name):
+            key = (e.phase_k, e.phase_g, array.name)
+            if key in relaxed or (e.phase_k, e.phase_g) in fold_here:
+                comm_edges.append(e)
+        for edge in comm_edges:
+            layout_k = layouts[(edge.phase_k, array.name)]
+            layout_g = layouts[(edge.phase_g, array.name)]
+            drain = program.phase(edge.phase_g)
+            region = phase_access_set(drain, env, array)
+            if isinstance(layout_k, ReplicatedLayout) or isinstance(
+                layout_g, ReplicatedLayout
+            ):
+                continue
+            if edge.intra_k.has_overlap and layout_k is layout_g:
+                sym = edge.intra_k.symmetry
+                overlap = _ev_int(sym.overlap[0][2], env)
+                report.comms.append(
+                    frontier_update(array.name, (edge.phase_k, edge.phase_g),
+                                    overlap, H)
+                )
+                continue
+            old_owner = np.asarray(layout_k.owner(region))
+            new_owner = np.asarray(layout_g.owner(region))
+            report.comms.append(
+                redistribution(
+                    array.name,
+                    (edge.phase_k, edge.phase_g),
+                    region,
+                    old_owner,
+                    new_owner,
+                )
+            )
+    return report
+
+
+def _ev_int(expr, env: Mapping[str, int]) -> int:
+    from fractions import Fraction
+
+    v = expr.evalf({k: Fraction(val) for k, val in env.items()})
+    if v.denominator != 1:
+        raise ValueError(f"{expr} not integral under {env}")
+    return int(v)

@@ -1,0 +1,118 @@
+"""Communication scheduling — the compiler's output order (§4.2, §4.3b).
+
+"the communication operations will be placed just after the execution
+of the source connected phase and before the execution of the drain
+connected phase."
+
+Given a labelled LCG and a distribution plan, this module produces the
+**program schedule**: the interleaved sequence of phase executions and
+communication steps a code generator would emit.  Data allocation
+(redistribution) happens once per chain boundary; frontier updates
+attach to the overlapped edges; everything is placed at the last legal
+point after its source and before its drain so independent transfers
+can overlap with unrelated phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["PhaseStep", "CommStep", "ProgramSchedule", "schedule_communications"]
+
+
+@dataclass(frozen=True)
+class PhaseStep:
+    """Execute one phase under its CYCLIC(p) iteration schedule."""
+
+    phase: str
+    chunk: int
+
+    def __str__(self) -> str:
+        return f"execute {self.phase} [CYCLIC({self.chunk})]"
+
+
+@dataclass(frozen=True)
+class CommStep:
+    """One communication operation between two phases."""
+
+    array: str
+    source_phase: str
+    drain_phase: str
+    pattern: str  # "global" | "frontier"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.pattern} comm of {self.array}: "
+            f"after {self.source_phase}, before {self.drain_phase}"
+        )
+
+
+@dataclass
+class ProgramSchedule:
+    """The ordered steps plus placement metadata."""
+
+    steps: list = field(default_factory=list)
+
+    def render(self) -> str:
+        return "\n".join(f"{i:3}. {s}" for i, s in enumerate(self.steps))
+
+    def comm_steps(self) -> list:
+        return [s for s in self.steps if isinstance(s, CommStep)]
+
+    def phase_steps(self) -> list:
+        return [s for s in self.steps if isinstance(s, PhaseStep)]
+
+    def position(self, step) -> int:
+        return self.steps.index(step)
+
+
+def schedule_communications(lcg, plan) -> ProgramSchedule:
+    """Interleave phase executions with their C-edge communications.
+
+    Placement rule: a transfer for edge ``(F_k, F_g)`` is emitted
+    immediately after ``F_k`` (as-early-as-possible after the source, so
+    the put can overlap the phases between ``F_k`` and ``F_g``); the
+    schedule checker in the tests verifies it also precedes ``F_g``.
+    Relaxed L edges (see DistributionPlan.relaxed_edges) communicate
+    like C edges.  Un-coupled (D) edges and intact L edges emit nothing.
+    """
+    program = lcg.program
+    relaxed = {
+        (k, g, arr) for (k, g, arr) in getattr(plan, "relaxed_edges", [])
+    }
+
+    pending: dict[str, list] = {}
+    for array in lcg.arrays():
+        for edge in lcg.edges(array):
+            is_comm = edge.label == "C" or (
+                (edge.phase_k, edge.phase_g, array) in relaxed
+            )
+            if not is_comm:
+                continue
+            pattern = (
+                "frontier"
+                if edge.intra_k.has_overlap and edge.label == "C"
+                and edge.attr_k != "P"
+                else "global"
+            )
+            pending.setdefault(edge.phase_k, []).append(
+                CommStep(
+                    array=array,
+                    source_phase=edge.phase_k,
+                    drain_phase=edge.phase_g,
+                    pattern=pattern,
+                )
+            )
+
+    schedule = ProgramSchedule()
+    for phase in program.phases:
+        schedule.steps.append(
+            PhaseStep(
+                phase=phase.name,
+                chunk=plan.phase_chunks.get(phase.name, 1),
+            )
+        )
+        for comm in pending.get(phase.name, ()):
+            schedule.steps.append(comm)
+    return schedule

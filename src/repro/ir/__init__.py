@@ -1,0 +1,52 @@
+"""Loop-nest IR: phases, programs, builder DSL, normalization, interpreter.
+
+Programs enter the system either through :class:`ProgramBuilder` (Python
+DSL) or through the mini-Fortran front end in :mod:`repro.ir.parser`.
+"""
+
+from .core import (
+    AccessKind,
+    ArrayDecl,
+    LoopNode,
+    Phase,
+    PhaseAccess,
+    Program,
+    RefNode,
+    Reference,
+)
+from .builder import PhaseBuilder, ProgramBuilder
+from .normalize import linearize, normalize_loop, normalize_phase
+from .validate import Diagnostic, validate_phase, validate_program
+from .interp import (
+    AccessTrace,
+    IterationAccesses,
+    enumerate_phase,
+    iteration_access_set,
+    phase_access_set,
+    reference_addresses,
+)
+
+__all__ = [
+    "AccessKind",
+    "AccessTrace",
+    "Diagnostic",
+    "ArrayDecl",
+    "IterationAccesses",
+    "LoopNode",
+    "Phase",
+    "PhaseAccess",
+    "PhaseBuilder",
+    "Program",
+    "ProgramBuilder",
+    "RefNode",
+    "Reference",
+    "enumerate_phase",
+    "iteration_access_set",
+    "linearize",
+    "normalize_loop",
+    "normalize_phase",
+    "phase_access_set",
+    "reference_addresses",
+    "validate_phase",
+    "validate_program",
+]

@@ -1,0 +1,196 @@
+"""Fluent construction of phases and programs.
+
+The analysis consumes normalized loop nests; writing :class:`LoopNode`
+trees by hand is noisy, so this module provides a context-manager DSL
+mirroring the paper's code listings::
+
+    bld = ProgramBuilder("tfft2")
+    P, p = bld.pow2_param("P", "p")
+    Q, q = bld.pow2_param("Q", "q")
+    X = bld.array("X", 2 * P * Q)
+
+    with bld.phase("F3") as F3:
+        with F3.doall("I", 0, Q - 1) as I:
+            with F3.do("L", 1, p) as L:
+                with F3.do("J", 0, P * pow2(-L) - 1) as J:
+                    with F3.do("K", 0, pow2(L - 1) - 1) as K:
+                        F3.read(X, 2*P*I + pow2(L-1)*J + K)
+                        F3.write(X, 2*P*I + pow2(L-1)*J + K + P/2)
+
+    program = bld.build()
+
+Loops opened with non-zero lower bounds or non-unit steps are normalized
+on the fly (index shifted to start at 0), matching the paper's
+assumption that "loops have been normalized".
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Union
+
+from ..symbolic import Expr, ExprLike, Symbol, as_expr, sym
+from .core import (
+    AccessKind,
+    ArrayDecl,
+    LoopNode,
+    Phase,
+    Program,
+    RefNode,
+    Reference,
+)
+from .normalize import linearize
+
+__all__ = ["PhaseBuilder", "ProgramBuilder"]
+
+
+class PhaseBuilder:
+    """Builds one phase; obtained from :meth:`ProgramBuilder.phase`."""
+
+    def __init__(self, name: str, program: Optional[Program] = None):
+        self.name = name
+        self._program = program
+        self._roots: list[LoopNode] = []
+        self._stack: list[LoopNode] = []
+        self._privatizable: set[str] = set()
+
+    # -- loops ---------------------------------------------------------------
+
+    @contextmanager
+    def do(
+        self,
+        index: Union[str, Symbol],
+        lower: ExprLike,
+        upper: ExprLike,
+        step: int = 1,
+        parallel: bool = False,
+    ) -> Iterator[Symbol]:
+        """Open a sequential DO loop; yields the (normalized) index symbol.
+
+        With ``step != 1`` or ``lower != 0`` the loop is normalized: the
+        yielded symbol ``i`` runs ``0..trip-1`` and user subscripts should
+        be written in terms of the *original* induction value, obtained as
+        ``lower + step*i`` — the helper returns that expression instead of
+        the bare symbol whenever normalization changed anything.
+        """
+        index_sym = sym(index) if isinstance(index, str) else index
+        lower_e, upper_e = as_expr(lower), as_expr(upper)
+        if step == 0:
+            raise ValueError("loop step must be nonzero")
+        if step == 1 and lower_e.is_zero:
+            node = LoopNode(index=index_sym, lower=lower_e, upper=upper_e,
+                            parallel=parallel)
+            yield_value: Expr = index_sym
+        else:
+            # normalize: i' in 0..trip-1, original = lower + step*i'
+            trip_minus_1 = (upper_e - lower_e) / step  # exact for affine use
+            node = LoopNode(index=index_sym, lower=as_expr(0),
+                            upper=trip_minus_1, parallel=parallel)
+            yield_value = lower_e + step * index_sym
+        self._attach(node)
+        self._stack.append(node)
+        try:
+            yield yield_value  # type: ignore[misc]
+        finally:
+            self._stack.pop()
+
+    def doall(
+        self,
+        index: Union[str, Symbol],
+        lower: ExprLike,
+        upper: ExprLike,
+        step: int = 1,
+    ):
+        """Open the (single) parallel loop of the phase."""
+        return self.do(index, lower, upper, step=step, parallel=True)
+
+    def _attach(self, node: LoopNode) -> None:
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self._roots.append(node)
+
+    # -- references ------------------------------------------------------------
+
+    def _add_ref(self, array: ArrayDecl, kind: AccessKind,
+                 subscripts: Sequence[ExprLike], label: str) -> Reference:
+        if not self._stack:
+            raise RuntimeError("references must appear inside a loop")
+        subscript = linearize(array, [as_expr(s) for s in subscripts])
+        ref = Reference(array=array, subscript=subscript, kind=kind, label=label)
+        self._stack[-1].children.append(RefNode(ref))
+        return ref
+
+    def read(self, array: ArrayDecl, *subscripts: ExprLike,
+             label: str = "") -> Reference:
+        """Record a read access ``array(subscripts...)``.
+
+        Multi-dimensional subscripts are linearised column-major using the
+        array's declared extents.
+        """
+        return self._add_ref(array, AccessKind.READ, subscripts, label)
+
+    def write(self, array: ArrayDecl, *subscripts: ExprLike,
+              label: str = "") -> Reference:
+        """Record a write access ``array(subscripts...)``."""
+        return self._add_ref(array, AccessKind.WRITE, subscripts, label)
+
+    def update(self, array: ArrayDecl, *subscripts: ExprLike,
+               label: str = "") -> tuple[Reference, Reference]:
+        """Record a read-modify-write (both a read and a write)."""
+        r = self.read(array, *subscripts, label=label)
+        w = self.write(array, *subscripts, label=label)
+        return r, w
+
+    def mark_privatizable(self, *arrays: Union[str, ArrayDecl]) -> None:
+        """Declare arrays privatizable in this phase (attribute ``P``)."""
+        for a in arrays:
+            self._privatizable.add(a if isinstance(a, str) else a.name)
+
+    # -- finish ------------------------------------------------------------------
+
+    def build(self) -> Phase:
+        if self._stack:
+            raise RuntimeError("unclosed loop in phase builder")
+        return Phase(self.name, roots=self._roots,
+                     privatizable=self._privatizable)
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` phase by phase."""
+
+    def __init__(self, name: str):
+        self._program = Program(name)
+
+    def param(self, name: str, *, positive: bool = True,
+              minimum: int = None) -> Symbol:
+        """Declare a scalar parameter (positive integer by default).
+
+        ``minimum`` optionally records a stronger integer lower bound
+        (e.g. a grid size known to be at least 3).
+        """
+        s = self._program.add_parameter(name, positive=positive)
+        if minimum is not None:
+            self._program.context.assume_min(s, minimum)
+        return s
+
+    def pow2_param(self, name: str, exponent: str) -> tuple[Symbol, Symbol]:
+        """Declare a power-of-two parameter ``name == 2**exponent``."""
+        return self._program.add_pow2_parameter(name, exponent)
+
+    def array(self, name: str, *dims: ExprLike) -> ArrayDecl:
+        """Declare an array with the given extents."""
+        return self._program.declare_array(name, *dims)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseBuilder]:
+        builder = PhaseBuilder(name, self._program)
+        yield builder
+        self._program.add_phase(builder.build())
+
+    def build(self) -> Program:
+        return self._program
+
+    @property
+    def context(self):
+        return self._program.context

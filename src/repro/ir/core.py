@@ -1,0 +1,322 @@
+"""Loop-nest intermediate representation.
+
+The unit of analysis in the paper is the *phase*: a DO loop nest — not
+necessarily perfectly nested — with **at most one parallel loop**
+(``doall``).  A :class:`Program` is a control-flow-ordered sequence of
+phases over shared :class:`ArrayDecl`\\ s and :class:`Symbol` parameters.
+
+Arrays are one-dimensional after linearisation (as "traditionally done by
+conventional compilers", §2); multi-dimensional declarations are lowered
+column-major by :mod:`repro.ir.normalize`.  Subscripts and loop bounds are
+:class:`repro.symbolic.Expr` objects and may be non-affine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from ..symbolic import Context, Expr, ExprLike, LoopVar, Symbol, as_expr, sym
+
+__all__ = [
+    "AccessKind",
+    "ArrayDecl",
+    "Reference",
+    "RefNode",
+    "LoopNode",
+    "Phase",
+    "Program",
+    "PhaseAccess",
+]
+
+
+class AccessKind(enum.Enum):
+    """Read/write mode of a single array reference."""
+
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A (linearised) shared array.
+
+    ``dims`` keeps the original Fortran extents for pretty-printing and
+    for the column-major linearisation; ``size`` is the linear length.
+    """
+
+    name: str
+    size: Expr
+    dims: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "size", as_expr(self.size))
+        object.__setattr__(
+            self, "dims", tuple(as_expr(d) for d in self.dims) or (self.size,)
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Reference:
+    """The s-th reference to an array inside a phase.
+
+    ``subscript`` is the linear subscript expression φ_s over the phase's
+    loop indices and the program parameters.
+    """
+
+    array: ArrayDecl
+    subscript: Expr
+    kind: AccessKind
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "subscript", as_expr(self.subscript))
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.array.name}({self.subscript})"
+
+
+@dataclass
+class RefNode:
+    """A leaf of the loop tree holding one reference."""
+
+    ref: Reference
+
+
+@dataclass
+class LoopNode:
+    """A DO/DOALL loop with inclusive bounds and unit step (normalized).
+
+    ``children`` mixes :class:`LoopNode` and :class:`RefNode` — that is
+    what makes non-perfect nests representable.
+    """
+
+    index: Symbol
+    lower: Expr
+    upper: Expr
+    parallel: bool = False
+    children: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self.lower = as_expr(self.lower)
+        self.upper = as_expr(self.upper)
+
+    @property
+    def trip_count(self) -> Expr:
+        """Number of iterations (inclusive bounds, unit stride)."""
+        return self.upper - self.lower + 1
+
+    def walk(self) -> Iterator[Union["LoopNode", RefNode]]:
+        yield self
+        for child in self.children:
+            if isinstance(child, LoopNode):
+                yield from child.walk()
+            else:
+                yield child
+
+
+@dataclass(frozen=True)
+class PhaseAccess:
+    """A reference together with its enclosing loop chain (outer→inner)."""
+
+    ref: Reference
+    loops: tuple  # tuple[LoopNode, ...]
+
+    @property
+    def indices(self) -> tuple:
+        return tuple(loop.index for loop in self.loops)
+
+
+class Phase:
+    """One loop nest with at most one level of parallelism.
+
+    Parameters
+    ----------
+    name:
+        phase identifier (e.g. ``"F3"`` or ``"CFFTZWORK"``).
+    roots:
+        top-level loops (usually one).
+    privatizable:
+        names of arrays that are privatizable in this phase — the ``P``
+        attribute of §4.  May be supplied by the frontend (the paper gets
+        it from Polaris) or inferred by :mod:`repro.locality.privatize`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        roots: Optional[Sequence[LoopNode]] = None,
+        privatizable: Optional[Iterable[str]] = None,
+    ):
+        self.name = name
+        self.roots: list[LoopNode] = list(roots or [])
+        self.privatizable: set[str] = set(privatizable or ())
+        self._validate_parallelism()
+
+    # -- structure queries -------------------------------------------------
+
+    def _validate_parallelism(self) -> None:
+        if len(self.parallel_loops()) > 1:
+            raise ValueError(
+                f"phase {self.name}: at most one parallel loop is allowed"
+            )
+
+    def parallel_loops(self) -> list[LoopNode]:
+        return [
+            node
+            for root in self.roots
+            for node in root.walk()
+            if isinstance(node, LoopNode) and node.parallel
+        ]
+
+    @property
+    def parallel_loop(self) -> Optional[LoopNode]:
+        loops = self.parallel_loops()
+        return loops[0] if loops else None
+
+    def all_loops(self) -> list[LoopNode]:
+        return [
+            node
+            for root in self.roots
+            for node in root.walk()
+            if isinstance(node, LoopNode)
+        ]
+
+    def accesses(self, array: Optional[Union[str, ArrayDecl]] = None) -> list[PhaseAccess]:
+        """All references (optionally filtered by array) with loop chains."""
+        name = None
+        if array is not None:
+            name = array if isinstance(array, str) else array.name
+        found: list[PhaseAccess] = []
+
+        def visit(node: LoopNode, chain: tuple) -> None:
+            chain = chain + (node,)
+            for child in node.children:
+                if isinstance(child, LoopNode):
+                    visit(child, chain)
+                else:
+                    if name is None or child.ref.array.name == name:
+                        found.append(PhaseAccess(ref=child.ref, loops=chain))
+
+        for root in self.roots:
+            visit(root, ())
+        return found
+
+    def arrays(self) -> list[ArrayDecl]:
+        """Distinct arrays referenced, in first-appearance order."""
+        seen: dict[str, ArrayDecl] = {}
+        for acc in self.accesses():
+            seen.setdefault(acc.ref.array.name, acc.ref.array)
+        return list(seen.values())
+
+    def access_attribute(self, array: Union[str, ArrayDecl]) -> str:
+        """The node attribute of §4: ``"R"``, ``"W"``, ``"R/W"`` or ``"P"``.
+
+        A privatizable array is ``P`` regardless of its access modes.
+        """
+        name = array if isinstance(array, str) else array.name
+        if name in self.privatizable:
+            return "P"
+        kinds = {acc.ref.kind for acc in self.accesses(name)}
+        if not kinds:
+            raise KeyError(f"array {name} not accessed in phase {self.name}")
+        if kinds == {AccessKind.READ}:
+            return "R"
+        if kinds == {AccessKind.WRITE}:
+            return "W"
+        return "R/W"
+
+    def loop_context(self, base: Optional[Context] = None) -> Context:
+        """Extend ``base`` with this phase's loop-variable ranges.
+
+        For non-perfect nests we conservatively push every loop of the
+        phase, outermost-first (the bound-elimination order only needs
+        inner-before-outer dependencies, which nesting guarantees).
+        """
+        ctx = base.copy() if base is not None else Context()
+        for loop in self.all_loops():
+            ctx.push_loop(LoopVar(loop.index, loop.lower, loop.upper))
+        return ctx
+
+    def __str__(self) -> str:
+        return f"Phase({self.name})"
+
+    __repr__ = __str__
+
+
+class Program:
+    """A control-flow-ordered collection of phases.
+
+    ``context`` carries the parameter assumptions (positivity, power-of-
+    two facts) shared by all phases.  The LCG treats ``phases`` as the
+    (linear) control-flow order; cycles induced by outer sequential loops
+    around groups of phases are expressed via ``repeat`` markers on the
+    program (see :mod:`repro.locality.lcg`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context: Optional[Context] = None,
+    ):
+        self.name = name
+        self.context = context or Context()
+        self.phases: list[Phase] = []
+        self.arrays: dict[str, ArrayDecl] = {}
+        self.parameters: dict[str, Symbol] = {}
+
+    def add_parameter(self, name: str, *, positive: bool = True) -> Symbol:
+        s = sym(name)
+        self.parameters[name] = s
+        if positive:
+            self.context.assume_positive(s)
+        return s
+
+    def add_pow2_parameter(self, name: str, exponent_name: str) -> tuple[Symbol, Symbol]:
+        """Declare ``name == 2**exponent_name`` (both returned)."""
+        s = sym(name)
+        e = sym(exponent_name)
+        self.parameters[name] = s
+        self.parameters[exponent_name] = e
+        self.context.assume_pow2(s, e)
+        return s, e
+
+    def declare_array(self, name: str, *dims: ExprLike) -> ArrayDecl:
+        """Declare a (possibly multi-dimensional) array; linear size is
+        the product of extents."""
+        extents = [as_expr(d) for d in dims]
+        size: Expr = as_expr(1)
+        for d in extents:
+            size = size * d
+        decl = ArrayDecl(name=name, size=size, dims=tuple(extents))
+        self.arrays[name] = decl
+        return decl
+
+    def add_phase(self, phase: Phase) -> Phase:
+        self.phases.append(phase)
+        return phase
+
+    def phase(self, name: str) -> Phase:
+        for ph in self.phases:
+            if ph.name == name:
+                return ph
+        raise KeyError(f"no phase named {name}")
+
+    def arrays_in_use(self) -> list[ArrayDecl]:
+        seen: dict[str, ArrayDecl] = {}
+        for ph in self.phases:
+            for arr in ph.arrays():
+                seen.setdefault(arr.name, arr)
+        return list(seen.values())
+
+    def __str__(self) -> str:
+        return f"Program({self.name}, {len(self.phases)} phases)"
+
+    __repr__ = __str__

@@ -1,0 +1,303 @@
+"""Concrete interpretation of loop nests: exact address enumeration.
+
+This is the brute-force oracle the descriptor algebra is validated
+against, and the access-stream generator feeding the DSM simulator: for a
+phase and a concrete parameter binding it enumerates, per parallel
+iteration, every address each reference touches.
+
+The innermost loop level is vectorised with NumPy whenever the subscript
+is linear in the innermost index (constant symbolic stride); non-linear
+occurrences (e.g. the index living in a ``2**L`` exponent) fall back to
+exact per-iteration evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..symbolic import Expr, Symbol
+from .core import AccessKind, ArrayDecl, LoopNode, Phase, PhaseAccess, RefNode
+
+__all__ = [
+    "AccessTrace",
+    "IterationAccesses",
+    "enumerate_phase",
+    "phase_access_set",
+    "iteration_access_set",
+    "reference_addresses",
+]
+
+
+@dataclass
+class AccessTrace:
+    """Addresses touched by one reference (with multiplicity)."""
+
+    ref_label: str
+    array: str
+    kind: AccessKind
+    addresses: np.ndarray  # int64, one entry per dynamic access
+
+
+@dataclass
+class IterationAccesses:
+    """All traces of one parallel iteration (``iteration`` is None for
+    accesses outside the parallel loop)."""
+
+    iteration: Optional[int]
+    traces: list
+
+
+def _as_int(value: Fraction, what: str) -> int:
+    if value.denominator != 1:
+        raise ValueError(f"{what} evaluated to non-integer {value}")
+    return int(value)
+
+
+def _eval_bound(expr: Expr, env: dict) -> int:
+    return _as_int(expr.evalf(env), f"loop bound {expr}")
+
+
+def _subscript_addresses(
+    subscript: Expr, loop: LoopNode, env: dict, lo: int, hi: int
+) -> np.ndarray:
+    """Addresses produced by ``subscript`` as ``loop.index`` sweeps lo..hi."""
+    n = hi - lo + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    name = loop.index.name
+    if loop.index not in subscript.free_symbols():
+        base = _as_int(subscript.evalf(env), f"subscript {subscript}")
+        return np.full(n, base, dtype=np.int64)
+    stride_expr = subscript.subs({loop.index: loop.index + 1}) - subscript
+    if loop.index not in stride_expr.free_symbols():
+        env[name] = Fraction(lo)
+        base = _as_int(subscript.evalf(env), f"subscript {subscript}")
+        stride = _as_int(stride_expr.evalf(env), f"stride of {subscript}")
+        del env[name]
+        return base + stride * np.arange(n, dtype=np.int64)
+    # Non-linear in the innermost index: exact slow path.
+    out = np.empty(n, dtype=np.int64)
+    for offset in range(n):
+        env[name] = Fraction(lo + offset)
+        out[offset] = _as_int(subscript.evalf(env), f"subscript {subscript}")
+    del env[name]
+    return out
+
+
+def _walk(
+    node: LoopNode,
+    env: dict,
+    sink: dict,
+    array: Optional[str],
+) -> None:
+    """Accumulate address chunks for each reference under ``node``."""
+    lo = _eval_bound(node.lower, env)
+    hi = _eval_bound(node.upper, env)
+    if hi < lo:
+        return
+    name = node.index.name
+    # Fast path: a loop whose children are all RefNodes can vectorise
+    # the whole sweep per reference.
+    if all(isinstance(c, RefNode) for c in node.children):
+        for child in node.children:
+            ref = child.ref
+            if array is not None and ref.array.name != array:
+                continue
+            chunk = _subscript_addresses(ref.subscript, node, env, lo, hi)
+            sink.setdefault(id(child), []).append(chunk)
+        return
+    for value in range(lo, hi + 1):
+        env[name] = Fraction(value)
+        for child in node.children:
+            if isinstance(child, RefNode):
+                ref = child.ref
+                if array is not None and ref.array.name != array:
+                    continue
+                addr = _as_int(ref.subscript.evalf(env), f"subscript {ref}")
+                sink.setdefault(id(child), []).append(
+                    np.array([addr], dtype=np.int64)
+                )
+            else:
+                _walk(child, env, sink, array)
+    del env[name]
+
+
+def _collect_refnodes(node: LoopNode, array: Optional[str]) -> list:
+    nodes = []
+    for item in node.walk():
+        if isinstance(item, RefNode):
+            if array is None or item.ref.array.name == array:
+                nodes.append(item)
+    return nodes
+
+
+def _traces_from_sink(refnodes: Sequence[RefNode], sink: dict) -> list:
+    traces = []
+    for rn in refnodes:
+        chunks = sink.get(id(rn), [])
+        if chunks:
+            addresses = np.concatenate(chunks)
+        else:
+            addresses = np.empty(0, dtype=np.int64)
+        traces.append(
+            AccessTrace(
+                ref_label=rn.ref.label or str(rn.ref),
+                array=rn.ref.array.name,
+                kind=rn.ref.kind,
+                addresses=addresses,
+            )
+        )
+    return traces
+
+
+def enumerate_phase(
+    phase: Phase,
+    env: Mapping[str, int],
+    array: Optional[Union[str, ArrayDecl]] = None,
+) -> Iterator[IterationAccesses]:
+    """Yield per-parallel-iteration access traces for a phase.
+
+    For each value ``i`` of the parallel loop one :class:`IterationAccesses`
+    is produced; references not nested under the parallel loop are emitted
+    once with ``iteration=None``.  A phase with no parallel loop yields a
+    single ``iteration=None`` record covering everything.
+    """
+    array_name = None
+    if array is not None:
+        array_name = array if isinstance(array, str) else array.name
+    base_env: dict = {k: Fraction(v) for k, v in env.items()}
+    par = phase.parallel_loop
+
+    if par is None:
+        sink: dict = {}
+        refnodes: list = []
+        for root in phase.roots:
+            refnodes.extend(_collect_refnodes(root, array_name))
+            _walk(root, base_env, sink, array_name)
+        yield IterationAccesses(iteration=None, traces=_traces_from_sink(refnodes, sink))
+        return
+
+    # Split the tree at the parallel loop: everything outside it runs once.
+    outside_sink: dict = {}
+    outside_refs: list = []
+
+    def run_outside(node: LoopNode, env: dict) -> None:
+        """Interpret loops that *enclose or avoid* the parallel loop."""
+        if node is par:
+            return  # handled per-iteration below
+        lo = _eval_bound(node.lower, env)
+        hi = _eval_bound(node.upper, env)
+        contains_par = any(
+            isinstance(item, LoopNode) and item is par for item in node.walk()
+        )
+        if not contains_par:
+            outside_refs.extend(_collect_refnodes(node, array_name))
+            _walk(node, env, outside_sink, array_name)
+            return
+        # Loop encloses the parallel loop: the paper's model puts phases
+        # inside outer DO loops; we require the parallel loop itself to be
+        # outermost *within the phase* for per-iteration splitting.
+        raise ValueError(
+            f"phase {phase.name}: parallel loop must be the outermost loop "
+            "of its nest for iteration-level enumeration"
+        )
+
+    for root in phase.roots:
+        if root is par:
+            continue
+        run_outside(root, base_env)
+    if outside_refs:
+        yield IterationAccesses(
+            iteration=None, traces=_traces_from_sink(outside_refs, outside_sink)
+        )
+
+    lo = _eval_bound(par.lower, base_env)
+    hi = _eval_bound(par.upper, base_env)
+    par_refnodes = []
+    for child in par.children:
+        if isinstance(child, RefNode):
+            if array_name is None or child.ref.array.name == array_name:
+                par_refnodes.append(child)
+        else:
+            par_refnodes.extend(_collect_refnodes(child, array_name))
+    name = par.index.name
+    for value in range(lo, hi + 1):
+        base_env[name] = Fraction(value)
+        sink = {}
+        for child in par.children:
+            if isinstance(child, RefNode):
+                ref = child.ref
+                if array_name is not None and ref.array.name != array_name:
+                    continue
+                addr = _as_int(ref.subscript.evalf(base_env), f"subscript {ref}")
+                sink.setdefault(id(child), []).append(
+                    np.array([addr], dtype=np.int64)
+                )
+            else:
+                _walk(child, base_env, sink, array_name)
+        yield IterationAccesses(
+            iteration=value, traces=_traces_from_sink(par_refnodes, sink)
+        )
+    del base_env[name]
+
+
+def phase_access_set(
+    phase: Phase, env: Mapping[str, int], array: Union[str, ArrayDecl]
+) -> np.ndarray:
+    """Sorted unique addresses of ``array`` touched anywhere in the phase."""
+    chunks = [
+        tr.addresses
+        for ia in enumerate_phase(phase, env, array)
+        for tr in ia.traces
+    ]
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(chunks))
+
+
+def iteration_access_set(
+    phase: Phase,
+    env: Mapping[str, int],
+    array: Union[str, ArrayDecl],
+    iteration: int,
+) -> np.ndarray:
+    """Sorted unique addresses touched by one parallel iteration."""
+    for ia in enumerate_phase(phase, env, array):
+        if ia.iteration == iteration:
+            chunks = [tr.addresses for tr in ia.traces]
+            if not chunks:
+                return np.empty(0, dtype=np.int64)
+            return np.unique(np.concatenate(chunks))
+    return np.empty(0, dtype=np.int64)
+
+
+def reference_addresses(
+    access: PhaseAccess, env: Mapping[str, int]
+) -> np.ndarray:
+    """All addresses (with multiplicity) of one reference over its nest."""
+    base_env: dict = {k: Fraction(v) for k, v in env.items()}
+
+    def recurse(depth: int) -> list:
+        loop = access.loops[depth]
+        lo = _eval_bound(loop.lower, base_env)
+        hi = _eval_bound(loop.upper, base_env)
+        if hi < lo:
+            return []
+        if depth == len(access.loops) - 1:
+            return [_subscript_addresses(access.ref.subscript, loop, base_env, lo, hi)]
+        chunks: list = []
+        name = loop.index.name
+        for value in range(lo, hi + 1):
+            base_env[name] = Fraction(value)
+            chunks.extend(recurse(depth + 1))
+        del base_env[name]
+        return chunks
+
+    chunks = recurse(0)
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)

@@ -1,0 +1,99 @@
+"""Array linearisation and loop-nest normalization utilities.
+
+§2 of the paper assumes "loops have been normalized and all arrays have
+been converted into one-dimensional arrays as traditionally done by
+conventional compilers".  The builder normalizes loops as they are
+opened; this module provides the column-major array linearisation and a
+standalone normalizer for loop trees built by the parser (which accepts
+arbitrary lower bounds and steps).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..symbolic import Expr, ExprLike, as_expr
+from .core import ArrayDecl, LoopNode, Phase, RefNode, Reference
+
+__all__ = ["linearize", "normalize_phase", "normalize_loop"]
+
+
+def linearize(array: ArrayDecl, subscripts: Sequence[Expr]) -> Expr:
+    """Column-major (Fortran) linearisation of a subscript tuple.
+
+    ``X(i, j, k)`` with extents ``(n1, n2, n3)`` lowers to
+    ``i + n1*j + n1*n2*k``.  One-dimensional references pass through.
+    All subscripts are zero-based (normalization happens upstream).
+    """
+    if len(subscripts) == 1:
+        return as_expr(subscripts[0])
+    if len(subscripts) != len(array.dims):
+        raise ValueError(
+            f"{array.name}: {len(subscripts)} subscripts for "
+            f"{len(array.dims)}-dimensional array"
+        )
+    linear: Expr = as_expr(0)
+    stride: Expr = as_expr(1)
+    for sub, extent in zip(subscripts, array.dims):
+        linear = linear + as_expr(sub) * stride
+        stride = stride * extent
+    return linear
+
+
+def normalize_loop(node: LoopNode, lower: ExprLike = 0, step: int = 1) -> LoopNode:
+    """Return a copy of ``node`` normalized to ``0..trip-1`` with unit step.
+
+    Subscript expressions and inner loop bounds referring to the index are
+    rewritten in terms of the normalized index: the original induction
+    value ``lower + step*i`` is substituted for the index everywhere in
+    the subtree.
+    """
+    lower_e = as_expr(lower)
+    if step == 0:
+        raise ValueError("loop step must be nonzero")
+    if step == 1 and lower_e == node.lower and node.lower.is_zero:
+        rewritten_children = [_normalize_child(c) for c in node.children]
+        return LoopNode(index=node.index, lower=node.lower, upper=node.upper,
+                        parallel=node.parallel, children=rewritten_children)
+    # General case: i runs lower..upper step s  ->  i' runs 0..(upper-lower)/s
+    trip_minus_1 = (node.upper - node.lower) / step
+    original = node.lower + step * node.index
+    mapping = {node.index: original}
+
+    def rewrite(child):
+        if isinstance(child, RefNode):
+            ref = child.ref
+            return RefNode(Reference(array=ref.array,
+                                     subscript=ref.subscript.subs(mapping),
+                                     kind=ref.kind, label=ref.label))
+        sub = LoopNode(index=child.index,
+                       lower=child.lower.subs(mapping),
+                       upper=child.upper.subs(mapping),
+                       parallel=child.parallel,
+                       children=[rewrite(c) for c in child.children])
+        return _normalize_child(sub)
+
+    return LoopNode(index=node.index, lower=as_expr(0), upper=trip_minus_1,
+                    parallel=node.parallel,
+                    children=[rewrite(c) for c in node.children])
+
+
+def _normalize_child(child):
+    if isinstance(child, RefNode):
+        return child
+    if child.lower.is_zero:
+        return LoopNode(index=child.index, lower=child.lower,
+                        upper=child.upper, parallel=child.parallel,
+                        children=[_normalize_child(c) for c in child.children])
+    return normalize_loop(child, lower=child.lower)
+
+
+def normalize_phase(phase: Phase) -> Phase:
+    """Normalize every loop of a phase (identity for builder output)."""
+    roots = []
+    for root in phase.roots:
+        if root.lower.is_zero:
+            roots.append(_normalize_child(root))
+        else:
+            roots.append(normalize_loop(root, lower=root.lower))
+    return Phase(phase.name, roots=roots, privatizable=phase.privatizable)

@@ -1,0 +1,24 @@
+"""Mini-Fortran front end: tokenize -> parse -> lower to the IR.
+
+The entry point is :func:`parse_and_lower`, which turns a source string
+written in the dialect documented in :mod:`repro.ir.parser.lexer` into
+an analysis-ready :class:`repro.ir.Program`.
+"""
+
+from .lexer import LexError, Token, TokenKind, tokenize
+from .ast_nodes import ProgramDef
+from .parser import ParseError, parse_program
+from .lower import LoweringError, lower_program, parse_and_lower
+
+__all__ = [
+    "LexError",
+    "LoweringError",
+    "ParseError",
+    "ProgramDef",
+    "Token",
+    "TokenKind",
+    "lower_program",
+    "parse_and_lower",
+    "parse_program",
+    "tokenize",
+]

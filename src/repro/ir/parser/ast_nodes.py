@@ -1,0 +1,151 @@
+"""AST for the mini-Fortran dialect (pre-lowering representation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+__all__ = [
+    "NumberLit",
+    "Name",
+    "BinOp",
+    "UnaryOp",
+    "Call",
+    "ArrayRef",
+    "AstExpr",
+    "ParamDecl",
+    "ArrayDecl",
+    "Assign",
+    "DoLoop",
+    "PrivateDecl",
+    "PhaseDef",
+    "ProgramDef",
+    "CallStmt",
+    "SubroutineDef",
+]
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Name:
+    ident: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * / **
+    left: "AstExpr"
+    right: "AstExpr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # -
+    operand: "AstExpr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    """A function call — opaque arithmetic; its array refs are reads."""
+
+    func: str
+    args: tuple
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``X(e1, e2, ...)`` where X was declared an array."""
+
+    array: str
+    subscripts: tuple
+    line: int = 0
+
+
+AstExpr = Union[NumberLit, Name, BinOp, UnaryOp, Call, ArrayRef]
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    name: str
+    pow2_exponent: Optional[str] = None  # param P = 2**p
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    name: str
+    extents: tuple  # tuple[AstExpr, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = rhs``: one write plus the reads mentioned anywhere."""
+
+    target: ArrayRef
+    rhs: AstExpr
+    line: int = 0
+
+
+@dataclass
+class DoLoop:
+    index: str
+    lower: AstExpr
+    upper: AstExpr
+    step: Optional[AstExpr]
+    parallel: bool
+    body: list = field(default_factory=list)  # DoLoop | Assign
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CallStmt:
+    """``call sub(arg, ...)`` — inline-expanded at lowering (the
+    paper's inter-procedural analysis via LMAD translation)."""
+
+    name: str
+    args: tuple  # tuple[AstExpr | Name]
+    line: int = 0
+
+
+@dataclass
+class SubroutineDef:
+    """A subroutine with dummy arguments.
+
+    ``arrays`` may *redeclare a dummy argument's shape* — that is the
+    array-reshaping-at-call-boundary case the paper highlights; locals
+    declared here are private to each inlined instance conceptually but
+    lowered against the caller's namespace.
+    """
+
+    name: str
+    params: tuple  # tuple[str, ...] dummy argument names
+    arrays: list = field(default_factory=list)  # ArrayDecl (dummy shapes)
+    body: list = field(default_factory=list)  # DoLoop | CallStmt
+    line: int = 0
+
+
+@dataclass
+class PhaseDef:
+    name: str
+    body: list = field(default_factory=list)  # DoLoop (roots)
+    private: list = field(default_factory=list)  # array names
+    line: int = 0
+
+
+@dataclass
+class ProgramDef:
+    name: str
+    params: list = field(default_factory=list)
+    arrays: list = field(default_factory=list)
+    phases: list = field(default_factory=list)
+    subroutines: list = field(default_factory=list)

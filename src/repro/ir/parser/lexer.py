@@ -1,0 +1,136 @@
+"""Tokenizer for the mini-Fortran input dialect.
+
+The front end accepts a small, Fortran-flavoured language sufficient to
+transcribe the paper's code listings (Figure 1 included) directly::
+
+    program tfft2
+      param P = 2**p
+      param Q = 2**q
+      array X(2*P*Q)
+
+      phase F3
+        doall I = 0, Q - 1
+          do L = 1, p
+            do J = 0, P * 2**(-L) - 1
+              do K = 0, 2**(L - 1) - 1
+                X(2*P*I + 2**(L-1)*J + K + P/2) = &
+                    f(X(2*P*I + 2**(L-1)*J + K))
+              end do
+            end do
+          end do
+        end doall
+      end phase
+    end program
+
+Keywords are case-insensitive; ``!`` starts a comment; ``&`` at end of
+line continues it; newlines are significant (statement separators).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["TokenKind", "Token", "LexError", "tokenize"]
+
+KEYWORDS = {
+    "program", "end", "param", "array", "phase", "do", "doall",
+    "enddo", "endphase", "endprogram", "private", "step",
+    "subroutine", "endsubroutine", "call",
+}
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    OP = "op"  # + - * / ** ( ) , =
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_kw(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in words
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.NEWLINE:
+            return "<newline>"
+        return self.text
+
+
+class LexError(SyntaxError):
+    """Tokenization failure with line/column context."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t]+)
+    | (?P<comment>![^\n]*)
+    | (?P<cont>&[ \t]*(?:![^\n]*)?\n)
+    | (?P<newline>\n)
+    | (?P<number>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<dstar>\*\*)
+    | (?P<op>[+\-*/(),=])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize the whole source; raises :class:`LexError` on junk."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            col = pos - line_start + 1
+            raise LexError(
+                f"line {line}, column {col}: unexpected character "
+                f"{source[pos]!r}"
+            )
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        col = m.start() - line_start + 1
+        if kind == "ws" or kind == "comment":
+            continue
+        if kind == "cont":
+            # continuation: swallow the newline entirely
+            line += 1
+            line_start = pos
+            continue
+        if kind == "newline":
+            if tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+                tokens.append(Token(TokenKind.NEWLINE, "\n", line, col))
+            line += 1
+            line_start = pos
+            continue
+        if kind == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, line, col))
+        elif kind == "ident":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, line, col))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, line, col))
+        elif kind == "dstar":
+            tokens.append(Token(TokenKind.OP, "**", line, col))
+        else:
+            tokens.append(Token(TokenKind.OP, text, line, col))
+    if tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+        tokens.append(Token(TokenKind.NEWLINE, "\n", line, 0))
+    tokens.append(Token(TokenKind.EOF, "", line, 0))
+    return tokens

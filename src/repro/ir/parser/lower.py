@@ -1,0 +1,291 @@
+"""Lowering: mini-Fortran AST -> the analysis IR.
+
+Converts declarations to parameters/arrays (with the power-of-two facts
+registered on the program context), expressions to canonical
+:mod:`repro.symbolic` expressions, loops to normalized :class:`LoopNode`
+trees (via the builder's normalization) and assignments to write/read
+references — reads are harvested from every :class:`ArrayRef` occurring
+in the right-hand side, including inside opaque calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...symbolic import Expr, as_expr, pow2, sym
+from ..builder import PhaseBuilder, ProgramBuilder
+from ..core import Program
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    AstExpr,
+    BinOp,
+    Call,
+    CallStmt,
+    DoLoop,
+    Name,
+    NumberLit,
+    PhaseDef,
+    ProgramDef,
+    SubroutineDef,
+    UnaryOp,
+)
+from .parser import ParseError, parse_program
+
+__all__ = ["LoweringError", "lower_program", "parse_and_lower"]
+
+
+class LoweringError(ValueError):
+    """Semantic failure while lowering the AST."""
+
+
+def _collect_reads(expr: AstExpr, out: list) -> None:
+    if isinstance(expr, ArrayRef):
+        out.append(expr)
+        for sub in expr.subscripts:
+            _collect_reads(sub, out)
+    elif isinstance(expr, BinOp):
+        _collect_reads(expr.left, out)
+        _collect_reads(expr.right, out)
+    elif isinstance(expr, UnaryOp):
+        _collect_reads(expr.operand, out)
+    elif isinstance(expr, Call):
+        for a in expr.args:
+            _collect_reads(a, out)
+
+
+class _Lowerer:
+    def __init__(self, ast: ProgramDef):
+        self.ast = ast
+        self.builder = ProgramBuilder(ast.name)
+        self.env: Dict[str, Expr] = {}
+        self.arrays: Dict[str, object] = {}
+        self.subroutines: Dict[str, SubroutineDef] = {
+            sub.name: sub for sub in ast.subroutines
+        }
+        self._inline_depth = 0
+        self._call_counter = 0
+        self._suffix = ""
+
+    def lower_expr(self, expr: AstExpr) -> Expr:
+        if isinstance(expr, NumberLit):
+            return as_expr(expr.value)
+        if isinstance(expr, Name):
+            return self.env.get(expr.ident, sym(expr.ident))
+        if isinstance(expr, UnaryOp):
+            return -self.lower_expr(expr.operand)
+        if isinstance(expr, BinOp):
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left / right
+            if expr.op == "**":
+                if left == as_expr(2):
+                    return pow2(right)
+                try:
+                    return left ** right.as_int()
+                except ValueError:
+                    raise LoweringError(
+                        f"line {expr.line}: only integer exponents or "
+                        f"base-2 powers are supported, got "
+                        f"{left}**{right}"
+                    ) from None
+            raise LoweringError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, Call):
+            raise LoweringError(
+                f"line {expr.line}: call {expr.func!r} cannot appear inside "
+                "a subscript or bound expression"
+            )
+        if isinstance(expr, ArrayRef):
+            raise LoweringError(
+                f"line {expr.line}: array reference {expr.array!r} cannot "
+                "appear inside a subscript or bound expression"
+            )
+        raise LoweringError(f"unsupported expression node {expr!r}")
+
+    def lower_decls(self) -> None:
+        for p in self.ast.params:
+            if p.pow2_exponent is not None:
+                value, _ = self.builder.pow2_param(p.name, p.pow2_exponent)
+            else:
+                value = self.builder.param(p.name)
+            self.env[p.name] = value
+        for a in self.ast.arrays:
+            extents = [self.lower_expr(e) for e in a.extents]
+            self.arrays[a.name] = self.builder.array(a.name, *extents)
+
+    def lower_assign(self, ph: PhaseBuilder, stmt: Assign) -> None:
+        reads: list = []
+        _collect_reads(stmt.rhs, reads)
+        # subscripts of the *target* may also read arrays
+        for sub in stmt.target.subscripts:
+            _collect_reads(sub, reads)
+        for ref in reads:
+            ph.read(
+                self.arrays[ref.array],
+                *[self.lower_expr(s) for s in ref.subscripts],
+            )
+        ph.write(
+            self.arrays[stmt.target.array],
+            *[self.lower_expr(s) for s in stmt.target.subscripts],
+        )
+
+    def lower_loop(self, ph: PhaseBuilder, loop: DoLoop) -> None:
+        step = 1
+        if loop.step is not None:
+            step_expr = self.lower_expr(loop.step)
+            try:
+                step = step_expr.as_int()
+            except ValueError:
+                raise LoweringError(
+                    f"line {loop.line}: loop step must be a constant integer"
+                ) from None
+        lower = self.lower_expr(loop.lower)
+        upper = self.lower_expr(loop.upper)
+        symbol_name = loop.index + self._suffix
+        with ph.do(symbol_name, lower, upper, step=step,
+                   parallel=loop.parallel) as induction:
+            # Within the body the index name denotes the (possibly
+            # normalized) induction value expression.
+            saved = self.env.get(loop.index)
+            self.env[loop.index] = induction
+            try:
+                for stmt in loop.body:
+                    if isinstance(stmt, DoLoop):
+                        self.lower_loop(ph, stmt)
+                    elif isinstance(stmt, CallStmt):
+                        self.lower_call(ph, stmt)
+                    else:
+                        self.lower_assign(ph, stmt)
+            finally:
+                if saved is None:
+                    del self.env[loop.index]
+                else:
+                    self.env[loop.index] = saved
+
+    def lower_call(self, ph: PhaseBuilder, call: CallStmt) -> None:
+        """Inline-expand a subroutine call.
+
+        This is the paper's inter-procedural step: dummy arrays bind to
+        the caller's (linear) arrays but keep the *callee's declared
+        shape* for subscript linearisation — an ``array A(M, N)``
+        redeclaration of a 1-D actual is exactly the array-reshaping
+        case §1 highlights.  Scalar dummies bind to arbitrary caller
+        expressions; loop indices are freshened per call site.
+        """
+        sub = self.subroutines.get(call.name)
+        if sub is None:
+            raise LoweringError(
+                f"line {call.line}: call to unknown subroutine "
+                f"{call.name!r}"
+            )
+        if len(call.args) != len(sub.params):
+            raise LoweringError(
+                f"line {call.line}: {call.name} expects "
+                f"{len(sub.params)} arguments, got {len(call.args)}"
+            )
+        if self._inline_depth >= 8:
+            raise LoweringError(
+                f"line {call.line}: call nesting too deep (recursion?)"
+            )
+
+        saved_env = dict(self.env)
+        saved_arrays = dict(self.arrays)
+        saved_suffix = self._suffix
+        self._call_counter += 1
+        self._inline_depth += 1
+        self._suffix = f"{saved_suffix}_c{self._call_counter}"
+        try:
+            shape_decls = {a.name: a for a in sub.arrays}
+            # Pass 1: bind scalar dummies (shape declarations of the
+            # array dummies may reference them, regardless of argument
+            # order — trans(A, B, M, N) reshapes A by the later M, N).
+            array_bindings = []
+            for dummy, actual in zip(sub.params, call.args):
+                if (
+                    isinstance(actual, Name)
+                    and actual.ident in saved_arrays
+                ):
+                    array_bindings.append((dummy, saved_arrays[actual.ident]))
+                else:
+                    self.env[dummy] = self.lower_expr(actual)
+            # Pass 2: bind array dummies, applying reshapes.
+            for dummy, base in array_bindings:
+                decl = shape_decls.get(dummy)
+                if decl is not None:
+                    # reshape: callee-declared extents over the actual's
+                    # storage
+                    from ..core import ArrayDecl as IRArrayDecl
+
+                    extents = tuple(
+                        self.lower_expr(e) for e in decl.extents
+                    )
+                    self.arrays[dummy] = IRArrayDecl(
+                        name=base.name, size=base.size, dims=extents
+                    )
+                else:
+                    self.arrays[dummy] = base
+            # callee-local arrays (declared but not dummies) must exist
+            for decl in sub.arrays:
+                if decl.name not in sub.params:
+                    if decl.name not in self.arrays:
+                        extents = tuple(
+                            self.lower_expr(e) for e in decl.extents
+                        )
+                        self.arrays[decl.name] = self.builder.array(
+                            decl.name, *extents
+                        )
+            for stmt in sub.body:
+                if isinstance(stmt, DoLoop):
+                    self.lower_loop(ph, stmt)
+                elif isinstance(stmt, CallStmt):
+                    self.lower_call(ph, stmt)
+                else:
+                    self.lower_assign(ph, stmt)
+        finally:
+            self.env = saved_env
+            # keep any newly created callee-local arrays registered
+            created = {
+                k: v for k, v in self.arrays.items()
+                if k not in saved_arrays and k not in sub.params
+            }
+            self.arrays = saved_arrays
+            self.arrays.update(created)
+            self._suffix = saved_suffix
+            self._inline_depth -= 1
+
+    def lower_phase(self, phase: PhaseDef) -> None:
+        with self.builder.phase(phase.name) as ph:
+            for item in phase.body:
+                if isinstance(item, CallStmt):
+                    self.lower_call(ph, item)
+                else:
+                    self.lower_loop(ph, item)
+            for name in phase.private:
+                if name not in self.arrays:
+                    raise LoweringError(
+                        f"phase {phase.name}: unknown private array {name!r}"
+                    )
+                ph.mark_privatizable(name)
+
+    def run(self) -> Program:
+        self.lower_decls()
+        for phase in self.ast.phases:
+            self.lower_phase(phase)
+        return self.builder.build()
+
+
+def lower_program(ast: ProgramDef) -> Program:
+    """Lower a parsed :class:`ProgramDef` to the analysis IR."""
+    return _Lowerer(ast).run()
+
+
+def parse_and_lower(source: str) -> Program:
+    """One-shot front end: mini-Fortran source -> analysis-ready Program."""
+    return lower_program(parse_program(source))

@@ -1,0 +1,411 @@
+"""Recursive-descent parser for the mini-Fortran dialect.
+
+Grammar (newline-separated statements; keywords case-insensitive)::
+
+    program   :=  "program" IDENT NL (decl | subroutine | phase)*
+                  "end" "program"? NL
+    subroutine:=  "subroutine" IDENT "(" IDENT ("," IDENT)* ")" NL
+                  (arraydecl | loop | call)* "end" "subroutine" NL
+                  -- an array decl naming a dummy argument RESHAPES it
+    decl      :=  "param" IDENT ("=" "2" "**" IDENT)? NL
+               |  "array" IDENT "(" expr ("," expr)* ")" NL
+    phase     :=  "phase" IDENT NL (loop | private)* endphase NL
+    private   :=  "private" IDENT ("," IDENT)* NL
+    loop      :=  ("do" | "doall") IDENT "=" expr "," expr
+                  ("," "step"? expr)? NL stmt* enddo NL
+    stmt      :=  loop | assign | "call" IDENT "(" expr ("," expr)* ")" NL
+    assign    :=  arrayref "=" expr NL
+    expr      :=  term (("+" | "-") term)*
+    term      :=  power (("*" | "/") power)*
+    power     :=  unary ("**" power)?            -- right associative
+    unary     :=  "-" unary | atom
+    atom      :=  NUMBER | IDENT | IDENT "(" expr ("," expr)* ")"
+               |  "(" expr ")"
+
+``IDENT(...)`` parses as an :class:`ArrayRef` when the name was declared
+with ``array``, else as an opaque :class:`Call` (intrinsics like
+``f(...)`` on right-hand sides).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast_nodes import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    AstExpr,
+    BinOp,
+    Call,
+    CallStmt,
+    DoLoop,
+    Name,
+    NumberLit,
+    ParamDecl,
+    PhaseDef,
+    ProgramDef,
+    SubroutineDef,
+    UnaryOp,
+)
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = ["ParseError", "parse_program"]
+
+
+class ParseError(SyntaxError):
+    """Parse failure with token context."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.array_names: set[str] = set()
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(f"line {tok.line}: {message} (got {tok})")
+
+    def expect_op(self, op: str) -> Token:
+        tok = self.peek()
+        if tok.kind is TokenKind.OP and tok.text == op:
+            return self.advance()
+        raise self.error(f"expected {op!r}")
+
+    def expect_kw(self, *words: str) -> Token:
+        tok = self.peek()
+        if tok.is_kw(*words):
+            return self.advance()
+        raise self.error(f"expected {' or '.join(words)}")
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind is TokenKind.IDENT:
+            return self.advance()
+        raise self.error("expected identifier")
+
+    def expect_newline(self) -> None:
+        tok = self.peek()
+        if tok.kind is TokenKind.NEWLINE:
+            self.advance()
+            return
+        if tok.kind is TokenKind.EOF:
+            return
+        raise self.error("expected end of line")
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind is TokenKind.NEWLINE:
+            self.advance()
+
+    def at_op(self, op: str) -> bool:
+        tok = self.peek()
+        return tok.kind is TokenKind.OP and tok.text == op
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> AstExpr:
+        left = self.parse_term()
+        while self.at_op("+") or self.at_op("-"):
+            op = self.advance().text
+            right = self.parse_term()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_term(self) -> AstExpr:
+        left = self.parse_power()
+        while self.at_op("*") or self.at_op("/"):
+            op = self.advance().text
+            right = self.parse_power()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_power(self) -> AstExpr:
+        base = self.parse_unary()
+        if self.at_op("**"):
+            self.advance()
+            exponent = self.parse_power()  # right associative
+            return BinOp("**", base, exponent)
+        return base
+
+    def parse_unary(self) -> AstExpr:
+        if self.at_op("-"):
+            line = self.advance().line
+            return UnaryOp("-", self.parse_unary(), line)
+        if self.at_op("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_atom()
+
+    def parse_atom(self) -> AstExpr:
+        tok = self.peek()
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            return NumberLit(int(tok.text), tok.line)
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            if self.at_op("("):
+                self.advance()
+                args = [self.parse_expr()]
+                while self.at_op(","):
+                    self.advance()
+                    args.append(self.parse_expr())
+                self.expect_op(")")
+                if tok.text in self.array_names:
+                    return ArrayRef(tok.text, tuple(args), tok.line)
+                return Call(tok.text, tuple(args), tok.line)
+            return Name(tok.text, tok.line)
+        if self.at_op("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        raise self.error("expected expression")
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_loop(self) -> DoLoop:
+        kw = self.expect_kw("do", "doall")
+        parallel = kw.text == "doall"
+        index = self.expect_ident().text
+        self.expect_op("=")
+        lower = self.parse_expr()
+        self.expect_op(",")
+        upper = self.parse_expr()
+        step: Optional[AstExpr] = None
+        if self.at_op(","):
+            self.advance()
+            if self.peek().is_kw("step"):
+                self.advance()
+            step = self.parse_expr()
+        self.expect_newline()
+        body: list = []
+        while True:
+            self.skip_newlines()
+            tok = self.peek()
+            if tok.is_kw("enddo"):
+                self.advance()
+                break
+            if tok.is_kw("end"):
+                self.advance()
+                nxt = self.peek()
+                if nxt.is_kw("do", "doall"):
+                    self.advance()
+                    break
+                raise self.error("expected 'end do' to close the loop")
+            body.append(self.parse_statement())
+        self.expect_newline()
+        return DoLoop(
+            index=index, lower=lower, upper=upper, step=step,
+            parallel=parallel, body=body, line=kw.line,
+        )
+
+    def parse_call(self) -> CallStmt:
+        kw = self.expect_kw("call")
+        name = self.expect_ident().text
+        self.expect_op("(")
+        args = [self.parse_expr()]
+        while self.at_op(","):
+            self.advance()
+            args.append(self.parse_expr())
+        self.expect_op(")")
+        self.expect_newline()
+        return CallStmt(name=name, args=tuple(args), line=kw.line)
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.is_kw("do", "doall"):
+            return self.parse_loop()
+        if tok.is_kw("call"):
+            return self.parse_call()
+        if tok.kind is TokenKind.IDENT:
+            target = self.parse_atom()
+            if not isinstance(target, ArrayRef):
+                raise self.error(
+                    f"assignment target {tok.text!r} is not a declared array"
+                )
+            self.expect_op("=")
+            rhs = self.parse_expr()
+            self.expect_newline()
+            return Assign(target=target, rhs=rhs, line=tok.line)
+        raise self.error("expected DO loop or assignment")
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_phase(self) -> PhaseDef:
+        kw = self.expect_kw("phase")
+        name = self.expect_ident().text
+        self.expect_newline()
+        phase = PhaseDef(name=name, line=kw.line)
+        while True:
+            self.skip_newlines()
+            tok = self.peek()
+            if tok.is_kw("endphase"):
+                self.advance()
+                break
+            if tok.is_kw("end"):
+                self.advance()
+                if self.peek().is_kw("phase"):
+                    self.advance()
+                    break
+                raise self.error("expected 'end phase'")
+            if tok.is_kw("private"):
+                self.advance()
+                phase.private.append(self.expect_ident().text)
+                while self.at_op(","):
+                    self.advance()
+                    phase.private.append(self.expect_ident().text)
+                self.expect_newline()
+                continue
+            if tok.is_kw("do", "doall"):
+                phase.body.append(self.parse_loop())
+                continue
+            if tok.is_kw("call"):
+                phase.body.append(self.parse_call())
+                continue
+            raise self.error(
+                "expected loop, call, 'private' or 'end phase'"
+            )
+        self.expect_newline()
+        return phase
+
+    def parse_subroutine(self) -> SubroutineDef:
+        kw = self.expect_kw("subroutine")
+        name = self.expect_ident().text
+        self.expect_op("(")
+        params = [self.expect_ident().text]
+        while self.at_op(","):
+            self.advance()
+            params.append(self.expect_ident().text)
+        self.expect_op(")")
+        self.expect_newline()
+        sub = SubroutineDef(name=name, params=tuple(params), line=kw.line)
+        # Inside the body any dummy argument may appear in reference
+        # position (scalar dummies simply never do); the binding is
+        # scoped to this subroutine.
+        saved_names = set(self.array_names)
+        self.array_names.update(params)
+        try:
+            while True:
+                self.skip_newlines()
+                tok = self.peek()
+                if tok.is_kw("endsubroutine"):
+                    self.advance()
+                    break
+                if tok.is_kw("end"):
+                    self.advance()
+                    if self.peek().is_kw("subroutine"):
+                        self.advance()
+                        break
+                    raise self.error("expected 'end subroutine'")
+                if tok.is_kw("array"):
+                    self.advance()
+                    aname = self.expect_ident().text
+                    self.expect_op("(")
+                    extents = [self.parse_expr()]
+                    while self.at_op(","):
+                        self.advance()
+                        extents.append(self.parse_expr())
+                    self.expect_op(")")
+                    self.array_names.add(aname)
+                    sub.arrays.append(
+                        ArrayDecl(aname, tuple(extents), tok.line)
+                    )
+                    self.expect_newline()
+                    continue
+                if tok.is_kw("do", "doall"):
+                    sub.body.append(self.parse_loop())
+                    continue
+                if tok.is_kw("call"):
+                    sub.body.append(self.parse_call())
+                    continue
+                raise self.error(
+                    "expected declaration, loop, call or 'end subroutine'"
+                )
+        finally:
+            # callee-local array declarations stay visible (their
+            # storage is created at first inlining); dummy names vanish
+            locals_declared = {a.name for a in sub.arrays}
+            self.array_names = saved_names | (
+                locals_declared - set(params)
+            )
+        self.expect_newline()
+        return sub
+
+    def parse_program(self) -> ProgramDef:
+        self.skip_newlines()
+        self.expect_kw("program")
+        name = self.expect_ident().text
+        self.expect_newline()
+        prog = ProgramDef(name=name)
+        while True:
+            self.skip_newlines()
+            tok = self.peek()
+            if tok.is_kw("endprogram"):
+                self.advance()
+                break
+            if tok.is_kw("end"):
+                self.advance()
+                if self.peek().is_kw("program"):
+                    self.advance()
+                break
+            if tok.is_kw("param"):
+                self.advance()
+                pname = self.expect_ident().text
+                exponent = None
+                if self.at_op("="):
+                    self.advance()
+                    two = self.peek()
+                    if two.kind is TokenKind.NUMBER and two.text == "2":
+                        self.advance()
+                        self.expect_op("**")
+                        exponent = self.expect_ident().text
+                    else:
+                        raise self.error(
+                            "only 'param NAME = 2**exp' initialisers are "
+                            "supported"
+                        )
+                prog.params.append(ParamDecl(pname, exponent, tok.line))
+                self.expect_newline()
+                continue
+            if tok.is_kw("array"):
+                self.advance()
+                aname = self.expect_ident().text
+                self.expect_op("(")
+                extents = [self.parse_expr()]
+                while self.at_op(","):
+                    self.advance()
+                    extents.append(self.parse_expr())
+                self.expect_op(")")
+                self.array_names.add(aname)
+                prog.arrays.append(
+                    ArrayDecl(aname, tuple(extents), tok.line)
+                )
+                self.expect_newline()
+                continue
+            if tok.is_kw("phase"):
+                prog.phases.append(self.parse_phase())
+                continue
+            if tok.is_kw("subroutine"):
+                prog.subroutines.append(self.parse_subroutine())
+                continue
+            if tok.kind is TokenKind.EOF:
+                break
+            raise self.error("expected declaration, phase or 'end program'")
+        return prog
+
+
+def parse_program(source: str) -> ProgramDef:
+    """Parse mini-Fortran source into a :class:`ProgramDef` AST."""
+    return _Parser(tokenize(source)).parse_program()

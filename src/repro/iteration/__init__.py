@@ -1,0 +1,22 @@
+"""Iteration descriptors, upper limits, memory gaps and storage symmetry."""
+
+from .iterdesc import IDRow, IterationDescriptor
+from .symmetry import (
+    StorageSymmetry,
+    analyze_symmetry,
+    iteration_overlap_distance,
+    reverse_distance,
+    row_overlap_distance,
+    shifted_distance,
+)
+
+__all__ = [
+    "IDRow",
+    "IterationDescriptor",
+    "StorageSymmetry",
+    "analyze_symmetry",
+    "iteration_overlap_distance",
+    "reverse_distance",
+    "row_overlap_distance",
+    "shifted_distance",
+]

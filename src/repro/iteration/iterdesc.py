@@ -1,0 +1,235 @@
+"""Iteration Descriptors (IDs) — §3, plus upper limits and memory gaps (§4.2).
+
+The ID ``I^k(X, i)`` describes the superset of elements of ``X`` accessed
+by the i-th iteration of the phase's parallel loop.  It is derived from
+the PD by splitting out the parallel dimension: each row keeps its
+sequential dims ``(B, delta_B)`` and gains the *extended offset*
+``tau_B(j, i) = tau_j + i * delta_P(j)`` (for a descending parallel
+dimension the offset walks down from the top instead).
+
+On top of the ID this module computes the two §4.2 quantities:
+
+* the **upper limit** ``UL(I^k(X, i))`` — the farthest memory position of
+  the iteration's sub-region — and its chunk form ``UL(I, i, p)`` for
+  ``p`` consecutive iterations, and
+* the **memory gap** ``h^k`` — the hole between the upper limit of
+  iteration ``i`` and the base of iteration ``i+1`` (clamped at zero for
+  interleaved patterns whose iterations overlap or abut).
+
+Both are what the balanced-locality condition consumes; for a phase with
+an ascending single-stride structure the *balanced value*
+
+    UL(I(0), p) + h + 1
+
+is affine in the chunk size ``p``, which is how paper Eq. 4
+(``p_2 + 2*Q*P - P = 2*P*p_3``) falls out of the framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..symbolic import (
+    Context,
+    Expr,
+    ZERO,
+    as_expr,
+    smax,
+    smin,
+    sym,
+)
+from ..descriptors.ard import ARD, Dim
+from ..descriptors.pd import PhaseDescriptor
+
+__all__ = ["IDRow", "IterationDescriptor"]
+
+
+@dataclass(frozen=True)
+class IDRow:
+    """One term of an iteration descriptor.
+
+    ``base0`` is the region base at iteration 0; ``delta_p`` the parallel
+    stride (``ZERO`` when the row does not involve the parallel index —
+    every iteration then touches the same region); ``sign_p`` its
+    direction; ``count_p`` the parallel trip count; ``extent`` the span
+    of the sequential dims (``UL - base`` within one iteration);
+    ``seq_dims`` the retained sequential dimensions.
+    """
+
+    base0: Expr
+    delta_p: Expr
+    sign_p: int
+    count_p: Expr
+    extent: Expr
+    seq_dims: tuple
+    label: str = ""
+
+    def base(self, i) -> Expr:
+        """The extended offset τ_B(i): first position of the sub-region."""
+        i = as_expr(i)
+        if self.sign_p >= 0:
+            return self.base0 + i * self.delta_p
+        return self.base0 + (self.count_p - 1 - i) * self.delta_p
+
+    def upper_limit(self, i) -> Expr:
+        """UL of this row at iteration ``i``."""
+        return self.base(i) + self.extent
+
+
+class IterationDescriptor:
+    """The ID of an array in a phase: rows plus UL/gap/balanced queries."""
+
+    def __init__(self, pd: PhaseDescriptor, ctx: Context):
+        self.phase_name = pd.phase_name
+        self.array = pd.array
+        self.ctx = ctx
+        self.rows: list = []
+        for row in pd.rows:
+            if not row.is_self_contained():
+                raise ValueError(
+                    f"PD row {row.label!r} is not self-contained; coalesce "
+                    "before building iteration descriptors"
+                )
+            par = row.parallel_dim
+            self.rows.append(
+                IDRow(
+                    base0=row.tau,
+                    delta_p=par.stride if par is not None else ZERO,
+                    sign_p=par.sign if par is not None else 1,
+                    count_p=par.count if par is not None else as_expr(1),
+                    extent=row.sequential_span(),
+                    seq_dims=row.sequential_dims,
+                    label=row.label,
+                )
+            )
+        if not self.rows:
+            raise ValueError("empty phase descriptor")
+
+    # -- region anchors ------------------------------------------------------
+
+    def base(self, i) -> Expr:
+        """Lowest address touched by iteration ``i`` (min over rows)."""
+        return smin(*[r.base(i) for r in self.rows])
+
+    def upper_limit(self, i) -> Expr:
+        """``UL(I^k(X, i))`` — max over rows of base + extent."""
+        return smax(*[r.upper_limit(i) for r in self.rows])
+
+    def upper_limit_chunk(self, i, p) -> Expr:
+        """``UL(I^k(X, i), p)``: farthest position over iterations i..i+p-1.
+
+        For ascending rows the maximum is realised at the last iteration;
+        descending rows realise it at the first.  Mixed-direction IDs take
+        the max over both anchors.
+        """
+        i, p = as_expr(i), as_expr(p)
+        candidates = []
+        for r in self.rows:
+            at = i + p - 1 if r.sign_p >= 0 else i
+            candidates.append(r.upper_limit(at))
+        return smax(*candidates)
+
+    # -- memory gap -------------------------------------------------------------
+
+    def memory_gap(self) -> Expr:
+        """``h^k``: hole between UL(I(i)) and base(I(i+1)), clamped at 0.
+
+        For the single-row ascending case this is
+        ``max(0, delta_P - extent - 1)`` — TFFT2's F3 gives ``P - ...``,
+        i.e. ``h = 4`` for ``P = 4`` as in Figure 8.  The expression is
+        simplified to a plain number/affine form whenever the context can
+        order the operands.
+        """
+        i = sym("__gap_probe__")
+        raw = self.base(i + 1) - self.upper_limit(i) - 1
+        if i in raw.free_symbols():
+            # Mixed directions: the hole is iteration-dependent; the
+            # conservative gap is zero.
+            return ZERO
+        if self.ctx.is_nonneg(raw):
+            return raw
+        if self.ctx.is_nonneg(-raw):
+            return ZERO
+        return smax(0, raw)
+
+    # -- balanced-value (the LHS/RHS of paper Eq. 1) ------------------------------
+
+    def primary_row(self) -> IDRow:
+        """The ascending row with the smallest base offset.
+
+        Storage symmetry is what makes multi-term IDs tractable: the
+        shifted (Δd) and reverse (Δr) companions of the primary region
+        are pinned to it by constant distances, so the balanced locality
+        condition is stated on the primary region alone and the Δ
+        distances enter the model as *storage constraints* instead
+        (Table 2's ``p*H <= Δd`` / ``p*H <= Δr/2`` rows).  This is how
+        the paper derives ``2*Q*p71 = p81`` for TFFT2's F8 despite F8's
+        mixed ascending/descending references.
+        """
+        ascending = [r for r in self.rows if r.sign_p >= 0]
+        candidates = ascending or self.rows
+        best = candidates[0]
+        for r in candidates[1:]:
+            if self.ctx.is_le(r.base0, best.base0) and r.base0 != best.base0:
+                best = r
+        return best
+
+    def primary_gap(self) -> Expr:
+        """Memory gap of the primary row: ``max(0, delta_P - extent - 1)``."""
+        row = self.primary_row()
+        if row.delta_p.is_zero:
+            return ZERO
+        raw = row.delta_p - row.extent - 1
+        if self.ctx.is_nonneg(raw):
+            return raw
+        if self.ctx.is_nonneg(-raw):
+            return ZERO
+        return smax(0, raw)
+
+    def balanced_value(self, p) -> Expr:
+        """``UL(I(0), p) + h + 1`` as a function of the chunk size ``p``.
+
+        Computed on the primary row (see :meth:`primary_row`); for a
+        uniform ascending region this is affine in ``p`` with slope
+        ``delta_P``:  ``tau + p*delta_P`` when iterations leave gaps,
+        ``tau + (p-1)*delta_P + extent + 1`` when they interleave.
+        """
+        p = as_expr(p)
+        row = self.primary_row()
+        return row.base(p - 1) + row.extent + self.primary_gap() + 1
+
+    def balanced_affine(self, p_symbol) -> Optional[tuple]:
+        """Return ``(a, c)`` with balanced_value(p) == a*p + c, or None.
+
+        ``None`` signals a non-affine balanced value (mixed directions or
+        unresolved min/max), in which case the inter-phase analysis falls
+        back to conservative labelling.
+        """
+        from ..symbolic import affine_coefficients
+
+        value = self.balanced_value(p_symbol)
+        form = affine_coefficients(value, [p_symbol])
+        if not form.exact:
+            return None
+        a = form.coeff(p_symbol)
+        if p_symbol in form.constant.free_symbols():
+            return None
+        return (a, form.constant)
+
+    # -- misc -----------------------------------------------------------------
+
+    @property
+    def parallel_trip(self) -> Expr:
+        """Trip count of the parallel loop (max over rows)."""
+        return smax(*[r.count_p for r in self.rows])
+
+    def __str__(self) -> str:
+        lines = [f"ID[{self.phase_name}, {self.array.name}]"]
+        for r in self.rows:
+            arrow = "+" if r.sign_p >= 0 else "-"
+            lines.append(
+                f"  base0={r.base0} δP={arrow}{r.delta_p} "
+                f"extent={r.extent} trips={r.count_p}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,295 @@
+"""Storage symmetry — the Δ distances of §3 (Figure 5).
+
+Three kinds of symmetry between the sub-regions of an iteration
+descriptor let several ID terms be represented (and allocated) as one:
+
+* **Shifted storage** ``Δd``: two rows with the same access pattern whose
+  regions are displaced by a constant — ``Δd = tau_b - tau_a``.
+* **Reverse storage** ``Δr``: two rows traversed in opposite directions
+  with respect to the parallel index (one ascending, one descending).
+  Their bases mirror around a fixed point: ``base_a(i) + base_b(i)`` is
+  iteration-independent, and that constant is ``Δr``.  It bounds how many
+  iterations can be blocked per processor before the two ends collide —
+  Table 2's ``p*H <= Δr/2`` storage constraints.
+* **Overlapping storage** ``Δs``: partially overlapped sub-regions.  Two
+  flavours are detected: *iteration overlap* (consecutive parallel
+  iterations of one row share ``extent + 1 - delta_P`` elements — the
+  stencil halo case) and *row overlap* (two same-pattern rows shifted by
+  less than their extent share ``extent + 1 - shift`` elements).
+
+The presence of ``Δs`` is exactly the trigger of Theorem 1(c) and of
+Table 1's "Overl." columns; frontier communications update the
+``Δs``-wide halos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..symbolic import Context, Expr
+from .iterdesc import IDRow, IterationDescriptor
+
+__all__ = [
+    "StorageSymmetry",
+    "shifted_distance",
+    "reverse_distance",
+    "iteration_overlap_distance",
+    "row_overlap_distance",
+    "analyze_symmetry",
+]
+
+
+def _same_seq_shape(a: IDRow, b: IDRow) -> bool:
+    if len(a.seq_dims) != len(b.seq_dims):
+        return False
+    return all(
+        da.stride == db.stride and da.count == db.count
+        for da, db in zip(a.seq_dims, b.seq_dims)
+    )
+
+
+def shifted_distance(a: IDRow, b: IDRow, ctx: Context) -> Optional[Expr]:
+    """``Δd``: constant displacement between two same-direction rows."""
+    if a.sign_p != b.sign_p:
+        return None
+    if a.delta_p != b.delta_p or not _same_seq_shape(a, b):
+        return None
+    d = b.base0 - a.base0
+    if d.is_zero:
+        return None
+    if ctx.is_nonneg(d):
+        return d
+    if ctx.is_nonneg(-d):
+        return -d
+    return None
+
+
+def reverse_distance(a: IDRow, b: IDRow, ctx: Context) -> Optional[Expr]:
+    """``Δr``: the mirror constant of an ascending/descending row pair."""
+    if a.sign_p == b.sign_p:
+        return None
+    if a.delta_p != b.delta_p or not _same_seq_shape(a, b):
+        return None
+    probe = __import__("repro.symbolic", fromlist=["sym"]).sym("__rev_probe__")
+    mirror = a.base(probe) + b.base(probe)
+    if probe in mirror.free_symbols():
+        return None
+    return mirror
+
+
+def iteration_overlap_distance(row: IDRow, ctx: Context) -> Optional[Expr]:
+    """``Δs`` between consecutive parallel iterations of one row.
+
+    The regions of iterations ``i`` and ``i+1`` are translates of the
+    sequential lattice by ``delta_P``, so they intersect only when
+    ``delta_P`` lies in the lattice's *difference set* — a dense row
+    (stride 1) overlaps iff ``delta_P <= extent`` (the stencil halo),
+    while an interleaved row (e.g. stride-P columns walked with
+    ``delta_P = 1``) never does.  The test is sound-conservative: when
+    the lattice structure cannot be analysed, overlap is *claimed*
+    (which can only downgrade an edge to communication, never wrongly
+    promise locality).
+    """
+    if row.delta_p.is_zero:
+        # Every iteration touches the identical region: full overlap.
+        return row.extent + 1
+    dp = row.delta_p
+    dims = sorted(
+        row.seq_dims,
+        key=lambda d: 0,  # keep declaration order; refined below
+    )
+    if not dims:
+        # Single-point regions: translates by a positive stride are
+        # disjoint.
+        return None if ctx.is_positive(dp) else row.extent + 1
+
+    # Identify the innermost (smallest-stride) dimension provably.
+    inner = dims[0]
+    for d in dims[1:]:
+        if ctx.is_le(d.stride, inner.stride):
+            inner = d
+    s = inner.stride
+
+    # Disjointness shortcut: 0 < delta_P < smallest lattice step.
+    if ctx.is_positive(dp) and ctx.is_lt(dp, s):
+        return None
+
+    if len(dims) == 1:
+        span = inner.span
+        if ctx.is_multiple_of(dp, s):
+            if ctx.is_le(dp, span):
+                # shared points: count - delta_P/s
+                from ..symbolic import divide_exact
+
+                steps = divide_exact(dp, s)
+                if steps is not None:
+                    return inner.count - steps
+                return span - dp + 1
+            return None  # jumps past the whole row
+        if ctx.is_lt(span, dp):
+            return None
+        # Not provably on/off the lattice: conservative claim.
+        return row.extent + 1
+
+    if len(dims) == 2:
+        outer = dims[0] if dims[1] is inner else dims[1]
+        regular = ctx.is_multiple_of(outer.stride, s) and ctx.is_le(
+            inner.span, outer.stride
+        )
+        if regular:
+            # delta_P below the outer period: intersects iff it lands
+            # within the inner span (mod nothing — r = delta_P).
+            if ctx.is_lt(dp, outer.stride):
+                if ctx.is_multiple_of(dp, s) and ctx.is_le(dp, inner.span):
+                    return row.extent - dp + 1
+                if ctx.is_lt(inner.span, dp):
+                    return None
+            from ..symbolic import divide_exact
+
+            q = divide_exact(dp, outer.stride)
+            if q is not None and ctx.is_integer_valued(q):
+                # aligned jump by whole outer periods
+                if ctx.is_le(dp, outer.span):
+                    return row.extent - dp + 1
+                return None
+        # Irregular two-level lattice: conservative claim when the jump
+        # is within reach of the total span.
+        if ctx.is_lt(row.extent, dp):
+            return None
+        return row.extent + 1
+
+    # Deeper lattices: conservative.
+    if ctx.is_lt(row.extent, dp):
+        return None
+    return row.extent + 1
+
+
+def row_overlap_distance(a: IDRow, b: IDRow, ctx: Context) -> Optional[Expr]:
+    """``Δs`` between two same-pattern rows at the same iteration."""
+    if a.sign_p != b.sign_p or a.delta_p != b.delta_p:
+        return None
+    if not _same_seq_shape(a, b):
+        return None
+    d = b.base0 - a.base0
+    if ctx.is_nonneg(-d):
+        d = -d
+    elif not ctx.is_nonneg(d):
+        return None
+    overlap = a.extent - d + 1
+    if d.is_zero:
+        return None  # identical rows, not "partial" overlap
+    if ctx.is_positive(overlap):
+        return overlap
+    return None
+
+
+@dataclass
+class StorageSymmetry:
+    """All Δ distances found for one iteration descriptor."""
+
+    shifted: list  # list[(row_a_idx, row_b_idx, Expr)]
+    reverse: list  # list[(row_a_idx, row_b_idx, Expr)]
+    overlap: list  # list[(row_a_idx, row_b_idx|None, Expr)] — None = self
+
+    @property
+    def has_overlap(self) -> bool:
+        """∃ Δs — the predicate Theorems 1 and 2 branch on."""
+        return bool(self.overlap)
+
+    @property
+    def has_reverse(self) -> bool:
+        return bool(self.reverse)
+
+    @property
+    def has_shifted(self) -> bool:
+        return bool(self.shifted)
+
+
+def _clusters(rows_idx: list, rows: list, ctx: Context) -> list:
+    """Group same-direction, same-stride rows into contiguous clusters.
+
+    Rows whose regions abut or overlap (``tau_next <= tau_prev +
+    extent_prev + 1``) form one cluster — e.g. the three halo rows of a
+    Jacobi sweep.  Far-apart rows (split-plane copies like TFFT2's
+    ``tau = 0`` and ``tau = PQ``) stay separate.
+    """
+    # Order by base offset using provable comparisons; bail to singleton
+    # clusters if the order cannot be established.
+    ordered = list(rows_idx)
+    try:
+        import functools
+
+        def cmp(i, j):
+            if rows[i].base0 == rows[j].base0:
+                return 0
+            if ctx.is_le(rows[i].base0, rows[j].base0):
+                return -1
+            if ctx.is_le(rows[j].base0, rows[i].base0):
+                return 1
+            raise ValueError("incomparable bases")
+
+        ordered.sort(key=functools.cmp_to_key(cmp))
+    except ValueError:
+        return [[i] for i in rows_idx]
+    clusters = [[ordered[0]]]
+    for idx in ordered[1:]:
+        prev = clusters[-1][-1]
+        gap = rows[idx].base0 - (rows[prev].base0 + rows[prev].extent + 1)
+        if ctx.is_nonneg(-gap):  # abutting or overlapping
+            clusters[-1].append(idx)
+        else:
+            clusters.append([idx])
+    return clusters
+
+
+def analyze_symmetry(idesc: IterationDescriptor, ctx: Context) -> StorageSymmetry:
+    """Detect every Δd / Δr / Δs relation of an iteration descriptor.
+
+    Overlap (Δs) is computed per *cluster* of contiguous same-direction
+    rows: a stencil's halo rows combine into one region whose extent vs.
+    the parallel stride decides the overlap — three unit rows at offsets
+    0, 1, 2 over a unit parallel stride yield Δs = 2 even though no row
+    overlaps individually.
+    """
+    shifted, reverse, overlap = [], [], []
+    rows = idesc.rows
+
+    groups: dict = {}
+    for i, row in enumerate(rows):
+        groups.setdefault((row.sign_p, row.delta_p), []).append(i)
+    for (_, delta_p), idxs in groups.items():
+        for cluster in _clusters(idxs, rows, ctx):
+            first = rows[cluster[0]]
+            if len(cluster) == 1:
+                d = iteration_overlap_distance(first, ctx)
+                if d is not None:
+                    overlap.append((cluster[0], None, d))
+                continue
+            base = first.base0
+            top = base
+            for idx in cluster:
+                candidate = rows[idx].base0 + rows[idx].extent
+                if ctx.is_le(top, candidate):
+                    top = candidate
+            combined_extent = top - base
+            if delta_p.is_zero:
+                overlap.append((cluster[0], None, combined_extent + 1))
+                continue
+            d = combined_extent - delta_p + 1
+            if ctx.is_positive(d):
+                overlap.append((cluster[0], None, d))
+
+    for i in range(len(rows)):
+        for j in range(i + 1, len(rows)):
+            a, b = rows[i], rows[j]
+            dd = shifted_distance(a, b, ctx)
+            if dd is not None:
+                shifted.append((i, j, dd))
+            dr = reverse_distance(a, b, ctx)
+            if dr is not None:
+                reverse.append((i, j, dr))
+            ds = row_overlap_distance(a, b, ctx)
+            if ds is not None:
+                overlap.append((i, j, ds))
+    return StorageSymmetry(shifted=shifted, reverse=reverse, overlap=overlap)

@@ -1,0 +1,22 @@
+"""Memory access locality analysis (§4): Theorems 1–2, Table 1, the LCG."""
+
+from .intra import IntraPhaseResult, check_intra_phase
+from .balanced import BalancedCondition, Feasibility, balanced_condition
+from .inter import EdgeAnalysis, analyze_edge
+from .table1 import ATTRIBUTES, EDGE_LABEL_TABLE, classify_edge
+from .lcg import LCG, build_lcg
+
+__all__ = [
+    "ATTRIBUTES",
+    "BalancedCondition",
+    "EDGE_LABEL_TABLE",
+    "EdgeAnalysis",
+    "Feasibility",
+    "IntraPhaseResult",
+    "LCG",
+    "analyze_edge",
+    "balanced_condition",
+    "build_lcg",
+    "check_intra_phase",
+    "classify_edge",
+]

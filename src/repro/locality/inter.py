@@ -1,0 +1,135 @@
+"""Inter-phase locality — Theorem 2 and edge labelling (§4.2).
+
+Given two phases ``F_k < F_g`` both accessing array ``X``, the edge of
+the LCG between them receives
+
+* ``D`` when either phase privatizes ``X`` (Theorem 2, cases 2–3:
+  un-coupled phases — unless ``F_k`` *writes with overlap*, which
+  Table 1 marks ``C``),
+* ``L`` when the Table 1 entry for the attribute pair, the overlap
+  predicate of ``F_k`` and the balanced-locality verdict says locality is
+  exploitable **and** the intra-phase condition of ``F_k`` holds,
+* ``C`` otherwise.
+
+The returned :class:`EdgeAnalysis` keeps the balanced condition (Table 2
+locality constraints are read straight off it) and the feasibility
+witness (the minimal ``(p_k, p_g)`` blocking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..ir.core import ArrayDecl, Phase
+from ..symbolic import Context, Expr
+from .balanced import BalancedCondition, Feasibility, balanced_condition
+from .intra import IntraPhaseResult, check_intra_phase
+from .table1 import classify_edge
+
+__all__ = ["EdgeAnalysis", "analyze_edge"]
+
+
+@dataclass
+class EdgeAnalysis:
+    """Full record of one LCG edge decision."""
+
+    phase_k: str
+    phase_g: str
+    array: str
+    attr_k: str
+    attr_g: str
+    label: str  # "L" | "C" | "D"
+    balanced: Optional[BalancedCondition]
+    feasibility: Optional[Feasibility]
+    witness: Optional[tuple]
+    intra_k: IntraPhaseResult
+    intra_g: IntraPhaseResult
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.phase_k} -[{self.label}]-> {self.phase_g} "
+            f"({self.array}: {self.attr_k}-{self.attr_g}; {self.reason})"
+        )
+
+
+def analyze_edge(
+    phase_k: Phase,
+    phase_g: Phase,
+    array: ArrayDecl,
+    ctx: Context,
+    H: Expr,
+    env: Optional[Mapping[str, int]] = None,
+    H_value: Optional[int] = None,
+) -> EdgeAnalysis:
+    """Label the LCG edge ``F_k -> F_g`` for ``array``.
+
+    ``H`` is the symbolic processor count used in the load-balance boxes;
+    ``env``/``H_value`` optionally supply a concrete binding for the
+    Diophantine fallback when the symbolic decision is inconclusive (the
+    conservative answer without a binding is ``C``).
+    """
+    intra_k = check_intra_phase(phase_k, array, ctx)
+    intra_g = check_intra_phase(phase_g, array, ctx)
+    attr_k, attr_g = intra_k.attribute, intra_g.attribute
+    overlap_k = intra_k.has_overlap
+
+    def finish(label, bal=None, feas=None, witness=None, reason=""):
+        return EdgeAnalysis(
+            phase_k=phase_k.name,
+            phase_g=phase_g.name,
+            array=array.name,
+            attr_k=attr_k,
+            attr_g=attr_g,
+            label=label,
+            balanced=bal,
+            feasibility=feas,
+            witness=witness,
+            intra_k=intra_k,
+            intra_g=intra_g,
+            reason=reason,
+        )
+
+    # Privatizable on either side: Table 1 decides directly (mostly D;
+    # W-P with overlap is C) — no balanced condition is involved.
+    if attr_k == "P" or attr_g == "P":
+        label = classify_edge(attr_k, attr_g, overlap_k, balanced=True)
+        return finish(
+            label,
+            reason="un-coupled (privatizable)" if label == "D"
+            else "write with overlap into privatizing phase",
+        )
+
+    # Both sides need usable iteration descriptors.
+    if intra_k.iteration_descriptor is None or intra_g.iteration_descriptor is None:
+        return finish("C", reason="descriptor algebra inapplicable")
+
+    halo_slack = None
+    for intra in (intra_k, intra_g):
+        if intra.symmetry is not None and intra.symmetry.overlap:
+            for (_, _, dist) in intra.symmetry.overlap:
+                if halo_slack is None or ctx.is_le(halo_slack, dist):
+                    halo_slack = dist
+    bal = balanced_condition(
+        intra_k.iteration_descriptor,
+        intra_g.iteration_descriptor,
+        ctx,
+        halo_slack=halo_slack,
+    )
+    feas, witness = bal.decide(ctx, H, env=env, H_value=H_value)
+    balanced_holds = feas is Feasibility.FEASIBLE
+
+    label = classify_edge(attr_k, attr_g, overlap_k, balanced_holds)
+    if label == "L" and not intra_k.holds:
+        label = "C"
+        reason = "balanced but intra-phase locality of F_k fails"
+    elif label == "L":
+        reason = f"balanced locality holds ({bal.equation_str()})"
+    elif not balanced_holds:
+        reason = (
+            f"balanced locality {feas.value} ({bal.equation_str()})"
+        )
+    else:
+        reason = "write with overlapping storage in F_k"
+    return finish(label, bal=bal, feas=feas, witness=witness, reason=reason)

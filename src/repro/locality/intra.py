@@ -1,0 +1,156 @@
+"""Intra-phase locality — Theorem 1 (§4.1).
+
+Assuming iteration ``i`` of phase ``F_k`` is scheduled on processor
+``PE`` whose local memory holds the region ``I^k(X, i)``, all accesses to
+``X`` in the phase are local when one of:
+
+a) ``X`` is privatizable in the phase (each PE works on a private copy);
+b) ``X`` is non-privatizable and has **no overlapping storage** (no Δs);
+c) ``X`` is non-privatizable, has overlapping storage, but is **only
+   read** (the replicated halos never need updating).
+
+The result records which case fired (``"a"``, ``"b"``, ``"c"`` or
+``None`` when the theorem gives no guarantee) together with the storage
+symmetry evidence, which Theorem 2 reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.core import AccessKind, ArrayDecl, Phase
+from ..symbolic import Context
+from ..descriptors import compute_pd
+from ..iteration import IterationDescriptor, StorageSymmetry, analyze_symmetry
+
+__all__ = ["IntraPhaseResult", "check_intra_phase"]
+
+
+@dataclass
+class IntraPhaseResult:
+    """Outcome of Theorem 1 for one (phase, array) pair."""
+
+    phase_name: str
+    array_name: str
+    attribute: str  # "R" | "W" | "R/W" | "P"
+    holds: bool
+    case: Optional[str]  # "a" | "b" | "c" | None
+    symmetry: Optional[StorageSymmetry]
+    iteration_descriptor: Optional[IterationDescriptor]
+
+    @property
+    def has_overlap(self) -> bool:
+        return self.symmetry is not None and self.symmetry.has_overlap
+
+    def __str__(self) -> str:
+        verdict = f"case ({self.case})" if self.holds else "NOT guaranteed"
+        return (
+            f"intra-phase locality of {self.array_name} in "
+            f"{self.phase_name} [{self.attribute}]: {verdict}"
+        )
+
+
+def check_intra_phase(
+    phase: Phase,
+    array: ArrayDecl,
+    ctx: Context,
+) -> IntraPhaseResult:
+    """Apply Theorem 1 to ``array`` in ``phase``.
+
+    Results are memoised on the phase object (the LCG builder and the
+    constraint extractor both ask the same questions).
+    """
+    cache = getattr(phase, "_intra_cache", None)
+    if cache is None:
+        cache = {}
+        setattr(phase, "_intra_cache", cache)
+    key = (array.name, id(ctx))
+    if key in cache:
+        return cache[key]
+    result = _check_intra_phase_uncached(phase, array, ctx)
+    cache[key] = result
+    return result
+
+
+def _check_intra_phase_uncached(
+    phase: Phase,
+    array: ArrayDecl,
+    ctx: Context,
+) -> IntraPhaseResult:
+    attribute = phase.access_attribute(array)
+
+    if attribute == "P":
+        # Case (a): privatizable — locality by replication of I^k(X, i).
+        # The descriptor may still be useful downstream; compute it
+        # best-effort but do not require it.
+        idesc, symmetry = _descriptor_or_none(phase, array, ctx)
+        return IntraPhaseResult(
+            phase_name=phase.name,
+            array_name=array.name,
+            attribute=attribute,
+            holds=True,
+            case="a",
+            symmetry=symmetry,
+            iteration_descriptor=idesc,
+        )
+
+    idesc, symmetry = _descriptor_or_none(phase, array, ctx)
+    if idesc is None or symmetry is None:
+        # The access pattern escaped the descriptor algebra: no guarantee.
+        return IntraPhaseResult(
+            phase_name=phase.name,
+            array_name=array.name,
+            attribute=attribute,
+            holds=False,
+            case=None,
+            symmetry=None,
+            iteration_descriptor=None,
+        )
+
+    if not symmetry.has_overlap:
+        # Case (b): non-privatizable, no overlapping storage.
+        return IntraPhaseResult(
+            phase_name=phase.name,
+            array_name=array.name,
+            attribute=attribute,
+            holds=True,
+            case="b",
+            symmetry=symmetry,
+            iteration_descriptor=idesc,
+        )
+
+    if attribute == "R":
+        # Case (c): overlap, but read-only — replicated halos stay valid.
+        return IntraPhaseResult(
+            phase_name=phase.name,
+            array_name=array.name,
+            attribute=attribute,
+            holds=True,
+            case="c",
+            symmetry=symmetry,
+            iteration_descriptor=idesc,
+        )
+
+    return IntraPhaseResult(
+        phase_name=phase.name,
+        array_name=array.name,
+        attribute=attribute,
+        holds=False,
+        case=None,
+        symmetry=symmetry,
+        iteration_descriptor=idesc,
+    )
+
+
+def _descriptor_or_none(phase: Phase, array: ArrayDecl, ctx: Context):
+    from ..descriptors.ard import UnsupportedAccess
+
+    phase_ctx = phase.loop_context(ctx)
+    try:
+        pd = compute_pd(phase, array, ctx)
+        idesc = IterationDescriptor(pd, phase_ctx)
+    except (UnsupportedAccess, ValueError):
+        return None, None
+    symmetry = analyze_symmetry(idesc, phase_ctx)
+    return idesc, symmetry

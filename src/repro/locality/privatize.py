@@ -1,0 +1,181 @@
+"""Privatizability inference — the Polaris stand-in.
+
+The paper takes the ``P`` attribute from the Polaris parallelizer ("we
+restrict the definition of privatizable array given in [10]: the value
+of X is not live after the execution of F_k").  This module infers the
+*write-before-read* half of that definition directly from the loop
+nests, so programs need not annotate workspaces by hand; liveness across
+phases remains the caller's assertion (``live_out``), since it is a
+whole-program property.
+
+Definition implemented: array ``X`` is privatizable in phase ``F_k``
+when, in **every** iteration of the parallel loop, every read of an
+element of ``X`` is preceded — in program order within that same
+iteration — by a write to that element.  Each processor can then work
+on a private copy with no inbound flow.
+
+Two checkers:
+
+* :func:`check_write_before_read` — exact, for one concrete parameter
+  binding: interprets the phase body in program order per parallel
+  iteration with a "written" set.
+* :func:`infer_privatizable` — the user-facing entry: requires the
+  array to be both read and written, not listed in ``live_out``, and
+  the exact check to pass on the given binding (plus, optionally, on
+  extra bindings for confidence).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Optional
+
+from ..ir.core import AccessKind, ArrayDecl, LoopNode, Phase, RefNode
+
+__all__ = ["check_write_before_read", "infer_privatizable"]
+
+
+def _as_int(value: Fraction, what: str) -> int:
+    if value.denominator != 1:
+        raise ValueError(f"{what} is not integral: {value}")
+    return int(value)
+
+
+def _walk_ordered(node: LoopNode, env: dict, array: str, written: set):
+    """Yield (kind, address) events in program order under ``node``.
+
+    Mutates nothing but ``env`` transiently; the caller consumes events
+    and maintains the written-set.
+    """
+    lo = _as_int(node.lower.evalf(env), "lower bound")
+    hi = _as_int(node.upper.evalf(env), "upper bound")
+    name = node.index.name
+    for value in range(lo, hi + 1):
+        env[name] = Fraction(value)
+        for child in node.children:
+            if isinstance(child, RefNode):
+                ref = child.ref
+                if ref.array.name != array:
+                    continue
+                addr = _as_int(ref.subscript.evalf(env), "subscript")
+                yield (ref.kind, addr)
+            else:
+                yield from _walk_ordered(child, env, array, written)
+    del env[name]
+
+
+def check_write_before_read(
+    phase: Phase,
+    array: ArrayDecl,
+    env: Mapping[str, int],
+) -> bool:
+    """Exact per-iteration write-before-read check for one binding.
+
+    Returns True when no parallel iteration reads an element of
+    ``array`` it has not itself written first.  References outside the
+    parallel loop make the array non-privatizable (their values would
+    have to exist on every processor before the loop).
+    """
+    par = phase.parallel_loop
+    if par is None:
+        return False
+    base_env = {k: Fraction(v) for k, v in env.items()}
+
+    # any reference to the array outside the parallel loop disqualifies
+    for root in phase.roots:
+        if root is par:
+            continue
+        for item in root.walk():
+            if isinstance(item, RefNode) and item.ref.array.name == array.name:
+                return False
+
+    lo = _as_int(par.lower.evalf(base_env), "parallel lower")
+    hi = _as_int(par.upper.evalf(base_env), "parallel upper")
+    name = par.index.name
+    for i in range(lo, hi + 1):
+        base_env[name] = Fraction(i)
+        written: set = set()
+        for child in par.children:
+            events = (
+                [(child.ref.kind,
+                  _as_int(child.ref.subscript.evalf(base_env), "subscript"))]
+                if isinstance(child, RefNode)
+                and child.ref.array.name == array.name
+                else _walk_ordered(child, base_env, array.name, written)
+                if isinstance(child, LoopNode)
+                else []
+            )
+            for kind, addr in events:
+                if kind is AccessKind.WRITE:
+                    written.add(addr)
+                elif addr not in written:
+                    return False
+    del base_env[name]
+    return True
+
+
+def infer_privatizable(
+    phase: Phase,
+    array: ArrayDecl,
+    env: Mapping[str, int],
+    live_out: Iterable[str] = (),
+    extra_envs: Optional[Iterable[Mapping[str, int]]] = None,
+) -> bool:
+    """Decide the ``P`` attribute for ``array`` in ``phase``.
+
+    ``live_out`` names arrays whose values are consumed by later phases
+    *from this phase's writes* — those must not be privatized even if
+    write-before-read holds (the paper's liveness restriction).
+    """
+    if array.name in set(live_out):
+        return False
+    kinds = {acc.ref.kind for acc in phase.accesses(array)}
+    if AccessKind.READ not in kinds or AccessKind.WRITE not in kinds:
+        # pure reads need the global values; pure writes are live-out
+        # producers by construction.
+        return False
+    if not check_write_before_read(phase, array, env):
+        return False
+    for extra in extra_envs or ():
+        if not check_write_before_read(phase, array, extra):
+            return False
+    return True
+
+
+def annotate_program(
+    program,
+    env: Mapping[str, int],
+    live_out: Optional[Mapping[str, Iterable[str]]] = None,
+) -> dict:
+    """Infer and *apply* the P attribute across a whole program.
+
+    ``live_out`` maps a phase name to array names whose values later
+    phases consume.  By default an array written in phase ``F_k`` and
+    read in any later phase **before being rewritten** is treated as
+    live-out of ``F_k`` (a conservative inter-phase liveness sweep).
+    Returns ``{phase name: set of newly privatized arrays}``.
+    """
+    live_map = {k: set(v) for k, v in (live_out or {}).items()}
+    if live_out is None:
+        # conservative liveness: X is live-out of F_k if some later
+        # phase reads X
+        for idx, ph in enumerate(program.phases):
+            live: set = set()
+            for later in program.phases[idx + 1:]:
+                for acc in later.accesses():
+                    if acc.ref.kind is AccessKind.READ:
+                        live.add(acc.ref.array.name)
+            live_map[ph.name] = live
+    result = {}
+    for ph in program.phases:
+        added = set()
+        for array in ph.arrays():
+            if array.name in ph.privatizable:
+                continue
+            if infer_privatizable(
+                ph, array, env, live_out=live_map.get(ph.name, ())
+            ):
+                ph.privatizable.add(array.name)
+                added.add(array.name)
+        result[ph.name] = added
+    return result

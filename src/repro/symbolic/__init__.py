@@ -1,0 +1,87 @@
+"""Symbolic algebra substrate for the access-descriptor analysis.
+
+Public surface:
+
+* :mod:`repro.symbolic.expr` — canonical expressions (``sym``, ``num``,
+  ``pow2``, arithmetic operators, :func:`divide_exact`).
+* :mod:`repro.symbolic.context` — assumption contexts and sound
+  predicates (``is_nonneg``, ``is_multiple_of`` …).
+* :mod:`repro.symbolic.linear` — affine views and the balanced-locality
+  Diophantine solver.
+* :mod:`repro.symbolic.sampling` — randomised oracles for tests.
+"""
+
+from .expr import (
+    Add,
+    ExprLike,
+    CeilDiv,
+    Expr,
+    FloorDiv,
+    Max,
+    Min,
+    Mul,
+    Num,
+    NEG_ONE,
+    ONE,
+    Pow,
+    Pow2,
+    Symbol,
+    TWO,
+    ZERO,
+    as_expr,
+    ceil_div,
+    divide_exact,
+    floor_div,
+    num,
+    pow2,
+    smax,
+    smin,
+    sym,
+    symbols,
+)
+from .context import Context, LoopVar
+from .linear import (
+    AffineForm,
+    DiophantineSolution,
+    affine_coefficients,
+    solve_linear_diophantine,
+)
+from .sampling import always_nonneg_sampled, equivalent, random_env
+
+__all__ = [
+    "Add",
+    "ExprLike",
+    "AffineForm",
+    "CeilDiv",
+    "Context",
+    "DiophantineSolution",
+    "Expr",
+    "FloorDiv",
+    "LoopVar",
+    "Max",
+    "Min",
+    "Mul",
+    "NEG_ONE",
+    "Num",
+    "ONE",
+    "Pow",
+    "Pow2",
+    "Symbol",
+    "TWO",
+    "ZERO",
+    "affine_coefficients",
+    "always_nonneg_sampled",
+    "as_expr",
+    "ceil_div",
+    "divide_exact",
+    "equivalent",
+    "floor_div",
+    "num",
+    "pow2",
+    "random_env",
+    "smax",
+    "smin",
+    "solve_linear_diophantine",
+    "sym",
+    "symbols",
+]

@@ -1,0 +1,105 @@
+"""Randomised semantic-equivalence checking (test support).
+
+The canonical form in :mod:`repro.symbolic.expr` decides equality for the
+supported expression family, but tests (and a few defensive assertions)
+want an independent oracle.  :func:`equivalent` samples random integer
+assignments — honouring power-of-two assumptions — and compares exact
+rational evaluations.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Iterable, Mapping, Optional
+
+from .context import Context
+from .expr import Expr, ExprLike, as_expr
+
+__all__ = ["random_env", "equivalent", "always_nonneg_sampled"]
+
+
+def random_env(
+    syms: Iterable,
+    rng: random.Random,
+    ctx: Optional[Context] = None,
+    lo: int = -8,
+    hi: int = 16,
+) -> dict:
+    """Draw an integer assignment for ``syms`` respecting ``ctx`` facts.
+
+    Power-of-two pairs (``P == 2**p``) are sampled consistently; loop
+    variables are sampled inside their (evaluated) ranges, outermost
+    first so dependent bounds resolve.
+    """
+    ctx = ctx or Context()
+    env: dict[str, Fraction] = {}
+    names = {s.name for s in syms}
+    # 1. pow2 exponents first, then their parameters.
+    for param, exponent in ctx.pow2.items():
+        if exponent.name not in env:
+            env[exponent.name] = Fraction(rng.randint(1, 6))
+        env[param] = Fraction(2 ** int(env[exponent.name]))
+    # 2. plain parameters.
+    loop_names = {lv.symbol.name for lv in ctx.loops}
+    for name in sorted(names):
+        if name in env or name in loop_names:
+            continue
+        if name in ctx.positive:
+            env[name] = Fraction(rng.randint(1, hi))
+        elif name in ctx.nonneg:
+            env[name] = Fraction(rng.randint(0, hi))
+        else:
+            env[name] = Fraction(rng.randint(lo, hi))
+    # 3. loop variables in nest order.
+    for lv in ctx.loops:
+        lo_v = lv.lower.evalf(env)
+        hi_v = lv.upper.evalf(env)
+        if hi_v < lo_v:
+            env[lv.symbol.name] = lo_v
+        else:
+            env[lv.symbol.name] = Fraction(rng.randint(int(lo_v), int(hi_v)))
+    return env
+
+
+def equivalent(
+    a: ExprLike,
+    b: ExprLike,
+    ctx: Optional[Context] = None,
+    trials: int = 64,
+    seed: int = 0,
+) -> bool:
+    """Sampled semantic equality of two expressions."""
+    a, b = as_expr(a), as_expr(b)
+    if a == b:
+        return True
+    rng = random.Random(seed)
+    syms = a.free_symbols() | b.free_symbols()
+    for _ in range(trials):
+        env = random_env(syms, rng, ctx)
+        try:
+            if a.evalf(env) != b.evalf(env):
+                return False
+        except (ZeroDivisionError, ValueError):
+            continue
+    return True
+
+
+def always_nonneg_sampled(
+    expr: ExprLike,
+    ctx: Optional[Context] = None,
+    trials: int = 128,
+    seed: int = 0,
+) -> bool:
+    """Sampled check that ``expr >= 0`` (oracle for Context.is_nonneg)."""
+    expr = as_expr(expr)
+    rng = random.Random(seed)
+    syms = expr.free_symbols()
+    for _ in range(trials):
+        env = random_env(syms, rng, ctx)
+        try:
+            if expr.evalf(env) < 0:
+                return False
+        except (ZeroDivisionError, ValueError):
+            continue
+    return True

@@ -1,0 +1,6 @@
+"""Rendering: paper-style descriptor text and DOT export of LCGs."""
+
+from .report import format_ard, format_id, format_pd, format_ul_gap
+from .dot import lcg_to_dot
+
+__all__ = ["format_ard", "format_id", "format_pd", "format_ul_gap", "lcg_to_dot"]

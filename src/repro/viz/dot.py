@@ -1,0 +1,36 @@
+"""Graphviz DOT export of the Locality-Communication Graph.
+
+Renders each array's graph in the style of the paper's Figure 6: nodes
+labelled with the phase name, the access attribute in parentheses, and
+the ``p_kj`` variable; edges labelled L/C; D edges dashed (they are the
+un-coupled edges Figure 6 draws dashed before removing).
+"""
+
+from __future__ import annotations
+
+from ..locality.lcg import LCG
+
+__all__ = ["lcg_to_dot"]
+
+_EDGE_STYLE = {
+    "L": 'color="forestgreen", label="L"',
+    "C": 'color="crimson", label="C"',
+    "D": 'color="gray", style="dashed", label="D"',
+}
+
+
+def lcg_to_dot(lcg: LCG, array: str) -> str:
+    """DOT source for one array's locality-communication graph."""
+    g = lcg.graph(array)
+    lines = [f'digraph "LCG_{array}" {{', "  rankdir=TB;",
+             '  node [shape=ellipse, fontsize=11];']
+    for node in g.nodes:
+        attr = g.nodes[node]["attr"]
+        pvar = lcg.p_names.get((node, array), "")
+        lines.append(f'  "{node}" [label="{node}\\n({attr}) {pvar}"];')
+    for u, v in g.edges:
+        label = g.edges[u, v]["analysis"].label
+        style = _EDGE_STYLE.get(label, f'label="{label}"')
+        lines.append(f'  "{u}" -> "{v}" [{style}];')
+    lines.append("}")
+    return "\n".join(lines)

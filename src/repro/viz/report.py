@@ -1,0 +1,90 @@
+"""Paper-style textual rendering of descriptors and analyses.
+
+Formats ARDs/PDs the way the paper's Figures 2–3 print them
+(``A = (alpha...), delta = (...), tau = (...)``), iteration descriptors
+the way Figures 4/8 annotate them, and constraint systems the way
+Table 2 lays them out.  Everything returns plain strings so benchmarks
+can diff computed artifacts against the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..descriptors.ard import ARD
+from ..descriptors.pd import PhaseDescriptor
+from ..iteration.iterdesc import IterationDescriptor
+
+__all__ = [
+    "format_ard",
+    "format_pd",
+    "format_id",
+    "format_ul_gap",
+]
+
+
+def format_ard(ard: ARD, name: Optional[str] = None) -> str:
+    """One-line Figure 2 style rendering of an ARD."""
+    alpha = ", ".join(str(a) for a in ard.alpha)
+    delta = ", ".join(str(d) for d in ard.delta)
+    lam = ", ".join(str(s) for s in ard.lam)
+    label = name or f"A({ard.array.name})"
+    return (
+        f"{label} = ( alpha=({alpha}), delta=({delta}), "
+        f"lambda=({lam}), tau={ard.tau} )"
+    )
+
+
+def format_pd(pd: PhaseDescriptor) -> str:
+    """Figure 3 style rendering: the alpha matrix over a shared delta."""
+    stride = pd.stride_vector()
+    matrix = pd.alpha_matrix()
+    lines = [f"P^{pd.phase_name}({pd.array.name}):"]
+    header = "  delta = (" + ", ".join(str(s) for s in stride) + ")"
+    lines.append(header)
+    for row_vals, tau, row in zip(matrix, pd.tau_vector, pd.rows):
+        cells = ", ".join("1" if v is None else str(v) for v in row_vals)
+        lines.append(f"  A row [{row.kind_label}] = ({cells}),  tau = {tau}")
+    return "\n".join(lines)
+
+
+def format_id(
+    idesc: IterationDescriptor,
+    iterations: Optional[list] = None,
+    env: Optional[Mapping[str, int]] = None,
+) -> str:
+    """Figure 4/8 style rendering of an iteration descriptor.
+
+    With ``iterations`` and ``env`` given, the concrete base/UL of each
+    requested parallel iteration is listed as the figures do.
+    """
+    lines = [f"I^{idesc.phase_name}({idesc.array.name}):"]
+    for r in idesc.rows:
+        arrow = "+" if r.sign_p >= 0 else "-"
+        lines.append(
+            f"  term: tau_B(i) = {r.base0} {arrow} i*{r.delta_p}, "
+            f"extent = {r.extent}"
+        )
+    if iterations is not None and env is not None:
+        from fractions import Fraction
+
+        fenv = {k: Fraction(v) for k, v in env.items()}
+        for i in iterations:
+            ul = idesc.upper_limit(i).evalf(fenv)
+            base = idesc.base(i).evalf(fenv)
+            lines.append(f"  i={i}: base={base}, UL={ul}")
+    return "\n".join(lines)
+
+
+def format_ul_gap(idesc: IterationDescriptor) -> str:
+    """Upper-limit and memory-gap summary (Figure 8's annotations)."""
+    return (
+        f"UL(I(i), p) + h + 1 = {idesc.balanced_value(_p())}, "
+        f"h = {idesc.memory_gap()}"
+    )
+
+
+def _p():
+    from ..symbolic import sym
+
+    return sym("p")

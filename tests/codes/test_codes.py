@@ -1,0 +1,132 @@
+"""The benchmark programs: structure and expected LCG shapes."""
+
+import pytest
+
+from repro.codes import ALL_CODES
+from repro.locality import build_lcg
+
+SMALL_ENVS = {
+    "tfft2": {"P": 8, "p": 3, "Q": 8, "q": 3},
+    "jacobi": {"N": 128},
+    "swim": {"M": 16, "N": 16},
+    "adi": {"M": 16, "N": 16},
+    "mgrid": {"N": 256, "n": 8},
+    "tomcatv": {"M": 16, "N": 16},
+    "redblack": {"N": 256},
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_CODES))
+def test_builds_and_analyzes(name):
+    builder, _, back = ALL_CODES[name]
+    prog = builder()
+    assert prog.phases
+    lcg = build_lcg(prog, env=SMALL_ENVS[name], H_value=4, back_edges=back)
+    assert lcg.arrays()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_CODES))
+def test_every_phase_has_single_parallel_loop(name):
+    builder, _, _ = ALL_CODES[name]
+    for ph in builder().phases:
+        assert ph.parallel_loop is not None
+
+
+class TestExpectedLabels:
+    def _labels(self, name, array):
+        builder, _, back = ALL_CODES[name]
+        lcg = build_lcg(
+            builder(), env=SMALL_ENVS[name], H_value=4, back_edges=back
+        )
+        return [l for (_, _, l) in lcg.labels(array)]
+
+    def test_jacobi_cycle_all_local(self):
+        assert self._labels("jacobi", "U") == ["L", "L"]
+        assert self._labels("jacobi", "V") == ["L", "L"]
+
+    def test_adi_transpose_is_communication(self):
+        assert self._labels("adi", "A") == ["C"]
+        assert self._labels("adi", "B") == ["C"]
+
+    def test_swim_chains_local(self):
+        for arr in ("U", "V", "CU", "CV", "Z", "Hh"):
+            assert all(l == "L" for l in self._labels("swim", arr))
+
+    def test_tomcatv_private_workspaces_uncoupled(self):
+        builder, _, _ = ALL_CODES["tomcatv"]
+        lcg = build_lcg(builder(), env=SMALL_ENVS["tomcatv"], H_value=4)
+        assert lcg.attribute("AA", "F_solve") == "P"
+        assert lcg.attribute("DD", "F_solve") == "P"
+        # residual arrays pass *through* the privatizing phase unbroken
+        assert self._labels("tomcatv", "RX") == ["L", "L"]
+
+    def test_mgrid_coarse_chain_local(self):
+        assert self._labels("mgrid", "C") == ["L"]
+        assert self._labels("mgrid", "C2") == ["L"]
+
+    def test_mgrid_fine_grid_halo_absorbed(self):
+        # restrict reads F(2i±1), prolong writes F(2i), F(2i+1): the
+        # one-element anchor shift is absorbed by the halo slack
+        labels = self._labels("mgrid", "F")
+        assert labels == ["L"]
+
+
+class TestJacobiSemantics:
+    def test_overlap_detected(self):
+        from repro.locality import check_intra_phase
+
+        builder, _, _ = ALL_CODES["jacobi"]
+        prog = builder()
+        res = check_intra_phase(
+            prog.phase("F_sweep"), prog.arrays["U"], prog.context
+        )
+        assert res.holds and res.case == "c"
+        assert res.has_overlap
+
+    def test_copy_phase_no_overlap(self):
+        from repro.locality import check_intra_phase
+
+        builder, _, _ = ALL_CODES["jacobi"]
+        prog = builder()
+        res = check_intra_phase(
+            prog.phase("F_copy"), prog.arrays["U"], prog.context
+        )
+        assert res.holds and res.case == "b"
+
+
+class TestRedBlack:
+    def test_stride2_lattices(self):
+        from repro.codes.redblack import build_redblack
+        from repro.descriptors import compute_pd
+        from repro.symbolic import sym
+
+        prog = build_redblack()
+        pd = compute_pd(
+            prog.phase("F_red"), prog.arrays["U"], prog.context
+        )
+        strides = {row.parallel_dim.stride for row in pd.rows}
+        assert strides == {sym("1") * 0 + 2}
+
+    def test_conservative_c_labels(self):
+        """R/W with overlap: Theorem 1(c) does not apply -> C (paper-
+        faithful conservatism; the written colours never truly clash)."""
+        from repro.codes.redblack import BACK_EDGES, build_redblack
+        from repro.locality import build_lcg
+
+        lcg = build_lcg(
+            build_redblack(), env={"N": 512}, H_value=4,
+            back_edges=BACK_EDGES,
+        )
+        labels = {l for (_, _, l) in lcg.labels("U")}
+        assert labels == {"C"}
+
+    def test_execution_stays_mostly_local(self):
+        from repro import analyze
+        from repro.codes.redblack import BACK_EDGES, build_redblack
+
+        r = analyze(
+            build_redblack(), env={"N": 1024}, H=4, back_edges=BACK_EDGES
+        )
+        total = r.report.total_local + r.report.total_remote
+        assert r.report.total_remote / total < 0.05
+        assert r.report.efficiency() > 0.8

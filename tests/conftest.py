@@ -1,0 +1,50 @@
+"""Shared fixtures: the TFFT2 running example and assumption contexts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.symbolic import Context, LoopVar, num, pow2, sym, symbols
+
+
+@pytest.fixture(scope="session")
+def tfft2_program():
+    from repro.codes import build_tfft2
+
+    return build_tfft2()
+
+
+@pytest.fixture(scope="session")
+def tfft2_env():
+    """A small concrete instantiation (P = Q = 16, exponents 4)."""
+    return {"P": 16, "p": 4, "Q": 16, "q": 4}
+
+
+@pytest.fixture(scope="session")
+def tfft2_lcg(tfft2_program, tfft2_env):
+    from repro.locality import build_lcg
+
+    return build_lcg(tfft2_program, env=tfft2_env, H_value=4)
+
+
+@pytest.fixture()
+def pq_context():
+    """Context with the TFFT2 parameter facts: P = 2**p, Q = 2**q, H >= 1."""
+    ctx = Context()
+    ctx.assume_pow2("P", sym("p"))
+    ctx.assume_pow2("Q", sym("q"))
+    ctx.assume_positive("H")
+    return ctx
+
+
+@pytest.fixture()
+def f3_context(pq_context):
+    """pq_context extended with Figure 1's loop ranges (I, L, J, K)."""
+    P, Q = symbols("P Q")
+    I, L, J, K, p = symbols("I L J K p")
+    ctx = pq_context.copy()
+    ctx.push_loop(LoopVar(I, num(0), Q - 1))
+    ctx.push_loop(LoopVar(L, num(1), p))
+    ctx.push_loop(LoopVar(J, num(0), P * pow2(-L) - 1))
+    ctx.push_loop(LoopVar(K, num(0), pow2(L - 1) - 1))
+    return ctx

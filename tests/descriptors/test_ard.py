@@ -1,0 +1,151 @@
+"""ARD construction — the Figure 2 reproduction plus edge cases."""
+
+import pytest
+
+from repro.descriptors import UnsupportedAccess, compute_ard
+from repro.ir import ProgramBuilder
+from repro.symbolic import Context, num, pow2, sym, symbols
+
+P, Q = symbols("P Q")
+I, L, J, K, p = symbols("I L J K p")
+
+
+def f3_program():
+    bld = ProgramBuilder("tfft2_f3")
+    bld.pow2_param("P", "p")
+    bld.pow2_param("Q", "q")
+    X = bld.array("X", 2 * P * Q)
+    with bld.phase("F3") as ph:
+        with ph.doall("I", 0, Q - 1) as i:
+            with ph.do("L", 1, p) as l:
+                with ph.do("J", 0, P * pow2(-l) - 1) as j:
+                    with ph.do("K", 0, pow2(l - 1) - 1) as k:
+                        ph.read(X, 2 * P * i + pow2(l - 1) * j + k,
+                                label="phi1")
+                        ph.write(X, 2 * P * i + pow2(l - 1) * j + k + P / 2,
+                                 label="phi2")
+    return bld.build()
+
+
+class TestFigure2:
+    """The two ARDs of X in TFFT2's F3 — paper Figure 2, verbatim."""
+
+    def setup_method(self):
+        self.prog = f3_program()
+        self.phase = self.prog.phase("F3")
+        self.ards = [
+            compute_ard(a, self.prog.context)
+            for a in self.phase.accesses("X")
+        ]
+
+    def test_alpha_vector(self):
+        # The builder normalizes ``do L = 1..p`` to ``L' = L - 1`` in
+        # 0..p-1, so Figure 2's alpha values are recovered by the
+        # substitution L -> L' + 1.
+        a1 = self.ards[0]
+        paper = (
+            Q,
+            (P - 2) * pow2(-L) + 1,
+            P * pow2(-L),
+            pow2(L - 1),
+        )
+        expected = tuple(
+            e.subs({L: L + 1}).subs({"P": pow2(sym("p"))}) for e in paper
+        )
+        got = tuple(
+            a.subs({"P": pow2(sym("p"))}) for a in a1.alpha
+        )
+        assert got == expected
+
+    def test_delta_vector(self):
+        a1 = self.ards[0]
+        paper = (2 * P, J * pow2(L - 1), pow2(L - 1), num(1))
+        expected = tuple(e.subs({L: L + 1}) for e in paper)
+        assert a1.delta == expected
+
+    def test_lambda_all_positive(self):
+        assert self.ards[0].lam == (1, 1, 1, 1)
+
+    def test_offsets(self):
+        assert self.ards[0].tau == num(0)
+        assert self.ards[1].tau == P / 2
+
+    def test_parallel_dim_flagged(self):
+        assert self.ards[0].dims[0].parallel
+        assert not any(d.parallel for d in self.ards[0].dims[1:])
+
+    def test_same_pattern(self):
+        assert self.ards[0].same_pattern(self.ards[1])
+
+    def test_span_matches_paper(self):
+        # span = (alpha - 1) * delta; for the parallel dim: (Q-1) * 2P
+        dim = self.ards[0].dims[0]
+        assert dim.span == (Q - 1) * 2 * P
+
+
+class TestARDEdgeCases:
+    def test_missing_index_gets_no_dim(self):
+        bld = ProgramBuilder("demo")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, N - 1) as j:
+                    ph.read(A, i)  # j unused
+        prog = bld.build()
+        ard = compute_ard(prog.phase("F").accesses("A")[0], prog.context)
+        assert len(ard.dims) == 1
+        assert ard.dims[0].index.name == "i"
+
+    def test_descending_reference(self):
+        bld = ProgramBuilder("rev")
+        N = bld.param("N")
+        A = bld.array("A", N + 1)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, N - i)
+        prog = bld.build()
+        ard = compute_ard(prog.phase("F").accesses("A")[0], prog.context)
+        dim = ard.dims[0]
+        assert dim.sign == -1
+        assert dim.stride == num(1)
+        assert dim.count == sym("N")
+        # tau is the *minimum* address: at i = N-1 the subscript is 1
+        assert ard.tau == num(1)
+
+    def test_constant_subscript(self):
+        bld = ProgramBuilder("const")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, num(7))
+        prog = bld.build()
+        ard = compute_ard(prog.phase("F").accesses("A")[0], prog.context)
+        assert ard.dims == ()
+        assert ard.tau == num(7)
+
+    def test_unknown_sign_rejected(self):
+        bld = ProgramBuilder("bad")
+        N = bld.param("N")
+        c = sym("c")  # sign-free parameter
+        bld._program.parameters["c"] = c  # deliberately no positivity fact
+        A = bld.array("A", N * N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, c * i)
+        prog = bld.build()
+        with pytest.raises(UnsupportedAccess):
+            compute_ard(prog.phase("F").accesses("A")[0], prog.context)
+
+    def test_self_contained_detection(self):
+        prog = f3_program()
+        ard = compute_ard(prog.phase("F3").accesses("X")[0], prog.context)
+        # raw Figure 2 descriptor references J inside L's stride
+        assert not ard.is_self_contained()
+
+    def test_corners_recorded_innermost_first(self):
+        prog = f3_program()
+        ard = compute_ard(prog.phase("F3").accesses("X")[0], prog.context)
+        names = [s.name for s, _ in ard.corners]
+        assert names == ["K", "J", "L", "I"]

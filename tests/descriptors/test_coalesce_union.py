@@ -1,0 +1,229 @@
+"""Stride coalescing and row union — the Figure 3 chain, plus soundness."""
+
+import numpy as np
+import pytest
+
+from repro.descriptors import (
+    coalesce_pd,
+    coalesce_row,
+    compute_ard,
+    compute_pd,
+    pd_addresses,
+    row_addresses,
+    try_union_rows,
+    union_rows,
+)
+from repro.ir import ProgramBuilder, phase_access_set
+from repro.symbolic import num, pow2, sym, symbols
+
+P, Q = symbols("P Q")
+
+
+def f3_program():
+    bld = ProgramBuilder("f3")
+    bld.pow2_param("P", "p")
+    bld.pow2_param("Q", "q")
+    X = bld.array("X", 2 * P * Q)
+    with bld.phase("F3") as ph:
+        with ph.doall("I", 0, Q - 1) as i:
+            with ph.do("L", 1, sym("p")) as l:
+                with ph.do("J", 0, P * pow2(-l) - 1) as j:
+                    with ph.do("K", 0, pow2(l - 1) - 1) as k:
+                        ph.read(X, 2 * P * i + pow2(l - 1) * j + k)
+                        ph.write(X, 2 * P * i + pow2(l - 1) * j + k + P / 2)
+    return bld.build()
+
+
+class TestFigure3Chain:
+    """(a) raw -> (c) coalesced -> (d) unioned, exactly as the paper."""
+
+    def setup_method(self):
+        self.prog = f3_program()
+        self.phase = self.prog.phase("F3")
+        self.ctx = self.phase.loop_context(self.prog.context)
+        self.raw = compute_pd(self.phase, self.prog.arrays["X"],
+                              self.prog.context, simplify=False)
+
+    def test_raw_has_four_dims_per_row(self):
+        assert all(len(r.dims) == 4 for r in self.raw.rows)
+
+    def test_coalesced_is_figure_3c(self):
+        pd = coalesce_pd(self.raw, self.ctx)
+        for row, tau in zip(pd.rows, (num(0), P / 2)):
+            assert row.tau == tau
+            assert [d.stride for d in row.dims] == [2 * P, num(1)]
+            assert [d.count for d in row.dims] == [Q, P / 2]
+        assert all(r.is_self_contained() for r in pd.rows)
+
+    def test_union_is_figure_3d(self):
+        pd = union_rows(coalesce_pd(self.raw, self.ctx), self.ctx)
+        assert len(pd.rows) == 1
+        row = pd.rows[0]
+        assert row.tau == num(0)
+        assert [d.stride for d in row.dims] == [2 * P, num(1)]
+        assert [d.count for d in row.dims] == [Q, P]
+
+    def test_simplification_preserves_region(self):
+        env = {"P": 8, "p": 3, "Q": 4, "q": 2}
+        pd = compute_pd(self.phase, self.prog.arrays["X"], self.prog.context)
+        oracle = phase_access_set(self.phase, env, "X")
+        assert np.array_equal(pd_addresses(pd, env), oracle)
+
+    def test_per_iteration_regions_preserved(self):
+        env = {"P": 8, "p": 3, "Q": 4, "q": 2}
+        from repro.ir import iteration_access_set
+
+        pd = compute_pd(self.phase, self.prog.arrays["X"], self.prog.context)
+        for i in range(4):
+            got = pd_addresses(pd, env, parallel_iteration=i)
+            want = iteration_access_set(self.phase, env, "X", i)
+            assert np.array_equal(got, want)
+
+
+class TestRuleASoundness:
+    def test_contiguous_merge(self):
+        # A(4i + j), j in 0..3: dims merge to one dense run of 4N
+        bld = ProgramBuilder("m")
+        N = bld.param("N")
+        A = bld.array("A", 4 * N)
+        with bld.phase("F") as ph:
+            with ph.do("i", 0, N - 1) as i:
+                with ph.do("j", 0, 3) as j:
+                    ph.read(A, 4 * i + j)
+        prog = bld.build()
+        ph = prog.phase("F")
+        ard = compute_ard(ph.accesses("A")[0], prog.context)
+        out = coalesce_row(ard, ph.loop_context(prog.context))
+        assert len(out.dims) == 1
+        assert out.dims[0].stride == num(1)
+        assert out.dims[0].count == 4 * sym("N")
+
+    def test_no_merge_when_gap(self):
+        # A(5i + j), j in 0..3: stride 5 != 4 -> must NOT merge
+        bld = ProgramBuilder("g")
+        N = bld.param("N")
+        A = bld.array("A", 5 * N)
+        with bld.phase("F") as ph:
+            with ph.do("i", 0, N - 1) as i:
+                with ph.do("j", 0, 3) as j:
+                    ph.read(A, 5 * i + j)
+        prog = bld.build()
+        ph = prog.phase("F")
+        ard = compute_ard(ph.accesses("A")[0], prog.context)
+        out = coalesce_row(ard, ph.loop_context(prog.context))
+        assert len(out.dims) == 2
+
+
+class TestRuleBSoundness:
+    def test_constant_stride_dim_never_dropped(self):
+        """The classic counterexample: phi = 2j + k must keep both dims."""
+        bld = ProgramBuilder("cx")
+        A = bld.array("A", 64)
+        with bld.phase("F") as ph:
+            with ph.do("j", 0, 1) as j:
+                with ph.do("k", 0, 3) as k:
+                    ph.read(A, 2 * j + k)
+        prog = bld.build()
+        ph = prog.phase("F")
+        ard = compute_ard(ph.accesses("A")[0], prog.context)
+        out = coalesce_row(ard, ph.loop_context(prog.context))
+        env = {}
+        assert np.array_equal(
+            row_addresses(out, env), phase_access_set(ph, env, "A")
+        )
+        assert row_addresses(out, env).size == 6  # 0..5 minus duplicates
+
+    def test_direct_index_not_dropped(self):
+        """phi = L alone: the L dim anchors the slice and must survive."""
+        bld = ProgramBuilder("dl")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("F") as ph:
+            with ph.do("l", 0, N - 1) as l:
+                ph.read(A, l)
+        prog = bld.build()
+        ph = prog.phase("F")
+        ard = compute_ard(ph.accesses("A")[0], prog.context)
+        out = coalesce_row(ard, ph.loop_context(prog.context))
+        assert len(out.dims) == 1
+
+
+class TestUnion:
+    def _two_row_pd(self, offset):
+        bld = ProgramBuilder("u")
+        N = bld.param("N")
+        A = bld.array("A", 8 * N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, 3) as j:
+                    ph.read(A, 8 * i + j)
+                    ph.read(A, 8 * i + j + offset)
+        prog = bld.build()
+        ph = prog.phase("F")
+        ctx = ph.loop_context(prog.context)
+        pd = coalesce_pd(
+            compute_pd(ph, prog.arrays["A"], prog.context, simplify=False),
+            ctx,
+        )
+        return pd, ctx, ph
+
+    def test_adjacent_rows_fuse(self):
+        pd, ctx, _ = self._two_row_pd(offset=4)
+        out = union_rows(pd, ctx)
+        assert len(out.rows) == 1
+        assert out.rows[0].dims[-1].count == num(8)
+
+    def test_overlapping_rows_fuse(self):
+        pd, ctx, ph = self._two_row_pd(offset=2)
+        out = union_rows(pd, ctx)
+        assert len(out.rows) == 1
+        env = {"N": 3}
+        assert np.array_equal(
+            pd_addresses(out, env), phase_access_set(ph, env, "A")
+        )
+
+    def test_disjoint_rows_stay_separate(self):
+        pd, ctx, ph = self._two_row_pd(offset=6)  # gap of 2 between runs
+        out = union_rows(pd, ctx)
+        assert len(out.rows) == 2
+        env = {"N": 3}
+        assert np.array_equal(
+            pd_addresses(out, env), phase_access_set(ph, env, "A")
+        )
+
+    def test_union_never_fuses_parallel_dim(self):
+        """Shifted copies along the parallel axis must stay two rows."""
+        bld = ProgramBuilder("pf")
+        N = bld.param("N")
+        A = bld.array("A", 4 * N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i)
+                ph.read(A, i + N)
+        prog = bld.build()
+        ph = prog.phase("F")
+        ctx = ph.loop_context(prog.context)
+        pd = union_rows(
+            compute_pd(ph, prog.arrays["A"], prog.context, simplify=False),
+            ctx,
+        )
+        assert len(pd.rows) == 2
+
+    def test_identical_rows_collapse(self):
+        bld = ProgramBuilder("id")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i)
+                ph.write(A, i)
+        prog = bld.build()
+        ph = prog.phase("F")
+        ctx = ph.loop_context(prog.context)
+        pd = union_rows(
+            compute_pd(ph, prog.arrays["A"], prog.context, simplify=False),
+            ctx,
+        )
+        assert len(pd.rows) == 1
+        # merged row remembers both access modes
+        assert len(pd.rows[0].kinds) == 2

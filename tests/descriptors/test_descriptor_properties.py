@@ -1,0 +1,136 @@
+"""Property tests: descriptor semantics equal brute-force interpretation.
+
+For randomly generated loop nests — affine strides, random depths,
+optional descending directions and power-of-two inner structure — the
+address set denoted by the simplified phase descriptor must equal the
+set enumerated by directly interpreting the loops.  This is the central
+soundness invariant of the whole descriptor algebra (construction,
+coalescing, union).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.descriptors import compute_pd, pd_addresses
+from repro.ir import ProgramBuilder, iteration_access_set, phase_access_set
+
+
+@st.composite
+def affine_nests(draw):
+    """A random 2- or 3-deep affine nest specification."""
+    depth = draw(st.integers(1, 3))
+    trips = [draw(st.integers(1, 5)) for _ in range(depth)]
+    strides = [draw(st.integers(1, 6)) for _ in range(depth)]
+    offset = draw(st.integers(0, 7))
+    descending = [draw(st.booleans()) for _ in range(depth)]
+    two_refs = draw(st.booleans())
+    shift = draw(st.integers(0, 9))
+    return dict(
+        trips=trips,
+        strides=strides,
+        offset=offset,
+        descending=descending,
+        two_refs=two_refs,
+        shift=shift,
+    )
+
+
+def build_from_spec(spec):
+    bld = ProgramBuilder("rand")
+    size = (
+        spec["offset"]
+        + sum(s * (t - 1) for s, t in zip(spec["strides"], spec["trips"]))
+        + spec["shift"]
+        + 1
+    )
+    A = bld.array("A", size)
+    with bld.phase("F") as ph:
+
+        def nest(level, subscript):
+            if level == len(spec["trips"]):
+                ph.read(A, subscript)
+                if spec["two_refs"]:
+                    ph.write(A, subscript + spec["shift"])
+                return
+            trip = spec["trips"][level]
+            stride = spec["strides"][level]
+            name = f"i{level}"
+            with ph.do(name, 0, trip - 1, parallel=(level == 0)) as idx:
+                term = (
+                    stride * idx
+                    if not spec["descending"][level]
+                    else stride * (trip - 1 - idx)
+                )
+                nest(level + 1, subscript + term)
+
+        nest(0, __import__("repro.symbolic", fromlist=["num"]).num(spec["offset"]))
+    return bld.build()
+
+
+@given(affine_nests())
+@settings(max_examples=120, deadline=None)
+def test_pd_region_equals_oracle(spec):
+    prog = build_from_spec(spec)
+    ph = prog.phase("F")
+    pd = compute_pd(ph, prog.arrays["A"], prog.context)
+    got = pd_addresses(pd, {})
+    want = phase_access_set(ph, {}, "A")
+    assert np.array_equal(got, want), (spec, got, want)
+
+
+@given(affine_nests())
+@settings(max_examples=80, deadline=None)
+def test_id_regions_equal_oracle(spec):
+    prog = build_from_spec(spec)
+    ph = prog.phase("F")
+    pd = compute_pd(ph, prog.arrays["A"], prog.context)
+    trip0 = spec["trips"][0]
+    for i in range(trip0):
+        got = pd_addresses(pd, {}, parallel_iteration=i)
+        want = iteration_access_set(ph, {}, "A", i)
+        assert np.array_equal(got, want), (spec, i)
+
+
+@given(affine_nests())
+@settings(max_examples=80, deadline=None)
+def test_simplified_rows_self_contained(spec):
+    prog = build_from_spec(spec)
+    ph = prog.phase("F")
+    pd = compute_pd(ph, prog.arrays["A"], prog.context)
+    assert all(r.is_self_contained() for r in pd.rows)
+
+
+@st.composite
+def pow2_nests(draw):
+    """TFFT2-shaped nests: 2**l-strided inner structure, random shapes."""
+    p_exp = draw(st.integers(2, 4))
+    outer_trip = draw(st.integers(1, 4))
+    outer_stride_factor = draw(st.sampled_from([1, 2]))
+    return dict(p_exp=p_exp, outer_trip=outer_trip,
+                factor=outer_stride_factor)
+
+
+@given(pow2_nests())
+@settings(max_examples=40, deadline=None)
+def test_pow2_nest_region_equals_oracle(spec):
+    from repro.symbolic import pow2, sym
+
+    bld = ProgramBuilder("pow2nest")
+    P, p = bld.pow2_param("P", "p")
+    A = bld.array("A", 4 * P * spec["outer_trip"])
+    with bld.phase("F") as ph:
+        with ph.doall("I", 0, spec["outer_trip"] - 1) as i:
+            with ph.do("L", 1, p) as l:
+                with ph.do("J", 0, P * pow2(-l) - 1) as j:
+                    with ph.do("K", 0, pow2(l - 1) - 1) as k:
+                        ph.read(
+                            A,
+                            spec["factor"] * P * i + pow2(l - 1) * j + k,
+                        )
+    prog = bld.build()
+    ph = prog.phase("F")
+    env = {"P": 2 ** spec["p_exp"], "p": spec["p_exp"]}
+    pd = compute_pd(ph, prog.arrays["A"], prog.context)
+    got = pd_addresses(pd, env)
+    want = phase_access_set(ph, env, "A")
+    assert np.array_equal(got, want), spec

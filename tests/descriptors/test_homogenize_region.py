@@ -1,0 +1,149 @@
+"""Cross-phase homogenization, offset adjustment, region edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.descriptors import (
+    adjust_distance,
+    compute_pd,
+    homogenize,
+    pd_addresses,
+    row_addresses,
+)
+from repro.ir import ProgramBuilder
+from repro.symbolic import FloorDiv, num, sym
+
+
+def two_phase_program(offset_g=0):
+    bld = ProgramBuilder("homog")
+    N = bld.param("N", minimum=4)
+    A = bld.array("A", 16 * N)
+    with bld.phase("Fk") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            with ph.do("t", 0, 3) as t:
+                ph.write(A, 8 * i + t)
+    with bld.phase("Fg") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            with ph.do("t", 0, 3) as t:
+                ph.read(A, 8 * i + t + offset_g)
+    return bld.build()
+
+
+class TestHomogenize:
+    def test_adjacent_regions_fuse(self):
+        prog = two_phase_program(offset_g=4)
+        pd_k = compute_pd(prog.phase("Fk"), prog.arrays["A"], prog.context)
+        pd_g = compute_pd(prog.phase("Fg"), prog.arrays["A"], prog.context)
+        ctx = prog.phase("Fk").loop_context(prog.context)
+        fused = homogenize(pd_k, pd_g, ctx)
+        assert fused is not None
+        assert fused.dims[-1].count == num(8)
+
+    def test_identical_regions(self):
+        prog = two_phase_program(offset_g=0)
+        pd_k = compute_pd(prog.phase("Fk"), prog.arrays["A"], prog.context)
+        pd_g = compute_pd(prog.phase("Fg"), prog.arrays["A"], prog.context)
+        ctx = prog.phase("Fk").loop_context(prog.context)
+        fused = homogenize(pd_k, pd_g, ctx)
+        assert fused is not None
+        assert fused.tau == num(0)
+        # both access modes survive the fuse
+        assert len(fused.kinds) == 2
+
+    def test_far_regions_do_not_fuse(self):
+        prog = two_phase_program(offset_g=6)  # gap of 2 between runs
+        pd_k = compute_pd(prog.phase("Fk"), prog.arrays["A"], prog.context)
+        pd_g = compute_pd(prog.phase("Fg"), prog.arrays["A"], prog.context)
+        ctx = prog.phase("Fk").loop_context(prog.context)
+        assert homogenize(pd_k, pd_g, ctx) is None
+
+    def test_multirow_pds_not_homogenized(self):
+        bld = ProgramBuilder("multi")
+        N = bld.param("N", minimum=4)
+        A = bld.array("A", 8 * N)
+        with bld.phase("Fk") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i)
+                ph.read(A, i + 4 * N)
+        with bld.phase("Fg") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i)
+        prog = bld.build()
+        pd_k = compute_pd(prog.phase("Fk"), prog.arrays["A"], prog.context)
+        pd_g = compute_pd(prog.phase("Fg"), prog.arrays["A"], prog.context)
+        ctx = prog.phase("Fk").loop_context(prog.context)
+        assert homogenize(pd_k, pd_g, ctx) is None
+
+
+class TestAdjustDistance:
+    def test_aligned_offset(self):
+        prog = two_phase_program(offset_g=0)
+        pd = compute_pd(prog.phase("Fg"), prog.arrays["A"], prog.context)
+        # R^k = floor((tau - tau_min) / delta_1); tau == tau_min here
+        assert adjust_distance(pd, num(0)) == num(0)
+
+    def test_shifted_offset_in_parallel_strides(self):
+        bld = ProgramBuilder("adj")
+        N = bld.param("N", minimum=4)
+        A = bld.array("A", 8 * N + 16)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, 8 * i + 16)
+        prog = bld.build()
+        pd = compute_pd(prog.phase("F"), prog.arrays["A"], prog.context)
+        # tau = 16, parallel stride 8: the region starts 2 strides in
+        assert adjust_distance(pd, num(0)) == num(2)
+
+    def test_symbolic_fallback_to_floor(self):
+        bld = ProgramBuilder("adjs")
+        N = bld.param("N", minimum=4)
+        M = bld.param("M", minimum=1)
+        A = bld.array("A", 8 * N + 64)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, 8 * i + sym("M"))
+        prog = bld.build()
+        pd = compute_pd(prog.phase("F"), prog.arrays["A"], prog.context)
+        r = adjust_distance(pd, num(0))
+        assert isinstance(r, FloorDiv)
+        assert r.evalf({"M": 19, "N": 4}) == 2
+
+
+class TestRegionEdgeCases:
+    def test_non_self_contained_rejected(self):
+        from repro.descriptors import compute_ard
+        from repro.codes import build_tfft2
+
+        prog = build_tfft2()
+        ph = prog.phase("F3_CFFTZWORK")
+        raw = compute_ard(ph.accesses("X")[0], prog.context)
+        with pytest.raises(ValueError):
+            row_addresses(raw, {"P": 8, "p": 3, "Q": 4, "q": 2})
+
+    def test_descending_parallel_iteration_view(self):
+        bld = ProgramBuilder("desc")
+        N = bld.param("N", minimum=4)
+        A = bld.array("A", N + 1)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, sym("N") - i)
+        prog = bld.build()
+        pd = compute_pd(prog.phase("F"), prog.arrays["A"], prog.context)
+        env = {"N": 8}
+        # iteration 0 touches the TOP of the region
+        assert list(pd_addresses(pd, env, parallel_iteration=0)) == [8]
+        assert list(pd_addresses(pd, env, parallel_iteration=7)) == [1]
+
+    def test_zero_count_rejected(self):
+        from repro.descriptors.ard import ARD, Dim
+        from repro.ir import AccessKind, ArrayDecl
+
+        row = ARD(
+            array=ArrayDecl("A", num(8)),
+            kinds=frozenset((AccessKind.READ,)),
+            dims=(Dim(stride=num(1), count=num(0)),),
+            tau=num(0),
+            subscript=num(0),
+        )
+        with pytest.raises(ValueError):
+            row_addresses(row, {})

@@ -1,0 +1,60 @@
+"""Chain regions: homogenization + adjust distances along L chains."""
+
+import pytest
+
+from repro.distribution.chainregion import chain_region
+from repro.symbolic import num, symbols
+
+P, Q = symbols("P Q")
+
+
+class TestTFFT2Chains:
+    def test_x_long_chain_region(self, tfft2_lcg):
+        chains = tfft2_lcg.chains("X")
+        long_chain = max(chains, key=len)
+        region = chain_region(tfft2_lcg, "X", long_chain)
+        assert region.base == num(0)
+        assert region.aligned()
+        assert region.members == tuple(long_chain)
+
+    def test_y_head_chain_homogenizes(self, tfft2_lcg):
+        # F1-F2 on Y: both touch the split planes; single-row union is
+        # impossible (two rows each), but the base and adjusts are exact
+        region = chain_region(
+            tfft2_lcg, "Y", ["F1_DO_100_RCFFTZ", "F2_TRANSA"]
+        )
+        assert region.base == num(0)
+        assert region.aligned()
+
+    def test_singleton_chain(self, tfft2_lcg):
+        region = chain_region(tfft2_lcg, "X", ["F1_DO_100_RCFFTZ"])
+        assert region.members == ("F1_DO_100_RCFFTZ",)
+        assert region.descriptor is not None
+
+
+class TestAdjustDistances:
+    def test_shifted_member_reports_adjust(self):
+        """A chain whose second member starts one parallel stride in."""
+        from repro.ir import ProgramBuilder
+        from repro.locality import build_lcg
+
+        bld = ProgramBuilder("adj")
+        N = bld.param("N", minimum=8)
+        A = bld.array("A", 4 * N + 8)
+        with bld.phase("Fk") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("t", 0, 3) as t:
+                    ph.write(A, 4 * i + t)
+        with bld.phase("Fg") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("t", 0, 3) as t:
+                    ph.read(A, 4 * i + t + 4)
+        prog = bld.build()
+        lcg = build_lcg(prog, env={"N": 32}, H_value=4)
+        region = chain_region(lcg, "A", ["Fk", "Fg"])
+        assert region.base == num(0)
+        assert region.adjusts["Fk"] == num(0)
+        # Fg's region starts one parallel stride (4 elements) later
+        assert region.adjusts["Fg"] == num(1)
+        # homogenization fuses the two single-row PDs (adjacent regions)
+        assert region.descriptor is not None

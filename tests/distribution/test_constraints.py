@@ -1,0 +1,114 @@
+"""Constraint extraction — the full Table 2 reproduction."""
+
+import pytest
+
+from repro.distribution import extract_constraints
+from repro.codes import TFFT2_PHASES
+from repro.symbolic import symbols
+
+P, Q = symbols("P Q")
+F1, F2, F3, F4, F5, F6, F7, F8 = TFFT2_PHASES
+
+
+@pytest.fixture(scope="module")
+def system(request):
+    from repro.codes import build_tfft2
+    from repro.locality import build_lcg
+
+    env = {"P": 16, "p": 4, "Q": 16, "q": 4}
+    lcg = build_lcg(build_tfft2(), env=env, H_value=4)
+    return extract_constraints(lcg)
+
+
+def loc_by_vars(system):
+    return {(c.var_k, c.var_g): c for c in system.locality}
+
+
+class TestTable2Locality:
+    """Table 2's locality rows, X column then Y column."""
+
+    def test_x_chain_equations(self, system):
+        eqs = loc_by_vars(system)
+        # p31 = p41
+        c = eqs[("p31", "p41")]
+        assert c.slope_k == 2 * P and c.slope_g == 2 * P and c.shift.is_zero
+        # P p41 = Q p51  (stated as 2P p41 = 2Q p51)
+        c = eqs[("p41", "p51")]
+        assert c.slope_k == 2 * P and c.slope_g == 2 * Q
+        # p51 = p61, p61 = p71
+        assert eqs[("p51", "p61")].slope_k == eqs[("p51", "p61")].slope_g
+        assert eqs[("p61", "p71")].slope_k == eqs[("p61", "p71")].slope_g
+        # 2Q p71 = p81
+        c = eqs[("p71", "p81")]
+        assert c.slope_k == 2 * Q and c.slope_g.is_one
+
+    def test_y_chain_equations(self, system):
+        eqs = loc_by_vars(system)
+        # p12 = Q p22
+        c = eqs[("p12", "p22")]
+        assert c.slope_k.is_one and c.slope_g == Q
+        # 2Q p72 = p82 (the paper prints p62; F7 carries the edge)
+        c = eqs[("p72", "p82")]
+        assert c.slope_k == 2 * Q and c.slope_g.is_one
+
+    def test_exactly_seven_locality_constraints(self, system):
+        assert len(system.locality) == 7
+
+
+class TestTable2LoadBalance:
+    def test_trip_counts(self, system):
+        trips = {c.var: c.trip for c in system.load_balance}
+        assert trips["p11"] == P * Q
+        assert trips["p21"] == P
+        assert trips["p31"] == Q
+        assert trips["p41"] == Q
+        assert trips["p51"] == P
+        assert trips["p61"] == P
+        assert trips["p71"] == P
+        # F8 runs the conjugate-pair half loop (see codes.tfft2 notes)
+        assert trips["p81"] == P * Q / 2
+
+    def test_every_node_has_a_bound(self, system):
+        bounded = {c.var for c in system.load_balance}
+        assert bounded == set(system.variables)
+
+
+class TestTable2Storage:
+    def test_f8_distances(self, system):
+        rows = [
+            (c.var, c.kind, c.limit)
+            for c in system.storage
+            if c.var in ("p81", "p82")
+        ]
+        limits = {(var, kind) for (var, kind, _) in rows}
+        assert ("p81", "shifted") in limits
+        assert ("p81", "reverse") in limits
+        vals = sorted(str(l) for (v, k, l) in rows if v == "p81")
+        # Δd = PQ; Δr/2 in {PQ/2, PQ, 3PQ/2}
+        assert any("1/2*P*Q" == s for s in vals)
+
+    def test_f1_f2_shifted_planes(self, system):
+        by_var = {}
+        for c in system.storage:
+            by_var.setdefault(c.var, []).append(c)
+        assert any(c.limit == P * Q for c in by_var["p12"])
+        assert any(
+            c.limit == P * Q and c.delta_p == Q for c in by_var["p22"]
+        )
+
+    def test_no_storage_rows_for_unshifted_phases(self, system):
+        vars_with_storage = {c.var for c in system.storage}
+        for var in ("p31", "p41", "p51", "p61", "p71", "p42"):
+            assert var not in vars_with_storage
+
+
+class TestTable2Affinity:
+    def test_every_phase_links_its_arrays(self, system):
+        pairs = {(c.var_a, c.var_b) for c in system.affinity}
+        expected = {(f"p{k}1", f"p{k}2") for k in range(1, 9)}
+        assert pairs == expected
+
+    def test_render_mentions_all_sections(self, system):
+        text = system.render()
+        for section in ("Locality", "Load balance", "Storage", "Affinity"):
+            assert section in text

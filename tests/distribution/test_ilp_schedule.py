@@ -1,0 +1,188 @@
+"""The Eq. 7 integer program, its two solvers, and the schedule/layouts."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import (
+    BlockCyclicLayout,
+    BlockLayout,
+    CyclicSchedule,
+    ReplicatedLayout,
+    extract_constraints,
+    imbalance_cost,
+    communication_cost,
+    reduce_system,
+    solve_enumerative,
+    solve_milp,
+)
+from repro.distribution.schedule import SegmentedLayout
+
+
+@pytest.fixture(scope="module")
+def tfft2_system():
+    from repro.codes import build_tfft2
+    from repro.locality import build_lcg
+
+    env = {"P": 16, "p": 4, "Q": 16, "q": 4}
+    lcg = build_lcg(build_tfft2(), env=env, H_value=4)
+    return extract_constraints(lcg), env
+
+
+class TestReduction:
+    def test_components_cover_all_variables(self, tfft2_system):
+        system, env = tfft2_system
+        comps = reduce_system(system, env, H=4)
+        seen = set()
+        for c in comps:
+            seen.update(c.members)
+        assert seen == set(system.variables)
+
+    def test_affinity_couples_arrays(self, tfft2_system):
+        system, env = tfft2_system
+        comps = reduce_system(system, env, H=4)
+        for c in comps:
+            if "p31" in c.members:
+                assert "p32" in c.members
+
+    def test_chain_ratios(self, tfft2_system):
+        system, env = tfft2_system
+        comps = reduce_system(system, env, H=4)
+        comp = next(c for c in comps if "p71" in c.members)
+        values = comp.values_for(comp.t_min)
+        # 2Q p71 = p81 with P=Q=16: p81 = 32 * p71
+        assert values["p81"] == 32 * values["p71"]
+
+
+class TestSolvers:
+    def test_solvers_agree(self, tfft2_system):
+        system, env = tfft2_system
+        a = solve_enumerative(system, env, H=4)
+        b = solve_milp(system, env, H=4)
+        assert a.phase_chunks == b.phase_chunks
+
+    def test_affinity_respected(self, tfft2_system):
+        system, env = tfft2_system
+        plan = solve_enumerative(system, env, H=4)
+        for var, p in plan.chunks.items():
+            phase, _ = system.variables[var]
+            assert plan.phase_chunks[phase] == p
+
+    def test_chunks_within_boxes(self, tfft2_system):
+        system, env = tfft2_system
+        H = 4
+        plan = solve_enumerative(system, env, H=H)
+        from fractions import Fraction
+
+        fenv = {k: Fraction(v) for k, v in env.items()}
+        for c in system.load_balance:
+            trip = int(c.trip.evalf(fenv))
+            assert 1 <= plan.chunks[c.var] <= -(-trip // H)
+
+    def test_relaxation_on_conflicting_array_couplings(self):
+        """Affinity + two arrays with different slope ratios is
+        unsatisfiable: p_k = p_g via A but 2 p_k = p_g via B.  The solver
+        must demote one L edge to communication instead of failing."""
+        from repro.ir import ProgramBuilder
+        from repro.locality import build_lcg
+
+        bld = ProgramBuilder("conflict")
+        N = bld.param("N", minimum=8)
+        A = bld.array("A", N)
+        B = bld.array("B", 2 * N)
+        with bld.phase("Fk") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(A, i)
+                ph.write(B, 2 * i)
+                ph.write(B, 2 * i + 1)
+        with bld.phase("Fg") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i)
+            # B read at unit parallel stride over twice the trip would
+            # change the trip; read pairs instead to keep one loop:
+        with bld.phase("Fh") as ph:
+            with ph.doall("j", 0, 2 * N - 1) as j:
+                ph.read(B, j)
+        prog = bld.build()
+        env = {"N": 32}
+        lcg = build_lcg(prog, env=env, H_value=4)
+        # A: Fk->Fg with p_k = p_g; B: Fk->Fh with 2 p_k = p_h.
+        # Now force a second, incompatible relation through Fg/Fh: add
+        # nothing — instead verify that a hand-tied system relaxes.
+        system = extract_constraints(lcg)
+        # Tie p of Fg and Fh incompatibly via a synthetic affinity (the
+        # kind a shared phase would create).
+        from repro.distribution.constraints import AffinityConstraint
+
+        var_g = system.var_name("Fg", "A")
+        var_h = system.var_name("Fh", "B")
+        system.affinity.append(
+            AffinityConstraint(var_a=var_g, var_b=var_h, phase="synthetic")
+        )
+        plan = solve_enumerative(system, env, H=4)
+        assert plan.relaxed_edges
+        # every phase still got a chunk
+        assert set(plan.phase_chunks) == {"Fk", "Fg", "Fh"}
+
+
+class TestCosts:
+    def test_perfect_balance_zero_cost(self):
+        assert imbalance_cost(trip=64, p=4, H=4, work_per_iter=2.0) == 0
+
+    def test_ragged_tail_cost(self):
+        # 10 iterations, p=4, H=2: rounds=2, makespan=8 iters, waste=6
+        assert imbalance_cost(trip=10, p=4, H=2) == 6
+
+    def test_monotone_in_chunk_for_fixed_trip(self):
+        costs = [imbalance_cost(100, p, 8) for p in (1, 2, 5, 13)]
+        assert costs[0] <= costs[-1]
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            imbalance_cost(10, 0, 2)
+
+    def test_communication_patterns(self):
+        glob = communication_cost(1000, H=4)
+        frontier = communication_cost(1000, H=4, overlap=2)
+        assert frontier < glob
+
+
+class TestSchedulesAndLayouts:
+    def test_cyclic_owner(self):
+        s = CyclicSchedule(trip=16, p=2, H=4)
+        assert list(s.owner(np.arange(8))) == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert s.owner(8) == 0  # wraps
+
+    def test_iterations_of(self):
+        s = CyclicSchedule(trip=12, p=2, H=3)
+        assert list(s.iterations_of(1)) == [2, 3, 8, 9]
+
+    def test_block_cyclic_layout(self):
+        lay = BlockCyclicLayout(origin=10, chunk=4, H=2)
+        assert lay.owner(10) == 0
+        assert lay.owner(14) == 1
+        assert lay.owner(18) == 0
+        assert lay.owner(5) == 0  # clamped below origin
+
+    def test_reversed_layout(self):
+        lay = BlockCyclicLayout(origin=0, chunk=2, H=2, span=8, reversed_=True)
+        # address 7 is "first" in reversed order -> PE 0
+        assert lay.owner(7) == 0
+        assert lay.owner(0) == 1  # last reversed block wraps around
+
+    def test_block_layout(self):
+        lay = BlockLayout(size=10, H=3)
+        assert list(lay.owner(np.arange(10))) == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_segmented_layout(self):
+        seg = SegmentedLayout(
+            segments=(
+                (0, 3, BlockCyclicLayout(origin=0, chunk=2, H=2)),
+                (4, 7, BlockCyclicLayout(origin=4, chunk=2, H=2)),
+            ),
+            H=2,
+        )
+        assert list(seg.owner(np.array([0, 2, 4, 6]))) == [0, 1, 0, 1]
+        assert seg.owner(5) == 0
+
+    def test_replicated_layout_str(self):
+        assert "REPLICATED" in str(ReplicatedLayout(H=4))

@@ -1,0 +1,110 @@
+"""Property tests on schedules and data layouts."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.distribution import (
+    BlockCyclicLayout,
+    BlockLayout,
+    CyclicSchedule,
+)
+from repro.distribution.schedule import SegmentedLayout
+
+
+@given(
+    trip=st.integers(1, 500),
+    p=st.integers(1, 64),
+    H=st.integers(1, 16),
+)
+@settings(max_examples=100, deadline=None)
+def test_cyclic_schedule_partition(trip, p, H):
+    """iterations_of forms a partition consistent with owner()."""
+    s = CyclicSchedule(trip=trip, p=p, H=H)
+    seen = np.zeros(trip, dtype=int)
+    for pe in range(H):
+        its = s.iterations_of(pe)
+        assert np.all(s.owner(its) == pe)
+        seen[its] += 1
+    assert np.all(seen == 1)
+
+
+@given(
+    origin=st.integers(0, 100),
+    chunk=st.integers(1, 32),
+    H=st.integers(1, 8),
+    n=st.integers(1, 300),
+)
+@settings(max_examples=100, deadline=None)
+def test_block_cyclic_owner_range_and_period(origin, chunk, H, n):
+    lay = BlockCyclicLayout(origin=origin, chunk=chunk, H=H)
+    addrs = np.arange(origin, origin + n)
+    owners = np.asarray(lay.owner(addrs))
+    assert owners.min() >= 0 and owners.max() < H
+    # periodicity: shifting by chunk*H preserves owners
+    shifted = np.asarray(lay.owner(addrs + chunk * H))
+    assert np.array_equal(owners, shifted)
+    # within one chunk the owner is constant
+    first = np.asarray(lay.owner(np.arange(origin, origin + chunk)))
+    assert len(set(first.tolist())) == 1
+
+
+@given(
+    chunk=st.integers(1, 16),
+    H=st.integers(1, 8),
+    span=st.integers(1, 200),
+)
+@settings(max_examples=100, deadline=None)
+def test_reversed_layout_mirrors_forward(chunk, H, span):
+    fwd = BlockCyclicLayout(origin=0, chunk=chunk, H=H)
+    rev = BlockCyclicLayout(origin=0, chunk=chunk, H=H, span=span,
+                            reversed_=True)
+    addrs = np.arange(span)
+    assert np.array_equal(
+        np.asarray(rev.owner(addrs)),
+        np.asarray(fwd.owner(span - 1 - addrs)),
+    )
+
+
+@given(
+    size=st.integers(1, 500),
+    H=st.integers(1, 16),
+)
+@settings(max_examples=100, deadline=None)
+def test_block_layout_contiguous_and_balanced(size, H):
+    lay = BlockLayout(size=size, H=H)
+    owners = np.asarray(lay.owner(np.arange(size)))
+    # nondecreasing (contiguous blocks) and within range
+    assert np.all(np.diff(owners) >= 0)
+    assert owners.max() < H
+    # block sizes differ by at most one ceil unit
+    counts = np.bincount(owners, minlength=H)
+    block = -(-size // H)
+    assert counts.max() <= block
+
+
+@given(
+    chunk=st.integers(1, 8),
+    H=st.integers(1, 4),
+    seg_len=st.integers(1, 40),
+    gap=st.integers(0, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_segmented_layout_delegates(chunk, H, seg_len, gap):
+    a = BlockCyclicLayout(origin=0, chunk=chunk, H=H)
+    b_origin = seg_len + gap
+    b = BlockCyclicLayout(origin=b_origin, chunk=chunk, H=H)
+    seg = SegmentedLayout(
+        segments=(
+            (0, seg_len - 1, a),
+            (b_origin, b_origin + seg_len - 1, b),
+        ),
+        H=H,
+    )
+    first = np.arange(seg_len)
+    second = np.arange(b_origin, b_origin + seg_len)
+    assert np.array_equal(
+        np.asarray(seg.owner(first)), np.asarray(a.owner(first))
+    )
+    assert np.array_equal(
+        np.asarray(seg.owner(second)), np.asarray(b.owner(second))
+    )

@@ -1,0 +1,99 @@
+"""Communication generation: puts, aggregation, patterns, makespans."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import MachineCosts
+from repro.dsm import (
+    CommunicationPlan,
+    PutOperation,
+    frontier_update,
+    redistribution,
+)
+
+
+class TestRedistribution:
+    def test_no_move_when_owners_agree(self):
+        addrs = np.arange(16)
+        owners = addrs // 4
+        plan = redistribution("A", ("F1", "F2"), addrs, owners, owners)
+        assert plan.volume == 0
+        assert plan.messages == 0
+
+    def test_full_exchange(self):
+        addrs = np.arange(8)
+        old = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        new = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+        plan = redistribution("A", ("F1", "F2"), addrs, old, new)
+        assert plan.volume == 8
+        assert plan.messages == 2  # aggregated: 0->1 and 1->0
+        pairs = {(p.source, p.dest, p.elements) for p in plan.puts}
+        assert pairs == {(0, 1, 4), (1, 0, 4)}
+
+    def test_aggregation_counts(self):
+        addrs = np.arange(6)
+        old = np.array([0, 0, 0, 1, 1, 2])
+        new = np.array([1, 1, 2, 1, 0, 2])
+        plan = redistribution("A", ("F1", "F2"), addrs, old, new)
+        # moved: 0->1 (x2), 0->2 (x1), 1->0 (x1); 1->1 and 2->2 stay
+        assert plan.volume == 4
+        assert plan.messages == 3
+
+    def test_pattern_label(self):
+        addrs = np.arange(4)
+        plan = redistribution("A", ("F1", "F2"), addrs,
+                              np.zeros(4, int), np.ones(4, int))
+        assert plan.pattern == "global"
+        assert "global" in str(plan)
+
+
+class TestFrontier:
+    def test_neighbour_puts(self):
+        plan = frontier_update("U", ("F1", "F2"), overlap=3, H=4)
+        assert plan.pattern == "frontier"
+        assert plan.messages == 6  # 2 per internal boundary
+        assert plan.volume == 18
+
+    def test_single_pe_no_traffic(self):
+        plan = frontier_update("U", ("F1", "F2"), overlap=3, H=1)
+        assert plan.messages == 0
+
+
+class TestCosts:
+    def setup_method(self):
+        self.machine = MachineCosts(alpha=10, beta=2, compute_scale=1)
+        self.plan = CommunicationPlan(
+            array="A",
+            edge=("F1", "F2"),
+            pattern="global",
+            puts=[
+                PutOperation(source=0, dest=1, elements=5),
+                PutOperation(source=2, dest=3, elements=5),
+            ],
+        )
+
+    def test_serialized_cost(self):
+        assert self.plan.cost(self.machine) == 2 * (10 + 10)
+
+    def test_parallel_makespan(self):
+        # the two puts use disjoint endpoint pairs: they overlap in time
+        assert self.plan.makespan(self.machine, H=4) == 20
+
+    def test_makespan_with_contention(self):
+        plan = CommunicationPlan(
+            array="A",
+            edge=("F1", "F2"),
+            pattern="global",
+            puts=[
+                PutOperation(source=0, dest=1, elements=5),
+                PutOperation(source=0, dest=2, elements=5),
+            ],
+        )
+        # PE 0 sends both messages: its bill serialises
+        assert plan.makespan(self.machine, H=4) == 40
+
+    def test_empty_plan(self):
+        plan = CommunicationPlan(array="A", edge=("a", "b"),
+                                 pattern="global", puts=[])
+        assert plan.makespan(self.machine) == 0.0
+        assert plan.cost(self.machine) == 0.0

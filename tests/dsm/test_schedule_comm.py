@@ -1,0 +1,103 @@
+"""Communication scheduling: placement between source and drain."""
+
+import pytest
+
+from repro import analyze
+from repro.dsm.schedule_comm import (
+    CommStep,
+    PhaseStep,
+    schedule_communications,
+)
+
+
+@pytest.fixture(scope="module")
+def tfft2_schedule():
+    from repro.codes import build_tfft2
+
+    env = {"P": 16, "p": 4, "Q": 16, "q": 4}
+    result = analyze(build_tfft2(), env=env, H=4, execute=False)
+    return schedule_communications(result.lcg, result.plan), result
+
+
+class TestPlacement:
+    def test_every_phase_scheduled_once_in_order(self, tfft2_schedule):
+        schedule, result = tfft2_schedule
+        names = [s.phase for s in schedule.phase_steps()]
+        assert names == [ph.name for ph in result.program.phases]
+
+    def test_comm_after_source_before_drain(self, tfft2_schedule):
+        schedule, _ = tfft2_schedule
+        positions = {
+            s.phase: i
+            for i, s in enumerate(schedule.steps)
+            if isinstance(s, PhaseStep)
+        }
+        for comm in schedule.comm_steps():
+            at = schedule.steps.index(comm)
+            assert positions[comm.source_phase] < at
+            assert at < positions[comm.drain_phase]
+
+    def test_c_edges_all_scheduled(self, tfft2_schedule):
+        schedule, result = tfft2_schedule
+        expected = {
+            (e.phase_k, e.phase_g, arr)
+            for arr in result.lcg.arrays()
+            for e in result.lcg.communication_edges(arr)
+        }
+        got = {
+            (c.source_phase, c.drain_phase, c.array)
+            for c in schedule.comm_steps()
+        }
+        assert expected <= got
+
+    def test_l_and_d_edges_silent(self, tfft2_schedule):
+        schedule, result = tfft2_schedule
+        comm_pairs = {
+            (c.source_phase, c.drain_phase, c.array)
+            for c in schedule.comm_steps()
+        }
+        relaxed = set(result.plan.relaxed_edges)
+        for arr in result.lcg.arrays():
+            for e in result.lcg.edges(arr):
+                if e.label in ("L", "D"):
+                    key = (e.phase_k, e.phase_g, arr)
+                    if key not in relaxed:
+                        assert key not in comm_pairs
+
+    def test_chunks_carried(self, tfft2_schedule):
+        schedule, result = tfft2_schedule
+        for step in schedule.phase_steps():
+            assert step.chunk == result.plan.phase_chunks[step.phase]
+
+    def test_render(self, tfft2_schedule):
+        schedule, _ = tfft2_schedule
+        text = schedule.render()
+        assert "execute" in text and "comm" in text
+
+
+class TestFrontierClassification:
+    def test_overlapped_c_edge_is_frontier(self):
+        """A W-R edge whose source overlaps becomes a frontier update."""
+        from repro.ir import ProgramBuilder
+
+        bld = ProgramBuilder("halo")
+        N = bld.param("N", minimum=16)
+        A = bld.array("A", N)
+        B = bld.array("B", N)
+        with bld.phase("Fk") as ph:
+            with ph.doall("i", 1, N - 2) as i:
+                ph.read(A, i - 1)
+                ph.read(A, i + 1)
+                ph.write(A, i)  # R/W with overlap: intra fails -> C
+                ph.write(B, i)
+        with bld.phase("Fg") as ph:
+            with ph.doall("i", 1, N - 2) as i:
+                ph.read(A, i)
+                ph.read(B, i)
+        prog = bld.build()
+        result = analyze(prog, env={"N": 128}, H=4, execute=False)
+        schedule = schedule_communications(result.lcg, result.plan)
+        kinds = {
+            (c.array, c.pattern) for c in schedule.comm_steps()
+        }
+        assert ("A", "frontier") in kinds

@@ -1,0 +1,125 @@
+"""Trace capture and the explain tool."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import BlockCyclicLayout, CyclicSchedule, ReplicatedLayout
+from repro.dsm.trace import explain_remote, record_phase
+from repro.ir import ProgramBuilder
+
+
+@pytest.fixture()
+def simple_phase():
+    bld = ProgramBuilder("trace")
+    N = bld.param("N", minimum=8)
+    A = bld.array("A", N)
+    with bld.phase("F") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            ph.read(A, i)
+            ph.write(A, i)
+    return bld.build()
+
+
+class TestRecord:
+    def test_aligned_layout_no_remote(self, simple_phase):
+        env = {"N": 16}
+        schedule = CyclicSchedule(trip=16, p=4, H=4)
+        layout = BlockCyclicLayout(origin=0, chunk=4, H=4)
+        trace = record_phase(
+            simple_phase.phase("F"), env, 4, schedule, {"A": layout}
+        )
+        assert trace.total_accesses == 32
+        assert trace.remote_accesses == 0
+
+    def test_misaligned_layout_all_remote(self, simple_phase):
+        env = {"N": 16}
+        schedule = CyclicSchedule(trip=16, p=4, H=4)
+        # shift the data one full block: every access lands off-PE
+        layout = BlockCyclicLayout(origin=4, chunk=4, H=4)
+        trace = record_phase(
+            simple_phase.phase("F"), env, 4, schedule, {"A": layout}
+        )
+        assert trace.remote_accesses > trace.total_accesses // 2
+
+    def test_replicated_counts_local(self, simple_phase):
+        env = {"N": 16}
+        schedule = CyclicSchedule(trip=16, p=4, H=4)
+        trace = record_phase(
+            simple_phase.phase("F"), env, 4, schedule,
+            {"A": ReplicatedLayout(H=4)},
+        )
+        assert trace.remote_accesses == 0
+
+    def test_histogram_matches_events(self, simple_phase):
+        env = {"N": 16}
+        schedule = CyclicSchedule(trip=16, p=4, H=4)
+        layout = BlockCyclicLayout(origin=4, chunk=4, H=4)
+        trace = record_phase(
+            simple_phase.phase("F"), env, 4, schedule, {"A": layout}
+        )
+        hist = trace.remote_histogram()
+        assert int(hist.sum()) == trace.remote_accesses
+
+    def test_events_of_pe(self, simple_phase):
+        env = {"N": 16}
+        schedule = CyclicSchedule(trip=16, p=4, H=4)
+        layout = BlockCyclicLayout(origin=0, chunk=4, H=4)
+        trace = record_phase(
+            simple_phase.phase("F"), env, 4, schedule, {"A": layout}
+        )
+        for pe in range(4):
+            for e in trace.events_of(pe):
+                assert e.pe == pe
+
+    def test_trace_agrees_with_executor_counts(self):
+        """Trace-level accounting equals the executor's counters."""
+        from repro import analyze
+        from repro.dsm import chain_layouts
+
+        from repro.codes import build_adi
+
+        env = {"M": 16, "N": 16}
+        prog = build_adi()
+        result = analyze(prog, env=env, H=4)
+        layouts = chain_layouts(result.lcg, result.plan, env, 4)
+        layouts.pop("__fold_edges__", None)
+        for stats, phase in zip(result.report.phases, prog.phases):
+            par = phase.parallel_loop
+            from fractions import Fraction
+
+            trip = int(
+                par.trip_count.evalf(
+                    {k: Fraction(v) for k, v in env.items()}
+                )
+            )
+            schedule = CyclicSchedule(
+                trip=trip, p=result.plan.phase_chunks[phase.name], H=4
+            )
+            phase_layouts = {
+                a.name: layouts[(phase.name, a.name)]
+                for a in phase.arrays()
+            }
+            trace = record_phase(phase, env, 4, schedule, phase_layouts)
+            assert trace.remote_accesses == int(stats.remote.sum())
+            assert trace.total_accesses == stats.total_accesses
+
+
+class TestExplain:
+    def test_explain_names_owner(self, simple_phase):
+        env = {"N": 16}
+        schedule = CyclicSchedule(trip=16, p=4, H=4)
+        layout = BlockCyclicLayout(origin=4, chunk=4, H=4)
+        trace = record_phase(
+            simple_phase.phase("F"), env, 4, schedule, {"A": layout}
+        )
+        text = explain_remote(trace)
+        assert "owned by PE" in text
+
+    def test_explain_clean_trace(self, simple_phase):
+        env = {"N": 16}
+        schedule = CyclicSchedule(trip=16, p=4, H=4)
+        layout = BlockCyclicLayout(origin=0, chunk=4, H=4)
+        trace = record_phase(
+            simple_phase.phase("F"), env, 4, schedule, {"A": layout}
+        )
+        assert "0 remote" in explain_remote(trace)

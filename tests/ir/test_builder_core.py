@@ -1,0 +1,207 @@
+"""Program/phase construction: the builder DSL and IR invariants."""
+
+import pytest
+
+from repro.ir import (
+    AccessKind,
+    LoopNode,
+    Phase,
+    ProgramBuilder,
+    RefNode,
+    Reference,
+    normalize_phase,
+)
+from repro.symbolic import num, pow2, sym
+
+
+def small_program():
+    bld = ProgramBuilder("demo")
+    N = bld.param("N")
+    A = bld.array("A", N)
+    B = bld.array("B", N, N)
+    with bld.phase("P1") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            with ph.do("j", 0, N - 1) as j:
+                ph.read(A, i)
+                ph.write(B, i, j)
+    return bld.build()
+
+
+class TestBuilder:
+    def test_phase_structure(self):
+        prog = small_program()
+        ph = prog.phase("P1")
+        assert ph.parallel_loop is not None
+        assert ph.parallel_loop.index.name == "i"
+        assert len(ph.all_loops()) == 2
+
+    def test_multidim_linearisation(self):
+        prog = small_program()
+        ph = prog.phase("P1")
+        b_access = ph.accesses("B")[0]
+        i, j, N = sym("i"), sym("j"), sym("N")
+        assert b_access.ref.subscript == i + N * j
+
+    def test_wrong_subscript_arity(self):
+        bld = ProgramBuilder("bad")
+        N = bld.param("N")
+        B = bld.array("B", N, N)
+        with pytest.raises(ValueError):
+            with bld.phase("P") as ph:
+                with ph.doall("i", 0, N - 1) as i:
+                    ph.read(B, i, i, i)
+
+    def test_two_parallel_loops_rejected(self):
+        bld = ProgramBuilder("bad")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with pytest.raises(ValueError):
+            with bld.phase("P") as ph:
+                with ph.doall("i", 0, N - 1) as i:
+                    with ph.doall("j", 0, N - 1) as j:
+                        ph.read(A, i + j)
+
+    def test_reference_outside_loop_rejected(self):
+        bld = ProgramBuilder("bad")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with pytest.raises(RuntimeError):
+            with bld.phase("P") as ph:
+                ph.read(A, num(0))
+
+    def test_loop_normalization_shifts_lower_bound(self):
+        bld = ProgramBuilder("norm")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 1, N - 2) as i:
+                # i here is the *original* induction value 1 + i'
+                ph.read(A, i)
+        prog = bld.build()
+        loop = prog.phase("P").parallel_loop
+        assert loop.lower == num(0)
+        assert loop.upper == sym("N") - 3
+        # subscript rewritten in terms of the normalized index
+        acc = prog.phase("P").accesses("A")[0]
+        assert acc.ref.subscript == sym("i") + 1
+
+    def test_loop_step_normalization(self):
+        bld = ProgramBuilder("step")
+        N = bld.param("N")
+        A = bld.array("A", 2 * N)
+        with bld.phase("P") as ph:
+            with ph.do("i", 0, 2 * N - 2, step=2, parallel=True) as i:
+                ph.read(A, i)
+        prog = bld.build()
+        loop = prog.phase("P").parallel_loop
+        assert loop.upper == sym("N") - 1
+        acc = prog.phase("P").accesses("A")[0]
+        assert acc.ref.subscript == 2 * sym("i")
+
+    def test_zero_step_rejected(self):
+        bld = ProgramBuilder("bad")
+        N = bld.param("N")
+        with pytest.raises(ValueError):
+            with bld.phase("P") as ph:
+                with ph.do("i", 0, N, step=0):
+                    pass
+
+
+class TestPhaseQueries:
+    def test_access_attribute(self):
+        prog = small_program()
+        ph = prog.phase("P1")
+        assert ph.access_attribute("A") == "R"
+        assert ph.access_attribute("B") == "W"
+
+    def test_rw_attribute(self):
+        bld = ProgramBuilder("rw")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.update(A, i)
+        assert bld.build().phase("P").access_attribute("A") == "R/W"
+
+    def test_privatizable_attribute(self):
+        bld = ProgramBuilder("priv")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(A, i)
+            ph.mark_privatizable(A)
+        assert bld.build().phase("P").access_attribute("A") == "P"
+
+    def test_unaccessed_array_raises(self):
+        prog = small_program()
+        with pytest.raises(KeyError):
+            prog.phase("P1").access_attribute("Z")
+
+    def test_arrays_in_order(self):
+        prog = small_program()
+        assert [a.name for a in prog.phase("P1").arrays()] == ["A", "B"]
+
+    def test_unknown_phase(self):
+        prog = small_program()
+        with pytest.raises(KeyError):
+            prog.phase("nope")
+
+    def test_loop_context_includes_ranges(self):
+        prog = small_program()
+        ph = prog.phase("P1")
+        ctx = ph.loop_context(prog.context)
+        assert len(ctx.loops) == 2
+        assert ctx.is_nonneg(sym("N") - 1 - sym("i"))
+
+
+class TestNonPerfectNests:
+    def test_mixed_children(self):
+        bld = ProgramBuilder("mix")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i, label="outer")
+                with ph.do("j", 0, N - 1) as j:
+                    ph.read(A, j, label="inner")
+        prog = bld.build()
+        accs = prog.phase("P").accesses("A")
+        depths = sorted(len(a.loops) for a in accs)
+        assert depths == [1, 2]
+
+    def test_two_sibling_inner_loops(self):
+        bld = ProgramBuilder("sib")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, N - 1) as j:
+                    ph.read(A, j)
+                with ph.do("k", 0, N - 1) as k:
+                    ph.write(A, k)
+        prog = bld.build()
+        assert len(prog.phase("P").accesses("A")) == 2
+
+
+class TestNormalizePhase:
+    def test_identity_for_normalized(self):
+        prog = small_program()
+        ph = prog.phase("P1")
+        ph2 = normalize_phase(ph)
+        assert len(ph2.accesses("A")) == len(ph.accesses("A"))
+
+    def test_manual_tree_normalization(self):
+        from repro.ir import ArrayDecl
+
+        N = sym("N")
+        A = ArrayDecl("A", N)
+        i = sym("i")
+        inner = RefNode(Reference(array=A, subscript=i, kind=AccessKind.READ))
+        loop = LoopNode(index=i, lower=num(2), upper=N, parallel=True,
+                        children=[inner])
+        ph = normalize_phase(Phase("P", roots=[loop]))
+        loop2 = ph.parallel_loop
+        assert loop2.lower == num(0)
+        assert loop2.upper == N - 2
+        assert ph.accesses("A")[0].ref.subscript == i + 2

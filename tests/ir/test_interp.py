@@ -1,0 +1,162 @@
+"""Concrete interpretation: exact address enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ProgramBuilder,
+    enumerate_phase,
+    iteration_access_set,
+    phase_access_set,
+    reference_addresses,
+)
+from repro.symbolic import pow2
+
+
+def build_affine():
+    bld = ProgramBuilder("affine")
+    N = bld.param("N")
+    A = bld.array("A", N * N)
+    with bld.phase("P") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            with ph.do("j", 0, N - 1) as j:
+                ph.read(A, N * i + j, label="r")
+    return bld.build()
+
+
+def build_f3_like():
+    bld = ProgramBuilder("f3")
+    P, p = bld.pow2_param("P", "p")
+    X = bld.array("X", 2 * P * P)
+    with bld.phase("F") as ph:
+        with ph.doall("I", 0, P - 1) as i:
+            with ph.do("L", 1, p) as l:
+                with ph.do("J", 0, P * pow2(-l) - 1) as j:
+                    with ph.do("K", 0, pow2(l - 1) - 1) as k:
+                        ph.read(X, 2 * P * i + pow2(l - 1) * j + k)
+    return bld.build()
+
+
+class TestAffineEnumeration:
+    def test_phase_access_set(self):
+        prog = build_affine()
+        addrs = phase_access_set(prog.phase("P"), {"N": 5}, "A")
+        assert np.array_equal(addrs, np.arange(25))
+
+    def test_iteration_access_set(self):
+        prog = build_affine()
+        got = iteration_access_set(prog.phase("P"), {"N": 5}, "A", 2)
+        assert np.array_equal(got, np.arange(10, 15))
+
+    def test_multiplicity_preserved(self):
+        bld = ProgramBuilder("dup")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i)
+                ph.read(A, i)  # same element twice
+        prog = bld.build()
+        total = 0
+        for ia in enumerate_phase(prog.phase("P"), {"N": 4}):
+            total += sum(t.addresses.size for t in ia.traces)
+        assert total == 8  # 4 iterations x 2 accesses
+
+    def test_enumerate_splits_by_iteration(self):
+        prog = build_affine()
+        records = list(enumerate_phase(prog.phase("P"), {"N": 3}, "A"))
+        assert [r.iteration for r in records] == [0, 1, 2]
+        assert all(
+            sum(t.addresses.size for t in r.traces) == 3 for r in records
+        )
+
+
+class TestNonAffineEnumeration:
+    def test_pow2_subscripts_match_manual(self):
+        prog = build_f3_like()
+        env = {"P": 8, "p": 3}
+        got = phase_access_set(prog.phase("F"), env, "X")
+        expected = set()
+        for i in range(8):
+            for l in range(1, 4):
+                for j in range(8 // 2**l):
+                    for k in range(2 ** (l - 1)):
+                        expected.add(16 * i + 2 ** (l - 1) * j + k)
+        assert np.array_equal(got, np.array(sorted(expected)))
+
+    def test_per_iteration_region_contiguous(self):
+        prog = build_f3_like()
+        env = {"P": 8, "p": 3}
+        region = iteration_access_set(prog.phase("F"), env, "X", 3)
+        assert np.array_equal(region, np.arange(48, 52))
+
+
+class TestReferenceAddresses:
+    def test_single_reference(self):
+        prog = build_affine()
+        acc = prog.phase("P").accesses("A")[0]
+        addrs = reference_addresses(acc, {"N": 3})
+        assert addrs.size == 9
+        assert np.array_equal(np.sort(addrs), np.arange(9))
+
+    def test_descending_subscript(self):
+        bld = ProgramBuilder("desc")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, N - 1 - i)
+        prog = bld.build()
+        acc = prog.phase("P").accesses("A")[0]
+        addrs = reference_addresses(acc, {"N": 4})
+        assert list(addrs) == [3, 2, 1, 0]
+
+
+class TestEdgeCases:
+    def test_empty_loop_range(self):
+        bld = ProgramBuilder("empty")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 1, 0) as j:  # zero-trip
+                    ph.read(A, j)
+        prog = bld.build()
+        assert phase_access_set(prog.phase("P"), {"N": 4}, "A").size == 0
+
+    def test_non_integer_bound_raises(self):
+        bld = ProgramBuilder("frac")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N / 2 - 1) as i:
+                ph.read(A, i)
+        prog = bld.build()
+        with pytest.raises(ValueError):
+            phase_access_set(prog.phase("P"), {"N": 5}, "A")
+
+    def test_sequential_only_phase(self):
+        bld = ProgramBuilder("seq")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        with bld.phase("P") as ph:
+            with ph.do("i", 0, N - 1) as i:
+                ph.read(A, i)
+        prog = bld.build()
+        records = list(enumerate_phase(prog.phase("P"), {"N": 4}))
+        assert len(records) == 1
+        assert records[0].iteration is None
+        assert records[0].traces[0].addresses.size == 4
+
+    def test_array_filter(self):
+        bld = ProgramBuilder("two")
+        N = bld.param("N")
+        A = bld.array("A", N)
+        B = bld.array("B", N)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i)
+                ph.write(B, i)
+        prog = bld.build()
+        for ia in enumerate_phase(prog.phase("P"), {"N": 4}, "B"):
+            assert all(t.array == "B" for t in ia.traces)

@@ -1,0 +1,210 @@
+"""Inter-procedural analysis: subroutine inlining and array reshaping.
+
+§1 of the paper: "One advantage of LMADs is that they can be computed
+inter-procedurally ... our techniques can handle array reshaping and,
+as a result, can be directly applied inter-procedurally."
+"""
+
+import numpy as np
+import pytest
+
+from repro.descriptors import compute_pd, pd_addresses
+from repro.ir import phase_access_set
+from repro.ir.parser import LoweringError, parse_and_lower
+from repro.symbolic import symbols
+
+P, Q = symbols("P Q")
+
+RESHAPE_SRC = """
+program reshaping
+  param P = 2**p
+  param Q = 2**q
+  array X(2*P*Q)
+  array Y(2*P*Q)
+
+  subroutine trans(A, B, M, N)
+    array A(M, N)     ! reshape: the 1-D actual viewed as M x N
+    array B(N, M)
+    doall I = 0, N - 1
+      do T = 0, M - 1
+        B(I, T) = A(T, I)
+      end do
+    end doall
+  end subroutine
+
+  phase TRANS
+    call trans(X, Y, 2*P, Q)
+  end phase
+  phase TRANS2
+    call trans(Y, X, 2*Q, P)
+  end phase
+end program
+"""
+
+
+@pytest.fixture(scope="module")
+def reshaped():
+    return parse_and_lower(RESHAPE_SRC)
+
+
+class TestReshaping:
+    def test_callee_shape_drives_linearisation(self, reshaped):
+        ph = reshaped.phase("TRANS")
+        read = next(
+            a for a in ph.accesses("X") if a.ref.kind.value == "R"
+        )
+        # A(T, I) with A reshaped to (2P, Q): linear T + 2P*I
+        i, t = symbols("I_c1 T_c1")
+        assert read.ref.subscript == t + 2 * P * i
+
+    def test_same_subroutine_two_shapes(self, reshaped):
+        """The second call reshapes the arrays the other way around."""
+        pd1 = compute_pd(
+            reshaped.phase("TRANS"), reshaped.arrays["X"], reshaped.context
+        )
+        pd2 = compute_pd(
+            reshaped.phase("TRANS2"), reshaped.arrays["X"], reshaped.context
+        )
+        # TRANS reads X in 2P-wide columns; TRANS2 writes X at stride P
+        assert pd1.rows[0].parallel_dim.stride == 2 * P
+        assert pd2.rows[0].parallel_dim.stride.is_one
+
+    def test_descriptors_match_brute_force(self, reshaped):
+        env = {"P": 8, "p": 3, "Q": 4, "q": 2}
+        for phase_name in ("TRANS", "TRANS2"):
+            ph = reshaped.phase(phase_name)
+            for arr in ("X", "Y"):
+                pd = compute_pd(ph, reshaped.arrays[arr], reshaped.context)
+                assert np.array_equal(
+                    pd_addresses(pd, env),
+                    phase_access_set(ph, env, arr),
+                ), (phase_name, arr)
+
+    def test_loop_indices_freshened_per_call(self, reshaped):
+        idx1 = {
+            l.index.name for l in reshaped.phase("TRANS").all_loops()
+        }
+        idx2 = {
+            l.index.name for l in reshaped.phase("TRANS2").all_loops()
+        }
+        assert idx1.isdisjoint(idx2)
+
+    def test_full_pipeline_labels_transpose_edge(self, reshaped):
+        """The reshaped pipeline exposes the classic transpose C edge."""
+        from repro.locality import build_lcg
+
+        env = {"P": 8, "p": 3, "Q": 8, "q": 3}
+        lcg = build_lcg(reshaped, env=env, H_value=4)
+        assert lcg.edge("Y", "TRANS", "TRANS2").label == "C"
+
+
+class TestCallMechanics:
+    def test_scalar_dummy_binding(self):
+        src = """
+program t
+  param N
+  array A(4*N)
+  subroutine fill(W, K)
+    doall i = 0, K - 1
+      W(i) = 1
+    end doall
+  end subroutine
+  phase F
+    call fill(A, 2*N)
+  end phase
+end program
+"""
+        prog = parse_and_lower(src)
+        loop = prog.phase("F").parallel_loop
+        from repro.symbolic import sym
+
+        assert loop.upper == 2 * sym("N") - 1
+
+    def test_nested_calls(self):
+        src = """
+program t
+  param N
+  array A(N)
+  subroutine inner(W)
+    doall i = 0, N - 1
+      W(i) = 1
+    end doall
+  end subroutine
+  subroutine outer(V)
+    call inner(V)
+  end subroutine
+  phase F
+    call outer(A)
+  end phase
+end program
+"""
+        prog = parse_and_lower(src)
+        assert len(prog.phase("F").accesses("A")) == 1
+
+    def test_unknown_subroutine(self):
+        src = """
+program t
+  param N
+  array A(N)
+  phase F
+    call nope(A)
+  end phase
+end program
+"""
+        with pytest.raises(LoweringError):
+            parse_and_lower(src)
+
+    def test_arity_mismatch(self):
+        src = """
+program t
+  param N
+  array A(N)
+  subroutine s(W, K)
+    doall i = 0, K - 1
+      W(i) = 1
+    end doall
+  end subroutine
+  phase F
+    call s(A)
+  end phase
+end program
+"""
+        with pytest.raises(LoweringError):
+            parse_and_lower(src)
+
+    def test_recursion_rejected(self):
+        src = """
+program t
+  param N
+  array A(N)
+  subroutine s(W)
+    call s(W)
+  end subroutine
+  phase F
+    call s(A)
+  end phase
+end program
+"""
+        with pytest.raises(LoweringError):
+            parse_and_lower(src)
+
+    def test_call_inside_loop(self):
+        src = """
+program t
+  param N
+  array A(N, N)
+  subroutine row(W, J)
+    do i = 0, N - 1
+      W(i, J) = 1
+    end do
+  end subroutine
+  phase F
+    doall j = 0, N - 1
+      call row(A, j)
+    end doall
+  end phase
+end program
+"""
+        prog = parse_and_lower(src)
+        acc = prog.phase("F").accesses("A")[0]
+        assert len(acc.loops) == 2

@@ -1,0 +1,248 @@
+"""The mini-Fortran front end: lexer, parser, lowering."""
+
+import numpy as np
+import pytest
+
+from repro.ir.parser import (
+    LexError,
+    LoweringError,
+    ParseError,
+    parse_and_lower,
+    parse_program,
+    tokenize,
+)
+from repro.ir.parser.lexer import TokenKind
+from repro.symbolic import pow2, sym
+
+
+FIG1 = """
+program figure1
+  param P = 2**p
+  param Q = 2**q
+  array X(2*P*Q)
+
+  phase F3
+    doall I = 0, Q - 1
+      do L = 1, p
+        do J = 0, P * 2**(-L) - 1
+          do K = 0, 2**(L - 1) - 1
+            X(2*P*I + 2**(L-1)*J + K + P/2) = &
+                f(X(2*P*I + 2**(L-1)*J + K))
+          end do
+        end do
+      end do
+    end doall
+  end phase
+end program
+"""
+
+
+class TestLexer:
+    def test_token_stream(self):
+        toks = tokenize("do I = 0, N - 1\n")
+        kinds = [t.kind for t in toks]
+        assert kinds[0] is TokenKind.KEYWORD
+        assert TokenKind.NEWLINE in kinds
+        assert kinds[-1] is TokenKind.EOF
+
+    def test_case_insensitive_keywords(self):
+        toks = tokenize("DoAll I = 0, 4\n")
+        assert toks[0].is_kw("doall")
+
+    def test_comments_stripped(self):
+        toks = tokenize("do I = 0, 4  ! a comment\n")
+        assert all("comment" not in t.text for t in toks)
+
+    def test_continuation(self):
+        toks = tokenize("X(I) = &\n  1\n")
+        newline_count = sum(
+            1 for t in toks if t.kind is TokenKind.NEWLINE
+        )
+        assert newline_count == 1
+
+    def test_double_star(self):
+        toks = tokenize("2**p\n")
+        assert toks[1].text == "**"
+
+    def test_junk_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("do I = 0 @ 4\n")
+
+
+class TestParser:
+    def test_figure1_structure(self):
+        ast = parse_program(FIG1)
+        assert ast.name == "figure1"
+        assert [p.name for p in ast.params] == ["P", "Q"]
+        assert ast.params[0].pow2_exponent == "p"
+        assert [a.name for a in ast.arrays] == ["X"]
+        assert len(ast.phases) == 1
+        phase = ast.phases[0]
+        assert phase.name == "F3"
+        loop = phase.body[0]
+        assert loop.parallel
+        assert loop.index == "I"
+
+    def test_nested_depth(self):
+        ast = parse_program(FIG1)
+        loop = ast.phases[0].body[0]
+        depth = 0
+        while loop.body and hasattr(loop.body[0], "body"):
+            loop = loop.body[0]
+            depth += 1
+        assert depth == 3  # L, J, K under the doall
+
+    def test_private_clause(self):
+        src = """
+program t
+  param N
+  array A(N)
+  array W(N)
+  phase F
+    doall i = 0, N - 1
+      W(i) = A(i)
+    end doall
+    private W
+  end phase
+end program
+"""
+        ast = parse_program(src)
+        assert ast.phases[0].private == ["W"]
+
+    def test_step_clause(self):
+        src = """
+program t
+  param N
+  array A(2*N)
+  phase F
+    doall i = 0, 2*N - 2, 2
+      A(i) = 1
+    end doall
+  end phase
+end program
+"""
+        ast = parse_program(src)
+        assert ast.phases[0].body[0].step is not None
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("program t\nphase F\ndoall i = 0, 4\n")
+
+    def test_scalar_assignment_rejected(self):
+        src = """
+program t
+  param N
+  array A(N)
+  phase F
+    doall i = 0, N - 1
+      x = A(i)
+    end doall
+  end phase
+end program
+"""
+        with pytest.raises(ParseError):
+            parse_program(src)
+
+
+class TestLowering:
+    def test_figure1_descriptor_roundtrip(self):
+        """Parsed Figure 1 reaches the same Figure 3(d) PD as the DSL."""
+        from repro.descriptors import compute_pd
+        from repro.symbolic import symbols
+
+        prog = parse_and_lower(FIG1)
+        P, Q = symbols("P Q")
+        pd = compute_pd(
+            prog.phase("F3"), prog.arrays["X"], prog.context
+        )
+        assert len(pd.rows) == 1
+        row = pd.rows[0]
+        assert [d.stride for d in row.dims] == [2 * P, sym("1") * 0 + 1]
+        assert [d.count for d in row.dims] == [Q, P]
+
+    def test_pow2_params_registered(self):
+        prog = parse_and_lower(FIG1)
+        assert "P" in prog.context.pow2
+        assert "Q" in prog.context.pow2
+
+    def test_reads_and_writes_extracted(self):
+        prog = parse_and_lower(FIG1)
+        accs = prog.phase("F3").accesses("X")
+        kinds = sorted(a.ref.kind.value for a in accs)
+        assert kinds == ["R", "W"]
+
+    def test_address_streams_match_dsl(self):
+        from repro.codes import build_tfft2
+        from repro.ir import phase_access_set
+
+        parsed = parse_and_lower(FIG1)
+        dsl = build_tfft2()
+        env = {"P": 8, "p": 3, "Q": 4, "q": 2}
+        got = phase_access_set(parsed.phase("F3"), env, "X")
+        want = phase_access_set(dsl.phase("F3_CFFTZWORK"), env, "X")
+        assert np.array_equal(got, want)
+
+    def test_multidim_array(self):
+        src = """
+program t
+  param M
+  param N
+  array A(M, N)
+  phase F
+    doall j = 0, N - 1
+      do i = 0, M - 1
+        A(i, j) = 1
+      end do
+    end doall
+  end phase
+end program
+"""
+        prog = parse_and_lower(src)
+        acc = prog.phase("F").accesses("A")[0]
+        i, j, M = sym("i"), sym("j"), sym("M")
+        assert acc.ref.subscript == i + M * j
+
+    def test_normalized_nonzero_lower_bound(self):
+        src = """
+program t
+  param N
+  array A(N)
+  phase F
+    doall i = 1, N - 2
+      A(i) = A(i - 1)
+    end doall
+  end phase
+end program
+"""
+        prog = parse_and_lower(src)
+        loop = prog.phase("F").parallel_loop
+        assert loop.lower.is_zero
+        writes = [
+            a for a in prog.phase("F").accesses("A")
+            if a.ref.kind.value == "W"
+        ]
+        assert writes[0].ref.subscript == sym("i") + 1
+
+    def test_call_in_subscript_rejected(self):
+        src = """
+program t
+  param N
+  array A(N)
+  phase F
+    doall i = 0, N - 1
+      A(g(i)) = 1
+    end doall
+  end phase
+end program
+"""
+        with pytest.raises(LoweringError):
+            parse_and_lower(src)
+
+    def test_full_pipeline_on_parsed_source(self):
+        from repro import analyze
+
+        prog = parse_and_lower(FIG1)
+        result = analyze(
+            prog, env={"P": 8, "p": 3, "Q": 8, "q": 3}, H=4
+        )
+        assert result.report.total_remote == 0

@@ -1,0 +1,155 @@
+"""Iteration descriptors: Figures 4 and 8, upper limits, memory gaps."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.descriptors import compute_pd
+from repro.iteration import IterationDescriptor
+from repro.ir import ProgramBuilder
+from repro.symbolic import num, pow2, sym, symbols
+
+P, Q = symbols("P Q")
+
+
+@pytest.fixture()
+def f3_id():
+    bld = ProgramBuilder("f3")
+    bld.pow2_param("P", "p")
+    bld.pow2_param("Q", "q")
+    X = bld.array("X", 2 * P * Q)
+    with bld.phase("F3") as ph:
+        with ph.doall("I", 0, Q - 1) as i:
+            with ph.do("L", 1, sym("p")) as l:
+                with ph.do("J", 0, P * pow2(-l) - 1) as j:
+                    with ph.do("K", 0, pow2(l - 1) - 1) as k:
+                        ph.read(X, 2 * P * i + pow2(l - 1) * j + k)
+                        ph.write(X, 2 * P * i + pow2(l - 1) * j + k + P / 2)
+    prog = bld.build()
+    ph = prog.phase("F3")
+    pd = compute_pd(ph, prog.arrays["X"], prog.context)
+    return IterationDescriptor(pd, ph.loop_context(prog.context))
+
+
+ENV = {"P": 4, "p": 2, "Q": 3, "q": 0}  # the paper's Figure 4/8 sizes
+
+
+def ev(expr):
+    return expr.evalf({k: Fraction(v) for k, v in ENV.items()})
+
+
+class TestFigure4And8:
+    def test_single_term_after_simplification(self, f3_id):
+        assert len(f3_id.rows) == 1
+
+    def test_extended_offsets(self, f3_id):
+        # tau_B(i) = 0 + i * 2P: Figure 4's region anchors 0, 8, 16
+        assert [ev(f3_id.base(i)) for i in range(3)] == [0, 8, 16]
+
+    def test_upper_limits(self, f3_id):
+        # Figure 8: UL(I(X,0)) = 3, UL(I(X,1)) = 11, UL(I(X,2)) = 19
+        assert [ev(f3_id.upper_limit(i)) for i in range(3)] == [3, 11, 19]
+
+    def test_memory_gap(self, f3_id):
+        # Figure 8: h = 4 (for P = 4); symbolically h = P
+        assert f3_id.memory_gap() == P
+        assert ev(f3_id.memory_gap()) == 4
+
+    def test_balanced_value_is_2P_p(self, f3_id):
+        p3 = sym("p3")
+        assert f3_id.balanced_value(p3) == 2 * P * p3
+
+    def test_balanced_affine(self, f3_id):
+        p3 = sym("p3")
+        slope, const = f3_id.balanced_affine(p3)
+        assert slope == 2 * P
+        assert const == num(0)
+
+    def test_chunk_upper_limit(self, f3_id):
+        # UL over a chunk of 2 iterations starting at 0: UL(I(1)) = 11
+        assert ev(f3_id.upper_limit_chunk(0, 2)) == 11
+
+    def test_parallel_trip(self, f3_id):
+        assert f3_id.parallel_trip == Q
+
+
+class TestInterleavedID:
+    """A TRANSA-like phase: delta_P = 1, big sequential extent, gap 0."""
+
+    def setup_method(self):
+        bld = ProgramBuilder("transa")
+        N = bld.param("N")
+        M = bld.param("M")
+        A = bld.array("A", N * M)
+        with bld.phase("F") as ph:
+            with ph.doall("j", 0, N - 1) as j:
+                with ph.do("t", 0, M - 1) as t:
+                    ph.write(A, j + sym("N") * t)
+        prog = bld.build()
+        ph = prog.phase("F")
+        pd = compute_pd(ph, prog.arrays["A"], prog.context)
+        self.idesc = IterationDescriptor(pd, ph.loop_context(prog.context))
+
+    def test_gap_clamped_to_zero(self):
+        assert self.idesc.memory_gap() == num(0)
+
+    def test_balanced_value_interleaved_form(self):
+        # UL(p) + h + 1 = (p-1) + N(M-1) + 1 = p + NM - N
+        pk = sym("pk")
+        N, M = sym("N"), sym("M")
+        assert self.idesc.balanced_value(pk) == pk + N * M - N
+
+
+class TestDescendingID:
+    def setup_method(self):
+        bld = ProgramBuilder("rev")
+        N = bld.param("N")
+        A = bld.array("A", N + 1)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, sym("N") - i)
+        prog = bld.build()
+        ph = prog.phase("F")
+        pd = compute_pd(ph, prog.arrays["A"], prog.context)
+        self.idesc = IterationDescriptor(pd, ph.loop_context(prog.context))
+
+    def test_base_walks_down(self):
+        env = {"N": 8}
+        vals = [
+            self.idesc.rows[0].base(i).evalf(env) for i in range(3)
+        ]
+        assert vals == [8, 7, 6]
+
+    def test_chunk_upper_limit_at_first_iteration(self):
+        # descending: the max address over a chunk is at iteration i
+        env = {"N": 8}
+        assert self.idesc.upper_limit_chunk(0, 4).evalf(env) == 8
+
+
+class TestMultiRowID:
+    def setup_method(self):
+        bld = ProgramBuilder("two")
+        N = bld.param("N")
+        A = bld.array("A", 2 * N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(A, i)
+                ph.read(A, i + sym("N"))
+        prog = bld.build()
+        ph = prog.phase("F")
+        pd = compute_pd(ph, prog.arrays["A"], prog.context)
+        self.idesc = IterationDescriptor(pd, ph.loop_context(prog.context))
+
+    def test_two_rows(self):
+        assert len(self.idesc.rows) == 2
+
+    def test_primary_row_is_lowest(self):
+        assert self.idesc.primary_row().base0 == num(0)
+
+    def test_balanced_value_uses_primary(self):
+        pk = sym("pk")
+        assert self.idesc.balanced_value(pk) == pk
+
+    def test_combined_upper_limit(self):
+        env = {"N": 8}
+        assert self.idesc.upper_limit(2).evalf(env) == 10

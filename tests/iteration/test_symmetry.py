@@ -1,0 +1,167 @@
+"""Storage symmetry: shifted, reverse and overlapping distances (§3)."""
+
+import pytest
+
+from repro.descriptors import compute_pd
+from repro.iteration import IterationDescriptor, analyze_symmetry
+from repro.ir import ProgramBuilder
+from repro.symbolic import num, sym
+
+
+def make_id(build_refs, params=("N",), arrays=(("A", lambda N: 4 * N),)):
+    bld = ProgramBuilder("sym")
+    syms = {name: bld.param(name) for name in params}
+    decls = {}
+    for name, size_fn in arrays:
+        decls[name] = bld.array(name, size_fn(*syms.values()))
+    with bld.phase("F") as ph:
+        build_refs(ph, syms, decls)
+    prog = bld.build()
+    ph = prog.phase("F")
+    ctx = ph.loop_context(prog.context)
+    pd = compute_pd(ph, decls["A"], prog.context)
+    return IterationDescriptor(pd, ctx), ctx
+
+
+class TestShifted:
+    def test_split_plane_distance(self):
+        """A(i) and A(i + 2N): Δd = 2N (TFFT2 F1-style planes)."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(decls["A"], i)
+                ph.write(decls["A"], i + 2 * N)
+
+        idesc, ctx = make_id(refs)
+        s = analyze_symmetry(idesc, ctx)
+        assert len(s.shifted) == 1
+        assert s.shifted[0][2] == 2 * sym("N")
+        assert not s.has_overlap
+
+    def test_different_patterns_not_shifted(self):
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(decls["A"], i)
+                ph.write(decls["A"], 2 * i + 2 * N)
+
+        idesc, ctx = make_id(refs)
+        s = analyze_symmetry(idesc, ctx)
+        assert not s.shifted
+
+
+class TestReverse:
+    def test_mirror_pair(self):
+        """A(i) and A(2N - i): Δr = 2N."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(decls["A"], i)
+                ph.write(decls["A"], 2 * N - i)
+
+        idesc, ctx = make_id(refs)
+        s = analyze_symmetry(idesc, ctx)
+        assert len(s.reverse) == 1
+        assert s.reverse[0][2] == 2 * sym("N")
+
+    def test_same_direction_not_reverse(self):
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(decls["A"], i)
+                ph.write(decls["A"], i + 2 * N)
+
+        idesc, ctx = make_id(refs)
+        assert not analyze_symmetry(idesc, ctx).reverse
+
+
+class TestOverlap:
+    def test_single_row_iteration_overlap(self):
+        """A(2i ... 2i+4): extent 4 > delta_P 2 -> Δs = 3."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, 4) as j:
+                    ph.read(decls["A"], 2 * i + j)
+
+        idesc, ctx = make_id(refs)
+        s = analyze_symmetry(idesc, ctx)
+        assert s.has_overlap
+        assert s.overlap[0][2] == num(3)
+
+    def test_halo_cluster_overlap(self):
+        """Jacobi's three unit rows combine: Δs = 2."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 1, N - 2) as i:
+                ph.read(decls["A"], i - 1)
+                ph.read(decls["A"], i)
+                ph.read(decls["A"], i + 1)
+
+        idesc, ctx = make_id(refs)
+        s = analyze_symmetry(idesc, ctx)
+        assert s.has_overlap
+        dists = {d for (_, _, d) in s.overlap}
+        assert num(2) in dists
+
+    def test_split_planes_do_not_cluster(self):
+        """Rows at distance 2N must not merge into a fake overlap."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(decls["A"], i)
+                ph.read(decls["A"], i + 2 * N)
+
+        idesc, ctx = make_id(refs)
+        assert not analyze_symmetry(idesc, ctx).has_overlap
+
+    def test_dense_tiling_no_overlap(self):
+        """A(4i + j), j<4: consecutive iterations abut exactly."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, 3) as j:
+                    ph.read(decls["A"], 4 * i + j)
+
+        idesc, ctx = make_id(refs)
+        assert not analyze_symmetry(idesc, ctx).has_overlap
+
+    def test_parallel_invariant_row_full_overlap(self):
+        """A reference not using the parallel index overlaps totally."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, 3) as j:
+                    ph.read(decls["A"], j)
+
+        idesc, ctx = make_id(refs)
+        s = analyze_symmetry(idesc, ctx)
+        assert s.has_overlap
+
+
+class TestTFFT2F8Distances:
+    """The storage distances behind Table 2: Δd = PQ, Δr = PQ and 2PQ."""
+
+    def test_distances(self):
+        from repro.codes import build_tfft2
+
+        prog = build_tfft2()
+        ph = prog.phase("F8_DO_110_RCFFTZ")
+        ctx = ph.loop_context(prog.context)
+        pd = compute_pd(ph, prog.arrays["X"], prog.context)
+        idesc = IterationDescriptor(pd, ctx)
+        s = analyze_symmetry(idesc, ctx)
+        P, Q = sym("P"), sym("Q")
+        shifted = {d for (_, _, d) in s.shifted}
+        reverse = {d for (_, _, d) in s.reverse}
+        assert P * Q in shifted
+        assert P * Q in reverse
+        assert 2 * P * Q in reverse
+        assert not s.has_overlap

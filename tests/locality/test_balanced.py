@@ -1,0 +1,170 @@
+"""The balanced locality condition — paper Eq. 1–6 (§4.2)."""
+
+import pytest
+
+from repro.descriptors import compute_pd
+from repro.iteration import IterationDescriptor
+from repro.locality import Feasibility, balanced_condition
+from repro.ir import ProgramBuilder
+from repro.symbolic import num, pow2, sym, symbols
+
+P, Q, H = symbols("P Q H")
+
+
+def tfft2_ids():
+    """Iteration descriptors of X for TFFT2's F2, F3, F4 phases."""
+    from repro.codes import build_tfft2
+
+    prog = build_tfft2()
+    ids = {}
+    for name in ("F2_TRANSA", "F3_CFFTZWORK", "F4_TRANSC"):
+        ph = prog.phase(name)
+        pd = compute_pd(ph, prog.arrays["X"], prog.context)
+        ids[name] = IterationDescriptor(pd, ph.loop_context(prog.context))
+    return prog, ids
+
+
+class TestEquation4to6:
+    """F2–F3: p2 + 2QP - P = 2P p3, infeasible inside the boxes."""
+
+    def setup_method(self):
+        self.prog, self.ids = tfft2_ids()
+        self.ctx = self.prog.context
+
+    def test_equation_shape(self):
+        bal = balanced_condition(
+            self.ids["F2_TRANSA"], self.ids["F3_CFFTZWORK"], self.ctx
+        )
+        assert bal.affine
+        assert bal.slope_k == num(1)
+        assert bal.slope_g == 2 * P
+        # c = -(2QP - P): LHS p2 + 2QP - P = RHS 2P p3
+        assert bal.shift == P - 2 * P * Q
+
+    def test_unbounded_solution_is_P_Q(self):
+        bal = balanced_condition(
+            self.ids["F2_TRANSA"], self.ids["F3_CFFTZWORK"], self.ctx
+        )
+        env = {"P": 16, "p": 4, "Q": 8, "q": 3}
+        sol = bal.solve_concrete(env, H=1)
+        # with H = 1 the boxes are the full trips: solution (P, Q)
+        assert sol.smallest() == (16, 8)
+
+    def test_infeasible_for_H_greater_1(self):
+        bal = balanced_condition(
+            self.ids["F2_TRANSA"], self.ids["F3_CFFTZWORK"], self.ctx
+        )
+        env = {"P": 16, "p": 4, "Q": 8, "q": 3}
+        for Hv in (2, 4, 8):
+            assert not bal.solve_concrete(env, H=Hv).feasible
+
+    def test_f3_f4_symbolically_feasible(self):
+        bal = balanced_condition(
+            self.ids["F3_CFFTZWORK"], self.ids["F4_TRANSC"], self.ctx
+        )
+        verdict, witness = bal.check_symbolic(self.ctx, H)
+        assert verdict is Feasibility.FEASIBLE
+        assert witness == (num(1), num(1))
+
+    def test_f3_f4_solution_count_is_ceil_Q_over_H(self):
+        """Figure 9(c): ceil(Q/H) integer solutions."""
+        bal = balanced_condition(
+            self.ids["F3_CFFTZWORK"], self.ids["F4_TRANSC"], self.ctx
+        )
+        env = {"P": 16, "p": 4, "Q": 8, "q": 3}
+        for Hv in (2, 4, 8):
+            sol = bal.solve_concrete(env, H=Hv)
+            assert sol.count == -(-8 // Hv)
+            assert all(pk == pg for pk, pg in sol)
+
+
+class TestSymbolicDecisions:
+    def _ids_for(self, slope_k, slope_g, trip_k, trip_g):
+        bld = ProgramBuilder("bal")
+        N = bld.param("N")
+        A = bld.array("A", 64 * N)
+        with bld.phase("Fk") as ph:
+            with ph.doall("i", 0, trip_k(N) - 1) as i:
+                with ph.do("t", 0, slope_k(N) - 1) as t:
+                    ph.read(A, slope_k(N) * i + t)
+        with bld.phase("Fg") as ph:
+            with ph.doall("i", 0, trip_g(N) - 1) as i:
+                with ph.do("t", 0, slope_g(N) - 1) as t:
+                    ph.write(A, slope_g(N) * i + t)
+        prog = bld.build()
+        out = []
+        for name in ("Fk", "Fg"):
+            ph = prog.phase(name)
+            pd = compute_pd(ph, prog.arrays["A"], prog.context)
+            out.append(
+                IterationDescriptor(pd, ph.loop_context(prog.context))
+            )
+        return prog.context, out[0], out[1]
+
+    def test_equal_slopes_feasible(self):
+        ctx, idk, idg = self._ids_for(
+            lambda N: 4, lambda N: 4, lambda N: N, lambda N: N
+        )
+        bal = balanced_condition(idk, idg, ctx)
+        verdict, witness = bal.check_symbolic(ctx, H)
+        assert verdict is Feasibility.FEASIBLE
+
+    def test_integer_ratio_witness(self):
+        ctx, idk, idg = self._ids_for(
+            lambda N: 2, lambda N: 8, lambda N: 4 * N, lambda N: N
+        )
+        bal = balanced_condition(idk, idg, ctx)
+        verdict, witness = bal.decide(ctx, H, env={"N": 16}, H_value=2)
+        assert verdict is Feasibility.FEASIBLE
+        # 2 p_k = 8 p_g: minimal (4, 1)
+        assert tuple(int(str(w)) for w in witness) == (4, 1)
+
+    def test_halo_slack_absorbs_shift(self):
+        """Equal slopes, |shift| <= Δs: condition treated as aligned."""
+        bld = ProgramBuilder("halo")
+        N = bld.param("N", minimum=4)  # witness fitting needs trip >= 1
+        A = bld.array("A", N)
+        with bld.phase("Fk") as ph:
+            with ph.doall("i", 1, N - 2) as i:
+                ph.read(A, i - 1)
+                ph.read(A, i)
+                ph.read(A, i + 1)
+        with bld.phase("Fg") as ph:
+            with ph.doall("i", 1, N - 2) as i:
+                ph.write(A, i)
+        prog = bld.build()
+        ids = []
+        for name in ("Fk", "Fg"):
+            ph = prog.phase(name)
+            pd = compute_pd(ph, prog.arrays["A"], prog.context)
+            ids.append(IterationDescriptor(pd, ph.loop_context(prog.context)))
+        bal_no_slack = balanced_condition(ids[0], ids[1], prog.context)
+        assert not bal_no_slack.shift.is_zero
+        bal = balanced_condition(
+            ids[0], ids[1], prog.context, halo_slack=num(2)
+        )
+        assert bal.shift.is_zero
+        verdict, _ = bal.check_symbolic(prog.context, H)
+        assert verdict is Feasibility.FEASIBLE
+
+    def test_symbolic_infeasibility_proof(self):
+        """TFFT2 F1–F2: p11 = p21 + (2PQ - P), provably over the box."""
+        from repro.codes import build_tfft2
+
+        prog = build_tfft2()
+        ids = []
+        for name in ("F1_DO_100_RCFFTZ", "F2_TRANSA"):
+            ph = prog.phase(name)
+            pd = compute_pd(ph, prog.arrays["X"], prog.context)
+            ids.append(IterationDescriptor(pd, ph.loop_context(prog.context)))
+        bal = balanced_condition(ids[0], ids[1], prog.context)
+        verdict, _ = bal.check_symbolic(prog.context, H)
+        assert verdict is Feasibility.INFEASIBLE
+
+    def test_decide_falls_back_to_concrete(self):
+        ctx, idk, idg = self._ids_for(
+            lambda N: 2, lambda N: 8, lambda N: 4 * N, lambda N: N
+        )
+        bal = balanced_condition(idk, idg, ctx)
+        verdict, _ = bal.decide(ctx, H)  # no env: stays unknown
+        assert verdict in (Feasibility.UNKNOWN, Feasibility.FEASIBLE)

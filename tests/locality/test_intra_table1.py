@@ -1,0 +1,112 @@
+"""Theorem 1 (intra-phase locality) and the Table 1 label classification."""
+
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.locality import check_intra_phase, classify_edge
+from repro.locality.table1 import ATTRIBUTES, EDGE_LABEL_TABLE
+
+
+def phase_with(refs, privatize=False):
+    bld = ProgramBuilder("t1")
+    N = bld.param("N")
+    A = bld.array("A", 8 * N)
+    with bld.phase("F") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            refs(ph, A, i)
+        if privatize:
+            ph.mark_privatizable(A)
+    prog = bld.build()
+    return prog, prog.phase("F"), prog.arrays["A"]
+
+
+class TestTheorem1:
+    def test_case_a_privatizable(self):
+        prog, ph, A = phase_with(
+            lambda ph, A, i: (ph.write(A, i), ph.read(A, i)), privatize=True
+        )
+        res = check_intra_phase(ph, A, prog.context)
+        assert res.holds and res.case == "a"
+        assert res.attribute == "P"
+
+    def test_case_b_no_overlap(self):
+        prog, ph, A = phase_with(lambda ph, A, i: ph.write(A, i))
+        res = check_intra_phase(ph, A, prog.context)
+        assert res.holds and res.case == "b"
+        assert not res.has_overlap
+
+    def test_case_c_overlap_read_only(self):
+        def refs(ph, A, i):
+            ph.read(A, i)
+            ph.read(A, i + 1)
+
+        prog, ph, A = phase_with(refs)
+        res = check_intra_phase(ph, A, prog.context)
+        assert res.holds and res.case == "c"
+        assert res.has_overlap
+        assert res.attribute == "R"
+
+    def test_fails_overlap_with_writes(self):
+        def refs(ph, A, i):
+            ph.read(A, i + 1)
+            ph.write(A, i)
+
+        prog, ph, A = phase_with(refs)
+        res = check_intra_phase(ph, A, prog.context)
+        assert not res.holds
+        assert res.case is None
+        assert res.attribute == "R/W"
+
+    def test_memoised_per_phase(self):
+        prog, ph, A = phase_with(lambda ph, A, i: ph.write(A, i))
+        r1 = check_intra_phase(ph, A, prog.context)
+        r2 = check_intra_phase(ph, A, prog.context)
+        assert r1 is r2
+
+
+class TestTable1:
+    def test_all_paper_rows_present(self):
+        # the paper's 15 rows + the P-R row it omits
+        assert len(EDGE_LABEL_TABLE) == 16
+        for pair in EDGE_LABEL_TABLE:
+            assert pair[0] in ATTRIBUTES and pair[1] in ATTRIBUTES
+
+    @pytest.mark.parametrize(
+        "attr_k,attr_g,overl,bal,expected",
+        [
+            # R rows: locality iff balanced, overlap irrelevant
+            ("R", "R", True, True, "L"),
+            ("R", "R", True, False, "C"),
+            ("R", "W", False, True, "L"),
+            ("R", "R/W", False, False, "C"),
+            # W rows: overlap forces C (halo copies would be stale)
+            ("W", "R", True, True, "C"),
+            ("W", "W", True, True, "C"),
+            ("W", "R", False, True, "L"),
+            ("W", "W", False, False, "C"),
+            # R/W rows behave like R
+            ("R/W", "R", True, True, "L"),
+            ("R/W", "W", False, True, "L"),
+            ("R/W", "R/W", True, False, "C"),
+            # privatizable pairs: un-coupled, except W-P with overlap
+            ("R", "P", True, True, "D"),
+            ("W", "P", True, True, "C"),
+            ("W", "P", False, False, "D"),
+            ("P", "P", False, True, "D"),
+            ("P", "W", True, False, "D"),
+            ("P", "R", False, True, "D"),
+        ],
+    )
+    def test_classification(self, attr_k, attr_g, overl, bal, expected):
+        assert classify_edge(attr_k, attr_g, overl, bal) == expected
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            classify_edge("X", "R", False, False)
+
+    def test_l_entries_require_balanced(self):
+        """No (row, overlap) combination yields L without balance."""
+        for (attr_k, attr_g), row in EDGE_LABEL_TABLE.items():
+            overl_nonbal, nonoverl_nonbal = row[1], row[3]
+            assert overl_nonbal != "L"
+            assert nonoverl_nonbal != "L"

@@ -1,0 +1,111 @@
+"""The LCG of TFFT2 — the Figure 6 reproduction — plus graph mechanics."""
+
+import pytest
+
+from repro.codes import TFFT2_PHASES
+from repro.locality import build_lcg
+
+F1, F2, F3, F4, F5, F6, F7, F8 = TFFT2_PHASES
+
+
+class TestFigure6:
+    """Attributes and edge labels of the paper's Figure 6, verbatim."""
+
+    def test_x_attributes(self, tfft2_lcg):
+        got = [tfft2_lcg.attribute("X", ph) for ph in TFFT2_PHASES]
+        assert got == ["R", "W", "R/W", "R", "W", "R/W", "R", "W"]
+
+    def test_y_attributes(self, tfft2_lcg):
+        got = [tfft2_lcg.attribute("Y", ph) for ph in TFFT2_PHASES]
+        assert got == ["W", "R", "P", "W", "R", "P", "W", "R"]
+
+    def test_x_edge_labels(self, tfft2_lcg):
+        labels = [l for (_, _, l) in tfft2_lcg.labels("X")]
+        assert labels == ["C", "C", "L", "L", "L", "L", "L"]
+
+    def test_y_edge_labels(self, tfft2_lcg):
+        labels = [l for (_, _, l) in tfft2_lcg.labels("Y")]
+        assert labels == ["L", "D", "D", "C", "D", "D", "L"]
+
+    def test_x_chains(self, tfft2_lcg):
+        chains = tfft2_lcg.chains("X")
+        assert chains == [[F1], [F2], [F3, F4, F5, F6, F7, F8]]
+
+    def test_y_chains(self, tfft2_lcg):
+        chains = tfft2_lcg.chains("Y")
+        assert chains == [[F1, F2], [F3], [F4], [F5], [F6], [F7, F8]]
+
+    def test_communication_edges(self, tfft2_lcg):
+        comm_x = {(e.phase_k, e.phase_g) for e in
+                  tfft2_lcg.communication_edges("X")}
+        assert comm_x == {(F1, F2), (F2, F3)}
+        comm_y = {(e.phase_k, e.phase_g) for e in
+                  tfft2_lcg.communication_edges("Y")}
+        assert comm_y == {(F4, F5)}
+
+    def test_locality_equations_match_table2(self, tfft2_lcg):
+        from repro.symbolic import symbols
+
+        P, Q = symbols("P Q")
+        by_edge = {
+            (e.phase_k, e.phase_g): e.balanced
+            for e in tfft2_lcg.edges("X")
+            if e.label == "L"
+        }
+        # p31 = p41
+        bal = by_edge[(F3, F4)]
+        assert bal.slope_k == 2 * P and bal.slope_g == 2 * P
+        # P p41 = Q p51
+        bal = by_edge[(F4, F5)]
+        assert bal.slope_k == 2 * P and bal.slope_g == 2 * Q
+        # 2Q p71 = p81
+        bal = by_edge[(F7, F8)]
+        assert bal.slope_k == 2 * Q and bal.slope_g.is_one
+
+    def test_uncoupled_reasons(self, tfft2_lcg):
+        e = tfft2_lcg.edge("Y", F2, F3)
+        assert e.label == "D"
+        assert "privatizable" in e.reason
+
+    def test_p_variable_names(self, tfft2_lcg):
+        assert tfft2_lcg.p_names[(F1, "X")] == "p11"
+        assert tfft2_lcg.p_names[(F8, "Y")] == "p82"
+
+    def test_render_contains_all_phases(self, tfft2_lcg):
+        text = tfft2_lcg.render()
+        for name in TFFT2_PHASES:
+            assert name in text
+
+
+class TestGraphMechanics:
+    def test_back_edges_create_cycles(self):
+        from repro.codes import build_jacobi
+        from repro.codes.jacobi import BACK_EDGES
+
+        lcg = build_lcg(
+            build_jacobi(), env={"N": 256}, H_value=4, back_edges=BACK_EDGES
+        )
+        g = lcg.graph("U")
+        assert g.has_edge("F_copy", "F_sweep")  # the wrap-around
+        import networkx as nx
+
+        assert not nx.is_directed_acyclic_graph(g)
+
+    def test_chains_split_on_broken_edges(self, tfft2_lcg):
+        chains = tfft2_lcg.chains("X", broken={(F4, F5)})
+        assert [F3, F4] in chains
+        assert [F5, F6, F7, F8] in chains
+
+    def test_every_accessing_phase_in_exactly_one_chain(self, tfft2_lcg):
+        for array in tfft2_lcg.arrays():
+            seen = [ph for chain in tfft2_lcg.chains(array) for ph in chain]
+            assert sorted(seen) == sorted(set(seen))
+            assert set(seen) == set(tfft2_lcg.graph(array).nodes)
+
+    def test_edge_lookup(self, tfft2_lcg):
+        e = tfft2_lcg.edge("X", F3, F4)
+        assert e.label == "L"
+        assert e.array == "X"
+
+    def test_arrays_listed(self, tfft2_lcg):
+        assert set(tfft2_lcg.arrays()) == {"X", "Y"}

@@ -1,0 +1,136 @@
+"""Privatizability inference (the Polaris stand-in)."""
+
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.locality.privatize import (
+    annotate_program,
+    check_write_before_read,
+    infer_privatizable,
+)
+
+
+def workspace_program(read_first=False, outside_ref=False):
+    bld = ProgramBuilder("priv")
+    N = bld.param("N", minimum=4)
+    A = bld.array("A", N)
+    W = bld.array("W", 4 * N)
+    with bld.phase("F") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            if outside_ref:
+                pass
+            with ph.do("t", 0, 3) as t:
+                if read_first:
+                    ph.read(W, 4 * i + t)
+                    ph.write(W, 4 * i + t)
+                else:
+                    ph.write(W, 4 * i + t)
+                    ph.read(W, 4 * i + t)
+            ph.write(A, i)
+    return bld.build()
+
+
+ENV = {"N": 16}
+
+
+class TestWriteBeforeRead:
+    def test_workspace_passes(self):
+        prog = workspace_program()
+        assert check_write_before_read(
+            prog.phase("F"), prog.arrays["W"], ENV
+        )
+
+    def test_read_first_fails(self):
+        prog = workspace_program(read_first=True)
+        assert not check_write_before_read(
+            prog.phase("F"), prog.arrays["W"], ENV
+        )
+
+    def test_partial_coverage_fails(self):
+        """Writing W(2i) but reading W(2i+1) is not private."""
+        bld = ProgramBuilder("partial")
+        N = bld.param("N", minimum=4)
+        W = bld.array("W", 2 * N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(W, 2 * i)
+                ph.read(W, 2 * i + 1)
+        prog = bld.build()
+        assert not check_write_before_read(
+            prog.phase("F"), prog.arrays["W"], ENV
+        )
+
+    def test_cross_iteration_read_fails(self):
+        """Reading the previous iteration's slot is inbound flow."""
+        bld = ProgramBuilder("cross")
+        N = bld.param("N", minimum=4)
+        W = bld.array("W", N + 1)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 1, N - 1) as i:
+                ph.write(W, i)
+                ph.read(W, i - 1)
+        prog = bld.build()
+        assert not check_write_before_read(
+            prog.phase("F"), prog.arrays["W"], ENV
+        )
+
+    def test_sequential_phase_rejected(self):
+        bld = ProgramBuilder("seq")
+        N = bld.param("N", minimum=4)
+        W = bld.array("W", N)
+        with bld.phase("F") as ph:
+            with ph.do("i", 0, N - 1) as i:
+                ph.write(W, i)
+        prog = bld.build()
+        assert not check_write_before_read(
+            prog.phase("F"), prog.arrays["W"], ENV
+        )
+
+
+class TestInference:
+    def test_workspace_inferred(self):
+        prog = workspace_program()
+        assert infer_privatizable(prog.phase("F"), prog.arrays["W"], ENV)
+
+    def test_live_out_blocks(self):
+        prog = workspace_program()
+        assert not infer_privatizable(
+            prog.phase("F"), prog.arrays["W"], ENV, live_out={"W"}
+        )
+
+    def test_write_only_not_privatizable(self):
+        prog = workspace_program()
+        # A is write-only: a live-out producer
+        assert not infer_privatizable(prog.phase("F"), prog.arrays["A"], ENV)
+
+    def test_tfft2_workspaces_inferred(self):
+        """The inference recovers exactly the paper's P attributes."""
+        from repro.codes import build_tfft2
+
+        prog = build_tfft2()
+        env = {"P": 8, "p": 3, "Q": 8, "q": 3}
+        f3 = prog.phase("F3_CFFTZWORK")
+        f3.privatizable.discard("Y")  # drop the annotation, re-infer
+        assert infer_privatizable(f3, prog.arrays["Y"], env)
+        # X in F3 is NOT privatizable (reads the incoming spectrum)
+        assert not infer_privatizable(f3, prog.arrays["X"], env)
+
+
+class TestAnnotateProgram:
+    def test_annotation_recovers_paper_attributes(self):
+        from repro.codes import build_tfft2
+
+        prog = build_tfft2()
+        env = {"P": 8, "p": 3, "Q": 8, "q": 3}
+        for ph in prog.phases:
+            ph.privatizable.clear()
+        # conservative liveness: Y is read by later phases, so the
+        # automatic sweep needs the explicit (correct) liveness map —
+        # later phases *rewrite* Y before reading it.
+        live = {ph.name: set() for ph in prog.phases}
+        live["F7_TRANSB"] = {"Y"}  # F8 reads F7's Y values
+        added = annotate_program(prog, env, live_out=live)
+        assert "Y" in added["F3_CFFTZWORK"]
+        assert "Y" in added["F6_CFFTZWORK"]
+        assert not added["F8_DO_110_RCFFTZ"]
+        assert prog.phase("F3_CFFTZWORK").access_attribute("Y") == "P"

@@ -1,0 +1,131 @@
+"""Property tests: predicate soundness against the sampling oracle.
+
+``Context.is_nonneg`` (and friends) must never return True for an
+expression that a random satisfying assignment evaluates negative —
+incompleteness is allowed, unsoundness is not.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import (
+    Context,
+    LoopVar,
+    always_nonneg_sampled,
+    num,
+    pow2,
+    random_env,
+    sym,
+)
+
+
+def make_ctx():
+    ctx = Context()
+    ctx.assume_pow2("P", sym("p"))
+    ctx.assume_positive("H")
+    ctx.push_loop(LoopVar(sym("i"), num(0), sym("P") - 1))
+    return ctx
+
+
+@st.composite
+def ctx_exprs(draw):
+    """Small random expressions over {P, p, H, i} with mixed signs."""
+    atoms = [
+        sym("P"),
+        sym("p"),
+        sym("H"),
+        sym("i"),
+        pow2(sym("p") - 1),
+        sym("P") - 1,
+        sym("P") - sym("i"),
+        num(draw(st.integers(-4, 4))),
+    ]
+    expr = draw(st.sampled_from(atoms))
+    for _ in range(draw(st.integers(0, 3))):
+        other = draw(st.sampled_from(atoms))
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        if op == "+":
+            expr = expr + other
+        elif op == "-":
+            expr = expr - other
+        else:
+            expr = expr * other
+    return expr
+
+
+@given(ctx_exprs(), st.integers(0, 2**31))
+@settings(max_examples=150, deadline=None)
+def test_is_nonneg_is_sound(expr, seed):
+    ctx = make_ctx()
+    if ctx.is_nonneg(expr):
+        assert always_nonneg_sampled(expr, ctx, trials=40, seed=seed)
+
+
+@given(ctx_exprs(), ctx_exprs(), st.integers(0, 2**31))
+@settings(max_examples=80, deadline=None)
+def test_is_le_is_sound(a, b, seed):
+    ctx = make_ctx()
+    if ctx.is_le(a, b):
+        assert always_nonneg_sampled(b - a, ctx, trials=40, seed=seed)
+
+
+@given(ctx_exprs(), st.integers(0, 2**31))
+@settings(max_examples=100, deadline=None)
+def test_is_integer_valued_is_sound(expr, seed):
+    import random
+
+    ctx = make_ctx()
+    if not ctx.is_integer_valued(expr):
+        return
+    rng = random.Random(seed)
+    for _ in range(30):
+        env = random_env(expr.free_symbols(), rng, ctx)
+        try:
+            value = expr.evalf(env)
+        except (ZeroDivisionError, ValueError):
+            continue
+        assert value.denominator == 1, (expr, env, value)
+
+
+@given(ctx_exprs(), ctx_exprs(), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_is_multiple_of_is_sound(a, b, seed):
+    import random
+
+    ctx = make_ctx()
+    try:
+        holds = ctx.is_multiple_of(a, b)
+    except ZeroDivisionError:
+        return
+    if not holds:
+        return
+    rng = random.Random(seed)
+    for _ in range(30):
+        env = random_env(a.free_symbols() | b.free_symbols(), rng, ctx)
+        try:
+            denom = b.evalf(env)
+            if denom == 0:
+                continue
+            ratio = a.evalf(env) / denom
+        except (ZeroDivisionError, ValueError):
+            continue
+        assert ratio.denominator == 1, (a, b, env)
+
+
+@given(ctx_exprs(), st.integers(0, 2**31))
+@settings(max_examples=80, deadline=None)
+def test_upper_bound_is_sound(expr, seed):
+    import random
+
+    ctx = make_ctx()
+    ub = ctx.upper_bound(expr)
+    if ub is None:
+        return
+    rng = random.Random(seed)
+    for _ in range(30):
+        env = random_env(expr.free_symbols() | ub.free_symbols(), rng, ctx)
+        try:
+            assert expr.evalf(env) <= ub.evalf(env), (expr, ub, env)
+        except (ZeroDivisionError, ValueError, KeyError):
+            continue

@@ -1,0 +1,271 @@
+"""Canonical-form expression algebra: construction and identities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import (
+    Add,
+    CeilDiv,
+    FloorDiv,
+    Max,
+    Min,
+    Mul,
+    Num,
+    Pow,
+    Pow2,
+    Symbol,
+    ZERO,
+    ONE,
+    as_expr,
+    ceil_div,
+    divide_exact,
+    floor_div,
+    num,
+    pow2,
+    smax,
+    smin,
+    sym,
+    symbols,
+)
+
+P, Q, H = symbols("P Q H")
+I, L, J, K, p = symbols("I L J K p")
+
+
+class TestConstruction:
+    def test_num_coercion(self):
+        assert as_expr(3) == Num(3)
+        assert as_expr(Fraction(1, 2)) == Num(Fraction(1, 2))
+
+    def test_symbols_split(self):
+        a, b, c = symbols("a, b c")
+        assert a.name == "a" and b.name == "b" and c.name == "c"
+
+    def test_invalid_symbol(self):
+        with pytest.raises(ValueError):
+            Symbol("")
+
+    def test_non_expr_coercion_rejected(self):
+        with pytest.raises(TypeError):
+            as_expr("P")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_expr(1.5)
+
+
+class TestArithmeticCanonicalisation:
+    def test_add_collects_like_terms(self):
+        assert P + P == 2 * P
+        assert P + Q + P == 2 * P + Q
+        assert P - P == ZERO
+
+    def test_add_constant_folding(self):
+        assert num(2) + 3 == num(5)
+        assert (P + 1) + (P + 2) == 2 * P + 3
+
+    def test_mul_flattens_and_sorts(self):
+        assert P * Q == Q * P
+        assert (P * Q) * P == P**2 * Q
+
+    def test_mul_by_zero(self):
+        assert 0 * P == ZERO
+        assert P * 0 == ZERO
+
+    def test_distribution_over_add(self):
+        assert (P + 1) * (P - 1) == P**2 - 1
+        assert 2 * (P + Q) == 2 * P + 2 * Q
+
+    def test_pow_expansion(self):
+        assert (P + 1) ** 2 == P**2 + 2 * P + 1
+
+    def test_negative_pow_of_sum_is_opaque(self):
+        e = (P + 1) ** -1
+        assert isinstance(e, Pow)
+        assert e.exponent == -1
+
+    def test_inverse_cancels_against_same_sum(self):
+        e = (P + 1) * (P + 1) ** -1
+        assert e == ONE
+
+    def test_division_by_number(self):
+        assert (2 * P) / 2 == P
+        assert P / 2 == Fraction(1, 2) * P
+
+    def test_subtraction(self):
+        assert 2 * P - P == P
+        assert (5 - P) - (2 - P) == num(3)
+
+    def test_unary_neg(self):
+        assert -(P - Q) == Q - P
+
+    def test_zero_division_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            P / 0
+
+
+class TestPow2:
+    def test_numeric_folding(self):
+        assert pow2(3) == num(8)
+        assert pow2(-2) == num(Fraction(1, 4))
+
+    def test_constant_part_extraction(self):
+        # 2**(L-1) == (1/2) * 2**L in canonical form
+        e = pow2(L - 1)
+        coeff, mono = e.as_coeff_mul()
+        assert coeff == Fraction(1, 2)
+        assert mono == Pow2(L)
+
+    def test_coefficient_merging(self):
+        assert 4 * pow2(L - 1) == pow2(L + 1)
+        assert 2 * pow2(L) == pow2(L + 1)
+
+    def test_product_merges_exponents(self):
+        assert pow2(L) * pow2(K) == pow2(L + K)
+        assert pow2(L) * pow2(-L) == ONE
+
+    def test_power_of_pow2(self):
+        assert pow2(L) ** 2 == pow2(2 * L)
+        assert pow2(L) ** -1 == pow2(-L)
+
+    def test_paper_alpha_expression(self):
+        # (P-2)*2**-L + 1 from Figure 2 — two equivalent spellings
+        a = (P - 2) * pow2(-L) + 1
+        b = P * pow2(-L) - 2 * pow2(-L) + 1
+        assert a == b
+
+    def test_fractional_constant_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            pow2(Fraction(1, 2))
+
+
+class TestSubstitutionAndEval:
+    def test_subs_symbol(self):
+        e = 2 * P * I + K
+        assert e.subs({I: I + 1}) - e == 2 * P
+
+    def test_subs_by_name(self):
+        e = P + Q
+        assert e.subs({"P": 3}) == Q + 3
+
+    def test_subs_simultaneous(self):
+        e = P * Q
+        assert e.subs({P: Q, Q: P}) == P * Q  # swap is a no-op for product
+
+    def test_evalf(self):
+        e = 2 * P * I + pow2(L - 1) * J + K
+        env = {"P": 4, "I": 1, "L": 2, "J": 3, "K": 1}
+        assert e.evalf(env) == 8 + 2 * 3 + 1
+
+    def test_evalf_missing_symbol(self):
+        with pytest.raises(KeyError):
+            P.evalf({})
+
+    def test_evalf_pow2_negative(self):
+        assert pow2(-L).evalf({"L": 3}) == Fraction(1, 8)
+
+    def test_as_int(self):
+        assert (num(4) + 3).as_int() == 7
+        with pytest.raises(ValueError):
+            P.as_int()
+
+
+class TestDivAtoms:
+    def test_ceil_div_numeric(self):
+        assert ceil_div(7, 2) == num(4)
+        assert ceil_div(-7, 2) == num(-3)
+        assert ceil_div(8, 2) == num(4)
+
+    def test_floor_div_numeric(self):
+        assert floor_div(7, 2) == num(3)
+        assert floor_div(-7, 2) == num(-4)
+
+    def test_div_by_one(self):
+        assert ceil_div(P, 1) == P
+        assert floor_div(P, 1) == P
+
+    def test_exact_shortcut(self):
+        assert ceil_div(2 * P * Q, P) == 2 * Q
+
+    def test_opaque_when_inexact(self):
+        e = ceil_div(P, H)
+        assert isinstance(e, CeilDiv)
+        assert e.evalf({"P": 7, "H": 2}) == 4
+
+    def test_floor_opaque(self):
+        e = floor_div(P, H)
+        assert isinstance(e, FloorDiv)
+        assert e.evalf({"P": 7, "H": 2}) == 3
+
+    def test_subs_propagates(self):
+        e = ceil_div(P, H)
+        assert e.subs({"P": 8, "H": 2}) == num(4)
+
+
+class TestMinMax:
+    def test_numeric_folding(self):
+        assert smax(1, 5, 3) == num(5)
+        assert smin(1, 5, 3) == num(1)
+
+    def test_dedup_and_flatten(self):
+        e = smax(P, smax(P, Q))
+        assert isinstance(e, Max)
+        assert len(e.args) == 2
+
+    def test_single_arg(self):
+        assert smax(P) == P
+
+    def test_eval(self):
+        assert smax(P, Q).evalf({"P": 3, "Q": 9}) == 9
+        assert smin(P, Q).evalf({"P": 3, "Q": 9}) == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smax()
+
+
+class TestDivideExact:
+    def test_monomial(self):
+        assert divide_exact(2 * P * Q, 2 * P) == Q
+
+    def test_pow2_never_obstructs(self):
+        assert divide_exact(pow2(L), pow2(L - 1)) == num(2)
+        assert divide_exact(J * pow2(L), pow2(L - 1)) == 2 * J
+
+    def test_not_exact(self):
+        assert divide_exact(P + 1, Q) is None
+
+    def test_sum_by_monomial(self):
+        assert divide_exact(2 * P * Q - 2 * P, 2 * P) == Q - 1
+
+    def test_identical_sums(self):
+        assert divide_exact(P + 1, P + 1) == ONE
+
+    def test_zero_numerator(self):
+        assert divide_exact(ZERO, P) == ZERO
+
+    def test_zero_denominator(self):
+        with pytest.raises(ZeroDivisionError):
+            divide_exact(P, ZERO)
+
+
+class TestHashingAndOrdering:
+    def test_equal_hash(self):
+        a = 2 * P * I + pow2(L - 1) * J
+        b = pow2(L - 1) * J + 2 * I * P
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_usable_as_dict_key(self):
+        d = {P + Q: 1}
+        assert d[Q + P] == 1
+
+    def test_not_equal_to_other_types(self):
+        assert P != "P"
+        assert (P == 3) is False
+        assert num(3) == 3
+
+    def test_str_roundtrip_stability(self):
+        e = (P - 2) * pow2(-L) + 1
+        assert str(e) == str((P - 2) * pow2(-L) + 1)

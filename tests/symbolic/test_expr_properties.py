@@ -1,0 +1,115 @@
+"""Property-based tests: the canonical form respects exact arithmetic.
+
+Strategy: generate random expression trees over a small symbol pool
+(plus Pow2 nodes with affine exponents), then check that
+
+* construction never crashes and is deterministic,
+* evaluation of a canonicalised expression equals direct evaluation of
+  the un-canonicalised arithmetic (ring-homomorphism property),
+* algebraic identities (commutativity, associativity, distributivity,
+  subs/eval commutation) hold exactly.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import Expr, as_expr, num, pow2, sym
+
+SYMS = [sym(n) for n in "abc"]
+
+
+@st.composite
+def exprs(draw, depth=3):
+    """Random expression + an evaluator mirroring its construction."""
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            n = draw(st.integers(-8, 8))
+            return as_expr(n), lambda env, n=n: Fraction(n)
+        if choice == 1:
+            s = draw(st.sampled_from(SYMS))
+            return s, lambda env, s=s: Fraction(env[s.name])
+        coeff = draw(st.integers(-3, 3))
+        s = draw(st.sampled_from(SYMS))
+        e = pow2(coeff * s)
+        return e, lambda env, c=coeff, s=s: (
+            Fraction(2 ** (c * env[s.name]))
+            if c * env[s.name] >= 0
+            else Fraction(1, 2 ** -(c * env[s.name]))
+        )
+    op = draw(st.sampled_from(["add", "sub", "mul"]))
+    left, lf = draw(exprs(depth=depth - 1))
+    right, rf = draw(exprs(depth=depth - 1))
+    if op == "add":
+        return left + right, lambda env: lf(env) + rf(env)
+    if op == "sub":
+        return left - right, lambda env: lf(env) - rf(env)
+    return left * right, lambda env: lf(env) * rf(env)
+
+
+ENVS = st.fixed_dictionaries({name: st.integers(0, 6) for name in "abc"})
+
+
+@given(exprs(), ENVS)
+@settings(max_examples=200, deadline=None)
+def test_canonicalisation_preserves_value(pair, env):
+    expr, evaluator = pair
+    assert expr.evalf(env) == evaluator(env)
+
+
+@given(exprs(), exprs(), ENVS)
+@settings(max_examples=100, deadline=None)
+def test_commutativity(a_pair, b_pair, env):
+    a, _ = a_pair
+    b, _ = b_pair
+    assert a + b == b + a
+    assert a * b == b * a
+
+
+@given(exprs(), exprs(), exprs(), ENVS)
+@settings(max_examples=60, deadline=None)
+def test_associativity_and_distributivity(a_pair, b_pair, c_pair, env):
+    a, _ = a_pair
+    b, _ = b_pair
+    c, _ = c_pair
+    assert (a + b) + c == a + (b + c)
+    assert (a * b) * c == a * (b * c)
+    assert a * (b + c) == a * b + a * c
+
+
+@given(exprs(), ENVS)
+@settings(max_examples=100, deadline=None)
+def test_subtraction_inverse(pair, env):
+    a, _ = pair
+    assert (a - a).is_zero
+
+
+@given(exprs(), st.sampled_from("abc"), st.integers(-4, 4), ENVS)
+@settings(max_examples=100, deadline=None)
+def test_subs_eval_commute(pair, name, value, env):
+    """eval(subs(e, s -> v)) == eval(e) with env[s] = v."""
+    expr, _ = pair
+    substituted = expr.subs({name: value})
+    env2 = dict(env)
+    env2[name] = value
+    if value < 0:
+        # Pow2 exponents may go negative: both paths must agree anyway.
+        pass
+    assert substituted.evalf(env) == expr.evalf(env2)
+
+
+@given(exprs())
+@settings(max_examples=100, deadline=None)
+def test_hash_consistency(pair):
+    expr, _ = pair
+    rebuilt = expr + 0
+    assert rebuilt == expr
+    assert hash(rebuilt) == hash(expr)
+
+
+@given(exprs(), ENVS)
+@settings(max_examples=100, deadline=None)
+def test_double_negation(pair, env):
+    a, _ = pair
+    assert -(-a) == a

@@ -1,0 +1,116 @@
+"""Affine extraction and the balanced-locality Diophantine solver."""
+
+import pytest
+
+from repro.symbolic import (
+    ZERO,
+    affine_coefficients,
+    pow2,
+    solve_linear_diophantine,
+    sym,
+    symbols,
+)
+
+P, Q = symbols("P Q")
+x, y, L = symbols("x y L")
+
+
+class TestAffineCoefficients:
+    def test_plain_affine(self):
+        form = affine_coefficients(3 * x + 2 * y + 5, [x, y])
+        assert form.exact
+        assert form.coeff(x) == 3
+        assert form.coeff(y) == 2
+        assert form.constant == 5
+
+    def test_symbolic_coefficients(self):
+        form = affine_coefficients(2 * P * x + Q, [x])
+        assert form.exact
+        assert form.coeff(x) == 2 * P
+        assert form.constant == Q
+
+    def test_nonaffine_coefficient_from_pow2(self):
+        # x inside a Pow2 exponent is a non-linear occurrence
+        form = affine_coefficients(pow2(x) + 3 * x, [x])
+        assert not form.exact
+
+    def test_quadratic_marks_inexact(self):
+        form = affine_coefficients(x * x + x, [x])
+        assert not form.exact
+
+    def test_cross_term_marks_inexact(self):
+        form = affine_coefficients(x * y, [x, y])
+        assert not form.exact
+
+    def test_as_expr_roundtrip(self):
+        e = 2 * P * x + Q * y + 7
+        form = affine_coefficients(e, [x, y])
+        assert form.as_expr() == e
+
+    def test_missing_symbol_zero_coeff(self):
+        form = affine_coefficients(3 * x + 1, [x, y])
+        assert form.coeff(y) == ZERO
+
+
+class TestDiophantine:
+    def test_equal_slopes(self):
+        sol = solve_linear_diophantine(4, 4, 0, xmax=8, ymax=8)
+        assert sol.feasible
+        assert sol.smallest() == (1, 1)
+        assert list(sol) == [(t, t) for t in range(1, 9)]
+
+    def test_paper_f3_f4(self):
+        # 2P p3 = 2P p4 with boxes ceil(Q/H): Q=16, H=4 -> 4 solutions
+        sol = solve_linear_diophantine(32, 32, 0, xmax=4, ymax=4)
+        assert sol.count == 4
+
+    def test_paper_f2_f3_infeasible_in_box(self):
+        # p2 + 2QP - P = 2P p3, P=8, Q=4: a=1, b=16, c=8-64=-56
+        sol = solve_linear_diophantine(1, 16, 8 - 2 * 4 * 8, xmax=2, ymax=1)
+        assert not sol.feasible
+
+    def test_paper_f2_f3_unbounded_solution(self):
+        # without the load-balance boxes the solution is (P, Q)
+        sol = solve_linear_diophantine(1, 16, 8 - 2 * 4 * 8, xmax=10**6, ymax=10**6)
+        assert sol.smallest() == (8, 4)
+
+    def test_gcd_infeasibility(self):
+        # 2x - 4y = 1 has no integer solutions at all
+        sol = solve_linear_diophantine(2, 4, 1, xmax=100, ymax=100)
+        assert not sol.feasible
+
+    def test_progression_structure(self):
+        sol = solve_linear_diophantine(3, 5, 1, xmax=50, ymax=50)
+        assert sol.feasible
+        for px, py in sol:
+            assert 3 * px - 5 * py == 1
+            assert 1 <= px <= 50 and 1 <= py <= 50
+        # steps follow b/g, a/g
+        assert sol.step_x == 5 and sol.step_y == 3
+
+    def test_all_box_solutions_enumerated(self):
+        sol = solve_linear_diophantine(2, 3, 1, xmax=20, ymax=20)
+        brute = [
+            (px, py)
+            for px in range(1, 21)
+            for py in range(1, 21)
+            if 2 * px - 3 * py == 1
+        ]
+        assert list(sol) == brute
+
+    def test_invalid_coefficients(self):
+        with pytest.raises(ValueError):
+            solve_linear_diophantine(0, 3, 1, xmax=5, ymax=5)
+        with pytest.raises(ValueError):
+            solve_linear_diophantine(3, -1, 1, xmax=5, ymax=5)
+
+    def test_empty_box(self):
+        sol = solve_linear_diophantine(1, 1, 0, xmax=0, ymax=5)
+        assert not sol.feasible
+
+    def test_negative_c(self):
+        sol = solve_linear_diophantine(1, 2, -5, xmax=10, ymax=10)
+        for px, py in sol:
+            assert px - 2 * py == -5
+        assert sol.feasible
+        assert sol.smallest() == (1, 3)

@@ -1,0 +1,97 @@
+"""The sampling oracles themselves (test-support infrastructure)."""
+
+import random
+
+from repro.symbolic import (
+    Context,
+    LoopVar,
+    always_nonneg_sampled,
+    equivalent,
+    num,
+    pow2,
+    random_env,
+    sym,
+)
+
+
+class TestRandomEnv:
+    def test_pow2_consistency(self):
+        ctx = Context()
+        ctx.assume_pow2("P", sym("p"))
+        rng = random.Random(0)
+        for _ in range(20):
+            env = random_env({sym("P"), sym("p")}, rng, ctx)
+            assert env["P"] == 2 ** env["p"]
+
+    def test_loop_ranges_respected(self):
+        ctx = Context()
+        ctx.assume_pow2("P", sym("p"))
+        ctx.push_loop(LoopVar(sym("i"), num(0), sym("P") - 1))
+        rng = random.Random(1)
+        for _ in range(20):
+            env = random_env({sym("i"), sym("P")}, rng, ctx)
+            assert 0 <= env["i"] <= env["P"] - 1
+
+    def test_positive_symbols(self):
+        ctx = Context().assume_positive("H")
+        rng = random.Random(2)
+        for _ in range(20):
+            env = random_env({sym("H")}, rng, ctx)
+            assert env["H"] >= 1
+
+    def test_dependent_loop_bounds(self):
+        ctx = Context()
+        ctx.assume_pow2("P", sym("p"))
+        L = sym("L")
+        ctx.push_loop(LoopVar(L, num(1), sym("p")))
+        ctx.push_loop(LoopVar(sym("J"), num(0), sym("P") * pow2(-L) - 1))
+        rng = random.Random(3)
+        for _ in range(20):
+            env = random_env({sym("J"), sym("L"), sym("P")}, rng, ctx)
+            assert 0 <= env["J"] <= env["P"] // 2 ** env["L"] - 1
+
+
+class TestEquivalent:
+    def test_structural_equality_shortcut(self):
+        P = sym("P")
+        assert equivalent(P + P, 2 * P)
+
+    def test_semantic_equality(self):
+        P, p = sym("P"), sym("p")
+        ctx = Context().assume_pow2("P", p)
+        assert equivalent(P, pow2(p), ctx=ctx)
+
+    def test_inequality_detected(self):
+        P = sym("P")
+        assert not equivalent(P, P + 1)
+
+    def test_pow2_identities(self):
+        L = sym("L")
+        assert equivalent(4 * pow2(L - 1), pow2(L + 1))
+        assert not equivalent(pow2(L), pow2(L + 1))
+
+
+class TestNonnegSampled:
+    def test_true_fact(self):
+        ctx = Context().assume_positive("n")
+        assert always_nonneg_sampled(sym("n") - 1, ctx)
+
+    def test_false_fact(self):
+        ctx = Context().assume_positive("n")
+        assert not always_nonneg_sampled(sym("n") - 100, ctx)
+
+    def test_agrees_with_prover_on_figure1_bound(self):
+        from repro.symbolic import symbols
+
+        P, Q = symbols("P Q")
+        I, L, J, K, p = symbols("I L J K p")
+        ctx = Context()
+        ctx.assume_pow2("P", p)
+        ctx.assume_pow2("Q", sym("q"))
+        ctx.push_loop(LoopVar(I, num(0), Q - 1))
+        ctx.push_loop(LoopVar(L, num(1), p))
+        ctx.push_loop(LoopVar(J, num(0), P * pow2(-L) - 1))
+        ctx.push_loop(LoopVar(K, num(0), pow2(L - 1) - 1))
+        claim = P / 2 - 1 - (J * pow2(L - 1) + K)
+        assert ctx.is_nonneg(claim)
+        assert always_nonneg_sampled(claim, ctx)

@@ -1,0 +1,82 @@
+"""The command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_bundled_code(capsys):
+    rc = main(["--code", "jacobi", "--env", "N=256", "--H", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Locality-Communication Graph" in out
+    assert "CYCLIC(p) chunks" in out
+    assert "Measured execution" in out
+
+
+def test_no_execute(capsys):
+    rc = main(["--code", "adi", "--env", "M=16,N=16", "--no-execute"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Measured execution" not in out
+    assert "Constraints" in out
+
+
+def test_dot_output(capsys):
+    rc = main(["--code", "adi", "--env", "M=16,N=16", "--dot", "A"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith('digraph "LCG_A"')
+
+
+def test_source_file(tmp_path, capsys):
+    src = tmp_path / "prog.dsl"
+    src.write_text(
+        """
+program demo
+  param N
+  array A(N)
+  phase F
+    doall i = 0, N - 1
+      A(i) = 1
+    end doall
+  end phase
+end program
+"""
+    )
+    rc = main([str(src), "--env", "N=64", "--H", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "demo" in out
+
+
+def test_unknown_code():
+    with pytest.raises(SystemExit):
+        main(["--code", "nope", "--env", "N=4"])
+
+
+def test_bundled_default_env_used(capsys):
+    # bundled codes carry a reference binding, so --env may be omitted
+    rc = main(["--code", "jacobi", "--no-execute"])
+    assert rc == 0
+
+
+def test_missing_env_for_source(tmp_path):
+    src = tmp_path / "p.dsl"
+    src.write_text(
+        "program p\n param N\n array A(N)\n phase F\n"
+        " doall i = 0, N - 1\n  A(i) = 1\n end doall\nend phase\n"
+        "end program\n"
+    )
+    with pytest.raises(SystemExit):
+        main([str(src)])
+
+
+def test_bad_env_entry():
+    with pytest.raises(SystemExit):
+        main(["--code", "jacobi", "--env", "N"])
+
+
+def test_missing_source():
+    with pytest.raises(SystemExit):
+        main(["--env", "N=4"])

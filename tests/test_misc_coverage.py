@@ -1,0 +1,150 @@
+"""Cross-cutting coverage: small APIs not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic import num, sym, symbols
+
+
+class TestVizHelpers:
+    def test_format_ul_gap(self):
+        from repro.codes import build_tfft2
+        from repro.descriptors import compute_pd
+        from repro.iteration import IterationDescriptor
+        from repro.viz.report import format_ul_gap
+
+        prog = build_tfft2()
+        ph = prog.phase("F3_CFFTZWORK")
+        pd = compute_pd(ph, prog.arrays["X"], prog.context)
+        idesc = IterationDescriptor(pd, ph.loop_context(prog.context))
+        text = format_ul_gap(idesc)
+        assert "2*P*p" in text and "h = P" in text
+
+
+class TestCostsHelpers:
+    def test_edge_volume_global(self):
+        from repro.distribution import edge_volume
+
+        vol, msgs = edge_volume(region_size=1000, overlap=None, H=4)
+        assert vol == 1000
+        assert msgs == 12
+
+    def test_edge_volume_frontier(self):
+        from repro.distribution import edge_volume
+
+        vol, msgs = edge_volume(region_size=1000, overlap=3, H=4)
+        assert vol == 9
+        assert msgs == 6
+
+    def test_single_pe_no_messages(self):
+        from repro.distribution import edge_volume
+
+        assert edge_volume(10, None, 1) == (10, 0)
+        assert edge_volume(10, 2, 1) == (0, 0)
+
+
+class TestProgramHelpers:
+    def test_arrays_in_use_order(self):
+        from repro.codes import build_tomcatv
+
+        prog = build_tomcatv()
+        names = [a.name for a in prog.arrays_in_use()]
+        assert names[0] == "X"
+        assert set(names) == {"X", "Y", "RX", "RY", "AA", "DD"}
+
+    def test_str_representations(self):
+        from repro.codes import build_jacobi
+
+        prog = build_jacobi()
+        assert "jacobi" in str(prog)
+        assert "F_sweep" in str(prog.phase("F_sweep"))
+
+    def test_array_decl_str_and_dims(self):
+        from repro.ir import ArrayDecl
+
+        N = sym("N")
+        a = ArrayDecl("A", N * N, dims=(N, N))
+        assert str(a) == "A"
+        assert a.dims == (N, N)
+
+    def test_default_dims_is_size(self):
+        from repro.ir import ArrayDecl
+
+        a = ArrayDecl("A", num(8))
+        assert a.dims == (num(8),)
+
+
+class TestInterpConsistency:
+    def test_fast_and_slow_paths_agree(self):
+        """The vectorised innermost path must equal per-value evaluation."""
+        from repro.ir import ProgramBuilder, phase_access_set
+        from repro.symbolic import pow2
+
+        # Nest A: innermost loop linear (fast path).
+        bld = ProgramBuilder("fast")
+        P, p = bld.pow2_param("P", "p")
+        A = bld.array("A", 4 * P)
+        with bld.phase("F") as ph:
+            with ph.doall("l", 1, p) as l:
+                with ph.do("k", 0, pow2(l - 1) - 1) as k:
+                    ph.read(A, pow2(l - 1) + k)  # linear in k
+        fast = bld.build()
+
+        # Nest B: same addresses, innermost loop NON-linear (slow path):
+        # the l loop is innermost so 2**l appears non-linearly.
+        bld = ProgramBuilder("slow")
+        P, p = bld.pow2_param("P", "p")
+        B = bld.array("B", 4 * P)
+        with bld.phase("F") as ph:
+            with ph.doall("g", 0, 0) as g:
+                with ph.do("k", 0, P - 1) as k:
+                    with ph.do("l", 1, p) as l:
+                        ph.read(B, pow2(l - 1) + k)  # non-linear in l
+        slow = bld.build()
+
+        env = {"P": 16, "p": 4}
+        got_fast = phase_access_set(fast.phase("F"), env, "A")
+        # B touches a superset (k unrestricted); intersect manually:
+        expected = sorted(
+            {2 ** (l - 1) + k for l in range(1, 5) for k in range(2 ** (l - 1))}
+        )
+        assert list(got_fast) == expected
+        got_slow = phase_access_set(slow.phase("F"), env, "B")
+        manual = sorted(
+            {2 ** (l - 1) + k for k in range(16) for l in range(1, 5)}
+        )
+        assert list(got_slow) == manual
+
+
+class TestLCGRenderAndBackEdges:
+    def test_back_edge_analysis_recorded(self):
+        from repro.codes.jacobi import BACK_EDGES, build_jacobi
+        from repro.locality import build_lcg
+
+        lcg = build_lcg(
+            build_jacobi(), env={"N": 256}, H_value=4, back_edges=BACK_EDGES
+        )
+        edge = lcg.edge("U", "F_copy", "F_sweep")
+        assert edge.label in ("L", "C")
+        assert edge.balanced is not None
+
+    def test_labels_sorted_by_control_flow(self, tfft2_lcg):
+        triples = tfft2_lcg.labels("X")
+        sources = [u for (u, _, _) in triples]
+        assert sources == sorted(
+            sources,
+            key=lambda n: [ph.name for ph in tfft2_lcg.program.phases].index(n),
+        )
+
+
+class TestAnalysisResultRepr:
+    def test_dataclass_fields(self):
+        from repro import analyze
+        from repro.codes import build_adi
+
+        result = analyze(
+            build_adi(), env={"M": 8, "N": 8}, H=2, execute=False
+        )
+        assert result.program.name == "adi"
+        assert result.report is None
+        assert result.plan.objective >= 0

@@ -1,0 +1,75 @@
+"""Rendering helpers and the top-level analyze() API."""
+
+import pytest
+
+from repro import analyze
+from repro.viz import format_ard, format_id, format_pd, lcg_to_dot
+
+
+@pytest.fixture(scope="module")
+def f3_pieces():
+    from repro.codes import build_tfft2
+    from repro.descriptors import compute_ard, compute_pd
+    from repro.iteration import IterationDescriptor
+
+    prog = build_tfft2()
+    ph = prog.phase("F3_CFFTZWORK")
+    X = prog.arrays["X"]
+    ard = compute_ard(ph.accesses("X")[0], prog.context)
+    pd = compute_pd(ph, X, prog.context)
+    idesc = IterationDescriptor(pd, ph.loop_context(prog.context))
+    return ard, pd, idesc
+
+
+class TestRenderers:
+    def test_format_ard_mentions_all_parts(self, f3_pieces):
+        ard, _, _ = f3_pieces
+        text = format_ard(ard, name="A_1^3(X)")
+        for token in ("alpha=", "delta=", "lambda=", "tau="):
+            assert token in text
+        assert text.startswith("A_1^3(X)")
+
+    def test_format_pd_shared_stride_vector(self, f3_pieces):
+        _, pd, _ = f3_pieces
+        text = format_pd(pd)
+        assert "delta = (" in text
+        assert "tau" in text
+
+    def test_format_id_with_concrete_points(self, f3_pieces):
+        _, _, idesc = f3_pieces
+        text = format_id(
+            idesc, iterations=[0, 1, 2],
+            env={"P": 4, "p": 2, "Q": 3, "q": 0},
+        )
+        assert "UL=3" in text and "UL=11" in text and "UL=19" in text
+
+
+class TestDot:
+    def test_dot_structure(self, tfft2_lcg):
+        dot = lcg_to_dot(tfft2_lcg, "X")
+        assert dot.startswith('digraph "LCG_X"')
+        assert 'label="L"' in dot and 'label="C"' in dot
+        assert "F3_CFFTZWORK" in dot
+
+    def test_dot_marks_d_edges_dashed(self, tfft2_lcg):
+        dot = lcg_to_dot(tfft2_lcg, "Y")
+        assert 'style="dashed"' in dot
+
+
+class TestAnalyzeAPI:
+    def test_full_pipeline(self):
+        from repro.codes import build_adi
+
+        result = analyze(build_adi(), env={"M": 16, "N": 16}, H=4)
+        assert result.lcg is not None
+        assert result.plan.phase_chunks
+        assert result.report is not None
+
+    def test_skip_execution(self):
+        from repro.codes import build_adi
+
+        result = analyze(
+            build_adi(), env={"M": 16, "N": 16}, H=4, execute=False
+        )
+        assert result.report is None
+        assert result.constraints.locality is not None
