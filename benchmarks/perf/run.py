@@ -1,0 +1,18 @@
+"""Thin runner for the perf harness: `python benchmarks/perf/run.py`.
+
+Equivalent to `PYTHONPATH=src python -m repro bench-perf ...`; exists so
+the perf entry point sits next to the other benchmark drivers.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"),
+)
+
+from repro.perf import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -5,6 +5,8 @@ Usage::
     python -m repro program.f90-like --env P=16,p=4,Q=16,q=4 --H 8
     python -m repro --code tfft2 --H 8            # a bundled suite code
     python -m repro --code adi --H 4 --dot A      # emit Graphviz for A
+    python -m repro --code tfft2 --H 64 --profile # cProfile the pipeline
+    python -m repro bench-perf --out BENCH_perf.json   # perf harness
 
 Prints the LCG, the Table-2 constraint system, the Eq. 7 chunking and
 the measured DSM execution report.
@@ -55,6 +57,12 @@ def _load_program(args):
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench-perf":
+        from .perf import main as bench_main
+
+        return bench_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -88,6 +96,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the phase/communication schedule",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="run the analysis under cProfile; dump binary stats to FILE "
+        "or a cumulative-time summary to stderr when no FILE is given",
+    )
     args = parser.parse_args(argv)
 
     program, default_env, back_edges = _load_program(args)
@@ -107,6 +124,12 @@ def main(argv=None) -> int:
 
     from . import analyze
 
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = analyze(
         program,
         env=env,
@@ -114,6 +137,14 @@ def main(argv=None) -> int:
         back_edges=back_edges,
         execute=not args.no_execute,
     )
+    if args.profile is not None:
+        profiler.disable()
+        if args.profile == "-":
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(30)
+        else:
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile}", file=sys.stderr)
 
     if args.dot:
         from .viz import lcg_to_dot

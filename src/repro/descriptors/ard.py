@@ -28,7 +28,15 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..ir.core import AccessKind, ArrayDecl, PhaseAccess
-from ..symbolic import Context, Expr, Symbol, ZERO, as_expr, divide_exact
+from ..symbolic import (
+    Context,
+    Expr,
+    Symbol,
+    ZERO,
+    as_expr,
+    divide_exact,
+    shift_difference,
+)
 
 __all__ = ["Dim", "ARD", "UnsupportedAccess", "compute_ard"]
 
@@ -206,7 +214,7 @@ def compute_ard(access: PhaseAccess, ctx: Context) -> ARD:
         index = loop.index
         if index not in phi.free_symbols():
             continue
-        diff = phi.subs({index: index + 1}) - phi
+        diff = shift_difference(phi, index)
         if diff.is_zero:
             continue
         if local.is_nonneg(diff):

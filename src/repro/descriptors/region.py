@@ -17,10 +17,16 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from ..symbolic import compile_expr
 from .ard import ARD
 from .pd import PhaseDescriptor
 
-__all__ = ["row_addresses", "pd_addresses", "row_addresses_fixed_parallel"]
+__all__ = [
+    "row_addresses",
+    "pd_addresses",
+    "row_addresses_batch",
+    "row_addresses_fixed_parallel",
+]
 
 
 def _as_int(value: Fraction, what: str) -> int:
@@ -63,6 +69,51 @@ def row_addresses(
         steps = np.arange(count, dtype=np.int64) * stride
         offsets = (offsets[:, None] + steps[None, :]).ravel()
     return np.unique(base + offsets)
+
+
+def _ev_compiled(expr, env: Mapping, what: str) -> int:
+    value = compile_expr(expr).evali(env)
+    if isinstance(value, np.ndarray):  # pragma: no cover - params are scalar
+        raise ValueError(f"{what} did not evaluate to a scalar")
+    return value
+
+
+def row_addresses_batch(
+    row: ARD, env: Mapping[str, int], iterations: np.ndarray
+) -> np.ndarray:
+    """Address blocks of many parallel iterations in one shot.
+
+    Returns an int64 matrix ``A`` with ``A[i]`` holding (unsorted, with
+    multiplicity) every address the descriptor row assigns to parallel
+    iteration ``iterations[i]`` — the per-row ``base + strides ⊗ counts``
+    outer product, batched so a layout's ``owner`` can be applied to the
+    whole block at once.  Scalars (tau, strides, counts) are evaluated
+    through compiled closures; rows without a parallel dimension yield
+    identical blocks for every iteration.
+    """
+    if not row.is_self_contained():
+        raise ValueError(
+            f"row {row.label!r} is not self-contained; enumerate the "
+            "original reference with repro.ir.interp instead"
+        )
+    iters = np.ascontiguousarray(iterations, dtype=np.int64)
+    base = np.full(iters.size, _ev_compiled(row.tau, env, "tau"),
+                   dtype=np.int64)
+    offsets = np.zeros(1, dtype=np.int64)
+    for dim in row.dims:
+        stride = _ev_compiled(dim.stride, env, f"stride {dim.stride}")
+        count = _ev_compiled(dim.count, env, f"count {dim.count}")
+        if count < 1:
+            raise ValueError(f"dimension count < 1: {dim}")
+        if dim.parallel:
+            if dim.sign > 0:
+                base = base + iters * stride
+            else:
+                base = base + (count - 1 - iters) * stride
+            continue
+        steps = np.arange(count, dtype=np.int64) * stride
+        offsets = (offsets[:, None] + steps[None, :]).ravel()
+    return base[:, None] + offsets[None, :]
 
 
 def row_addresses_fixed_parallel(

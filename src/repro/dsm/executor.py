@@ -43,6 +43,7 @@ __all__ = [
     "execute_static",
     "execute_with_plan",
     "chain_layouts",
+    "set_fast_path",
 ]
 
 
@@ -114,9 +115,17 @@ class ExecutionReport:
         return total * (self.machine.local + self.machine.compute_scale)
 
     def efficiency(self) -> float:
-        """Parallel efficiency  E = T_1 / (H * T_H)."""
+        """Parallel efficiency  E = T_1 / (H * T_H).
+
+        A report with zero parallel time but nonzero serial work has no
+        meaningful efficiency (the ratio diverges) — that case yields
+        NaN rather than a silently perfect 1.0.  An empty program (no
+        work at all) is vacuously efficient.
+        """
         t_h = self.parallel_time()
-        return self.serial_time() / (self.H * t_h) if t_h else 1.0
+        if t_h == 0.0:
+            return 1.0 if self.serial_time() == 0.0 else float("nan")
+        return self.serial_time() / (self.H * t_h)
 
     def speedup(self) -> float:
         t_h = self.parallel_time()
@@ -131,7 +140,143 @@ class ExecutionReport:
         )
 
 
+#: Fast-path selector: "wide" (descriptor-first ragged enumeration,
+#: falling back to "legacy"), "legacy" (affine-rectangular only), or
+#: "off" (always interpret).  The perf harness switches this to time
+#: the pre-optimization baseline.
+_FAST_MODE = "wide"
+
+
+def set_fast_path(mode: str) -> str:
+    """Select the executor fast-path tier; returns the previous mode."""
+    global _FAST_MODE
+    if mode not in ("wide", "legacy", "off"):
+        raise ValueError(f"unknown fast-path mode {mode!r}")
+    old = _FAST_MODE
+    _FAST_MODE = mode
+    return old
+
+
 def _try_fast_stats(
+    phase: Phase,
+    env: Mapping[str, int],
+    H: int,
+    schedule: CyclicSchedule,
+    layouts: Mapping[str, object],
+):
+    """Vectorised phase accounting, or None to fall back to interpretation.
+
+    Dispatches on the configured tier: the wide path enumerates the
+    whole nest descriptor-first (handles non-rectangular bounds and
+    ``Pow2`` subscripts); the legacy path covers only rectangular affine
+    nests and is kept as the measured pre-optimization baseline.
+    """
+    if _FAST_MODE == "off":
+        return None
+    if _FAST_MODE == "wide":
+        stats = _wide_fast_stats(phase, env, H, schedule, layouts)
+        if stats is not None:
+            return stats
+    return _legacy_fast_stats(phase, env, H, schedule, layouts)
+
+
+def _wide_fast_stats(
+    phase: Phase,
+    env: Mapping[str, int],
+    H: int,
+    schedule: CyclicSchedule,
+    layouts: Mapping[str, object],
+):
+    """Descriptor-first accounting via ragged vectorized enumeration.
+
+    Requires a single parallel-rooted nest (so every access attributes
+    to a parallel iteration); everything else — multi-level non-
+    rectangular bounds, ``2**L`` strides, reversed segments — is handled
+    by :func:`repro.ir.interp.ragged_nest_addresses`, chunked over
+    blocks of parallel iterations with adaptive halving so the live cell
+    count stays bounded.  ``layout.owner`` is applied to whole address
+    blocks at once.
+    """
+    from ..ir.core import LoopNode, RefNode
+    from ..ir.interp import NestEnumMiss, NestTooBig, ragged_nest_addresses
+
+    if len(phase.roots) != 1:
+        return None
+    par = phase.roots[0]
+    if not par.parallel:
+        return None
+    try:
+        par_lo = _ev_int(par.lower, env)
+        par_hi = _ev_int(par.upper, env)
+    except (KeyError, ValueError, ZeroDivisionError):
+        return None
+    local = np.zeros(H, dtype=np.int64)
+    remote = np.zeros(H, dtype=np.int64)
+    trip = par_hi - par_lo + 1
+    if trip <= 0:
+        return PhaseStats(
+            phase=phase.name,
+            local=local,
+            remote=remote,
+            iterations=np.zeros(H, dtype=np.int64),
+        )
+    par_values = np.arange(par_lo, par_hi + 1, dtype=np.int64)
+    pe_of_iter = np.asarray(schedule.owner(par_values), dtype=np.int64)
+    iterations = np.bincount(pe_of_iter, minlength=H).astype(np.int64)
+
+    refs: list = []
+
+    def collect(node, chain):
+        for child in node.children:
+            if isinstance(child, RefNode):
+                refs.append((child.ref, chain))
+            elif isinstance(child, LoopNode):
+                collect(child, chain + (child,))
+            else:  # pragma: no cover - defensive
+                raise NestEnumMiss()
+
+    try:
+        collect(par, (par,))
+        for ref, chain in refs:
+            layout = layouts.get(ref.array.name)
+            counting_only = layout is None or isinstance(
+                layout, ReplicatedLayout
+            )
+            start = 0
+            block = trip
+            while start < trip:
+                size = min(block, trip - start)
+                try:
+                    addresses, ordinals = ragged_nest_addresses(
+                        chain,
+                        None if counting_only else ref.subscript,
+                        env,
+                        level0_values=par_values[start:start + size],
+                    )
+                except NestTooBig:
+                    if size <= 1:
+                        raise NestEnumMiss() from None
+                    block = max(size // 2, 1)
+                    continue
+                pe = pe_of_iter[start + ordinals]
+                if counting_only:
+                    local += np.bincount(pe, minlength=H)
+                else:
+                    owners = np.asarray(
+                        layout.owner(addresses), dtype=np.int64
+                    )
+                    is_local = owners == pe
+                    local += np.bincount(pe[is_local], minlength=H)
+                    remote += np.bincount(pe[~is_local], minlength=H)
+                start += size
+    except (NestEnumMiss, ValueError, ZeroDivisionError, KeyError):
+        return None
+    return PhaseStats(
+        phase=phase.name, local=local, remote=remote, iterations=iterations
+    )
+
+
+def _legacy_fast_stats(
     phase: Phase,
     env: Mapping[str, int],
     H: int,

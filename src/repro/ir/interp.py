@@ -7,8 +7,17 @@ iteration, every address each reference touches.
 
 The innermost loop level is vectorised with NumPy whenever the subscript
 is linear in the innermost index (constant symbolic stride); non-linear
-occurrences (e.g. the index living in a ``2**L`` exponent) fall back to
-exact per-iteration evaluation.
+occurrences (e.g. the index living in a ``2**L`` exponent) are batched
+through :mod:`repro.symbolic.compile` closures, with exact per-iteration
+evaluation as the last resort.
+
+:func:`ragged_nest_addresses` is the descriptor-first enumerator behind
+the executor's wide fast path: it expands a whole (possibly
+non-rectangular, ``Pow2``-subscripted) loop nest level by level into
+NumPy columns — per-row trip counts, ``np.repeat`` fan-out, compiled
+bound/subscript evaluation — so a nest's full address stream
+materialises in a handful of array operations instead of a Python loop
+per iteration.
 """
 
 from __future__ import annotations
@@ -19,17 +28,47 @@ from typing import Iterator, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from ..symbolic import Expr, Symbol
+from ..symbolic import (
+    Expr,
+    Symbol,
+    UncompilableExpr,
+    compile_expr,
+    shift_difference,
+)
 from .core import AccessKind, ArrayDecl, LoopNode, Phase, PhaseAccess, RefNode
 
 __all__ = [
     "AccessTrace",
     "IterationAccesses",
+    "NestEnumMiss",
+    "NestTooBig",
     "enumerate_phase",
     "phase_access_set",
     "iteration_access_set",
+    "ragged_nest_addresses",
     "reference_addresses",
+    "set_vectorized",
 ]
+
+#: Gate for the compiled/vectorized paths (the perf harness switches it
+#: off to time the interpreted baseline).
+_VECTOR_ENABLED = True
+
+
+def set_vectorized(enabled: bool) -> bool:
+    """Enable/disable compiled vectorized enumeration; returns old value."""
+    global _VECTOR_ENABLED
+    old = _VECTOR_ENABLED
+    _VECTOR_ENABLED = bool(enabled)
+    return old
+
+
+class NestEnumMiss(Exception):
+    """The nest falls outside the vectorized enumeration fragment."""
+
+
+class NestTooBig(Exception):
+    """Expansion would exceed the cell budget; retry with a smaller block."""
 
 
 @dataclass
@@ -62,9 +101,14 @@ def _eval_bound(expr: Expr, env: dict) -> int:
 
 
 def _subscript_addresses(
-    subscript: Expr, loop: LoopNode, env: dict, lo: int, hi: int
+    subscript: Expr, loop: LoopNode, env: Mapping, lo: int, hi: int
 ) -> np.ndarray:
-    """Addresses produced by ``subscript`` as ``loop.index`` sweeps lo..hi."""
+    """Addresses produced by ``subscript`` as ``loop.index`` sweeps lo..hi.
+
+    ``env`` is never mutated: the loop index is bound in a scoped copy,
+    so callers holding the dict (or enumerating concurrently) can never
+    observe a poisoned environment.
+    """
     n = hi - lo + 1
     if n <= 0:
         return np.empty(0, dtype=np.int64)
@@ -72,20 +116,120 @@ def _subscript_addresses(
     if loop.index not in subscript.free_symbols():
         base = _as_int(subscript.evalf(env), f"subscript {subscript}")
         return np.full(n, base, dtype=np.int64)
-    stride_expr = subscript.subs({loop.index: loop.index + 1}) - subscript
+    stride_expr = shift_difference(subscript, loop.index)
     if loop.index not in stride_expr.free_symbols():
-        env[name] = Fraction(lo)
-        base = _as_int(subscript.evalf(env), f"subscript {subscript}")
-        stride = _as_int(stride_expr.evalf(env), f"stride of {subscript}")
-        del env[name]
+        scoped = dict(env)
+        scoped[name] = Fraction(lo)
+        base = _as_int(subscript.evalf(scoped), f"subscript {subscript}")
+        stride = _as_int(stride_expr.evalf(scoped), f"stride of {subscript}")
         return base + stride * np.arange(n, dtype=np.int64)
-    # Non-linear in the innermost index: exact slow path.
+    # Non-linear in the innermost index: batch through a compiled closure
+    # when possible, else exact per-iteration evaluation.
+    if _VECTOR_ENABLED:
+        try:
+            compiled = compile_expr(subscript)
+            vec_env = dict(env)
+            vec_env[name] = np.arange(lo, hi + 1, dtype=np.int64)
+            values = compiled.evali(vec_env)
+            if isinstance(values, np.ndarray):
+                return values
+            return np.full(n, values, dtype=np.int64)
+        except UncompilableExpr:
+            pass
+    scoped = dict(env)
     out = np.empty(n, dtype=np.int64)
     for offset in range(n):
-        env[name] = Fraction(lo + offset)
-        out[offset] = _as_int(subscript.evalf(env), f"subscript {subscript}")
-    del env[name]
+        scoped[name] = Fraction(lo + offset)
+        out[offset] = _as_int(subscript.evalf(scoped), f"subscript {subscript}")
     return out
+
+
+def _compiled_column(expr: Expr, scope: Mapping, rows: int) -> np.ndarray:
+    """Evaluate ``expr`` to an int64 column of length ``rows``.
+
+    ``scope`` holds scalar parameters plus per-row index columns; scalar
+    results (no row dependence) are broadcast.  Raises
+    :class:`NestEnumMiss` for expressions outside the compilable family.
+    """
+    try:
+        compiled = compile_expr(expr)
+    except UncompilableExpr:
+        raise NestEnumMiss() from None
+    value = compiled.evali(scope)
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.int64:
+            value = value.astype(np.int64)
+        return value
+    return np.full(rows, value, dtype=np.int64)
+
+
+def ragged_nest_addresses(
+    loops: Sequence[LoopNode],
+    subscript: Optional[Expr],
+    env: Mapping,
+    level0_values: Optional[np.ndarray] = None,
+    max_cells: int = 1 << 25,
+) -> tuple:
+    """Vectorised address stream of one reference over its loop chain.
+
+    ``loops`` is the chain of enclosing loops, outermost first.  The nest
+    is expanded level by level: at each depth the (possibly outer-index-
+    dependent) bounds are evaluated for every live row with compiled
+    closures, then rows fan out via ``np.repeat`` — so non-rectangular
+    nests and ``Pow2``-in-subscript phases vectorise just like
+    rectangular affine ones.
+
+    Returns ``(addresses, ordinals)``: the int64 address of every dynamic
+    access (in nest order, with multiplicity) and the 0-based ordinal of
+    the outermost-loop iteration it belongs to.  When ``subscript`` is
+    None only the ordinals are computed (``addresses`` is None) — enough
+    for layout-free counting.  ``level0_values`` restricts the outermost
+    loop to an explicit block of index values so callers can chunk huge
+    nests; its bounds are not re-evaluated in that case.
+
+    Raises :class:`NestEnumMiss` when a bound/subscript is not
+    compilable and :class:`NestTooBig` when the expansion would exceed
+    ``max_cells`` live cells.
+    """
+    if not loops:
+        raise NestEnumMiss()
+    base = {}
+    for key, val in env.items():
+        if isinstance(val, Fraction):
+            if val.denominator != 1:
+                base[key] = val
+                continue
+            val = int(val)
+        base[key] = val
+    cols: dict = {}
+    ordinals: Optional[np.ndarray] = None
+    rows = 1
+    for depth, loop in enumerate(loops):
+        name = loop.index.name
+        if depth == 0 and level0_values is not None:
+            column = np.ascontiguousarray(level0_values, dtype=np.int64)
+            rows = column.size
+            cols[name] = column
+            ordinals = np.arange(rows, dtype=np.int64)
+            continue
+        scope = {**base, **cols}
+        lo = _compiled_column(loop.lower, scope, rows)
+        hi = _compiled_column(loop.upper, scope, rows)
+        counts = np.maximum(hi - lo + 1, 0)
+        total = int(counts.sum())
+        if total > max_cells:
+            raise NestTooBig()
+        fan = np.repeat(np.arange(rows, dtype=np.int64), counts)
+        starts = np.cumsum(counts) - counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+        cols = {k: v[fan] for k, v in cols.items()}
+        cols[name] = lo[fan] + within
+        ordinals = within if ordinals is None else ordinals[fan]
+        rows = total
+    if subscript is None:
+        return None, ordinals
+    scope = {**base, **cols}
+    return _compiled_column(subscript, scope, rows), ordinals
 
 
 def _walk(
@@ -245,10 +389,47 @@ def enumerate_phase(
     del base_env[name]
 
 
+def _fast_phase_access_set(
+    phase: Phase, env: Mapping[str, int], array_name: str
+) -> Optional[np.ndarray]:
+    """Vectorised unique-address set, or None outside the fast fragment."""
+    refs: list = []
+
+    def collect(node: LoopNode, chain: tuple) -> None:
+        for child in node.children:
+            if isinstance(child, RefNode):
+                if child.ref.array.name == array_name:
+                    refs.append((child.ref, chain))
+            elif isinstance(child, LoopNode):
+                collect(child, chain + (child,))
+
+    for root in phase.roots:
+        if not isinstance(root, LoopNode):
+            return None
+        collect(root, (root,))
+    chunks = []
+    try:
+        for ref, chain in refs:
+            addresses, _ = ragged_nest_addresses(chain, ref.subscript, env)
+            if addresses.size:
+                chunks.append(np.unique(addresses))
+    except (NestEnumMiss, NestTooBig, ValueError, ZeroDivisionError,
+            KeyError):
+        return None
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(chunks))
+
+
 def phase_access_set(
     phase: Phase, env: Mapping[str, int], array: Union[str, ArrayDecl]
 ) -> np.ndarray:
     """Sorted unique addresses of ``array`` touched anywhere in the phase."""
+    array_name = array if isinstance(array, str) else array.name
+    if _VECTOR_ENABLED:
+        fast = _fast_phase_access_set(phase, env, array_name)
+        if fast is not None:
+            return fast
     chunks = [
         tr.addresses
         for ia in enumerate_phase(phase, env, array)

@@ -1,0 +1,23 @@
+"""Performance harness: stage timings and the BENCH_perf.json trajectory."""
+
+from .bench import (
+    FULL_H,
+    FULL_SIZES,
+    QUICK_H,
+    QUICK_SIZES,
+    check_regression,
+    main,
+    run_benchmark,
+    set_optimizations,
+)
+
+__all__ = [
+    "FULL_H",
+    "FULL_SIZES",
+    "QUICK_H",
+    "QUICK_SIZES",
+    "check_regression",
+    "main",
+    "run_benchmark",
+    "set_optimizations",
+]

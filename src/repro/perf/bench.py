@@ -1,0 +1,297 @@
+"""Perf-regression harness: ``python -m repro bench-perf``.
+
+Times every pipeline stage — IR build, ARD construction + coalescing,
+LCG build, ILP solve, and both DSM execution modes — on the six-code
+suite, in two configurations:
+
+* **baseline** — the interpreted pre-optimization engine: expression
+  memoization off, vectorized/compiled enumeration off, the executor
+  restricted to the legacy affine-rectangular fast path.  This is the
+  code path the repo shipped before the performance layer landed, kept
+  runnable precisely so the speedup is measured, not remembered.
+* **optimized** — everything on: interning + memoized algebra, compiled
+  vectorized subscript evaluation, the wide descriptor-first executor
+  path.
+
+Two workload scales are recorded into ``BENCH_perf.json``:
+
+* ``full`` — the §4.3 headline scale (H=64, TFFT2 at P=2**7); the
+  committed numbers every future PR has to beat.
+* ``quick`` — H=8 with small sizes, cheap enough for CI: the workflow
+  reruns it and fails when the optimized total regresses by more than
+  the configured factor against the committed file.
+
+Speedups compare wall-clock totals of the two configurations over the
+same stages on the same machine, so the ratio is meaningful even though
+absolute times differ across hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Mapping, Optional
+
+__all__ = [
+    "FULL_H",
+    "FULL_SIZES",
+    "QUICK_H",
+    "QUICK_SIZES",
+    "check_regression",
+    "main",
+    "run_benchmark",
+    "set_optimizations",
+]
+
+FULL_H = 64
+FULL_SIZES = {
+    "tfft2": {"P": 128, "p": 7, "Q": 128, "q": 7},
+    "jacobi": {"N": 8192},
+    "swim": {"M": 128, "N": 128},
+    "adi": {"M": 128, "N": 128},
+    "mgrid": {"N": 8192, "n": 13},
+    "tomcatv": {"M": 128, "N": 128},
+    "redblack": {"N": 8192},
+}
+
+QUICK_H = 8
+QUICK_SIZES = {
+    "tfft2": {"P": 16, "p": 4, "Q": 16, "q": 4},
+    "jacobi": {"N": 1024},
+    "swim": {"M": 24, "N": 24},
+    "adi": {"M": 24, "N": 24},
+    "mgrid": {"N": 1024, "n": 10},
+    "tomcatv": {"M": 24, "N": 24},
+    "redblack": {"N": 1024},
+}
+
+STAGES = ("build", "ard", "lcg", "ilp", "exec_static", "exec_plan")
+
+
+def set_optimizations(enabled: bool) -> None:
+    """Flip every performance-layer switch at once (and drop caches)."""
+    from ..dsm.executor import set_fast_path
+    from ..ir.interp import set_vectorized
+    from ..symbolic import set_memoization
+
+    set_memoization(enabled)
+    set_vectorized(enabled)
+    set_fast_path("wide" if enabled else "legacy")
+    clear_caches()
+
+
+def clear_caches() -> None:
+    """Reset memoization state so timed runs start cold.
+
+    This includes the pre-existing structural ``is_nonneg`` cache: its
+    keys are shared across freshly-built programs, so without clearing
+    it whichever mode runs second would inherit a warm cache and the
+    comparison would be meaningless.
+    """
+    from ..descriptors import coalesce as _coalesce
+    from ..symbolic import compile as _compile
+    from ..symbolic import context as _context
+    from ..symbolic import expr as _expr
+
+    _expr._divide_exact_cached.cache_clear()
+    _expr._shift_difference_cached.cache_clear()
+    _expr._SUBS_CACHE.clear()
+    _compile._compile_cached.cache_clear()
+    _coalesce._COALESCE_CACHE.clear()
+    _context._NONNEG_CACHE.clear()
+
+
+def _time_code(name: str, env: Mapping[str, int], H: int) -> dict:
+    """Per-stage wall-clock seconds for one code at one scale."""
+    from ..codes import ALL_CODES
+    from ..descriptors.ard import UnsupportedAccess, compute_ard
+    from ..descriptors.coalesce import coalesce_row
+    from ..distribution import extract_constraints, solve_enumerative
+    from ..dsm import execute_static, execute_with_plan
+    from ..locality import build_lcg
+
+    builder, _, back_edges = ALL_CODES[name]
+    stages: dict = {}
+
+    t0 = time.perf_counter()
+    prog = builder()
+    stages["build"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for phase in prog.phases:
+        ctx = phase.loop_context(prog.context)
+        for access in phase.accesses():
+            try:
+                coalesce_row(compute_ard(access, ctx), ctx)
+            except UnsupportedAccess:
+                pass
+    stages["ard"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    lcg = build_lcg(prog, env=env, H_value=H, back_edges=back_edges)
+    stages["lcg"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    constraints = extract_constraints(lcg)
+    plan = solve_enumerative(constraints, env, H=H)
+    stages["ilp"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    execute_static(prog, env, H)
+    stages["exec_static"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    execute_with_plan(prog, lcg, plan, env, H)
+    stages["exec_plan"] = time.perf_counter() - t0
+
+    stages["total"] = sum(stages[s] for s in STAGES)
+    return stages
+
+
+def _run_mode(sizes: Mapping, H: int, optimized: bool, log) -> dict:
+    set_optimizations(optimized)
+    try:
+        per_code: dict = {}
+        for name in sorted(sizes):
+            per_code[name] = _time_code(name, sizes[name], H)
+            log(
+                f"    {name:<10} {per_code[name]['total']:8.2f}s "
+                f"({'optimized' if optimized else 'baseline'})"
+            )
+        return {
+            "per_code": per_code,
+            "total": sum(c["total"] for c in per_code.values()),
+        }
+    finally:
+        set_optimizations(True)
+
+
+def _run_section(sizes: Mapping, H: int, log) -> dict:
+    optimized = _run_mode(sizes, H, True, log)
+    baseline = _run_mode(sizes, H, False, log)
+    return {
+        "H": H,
+        "sizes": {k: dict(v) for k, v in sizes.items()},
+        "baseline": baseline,
+        "optimized": optimized,
+        "speedup": (
+            baseline["total"] / optimized["total"]
+            if optimized["total"] > 0
+            else float("inf")
+        ),
+    }
+
+
+def run_benchmark(
+    quick_only: bool = False, log=lambda s: None
+) -> dict:
+    """Run the harness; returns the BENCH_perf.json payload."""
+    result = {
+        "schema": 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "stages": list(STAGES),
+    }
+    log(f"quick section (H={QUICK_H})")
+    result["quick"] = _run_section(QUICK_SIZES, QUICK_H, log)
+    log(f"  quick speedup: {result['quick']['speedup']:.2f}x")
+    if not quick_only:
+        log(f"full section (H={FULL_H}) — the baseline pass takes minutes")
+        result["full"] = _run_section(FULL_SIZES, FULL_H, log)
+        log(f"  full speedup: {result['full']['speedup']:.2f}x")
+    return result
+
+
+def check_regression(
+    current: dict, committed: dict, max_regression: float
+) -> Optional[str]:
+    """Compare a fresh quick run against the committed baseline file.
+
+    Returns an error string on regression, None when within bounds.
+    Only the optimized-mode quick totals are compared — they are the
+    numbers CI can afford to reproduce — and only the ratio matters, so
+    the check is host-independent as long as one host produced both...
+    which it did not; hence the generous factor.
+    """
+    try:
+        committed_total = committed["quick"]["optimized"]["total"]
+    except KeyError:
+        return "committed BENCH_perf.json has no quick/optimized section"
+    current_total = current["quick"]["optimized"]["total"]
+    if committed_total <= 0:
+        return None
+    ratio = current_total / committed_total
+    if ratio > max_regression:
+        return (
+            f"perf regression: quick optimized total {current_total:.2f}s "
+            f"is {ratio:.2f}x the committed {committed_total:.2f}s "
+            f"(allowed {max_regression:.2f}x)"
+        )
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-perf",
+        description="Stage-level perf harness over the six-code suite.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="only the H=8 small-size section (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON payload to FILE (default: stdout)",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a committed BENCH_perf.json; exit 1 on "
+        "regression beyond --max-regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="allowed slowdown factor for --check (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    committed = None
+    if args.check is not None:
+        # fail before the (expensive) run, not after it
+        try:
+            with open(args.check) as fh:
+                committed = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {args.check}: {exc}", file=sys.stderr)
+            return 1
+
+    result = run_benchmark(
+        quick_only=args.quick or args.check is not None,
+        log=lambda s: print(s, file=sys.stderr),
+    )
+    payload = json.dumps(result, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    elif args.check is None:
+        print(payload)
+
+    if committed is not None:
+        error = check_regression(result, committed, args.max_regression)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 1
+        print(
+            f"perf check ok: quick optimized total "
+            f"{result['quick']['optimized']['total']:.2f}s vs committed "
+            f"{committed['quick']['optimized']['total']:.2f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Public surface:
 * :mod:`repro.symbolic.linear` — affine views and the balanced-locality
   Diophantine solver.
 * :mod:`repro.symbolic.sampling` — randomised oracles for tests.
+* :mod:`repro.symbolic.compile` — lowering of expression trees to
+  vectorized, integer-exact NumPy closures (:func:`compile_expr`).
 """
 
 from .expr import (
@@ -34,11 +36,14 @@ from .expr import (
     floor_div,
     num,
     pow2,
+    set_memoization,
+    shift_difference,
     smax,
     smin,
     sym,
     symbols,
 )
+from .compile import CompiledExpr, UncompilableExpr, compile_expr
 from .context import Context, LoopVar
 from .linear import (
     AffineForm,
@@ -53,6 +58,7 @@ __all__ = [
     "ExprLike",
     "AffineForm",
     "CeilDiv",
+    "CompiledExpr",
     "Context",
     "DiophantineSolution",
     "Expr",
@@ -68,17 +74,21 @@ __all__ = [
     "Pow2",
     "Symbol",
     "TWO",
+    "UncompilableExpr",
     "ZERO",
     "affine_coefficients",
     "always_nonneg_sampled",
     "as_expr",
     "ceil_div",
+    "compile_expr",
     "divide_exact",
     "equivalent",
     "floor_div",
     "num",
     "pow2",
     "random_env",
+    "set_memoization",
+    "shift_difference",
     "smax",
     "smin",
     "solve_linear_diophantine",

@@ -36,7 +36,9 @@ operators or the helpers :func:`num`, :func:`sym`, :func:`pow2`.
 
 from __future__ import annotations
 
+import weakref
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterable, Iterator, Mapping, Sequence, Union
 
 __all__ = [
@@ -60,6 +62,8 @@ __all__ = [
     "smax",
     "smin",
     "as_expr",
+    "shift_difference",
+    "set_memoization",
     "ZERO",
     "ONE",
     "TWO",
@@ -69,6 +73,47 @@ __all__ = [
 Numeric = Union[int, Fraction]
 ExprLike = Union["Expr", int, Fraction]
 
+#: Hash-consing table: one canonical instance per structural key.  Nodes
+#: are interned at construction time so that repeated descriptor algebra
+#: reuses (and re-hashes) identical subtrees for free; weak values keep
+#: the table from pinning dead expressions.
+_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+#: Master switch for the algebra-level memo caches (stride differencing,
+#: exact division).  The perf harness flips this off to measure the
+#: uncached baseline; interning itself is not reversible.
+_MEMO_ENABLED = True
+
+
+def set_memoization(enabled: bool) -> bool:
+    """Enable/disable the algebra memo caches; returns the old setting."""
+    global _MEMO_ENABLED
+    old = _MEMO_ENABLED
+    _MEMO_ENABLED = bool(enabled)
+    return old
+
+
+#: Substitution results keyed by (interned node, frozen mapping).
+_SUBS_CACHE: dict = {}
+_SUBS_CACHE_MAX = 1 << 17
+
+
+def _interned(key: tuple, cls, populate) -> "Expr":
+    """Return the canonical node for ``key``, creating it via ``populate``.
+
+    ``populate`` receives a fresh uninitialised instance and must set its
+    slots with ``object.__setattr__`` (the classes' ``__setattr__`` is an
+    immutability guard).
+    """
+    cached = _INTERN.get(key)
+    if cached is not None:
+        return cached
+    self = object.__new__(cls)
+    populate(self)
+    object.__setattr__(self, "_kc", key)
+    _INTERN[key] = self
+    return self
+
 
 class Expr:
     """Base class of all symbolic expressions.
@@ -76,9 +121,14 @@ class Expr:
     Subclasses are immutable; arithmetic operators build *canonicalised*
     results, so two semantically equal expressions of the supported family
     compare equal with ``==``.
+
+    Instances are hash-consed: constructing a node structurally equal to
+    an existing live node returns the *same* object, so ``==`` usually
+    decides via identity and structural keys/hashes are computed once per
+    unique tree.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_kc", "_fs", "__weakref__")
 
     # -- construction helpers -------------------------------------------------
 
@@ -128,10 +178,59 @@ class Expr:
         raise NotImplementedError
 
     def subs(self, mapping: Mapping["Symbol", ExprLike]) -> "Expr":
-        """Return the expression with symbols replaced, re-canonicalised."""
+        """Return the expression with symbols replaced, re-canonicalised.
+
+        Memoized on the interned node identity plus the mapping: node
+        interning makes structurally equal subtrees *the same object*,
+        so substitutions over shared subtrees are re-derived once
+        instead of once per enclosing expression.
+        """
+        if not mapping:
+            return self
+        fs = self.free_symbols()
+        if not any(
+            (k if isinstance(k, Symbol) else Symbol(k)) in fs
+            for k in mapping
+        ):
+            return self
+        if not _MEMO_ENABLED:
+            return self._subs_impl(mapping)
+        try:
+            key = (
+                self,
+                tuple(
+                    sorted(
+                        (
+                            k.name if isinstance(k, Symbol) else k,
+                            as_expr(v),
+                        )
+                        for k, v in mapping.items()
+                    )
+                ),
+            )
+        except (TypeError, ValueError):
+            return self._subs_impl(mapping)
+        hit = _SUBS_CACHE.get(key)
+        if hit is None:
+            hit = self._subs_impl(mapping)
+            if len(_SUBS_CACHE) >= _SUBS_CACHE_MAX:
+                _SUBS_CACHE.clear()
+            _SUBS_CACHE[key] = hit
+        return hit
+
+    def _subs_impl(self, mapping: Mapping["Symbol", ExprLike]) -> "Expr":
         raise NotImplementedError
 
     def free_symbols(self) -> frozenset:
+        """Free symbols, computed once per interned node."""
+        try:
+            return self._fs
+        except AttributeError:
+            fs = self._free_symbols_impl()
+            object.__setattr__(self, "_fs", fs)
+            return fs
+
+    def _free_symbols_impl(self) -> frozenset:
         raise NotImplementedError
 
     def atoms(self) -> frozenset:
@@ -209,7 +308,22 @@ class Expr:
         return h
 
     def _key(self) -> tuple:
-        raise NotImplementedError
+        """Structural key (computed at construction, cached for life)."""
+        return self._kc
+
+    def compile(self, names: Sequence[str] | None = None):
+        """Lower to a vectorised NumPy closure (see :mod:`.compile`).
+
+        Returns a :class:`repro.symbolic.compile.CompiledExpr` whose
+        ``__call__`` reproduces :meth:`evalf` exactly (int64 fast path
+        with an arbitrary-precision object fallback) and whose ``evali``
+        returns integer results directly.  Raises
+        :class:`repro.symbolic.compile.UncompilableExpr` for the few
+        node shapes outside the compilable family.
+        """
+        from .compile import compile_expr
+
+        return compile_expr(self, tuple(names) if names is not None else None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return str(self)
@@ -220,8 +334,13 @@ class Num(Expr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: Numeric):
-        object.__setattr__(self, "value", Fraction(value))
+    def __new__(cls, value: Numeric):
+        value = Fraction(value)
+        return _interned(
+            ("Num", value),
+            cls,
+            lambda self: object.__setattr__(self, "value", value),
+        )
 
     def __setattr__(self, name, value):  # immutability guard
         raise AttributeError("Num is immutable")
@@ -229,10 +348,10 @@ class Num(Expr):
     def sort_key(self) -> tuple:
         return (0, self.value)
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return self
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols_impl(self) -> frozenset:
         return frozenset()
 
     def atoms(self) -> frozenset:
@@ -240,9 +359,6 @@ class Num(Expr):
 
     def evalf(self, env) -> Fraction:
         return self.value
-
-    def _key(self) -> tuple:
-        return ("Num", self.value)
 
     def __str__(self) -> str:
         return str(self.value)
@@ -253,10 +369,14 @@ class Symbol(Expr):
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
+    def __new__(cls, name: str):
         if not name:
             raise ValueError("symbol name must be non-empty")
-        object.__setattr__(self, "name", name)
+        return _interned(
+            ("Symbol", name),
+            cls,
+            lambda self: object.__setattr__(self, "name", name),
+        )
 
     def __setattr__(self, name, value):
         raise AttributeError("Symbol is immutable")
@@ -264,14 +384,14 @@ class Symbol(Expr):
     def sort_key(self) -> tuple:
         return (1, self.name)
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         for key, val in mapping.items():
             key_name = key.name if isinstance(key, Symbol) else key
             if key_name == self.name:
                 return as_expr(val)
         return self
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols_impl(self) -> frozenset:
         return frozenset((self,))
 
     def atoms(self) -> frozenset:
@@ -283,9 +403,6 @@ class Symbol(Expr):
         except KeyError:
             raise KeyError(f"no value bound for symbol {self.name!r}") from None
 
-    def _key(self) -> tuple:
-        return ("Symbol", self.name)
-
     def __str__(self) -> str:
         return self.name
 
@@ -295,13 +412,17 @@ class _NaryExpr(Expr):
 
     __slots__ = ("args",)
 
-    def __init__(self, args: Sequence[Expr]):
-        object.__setattr__(self, "args", tuple(args))
+    def __new__(cls, args: Sequence[Expr]):
+        args = tuple(args)
+        key = (cls.__name__,) + tuple(a._key() for a in args)
+        return _interned(
+            key, cls, lambda self: object.__setattr__(self, "args", args)
+        )
 
     def __setattr__(self, name, value):
         raise AttributeError(f"{type(self).__name__} is immutable")
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols_impl(self) -> frozenset:
         out: frozenset = frozenset()
         for a in self.args:
             out = out | a.free_symbols()
@@ -313,10 +434,6 @@ class _NaryExpr(Expr):
             out = out | a.atoms()
         return out
 
-    def _key(self) -> tuple:
-        return (type(self).__name__,) + tuple(a._key() for a in self.args)
-
-
 class Add(_NaryExpr):
     """A canonicalised sum.  Construct via ``+`` — never directly."""
 
@@ -325,7 +442,7 @@ class Add(_NaryExpr):
     def sort_key(self) -> tuple:
         return (4, tuple(a.sort_key() for a in self.args))
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return _add([a.subs(mapping) for a in self.args])
 
     def evalf(self, env) -> Fraction:
@@ -355,7 +472,7 @@ class Mul(_NaryExpr):
     def sort_key(self) -> tuple:
         return (3, tuple(a.sort_key() for a in self.args))
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return _mul([a.subs(mapping) for a in self.args])
 
     def evalf(self, env) -> Fraction:
@@ -383,9 +500,12 @@ class Pow(Expr):
 
     __slots__ = ("base", "exponent")
 
-    def __init__(self, base: Expr, exponent: int):
-        object.__setattr__(self, "base", base)
-        object.__setattr__(self, "exponent", exponent)
+    def __new__(cls, base: Expr, exponent: int):
+        def populate(self):
+            object.__setattr__(self, "base", base)
+            object.__setattr__(self, "exponent", exponent)
+
+        return _interned(("Pow", base._key(), exponent), cls, populate)
 
     def __setattr__(self, name, value):
         raise AttributeError("Pow is immutable")
@@ -393,10 +513,10 @@ class Pow(Expr):
     def sort_key(self) -> tuple:
         return (2, self.base.sort_key(), self.exponent)
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return _pow(self.base.subs(mapping), self.exponent)
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols_impl(self) -> frozenset:
         return self.base.free_symbols()
 
     def atoms(self) -> frozenset:
@@ -404,9 +524,6 @@ class Pow(Expr):
 
     def evalf(self, env) -> Fraction:
         return self.base.evalf(env) ** self.exponent
-
-    def _key(self) -> tuple:
-        return ("Pow", self.base._key(), self.exponent)
 
     def __str__(self) -> str:
         base_text = str(self.base)
@@ -425,8 +542,12 @@ class Pow2(Expr):
 
     __slots__ = ("exponent",)
 
-    def __init__(self, exponent: Expr):
-        object.__setattr__(self, "exponent", exponent)
+    def __new__(cls, exponent: Expr):
+        return _interned(
+            ("Pow2", exponent._key()),
+            cls,
+            lambda self: object.__setattr__(self, "exponent", exponent),
+        )
 
     def __setattr__(self, name, value):
         raise AttributeError("Pow2 is immutable")
@@ -434,10 +555,10 @@ class Pow2(Expr):
     def sort_key(self) -> tuple:
         return (2, (5, "2"), self.exponent.sort_key())
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return pow2(self.exponent.subs(mapping))
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols_impl(self) -> frozenset:
         return self.exponent.free_symbols()
 
     def atoms(self) -> frozenset:
@@ -449,9 +570,6 @@ class Pow2(Expr):
             raise ValueError(f"2**{e}: non-integer exponent")
         n = int(e)
         return Fraction(2**n) if n >= 0 else Fraction(1, 2**-n)
-
-    def _key(self) -> tuple:
-        return ("Pow2", self.exponent._key())
 
     def __str__(self) -> str:
         e = str(self.exponent)
@@ -466,9 +584,14 @@ class _DivAtom(Expr):
     __slots__ = ("numer", "denom")
     _name = "?"
 
-    def __init__(self, numer: Expr, denom: Expr):
-        object.__setattr__(self, "numer", numer)
-        object.__setattr__(self, "denom", denom)
+    def __new__(cls, numer: Expr, denom: Expr):
+        def populate(self):
+            object.__setattr__(self, "numer", numer)
+            object.__setattr__(self, "denom", denom)
+
+        return _interned(
+            (cls._name, numer._key(), denom._key()), cls, populate
+        )
 
     def __setattr__(self, name, value):
         raise AttributeError(f"{type(self).__name__} is immutable")
@@ -476,14 +599,11 @@ class _DivAtom(Expr):
     def sort_key(self) -> tuple:
         return (5, self._name, self.numer.sort_key(), self.denom.sort_key())
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols_impl(self) -> frozenset:
         return self.numer.free_symbols() | self.denom.free_symbols()
 
     def atoms(self) -> frozenset:
         return frozenset((self,))
-
-    def _key(self) -> tuple:
-        return (self._name, self.numer._key(), self.denom._key())
 
     def __str__(self) -> str:
         return f"{self._name}({self.numer}, {self.denom})"
@@ -495,7 +615,7 @@ class CeilDiv(_DivAtom):
     __slots__ = ()
     _name = "ceildiv"
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return ceil_div(self.numer.subs(mapping), self.denom.subs(mapping))
 
     def evalf(self, env) -> Fraction:
@@ -512,7 +632,7 @@ class FloorDiv(_DivAtom):
     __slots__ = ()
     _name = "floordiv"
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return floor_div(self.numer.subs(mapping), self.denom.subs(mapping))
 
     def evalf(self, env) -> Fraction:
@@ -534,7 +654,7 @@ class Max(_NaryExpr):
     def atoms(self) -> frozenset:
         return frozenset((self,))
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return smax(*[a.subs(mapping) for a in self.args])
 
     def evalf(self, env) -> Fraction:
@@ -555,7 +675,7 @@ class Min(_NaryExpr):
     def atoms(self) -> frozenset:
         return frozenset((self,))
 
-    def subs(self, mapping) -> Expr:
+    def _subs_impl(self, mapping) -> Expr:
         return smin(*[a.subs(mapping) for a in self.args])
 
     def evalf(self, env) -> Fraction:
@@ -914,10 +1034,39 @@ def divide_exact(a: ExprLike, b: ExprLike) -> Expr | None:
         raise ZeroDivisionError("divide_exact by zero")
     if a.is_zero:
         return ZERO
+    if _MEMO_ENABLED:
+        return _divide_exact_cached(a, b)
+    return _divide_exact_impl(a, b)
+
+
+@lru_cache(maxsize=1 << 16)
+def _divide_exact_cached(a: Expr, b: Expr) -> Expr | None:
+    return _divide_exact_impl(a, b)
+
+
+def _divide_exact_impl(a: Expr, b: Expr) -> Expr | None:
     quotient = a / b
     if _is_polynomial(quotient):
         return quotient
     return None
+
+
+def shift_difference(expr: ExprLike, index: "Symbol") -> Expr:
+    """Memoized first difference ``expr[index+1] - expr[index]``.
+
+    This is the single most repeated piece of descriptor algebra (every
+    stride computation and every fast-path eligibility check re-derives
+    it), so it is cached on the interned operands.
+    """
+    expr = as_expr(expr)
+    if _MEMO_ENABLED:
+        return _shift_difference_cached(expr, index)
+    return expr.subs({index: index + 1}) - expr
+
+
+@lru_cache(maxsize=1 << 16)
+def _shift_difference_cached(expr: Expr, index: "Symbol") -> Expr:
+    return expr.subs({index: index + 1}) - expr
 
 
 def _is_polynomial(expr: Expr) -> bool:

@@ -147,3 +147,43 @@ class TestRegionEdgeCases:
         )
         with pytest.raises(ValueError):
             row_addresses(row, {})
+
+
+class TestBatchRowAddresses:
+    """row_addresses_batch must agree with the per-iteration view."""
+
+    def _ard(self, builder, phase_name="Fk"):
+        from repro.descriptors import compute_ard
+
+        prog = builder
+        phase = prog.phase(phase_name)
+        ctx = phase.loop_context(prog.context)
+        access = next(iter(phase.accesses()))
+        return compute_ard(access, ctx), ctx
+
+    def test_matches_fixed_parallel_rows(self):
+        from repro.descriptors.region import (
+            row_addresses_batch,
+            row_addresses_fixed_parallel,
+        )
+
+        prog = two_phase_program()
+        row, _ = self._ard(prog)
+        env = {"N": 6}
+        iters = np.array([0, 2, 3, 5])
+        batch = row_addresses_batch(row, env, iters)
+        assert batch.shape[0] == iters.size
+        for k, it in enumerate(iters):
+            assert np.array_equal(
+                batch[k], row_addresses_fixed_parallel(row, env, int(it))
+            )
+
+    def test_empty_iteration_set(self):
+        from repro.descriptors.region import row_addresses_batch
+
+        prog = two_phase_program()
+        row, _ = self._ard(prog)
+        batch = row_addresses_batch(
+            row, {"N": 6}, np.array([], dtype=np.int64)
+        )
+        assert batch.shape[0] == 0

@@ -5,6 +5,7 @@ import pytest
 
 from repro import analyze
 from repro.dsm import execute_static, execute_with_plan
+from repro.dsm.executor import ExecutionReport, PhaseStats
 from repro.distribution import MachineCosts
 
 
@@ -135,3 +136,34 @@ class TestScalingShape:
         naive = execute_static(prog, env, H=H)
         assert result.report.efficiency() > naive.efficiency()
         assert result.report.efficiency() > 0.5
+
+
+class TestEfficiencyEdgeCases:
+    """Degenerate reports must not claim a silently perfect efficiency."""
+
+    def test_empty_program_is_vacuously_efficient(self):
+        report = ExecutionReport(program="empty", H=4)
+        assert report.parallel_time() == 0.0
+        assert report.serial_time() == 0.0
+        assert report.efficiency() == 1.0
+
+    def test_zero_parallel_time_with_work_is_nan(self):
+        import math
+
+        # A machine where remote accesses are free and carry no compute:
+        # the parallel makespan is exactly zero even though the serial
+        # reference machine would bill every access.  The ratio diverges,
+        # so efficiency must be NaN, not 1.0.
+        machine = MachineCosts(local=1.0, remote=0.0, compute_scale=0.0)
+        stats = PhaseStats(
+            phase="F",
+            local=np.zeros(4, dtype=np.int64),
+            remote=np.full(4, 10, dtype=np.int64),
+            iterations=np.full(4, 10, dtype=np.int64),
+        )
+        report = ExecutionReport(
+            program="degenerate", H=4, phases=[stats], machine=machine
+        )
+        assert report.parallel_time() == 0.0
+        assert report.serial_time() > 0.0
+        assert math.isnan(report.efficiency())

@@ -69,19 +69,49 @@ def test_fast_path_taken_for_rectangular_phase():
     assert stats.total_accesses == 2 * 144
 
 
-def test_fast_path_declined_for_nonaffine_phase():
+def test_wide_fast_path_covers_nonaffine_phase(monkeypatch):
+    """F3's inner bounds depend on L and its subscripts carry 2**L —
+    outside the legacy affine fragment, but the wide descriptor-first
+    path must both fire and agree with exact interpretation."""
     from repro.codes import build_tfft2
+    from repro.dsm.executor import _legacy_fast_stats
 
     prog = build_tfft2()
     env = {"P": 8, "p": 3, "Q": 8, "q": 3}
+    phase = prog.phase("F3_CFFTZWORK")
     schedule = CyclicSchedule(trip=8, p=1, H=4)
-    # F3's inner bounds depend on L: outside the fast fragment
-    stats = _try_fast_stats(
-        prog.phase("F3_CFFTZWORK"), env, 4, schedule,
-        {"X": BlockLayout(size=2 * 64 + 1, H=4),
-         "Y": BlockLayout(size=2 * 64 + 1, H=4)},
-    )
-    assert stats is None
+    layouts = {"X": BlockLayout(size=2 * 64 + 1, H=4),
+               "Y": BlockLayout(size=2 * 64 + 1, H=4)}
+    assert _legacy_fast_stats(phase, env, 4, schedule, layouts) is None
+    stats = _try_fast_stats(phase, env, 4, schedule, layouts)
+    assert stats is not None
+    generic = _generic_stats(phase, env, 4, schedule, layouts, monkeypatch)
+    assert np.array_equal(stats.local, generic.local)
+    assert np.array_equal(stats.remote, generic.remote)
+    assert np.array_equal(stats.iterations, generic.iterations)
+
+
+def test_fast_path_modes_switch():
+    import repro.dsm.executor as ex
+    from repro.codes import build_adi
+
+    prog = build_adi()
+    env = {"M": 12, "N": 12}
+    schedule = CyclicSchedule(trip=12, p=2, H=4)
+    layouts = {"A": BlockLayout(size=144, H=4),
+               "B": BlockLayout(size=144, H=4)}
+    phase = prog.phase("F_rows")
+    wide = _try_fast_stats(phase, env, 4, schedule, layouts)
+    old = ex.set_fast_path("off")
+    try:
+        assert _try_fast_stats(phase, env, 4, schedule, layouts) is None
+        ex.set_fast_path("legacy")
+        legacy = _try_fast_stats(phase, env, 4, schedule, layouts)
+    finally:
+        ex.set_fast_path(old)
+    assert legacy is not None and wide is not None
+    assert np.array_equal(wide.local, legacy.local)
+    assert np.array_equal(wide.remote, legacy.remote)
 
 
 def test_negative_stride_reference(monkeypatch):

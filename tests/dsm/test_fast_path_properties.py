@@ -1,0 +1,132 @@
+"""Randomized nests: the wide fast path must equal exact interpretation.
+
+Programs are generated with random affine and power-of-two features —
+triangular bounds, inner bounds depending on outer indices, ``2**L``
+strides in subscripts, negative strides — and executed both through
+``_try_fast_stats`` and through the per-iteration interpreter; the
+local/remote/iteration accounting must agree exactly.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+import repro.dsm.executor as executor_mod
+from repro.distribution import BlockCyclicLayout, BlockLayout, CyclicSchedule
+from repro.dsm.executor import _phase_stats, _try_fast_stats
+from repro.ir import ProgramBuilder
+from repro.symbolic import pow2, sym
+
+
+def _interpreted_stats(phase, env, H, schedule, layouts, monkeypatch):
+    with monkeypatch.context() as m:
+        m.setattr(executor_mod, "_try_fast_stats", lambda *a, **k: None)
+        return _phase_stats(phase, env, H, schedule, layouts)
+
+
+def _random_affine_program(rng: random.Random):
+    bld = ProgramBuilder(f"affine{rng.randrange(1 << 20)}")
+    N = bld.param("N", minimum=4)
+    A = bld.array("A", 64 * N + 64)
+    i_sym, j_sym, k_sym = sym("i"), sym("j"), sym("k")
+    depth = rng.randint(1, 3)
+    with bld.phase("F") as ph:
+        with ph.doall("i", 0, N - 1):
+            if depth == 1:
+                c = rng.randint(-3, 3)
+                ph.read(A, rng.randint(1, 4) * i_sym + abs(c) * 8 + c)
+            elif depth == 2:
+                upper = (
+                    i_sym if rng.random() < 0.5 else N - 1 - i_sym
+                )  # triangular
+                with ph.do("j", 0, upper):
+                    ph.read(A, 2 * i_sym + rng.randint(1, 3) * j_sym + 5)
+                    if rng.random() < 0.5:
+                        ph.write(A, 8 * N + 4 * i_sym - j_sym)
+            else:
+                with ph.do("j", 0, rng.randint(1, 2) * i_sym + 1):
+                    with ph.do("k", j_sym, j_sym + rng.randint(1, 3)):
+                        ph.read(
+                            A, 4 * i_sym + 2 * j_sym + k_sym + 16
+                        )
+    return bld.build()
+
+
+def _random_pow2_program(rng: random.Random):
+    bld = ProgramBuilder(f"pow2_{rng.randrange(1 << 20)}")
+    P, p = bld.pow2_param("P", "p")
+    A = bld.array("A", 8 * P + 8)
+    with bld.phase("F") as ph:
+        # do() normalizes non-zero lower bounds and yields the original
+        # induction value — subscripts must be written in terms of it.
+        with ph.doall("i", 0, P - 1) as i_e:
+            with ph.do("l", 1, p) as l_e:
+                with ph.do("j", 0, P * pow2(-l_e) - 1) as j_e:
+                    ph.read(A, pow2(l_e - 1) * j_e + i_e)
+                    if rng.random() < 0.5:
+                        ph.write(A, pow2(l_e) + 2 * i_e + j_e)
+    return bld.build()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_affine_nests_fast_equals_slow(seed, monkeypatch):
+    rng = random.Random(seed)
+    prog = _random_affine_program(rng)
+    env = {"N": rng.choice([5, 8, 13])}
+    H = rng.choice([3, 4])
+    phase = prog.phases[0]
+    trip = env["N"]
+    schedule = CyclicSchedule(trip=trip, p=rng.choice([1, 2]), H=H)
+    layouts = {
+        "A": rng.choice(
+            [
+                BlockLayout(size=64 * env["N"] + 64, H=H),
+                BlockCyclicLayout(origin=0, chunk=rng.choice([3, 7]), H=H),
+            ]
+        )
+    }
+    fast = _try_fast_stats(phase, env, H, schedule, layouts)
+    assert fast is not None, "wide fast path should cover affine nests"
+    slow = _interpreted_stats(phase, env, H, schedule, layouts, monkeypatch)
+    assert np.array_equal(fast.local, slow.local)
+    assert np.array_equal(fast.remote, slow.remote)
+    assert np.array_equal(fast.iterations, slow.iterations)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_pow2_nests_fast_equals_slow(seed, monkeypatch):
+    rng = random.Random(100 + seed)
+    prog = _random_pow2_program(rng)
+    p = rng.choice([2, 3])
+    env = {"p": p, "P": 2**p}
+    H = 4
+    phase = prog.phases[0]
+    schedule = CyclicSchedule(trip=env["P"], p=1, H=H)
+    layouts = {
+        "A": BlockCyclicLayout(origin=0, chunk=rng.choice([2, 5]), H=H)
+    }
+    fast = _try_fast_stats(phase, env, H, schedule, layouts)
+    assert fast is not None, "wide fast path should cover pow2 nests"
+    slow = _interpreted_stats(phase, env, H, schedule, layouts, monkeypatch)
+    assert np.array_equal(fast.local, slow.local)
+    assert np.array_equal(fast.remote, slow.remote)
+    assert np.array_equal(fast.iterations, slow.iterations)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_nests_access_sets_match(seed):
+    """Vectorised phase_access_set equals the interpreted union."""
+    import repro.ir.interp as interp
+
+    rng = random.Random(200 + seed)
+    prog = _random_affine_program(rng)
+    env = {"N": rng.choice([6, 9])}
+    phase = prog.phases[0]
+    fast = interp.phase_access_set(phase, env, "A")
+    old = interp.set_vectorized(False)
+    try:
+        slow = interp.phase_access_set(phase, env, "A")
+    finally:
+        interp.set_vectorized(old)
+    assert np.array_equal(fast, slow)

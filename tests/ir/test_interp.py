@@ -160,3 +160,34 @@ class TestEdgeCases:
         prog = bld.build()
         for ia in enumerate_phase(prog.phase("P"), {"N": 4}, "B"):
             assert all(t.array == "B" for t in ia.traces)
+
+
+class TestEnvIsNeverMutated:
+    """Enumeration binds loop indices in scoped copies of the caller's env."""
+
+    def test_subscript_addresses_leaves_env_alone(self):
+        from repro.ir.interp import _subscript_addresses
+
+        prog = build_affine()
+        phase = prog.phase("P")
+        loop = phase.roots[0]
+        ref = loop.children[0].children[0].ref
+        inner = loop.children[0]
+        env = {"N": 6, "i": 2}
+        snapshot = dict(env)
+        _subscript_addresses(ref.subscript, inner, env, 0, 5)
+        assert env == snapshot
+
+    def test_phase_access_set_leaves_env_alone(self):
+        import repro.ir.interp as interp
+
+        prog = build_f3_like()
+        env = {"P": 8, "p": 3}
+        snapshot = dict(env)
+        interp.phase_access_set(prog.phase("F"), env, "X")
+        old = interp.set_vectorized(False)
+        try:
+            interp.phase_access_set(prog.phase("F"), env, "X")
+        finally:
+            interp.set_vectorized(old)
+        assert env == snapshot

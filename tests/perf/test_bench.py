@@ -1,0 +1,80 @@
+"""Smoke tests for the perf-regression harness (``repro bench-perf``)."""
+
+import json
+
+import pytest
+
+import repro.perf.bench as bench
+from repro.perf import check_regression, run_benchmark, set_optimizations
+
+
+def _payload(total):
+    return {"quick": {"optimized": {"total": total}}}
+
+
+class TestCheckRegression:
+    def test_within_bounds(self):
+        assert check_regression(_payload(1.0), _payload(0.9), 2.0) is None
+
+    def test_regression_reported(self):
+        error = check_regression(_payload(3.0), _payload(1.0), 2.0)
+        assert error is not None and "regression" in error
+
+    def test_missing_section_reported(self):
+        error = check_regression(_payload(1.0), {"schema": 1}, 2.0)
+        assert "no quick/optimized section" in error
+
+    def test_zero_committed_total_passes(self):
+        assert check_regression(_payload(5.0), _payload(0.0), 2.0) is None
+
+
+class TestSwitches:
+    def test_set_optimizations_flips_every_layer(self):
+        import repro.dsm.executor as executor
+        import repro.ir.interp as interp
+        import repro.symbolic.expr as expr
+
+        try:
+            set_optimizations(False)
+            assert expr._MEMO_ENABLED is False
+            assert interp._VECTOR_ENABLED is False
+            assert executor._FAST_MODE == "legacy"
+            set_optimizations(True)
+            assert expr._MEMO_ENABLED is True
+            assert interp._VECTOR_ENABLED is True
+            assert executor._FAST_MODE == "wide"
+        finally:
+            set_optimizations(True)
+
+
+class TestHarness:
+    def test_time_code_reports_every_stage(self):
+        stages = bench._time_code("jacobi", {"N": 64}, H=4)
+        for name in bench.STAGES:
+            assert stages[name] >= 0.0
+        assert stages["total"] == pytest.approx(
+            sum(stages[s] for s in bench.STAGES)
+        )
+
+    def test_run_benchmark_payload_shape(self, monkeypatch):
+        monkeypatch.setattr(bench, "QUICK_H", 2)
+        monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
+        payload = run_benchmark(quick_only=True)
+        assert payload["schema"] == 1
+        assert "full" not in payload
+        quick = payload["quick"]
+        assert set(quick["baseline"]["per_code"]) == {"jacobi"}
+        assert quick["speedup"] > 0
+        json.dumps(payload)  # payload must be JSON-serialisable
+
+    def test_cli_check_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench, "QUICK_H", 2)
+        monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
+        out = tmp_path / "bench.json"
+        assert bench.main(["--quick", "--out", str(out)]) == 0
+        committed = json.loads(out.read_text())
+        assert bench.main(["--check", str(out)]) == 0
+        committed["quick"]["optimized"]["total"] = 1e-9
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(committed))
+        assert bench.main(["--check", str(slow)]) == 1

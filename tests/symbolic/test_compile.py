@@ -1,0 +1,184 @@
+"""Compiled expression evaluation must match Fraction-exact ``evalf``.
+
+Property tests: random expression trees over the full compilable family
+(affine arithmetic, powers of two, floor/ceil division, min/max) are
+compiled and evaluated both scalar and vectorized; every value must
+equal the interpreted ``evalf`` result exactly — including the
+object-dtype fallback when int64 would overflow.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import (
+    UncompilableExpr,
+    as_expr,
+    ceil_div,
+    compile_expr,
+    floor_div,
+    num,
+    pow2,
+    smax,
+    smin,
+    sym,
+)
+
+SYMS = [sym(n) for n in "abc"]
+NAMES = tuple(s.name for s in SYMS)
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return as_expr(draw(st.integers(-8, 8)))
+        if choice == 1:
+            return num(
+                Fraction(draw(st.integers(-8, 8)),
+                         draw(st.integers(1, 4)))
+            )
+        if choice == 2:
+            return draw(st.sampled_from(SYMS))
+        # nonnegative bounded exponent keeps evalf defined everywhere
+        return pow2(smax(smin(draw(st.sampled_from(SYMS)), 8), 0))
+    op = draw(st.sampled_from(
+        ["add", "sub", "mul", "floordiv", "ceildiv", "max", "min"]
+    ))
+    left = draw(exprs(depth=depth - 1))
+    right = draw(exprs(depth=depth - 1))
+    if op == "add":
+        return left + right
+    if op == "sub":
+        return left - right
+    if op == "mul":
+        return left * right
+    if op in ("floordiv", "ceildiv"):
+        # keep the denominator provably nonzero
+        denom = smax(right, 1)
+        return (floor_div if op == "floordiv" else ceil_div)(left, denom)
+    return (smax if op == "max" else smin)(left, right)
+
+
+ENVS = st.fixed_dictionaries(
+    {name: st.integers(-12, 12) for name in NAMES}
+)
+
+
+@given(exprs(), ENVS)
+@settings(max_examples=300, deadline=None)
+def test_compiled_scalar_matches_evalf(expr, env):
+    compiled = compile_expr(expr, NAMES)
+    want = expr.evalf({k: Fraction(v) for k, v in env.items()})
+    assert compiled(env) == want
+
+
+@given(exprs(), st.lists(ENVS, min_size=1, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_compiled_vector_matches_per_element(expr, envs):
+    compiled = compile_expr(expr, NAMES)
+    columns = {
+        name: np.array([e[name] for e in envs], dtype=np.int64)
+        for name in NAMES
+    }
+    got = compiled(columns)
+    for i, env in enumerate(envs):
+        want = expr.evalf({k: Fraction(v) for k, v in env.items()})
+        value = got[i] if isinstance(got, np.ndarray) else got
+        assert Fraction(value) == want, (expr, env)
+
+
+@given(exprs(), st.lists(ENVS, min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_object_fallback_matches_int64(expr, envs):
+    """Forcing the exact object tier gives the same values as int64."""
+    compiled = compile_expr(expr, NAMES)
+    small = {
+        name: np.array([e[name] for e in envs], dtype=np.int64)
+        for name in NAMES
+    }
+    fast = compiled(small)
+    exact = compiled({k: v.astype(object) for k, v in small.items()})
+    fast_list = (
+        list(np.atleast_1d(fast)) if isinstance(fast, np.ndarray) else [fast]
+    )
+    exact_list = (
+        list(np.atleast_1d(exact))
+        if isinstance(exact, np.ndarray)
+        else [exact]
+    )
+    assert len(fast_list) == len(exact_list)
+    for f, e in zip(fast_list, exact_list):
+        assert Fraction(f) == Fraction(e)
+
+
+def test_overflow_falls_back_to_exact_objects():
+    a, b = sym("a"), sym("b")
+    compiled = compile_expr(a**3 * b, ("a", "b"))
+    env = {"a": np.array([2**21, 3]), "b": np.array([2**40, 5])}
+    got = compiled(env)
+    assert got.dtype == object
+    assert int(got[0]) == (2**21) ** 3 * 2**40
+    assert int(got[1]) == 27 * 5
+
+
+def test_pow2_negative_exponent_exact():
+    l = sym("l")
+    compiled = compile_expr(pow2(-l) * 8, ("l",))
+    assert compiled({"l": 2}) == Fraction(2)
+    got = compiled({"l": np.array([0, 1, 3])})
+    assert [Fraction(v) for v in got] == [8, 4, 1]
+
+
+def test_pow2_non_integer_exponent_raises_like_evalf():
+    l = sym("l")
+    expr = pow2(l / 2)
+    compiled = compile_expr(expr, ("l",))
+    assert compiled({"l": 4}) == expr.evalf({"l": Fraction(4)})
+    with pytest.raises(ValueError):
+        expr.evalf({"l": Fraction(3)})
+    with pytest.raises(ValueError):
+        compiled({"l": 3})
+
+
+def test_division_by_zero_raises_like_evalf():
+    a = sym("a")
+    expr = floor_div(5, a)
+    compiled = compile_expr(expr, ("a",))
+    with pytest.raises(ZeroDivisionError):
+        compiled({"a": 0})
+    with pytest.raises(ZeroDivisionError):
+        compiled({"a": np.array([1, 0, 2])})
+
+
+def test_negative_pow_is_uncompilable():
+    a, b = sym("a"), sym("b")
+    expr = 1 / (a + b)
+    with pytest.raises(UncompilableExpr):
+        compile_expr(expr, ("a", "b"))
+
+
+def test_evali_integrality_and_dtype():
+    a = sym("a")
+    compiled = compile_expr(num(Fraction(1, 2)) * a, ("a",))
+    assert compiled.evali({"a": 4}) == 2
+    with pytest.raises(ValueError):
+        compiled.evali({"a": 3})
+    out = compiled.evali({"a": np.array([2, 4, 6])})
+    assert out.dtype == np.int64
+    assert list(out) == [1, 2, 3]
+
+
+def test_missing_symbol_raises_keyerror():
+    a, b = sym("a"), sym("b")
+    compiled = compile_expr(a + b, ("a", "b"))
+    with pytest.raises(KeyError):
+        compiled({"a": 1})
+
+
+def test_compile_is_memoized():
+    a, b = sym("a"), sym("b")
+    assert compile_expr(a + 2 * b) is compile_expr(2 * b + a)
