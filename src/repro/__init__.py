@@ -43,6 +43,8 @@ def analyze(
     H: int,
     back_edges: Optional[list] = None,
     execute: bool = True,
+    parallel: Optional[bool] = None,
+    cache=None,
 ) -> AnalysisResult:
     """Run the full paper pipeline on a program.
 
@@ -51,12 +53,22 @@ def analyze(
     3. solve the Eq. 7 integer program for CYCLIC(p) chunkings,
     4. (optionally) execute on the DSM simulator under the derived
        iteration/data distribution and report measured locality.
+
+    ``parallel``/``cache`` forward to :func:`repro.locality.build_lcg`
+    (process-pool edge fan-out and the fingerprint analysis cache).
     """
     from .locality import build_lcg
     from .distribution import extract_constraints, solve_enumerative
     from .dsm import execute_with_plan
 
-    lcg = build_lcg(program, env=env, H_value=H, back_edges=back_edges)
+    lcg = build_lcg(
+        program,
+        env=env,
+        H_value=H,
+        back_edges=back_edges,
+        parallel=parallel,
+        cache=cache,
+    )
     constraints = extract_constraints(lcg)
     plan = solve_enumerative(constraints, env, H=H)
     report = (

@@ -6,6 +6,8 @@ Usage::
     python -m repro --code tfft2 --H 8            # a bundled suite code
     python -m repro --code adi --H 4 --dot A      # emit Graphviz for A
     python -m repro --code tfft2 --H 64 --profile # cProfile the pipeline
+    python -m repro --code tfft2 --H 64 --analysis-cache lcg.pkl  # warm start
+    python -m repro --code swim --H 8 --parallel-lcg   # pooled edge fan-out
     python -m repro bench-perf --out BENCH_perf.json   # perf harness
 
 Prints the LCG, the Table-2 constraint system, the Eq. 7 chunking and
@@ -105,6 +107,17 @@ def main(argv=None) -> int:
         help="run the analysis under cProfile; dump binary stats to FILE "
         "or a cumulative-time summary to stderr when no FILE is given",
     )
+    parser.add_argument(
+        "--parallel-lcg",
+        action="store_true",
+        help="fan LCG edge analysis out over a process pool",
+    )
+    parser.add_argument(
+        "--analysis-cache",
+        metavar="FILE",
+        help="warm-start the locality analysis from FILE (pickled "
+        "fingerprint cache) and save the updated cache back on exit",
+    )
     args = parser.parse_args(argv)
 
     program, default_env, back_edges = _load_program(args)
@@ -124,6 +137,12 @@ def main(argv=None) -> int:
 
     from . import analyze
 
+    cache = None
+    if args.analysis_cache:
+        from .locality import AnalysisCache
+
+        cache = AnalysisCache.load(args.analysis_cache)
+
     if args.profile is not None:
         import cProfile
         import pstats
@@ -136,7 +155,11 @@ def main(argv=None) -> int:
         H=args.H,
         back_edges=back_edges,
         execute=not args.no_execute,
+        parallel=True if args.parallel_lcg else None,
+        cache=cache,
     )
+    if args.analysis_cache:
+        cache.save(args.analysis_cache)
     if args.profile is not None:
         profiler.disable()
         if args.profile == "-":

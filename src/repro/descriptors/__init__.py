@@ -12,6 +12,11 @@ concrete parameters (the validation oracle glue).
 from .ard import ARD, Dim, UnsupportedAccess, compute_ard
 from .pd import PhaseDescriptor, compute_pd
 from .coalesce import coalesce_pd, coalesce_row
+from .fingerprint import (
+    access_fingerprint,
+    edge_fingerprint,
+    phase_array_fingerprint,
+)
 from .union import adjust_distance, homogenize, try_union_rows, union_rows
 from .region import pd_addresses, row_addresses, row_addresses_fixed_parallel
 
@@ -20,11 +25,14 @@ __all__ = [
     "Dim",
     "PhaseDescriptor",
     "UnsupportedAccess",
+    "access_fingerprint",
     "adjust_distance",
     "coalesce_pd",
     "coalesce_row",
     "compute_ard",
     "compute_pd",
+    "edge_fingerprint",
+    "phase_array_fingerprint",
     "homogenize",
     "pd_addresses",
     "row_addresses",

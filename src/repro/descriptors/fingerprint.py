@@ -1,0 +1,93 @@
+"""Canonical fingerprints for descriptor-level analysis caching.
+
+The locality analysis is a pure function of *structure*: what a phase
+does to an array is fully determined by the access subscripts, the loop
+nest around them, the array's declared extents, the access attribute and
+the assumption context — never by the phase or array *names* (those only
+decorate the results).  PR 1's hash-consed expressions give every
+subscript and bound a stable structural key (``Expr._kc``), so a
+fingerprint built from those keys is
+
+* **stable across processes and runs** — keys are value tuples of
+  strings/Fractions, no ``id()`` anywhere, safe to pickle to disk;
+* **name-independent** — two structurally identical (phase, array)
+  pairs (TFFT2's F3 and F6 both sweeping CFFTZWORK, say) collide on
+  purpose, letting the analysis cache answer one from the other after a
+  name relabel.
+
+Loop *index* names do appear (inside subscript keys), which is exactly
+right: they are bound variables of the structure, and two phases using
+different index names for the same shape legitimately hash apart —
+conservative, never wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+__all__ = [
+    "access_fingerprint",
+    "edge_fingerprint",
+    "phase_array_fingerprint",
+]
+
+
+def _loop_key(loop) -> tuple:
+    return (
+        loop.index.name,
+        loop.lower._key(),
+        loop.upper._key(),
+        bool(loop.parallel),
+    )
+
+
+def access_fingerprint(access) -> tuple:
+    """Fingerprint of one reference with its enclosing loop chain."""
+    return (
+        access.ref.kind.value,
+        access.ref.subscript._key(),
+        tuple(_loop_key(lp) for lp in access.loops),
+    )
+
+
+def phase_array_fingerprint(phase, array, ctx) -> tuple:
+    """Fingerprint of everything Theorem 1 sees for ``(phase, array)``.
+
+    Accesses keep program order (descriptor rows and labels are order-
+    sensitive); the full loop stack of the phase is included because
+    ``Phase.loop_context`` pushes every loop, not just the chains that
+    enclose this array's references.
+    """
+    return (
+        "pa1",
+        phase.access_attribute(array),
+        array.size._key(),
+        tuple(d._key() for d in array.dims),
+        tuple(access_fingerprint(a) for a in phase.accesses(array)),
+        tuple(_loop_key(lp) for lp in phase.all_loops()),
+        ctx._fingerprint(),
+    )
+
+
+def edge_fingerprint(
+    phase_k,
+    phase_g,
+    array,
+    ctx,
+    H,
+    env: Optional[Mapping[str, int]] = None,
+    H_value: Optional[int] = None,
+) -> tuple:
+    """Fingerprint of one ``analyze_edge`` call.
+
+    The concrete binding (``env``/``H_value``) is part of the key — the
+    Diophantine fallback makes the verdict depend on it.
+    """
+    return (
+        "edge1",
+        phase_array_fingerprint(phase_k, array, ctx),
+        phase_array_fingerprint(phase_g, array, ctx),
+        H._key(),
+        tuple(sorted((k, int(v)) for k, v in (env or {}).items())),
+        H_value,
+    )

@@ -38,8 +38,24 @@ __all__ = [
 ]
 
 
+#: Memo for repeated objective/constraint evaluations: the relaxation
+#: loop re-reduces the system and the per-component enumeration re-reads
+#: the same trip counts for every candidate ``t``, always under the same
+#: few parameter bindings.  Hash-consed ``Expr`` nodes make the key cheap.
+_EVAL_CACHE: dict = {}
+_EVAL_CACHE_MAX = 1 << 14
+
+
 def _ev(expr: Expr, env: Mapping[str, int]) -> Fraction:
-    return expr.evalf({k: Fraction(v) for k, v in env.items()})
+    key = (expr, tuple(sorted(env.items())))
+    hit = _EVAL_CACHE.get(key)
+    if hit is not None:
+        return hit
+    value = expr.evalf({k: Fraction(v) for k, v in env.items()})
+    if len(_EVAL_CACHE) >= _EVAL_CACHE_MAX:
+        _EVAL_CACHE.clear()
+    _EVAL_CACHE[key] = value
+    return value
 
 
 def _ev_int(expr: Expr, env: Mapping[str, int]) -> int:
@@ -99,6 +115,7 @@ class VariableComponent:
     t_min: int
     t_max: int
     pinned: Optional[int] = None  # inconsistent union resolved to fixed t
+    _ts_cache: Optional[list] = field(default=None, repr=False, compare=False)
 
     def values_for(self, t: int) -> Optional[dict]:
         """All member p values at parameter ``t`` (None if non-integral)."""
@@ -111,16 +128,19 @@ class VariableComponent:
         return out
 
     def feasible_ts(self, limit: int = 100_000) -> list:
+        if self._ts_cache is not None:
+            return self._ts_cache
         if self.t_max - self.t_min > limit:
             raise ValueError(
                 f"component {self.root}: t range too large "
                 f"({self.t_min}..{self.t_max})"
             )
-        return [
+        self._ts_cache = [
             t
             for t in range(max(self.t_min, 1), self.t_max + 1)
             if self.values_for(t) is not None
         ]
+        return self._ts_cache
 
 
 @dataclass
@@ -255,6 +275,7 @@ def _component_cost(
     H: int,
     machine: MachineCosts,
     work: Mapping[str, float],
+    trips: Optional[Mapping] = None,
 ) -> Optional[float]:
     """Eq. 7 objective restricted to one component.
 
@@ -262,12 +283,16 @@ def _component_cost(
     C^kg: frontier/halo traffic, which pays ``beta * Δs`` per block
     boundary (``ceil(trip/p)`` boundaries), so larger chunks trade load
     balance against halo volume exactly as the paper's model does.
+
+    ``trips`` (var -> load-balance constraint) can be hoisted by callers
+    enumerating many ``t`` per system; it is derived when omitted.
     """
     values = comp.values_for(t)
     if values is None:
         return None
     total = 0.0
-    trips = {c.var: c for c in system.load_balance}
+    if trips is None:
+        trips = {c.var: c for c in system.load_balance}
     for var, p in values.items():
         lb = trips.get(var)
         if lb is None:
@@ -325,11 +350,14 @@ def solve_enumerative(
 
     chunks: dict[str, int] = {}
     imbalance_total = 0.0
+    trips = {c.var: c for c in system.load_balance}
     for comp in components:
         ts = comp.feasible_ts()
         best_t, best_cost = None, None
         for t in ts:
-            cost = _component_cost(system, comp, t, env, H, machine, work)
+            cost = _component_cost(
+                system, comp, t, env, H, machine, work, trips=trips
+            )
             if cost is None:
                 continue
             if best_cost is None or cost < best_cost:
@@ -425,12 +453,15 @@ def solve_milp(
     work = dict(work or {})
     components = reduce_system(system, env, H)
     choices: list[tuple] = []  # (component index, t, cost)
+    trips = {c.var: c for c in system.load_balance}
     for ci, comp in enumerate(components):
         ts = comp.feasible_ts()
         if not ts:
             raise ValueError(f"infeasible component rooted at {comp.root}")
         for t in ts:
-            cost = _component_cost(system, comp, t, env, H, machine, work)
+            cost = _component_cost(
+                system, comp, t, env, H, machine, work, trips=trips
+            )
             if cost is not None:
                 choices.append((ci, t, cost))
 

@@ -3,11 +3,20 @@
 from .intra import IntraPhaseResult, check_intra_phase
 from .balanced import BalancedCondition, Feasibility, balanced_condition
 from .inter import EdgeAnalysis, analyze_edge
+from .engine import (
+    AnalysisCache,
+    analyze_edges,
+    clear_analysis_cache,
+    get_analysis_cache,
+    set_analysis_cache,
+    set_engine,
+)
 from .table1 import ATTRIBUTES, EDGE_LABEL_TABLE, classify_edge
 from .lcg import LCG, build_lcg
 
 __all__ = [
     "ATTRIBUTES",
+    "AnalysisCache",
     "BalancedCondition",
     "EDGE_LABEL_TABLE",
     "EdgeAnalysis",
@@ -15,8 +24,13 @@ __all__ = [
     "IntraPhaseResult",
     "LCG",
     "analyze_edge",
+    "analyze_edges",
     "balanced_condition",
     "build_lcg",
     "check_intra_phase",
     "classify_edge",
+    "clear_analysis_cache",
+    "get_analysis_cache",
+    "set_analysis_cache",
+    "set_engine",
 ]

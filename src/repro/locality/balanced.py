@@ -175,11 +175,21 @@ class BalancedCondition:
         (all are cyclically consistent — per-chunk extents match).  With
         ``shift != 0`` only the degenerate whole-trip solution can align
         every CYCLIC round, so feasibility reduces to checking it.
+
+        Evaluation goes through the compiled-expression path (exact, and
+        memoized per expression), falling back to ``Fraction`` tree
+        interpretation only for the rare uncompilable residue.
         """
         if not self.affine:
             raise ValueError("non-affine balanced condition")
 
+        from ..symbolic import UncompilableExpr, compile_expr
+
         def ev(e: Expr) -> int:
+            try:
+                return compile_expr(e).evali(env)
+            except UncompilableExpr:
+                pass
             v = e.evalf({k: Fraction(val) for k, val in env.items()})
             if v.denominator != 1:
                 raise ValueError(f"{e} not integral under {env}")

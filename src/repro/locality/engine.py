@@ -1,0 +1,370 @@
+"""The locality-analysis engine: fingerprint cache + parallel fan-out.
+
+``build_lcg`` used to call :func:`repro.locality.inter.analyze_edge`
+serially per (array, edge) and re-derive every Theorem 1/2 verdict from
+scratch on each build.  This module supplies the two independent levers
+the builder now routes through:
+
+* an :class:`AnalysisCache` memoizing edge and intra-phase analyses
+  under the structural fingerprints of
+  :mod:`repro.descriptors.fingerprint`.  Keys are name-independent, so
+  structurally identical phases answer each other's queries after a
+  cheap *relabel* (names are decoration, the mathematics is shared), and
+  the cache pickles to disk for warm CLI starts;
+* a ``concurrent.futures`` process pool fanning the edge work items out
+  (fork start method; transparent serial fallback) with a deterministic
+  index-ordered merge, so parallel and serial builds are byte-identical.
+
+Both levers are toggleable in the style of ``set_fast_path``:
+:func:`set_engine` picks serial/parallel dispatch,
+:func:`set_analysis_cache` turns the process-global cache on/off.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+from typing import Mapping, Optional, Sequence
+
+from ..descriptors.fingerprint import edge_fingerprint, phase_array_fingerprint
+from ..symbolic import sym
+from .inter import EdgeAnalysis, analyze_edge
+from .intra import IntraPhaseResult
+
+__all__ = [
+    "AnalysisCache",
+    "analyze_edges",
+    "clear_analysis_cache",
+    "get_analysis_cache",
+    "set_analysis_cache",
+    "set_engine",
+]
+
+#: Dispatch mode for build_lcg's edge fan-out: "serial" | "parallel".
+_ENGINE_MODE = "serial"
+
+#: Master switch for the process-global analysis cache.
+_CACHE_ENABLED = True
+
+#: Cap on pool width — the suite's widest program has ~14 edges, so a
+#: handful of workers saturates the win while keeping fork cost small.
+_MAX_WORKERS = 8
+
+
+def set_engine(mode: str) -> str:
+    """Select edge dispatch ("serial" or "parallel"); returns the old mode."""
+    global _ENGINE_MODE
+    if mode not in ("serial", "parallel"):
+        raise ValueError(f"unknown engine mode {mode!r}")
+    old = _ENGINE_MODE
+    _ENGINE_MODE = mode
+    return old
+
+
+def set_analysis_cache(enabled: bool) -> bool:
+    """Enable/disable the global analysis cache; returns the old setting."""
+    global _CACHE_ENABLED
+    old = _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    return old
+
+
+class AnalysisCache:
+    """Fingerprint-keyed memo of edge and intra-phase analyses.
+
+    Invalidation is structural: every key embeds the context fingerprint
+    and (for edges) the concrete ``env``/``H_value`` binding, so a
+    changed assumption, bound or binding simply misses — stale entries
+    can only ever be *unreachable*, never wrong.  Entries are immutable
+    analysis records shared by reference; consumers treat them as
+    read-only (they do).
+    """
+
+    SCHEMA = 1
+
+    def __init__(self):
+        self.intra: dict = {}
+        self.edges: dict = {}
+        self.stats = {
+            "intra_hits": 0,
+            "intra_misses": 0,
+            "edge_hits": 0,
+            "edge_misses": 0,
+        }
+
+    def clear(self) -> None:
+        self.intra.clear()
+        self.edges.clear()
+        for key in self.stats:
+            self.stats[key] = 0
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Pickle the cache for a warm start of a later process."""
+        payload = {
+            "schema": self.SCHEMA,
+            "intra": self.intra,
+            "edges": self.edges,
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+
+    @classmethod
+    def load(cls, path) -> "AnalysisCache":
+        """Load a pickled cache; unreadable/mismatched files load empty."""
+        cache = cls()
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("schema") == cls.SCHEMA:
+                cache.intra.update(payload["intra"])
+                cache.edges.update(payload["edges"])
+        except Exception:
+            pass
+        return cache
+
+
+#: The process-global default cache (used when callers pass none).
+_GLOBAL_CACHE = AnalysisCache()
+
+
+def get_analysis_cache() -> AnalysisCache:
+    return _GLOBAL_CACHE
+
+
+def clear_analysis_cache() -> None:
+    _GLOBAL_CACHE.clear()
+
+
+def _resolve_cache(cache) -> Optional[AnalysisCache]:
+    """Map build_lcg's ``cache`` argument to an AnalysisCache or None.
+
+    ``None`` defers to the module toggle; ``True``/``False`` force the
+    global cache on/off for one call; an instance is used directly.
+    """
+    if isinstance(cache, AnalysisCache):
+        return cache
+    if cache is None:
+        return _GLOBAL_CACHE if _CACHE_ENABLED else None
+    return _GLOBAL_CACHE if cache else None
+
+
+# ---------------------------------------------------------------------------
+# relabelling — cross-name cache hits
+# ---------------------------------------------------------------------------
+
+
+def _relabel_iterdesc(idesc, phase_name: str, array):
+    if idesc is None or (
+        idesc.phase_name == phase_name and idesc.array.name == array.name
+    ):
+        return idesc
+    clone = object.__new__(type(idesc))
+    clone.__dict__.update(idesc.__dict__)
+    clone.phase_name = phase_name
+    clone.array = array
+    return clone
+
+
+def _relabel_intra(
+    result: IntraPhaseResult, phase_name: str, array
+) -> IntraPhaseResult:
+    if result.phase_name == phase_name and result.array_name == array.name:
+        return result
+    return replace(
+        result,
+        phase_name=phase_name,
+        array_name=array.name,
+        iteration_descriptor=_relabel_iterdesc(
+            result.iteration_descriptor, phase_name, array
+        ),
+    )
+
+
+def _relabel_edge(
+    analysis: EdgeAnalysis, phase_k: str, phase_g: str, array
+) -> EdgeAnalysis:
+    """Rebind a cached analysis to the requesting names.
+
+    Fingerprint equality guarantees every *expression* in the record is
+    already identical (loop index names live inside the subscript keys);
+    only the phase/array name strings and the ``p_<phase>`` chunk
+    symbols — and the reason text quoting them — need rewriting.
+    """
+    if (
+        analysis.phase_k == phase_k
+        and analysis.phase_g == phase_g
+        and analysis.array == array.name
+    ):
+        return analysis
+    balanced = analysis.balanced
+    reason = analysis.reason
+    if balanced is not None:
+        old_eq = balanced.equation_str()
+        balanced = replace(
+            balanced,
+            phase_k=phase_k,
+            phase_g=phase_g,
+            array=array.name,
+            p_k=sym(f"p_{phase_k}"),
+            p_g=sym(f"p_{phase_g}"),
+        )
+        reason = reason.replace(old_eq, balanced.equation_str())
+    return replace(
+        analysis,
+        phase_k=phase_k,
+        phase_g=phase_g,
+        array=array.name,
+        balanced=balanced,
+        intra_k=_relabel_intra(analysis.intra_k, phase_k, array),
+        intra_g=_relabel_intra(analysis.intra_g, phase_g, array),
+        reason=reason,
+    )
+
+
+# ---------------------------------------------------------------------------
+# intra-phase caching (consulted by repro.locality.intra)
+# ---------------------------------------------------------------------------
+
+
+def intra_cache_lookup(phase, array, ctx):
+    """Return ``(fingerprint, relabelled hit or None)`` for Theorem 1.
+
+    ``(None, None)`` when caching is disabled — the caller computes
+    uncached and skips the store.
+    """
+    cache = _resolve_cache(None)
+    if cache is None:
+        return None, None
+    fp = phase_array_fingerprint(phase, array, ctx)
+    hit = cache.intra.get(fp)
+    if hit is not None:
+        cache.stats["intra_hits"] += 1
+        return fp, _relabel_intra(hit, phase.name, array)
+    cache.stats["intra_misses"] += 1
+    return fp, None
+
+
+def intra_cache_store(fp, result: IntraPhaseResult) -> None:
+    cache = _resolve_cache(None)
+    if cache is not None and fp is not None:
+        cache.intra[fp] = result
+
+
+# ---------------------------------------------------------------------------
+# edge fan-out
+# ---------------------------------------------------------------------------
+
+
+def _seed_intra(cache: AnalysisCache, item, analysis: EdgeAnalysis, ctx) -> None:
+    """Warm the intra cache from a finished edge analysis.
+
+    Matters for the parallel path: Theorem 1 runs in worker processes,
+    whose per-phase memos die with them — without seeding, a later
+    ``check_intra_phase`` in the parent would redo the work.
+    """
+    phase_k, phase_g, array = item
+    for phase, result in ((phase_k, analysis.intra_k), (phase_g, analysis.intra_g)):
+        if result is not None:
+            fp = phase_array_fingerprint(phase, array, ctx)
+            cache.intra.setdefault(fp, result)
+
+
+def _edge_worker(task):
+    idx, phase_k, phase_g, array, ctx, H, env, H_value = task
+    analysis = analyze_edge(
+        phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
+    )
+    return idx, analysis
+
+
+def _run_parallel(tasks) -> Optional[dict]:
+    """Fan tasks out over a fork pool; None signals 'fall back to serial'."""
+    try:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        mp_ctx = mp.get_context("fork")
+        workers = min(len(tasks), mp.cpu_count() or 1, _MAX_WORKERS)
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_ctx
+        ) as pool:
+            return dict(pool.map(_edge_worker, tasks))
+    except Exception:
+        return None
+
+
+def analyze_edges(
+    items: Sequence,
+    ctx,
+    H,
+    env: Optional[Mapping[str, int]] = None,
+    H_value: Optional[int] = None,
+    parallel: Optional[bool] = None,
+    cache=None,
+) -> list:
+    """Analyze ``(phase_k, phase_g, array)`` work items, in order.
+
+    The cache is consulted per item; misses are deduplicated by
+    fingerprint, dispatched (serially or over the pool, per the module
+    toggle unless ``parallel`` overrides), then merged back by item
+    index — the result list is identical for every dispatch mode.
+    """
+    if parallel is None:
+        parallel = _ENGINE_MODE == "parallel"
+    cache = _resolve_cache(cache)
+
+    results: list = [None] * len(items)
+    fps: list = [None] * len(items)
+    leaders: dict = {}  # fingerprint -> index that computes it
+    followers: dict = {}  # index -> leader index
+    compute: list = []
+
+    for i, (phase_k, phase_g, array) in enumerate(items):
+        if cache is None:
+            compute.append(i)
+            continue
+        fp = edge_fingerprint(
+            phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
+        )
+        fps[i] = fp
+        hit = cache.edges.get(fp)
+        if hit is not None:
+            cache.stats["edge_hits"] += 1
+            results[i] = _relabel_edge(hit, phase_k.name, phase_g.name, array)
+            continue
+        cache.stats["edge_misses"] += 1
+        leader = leaders.get(fp)
+        if leader is None:
+            leaders[fp] = i
+            compute.append(i)
+        else:
+            followers[i] = leader
+
+    computed: Optional[dict] = None
+    if parallel and len(compute) > 1:
+        tasks = [
+            (i, items[i][0], items[i][1], items[i][2], ctx, H, env, H_value)
+            for i in compute
+        ]
+        computed = _run_parallel(tasks)
+    if computed is None:
+        computed = {}
+        for i in compute:
+            phase_k, phase_g, array = items[i]
+            computed[i] = analyze_edge(
+                phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
+            )
+
+    for i in compute:
+        results[i] = computed[i]
+        if cache is not None and fps[i] is not None:
+            cache.edges[fps[i]] = computed[i]
+            _seed_intra(cache, items[i], computed[i], ctx)
+    for i, leader in followers.items():
+        phase_k, phase_g, array = items[i]
+        results[i] = _relabel_edge(
+            results[leader], phase_k.name, phase_g.name, array
+        )
+    return results

@@ -59,16 +59,28 @@ def check_intra_phase(
     """Apply Theorem 1 to ``array`` in ``phase``.
 
     Results are memoised on the phase object (the LCG builder and the
-    constraint extractor both ask the same questions).
+    constraint extractor both ask the same questions), keyed by the
+    context *fingerprint* rather than ``id(ctx)`` — object ids recycle
+    after garbage collection and would alias unrelated contexts, and the
+    fingerprint also invalidates naturally when assumptions are added.
+    Misses then consult the engine's structural analysis cache before
+    computing from scratch.
     """
     cache = getattr(phase, "_intra_cache", None)
     if cache is None:
         cache = {}
         setattr(phase, "_intra_cache", cache)
-    key = (array.name, id(ctx))
+    key = (array.name, ctx._fingerprint())
     if key in cache:
         return cache[key]
+    from .engine import intra_cache_lookup, intra_cache_store
+
+    fp, hit = intra_cache_lookup(phase, array, ctx)
+    if hit is not None:
+        cache[key] = hit
+        return hit
     result = _check_intra_phase_uncached(phase, array, ctx)
+    intra_cache_store(fp, result)
     cache[key] = result
     return result
 

@@ -30,7 +30,8 @@ import networkx as nx
 
 from ..ir.core import ArrayDecl, Phase, Program
 from ..symbolic import Context, Expr, sym
-from .inter import EdgeAnalysis, analyze_edge
+from .engine import analyze_edges
+from .inter import EdgeAnalysis
 
 __all__ = ["LCG", "build_lcg"]
 
@@ -59,13 +60,20 @@ class LCG:
         return self.graphs[array].edges[k, g]["analysis"]
 
     def edges(self, array: str) -> list:
+        """Analyses of the array's live edges (dropped D edges excluded)."""
+        g = self.graphs[array]
         return [
-            self.graphs[array].edges[e]["analysis"]
-            for e in self.graphs[array].edges
+            g.edges[e]["analysis"]
+            for e in g.edges
+            if not g.edges[e].get("dropped")
         ]
 
     def labels(self, array: str) -> list:
-        """(k, g, label) triples in control-flow order."""
+        """(k, g, label) triples in control-flow order.
+
+        Dropped D edges are *included* — this is the Figure-6 rendering
+        view, where dashed (removed) edges still show their label.
+        """
         g = self.graphs[array]
         order = {name: idx for idx, name in enumerate(self._phase_order(array))}
         out = []
@@ -102,7 +110,7 @@ class LCG:
                 continue
             prev = order[idx - 1]
             label = None
-            if g.has_edge(prev, name):
+            if g.has_edge(prev, name) and not g.edges[prev, name].get("dropped"):
                 label = g.edges[prev, name]["analysis"].label
             if label == "L" and (prev, name) not in broken:
                 current.append(name)
@@ -158,6 +166,8 @@ def build_lcg(
     H_value: Optional[int] = None,
     back_edges: Optional[list] = None,
     drop_d_edges: bool = True,
+    parallel: Optional[bool] = None,
+    cache=None,
 ) -> LCG:
     """Build and label the LCG of a program.
 
@@ -166,13 +176,21 @@ def build_lcg(
     symbolic engine cannot settle.  ``back_edges`` lists ``(from, to)``
     phase-name pairs for enclosing sequential loops (cycles).  With
     ``drop_d_edges`` (the default, following Figure 6) D edges are
-    removed after recording; pass False to keep them for inspection.
+    marked dropped after recording and excluded from the live-edge
+    queries (``edges``, ``communication_edges``, ``chains``); ``labels``
+    still reports them.  Pass False to keep every edge live.
+
+    Edge analysis routes through :mod:`repro.locality.engine`:
+    ``parallel`` overrides the engine dispatch mode for this build and
+    ``cache`` the analysis-cache setting (an :class:`AnalysisCache`
+    instance, a bool, or None for the module toggles).
     """
     H = H if H is not None else sym("H")
     lcg = LCG(program=program, H=H)
     ctx = program.context
 
     arrays = program.arrays_in_use()
+    work: list = []  # (phase_k, phase_g, array) across every graph
     for a_idx, array in enumerate(arrays, start=1):
         g = nx.DiGraph()
         accessing = [
@@ -189,17 +207,15 @@ def build_lcg(
                 if u in by_name and v in by_name:
                     pairs.append((by_name[u], by_name[v]))
         for ph_k, ph_g in pairs:
-            analysis = analyze_edge(
-                ph_k, ph_g, array, ctx, H, env=env, H_value=H_value
-            )
-            g.add_edge(ph_k.name, ph_g.name, analysis=analysis)
-        if drop_d_edges:
-            to_drop = [
-                (u, v)
-                for u, v in g.edges
-                if g.edges[u, v]["analysis"].label == "D"
-            ]
-            for u, v in to_drop:
-                g.edges[u, v]["dropped"] = True
+            work.append((ph_k, ph_g, array))
         lcg.graphs[array.name] = g
+
+    analyses = analyze_edges(
+        work, ctx, H, env=env, H_value=H_value, parallel=parallel, cache=cache
+    )
+    for (ph_k, ph_g, array), analysis in zip(work, analyses):
+        g = lcg.graphs[array.name]
+        g.add_edge(ph_k.name, ph_g.name, analysis=analysis)
+        if drop_d_edges and analysis.label == "D":
+            g.edges[ph_k.name, ph_g.name]["dropped"] = True
     return lcg

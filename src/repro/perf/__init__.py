@@ -3,8 +3,10 @@
 from .bench import (
     FULL_H,
     FULL_SIZES,
+    LCG_H_VALUES,
     QUICK_H,
     QUICK_SIZES,
+    check_lcg_regression,
     check_regression,
     main,
     run_benchmark,
@@ -14,8 +16,10 @@ from .bench import (
 __all__ = [
     "FULL_H",
     "FULL_SIZES",
+    "LCG_H_VALUES",
     "QUICK_H",
     "QUICK_SIZES",
+    "check_lcg_regression",
     "check_regression",
     "main",
     "run_benchmark",

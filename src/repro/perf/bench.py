@@ -10,16 +10,25 @@ suite, in two configurations:
   code path the repo shipped before the performance layer landed, kept
   runnable precisely so the speedup is measured, not remembered.
 * **optimized** — everything on: interning + memoized algebra, compiled
-  vectorized subscript evaluation, the wide descriptor-first executor
-  path.
+  vectorized subscript evaluation, sampled refutation of ``is_nonneg``
+  proof obligations, the fingerprint analysis cache behind the LCG
+  builder, and the wide descriptor-first executor path.
 
-Two workload scales are recorded into ``BENCH_perf.json``:
+The ``lcg`` stage is timed twice per code: cold, then ``lcg_warm`` — a
+rebuild of a *fresh* program object, which in optimized mode answers
+from the fingerprint analysis cache (in baseline mode it re-derives
+everything, so the pair also measures the cache's win directly).
+
+Three sections are recorded into ``BENCH_perf.json``:
 
 * ``full`` — the §4.3 headline scale (H=64, TFFT2 at P=2**7); the
   committed numbers every future PR has to beat.
 * ``quick`` — H=8 with small sizes, cheap enough for CI: the workflow
   reruns it and fails when the optimized total regresses by more than
   the configured factor against the committed file.
+* ``lcg_full`` — optimized-only LCG-stage scaling at the full sizes for
+  H in {16, 64}: cold + warm build times per code.  Cheap enough for CI
+  (no baseline pass), guarded by ``--check-lcg``.
 
 Speedups compare wall-clock totals of the two configurations over the
 same stages on the same machine, so the ratio is meaningful even though
@@ -38,8 +47,10 @@ from typing import Mapping, Optional
 __all__ = [
     "FULL_H",
     "FULL_SIZES",
+    "LCG_H_VALUES",
     "QUICK_H",
     "QUICK_SIZES",
+    "check_lcg_regression",
     "check_regression",
     "main",
     "run_benchmark",
@@ -68,18 +79,24 @@ QUICK_SIZES = {
     "redblack": {"N": 1024},
 }
 
-STAGES = ("build", "ard", "lcg", "ilp", "exec_static", "exec_plan")
+STAGES = ("build", "ard", "lcg", "lcg_warm", "ilp", "exec_static", "exec_plan")
+
+#: Processor counts for the optimized-only ``lcg_full`` scaling section.
+LCG_H_VALUES = (16, 64)
 
 
 def set_optimizations(enabled: bool) -> None:
     """Flip every performance-layer switch at once (and drop caches)."""
     from ..dsm.executor import set_fast_path
     from ..ir.interp import set_vectorized
-    from ..symbolic import set_memoization
+    from ..locality.engine import set_analysis_cache
+    from ..symbolic import set_memoization, set_refutation
 
     set_memoization(enabled)
     set_vectorized(enabled)
     set_fast_path("wide" if enabled else "legacy")
+    set_refutation(enabled)
+    set_analysis_cache(enabled)
     clear_caches()
 
 
@@ -92,6 +109,10 @@ def clear_caches() -> None:
     comparison would be meaningless.
     """
     from ..descriptors import coalesce as _coalesce
+    from ..distribution import ilp as _ilp
+    from ..locality import engine as _engine
+    from ..locality import table1 as _table1
+    from ..symbolic import clear_refutation_banks
     from ..symbolic import compile as _compile
     from ..symbolic import context as _context
     from ..symbolic import expr as _expr
@@ -102,6 +123,10 @@ def clear_caches() -> None:
     _compile._compile_cached.cache_clear()
     _coalesce._COALESCE_CACHE.clear()
     _context._NONNEG_CACHE.clear()
+    _table1.classify_edge.cache_clear()
+    _ilp._EVAL_CACHE.clear()
+    _engine.clear_analysis_cache()
+    clear_refutation_banks()
 
 
 def _time_code(name: str, env: Mapping[str, int], H: int) -> dict:
@@ -133,6 +158,16 @@ def _time_code(name: str, env: Mapping[str, int], H: int) -> dict:
     t0 = time.perf_counter()
     lcg = build_lcg(prog, env=env, H_value=H, back_edges=back_edges)
     stages["lcg"] = time.perf_counter() - t0
+
+    # Rebuild from a *fresh* program: fresh phase objects defeat every
+    # per-object memo, so this measures exactly what the fingerprint
+    # analysis cache (when enabled) buys a warm process.  The program
+    # construction itself is not part of the LCG stage, so it stays
+    # outside the timer.
+    fresh = builder()
+    t0 = time.perf_counter()
+    build_lcg(fresh, env=env, H_value=H, back_edges=back_edges)
+    stages["lcg_warm"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     constraints = extract_constraints(lcg)
@@ -185,12 +220,55 @@ def _run_section(sizes: Mapping, H: int, log) -> dict:
     }
 
 
+def _time_lcg_only(name: str, env: Mapping[str, int], H: int) -> dict:
+    """Cold + warm LCG build times for one code at one scale."""
+    from ..codes import ALL_CODES
+    from ..locality import build_lcg
+
+    builder, _, back_edges = ALL_CODES[name]
+    clear_caches()
+    # Fresh program objects per build (defeating per-object memos), but
+    # constructed outside the timers: the stage under test is build_lcg.
+    first, second = builder(), builder()
+    t0 = time.perf_counter()
+    build_lcg(first, env=env, H_value=H, back_edges=back_edges)
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    build_lcg(second, env=env, H_value=H, back_edges=back_edges)
+    warm = time.perf_counter() - t0
+    return {"lcg": cold, "lcg_warm": warm}
+
+
+def _run_lcg_section(log) -> dict:
+    """Optimized-only LCG-stage scaling at the full sizes, H in LCG_H_VALUES."""
+    set_optimizations(True)
+    per_H: dict = {}
+    for H in LCG_H_VALUES:
+        per_code: dict = {}
+        for name in sorted(FULL_SIZES):
+            per_code[name] = _time_lcg_only(name, FULL_SIZES[name], H)
+        per_H[str(H)] = {
+            "per_code": per_code,
+            "total_cold": sum(c["lcg"] for c in per_code.values()),
+            "total_warm": sum(c["lcg_warm"] for c in per_code.values()),
+        }
+        log(
+            f"    H={H:<3} lcg cold {per_H[str(H)]['total_cold']:7.3f}s "
+            f"warm {per_H[str(H)]['total_warm']:7.3f}s"
+        )
+    return {"H_values": list(LCG_H_VALUES), "per_H": per_H}
+
+
 def run_benchmark(
-    quick_only: bool = False, log=lambda s: None
+    quick_only: bool = False, log=lambda s: None, lcg_section=None
 ) -> dict:
-    """Run the harness; returns the BENCH_perf.json payload."""
+    """Run the harness; returns the BENCH_perf.json payload.
+
+    ``lcg_section`` forces the optimized-only ``lcg_full`` section on or
+    off; by default it runs whenever the full section does.
+    """
     result = {
-        "schema": 1,
+        "schema": 2,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "stages": list(STAGES),
@@ -198,6 +276,11 @@ def run_benchmark(
     log(f"quick section (H={QUICK_H})")
     result["quick"] = _run_section(QUICK_SIZES, QUICK_H, log)
     log(f"  quick speedup: {result['quick']['speedup']:.2f}x")
+    if lcg_section is None:
+        lcg_section = not quick_only
+    if lcg_section:
+        log(f"lcg_full section (full sizes, H in {list(LCG_H_VALUES)})")
+        result["lcg_full"] = _run_lcg_section(log)
     if not quick_only:
         log(f"full section (H={FULL_H}) — the baseline pass takes minutes")
         result["full"] = _run_section(FULL_SIZES, FULL_H, log)
@@ -233,6 +316,41 @@ def check_regression(
     return None
 
 
+def check_lcg_regression(
+    current: dict, committed: dict, max_regression: float
+) -> Optional[str]:
+    """Compare the fresh ``lcg_full`` section against the committed file.
+
+    Both the cold and warm totals are guarded, per H value: the cold
+    total protects the sampled-refutation + engine speedups, the warm
+    total protects the analysis cache specifically.
+    """
+    try:
+        committed_per_H = committed["lcg_full"]["per_H"]
+    except KeyError:
+        return "committed BENCH_perf.json has no lcg_full section"
+    try:
+        current_per_H = current["lcg_full"]["per_H"]
+    except KeyError:
+        return "current run has no lcg_full section"
+    for H, committed_totals in sorted(committed_per_H.items()):
+        current_totals = current_per_H.get(H)
+        if current_totals is None:
+            return f"current run is missing lcg_full H={H}"
+        for key in ("total_cold", "total_warm"):
+            if committed_totals[key] <= 0:
+                continue
+            ratio = current_totals[key] / committed_totals[key]
+            if ratio > max_regression:
+                return (
+                    f"lcg perf regression at H={H}: {key} "
+                    f"{current_totals[key]:.3f}s is {ratio:.2f}x the "
+                    f"committed {committed_totals[key]:.3f}s "
+                    f"(allowed {max_regression:.2f}x)"
+                )
+    return None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench-perf",
@@ -252,31 +370,47 @@ def main(argv=None) -> int:
         "regression beyond --max-regression",
     )
     parser.add_argument(
+        "--check-lcg", default=None, metavar="BASELINE",
+        help="run the optimized-only lcg_full section and compare against "
+        "a committed BENCH_perf.json; exit 1 on regression beyond "
+        "--max-regression",
+    )
+    parser.add_argument(
         "--max-regression", type=float, default=2.0,
-        help="allowed slowdown factor for --check (default 2.0)",
+        help="allowed slowdown factor for --check/--check-lcg (default 2.0)",
     )
     args = parser.parse_args(argv)
 
     committed = None
+    committed_lcg = None
+    # fail before the (expensive) run, not after it
     if args.check is not None:
-        # fail before the (expensive) run, not after it
         try:
             with open(args.check) as fh:
                 committed = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
             print(f"cannot read {args.check}: {exc}", file=sys.stderr)
             return 1
+    if args.check_lcg is not None:
+        try:
+            with open(args.check_lcg) as fh:
+                committed_lcg = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {args.check_lcg}: {exc}", file=sys.stderr)
+            return 1
 
+    checking = args.check is not None or args.check_lcg is not None
     result = run_benchmark(
-        quick_only=args.quick or args.check is not None,
+        quick_only=args.quick or checking,
         log=lambda s: print(s, file=sys.stderr),
+        lcg_section=True if args.check_lcg is not None else None,
     )
     payload = json.dumps(result, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(payload + "\n")
         print(f"wrote {args.out}", file=sys.stderr)
-    elif args.check is None:
+    elif not checking:
         print(payload)
 
     if committed is not None:
@@ -288,6 +422,20 @@ def main(argv=None) -> int:
             f"perf check ok: quick optimized total "
             f"{result['quick']['optimized']['total']:.2f}s vs committed "
             f"{committed['quick']['optimized']['total']:.2f}s",
+            file=sys.stderr,
+        )
+    if committed_lcg is not None:
+        error = check_lcg_regression(
+            result, committed_lcg, args.max_regression
+        )
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 1
+        top_H = LCG_H_VALUES[-1]
+        totals = result["lcg_full"]["per_H"][str(top_H)]
+        print(
+            f"lcg perf check ok: H={top_H} cold "
+            f"{totals['total_cold']:.3f}s warm {totals['total_warm']:.3f}s",
             file=sys.stderr,
         )
     return 0

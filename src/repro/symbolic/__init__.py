@@ -51,6 +51,12 @@ from .linear import (
     affine_coefficients,
     solve_linear_diophantine,
 )
+from .refute import (
+    clear_refutation_banks,
+    refutation_stats,
+    refute_nonneg,
+    set_refutation,
+)
 from .sampling import always_nonneg_sampled, equivalent, random_env
 
 __all__ = [
@@ -80,6 +86,7 @@ __all__ = [
     "always_nonneg_sampled",
     "as_expr",
     "ceil_div",
+    "clear_refutation_banks",
     "compile_expr",
     "divide_exact",
     "equivalent",
@@ -87,7 +94,10 @@ __all__ = [
     "num",
     "pow2",
     "random_env",
+    "refutation_stats",
+    "refute_nonneg",
     "set_memoization",
+    "set_refutation",
     "shift_difference",
     "smax",
     "smin",

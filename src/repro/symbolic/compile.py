@@ -457,6 +457,19 @@ class CompiledExpr:
             return np.frompyfunc(lambda x: Fraction(int(x), d), 1, 1)(n)
         return Fraction(n, d) if d != 1 else Fraction(n)
 
+    def negative_mask(self, env: Mapping) -> Union[bool, np.ndarray]:
+        """Elementwise ``value < 0`` over a (vector) environment.
+
+        The static denominator is positive, so the sign of the value is
+        the sign of the scaled numerator — no rational materialisation
+        is needed.  This is the batched primitive behind sampled
+        refutation of ``is_nonneg`` queries.
+        """
+        n = self._numerator(env)
+        if isinstance(n, np.ndarray):
+            return np.asarray(n < 0, dtype=bool)
+        return n < 0
+
     def evali(self, env: Mapping) -> Union[int, np.ndarray]:
         """Integer evaluation; raises ``ValueError`` on fractional results."""
         n = self._numerator(env)

@@ -40,6 +40,7 @@ from .expr import (
     as_expr,
     divide_exact,
 )
+from .refute import refute_nonneg
 
 __all__ = ["LoopVar", "Context"]
 
@@ -249,6 +250,12 @@ class Context:
     def _is_nonneg_uncached(self, expr: Expr, _depth: int) -> bool:
         if self._terms_all_nonneg(expr):
             return True
+        # Sampled refutation: a context-valid assignment with a negative
+        # value settles the (sound) answer ``False`` without paying for
+        # the proof search below, which is where failing queries burn
+        # their time.
+        if refute_nonneg(self, expr):
+            return False
         # Rewrite power-of-two parameters and retry the cheap test.
         subst = self.pow2_substitution()
         if subst:

@@ -311,6 +311,18 @@ class Expr:
         """Structural key (computed at construction, cached for life)."""
         return self._kc
 
+    def __reduce__(self):
+        """Pickle via the canonicalising constructor (re-interns on load).
+
+        The default protocol cannot rebuild these nodes (custom
+        ``__new__`` + ``__slots__`` + the immutability guard), so each
+        subclass pickles as its constructor arguments; unpickling goes
+        through ``__new__`` and lands in the target process's intern
+        table, preserving the hash-consing invariant across process
+        pools and on-disk caches.
+        """
+        raise NotImplementedError(type(self).__name__)
+
     def compile(self, names: Sequence[str] | None = None):
         """Lower to a vectorised NumPy closure (see :mod:`.compile`).
 
@@ -344,6 +356,9 @@ class Num(Expr):
 
     def __setattr__(self, name, value):  # immutability guard
         raise AttributeError("Num is immutable")
+
+    def __reduce__(self):
+        return (Num, (self.value,))
 
     def sort_key(self) -> tuple:
         return (0, self.value)
@@ -380,6 +395,9 @@ class Symbol(Expr):
 
     def __setattr__(self, name, value):
         raise AttributeError("Symbol is immutable")
+
+    def __reduce__(self):
+        return (Symbol, (self.name,))
 
     def sort_key(self) -> tuple:
         return (1, self.name)
@@ -421,6 +439,9 @@ class _NaryExpr(Expr):
 
     def __setattr__(self, name, value):
         raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __reduce__(self):
+        return (type(self), (self.args,))
 
     def _free_symbols_impl(self) -> frozenset:
         out: frozenset = frozenset()
@@ -510,6 +531,9 @@ class Pow(Expr):
     def __setattr__(self, name, value):
         raise AttributeError("Pow is immutable")
 
+    def __reduce__(self):
+        return (Pow, (self.base, self.exponent))
+
     def sort_key(self) -> tuple:
         return (2, self.base.sort_key(), self.exponent)
 
@@ -551,6 +575,9 @@ class Pow2(Expr):
 
     def __setattr__(self, name, value):
         raise AttributeError("Pow2 is immutable")
+
+    def __reduce__(self):
+        return (Pow2, (self.exponent,))
 
     def sort_key(self) -> tuple:
         return (2, (5, "2"), self.exponent.sort_key())
@@ -595,6 +622,9 @@ class _DivAtom(Expr):
 
     def __setattr__(self, name, value):
         raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __reduce__(self):
+        return (type(self), (self.numer, self.denom))
 
     def sort_key(self) -> tuple:
         return (5, self._name, self.numer.sort_key(), self.denom.sort_key())

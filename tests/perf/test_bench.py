@@ -28,21 +28,70 @@ class TestCheckRegression:
         assert check_regression(_payload(5.0), _payload(0.0), 2.0) is None
 
 
+def _lcg_payload(cold, warm, H="64"):
+    return {
+        "lcg_full": {
+            "per_H": {H: {"total_cold": cold, "total_warm": warm}}
+        }
+    }
+
+
+class TestCheckLcgRegression:
+    def test_within_bounds(self):
+        assert (
+            bench.check_lcg_regression(
+                _lcg_payload(1.0, 0.1), _lcg_payload(0.9, 0.09), 2.0
+            )
+            is None
+        )
+
+    def test_cold_regression_reported(self):
+        error = bench.check_lcg_regression(
+            _lcg_payload(3.0, 0.1), _lcg_payload(1.0, 0.1), 2.0
+        )
+        assert error is not None and "total_cold" in error
+
+    def test_warm_regression_reported(self):
+        error = bench.check_lcg_regression(
+            _lcg_payload(1.0, 0.5), _lcg_payload(1.0, 0.1), 2.0
+        )
+        assert error is not None and "total_warm" in error
+
+    def test_missing_sections_reported(self):
+        assert "committed BENCH_perf.json has no lcg_full" in (
+            bench.check_lcg_regression(
+                _lcg_payload(1.0, 0.1), {"schema": 2}, 2.0
+            )
+        )
+        assert "current run has no lcg_full" in bench.check_lcg_regression(
+            {"schema": 2}, _lcg_payload(1.0, 0.1), 2.0
+        )
+        assert "missing lcg_full H" in bench.check_lcg_regression(
+            _lcg_payload(1.0, 0.1, H="16"), _lcg_payload(1.0, 0.1, H="64"), 2.0
+        )
+
+
 class TestSwitches:
     def test_set_optimizations_flips_every_layer(self):
         import repro.dsm.executor as executor
         import repro.ir.interp as interp
+        import repro.locality.engine as engine
         import repro.symbolic.expr as expr
+        import repro.symbolic.refute as refute
 
         try:
             set_optimizations(False)
             assert expr._MEMO_ENABLED is False
             assert interp._VECTOR_ENABLED is False
             assert executor._FAST_MODE == "legacy"
+            assert refute._REFUTE_ENABLED is False
+            assert engine._CACHE_ENABLED is False
             set_optimizations(True)
             assert expr._MEMO_ENABLED is True
             assert interp._VECTOR_ENABLED is True
             assert executor._FAST_MODE == "wide"
+            assert refute._REFUTE_ENABLED is True
+            assert engine._CACHE_ENABLED is True
         finally:
             set_optimizations(True)
 
@@ -60,12 +109,27 @@ class TestHarness:
         monkeypatch.setattr(bench, "QUICK_H", 2)
         monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
         payload = run_benchmark(quick_only=True)
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert "full" not in payload
+        assert "lcg_full" not in payload
+        assert "lcg_warm" in payload["stages"]
         quick = payload["quick"]
         assert set(quick["baseline"]["per_code"]) == {"jacobi"}
         assert quick["speedup"] > 0
         json.dumps(payload)  # payload must be JSON-serialisable
+
+    def test_lcg_section_shape(self, monkeypatch):
+        monkeypatch.setattr(bench, "FULL_SIZES", {"jacobi": {"N": 64}})
+        monkeypatch.setattr(bench, "LCG_H_VALUES", (2, 4))
+        payload = run_benchmark(quick_only=True, lcg_section=True)
+        section = payload["lcg_full"]
+        assert section["H_values"] == [2, 4]
+        for H in ("2", "4"):
+            totals = section["per_H"][H]
+            assert set(totals["per_code"]) == {"jacobi"}
+            assert totals["total_cold"] >= 0.0
+            assert totals["total_warm"] >= 0.0
+        json.dumps(payload)
 
     def test_cli_check_round_trip(self, tmp_path, monkeypatch):
         monkeypatch.setattr(bench, "QUICK_H", 2)
@@ -78,3 +142,24 @@ class TestHarness:
         slow = tmp_path / "slow.json"
         slow.write_text(json.dumps(committed))
         assert bench.main(["--check", str(slow)]) == 1
+
+    def test_cli_check_lcg_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench, "QUICK_H", 2)
+        monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
+        monkeypatch.setattr(bench, "FULL_SIZES", {"jacobi": {"N": 64}})
+        monkeypatch.setattr(bench, "LCG_H_VALUES", (2,))
+        committed = tmp_path / "bench.json"
+        payload = run_benchmark(quick_only=True, lcg_section=True)
+        committed.write_text(json.dumps(payload))
+        # millisecond-scale timings are noisy under a loaded test host;
+        # the pass direction only checks plumbing, so be generous
+        assert (
+            bench.main(
+                ["--check-lcg", str(committed), "--max-regression", "100"]
+            )
+            == 0
+        )
+        payload["lcg_full"]["per_H"]["2"]["total_cold"] = 1e-9
+        impossible = tmp_path / "impossible.json"
+        impossible.write_text(json.dumps(payload))
+        assert bench.main(["--check-lcg", str(impossible)]) == 1
