@@ -3,15 +3,17 @@
 Prints, in order: the Figure 2 ARDs, the Figure 3 descriptor
 simplification, the Figure 4/8 iteration descriptors with upper limits
 and memory gap, the Eq. 4–6 balanced-locality systems, the Figure 6
-LCG, the Table 2 constraint system, the Eq. 7 distribution, and the
-measured execution.
+LCG, the Table 2 constraint system, the Eq. 7 distribution, the
+measured execution, and finally the observability view of the same
+run: the span tree of every pipeline stage and the cache / prover /
+communication counters.
 
 Run:  python examples/tfft2_walkthrough.py
 """
 
 from fractions import Fraction
 
-from repro import analyze
+from repro import AnalysisOptions, analyze
 from repro.codes import build_tfft2
 from repro.descriptors import (
     coalesce_pd,
@@ -84,7 +86,8 @@ print()
 print("=" * 70)
 print("Figure 6 LCG, Table 2 constraints, Eq. 7 plan, measured run")
 print("=" * 70)
-result = analyze(program, env=env, H=4)
+result = analyze(program, env=env, H=4,
+                 options=AnalysisOptions(trace=True, metrics=True))
 print(result.lcg.render())
 print()
 print(result.constraints.render())
@@ -96,3 +99,28 @@ print(result.report.summary())
 print()
 print("Graphviz (X):")
 print(lcg_to_dot(result.lcg, "X"))
+
+print()
+print("=" * 70)
+print("Observability: the span tree and metrics of the run above")
+print("=" * 70)
+# AnalysisOptions(trace=True, metrics=True) hung a Collector on the
+# run; result.trace is that collector. render() prints a flame-style
+# tree — every theorem1/edge/ilp:component/comm span with its wall
+# time and attributes (Theorem-1 case, ILP candidate count, put-message
+# bytes per C edge). Spans under 0.1 ms are folded away here.
+print(result.trace.render(min_dt=1e-4))
+print()
+# result.metrics is a plain sorted dict — the same counters the CLI's
+# --metrics table shows. A few worth reading on TFFT2:
+counters = result.metrics["counters"]
+for name in (
+    "analysis_cache.edge_lookups",   # one per LCG edge (14 = 7 X + 7 Y)
+    "engine.deduped",                # structural twins relabelled, not recomputed
+    "prover.proved",                 # monotone-bound proofs that succeeded
+    "refute.refuted",                # is_nonneg queries killed by a sampled witness
+    "dsm.comm.bytes",                # aggregated put traffic on the C edges
+):
+    print(f"  {name:32} {counters.get(name, 0)}")
+# result.trace.to_json() serialises the whole tree (the CLI's --trace
+# flag writes exactly this document).

@@ -8,33 +8,61 @@ whole pipeline by measurement.
 
 Quickstart::
 
-    from repro import analyze
+    from repro import AnalysisOptions, analyze
     from repro.codes import build_tfft2
     from repro.codes.tfft2 import REFERENCE_ENV
 
-    result = analyze(build_tfft2(), env=REFERENCE_ENV, H=8)
+    opts = AnalysisOptions(engine="parallel", trace=True, metrics=True)
+    result = analyze(build_tfft2(), env=REFERENCE_ENV, H=8, options=opts)
     print(result.lcg.render())
     print(result.plan.phase_chunks)
     print(result.report.summary())
+    print(result.trace.render())      # flame-style span tree
+    print(result.metrics["counters"]) # cache/prover/engine counters
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
 from .ir import Program
+from .obs import Collector
+from .options import AnalysisOptions
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 @dataclass
 class AnalysisResult:
-    """End-to-end pipeline output: LCG, constraints, plan, execution."""
+    """End-to-end pipeline output: LCG, constraints, plan, execution.
+
+    ``trace`` is the :class:`repro.obs.Collector` holding the span tree
+    when tracing was requested (``trace.render()`` / ``trace.to_json()``)
+    and ``metrics`` the counter/gauge snapshot when metrics were; both
+    are ``None`` otherwise.
+    """
 
     program: Program
     lcg: object
     constraints: object
     plan: object
     report: object
+    trace: object = None
+    metrics: Optional[dict] = None
+
+
+def _fold_legacy(options, parallel, cache):
+    """Fold analyze()'s legacy ``parallel``/``cache`` args into options."""
+    if options is None:
+        options = AnalysisOptions()
+    elif isinstance(options, str):
+        options = AnalysisOptions.from_spec(options)
+    if parallel is not None and options.engine is None:
+        options = replace(
+            options, engine="parallel" if parallel else "serial"
+        )
+    if cache is not None and options.analysis_cache is None:
+        options = replace(options, analysis_cache=cache)
+    return options
 
 
 def analyze(
@@ -45,6 +73,8 @@ def analyze(
     execute: bool = True,
     parallel: Optional[bool] = None,
     cache=None,
+    options: Optional[AnalysisOptions] = None,
+    collector: Optional[Collector] = None,
 ) -> AnalysisResult:
     """Run the full paper pipeline on a program.
 
@@ -54,33 +84,127 @@ def analyze(
     4. (optionally) execute on the DSM simulator under the derived
        iteration/data distribution and report measured locality.
 
-    ``parallel``/``cache`` forward to :func:`repro.locality.build_lcg`
-    (process-pool edge fan-out and the fingerprint analysis cache).
+    ``options`` is an :class:`AnalysisOptions` (or a ``KEY=VALUE,...``
+    spec string) scoping every engine knob to this call; fields left at
+    ``None`` inherit the process defaults the deprecated ``set_*`` shims
+    still move.  ``collector`` supplies an external
+    :class:`repro.obs.Collector` to record into (e.g. to wrap the parse
+    stage too); otherwise one is created when the options ask for
+    tracing or metrics.  The legacy ``parallel``/``cache`` arguments
+    keep working and fold into the options.
     """
     from .locality import build_lcg
+    from .locality.engine import AnalysisCache
+    from .locality.intra import check_intra_phase
     from .distribution import extract_constraints, solve_enumerative
     from .dsm import execute_with_plan
+    from .obs import obs_span
+    from .symbolic.compile import _compile_cached
 
-    lcg = build_lcg(
-        program,
-        env=env,
-        H_value=H,
-        back_edges=back_edges,
-        parallel=parallel,
-        cache=cache,
-    )
-    constraints = extract_constraints(lcg)
-    plan = solve_enumerative(constraints, env, H=H)
-    report = (
-        execute_with_plan(program, lcg, plan, env, H) if execute else None
-    )
+    opts = _fold_legacy(options, parallel, cache)
+
+    obs = collector
+    if obs is None and (opts.trace or opts.metrics):
+        obs = Collector(trace=opts.trace, metrics=opts.metrics)
+
+    # A path-valued cache option means: warm-start from the pickle (an
+    # unreadable/missing file loads empty) and save back after the build.
+    cache_arg = opts.analysis_cache
+    cache_path = None
+    if cache_arg is not None and not isinstance(cache_arg, bool):
+        if not (hasattr(cache_arg, "edges") and hasattr(cache_arg, "intra")):
+            cache_path = cache_arg
+            cache_arg = AnalysisCache.load(cache_path)
+
+    ctx = program.context
+    prev_obs = getattr(ctx, "obs", None)
+    prev_refutation = getattr(ctx, "refutation", None)
+    ctx.obs = obs
+    if opts.refutation is not None:
+        ctx.refutation = opts.refutation
+
+    compile_before = _compile_cached.cache_info()
+    try:
+        with obs_span(obs, "analyze", program=program.name, H=H):
+            if obs is not None:
+                # Serial Theorem-1 pre-pass: memoizes every (phase,
+                # array) verdict up front so edge spans are leaves in
+                # both serial and parallel dispatch — the span tree is
+                # structurally identical across engines.
+                with obs_span(obs, "descriptors"):
+                    for phase in program.phases:
+                        arrays = sorted(
+                            phase.arrays(), key=lambda a: a.name
+                        )
+                        for array in arrays:
+                            name = f"theorem1:{phase.name}:{array.name}"
+                            with obs_span(obs, name) as sp:
+                                intra = check_intra_phase(phase, array, ctx)
+                                sp.set(holds=intra.holds, case=intra.case)
+            lcg = build_lcg(
+                program,
+                env=env,
+                H_value=H,
+                back_edges=back_edges,
+                parallel=(
+                    None if opts.engine is None
+                    else opts.engine == "parallel"
+                ),
+                cache=cache_arg,
+                workers=opts.parallel_workers,
+            )
+            if cache_path is not None:
+                cache_arg.save(cache_path)
+            with obs_span(obs, "constraints"):
+                constraints = extract_constraints(lcg)
+            with obs_span(obs, "ilp") as sp:
+                plan = solve_enumerative(constraints, env, H=H)
+                sp.set(
+                    components=len(plan.components),
+                    relaxed=len(plan.relaxed_edges),
+                )
+            report = (
+                execute_with_plan(
+                    program,
+                    lcg,
+                    plan,
+                    env,
+                    H,
+                    fast_path=opts.dsm_fast_path,
+                )
+                if execute
+                else None
+            )
+        if obs is not None and obs.metrics:
+            delta = _compile_cached.cache_info()
+            obs.count(
+                "compile.compiled", delta.misses - compile_before.misses
+            )
+            obs.count("compile.reused", delta.hits - compile_before.hits)
+    finally:
+        ctx.obs = prev_obs
+        if opts.refutation is not None:
+            ctx.refutation = prev_refutation
+
     return AnalysisResult(
         program=program,
         lcg=lcg,
         constraints=constraints,
         plan=plan,
         report=report,
+        trace=obs if (obs is not None and obs.trace) else None,
+        metrics=(
+            obs.metrics_snapshot()
+            if (obs is not None and obs.metrics)
+            else None
+        ),
     )
 
 
-__all__ = ["AnalysisResult", "analyze", "__version__"]
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisResult",
+    "Collector",
+    "analyze",
+    "__version__",
+]

@@ -6,9 +6,16 @@ Usage::
     python -m repro --code tfft2 --H 8            # a bundled suite code
     python -m repro --code adi --H 4 --dot A      # emit Graphviz for A
     python -m repro --code tfft2 --H 64 --profile # cProfile the pipeline
-    python -m repro --code tfft2 --H 64 --analysis-cache lcg.pkl  # warm start
-    python -m repro --code swim --H 8 --parallel-lcg   # pooled edge fan-out
+    python -m repro --code tfft2 --H 64 --opt engine=parallel,cache=lcg.pkl
+    python -m repro --code tfft2 --H 64 --trace t.json --metrics
     python -m repro bench-perf --out BENCH_perf.json   # perf harness
+
+Engine knobs travel through ``--opt KEY=VALUE,...`` — the exact grammar
+of :meth:`repro.AnalysisOptions.from_spec`, so the CLI surface is
+one-to-one with the Python API.  ``--trace FILE`` writes the span tree
+as JSON (and renders it to stderr); ``--metrics`` prints the counter
+table.  The pre-1.1 ``--parallel-lcg``/``--analysis-cache`` flags keep
+working as deprecated aliases.
 
 Prints the LCG, the Table-2 constraint system, the Eq. 7 chunking and
 the measured DSM execution report.
@@ -108,19 +115,70 @@ def main(argv=None) -> int:
         "or a cumulative-time summary to stderr when no FILE is given",
     )
     parser.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE,...",
+        help="engine options (repeatable), e.g. "
+        "engine=parallel,cache=lcg.pkl,refutation=off,fast_path=wide,"
+        "workers=4 — the grammar of AnalysisOptions.from_spec",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record pipeline spans; write the trace JSON to FILE and "
+        "render the tree to stderr",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record pipeline counters and print them after the run",
+    )
+    parser.add_argument(
         "--parallel-lcg",
         action="store_true",
-        help="fan LCG edge analysis out over a process pool",
+        help="deprecated alias for --opt engine=parallel",
     )
     parser.add_argument(
         "--analysis-cache",
         metavar="FILE",
-        help="warm-start the locality analysis from FILE (pickled "
-        "fingerprint cache) and save the updated cache back on exit",
+        help="deprecated alias for --opt cache=FILE (warm-start the "
+        "locality analysis from the pickled cache, save it back on exit)",
     )
     args = parser.parse_args(argv)
 
-    program, default_env, back_edges = _load_program(args)
+    from dataclasses import replace
+
+    from . import AnalysisOptions, Collector, analyze
+    from .obs import obs_span
+
+    try:
+        options = AnalysisOptions.from_spec(",".join(args.opt))
+    except ValueError as exc:
+        raise SystemExit(f"bad --opt: {exc}")
+    if args.trace:
+        options = replace(options, trace=True)
+    if args.metrics:
+        options = replace(options, metrics=True)
+    if args.parallel_lcg and options.engine is None:
+        print(
+            "note: --parallel-lcg is deprecated; use --opt engine=parallel",
+            file=sys.stderr,
+        )
+        options = replace(options, engine="parallel")
+    if args.analysis_cache and options.analysis_cache is None:
+        print(
+            "note: --analysis-cache is deprecated; use --opt cache=FILE",
+            file=sys.stderr,
+        )
+        options = replace(options, analysis_cache=args.analysis_cache)
+
+    collector = None
+    if options.trace or options.metrics:
+        collector = Collector(trace=options.trace, metrics=options.metrics)
+
+    with obs_span(collector, "parse"):
+        program, default_env, back_edges = _load_program(args)
 
     from .ir import validate_program
 
@@ -135,14 +193,6 @@ def main(argv=None) -> int:
     if not env:
         raise SystemExit("no parameter binding: pass --env NAME=INT,...")
 
-    from . import analyze
-
-    cache = None
-    if args.analysis_cache:
-        from .locality import AnalysisCache
-
-        cache = AnalysisCache.load(args.analysis_cache)
-
     if args.profile is not None:
         import cProfile
         import pstats
@@ -155,11 +205,9 @@ def main(argv=None) -> int:
         H=args.H,
         back_edges=back_edges,
         execute=not args.no_execute,
-        parallel=True if args.parallel_lcg else None,
-        cache=cache,
+        options=options,
+        collector=collector,
     )
-    if args.analysis_cache:
-        cache.save(args.analysis_cache)
     if args.profile is not None:
         profiler.disable()
         if args.profile == "-":
@@ -168,6 +216,14 @@ def main(argv=None) -> int:
         else:
             profiler.dump_stats(args.profile)
             print(f"profile written to {args.profile}", file=sys.stderr)
+
+    if args.trace:
+        import json
+
+        with open(args.trace, "w") as handle:
+            json.dump(collector.to_json(), handle, indent=2, default=str)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+        print(collector.render(), file=sys.stderr)
 
     if args.dot:
         from .viz import lcg_to_dot
@@ -198,6 +254,13 @@ def main(argv=None) -> int:
         print(f"  {result.report.summary()}")
         for comm in result.report.comms:
             print(f"  {comm}")
+    if result.metrics is not None:
+        print()
+        print("Metrics")
+        for name, value in result.metrics["counters"].items():
+            print(f"  {name:40} {value}")
+        for name, value in result.metrics["gauges"].items():
+            print(f"  {name:40} {value}")
     return 0
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from ..ir.core import AccessKind, ArrayDecl, Phase
+from ..obs import obs_span
 from ..symbolic import Context, Expr, smin
 from .ard import ARD, Dim, UnsupportedAccess, compute_ard
 
@@ -131,14 +132,19 @@ def compute_pd(
         raise KeyError(
             f"array {array.name} is not accessed in phase {phase.name}"
         )
-    rows = [compute_ard(acc, ctx) for acc in accesses]
+    obs = getattr(ctx, "obs", None)
+    with obs_span(
+        obs, f"compute_ard:{phase.name}:{array.name}", rows=len(accesses)
+    ):
+        rows = [compute_ard(acc, ctx) for acc in accesses]
     pd = PhaseDescriptor(phase_name=phase.name, array=array, rows=rows)
     if simplify:
         from .coalesce import coalesce_pd
         from .union import union_rows
 
         phase_ctx = phase.loop_context(ctx)
-        pd = coalesce_pd(pd, phase_ctx)
-        pd = union_rows(pd, phase_ctx)
+        with obs_span(obs, f"coalesce_union:{phase.name}:{array.name}"):
+            pd = coalesce_pd(pd, phase_ctx)
+            pd = union_rows(pd, phase_ctx)
     cache[key] = pd
     return pd

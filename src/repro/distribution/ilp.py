@@ -25,6 +25,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from ..obs import obs_span
 from ..symbolic import Expr
 from .constraints import ConstraintSystem
 from .costs import MachineCosts, T3D, communication_cost, imbalance_cost
@@ -333,6 +334,7 @@ def solve_enumerative(
     demoted to communication; relaxations are reported in
     ``DistributionPlan.relaxed_edges``.
     """
+    obs = getattr(system.lcg.program.context, "obs", None)
     work = dict(work or {})
     relaxed: set = set()
     while True:
@@ -347,22 +349,30 @@ def solve_enumerative(
                 f"locality relaxation restores integer feasibility"
             )
         relaxed.add(culprit)
+        if obs is not None:
+            obs.count("ilp.relaxations")
 
     chunks: dict[str, int] = {}
     imbalance_total = 0.0
     trips = {c.var: c for c in system.load_balance}
     for comp in components:
-        ts = comp.feasible_ts()
-        best_t, best_cost = None, None
-        for t in ts:
-            cost = _component_cost(
-                system, comp, t, env, H, machine, work, trips=trips
-            )
-            if cost is None:
-                continue
-            if best_cost is None or cost < best_cost:
-                best_t, best_cost = t, cost
-        values = comp.values_for(best_t)
+        if obs is not None:
+            obs.count("ilp.components")
+        with obs_span(obs, f"ilp:component:{comp.root}") as sp:
+            ts = comp.feasible_ts()
+            if obs is not None:
+                obs.count("ilp.candidates", len(ts))
+            best_t, best_cost = None, None
+            for t in ts:
+                cost = _component_cost(
+                    system, comp, t, env, H, machine, work, trips=trips
+                )
+                if cost is None:
+                    continue
+                if best_cost is None or cost < best_cost:
+                    best_t, best_cost = t, cost
+            values = comp.values_for(best_t)
+            sp.set(candidates=len(ts), best_t=best_t)
         chunks.update(values)
         imbalance_total += best_cost
 

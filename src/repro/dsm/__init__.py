@@ -18,6 +18,7 @@ from .executor import (
     chain_layouts,
     execute_static,
     execute_with_plan,
+    set_fast_path,
 )
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "execute_with_plan",
     "frontier_update",
     "redistribution",
+    "set_fast_path",
     "PhaseStep",
     "ProgramSchedule",
     "schedule_communications",

@@ -21,6 +21,7 @@ Two execution modes back the §4.3 experiment:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -35,7 +36,12 @@ from ..distribution.schedule import (
     CyclicSchedule,
     ReplicatedLayout,
 )
+from ..obs import obs_span
 from .comm import CommunicationPlan, frontier_update, redistribution
+
+#: Bytes per array element, for the traffic gauge (the T3D moves
+#: 64-bit words).
+ELEMENT_BYTES = 8
 
 __all__ = [
     "PhaseStats",
@@ -147,8 +153,8 @@ class ExecutionReport:
 _FAST_MODE = "wide"
 
 
-def set_fast_path(mode: str) -> str:
-    """Select the executor fast-path tier; returns the previous mode."""
+def _set_fast_path_default(mode: str) -> str:
+    """Move the default executor tier; returns the old one (no warning)."""
     global _FAST_MODE
     if mode not in ("wide", "legacy", "off"):
         raise ValueError(f"unknown fast-path mode {mode!r}")
@@ -157,27 +163,51 @@ def set_fast_path(mode: str) -> str:
     return old
 
 
+def set_fast_path(mode: str) -> str:
+    """Deprecated: pass ``AnalysisOptions(dsm_fast_path=...)`` to ``analyze``.
+
+    Still moves the process-wide default tier (which an option left at
+    ``None`` inherits); returns the previous mode.
+    """
+    warnings.warn(
+        "set_fast_path is deprecated; pass "
+        "repro.AnalysisOptions(dsm_fast_path=...) to analyze() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _set_fast_path_default(mode)
+
+
 def _try_fast_stats(
     phase: Phase,
     env: Mapping[str, int],
     H: int,
     schedule: CyclicSchedule,
     layouts: Mapping[str, object],
+    mode: Optional[str] = None,
+    obs=None,
 ):
     """Vectorised phase accounting, or None to fall back to interpretation.
 
-    Dispatches on the configured tier: the wide path enumerates the
-    whole nest descriptor-first (handles non-rectangular bounds and
-    ``Pow2`` subscripts); the legacy path covers only rectangular affine
-    nests and is kept as the measured pre-optimization baseline.
+    Dispatches on the configured tier (``mode`` overriding the process
+    default): the wide path enumerates the whole nest descriptor-first
+    (handles non-rectangular bounds and ``Pow2`` subscripts); the legacy
+    path covers only rectangular affine nests and is kept as the
+    measured pre-optimization baseline.
     """
-    if _FAST_MODE == "off":
+    mode = mode or _FAST_MODE
+    if mode == "off":
         return None
-    if _FAST_MODE == "wide":
+    if mode == "wide":
         stats = _wide_fast_stats(phase, env, H, schedule, layouts)
         if stats is not None:
+            if obs is not None:
+                obs.count("dsm.fast_path.wide")
             return stats
-    return _legacy_fast_stats(phase, env, H, schedule, layouts)
+    stats = _legacy_fast_stats(phase, env, H, schedule, layouts)
+    if stats is not None and obs is not None:
+        obs.count("dsm.fast_path.legacy")
+    return stats
 
 
 def _wide_fast_stats(
@@ -413,10 +443,16 @@ def _phase_stats(
     H: int,
     schedule: CyclicSchedule,
     layouts: Mapping[str, object],
+    fast_path: Optional[str] = None,
+    obs=None,
 ) -> PhaseStats:
-    fast = _try_fast_stats(phase, env, H, schedule, layouts)
+    fast = _try_fast_stats(
+        phase, env, H, schedule, layouts, mode=fast_path, obs=obs
+    )
     if fast is not None:
         return fast
+    if obs is not None:
+        obs.count("dsm.fast_path.interp")
     local = np.zeros(H, dtype=np.int64)
     remote = np.zeros(H, dtype=np.int64)
     iterations = np.zeros(H, dtype=np.int64)
@@ -447,23 +483,30 @@ def execute_static(
     layouts: Optional[Mapping[str, object]] = None,
     chunk: int = 1,
     machine: MachineCosts = T3D,
+    fast_path: Optional[str] = None,
 ) -> ExecutionReport:
     """Run with one fixed layout per array and CYCLIC(chunk) scheduling.
 
     Default layouts are BLOCK over each array's full extent — the naive
     baseline a compiler without locality analysis would pick.
+    ``fast_path`` overrides the accounting tier for this run.
     """
     if layouts is None:
         layouts = {
             a.name: BlockLayout(size=_ev_int(a.size, env), H=H)
             for a in program.arrays_in_use()
         }
+    obs = getattr(program.context, "obs", None)
     report = ExecutionReport(program=program.name, H=H, machine=machine)
     for phase in program.phases:
         par = phase.parallel_loop
         trip = _ev_int(par.trip_count, env) if par is not None else 1
         schedule = CyclicSchedule(trip=trip, p=chunk, H=H)
-        report.phases.append(_phase_stats(phase, env, H, schedule, layouts))
+        report.phases.append(
+            _phase_stats(
+                phase, env, H, schedule, layouts, fast_path=fast_path, obs=obs
+            )
+        )
     return report
 
 
@@ -608,70 +651,103 @@ def execute_with_plan(
     env: Mapping[str, int],
     H: int,
     machine: MachineCosts = T3D,
+    fast_path: Optional[str] = None,
 ) -> ExecutionReport:
-    """LCG-driven execution: chain layouts + explicit C-edge communication."""
+    """LCG-driven execution: chain layouts + explicit C-edge communication.
+
+    ``fast_path`` overrides the accounting tier for this run.
+    """
     from ..ir.interp import phase_access_set
 
+    obs = getattr(program.context, "obs", None)
     layouts = chain_layouts(lcg, plan, env, H)
     fold_edges = layouts.pop("__fold_edges__", [])
     report = ExecutionReport(program=program.name, H=H, machine=machine)
 
-    for phase in program.phases:
-        par = phase.parallel_loop
-        trip = _ev_int(par.trip_count, env) if par is not None else 1
-        p = plan.phase_chunks.get(phase.name, 1)
-        schedule = CyclicSchedule(trip=trip, p=p, H=H)
-        phase_layouts = {
-            a.name: layouts[(phase.name, a.name)] for a in phase.arrays()
-        }
-        report.phases.append(
-            _phase_stats(phase, env, H, schedule, phase_layouts)
-        )
+    with obs_span(obs, "dsm"):
+        for phase in program.phases:
+            par = phase.parallel_loop
+            trip = _ev_int(par.trip_count, env) if par is not None else 1
+            p = plan.phase_chunks.get(phase.name, 1)
+            schedule = CyclicSchedule(trip=trip, p=p, H=H)
+            phase_layouts = {
+                a.name: layouts[(phase.name, a.name)] for a in phase.arrays()
+            }
+            with obs_span(obs, f"phase:{phase.name}") as sp:
+                stats = _phase_stats(
+                    phase,
+                    env,
+                    H,
+                    schedule,
+                    phase_layouts,
+                    fast_path=fast_path,
+                    obs=obs,
+                )
+                n_local = int(stats.local.sum())
+                n_remote = int(stats.remote.sum())
+                sp.set(local=n_local, remote=n_remote)
+            if obs is not None:
+                obs.count("dsm.local", n_local)
+                obs.count("dsm.remote", n_remote)
+            report.phases.append(stats)
 
-    # Communication on C edges (plus any L edges the ILP relaxed):
-    # global redistribution between the two phases' layouts, or a
-    # frontier halo update when the source overlap is what forces the
-    # edge.
-    relaxed = {
-        (k, g, arr) for (k, g, arr) in getattr(plan, "relaxed_edges", [])
-    }
-    for array in program.arrays_in_use():
-        comm_edges = list(lcg.communication_edges(array.name))
-        fold_here = {
-            (k, g) for (k, g, arr) in fold_edges if arr == array.name
+        # Communication on C edges (plus any L edges the ILP relaxed):
+        # global redistribution between the two phases' layouts, or a
+        # frontier halo update when the source overlap is what forces the
+        # edge.
+        relaxed = {
+            (k, g, arr) for (k, g, arr) in getattr(plan, "relaxed_edges", [])
         }
-        for e in lcg.edges(array.name):
-            key = (e.phase_k, e.phase_g, array.name)
-            if key in relaxed or (e.phase_k, e.phase_g) in fold_here:
-                comm_edges.append(e)
-        for edge in comm_edges:
-            layout_k = layouts[(edge.phase_k, array.name)]
-            layout_g = layouts[(edge.phase_g, array.name)]
-            drain = program.phase(edge.phase_g)
-            region = phase_access_set(drain, env, array)
-            if isinstance(layout_k, ReplicatedLayout) or isinstance(
-                layout_g, ReplicatedLayout
-            ):
-                continue
-            if edge.intra_k.has_overlap and layout_k is layout_g:
-                sym = edge.intra_k.symmetry
-                overlap = _ev_int(sym.overlap[0][2], env)
-                report.comms.append(
-                    frontier_update(array.name, (edge.phase_k, edge.phase_g),
-                                    overlap, H)
-                )
-                continue
-            old_owner = np.asarray(layout_k.owner(region))
-            new_owner = np.asarray(layout_g.owner(region))
-            report.comms.append(
-                redistribution(
-                    array.name,
-                    (edge.phase_k, edge.phase_g),
-                    region,
-                    old_owner,
-                    new_owner,
-                )
-            )
+        for array in program.arrays_in_use():
+            comm_edges = list(lcg.communication_edges(array.name))
+            fold_here = {
+                (k, g) for (k, g, arr) in fold_edges if arr == array.name
+            }
+            for e in lcg.edges(array.name):
+                key = (e.phase_k, e.phase_g, array.name)
+                if key in relaxed or (e.phase_k, e.phase_g) in fold_here:
+                    comm_edges.append(e)
+            for edge in comm_edges:
+                layout_k = layouts[(edge.phase_k, array.name)]
+                layout_g = layouts[(edge.phase_g, array.name)]
+                drain = program.phase(edge.phase_g)
+                region = phase_access_set(drain, env, array)
+                if isinstance(layout_k, ReplicatedLayout) or isinstance(
+                    layout_g, ReplicatedLayout
+                ):
+                    continue
+                label = f"comm:{array.name}:{edge.phase_k}->{edge.phase_g}"
+                with obs_span(obs, label) as sp:
+                    if edge.intra_k.has_overlap and layout_k is layout_g:
+                        sym = edge.intra_k.symmetry
+                        overlap = _ev_int(sym.overlap[0][2], env)
+                        cp = frontier_update(
+                            array.name,
+                            (edge.phase_k, edge.phase_g),
+                            overlap,
+                            H,
+                        )
+                    else:
+                        old_owner = np.asarray(layout_k.owner(region))
+                        new_owner = np.asarray(layout_g.owner(region))
+                        cp = redistribution(
+                            array.name,
+                            (edge.phase_k, edge.phase_g),
+                            region,
+                            old_owner,
+                            new_owner,
+                        )
+                    sp.set(
+                        pattern=cp.pattern,
+                        messages=cp.messages,
+                        elements=cp.volume,
+                        bytes=cp.volume * ELEMENT_BYTES,
+                    )
+                if obs is not None:
+                    obs.count("dsm.comm.messages", cp.messages)
+                    obs.count("dsm.comm.elements", cp.volume)
+                    obs.count("dsm.comm.bytes", cp.volume * ELEMENT_BYTES)
+                report.comms.append(cp)
     return report
 
 

@@ -23,10 +23,12 @@ Both levers are toggleable in the style of ``set_fast_path``:
 from __future__ import annotations
 
 import pickle
+import warnings
 from dataclasses import replace
 from typing import Mapping, Optional, Sequence
 
 from ..descriptors.fingerprint import edge_fingerprint, phase_array_fingerprint
+from ..obs import obs_span
 from ..symbolic import sym
 from .inter import EdgeAnalysis, analyze_edge
 from .intra import IntraPhaseResult
@@ -51,8 +53,8 @@ _CACHE_ENABLED = True
 _MAX_WORKERS = 8
 
 
-def set_engine(mode: str) -> str:
-    """Select edge dispatch ("serial" or "parallel"); returns the old mode."""
+def _set_engine_default(mode: str) -> str:
+    """Move the default dispatch mode; returns the old one (no warning)."""
     global _ENGINE_MODE
     if mode not in ("serial", "parallel"):
         raise ValueError(f"unknown engine mode {mode!r}")
@@ -61,12 +63,42 @@ def set_engine(mode: str) -> str:
     return old
 
 
-def set_analysis_cache(enabled: bool) -> bool:
-    """Enable/disable the global analysis cache; returns the old setting."""
+def set_engine(mode: str) -> str:
+    """Deprecated: pass ``AnalysisOptions(engine=...)`` to ``analyze``.
+
+    Still moves the process-wide default dispatch mode (which an option
+    left at ``None`` inherits); returns the old mode.
+    """
+    warnings.warn(
+        "set_engine is deprecated; pass "
+        "repro.AnalysisOptions(engine=...) to analyze() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _set_engine_default(mode)
+
+
+def _set_analysis_cache_default(enabled: bool) -> bool:
+    """Move the default cache toggle; returns the old one (no warning)."""
     global _CACHE_ENABLED
     old = _CACHE_ENABLED
     _CACHE_ENABLED = bool(enabled)
     return old
+
+
+def set_analysis_cache(enabled: bool) -> bool:
+    """Deprecated: pass ``AnalysisOptions(analysis_cache=...)`` to ``analyze``.
+
+    Still moves the process-wide default (which an option left at
+    ``None`` inherits); returns the old setting.
+    """
+    warnings.warn(
+        "set_analysis_cache is deprecated; pass "
+        "repro.AnalysisOptions(analysis_cache=...) to analyze() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _set_analysis_cache_default(enabled)
 
 
 class AnalysisCache:
@@ -90,6 +122,7 @@ class AnalysisCache:
             "intra_misses": 0,
             "edge_hits": 0,
             "edge_misses": 0,
+            "edge_relabels": 0,
         }
 
     def clear(self) -> None:
@@ -237,12 +270,19 @@ def intra_cache_lookup(phase, array, ctx):
     cache = _resolve_cache(None)
     if cache is None:
         return None, None
+    obs = getattr(ctx, "obs", None)
     fp = phase_array_fingerprint(phase, array, ctx)
+    if obs is not None:
+        obs.count("analysis_cache.intra_lookups")
     hit = cache.intra.get(fp)
     if hit is not None:
         cache.stats["intra_hits"] += 1
+        if obs is not None:
+            obs.count("analysis_cache.intra_hits")
         return fp, _relabel_intra(hit, phase.name, array)
     cache.stats["intra_misses"] += 1
+    if obs is not None:
+        obs.count("analysis_cache.intra_misses")
     return fp, None
 
 
@@ -272,23 +312,35 @@ def _seed_intra(cache: AnalysisCache, item, analysis: EdgeAnalysis, ctx) -> None
 
 
 def _edge_worker(task):
+    """Analyze one edge; ship the worker's span/counter payload back.
+
+    ``ctx.obs`` unpickles as a *fresh, empty* collector in the worker
+    (``Collector.__reduce__`` ships configuration only), so the payload
+    holds exactly this edge's spans and counters; the parent merges the
+    payloads in ``compute`` order, keeping parallel traces structurally
+    identical to serial ones.
+    """
     idx, phase_k, phase_g, array, ctx, H, env, H_value = task
-    analysis = analyze_edge(
-        phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
-    )
-    return idx, analysis
+    obs = getattr(ctx, "obs", None)
+    label = f"edge:{array.name}:{phase_k.name}->{phase_g.name}"
+    with obs_span(obs, label):
+        analysis = analyze_edge(
+            phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
+        )
+    payload = obs.payload() if obs is not None else None
+    return idx, (analysis, payload)
 
 
-def _run_parallel(tasks) -> Optional[dict]:
+def _run_parallel(tasks, workers: Optional[int] = None) -> Optional[dict]:
     """Fan tasks out over a fork pool; None signals 'fall back to serial'."""
     try:
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor
 
         mp_ctx = mp.get_context("fork")
-        workers = min(len(tasks), mp.cpu_count() or 1, _MAX_WORKERS)
+        width = min(len(tasks), mp.cpu_count() or 1, workers or _MAX_WORKERS)
         with ProcessPoolExecutor(
-            max_workers=workers, mp_context=mp_ctx
+            max_workers=width, mp_context=mp_ctx
         ) as pool:
             return dict(pool.map(_edge_worker, tasks))
     except Exception:
@@ -303,17 +355,20 @@ def analyze_edges(
     H_value: Optional[int] = None,
     parallel: Optional[bool] = None,
     cache=None,
+    workers: Optional[int] = None,
 ) -> list:
     """Analyze ``(phase_k, phase_g, array)`` work items, in order.
 
     The cache is consulted per item; misses are deduplicated by
     fingerprint, dispatched (serially or over the pool, per the module
-    toggle unless ``parallel`` overrides), then merged back by item
-    index — the result list is identical for every dispatch mode.
+    toggle unless ``parallel`` overrides, ``workers`` capping the pool
+    width), then merged back by item index — the result list is
+    identical for every dispatch mode.
     """
     if parallel is None:
         parallel = _ENGINE_MODE == "parallel"
     cache = _resolve_cache(cache)
+    obs = getattr(ctx, "obs", None)
 
     results: list = [None] * len(items)
     fps: list = [None] * len(items)
@@ -322,6 +377,8 @@ def analyze_edges(
     compute: list = []
 
     for i, (phase_k, phase_g, array) in enumerate(items):
+        if obs is not None:
+            obs.count("engine.items")
         if cache is None:
             compute.append(i)
             continue
@@ -329,18 +386,31 @@ def analyze_edges(
             phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
         )
         fps[i] = fp
+        if obs is not None:
+            obs.count("analysis_cache.edge_lookups")
         hit = cache.edges.get(fp)
         if hit is not None:
             cache.stats["edge_hits"] += 1
-            results[i] = _relabel_edge(hit, phase_k.name, phase_g.name, array)
+            if obs is not None:
+                obs.count("analysis_cache.edge_hits")
+            relabelled = _relabel_edge(hit, phase_k.name, phase_g.name, array)
+            if relabelled is not hit:
+                cache.stats["edge_relabels"] += 1
+                if obs is not None:
+                    obs.count("analysis_cache.edge_relabels")
+            results[i] = relabelled
             continue
         cache.stats["edge_misses"] += 1
+        if obs is not None:
+            obs.count("analysis_cache.edge_misses")
         leader = leaders.get(fp)
         if leader is None:
             leaders[fp] = i
             compute.append(i)
         else:
             followers[i] = leader
+            if obs is not None:
+                obs.count("engine.deduped")
 
     computed: Optional[dict] = None
     if parallel and len(compute) > 1:
@@ -348,23 +418,38 @@ def analyze_edges(
             (i, items[i][0], items[i][1], items[i][2], ctx, H, env, H_value)
             for i in compute
         ]
-        computed = _run_parallel(tasks)
+        computed = _run_parallel(tasks, workers=workers)
+        if computed is not None and obs is not None:
+            obs.count("engine.parallel_batches")
     if computed is None:
         computed = {}
         for i in compute:
             phase_k, phase_g, array = items[i]
-            computed[i] = analyze_edge(
-                phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
-            )
+            label = f"edge:{array.name}:{phase_k.name}->{phase_g.name}"
+            with obs_span(obs, label):
+                analysis = analyze_edge(
+                    phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
+                )
+            computed[i] = (analysis, None)
 
     for i in compute:
-        results[i] = computed[i]
+        analysis, payload = computed[i]
+        if obs is not None:
+            if payload is not None:
+                obs.merge(payload)
+            obs.count("engine.computed")
+        results[i] = analysis
         if cache is not None and fps[i] is not None:
-            cache.edges[fps[i]] = computed[i]
-            _seed_intra(cache, items[i], computed[i], ctx)
+            cache.edges[fps[i]] = analysis
+            _seed_intra(cache, items[i], analysis, ctx)
     for i, leader in followers.items():
         phase_k, phase_g, array = items[i]
-        results[i] = _relabel_edge(
+        relabelled = _relabel_edge(
             results[leader], phase_k.name, phase_g.name, array
         )
+        if relabelled is not results[leader] and cache is not None:
+            cache.stats["edge_relabels"] += 1
+            if obs is not None:
+                obs.count("analysis_cache.edge_relabels")
+        results[i] = relabelled
     return results

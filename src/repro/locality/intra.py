@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..ir.core import AccessKind, ArrayDecl, Phase
+from ..obs import obs_span
 from ..symbolic import Context
 from ..descriptors import compute_pd
 from ..iteration import IterationDescriptor, StorageSymmetry, analyze_symmetry
@@ -158,11 +159,14 @@ def _check_intra_phase_uncached(
 def _descriptor_or_none(phase: Phase, array: ArrayDecl, ctx: Context):
     from ..descriptors.ard import UnsupportedAccess
 
+    obs = getattr(ctx, "obs", None)
     phase_ctx = phase.loop_context(ctx)
     try:
         pd = compute_pd(phase, array, ctx)
-        idesc = IterationDescriptor(pd, phase_ctx)
+        with obs_span(obs, f"id:{phase.name}:{array.name}"):
+            idesc = IterationDescriptor(pd, phase_ctx)
     except (UnsupportedAccess, ValueError):
         return None, None
-    symmetry = analyze_symmetry(idesc, phase_ctx)
+    with obs_span(obs, f"symmetry:{phase.name}:{array.name}"):
+        symmetry = analyze_symmetry(idesc, phase_ctx)
     return idesc, symmetry

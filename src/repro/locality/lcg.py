@@ -29,6 +29,7 @@ from typing import Mapping, Optional
 import networkx as nx
 
 from ..ir.core import ArrayDecl, Phase, Program
+from ..obs import obs_span
 from ..symbolic import Context, Expr, sym
 from .engine import analyze_edges
 from .inter import EdgeAnalysis
@@ -168,6 +169,7 @@ def build_lcg(
     drop_d_edges: bool = True,
     parallel: Optional[bool] = None,
     cache=None,
+    workers: Optional[int] = None,
 ) -> LCG:
     """Build and label the LCG of a program.
 
@@ -181,9 +183,10 @@ def build_lcg(
     still reports them.  Pass False to keep every edge live.
 
     Edge analysis routes through :mod:`repro.locality.engine`:
-    ``parallel`` overrides the engine dispatch mode for this build and
+    ``parallel`` overrides the engine dispatch mode for this build,
     ``cache`` the analysis-cache setting (an :class:`AnalysisCache`
-    instance, a bool, or None for the module toggles).
+    instance, a bool, or None for the module toggles) and ``workers``
+    caps the parallel pool width.
     """
     H = H if H is not None else sym("H")
     lcg = LCG(program=program, H=H)
@@ -210,9 +213,19 @@ def build_lcg(
             work.append((ph_k, ph_g, array))
         lcg.graphs[array.name] = g
 
-    analyses = analyze_edges(
-        work, ctx, H, env=env, H_value=H_value, parallel=parallel, cache=cache
-    )
+    with obs_span(
+        getattr(ctx, "obs", None), "lcg", arrays=len(arrays), edges=len(work)
+    ):
+        analyses = analyze_edges(
+            work,
+            ctx,
+            H,
+            env=env,
+            H_value=H_value,
+            parallel=parallel,
+            cache=cache,
+            workers=workers,
+        )
     for (ph_k, ph_g, array), analysis in zip(work, analyses):
         g = lcg.graphs[array.name]
         g.add_edge(ph_k.name, ph_g.name, analysis=analysis)

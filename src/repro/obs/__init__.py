@@ -1,0 +1,11 @@
+"""``repro.obs`` — dependency-free tracing + metrics for the pipeline.
+
+See :mod:`repro.obs.core` for the model.  The package deliberately
+imports nothing from the rest of :mod:`repro` so every layer (symbolic,
+descriptors, locality, distribution, dsm) can depend on it without
+cycles.
+"""
+
+from .core import Collector, Span, obs_span
+
+__all__ = ["Collector", "Span", "obs_span"]

@@ -1,0 +1,269 @@
+"""Dependency-free tracing + metrics for the analysis pipeline.
+
+The pipeline is instrumented with *spans* (named wall-clock intervals
+with a parent and free-form attributes) and *counters/gauges* (named
+numbers).  Both live on a :class:`Collector` that is carried on the
+analysis :class:`~repro.symbolic.context.Context` — there are no process
+globals, which is what makes the parallel engine work: a ``Collector``
+pickles as its *configuration only* (see :meth:`Collector.__reduce__`),
+so a forked worker's context unpickles with a fresh empty collector,
+records into it, and ships the result back as a :meth:`payload` that the
+parent :meth:`merge`\\ s deterministically in work-item order — exactly
+like the edge results themselves.
+
+Outputs:
+
+* :meth:`Collector.tree` — the span forest as nested dicts,
+* :meth:`Collector.to_json` — a structured JSON document (spans +
+  counters + gauges),
+* :meth:`Collector.render` — a flame-style text tree,
+* :meth:`Collector.metrics_snapshot` — the counters/gauges,
+* :meth:`Collector.signature` — names + nesting only, the thing that is
+  asserted identical between serial and parallel engine runs.
+
+Only the standard library is used; the module imports nothing from the
+rest of :mod:`repro`, so every layer may depend on it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Collector", "Span", "obs_span"]
+
+
+@dataclass
+class Span:
+    """One recorded interval: name, timing, parent link, attributes."""
+
+    id: int
+    name: str
+    parent: Optional[int]
+    t0: float  # seconds since the collector's epoch
+    dt: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+
+class _SpanHandle:
+    """What ``with collector.span(...) as sp`` yields; ``sp.set(...)``
+    attaches attributes discovered only after the work ran (a label, a
+    verdict).  The null handle (tracing off) accepts and drops them."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Optional[Span]):
+        self._span = span
+
+    def set(self, **attrs) -> None:
+        if self._span is not None:
+            self._span.attrs.update(attrs)
+
+
+_NULL_HANDLE = _SpanHandle(None)
+
+
+class Collector:
+    """Span + counter sink threaded through one ``analyze`` run.
+
+    ``trace`` gates span recording, ``metrics`` gates counters/gauges;
+    either may be off so the other costs nothing it doesn't use.
+    """
+
+    def __init__(self, trace: bool = True, metrics: bool = True):
+        self.trace = bool(trace)
+        self.metrics = bool(metrics)
+        self.spans: list = []
+        self.counters: dict = {}
+        self.gauges: dict = {}
+        self._stack: list = []
+        self._epoch = time.perf_counter()
+
+    def __reduce__(self):
+        # Pickling ships the configuration only: a ProcessPoolExecutor
+        # worker must start from an empty collector (its spans come back
+        # via payload()/merge(), not via pickled state).
+        return (Collector, (self.trace, self.metrics))
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    # -- spans ------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        if not self.trace:
+            yield _NULL_HANDLE
+            return
+        sp = Span(
+            id=len(self.spans),
+            name=name,
+            parent=self._stack[-1] if self._stack else None,
+            t0=self._now(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(sp)
+        self._stack.append(sp.id)
+        try:
+            yield _SpanHandle(sp)
+        finally:
+            self._stack.pop()
+            sp.dt = self._now() - sp.t0
+
+    # -- counters / gauges ------------------------------------------------
+
+    def count(self, name: str, n=1) -> None:
+        if self.metrics:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value) -> None:
+        if self.metrics:
+            self.gauges[name] = value
+
+    def value(self, name: str, default=0):
+        return self.counters.get(name, default)
+
+    # -- worker protocol --------------------------------------------------
+
+    def payload(self) -> dict:
+        """Everything recorded so far, as a picklable dict for merge()."""
+        return {
+            "spans": [
+                {
+                    "id": s.id,
+                    "name": s.name,
+                    "parent": s.parent,
+                    "t0": s.t0,
+                    "dt": s.dt,
+                    "attrs": dict(s.attrs),
+                }
+                for s in self.spans
+            ],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def merge(self, payload: dict) -> None:
+        """Fold a worker collector's payload into this one.
+
+        Span ids are rebased past the current table; the payload's roots
+        attach under the currently-open span.  Determinism is the
+        *caller's* job: merge payloads in work-item order and the span
+        table is identical to what the serial path records.
+        """
+        if self.metrics:
+            for name, n in sorted(payload.get("counters", {}).items()):
+                self.counters[name] = self.counters.get(name, 0) + n
+            for name, v in sorted(payload.get("gauges", {}).items()):
+                self.gauges[name] = v
+        spans = payload.get("spans", [])
+        if not self.trace or not spans:
+            return
+        base = len(self.spans)
+        attach = self._stack[-1] if self._stack else None
+        # Shift worker-relative timestamps so the merged subtree ends at
+        # the merge instant (workers have their own epoch).
+        shift = self._now() - max(s["t0"] + s["dt"] for s in spans)
+        for s in spans:
+            self.spans.append(
+                Span(
+                    id=base + s["id"],
+                    name=s["name"],
+                    parent=(
+                        base + s["parent"] if s["parent"] is not None else attach
+                    ),
+                    t0=s["t0"] + shift,
+                    dt=s["dt"],
+                    attrs=dict(s["attrs"]),
+                )
+            )
+
+    # -- exports ----------------------------------------------------------
+
+    def tree(self) -> list:
+        """The span forest as nested dicts, children in record order."""
+        nodes = {
+            s.id: {
+                "name": s.name,
+                "t0": round(s.t0, 6),
+                "dt": round(s.dt, 6),
+                "attrs": dict(s.attrs),
+                "children": [],
+            }
+            for s in self.spans
+        }
+        roots: list = []
+        for s in self.spans:
+            node = nodes[s.id]
+            if s.parent is not None and s.parent in nodes:
+                nodes[s.parent]["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def to_json(self) -> dict:
+        """Structured JSON document: span forest + counters + gauges."""
+        return {
+            "version": 1,
+            "spans": self.tree(),
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    def render(self, min_dt: float = 0.0) -> str:
+        """Flame-style text tree: duration, guides, name, attributes."""
+        lines: list = []
+
+        def walk(node, prefix, child_prefix):
+            attrs = node["attrs"]
+            extra = (
+                "  [" + " ".join(f"{k}={v}" for k, v in attrs.items()) + "]"
+                if attrs
+                else ""
+            )
+            lines.append(
+                f"{node['dt'] * 1000:10.2f}ms  {prefix}{node['name']}{extra}"
+            )
+            kids = [c for c in node["children"] if c["dt"] >= min_dt]
+            for i, c in enumerate(kids):
+                last = i == len(kids) - 1
+                walk(
+                    c,
+                    child_prefix + ("└─ " if last else "├─ "),
+                    child_prefix + ("   " if last else "│  "),
+                )
+
+        for root in self.tree():
+            walk(root, "", "")
+        return "\n".join(lines)
+
+    def metrics_snapshot(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    def signature(self) -> tuple:
+        """Structural span signature (names + nesting, no timings)."""
+
+        def walk(node):
+            return (node["name"], tuple(walk(c) for c in node["children"]))
+
+        return tuple(walk(r) for r in self.tree())
+
+
+@contextmanager
+def obs_span(collector: Optional[Collector], name: str, **attrs):
+    """``collector.span(...)`` that tolerates ``collector is None``.
+
+    The instrumentation sites read their collector off the analysis
+    context with ``getattr(ctx, "obs", None)``; this wrapper keeps them
+    one-liners in the common case where no collector is attached.
+    """
+    if collector is None:
+        yield _NULL_HANDLE
+        return
+    with collector.span(name, **attrs) as handle:
+        yield handle

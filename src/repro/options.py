@@ -1,0 +1,191 @@
+"""``AnalysisOptions`` — the one front door for every engine knob.
+
+PRs 1–2 grew four process-global toggles (``locality.set_engine``,
+``locality.set_analysis_cache``, ``symbolic.set_refutation``,
+``dsm.set_fast_path``).  Module state composes badly — libraries
+embedding the analysis cannot scope a setting to one call — so the
+knobs now travel explicitly: build a frozen :class:`AnalysisOptions`
+and pass it to :func:`repro.analyze`.  The old setters survive as
+deprecated shims that move the corresponding *default*; an option left
+at ``None`` inherits that default, so old code keeps working while new
+code is fully explicit.
+
+The CLI accepts the same knobs one-to-one via ``--opt KEY=VALUE,...``
+(:meth:`AnalysisOptions.from_spec` parses the spec, so the CLI grammar
+*is* the Python API).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Union
+
+__all__ = ["AnalysisOptions"]
+
+_ENGINES = (None, "serial", "parallel")
+_FAST_PATHS = (None, "wide", "legacy", "off")
+
+_TRUE = ("on", "true", "yes", "1")
+_FALSE = ("off", "false", "no", "0")
+
+
+def _parse_bool(key: str, value: str) -> bool:
+    low = value.strip().lower()
+    if low in _TRUE:
+        return True
+    if low in _FALSE:
+        return False
+    raise ValueError(
+        f"bad value {value!r} for option {key!r}: expected on/off"
+    )
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Every accelerator/observability knob of the pipeline, in one place.
+
+    ``None`` means "inherit the process default" (which the deprecated
+    ``set_*`` shims still move); any other value wins over the default
+    for the one ``analyze`` call it is passed to.
+
+    Parameters
+    ----------
+    engine:
+        LCG edge dispatch: ``"serial"`` or ``"parallel"`` (process-pool
+        fan-out with deterministic merge).
+    analysis_cache:
+        the fingerprint-keyed memo of edge and Theorem-1 results.
+        ``True``/``False`` force the process-global cache on/off, a path
+        string warm-starts from (and saves back to) a pickled cache
+        file, and an :class:`~repro.locality.engine.AnalysisCache`
+        instance is used directly.
+    refutation:
+        sampled disproof of ``is_nonneg`` queries (bool).
+    dsm_fast_path:
+        executor accounting tier: ``"wide"`` (descriptor-first ragged
+        enumeration), ``"legacy"`` (affine-rectangular only) or
+        ``"off"`` (always interpret).
+    parallel_workers:
+        cap on the parallel engine's pool width (default: engine cap).
+    trace:
+        record spans on a :class:`repro.obs.Collector`; surfaced as
+        ``result.trace``.
+    metrics:
+        record counters/gauges; surfaced as ``result.metrics``.
+    """
+
+    engine: Optional[str] = None
+    analysis_cache: Union[None, bool, str, object] = None
+    refutation: Optional[bool] = None
+    dsm_fast_path: Optional[str] = None
+    parallel_workers: Optional[int] = None
+    trace: bool = False
+    metrics: bool = False
+
+    def __post_init__(self):
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}: expected 'serial' or "
+                f"'parallel'"
+            )
+        if self.dsm_fast_path not in _FAST_PATHS:
+            raise ValueError(
+                f"unknown dsm_fast_path {self.dsm_fast_path!r}: expected "
+                f"'wide', 'legacy' or 'off'"
+            )
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1, got {self.parallel_workers}"
+            )
+        cache = self.analysis_cache
+        if not (
+            cache is None
+            or isinstance(cache, (bool, str, os.PathLike))
+            or (hasattr(cache, "edges") and hasattr(cache, "intra"))
+        ):
+            raise ValueError(
+                f"analysis_cache must be a bool, a path or an "
+                f"AnalysisCache, got {cache!r}"
+            )
+
+    # -- CLI spec grammar (one-to-one with the Python fields) --------------
+
+    @classmethod
+    def from_spec(cls, spec: str, **overrides) -> "AnalysisOptions":
+        """Parse ``"engine=parallel,cache=/tmp/lcg.pkl,..."``.
+
+        Keys: ``engine``, ``cache`` (on/off or a file path),
+        ``refutation`` (on/off), ``fast_path`` (wide/legacy/off),
+        ``workers`` (int), ``trace`` (on/off), ``metrics`` (on/off).
+        The long Python field names are accepted as aliases.
+        """
+        kwargs: dict = {}
+        for item in (spec or "").split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad option {item!r}: expected KEY=VALUE"
+                )
+            key = key.strip().replace("-", "_")
+            value = value.strip()
+            if key == "engine":
+                kwargs["engine"] = value
+            elif key in ("cache", "analysis_cache"):
+                low = value.lower()
+                if low in _TRUE:
+                    kwargs["analysis_cache"] = True
+                elif low in _FALSE:
+                    kwargs["analysis_cache"] = False
+                else:
+                    kwargs["analysis_cache"] = value  # a cache file path
+            elif key == "refutation":
+                kwargs["refutation"] = _parse_bool(key, value)
+            elif key in ("fast_path", "dsm_fast_path"):
+                kwargs["dsm_fast_path"] = value
+            elif key in ("workers", "parallel_workers"):
+                kwargs["parallel_workers"] = int(value)
+            elif key == "trace":
+                kwargs["trace"] = _parse_bool(key, value)
+            elif key == "metrics":
+                kwargs["metrics"] = _parse_bool(key, value)
+            else:
+                raise ValueError(
+                    f"unknown option {key!r}; known keys: engine, cache, "
+                    f"refutation, fast_path, workers, trace, metrics"
+                )
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def to_spec(self) -> str:
+        """The inverse of :meth:`from_spec` (explicitly-set keys only)."""
+        short = {
+            "engine": "engine",
+            "analysis_cache": "cache",
+            "refutation": "refutation",
+            "dsm_fast_path": "fast_path",
+            "parallel_workers": "workers",
+            "trace": "trace",
+            "metrics": "metrics",
+        }
+        parts: list = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            if isinstance(value, bool):
+                value = "on" if value else "off"
+            parts.append(f"{short[f.name]}={value}")
+        return ",".join(parts)
+
+    def merged_defaults(self, **defaults) -> "AnalysisOptions":
+        """A copy where ``None`` fields take the given default values."""
+        updates = {
+            name: value
+            for name, value in defaults.items()
+            if getattr(self, name) is None
+        }
+        return replace(self, **updates) if updates else self

@@ -86,17 +86,23 @@ LCG_H_VALUES = (16, 64)
 
 
 def set_optimizations(enabled: bool) -> None:
-    """Flip every performance-layer switch at once (and drop caches)."""
-    from ..dsm.executor import set_fast_path
+    """Flip every performance-layer switch at once (and drop caches).
+
+    Uses the internal default setters rather than the deprecated public
+    shims — the harness intentionally moves process-wide state and
+    should not spray DeprecationWarnings while doing so.
+    """
+    from ..dsm.executor import _set_fast_path_default
     from ..ir.interp import set_vectorized
-    from ..locality.engine import set_analysis_cache
-    from ..symbolic import set_memoization, set_refutation
+    from ..locality.engine import _set_analysis_cache_default
+    from ..symbolic import set_memoization
+    from ..symbolic.refute import _set_refutation_default
 
     set_memoization(enabled)
     set_vectorized(enabled)
-    set_fast_path("wide" if enabled else "legacy")
-    set_refutation(enabled)
-    set_analysis_cache(enabled)
+    _set_fast_path_default("wide" if enabled else "legacy")
+    _set_refutation_default(enabled)
+    _set_analysis_cache_default(enabled)
     clear_caches()
 
 
@@ -221,22 +227,48 @@ def _run_section(sizes: Mapping, H: int, log) -> dict:
 
 
 def _time_lcg_only(name: str, env: Mapping[str, int], H: int) -> dict:
-    """Cold + warm LCG build times for one code at one scale."""
+    """Cold + warm LCG build times for one code at one scale.
+
+    Alongside the timings the record carries the engine's *trajectory*:
+    how the warm build answered (edge-cache hits vs. lookups) and how
+    the prover's queries resolved during the cold build (refuted /
+    passed / declined) — so BENCH_perf.json tracks not just how fast
+    the stage is but *why*.
+    """
     from ..codes import ALL_CODES
     from ..locality import build_lcg
+    from ..locality.engine import get_analysis_cache
+    from ..symbolic import refutation_stats
 
     builder, _, back_edges = ALL_CODES[name]
     clear_caches()
     # Fresh program objects per build (defeating per-object memos), but
     # constructed outside the timers: the stage under test is build_lcg.
     first, second = builder(), builder()
+    refute_before = refutation_stats()
     t0 = time.perf_counter()
     build_lcg(first, env=env, H_value=H, back_edges=back_edges)
     cold = time.perf_counter() - t0
+    refute_after = refutation_stats()
+    stats_cold = dict(get_analysis_cache().stats)
     t0 = time.perf_counter()
     build_lcg(second, env=env, H_value=H, back_edges=back_edges)
     warm = time.perf_counter() - t0
-    return {"lcg": cold, "lcg_warm": warm}
+    stats_warm = dict(get_analysis_cache().stats)
+    hits = stats_warm["edge_hits"] - stats_cold["edge_hits"]
+    misses = stats_warm["edge_misses"] - stats_cold["edge_misses"]
+    lookups = hits + misses
+    return {
+        "lcg": cold,
+        "lcg_warm": warm,
+        "warm_edge_hits": hits,
+        "warm_edge_lookups": lookups,
+        "warm_hit_rate": hits / lookups if lookups else None,
+        "refute_cold": {
+            key: refute_after[key] - refute_before[key]
+            for key in ("refuted", "passed", "declined")
+        },
+    }
 
 
 def _run_lcg_section(log) -> dict:
@@ -247,14 +279,25 @@ def _run_lcg_section(log) -> dict:
         per_code: dict = {}
         for name in sorted(FULL_SIZES):
             per_code[name] = _time_lcg_only(name, FULL_SIZES[name], H)
+        hits = sum(c["warm_edge_hits"] for c in per_code.values())
+        lookups = sum(c["warm_edge_lookups"] for c in per_code.values())
         per_H[str(H)] = {
             "per_code": per_code,
             "total_cold": sum(c["lcg"] for c in per_code.values()),
             "total_warm": sum(c["lcg_warm"] for c in per_code.values()),
+            "warm_hit_rate": hits / lookups if lookups else None,
+            "refute_cold": {
+                key: sum(
+                    c["refute_cold"][key] for c in per_code.values()
+                )
+                for key in ("refuted", "passed", "declined")
+            },
         }
+        rate = per_H[str(H)]["warm_hit_rate"]
         log(
             f"    H={H:<3} lcg cold {per_H[str(H)]['total_cold']:7.3f}s "
-            f"warm {per_H[str(H)]['total_warm']:7.3f}s"
+            f"warm {per_H[str(H)]['total_warm']:7.3f}s "
+            f"hit-rate {'n/a' if rate is None else f'{rate:.0%}'}"
         )
     return {"H_values": list(LCG_H_VALUES), "per_H": per_H}
 
@@ -268,7 +311,7 @@ def run_benchmark(
     off; by default it runs whenever the full section does.
     """
     result = {
-        "schema": 2,
+        "schema": 3,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "stages": list(STAGES),
@@ -317,13 +360,19 @@ def check_regression(
 
 
 def check_lcg_regression(
-    current: dict, committed: dict, max_regression: float
+    current: dict,
+    committed: dict,
+    max_regression: float,
+    min_hit_rate: Optional[float] = None,
 ) -> Optional[str]:
     """Compare the fresh ``lcg_full`` section against the committed file.
 
     Both the cold and warm totals are guarded, per H value: the cold
     total protects the sampled-refutation + engine speedups, the warm
-    total protects the analysis cache specifically.
+    total protects the analysis cache specifically.  With
+    ``min_hit_rate``, the *current run's* warm cache-hit rate is also
+    asserted (when the run recorded one — schema-2 payloads did not), so
+    a cache silently answering nothing can't hide behind a fast host.
     """
     try:
         committed_per_H = committed["lcg_full"]["per_H"]
@@ -347,6 +396,14 @@ def check_lcg_regression(
                     f"{current_totals[key]:.3f}s is {ratio:.2f}x the "
                     f"committed {committed_totals[key]:.3f}s "
                     f"(allowed {max_regression:.2f}x)"
+                )
+        if min_hit_rate is not None:
+            rate = current_totals.get("warm_hit_rate")
+            if rate is not None and rate < min_hit_rate:
+                return (
+                    f"lcg cache regression at H={H}: warm hit rate "
+                    f"{rate:.1%} is below the required "
+                    f"{min_hit_rate:.1%}"
                 )
     return None
 
@@ -378,6 +435,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--max-regression", type=float, default=2.0,
         help="allowed slowdown factor for --check/--check-lcg (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-cache-hit-rate", type=float, default=0.9,
+        help="minimum warm edge-cache hit rate asserted by --check-lcg "
+        "(default 0.9)",
     )
     args = parser.parse_args(argv)
 
@@ -426,16 +488,21 @@ def main(argv=None) -> int:
         )
     if committed_lcg is not None:
         error = check_lcg_regression(
-            result, committed_lcg, args.max_regression
+            result,
+            committed_lcg,
+            args.max_regression,
+            min_hit_rate=args.min_cache_hit_rate,
         )
         if error is not None:
             print(error, file=sys.stderr)
             return 1
         top_H = LCG_H_VALUES[-1]
         totals = result["lcg_full"]["per_H"][str(top_H)]
+        rate = totals.get("warm_hit_rate")
         print(
             f"lcg perf check ok: H={top_H} cold "
-            f"{totals['total_cold']:.3f}s warm {totals['total_warm']:.3f}s",
+            f"{totals['total_cold']:.3f}s warm {totals['total_warm']:.3f}s "
+            f"hit-rate {'n/a' if rate is None else f'{rate:.0%}'}",
             file=sys.stderr,
         )
     return 0

@@ -121,6 +121,14 @@ class Context:
     #: explicit integer lower bounds per symbol name (e.g. N >= 3);
     #: positive implies 1 and nonneg implies 0 unless overridden here.
     minimums: dict = field(default_factory=dict)
+    #: optional repro.obs.Collector carried through every derived
+    #: context (copies, loop contexts, shifted contexts); excluded from
+    #: the fingerprint and from equality — observability must never
+    #: change an answer or a cache key.
+    obs: object = field(default=None, compare=False, repr=False)
+    #: per-context override of the refutation layer (None = process
+    #: default), threaded from AnalysisOptions.refutation.
+    refutation: object = field(default=None, compare=False, repr=False)
 
     # -- construction ----------------------------------------------------
 
@@ -145,6 +153,8 @@ class Context:
         self._fp_cache = None
 
     def copy(self) -> "Context":
+        # getattr: contexts unpickled from pre-observability cache files
+        # may lack the obs/refutation attributes.
         return Context(
             nonneg=set(self.nonneg),
             positive=set(self.positive),
@@ -152,6 +162,8 @@ class Context:
             integer=set(self.integer),
             loops=list(self.loops),
             minimums=dict(self.minimums),
+            obs=getattr(self, "obs", None),
+            refutation=getattr(self, "refutation", None),
         )
 
     def assume_positive(self, *syms) -> "Context":
@@ -239,10 +251,15 @@ class Context:
         if _depth > 32:
             return False
         key = (self._fingerprint(), expr._key())
+        obs = getattr(self, "obs", None)
         cached = _NONNEG_CACHE.get(key)
         if cached is not None:
+            if obs is not None:
+                obs.count("prover.cache_hits")
             return cached
         result = self._is_nonneg_uncached(expr, _depth)
+        if obs is not None and result:
+            obs.count("prover.proved")
         if len(_NONNEG_CACHE) < _NONNEG_CACHE_MAX:
             _NONNEG_CACHE[key] = result
         return result
@@ -255,6 +272,9 @@ class Context:
         # the proof search below, which is where failing queries burn
         # their time.
         if refute_nonneg(self, expr):
+            obs = getattr(self, "obs", None)
+            if obs is not None:
+                obs.count("prover.disproved")
             return False
         # Rewrite power-of-two parameters and retry the cheap test.
         subst = self.pow2_substitution()
@@ -271,7 +291,14 @@ class Context:
             return True
         # Positive-shift: rewrite every positive symbol s (>= 1) as
         # s~ + 1 with s~ >= 0, which settles facts like ``p - 1 >= 0``.
-        return self._positive_shift_nonneg(expr, _depth)
+        result = self._positive_shift_nonneg(expr, _depth)
+        if not result:
+            # The full proof search ran dry without a refutation witness:
+            # the caller must stay conservative.
+            obs = getattr(self, "obs", None)
+            if obs is not None:
+                obs.count("prover.fallback")
+        return result
 
     def is_positive(self, expr: ExprLike) -> bool:
         """Prove ``expr > 0``.

@@ -28,6 +28,7 @@ are reproducible across runs and across processes.
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from typing import Optional
 
@@ -58,12 +59,27 @@ _BANKS_MAX = 4096
 _STATS = {"refuted": 0, "passed": 0, "declined": 0}
 
 
-def set_refutation(enabled: bool) -> bool:
-    """Enable/disable sampled refutation; returns the old setting."""
+def _set_refutation_default(enabled: bool) -> bool:
+    """Move the process default; returns the old setting (no warning)."""
     global _REFUTE_ENABLED
     old = _REFUTE_ENABLED
     _REFUTE_ENABLED = bool(enabled)
     return old
+
+
+def set_refutation(enabled: bool) -> bool:
+    """Deprecated: pass ``AnalysisOptions(refutation=...)`` to ``analyze``.
+
+    Still moves the process-wide default (which an option left at
+    ``None`` inherits); returns the old setting.
+    """
+    warnings.warn(
+        "set_refutation is deprecated; pass "
+        "repro.AnalysisOptions(refutation=...) to analyze() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _set_refutation_default(enabled)
 
 
 def clear_refutation_banks() -> None:
@@ -209,15 +225,25 @@ def refute_nonneg(ctx, expr: Expr) -> bool:
     ``Context.is_nonneg`` may return ``False`` immediately.  ``False``
     — no counterexample found (the query may still be unprovable).
     """
-    if not _REFUTE_ENABLED:
+    enabled = getattr(ctx, "refutation", None)
+    if enabled is None:
+        enabled = _REFUTE_ENABLED
+    if not enabled:
         return False
+    obs = getattr(ctx, "obs", None)
     bank = _bank_for(ctx)
     if bank is None:
         _STATS["declined"] += 1
+        if obs is not None:
+            obs.count("refute.declined")
         return False
     verdict = bank.refutes(expr)
     if verdict is None:
         _STATS["declined"] += 1
+        if obs is not None:
+            obs.count("refute.declined")
         return False
     _STATS["refuted" if verdict else "passed"] += 1
+    if obs is not None:
+        obs.count("refute.refuted" if verdict else "refute.passed")
     return verdict

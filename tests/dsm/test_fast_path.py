@@ -102,13 +102,13 @@ def test_fast_path_modes_switch():
                "B": BlockLayout(size=144, H=4)}
     phase = prog.phase("F_rows")
     wide = _try_fast_stats(phase, env, 4, schedule, layouts)
-    old = ex.set_fast_path("off")
+    old = ex._set_fast_path_default("off")
     try:
         assert _try_fast_stats(phase, env, 4, schedule, layouts) is None
-        ex.set_fast_path("legacy")
+        ex._set_fast_path_default("legacy")
         legacy = _try_fast_stats(phase, env, 4, schedule, layouts)
     finally:
-        ex.set_fast_path(old)
+        ex._set_fast_path_default(old)
     assert legacy is not None and wide is not None
     assert np.array_equal(wide.local, legacy.local)
     assert np.array_equal(wide.remote, legacy.remote)

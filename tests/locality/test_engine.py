@@ -24,7 +24,11 @@ from repro.locality import (
     clear_analysis_cache,
     get_analysis_cache,
 )
-from repro.locality.engine import _resolve_cache, set_analysis_cache, set_engine
+from repro.locality.engine import (
+    _resolve_cache,
+    _set_analysis_cache_default as set_analysis_cache,
+    _set_engine_default as set_engine,
+)
 from repro.symbolic import sym
 
 

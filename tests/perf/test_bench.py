@@ -109,7 +109,7 @@ class TestHarness:
         monkeypatch.setattr(bench, "QUICK_H", 2)
         monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
         payload = run_benchmark(quick_only=True)
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert "full" not in payload
         assert "lcg_full" not in payload
         assert "lcg_warm" in payload["stages"]

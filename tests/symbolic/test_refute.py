@@ -11,11 +11,14 @@ from repro.symbolic import (
     pow2,
     refutation_stats,
     refute_nonneg,
-    set_refutation,
     sym,
     symbols,
 )
-from repro.symbolic.refute import _SampleBank, _bank_for
+from repro.symbolic.refute import (
+    _SampleBank,
+    _bank_for,
+    _set_refutation_default as set_refutation,
+)
 
 n, m, x, P, p, i = symbols("n m x P p i")
 

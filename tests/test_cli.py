@@ -80,3 +80,69 @@ def test_bad_env_entry():
 def test_missing_source():
     with pytest.raises(SystemExit):
         main(["--env", "N=4"])
+
+
+def test_opt_spec_and_metrics_table(capsys):
+    rc = main(
+        ["--code", "jacobi", "--env", "N=256", "--H", "4",
+         "--opt", "engine=serial,refutation=off", "--metrics"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Metrics" in out
+    assert "analysis_cache.edge_lookups" in out
+    assert "dsm.local" in out
+    assert "refute." not in out  # refutation=off reached the prover
+
+
+def test_opt_flag_repeats_and_merges(capsys):
+    rc = main(
+        ["--code", "jacobi", "--env", "N=256", "--H", "4",
+         "--opt", "engine=serial", "--opt", "metrics=on"]
+    )
+    assert rc == 0
+    assert "Metrics" in capsys.readouterr().out
+
+
+def test_bad_opt_spec():
+    with pytest.raises(SystemExit):
+        main(["--code", "jacobi", "--opt", "turbo=on"])
+
+
+def test_trace_writes_json_and_renders_tree(tmp_path, capsys):
+    import json
+
+    from repro.perf.bench import clear_caches
+
+    clear_caches()  # cold edges, so the trace contains computed edge spans
+    out_file = tmp_path / "trace.json"
+    rc = main(
+        ["--code", "jacobi", "--env", "N=256", "--H", "4",
+         "--trace", str(out_file)]
+    )
+    assert rc == 0
+    doc = json.loads(out_file.read_text())
+    assert doc["version"] == 1
+
+    def flatten(nodes):
+        for node in nodes:
+            yield node["name"]
+            yield from flatten(node["children"])
+
+    names = list(flatten(doc["spans"]))
+    assert "parse" in names and "analyze" in names
+    assert any(n.startswith("edge:") for n in names)
+    err = capsys.readouterr().err
+    assert "analyze" in err  # rendered tree goes to stderr
+
+
+def test_deprecated_aliases_still_work(tmp_path, capsys):
+    cache = tmp_path / "lcg.pkl"
+    rc = main(
+        ["--code", "jacobi", "--env", "N=256", "--H", "4",
+         "--parallel-lcg", "--analysis-cache", str(cache)]
+    )
+    assert rc == 0
+    assert cache.exists()
+    err = capsys.readouterr().err
+    assert "deprecated" in err and "--opt" in err

@@ -1,0 +1,305 @@
+"""AnalysisOptions: spec grammar, validation, knob threading, shims."""
+
+import warnings
+
+import pytest
+
+from repro import AnalysisOptions, analyze
+from repro.perf.bench import clear_caches
+
+
+def _small_program():
+    from repro.ir import ProgramBuilder
+
+    bld = ProgramBuilder("opts")
+    N = bld.param("N", minimum=8)
+    A = bld.array("A", N)
+    with bld.phase("F1") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            ph.write(A, i)
+    with bld.phase("F2") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            ph.read(A, i)
+    return bld.build(), {"N": 64}
+
+
+class TestSpecGrammar:
+    def test_from_spec_parses_every_key(self):
+        opts = AnalysisOptions.from_spec(
+            "engine=parallel,cache=/tmp/lcg.pkl,refutation=off,"
+            "fast_path=legacy,workers=4,trace=on,metrics=on"
+        )
+        assert opts.engine == "parallel"
+        assert opts.analysis_cache == "/tmp/lcg.pkl"
+        assert opts.refutation is False
+        assert opts.dsm_fast_path == "legacy"
+        assert opts.parallel_workers == 4
+        assert opts.trace is True and opts.metrics is True
+
+    def test_cache_accepts_on_off(self):
+        assert AnalysisOptions.from_spec("cache=on").analysis_cache is True
+        assert AnalysisOptions.from_spec("cache=off").analysis_cache is False
+
+    def test_long_field_names_are_aliases(self):
+        opts = AnalysisOptions.from_spec(
+            "analysis_cache=off,dsm_fast_path=wide,parallel_workers=2"
+        )
+        assert opts.analysis_cache is False
+        assert opts.dsm_fast_path == "wide"
+        assert opts.parallel_workers == 2
+
+    def test_round_trip(self):
+        for spec in (
+            "",
+            "engine=serial",
+            "engine=parallel,cache=/tmp/c.pkl,workers=3",
+            "refutation=off,fast_path=off,trace=on,metrics=on",
+        ):
+            opts = AnalysisOptions.from_spec(spec)
+            assert AnalysisOptions.from_spec(opts.to_spec()) == opts
+
+    def test_empty_spec_is_all_defaults(self):
+        assert AnalysisOptions.from_spec("") == AnalysisOptions()
+        assert AnalysisOptions().to_spec() == ""
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            AnalysisOptions.from_spec("turbo=on")
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            AnalysisOptions.from_spec("engine")
+
+
+class TestValidation:
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            AnalysisOptions(engine="turbo")
+
+    def test_unknown_fast_path(self):
+        with pytest.raises(ValueError, match="unknown dsm_fast_path"):
+            AnalysisOptions(dsm_fast_path="hyper")
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError, match="parallel_workers"):
+            AnalysisOptions(parallel_workers=0)
+
+    def test_bad_cache_object(self):
+        with pytest.raises(ValueError, match="analysis_cache"):
+            AnalysisOptions(analysis_cache=3.14)
+
+    def test_cache_instance_accepted(self):
+        from repro.locality.engine import AnalysisCache
+
+        cache = AnalysisCache()
+        assert AnalysisOptions(analysis_cache=cache).analysis_cache is cache
+
+    def test_merged_defaults_fills_none_only(self):
+        opts = AnalysisOptions(engine="serial")
+        merged = opts.merged_defaults(engine="parallel", refutation=True)
+        assert merged.engine == "serial"  # explicit value wins
+        assert merged.refutation is True
+
+
+class TestKnobThreading:
+    """Each option observably reaches its subsystem, per-call."""
+
+    def test_fast_path_off_forces_interpretation(self):
+        program, env = _small_program()
+        clear_caches()
+        result = analyze(
+            program,
+            env=env,
+            H=4,
+            options=AnalysisOptions(dsm_fast_path="off", metrics=True),
+        )
+        c = result.metrics["counters"]
+        assert c.get("dsm.fast_path.interp", 0) > 0
+        assert c.get("dsm.fast_path.wide", 0) == 0
+
+    def test_fast_path_wide_avoids_interpretation(self):
+        program, env = _small_program()
+        clear_caches()
+        result = analyze(
+            program,
+            env=env,
+            H=4,
+            options=AnalysisOptions(dsm_fast_path="wide", metrics=True),
+        )
+        c = result.metrics["counters"]
+        assert c.get("dsm.fast_path.wide", 0) > 0
+        assert c.get("dsm.fast_path.interp", 0) == 0
+
+    def test_refutation_off_records_no_refute_counters(self):
+        from repro.codes import ALL_CODES
+
+        builder, env, back = ALL_CODES["tfft2"]
+        clear_caches()
+        result = analyze(
+            builder(),
+            env=env,
+            H=4,
+            back_edges=back,
+            options=AnalysisOptions(refutation=False, metrics=True),
+        )
+        c = result.metrics["counters"]
+        assert not any(k.startswith("refute.") for k in c)
+        assert c.get("prover.disproved", 0) == 0
+
+    def test_refutation_override_does_not_leak(self):
+        from repro.codes import ALL_CODES
+
+        builder, env, back = ALL_CODES["tfft2"]
+        clear_caches()
+        analyze(
+            builder(),
+            env=env,
+            H=4,
+            back_edges=back,
+            options=AnalysisOptions(refutation=False),
+        )
+        clear_caches()
+        result = analyze(
+            builder(),
+            env=env,
+            H=4,
+            back_edges=back,
+            options=AnalysisOptions(metrics=True),
+        )
+        # the process default (refutation on) is back in force
+        assert result.metrics["counters"].get("refute.refuted", 0) > 0
+
+    def test_cache_path_round_trips(self, tmp_path):
+        from repro.codes import ALL_CODES
+        from repro.locality.engine import AnalysisCache
+
+        builder, env, back = ALL_CODES["tfft2"]
+        path = tmp_path / "lcg.pkl"
+        clear_caches()
+        analyze(
+            builder(),
+            env=env,
+            H=4,
+            back_edges=back,
+            options=AnalysisOptions(analysis_cache=str(path)),
+        )
+        assert path.exists()
+        clear_caches()
+        result = analyze(
+            builder(),
+            env=env,
+            H=4,
+            back_edges=back,
+            options=AnalysisOptions(analysis_cache=str(path), metrics=True),
+        )
+        c = result.metrics["counters"]
+        assert c.get("analysis_cache.edge_hits", 0) > 0
+        assert c.get("analysis_cache.edge_misses", 0) == 0
+
+    def test_options_accepts_spec_string(self):
+        program, env = _small_program()
+        clear_caches()
+        result = analyze(
+            program, env=env, H=4, options="engine=serial,metrics=on"
+        )
+        assert result.metrics is not None
+
+    def test_parallel_workers_cap(self):
+        from repro.codes import ALL_CODES
+
+        builder, env, back = ALL_CODES["tfft2"]
+        clear_caches()
+        result = analyze(
+            builder(),
+            env=env,
+            H=4,
+            back_edges=back,
+            options=AnalysisOptions(
+                engine="parallel", parallel_workers=2, metrics=True
+            ),
+        )
+        assert (
+            result.metrics["counters"].get("engine.parallel_batches", 0) == 1
+        )
+
+
+class TestDeprecatedShims:
+    def test_set_engine_warns_but_works(self):
+        from repro.locality.engine import _ENGINE_MODE, set_engine
+
+        with pytest.deprecated_call():
+            old = set_engine("parallel")
+        try:
+            from repro.locality import engine
+
+            assert engine._ENGINE_MODE == "parallel"
+        finally:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                set_engine(old)
+
+    def test_set_engine_still_validates(self):
+        from repro.locality.engine import set_engine
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="unknown engine"):
+                set_engine("turbo")
+
+    def test_set_analysis_cache_warns_but_works(self):
+        from repro.locality.engine import set_analysis_cache
+
+        with pytest.deprecated_call():
+            old = set_analysis_cache(False)
+        try:
+            from repro.locality import engine
+
+            assert engine._CACHE_ENABLED is False
+        finally:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                set_analysis_cache(old)
+
+    def test_set_refutation_warns_but_works(self):
+        from repro.symbolic import set_refutation
+
+        with pytest.deprecated_call():
+            old = set_refutation(False)
+        try:
+            from repro.symbolic import refute
+
+            assert refute._REFUTE_ENABLED is False
+        finally:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                set_refutation(old)
+
+    def test_set_fast_path_warns_but_works(self):
+        from repro.dsm import set_fast_path
+
+        with pytest.deprecated_call():
+            old = set_fast_path("legacy")
+        try:
+            from repro.dsm import executor
+
+            assert executor._FAST_MODE == "legacy"
+        finally:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                set_fast_path(old)
+
+    def test_option_none_inherits_moved_default(self):
+        """An option left at None follows what the shim set."""
+        from repro.dsm.executor import _set_fast_path_default
+
+        program, env = _small_program()
+        old = _set_fast_path_default("off")
+        try:
+            clear_caches()
+            result = analyze(
+                program, env=env, H=4, options=AnalysisOptions(metrics=True)
+            )
+            c = result.metrics["counters"]
+            assert c.get("dsm.fast_path.interp", 0) > 0
+        finally:
+            _set_fast_path_default(old)
