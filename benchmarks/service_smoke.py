@@ -1,0 +1,131 @@
+"""Service smoke: boot the server, hammer it, check the dedup machinery.
+
+Boots an in-process :mod:`repro.service` server, fires ~50 concurrent
+requests over a deliberately duplicate-heavy mix of bundled codes, and
+asserts the acceptance bar from the serving milestone:
+
+* every request gets a 2xx response,
+* at least one response was deduplicated (single-flight coalesce or
+  result-LRU hit) — duplicates must not all recompute,
+* every response is byte-identical to its serial in-process twin,
+* draining persists the warm analysis cache snapshot.
+
+Run as a script (CI does): exits nonzero on any violation.
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+from repro import analyze
+from repro.codes import ALL_CODES
+from repro.service import ServiceClient, ServiceConfig, serve_in_thread
+from repro.service.protocol import dumps_canonical, response_document
+
+REQUESTS = 50
+CODES = ["jacobi", "adi", "tfft2"]  # duplicates by construction
+H_VALUES = [4, 8]
+
+
+def expected_bodies():
+    """Serial in-process answers, keyed by (code, H)."""
+    expected = {}
+    for code in CODES:
+        builder, env, back = ALL_CODES[code]
+        for H in H_VALUES:
+            result = analyze(builder(), env=env, H=H, back_edges=back)
+            expected[(code, H)] = dumps_canonical(
+                response_document(result, env, H)
+            )
+    return expected
+
+
+def main() -> int:
+    snapshot = Path(tempfile.mkdtemp(prefix="repro-smoke-")) / "cache.pkl"
+    config = ServiceConfig(
+        port=0,
+        workers=4,
+        queue_limit=64,  # admit the whole burst; smoke tests dedup, not 429s
+        snapshot_path=str(snapshot),
+        snapshot_every=10,
+    )
+    server, thread = serve_in_thread(config)
+    port = server.server_address[1]
+    print(f"server on 127.0.0.1:{port}, {REQUESTS} concurrent requests")
+
+    mix = [
+        (CODES[i % len(CODES)], H_VALUES[i % len(H_VALUES)])
+        for i in range(REQUESTS)
+    ]
+    outcomes = [None] * REQUESTS
+
+    def fire(slot, code, H):
+        client = ServiceClient(port=port, retries=6, backoff=0.1)
+        try:
+            outcomes[slot] = ("ok", code, H, client.analyze(code=code, H=H))
+        except Exception as exc:  # recorded, judged after the join
+            outcomes[slot] = ("error", code, H, exc)
+
+    threads = [
+        threading.Thread(target=fire, args=(slot, code, H))
+        for slot, (code, H) in enumerate(mix)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(300)
+
+    client = ServiceClient(port=port)
+    metrics = client.metrics()
+    server.drain()
+    thread.join(30)
+
+    failures = []
+    errors = [o for o in outcomes if o is None or o[0] == "error"]
+    if errors:
+        failures.append(f"{len(errors)} requests failed: {errors[:3]}")
+
+    expected = expected_bodies()
+    mismatched = sum(
+        1
+        for kind, code, H, doc in outcomes
+        if kind == "ok" and dumps_canonical(doc) != expected[(code, H)]
+    )
+    if mismatched:
+        failures.append(
+            f"{mismatched} responses differ from serial analyze()"
+        )
+
+    coalesced = metrics["coalesce"]["coalesced_hits"]
+    lru_hits = metrics["result_cache"]["hits"]
+    print(
+        f"coalesced={coalesced} result_cache_hits={lru_hits} "
+        f"latency_p50_ms={metrics['latency']['p50_ms']} "
+        f"latency_p95_ms={metrics['latency']['p95_ms']}"
+    )
+    if coalesced + lru_hits < 1:
+        failures.append(
+            "duplicate-heavy burst produced no coalesced or cached hits"
+        )
+
+    ok_count = sum(1 for o in outcomes if o and o[0] == "ok")
+    responses_2xx = metrics["responses"].get("200", 0)
+    print(f"ok={ok_count}/{REQUESTS} (server counted {responses_2xx} 200s)")
+
+    if not snapshot.exists():
+        failures.append(f"drain did not write the cache snapshot {snapshot}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,12 @@ Quickstart::
     print(result.report.summary())
     print(result.trace.render())      # flame-style span tree
     print(result.metrics["counters"]) # cache/prover/engine counters
+
+Long-lived serving (coalescing, shared warm cache, backpressure) lives
+in :mod:`repro.service`::
+
+    python -m repro serve --port 8377 --snapshot lcg.pkl
+    python -m repro query --code tfft2 --H 8 --port 8377
 """
 
 from dataclasses import dataclass, replace
@@ -28,7 +34,7 @@ from .ir import Program
 from .obs import Collector
 from .options import AnalysisOptions
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 @dataclass

@@ -8,7 +8,10 @@ Usage::
     python -m repro --code tfft2 --H 64 --profile # cProfile the pipeline
     python -m repro --code tfft2 --H 64 --opt engine=parallel,cache=lcg.pkl
     python -m repro --code tfft2 --H 64 --trace t.json --metrics
+    python -m repro --code tfft2 --H 8 --json     # protocol document
     python -m repro bench-perf --out BENCH_perf.json   # perf harness
+    python -m repro serve --port 8377             # analysis service
+    python -m repro query --code adi --H 4 --port 8377
 
 Engine knobs travel through ``--opt KEY=VALUE,...`` — the exact grammar
 of :meth:`repro.AnalysisOptions.from_spec`, so the CLI surface is
@@ -72,6 +75,14 @@ def main(argv=None) -> int:
         from .perf import main as bench_main
 
         return bench_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        from .service.server import main_serve
+
+        return main_serve(list(argv[1:]))
+    if argv and argv[0] == "query":
+        from .service.client import main_query
+
+        return main_query(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -133,6 +144,13 @@ def main(argv=None) -> int:
         "--metrics",
         action="store_true",
         help="record pipeline counters and print them after the run",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the analysis as the service-protocol response "
+        "document (the same serializer `python -m repro serve` uses) "
+        "instead of the human-readable report",
     )
     parser.add_argument(
         "--parallel-lcg",
@@ -229,6 +247,15 @@ def main(argv=None) -> int:
         from .viz import lcg_to_dot
 
         print(lcg_to_dot(result.lcg, args.dot))
+        return 0
+
+    if args.json:
+        import json
+
+        from .service.protocol import response_document
+
+        doc = response_document(result, env, args.H)
+        print(json.dumps(doc, indent=2, sort_keys=True))
         return 0
 
     print(f"program: {program.name}   env: {env}   H: {args.H}")

@@ -29,6 +29,7 @@ __all__ = [
     "access_fingerprint",
     "edge_fingerprint",
     "phase_array_fingerprint",
+    "program_fingerprint",
 ]
 
 
@@ -91,3 +92,27 @@ def edge_fingerprint(
         tuple(sorted((k, int(v)) for k, v in (env or {}).items())),
         H_value,
     )
+
+
+def program_fingerprint(program, ctx=None) -> tuple:
+    """Fingerprint of one whole program as the analysis pipeline sees it.
+
+    The per-(phase, array) structural fingerprints carry the mathematics;
+    the phase/array *names* are added back on top because whole-program
+    consumers (the serving layer's single-flight deduplication, keyed on
+    this) return documents that quote the names — two requests may only
+    share a result when they would print identically, not merely when
+    they are isomorphic.
+    """
+    ctx = ctx if ctx is not None else program.context
+    parts = []
+    for phase in program.phases:
+        for array in sorted(phase.arrays(), key=lambda a: a.name):
+            parts.append(
+                (
+                    phase.name,
+                    array.name,
+                    phase_array_fingerprint(phase, array, ctx),
+                )
+            )
+    return ("prog1", program.name, tuple(parts))

@@ -23,6 +23,7 @@ Both levers are toggleable in the style of ``set_fast_path``:
 from __future__ import annotations
 
 import pickle
+import threading
 import warnings
 from dataclasses import replace
 from typing import Mapping, Optional, Sequence
@@ -110,6 +111,13 @@ class AnalysisCache:
     can only ever be *unreachable*, never wrong.  Entries are immutable
     analysis records shared by reference; consumers treat them as
     read-only (they do).
+
+    The cache is thread-safe: one re-entrant lock guards every lookup,
+    insert, stat bump and snapshot save, and the ``lookup_*`` methods
+    bump their ``*_lookups`` and ``*_hits``/``*_misses`` stats in the
+    same critical section, so ``hits + misses == lookups`` holds exactly
+    under any interleaving (the serving layer hammers one shared warm
+    cache from a whole worker pool).
     """
 
     SCHEMA = 1
@@ -118,30 +126,95 @@ class AnalysisCache:
         self.intra: dict = {}
         self.edges: dict = {}
         self.stats = {
+            "intra_lookups": 0,
             "intra_hits": 0,
             "intra_misses": 0,
+            "edge_lookups": 0,
             "edge_hits": 0,
             "edge_misses": 0,
             "edge_relabels": 0,
         }
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks don't pickle; restored on load
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def clear(self) -> None:
-        self.intra.clear()
-        self.edges.clear()
-        for key in self.stats:
-            self.stats[key] = 0
+        with self._lock:
+            self.intra.clear()
+            self.edges.clear()
+            for key in self.stats:
+                self.stats[key] = 0
+
+    # -- locked primitive operations -------------------------------------
+
+    def lookup_intra(self, fp):
+        """Atomic Theorem-1 lookup: bumps lookups and hits *or* misses."""
+        with self._lock:
+            self.stats["intra_lookups"] += 1
+            hit = self.intra.get(fp)
+            if hit is not None:
+                self.stats["intra_hits"] += 1
+            else:
+                self.stats["intra_misses"] += 1
+            return hit
+
+    def store_intra(self, fp, result) -> None:
+        with self._lock:
+            self.intra.setdefault(fp, result)
+
+    def lookup_edge(self, fp):
+        """Atomic edge lookup: bumps lookups and hits *or* misses."""
+        with self._lock:
+            self.stats["edge_lookups"] += 1
+            hit = self.edges.get(fp)
+            if hit is not None:
+                self.stats["edge_hits"] += 1
+            else:
+                self.stats["edge_misses"] += 1
+            return hit
+
+    def store_edge(self, fp, analysis) -> None:
+        with self._lock:
+            self.edges[fp] = analysis
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.stats[name] = self.stats.get(name, 0) + n
+
+    def snapshot_stats(self) -> dict:
+        """A consistent copy of stats plus entry counts and hit rates."""
+        with self._lock:
+            stats = dict(self.stats)
+            entries = {"intra": len(self.intra), "edges": len(self.edges)}
+        out = {"entries": entries, "stats": stats}
+        for kind in ("intra", "edge"):
+            lookups = stats[f"{kind}_lookups"]
+            out[f"{kind}_hit_rate"] = (
+                stats[f"{kind}_hits"] / lookups if lookups else None
+            )
+        return out
 
     # -- persistence -----------------------------------------------------
 
     def save(self, path) -> None:
         """Pickle the cache for a warm start of a later process."""
-        payload = {
-            "schema": self.SCHEMA,
-            "intra": self.intra,
-            "edges": self.edges,
-        }
+        with self._lock:
+            payload = pickle.dumps(
+                {
+                    "schema": self.SCHEMA,
+                    "intra": self.intra,
+                    "edges": self.edges,
+                }
+            )
         with open(path, "wb") as fh:
-            pickle.dump(payload, fh)
+            fh.write(payload)
 
     @classmethod
     def load(cls, path) -> "AnalysisCache":
@@ -274,13 +347,11 @@ def intra_cache_lookup(phase, array, ctx):
     fp = phase_array_fingerprint(phase, array, ctx)
     if obs is not None:
         obs.count("analysis_cache.intra_lookups")
-    hit = cache.intra.get(fp)
+    hit = cache.lookup_intra(fp)
     if hit is not None:
-        cache.stats["intra_hits"] += 1
         if obs is not None:
             obs.count("analysis_cache.intra_hits")
         return fp, _relabel_intra(hit, phase.name, array)
-    cache.stats["intra_misses"] += 1
     if obs is not None:
         obs.count("analysis_cache.intra_misses")
     return fp, None
@@ -289,7 +360,7 @@ def intra_cache_lookup(phase, array, ctx):
 def intra_cache_store(fp, result: IntraPhaseResult) -> None:
     cache = _resolve_cache(None)
     if cache is not None and fp is not None:
-        cache.intra[fp] = result
+        cache.store_intra(fp, result)
 
 
 # ---------------------------------------------------------------------------
@@ -308,7 +379,7 @@ def _seed_intra(cache: AnalysisCache, item, analysis: EdgeAnalysis, ctx) -> None
     for phase, result in ((phase_k, analysis.intra_k), (phase_g, analysis.intra_g)):
         if result is not None:
             fp = phase_array_fingerprint(phase, array, ctx)
-            cache.intra.setdefault(fp, result)
+            cache.store_intra(fp, result)
 
 
 def _edge_worker(task):
@@ -388,19 +459,17 @@ def analyze_edges(
         fps[i] = fp
         if obs is not None:
             obs.count("analysis_cache.edge_lookups")
-        hit = cache.edges.get(fp)
+        hit = cache.lookup_edge(fp)
         if hit is not None:
-            cache.stats["edge_hits"] += 1
             if obs is not None:
                 obs.count("analysis_cache.edge_hits")
             relabelled = _relabel_edge(hit, phase_k.name, phase_g.name, array)
             if relabelled is not hit:
-                cache.stats["edge_relabels"] += 1
+                cache.bump("edge_relabels")
                 if obs is not None:
                     obs.count("analysis_cache.edge_relabels")
             results[i] = relabelled
             continue
-        cache.stats["edge_misses"] += 1
         if obs is not None:
             obs.count("analysis_cache.edge_misses")
         leader = leaders.get(fp)
@@ -440,7 +509,7 @@ def analyze_edges(
             obs.count("engine.computed")
         results[i] = analysis
         if cache is not None and fps[i] is not None:
-            cache.edges[fps[i]] = analysis
+            cache.store_edge(fps[i], analysis)
             _seed_intra(cache, items[i], analysis, ctx)
     for i, leader in followers.items():
         phase_k, phase_g, array = items[i]
@@ -448,7 +517,7 @@ def analyze_edges(
             results[leader], phase_k.name, phase_g.name, array
         )
         if relabelled is not results[leader] and cache is not None:
-            cache.stats["edge_relabels"] += 1
+            cache.bump("edge_relabels")
             if obs is not None:
                 obs.count("analysis_cache.edge_relabels")
         results[i] = relabelled

@@ -7,5 +7,6 @@ cycles.
 """
 
 from .core import Collector, Span, obs_span
+from .stats import Reservoir
 
-__all__ = ["Collector", "Span", "obs_span"]
+__all__ = ["Collector", "Reservoir", "Span", "obs_span"]

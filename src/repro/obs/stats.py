@@ -1,0 +1,79 @@
+"""Bounded latency reservoirs with percentile summaries.
+
+The serving layer reports p50/p95 request latency on ``/metrics``.  A
+full histogram is overkill for a stdlib-only server, so this module
+keeps a thread-safe ring buffer of the most recent observations and
+computes nearest-rank percentiles over a sorted snapshot on demand.
+Like the rest of :mod:`repro.obs`, it imports nothing from the rest of
+:mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["Reservoir"]
+
+
+class Reservoir:
+    """Thread-safe ring buffer of the last ``capacity`` observations."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._values: deque = deque(maxlen=capacity)
+        self._count = 0  # lifetime observations, beyond the window
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+            self._count += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    @property
+    def count(self) -> int:
+        """Lifetime observation count (the window only keeps the tail)."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return None
+        rank = max(1, -(-len(values) * q // 100))  # ceil without floats
+        return values[int(rank) - 1]
+
+    def summary(self) -> dict:
+        """``{count, window, p50, p95, max}`` in one consistent snapshot."""
+        with self._lock:
+            values = sorted(self._values)
+            count = self._count
+        if not values:
+            return {
+                "count": count,
+                "window": 0,
+                "p50": None,
+                "p95": None,
+                "max": None,
+            }
+
+        def rank(q: float) -> float:
+            r = max(1, -(-len(values) * q // 100))
+            return values[int(r) - 1]
+
+        return {
+            "count": count,
+            "window": len(values),
+            "p50": rank(50),
+            "p95": rank(95),
+            "max": values[-1],
+        }

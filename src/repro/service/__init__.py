@@ -1,0 +1,47 @@
+"""``repro.service`` — the concurrent locality-analysis server.
+
+The full paper pipeline (ARDs → PDs/IDs → LCG → ILP distribution → DSM
+execution) behind a long-lived, stdlib-only HTTP service with request
+coalescing, a shared warm analysis cache and explicit backpressure:
+
+* :mod:`.protocol` — the versioned JSON request/response schema and the
+  canonical serializer shared with the CLI's ``--json`` mode,
+* :mod:`.server` — ``python -m repro serve``: bounded admission, a
+  thread worker pool, per-request timeouts, 429 on overload, graceful
+  SIGTERM drain,
+* :mod:`.coalesce` — single-flight dedup + a result LRU,
+* :mod:`.state` — the shared warm :class:`AnalysisCache` and its
+  periodic disk snapshots, plus server-wide metrics,
+* :mod:`.client` — ``python -m repro query``: a blocking client with
+  retry and exponential backoff.
+"""
+
+from .client import ServiceClient, ServiceError, ServiceUnavailable
+from .coalesce import ResultLRU, SingleFlight
+from .protocol import (
+    PROTOCOL_VERSION,
+    AnalyzeRequest,
+    ProtocolError,
+    dumps_canonical,
+    response_document,
+)
+from .server import AnalysisServer, ServiceConfig, serve_in_thread
+from .state import ServerMetrics, SharedState
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AnalysisServer",
+    "AnalyzeRequest",
+    "ProtocolError",
+    "ResultLRU",
+    "ServerMetrics",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceUnavailable",
+    "SharedState",
+    "SingleFlight",
+    "dumps_canonical",
+    "response_document",
+    "serve_in_thread",
+]

@@ -1,0 +1,254 @@
+"""Blocking HTTP client for the analysis service: ``python -m repro query``.
+
+Stdlib only (:mod:`http.client`).  The client opens one connection per
+request (each call is therefore thread-safe and drain-friendly) and
+retries transient failures — connection refusals/resets, **429**
+backpressure and **503** drain responses — with capped exponential
+backoff, honouring a ``Retry-After`` header when the server sends one.
+Protocol-level failures (4xx other than 429) raise immediately: a
+malformed request never gets better by retrying.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import time
+from typing import Callable, Mapping, Optional
+
+from .protocol import PROTOCOL_VERSION, AnalyzeRequest
+
+__all__ = ["ServiceError", "ServiceUnavailable", "ServiceClient", "main_query"]
+
+#: Statuses worth retrying: backpressure and drain are explicitly
+#: temporary; everything else reflects the request or a server bug.
+RETRYABLE_STATUSES = (429, 503)
+
+
+class ServiceError(Exception):
+    """A definitive (non-retryable) error response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceUnavailable(ServiceError):
+    """Every retry exhausted against a busy/draining/unreachable server."""
+
+
+class ServiceClient:
+    """Blocking client with retry + capped exponential backoff.
+
+    ``retries`` counts *additional* attempts after the first; backoff
+    sleeps ``backoff * 2**attempt`` seconds, capped at ``backoff_cap``.
+    A ``Retry-After`` header, when the server sends one, is used instead
+    of the computed delay (still capped).  ``sleep`` is injectable for
+    tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8377,
+        timeout: float = 180.0,
+        retries: int = 4,
+        backoff: float = 0.25,
+        backoff_cap: float = 4.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+
+    # -- transport ------------------------------------------------------
+
+    def _send_once(self, method: str, path: str,
+                   body: Optional[bytes]) -> tuple:
+        """One HTTP exchange: ``(status, parsed JSON, headers)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            try:
+                doc = json.loads(payload) if payload else None
+            except json.JSONDecodeError:
+                doc = {"error": payload.decode("utf-8", "replace")}
+            return response.status, doc, dict(response.getheaders())
+        finally:
+            conn.close()
+
+    def _delay(self, attempt: int, headers: Mapping[str, str]) -> float:
+        retry_after = headers.get("Retry-After")
+        if retry_after is not None:
+            try:
+                return min(float(retry_after), self.backoff_cap)
+            except ValueError:
+                pass
+        return min(self.backoff * (2 ** attempt), self.backoff_cap)
+
+    def request(self, method: str, path: str,
+                doc: Optional[dict] = None) -> dict:
+        """Send with retries; return the parsed 2xx body."""
+        body = (
+            json.dumps(doc).encode("utf-8") if doc is not None else None
+        )
+        last_error: Optional[str] = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, payload, headers = self._send_once(
+                    method, path, body
+                )
+            except (ConnectionError, OSError) as exc:
+                last_error = f"connection failed: {exc}"
+                if attempt < self.retries:
+                    self._sleep(self._delay(attempt, {}))
+                continue
+            if 200 <= status < 300:
+                return payload
+            message = (
+                payload.get("error", "") if isinstance(payload, dict) else ""
+            ) or http.client.responses.get(status, "error")
+            if status in RETRYABLE_STATUSES:
+                last_error = f"HTTP {status}: {message}"
+                if attempt < self.retries:
+                    self._sleep(self._delay(attempt, headers))
+                continue
+            raise ServiceError(status, message)
+        raise ServiceUnavailable(
+            0, last_error or "retries exhausted"
+        )
+
+    # -- API ------------------------------------------------------------
+
+    def analyze(
+        self,
+        code: Optional[str] = None,
+        source: Optional[str] = None,
+        env: Optional[Mapping[str, int]] = None,
+        H: int = 4,
+        options: str = "",
+        execute: bool = True,
+        back_edges: Optional[list] = None,
+    ) -> dict:
+        """Run one analysis on the server; returns the response document."""
+        request = AnalyzeRequest(
+            code=code,
+            source=source,
+            env=tuple(sorted((env or {}).items())),
+            H=H,
+            options_spec=options,
+            execute=execute,
+            back_edges=(
+                tuple((u, v) for u, v in back_edges)
+                if back_edges is not None
+                else None
+            ),
+        )
+        return self.request("POST", "/analyze", request.to_json())
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def cache_stats(self) -> dict:
+        return self.request("GET", "/cache/stats")
+
+
+def main_query(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description=(
+            "Submit one analysis to a running repro service and print "
+            "the JSON response document."
+        ),
+    )
+    parser.add_argument("source", nargs="?", help="mini-Fortran source file")
+    parser.add_argument(
+        "--code", help="analyse a bundled suite code instead of a file"
+    )
+    parser.add_argument(
+        "--env", default="", help="parameter binding, e.g. P=16,p=4"
+    )
+    parser.add_argument("--H", type=int, default=4, help="processor count")
+    parser.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE,...",
+        help="engine options spec (the --opt grammar of the one-shot CLI)",
+    )
+    parser.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="skip the DSM simulation (analysis only)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8377)
+    parser.add_argument("--timeout", type=float, default=180.0)
+    parser.add_argument(
+        "--retries", type=int, default=4,
+        help="additional attempts on 429/503/connection failure",
+    )
+    parser.add_argument(
+        "--endpoint",
+        choices=["analyze", "healthz", "metrics", "cache-stats"],
+        default="analyze",
+        help="what to ask the server (default: run an analysis)",
+    )
+    args = parser.parse_args(argv)
+
+    client = ServiceClient(
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    try:
+        if args.endpoint == "healthz":
+            doc = client.health()
+        elif args.endpoint == "metrics":
+            doc = client.metrics()
+        elif args.endpoint == "cache-stats":
+            doc = client.cache_stats()
+        else:
+            from ..cli import _parse_env
+
+            source = None
+            if args.source:
+                with open(args.source) as handle:
+                    source = handle.read()
+            if (source is None) == (args.code is None):
+                raise SystemExit(
+                    "provide a source file or --code NAME (exactly one)"
+                )
+            doc = client.analyze(
+                code=args.code,
+                source=source,
+                env=_parse_env(args.env),
+                H=args.H,
+                options=",".join(args.opt),
+                execute=not args.no_execute,
+            )
+    except ServiceError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    try:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+    except BrokenPipeError:  # e.g. `repro query ... | head`
+        sys.stderr.close()  # suppress the interpreter's EPIPE warning
+    return 0

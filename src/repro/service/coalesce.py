@@ -1,0 +1,141 @@
+"""Request coalescing: single-flight dedup + an LRU of recent results.
+
+Locality analysis is expensive and highly reusable — the same bundled
+codes (and the same kernel families) are analysed over and over — so
+the server never runs two identical analyses at once and never re-runs
+one it just finished:
+
+* :class:`SingleFlight` — the first request for a key becomes the
+  *leader* and computes; concurrent requests for the same key become
+  *followers* and block until the leader publishes, then share the very
+  same result object (or re-raise the leader's exception).  This is the
+  classic single-flight shape (Go's ``singleflight``, groupcache).
+* :class:`ResultLRU` — a bounded, thread-safe map of recently finished
+  response documents, consulted before single-flight, so duplicate
+  requests that *don't* overlap in time are also answered without
+  re-analysis.
+
+Both are generic over hashable keys; the server keys them on the
+structural :func:`~repro.service.protocol.request_key`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = ["SingleFlight", "ResultLRU"]
+
+
+class _Flight:
+    """One in-flight computation: an event plus its outcome slot."""
+
+    __slots__ = ("done", "value", "error", "followers")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.value = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+class SingleFlight:
+    """Deduplicate concurrent calls with the same key onto one worker."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict = {}
+        self.coalesced = 0  # lifetime follower count
+        self.led = 0  # lifetime leader count
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def do(self, key, fn: Callable[[], object]):
+        """Run ``fn`` once per concurrent key; return ``(value, leader)``.
+
+        ``leader`` is True for the call that actually computed.  The
+        leader's exception propagates to every caller of the flight.
+        The flight is removed before the leader publishes, so a *later*
+        identical request starts a fresh computation rather than reading
+        a completed flight (the result LRU is the layer that serves
+        those).
+        """
+        leader = False
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.followers += 1
+                self.coalesced += 1
+            else:
+                flight = _Flight()
+                self._flights[key] = flight
+                self.led += 1
+                leader = True
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.value, True
+
+
+class ResultLRU:
+    """Thread-safe bounded LRU of finished response documents."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._items: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def get(self, key):
+        with self._lock:
+            if key in self._items:
+                self._items.move_to_end(key)
+                self.hits += 1
+                return self._items[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._items:
+                self._items.move_to_end(key)
+            self._items[key] = value
+            while len(self._items) > self.capacity:
+                self._items.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._items),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else None,
+            }

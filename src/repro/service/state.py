@@ -1,0 +1,137 @@
+"""Shared server state: the warm analysis cache and aggregated metrics.
+
+Every request that reaches a worker runs against **one**
+:class:`~repro.locality.engine.AnalysisCache` instance (thread-safe
+since this PR), so the fingerprint memo warms monotonically across
+requests and clients: the first TFFT2 analysis pays for every later
+one, whichever thread serves it.  The cache is periodically pickled to
+disk with the same payload format the ``--opt cache=FILE`` CLI path
+uses, so a restarted server (or a plain CLI run) warm-starts from the
+serving cache and vice versa.
+
+:class:`ServerMetrics` aggregates per-request
+:class:`repro.obs.Collector` counter snapshots and request latencies
+under one lock; the ``/metrics`` endpoint serves its snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..locality.engine import AnalysisCache
+from ..obs import Reservoir
+
+__all__ = ["SharedState", "ServerMetrics"]
+
+
+class SharedState:
+    """The warm :class:`AnalysisCache` plus its snapshot policy.
+
+    ``snapshot_path=None`` disables persistence.  Otherwise the cache is
+    loaded from the path at startup (missing/unreadable files load
+    empty, exactly like ``AnalysisCache.load``) and saved back every
+    ``snapshot_every`` completed analyses and on :meth:`close` — the
+    graceful-drain path calls ``close`` after the last in-flight request
+    finishes, so no warm entries are lost to a SIGTERM.
+    """
+
+    def __init__(
+        self,
+        snapshot_path: Optional[str] = None,
+        snapshot_every: int = 16,
+        cache: Optional[AnalysisCache] = None,
+    ):
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.snapshot_path = snapshot_path
+        self.snapshot_every = snapshot_every
+        if cache is not None:
+            self.cache = cache
+        elif snapshot_path is not None:
+            self.cache = AnalysisCache.load(snapshot_path)
+        else:
+            self.cache = AnalysisCache()
+        self._lock = threading.Lock()
+        self._completed_since_snapshot = 0
+        self.snapshots_written = 0
+
+    def note_completed(self) -> None:
+        """Record one finished analysis; snapshot when the period elapses."""
+        if self.snapshot_path is None:
+            return
+        with self._lock:
+            self._completed_since_snapshot += 1
+            due = self._completed_since_snapshot >= self.snapshot_every
+            if due:
+                self._completed_since_snapshot = 0
+        if due:
+            self.save_snapshot()
+
+    def save_snapshot(self) -> bool:
+        """Write the cache pickle now; False when persistence is off."""
+        if self.snapshot_path is None:
+            return False
+        self.cache.save(self.snapshot_path)
+        with self._lock:
+            self.snapshots_written += 1
+        return True
+
+    def close(self) -> None:
+        """Final snapshot (the drain path's last act)."""
+        self.save_snapshot()
+
+    def stats(self) -> dict:
+        doc = self.cache.snapshot_stats()
+        with self._lock:
+            doc["snapshots_written"] = self.snapshots_written
+        doc["snapshot_path"] = self.snapshot_path
+        doc["snapshot_every"] = self.snapshot_every
+        return doc
+
+
+class ServerMetrics:
+    """Lock-protected server-wide counters + latency percentiles."""
+
+    def __init__(self, latency_window: int = 1024):
+        self._lock = threading.Lock()
+        self.counters: dict = {}
+        self.responses: dict = {}  # HTTP status -> count
+        self.latency = Reservoir(latency_window)
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def note_response(self, status: int) -> None:
+        with self._lock:
+            key = str(int(status))
+            self.responses[key] = self.responses.get(key, 0) + 1
+
+    def merge_counters(self, counters: dict) -> None:
+        """Fold one request collector's counter snapshot into the totals."""
+        with self._lock:
+            for name, n in counters.items():
+                key = f"pipeline.{name}"
+                self.counters[key] = self.counters.get(key, 0) + n
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.observe(seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counters = dict(sorted(self.counters.items()))
+            responses = dict(sorted(self.responses.items()))
+        latency = self.latency.summary()
+        for key in ("p50", "p95", "max"):
+            if latency[key] is not None:
+                latency[f"{key}_ms"] = round(latency.pop(key) * 1000.0, 3)
+            else:
+                latency[f"{key}_ms"] = latency.pop(key)
+        return {
+            "counters": counters,
+            "responses": responses,
+            "latency": latency,
+        }

@@ -1,0 +1,134 @@
+"""AnalysisCache thread-safety: the satellite concurrency stress test.
+
+Many threads hammer one cache with interleaved lookups, stores, stat
+bumps and snapshot saves; the locked lookup methods must keep the
+accounting identity ``hits + misses == lookups`` *exact* (the pre-lock
+code lost increments to read-modify-write races), and a pickle written
+mid-hammer must always load as a valid (possibly partial) cache.
+"""
+
+import random
+import threading
+
+from repro.locality.engine import AnalysisCache
+
+THREADS = 8
+OPS = 1500
+
+
+def test_stress_accounting_identity(tmp_path):
+    cache = AnalysisCache()
+    keys = [("fp", i) for i in range(64)]
+    snapshot = tmp_path / "stress.pkl"
+    stop = threading.Event()
+    errors = []
+
+    def hammer(seed):
+        rng = random.Random(seed)
+        try:
+            for _ in range(OPS):
+                key = rng.choice(keys)
+                if cache.lookup_edge(key) is None:
+                    cache.store_edge(key, ("edge-analysis", key))
+                if cache.lookup_intra(key) is None:
+                    cache.store_intra(key, ("intra-result", key))
+                if rng.random() < 0.05:
+                    cache.bump("edge_relabels")
+        except Exception as exc:  # surfaced after join
+            errors.append(exc)
+
+    def snapshotter():
+        try:
+            while not stop.is_set():
+                cache.save(snapshot)
+                loaded = AnalysisCache.load(str(snapshot))
+                # a mid-hammer snapshot is consistent, never garbage
+                if len(loaded.edges) > len(keys):
+                    raise AssertionError("snapshot larger than key space")
+                stop.wait(0.005)
+        except Exception as exc:
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=hammer, args=(seed,))
+        for seed in range(THREADS)
+    ]
+    saver = threading.Thread(target=snapshotter)
+    saver.start()
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join(60)
+    stop.set()
+    saver.join(10)
+
+    assert not errors
+    stats = cache.stats
+    assert stats["edge_lookups"] == THREADS * OPS
+    assert stats["edge_hits"] + stats["edge_misses"] == stats["edge_lookups"]
+    assert stats["intra_lookups"] == THREADS * OPS
+    assert (
+        stats["intra_hits"] + stats["intra_misses"] == stats["intra_lookups"]
+    )
+    # every key was stored exactly once and survived
+    assert len(cache.edges) == len(keys)
+    assert len(cache.intra) == len(keys)
+
+
+def test_stress_real_pipeline_shared_cache():
+    """Concurrent analyze() calls sharing one cache match the serial run."""
+    from repro import AnalysisOptions, analyze
+    from repro.codes import ALL_CODES
+    from repro.service.protocol import dumps_canonical, response_document
+
+    builder, env, back = ALL_CODES["jacobi"]
+    baseline = analyze(builder(), env=env, H=4, back_edges=back)
+    expected = dumps_canonical(response_document(baseline, env, 4))
+
+    shared = AnalysisCache()
+    outputs = []
+    errors = []
+
+    def run():
+        try:
+            result = analyze(
+                builder(),
+                env=env,
+                H=4,
+                back_edges=back,
+                options=AnalysisOptions(analysis_cache=shared),
+            )
+            outputs.append(
+                dumps_canonical(response_document(result, env, 4))
+            )
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert not errors
+    assert len(outputs) == 4
+    assert all(out == expected for out in outputs)
+    stats = shared.stats
+    assert stats["edge_hits"] + stats["edge_misses"] == stats["edge_lookups"]
+
+
+def test_cache_pickles_without_its_lock(tmp_path):
+    import pickle
+
+    cache = AnalysisCache()
+    cache.store_edge("k", "v")
+    clone = pickle.loads(pickle.dumps(cache))
+    assert clone.edges == {"k": "v"}
+    # the restored lock is a working lock
+    assert clone.lookup_edge("k") == "v"
+    assert clone.stats["edge_hits"] == 1
+
+
+def test_bump_unknown_stat_is_created():
+    cache = AnalysisCache()
+    cache.bump("custom", 3)
+    assert cache.stats["custom"] == 3

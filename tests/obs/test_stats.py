@@ -1,0 +1,61 @@
+"""Reservoir latency sampling: percentiles, windowing, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import Reservoir
+
+
+def test_percentiles_on_known_data():
+    res = Reservoir(capacity=100)
+    for value in range(1, 101):  # 1..100
+        res.observe(float(value))
+    assert res.percentile(50) == 50.0  # nearest-rank
+    assert res.percentile(95) == 95.0
+    assert res.percentile(100) == 100.0
+
+
+def test_single_observation():
+    res = Reservoir(capacity=8)
+    res.observe(42.0)
+    assert res.percentile(50) == 42.0
+    assert res.percentile(95) == 42.0
+
+
+def test_empty_summary_is_none_percentiles():
+    res = Reservoir(capacity=8)
+    summary = res.summary()
+    assert summary["count"] == 0
+    assert summary["p50"] is None and summary["p95"] is None
+
+
+def test_window_keeps_recent_but_counts_lifetime():
+    res = Reservoir(capacity=4)
+    for value in [1000.0, 1000.0, 1.0, 2.0, 3.0, 4.0]:
+        res.observe(value)
+    summary = res.summary()
+    assert summary["count"] == 6  # lifetime
+    assert summary["window"] == 4  # sliding sample
+    assert summary["max"] == 4.0  # the 1000s fell out of the window
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Reservoir(capacity=0)
+
+
+def test_concurrent_observes_are_all_counted():
+    res = Reservoir(capacity=64)
+    threads = [
+        threading.Thread(
+            target=lambda: [res.observe(1.0) for _ in range(500)]
+        )
+        for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10)
+    assert res.summary()["count"] == 8 * 500
+    assert res.summary()["window"] == 64

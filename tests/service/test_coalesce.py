@@ -1,0 +1,163 @@
+"""Single-flight dedup and the result LRU, in isolation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.coalesce import ResultLRU, SingleFlight
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestSingleFlight:
+    def test_serial_calls_each_lead(self):
+        sf = SingleFlight()
+        value, leader = sf.do("k", lambda: 1)
+        assert (value, leader) == (1, True)
+        value, leader = sf.do("k", lambda: 2)
+        assert (value, leader) == (2, True)  # no longer in flight: recompute
+        assert sf.led == 2 and sf.coalesced == 0
+
+    def test_concurrent_same_key_coalesces(self):
+        sf = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            entered.set()
+            release.wait(5)
+            return "doc"
+
+        results = []
+
+        def run():
+            results.append(sf.do("k", compute))
+
+        leader = threading.Thread(target=run)
+        leader.start()
+        assert entered.wait(5)
+        followers = [threading.Thread(target=run) for _ in range(4)]
+        for t in followers:
+            t.start()
+        # wait until every follower registered on the flight
+        assert _wait_until(lambda: sf.coalesced == 4)
+        release.set()
+        leader.join(5)
+        for t in followers:
+            t.join(5)
+        assert len(calls) == 1  # one computation total
+        assert sorted(r[1] for r in results) == [False] * 4 + [True]
+        assert all(r[0] == "doc" for r in results)
+
+    def test_leader_exception_propagates_to_followers(self):
+        sf = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def explode():
+            entered.set()
+            release.wait(5)
+            raise ValueError("boom")
+
+        errors = []
+
+        def run():
+            try:
+                sf.do("k", explode)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=run) for _ in range(3)]
+        threads[0].start()
+        assert entered.wait(5)
+        for t in threads[1:]:
+            t.start()
+        assert _wait_until(lambda: sf.coalesced == 2)
+        release.set()
+        for t in threads:
+            t.join(5)
+        assert errors == ["boom"] * 3
+        assert sf.in_flight() == 0  # failed flight is cleaned up
+
+    def test_distinct_keys_do_not_coalesce(self):
+        sf = SingleFlight()
+        barrier = threading.Barrier(2, timeout=5)
+        seen = []
+
+        def compute(tag):
+            barrier.wait()
+            seen.append(tag)
+            return tag
+
+        threads = [
+            threading.Thread(target=lambda t=tag: sf.do(t, lambda: compute(t)))
+            for tag in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5)
+        assert sorted(seen) == ["a", "b"]
+        assert sf.coalesced == 0
+
+
+class TestResultLRU:
+    def test_get_put_and_stats(self):
+        lru = ResultLRU(capacity=2)
+        assert lru.get("a") is None
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        stats = lru.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_eviction_is_lru_order(self):
+        lru = ResultLRU(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh a; b is now least recent
+        lru.put("c", 3)
+        assert lru.get("b") is None
+        assert lru.get("a") == 1 and lru.get("c") == 3
+        assert lru.stats()["evictions"] == 1
+
+    def test_zero_capacity_never_stores(self):
+        lru = ResultLRU(capacity=0)
+        lru.put("a", 1)
+        assert lru.get("a") is None
+        assert len(lru) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultLRU(capacity=-1)
+
+    def test_thread_hammering_keeps_invariants(self):
+        lru = ResultLRU(capacity=8)
+        keys = [f"k{i}" for i in range(16)]
+
+        def worker(seed):
+            for i in range(500):
+                key = keys[(seed * 7 + i) % len(keys)]
+                if lru.get(key) is None:
+                    lru.put(key, key)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        stats = lru.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 500
+        assert len(lru) <= 8

@@ -146,3 +146,34 @@ def test_deprecated_aliases_still_work(tmp_path, capsys):
     assert cache.exists()
     err = capsys.readouterr().err
     assert "deprecated" in err and "--opt" in err
+
+
+def test_json_output_matches_service_protocol(capsys):
+    """--json emits exactly the service response document."""
+    import json
+
+    from repro import analyze
+    from repro.codes import ALL_CODES
+    from repro.service.protocol import response_document
+
+    rc = main(["--code", "jacobi", "--H", "4", "--json"])
+    assert rc == 0
+    emitted = json.loads(capsys.readouterr().out)
+
+    builder, env, back = ALL_CODES["jacobi"]
+    result = analyze(builder(), env=env, H=4, back_edges=back)
+    expected = response_document(result, env, 4)
+    # both sides went through JSON once so tuples/lists compare equal
+    assert emitted == json.loads(json.dumps(expected))
+
+
+def test_json_output_no_execute(capsys):
+    import json
+
+    rc = main(["--code", "adi", "--env", "M=16,N=16", "--no-execute",
+               "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["report"] is None
+    assert doc["program"] == "adi"
+    assert doc["plan"]["phase_chunks"]

@@ -303,3 +303,59 @@ class TestDeprecatedShims:
             assert c.get("dsm.fast_path.interp", 0) > 0
         finally:
             _set_fast_path_default(old)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+# a cache *path* is any value string that the grammar does not read as an
+# on/off token; commas would split the spec, and surrounding whitespace is
+# stripped by the parser, so neither can round-trip
+_PATH_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789/._-"
+)
+_BOOL_TOKENS = ("on", "true", "yes", "1", "off", "false", "no", "0")
+_paths = st.text(
+    alphabet=_PATH_ALPHABET, min_size=1, max_size=40
+).filter(lambda s: s.lower() not in _BOOL_TOKENS)
+
+
+class TestSpecRoundTripProperty:
+    """from_spec(to_spec(opts)) is the identity over the whole field space."""
+
+    @given(
+        engine=st.sampled_from([None, "serial", "parallel"]),
+        cache=st.one_of(st.none(), st.booleans(), _paths),
+        refutation=st.sampled_from([None, True, False]),
+        fast_path=st.sampled_from([None, "wide", "legacy", "off"]),
+        workers=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=64)
+        ),
+        trace=st.booleans(),
+        metrics=st.booleans(),
+    )
+    @settings(max_examples=300)
+    def test_identity(
+        self, engine, cache, refutation, fast_path, workers, trace, metrics
+    ):
+        opts = AnalysisOptions(
+            engine=engine,
+            analysis_cache=cache,
+            refutation=refutation,
+            dsm_fast_path=fast_path,
+            parallel_workers=workers,
+            trace=trace,
+            metrics=metrics,
+        )
+        assert AnalysisOptions.from_spec(opts.to_spec()) == opts
+
+    def test_pathlike_cache_round_trips_to_its_string(self, tmp_path):
+        # a PathLike cache serializes as its string form; the round trip
+        # lands on the equivalent str path (PathLike is not preserved)
+        target = tmp_path / "warm.pkl"
+        opts = AnalysisOptions(analysis_cache=target)
+        back = AnalysisOptions.from_spec(opts.to_spec())
+        assert back.analysis_cache == str(target)
+        assert back == AnalysisOptions(analysis_cache=str(target))
