@@ -120,7 +120,7 @@ def analyze(
     if cache_arg is not None and not isinstance(cache_arg, bool):
         if not (hasattr(cache_arg, "edges") and hasattr(cache_arg, "intra")):
             cache_path = cache_arg
-            cache_arg = AnalysisCache.load(cache_path)
+            cache_arg = AnalysisCache.load(cache_path, obs=obs)
 
     ctx = program.context
     prev_obs = getattr(ctx, "obs", None)

@@ -1,0 +1,42 @@
+"""``repro.check`` — differential soundness oracles + fault injection.
+
+The package intentionally keeps its import-time footprint to the fault
+seams and the report types: product modules (the engine, the refuter,
+the compiler) import :mod:`repro.check.faults` for their injection
+seams, while the oracles import the full pipeline — eager oracle
+imports here would be a cycle.  The oracle entry points resolve lazily.
+"""
+
+from __future__ import annotations
+
+from . import faults
+from .report import CheckReport, Mismatch
+
+__all__ = [
+    "CheckReport",
+    "Mismatch",
+    "check_descriptors",
+    "check_lcg",
+    "env_for",
+    "faults",
+    "main_check",
+    "run_checks",
+]
+
+_LAZY = {
+    "check_descriptors": "descriptor_oracle",
+    "descriptor_region": "descriptor_oracle",
+    "check_lcg": "lcg_oracle",
+    "env_for": "cli",
+    "main_check": "cli",
+    "run_checks": "cli",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

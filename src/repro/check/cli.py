@@ -1,0 +1,208 @@
+"""``python -m repro check`` — the differential soundness sweep.
+
+Runs the descriptor oracle and the LCG oracle over benchmark programs
+at one or more machine sizes, optionally with faults armed (proving the
+degradation paths still produce sound answers), and fails loudly —
+:class:`repro.errors.SoundnessError`, exit status 1 — on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from contextlib import ExitStack
+from typing import Optional, Sequence, Tuple
+
+from ..errors import SoundnessError
+from ..obs import Collector, obs_span
+from . import faults as faults_mod
+
+__all__ = ["env_for", "main_check", "run_checks"]
+
+DEFAULT_H = (16, 64, 256)
+
+
+def env_for(name: str, env: dict, H: int) -> dict:
+    """Scale a program's reference env so it stays meaningful at ``H``.
+
+    tfft2's reference problem iterates over ``P = 2**p`` points; with
+    fewer iterations than processors the Eq. 7 program is genuinely
+    infeasible (nothing to balance), so grow the problem with the
+    machine instead of reporting a vacuous run.
+    """
+    if name == "tfft2":
+        exp = max(env["p"], int(math.ceil(math.log2(max(H, 2)))))
+        return {"P": 2 ** exp, "p": exp, "Q": 2 ** exp, "q": exp}
+    return dict(env)
+
+
+def run_checks(
+    codes: Optional[Sequence[str]] = None,
+    H_values: Sequence[int] = DEFAULT_H,
+    *,
+    faults: Sequence[str] = (),
+    options=None,
+    obs: Optional[Collector] = None,
+    raise_on_mismatch: bool = True,
+) -> list:
+    """Run both oracles over ``codes`` × ``H_values``; return the reports.
+
+    With ``raise_on_mismatch`` (the default) a non-empty mismatch set
+    raises :class:`SoundnessError` whose ``reports`` attribute carries
+    everything gathered.  ``faults`` names stay armed for the whole
+    sweep — the point being that a sweep under faults must *still* come
+    back clean, via the documented fallbacks.
+    """
+    from .. import analyze
+    from ..codes import ALL_CODES
+    from .descriptor_oracle import check_descriptors
+    from .lcg_oracle import check_lcg
+
+    selected = sorted(ALL_CODES) if not codes else list(codes)
+    for code in selected:
+        if code not in ALL_CODES:
+            raise ValueError(
+                f"unknown program {code!r}; known: {', '.join(sorted(ALL_CODES))}"
+            )
+
+    reports = []
+    with ExitStack() as stack:
+        if faults:
+            stack.enter_context(faults_mod.inject(*faults))
+        for H in H_values:
+            for code in selected:
+                builder, ref_env, back_edges = ALL_CODES[code]
+                env = env_for(code, ref_env, H)
+                program = builder()
+                with obs_span(obs, "check", program=code, H=H) as span:
+                    if obs is not None:
+                        obs.count("check.programs")
+                    result = analyze(
+                        program,
+                        env=env,
+                        H=H,
+                        back_edges=back_edges,
+                        options=options,
+                        collector=obs,
+                    )
+                    with obs_span(obs, "check.descriptors"):
+                        desc = check_descriptors(
+                            program, env, program_name=code, obs=obs
+                        )
+                    desc.H = H
+                    with obs_span(obs, "check.lcg"):
+                        lcg = check_lcg(
+                            program,
+                            env,
+                            H,
+                            back_edges=back_edges,
+                            program_name=code,
+                            result=result,
+                            obs=obs,
+                        )
+                    found = len(desc.mismatches) + len(lcg.mismatches)
+                    span.set(mismatches=found)
+                    if obs is not None and found:
+                        obs.count("check.mismatches", found)
+                reports.append(desc)
+                reports.append(lcg)
+
+    total = sum(len(r.mismatches) for r in reports)
+    if total and raise_on_mismatch:
+        err = SoundnessError(
+            f"differential check found {total} mismatch(es) across "
+            f"{len(reports)} reports"
+        )
+        err.reports = reports
+        raise err
+    return reports
+
+
+def _render_all(reports, obs, as_json: bool) -> str:
+    if as_json:
+        doc = {"reports": [r.to_json() for r in reports]}
+        if obs is not None:
+            doc["metrics"] = obs.metrics_snapshot()
+        return json.dumps(doc, indent=2, sort_keys=True)
+    lines = [r.render() for r in reports]
+    total = sum(len(r.mismatches) for r in reports)
+    checked = sum(sum(r.checked.values()) for r in reports)
+    lines.append(
+        f"== {len(reports)} reports, {checked} comparisons, "
+        f"{total} mismatch(es) =="
+    )
+    return "\n".join(lines)
+
+
+def main_check(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="differential descriptor/LCG soundness check",
+    )
+    parser.add_argument(
+        "--code",
+        action="append",
+        default=[],
+        help="program to check (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--H",
+        default=",".join(str(h) for h in DEFAULT_H),
+        help="comma-separated machine sizes (default: 16,64,256)",
+    )
+    parser.add_argument(
+        "--faults",
+        default="",
+        help=f"comma-separated faults to arm for the sweep "
+        f"({', '.join(faults_mod.FAULTS)})",
+    )
+    parser.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="analysis option spec forwarded to analyze() (repeatable)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+    parser.add_argument(
+        "--trace", action="store_true", help="include span traces in metrics"
+    )
+    args = parser.parse_args(list(argv))
+
+    from ..options import AnalysisOptions
+
+    try:
+        H_values = tuple(int(h) for h in args.H.split(",") if h.strip())
+    except ValueError:
+        parser.error(f"--H expects comma-separated integers, got {args.H!r}")
+    if not H_values:
+        parser.error("--H selected no machine sizes")
+    try:
+        fault_names = faults_mod.parse_fault_list(args.faults)
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        options = AnalysisOptions.from_specs(args.opt) if args.opt else None
+    except ValueError as exc:
+        parser.error(f"bad --opt: {exc}")
+
+    obs = Collector(trace=args.trace, metrics=True)
+    try:
+        reports = run_checks(
+            args.code or None,
+            H_values,
+            faults=fault_names,
+            options=options,
+            obs=obs,
+        )
+    except SoundnessError as err:
+        print(_render_all(err.reports, obs, args.json))
+        print(f"SOUNDNESS: {err}", file=sys.stderr)
+        return 1
+    print(_render_all(reports, obs, args.json))
+    if not args.json:
+        armed = f" (faults armed: {', '.join(fault_names)})" if fault_names else ""
+        print(f"soundness: OK{armed}")
+    return 0

@@ -1,0 +1,243 @@
+"""Descriptor oracle — differential ARD/PD/ID validation against the IR.
+
+The paper's central claim is that access descriptors enumerate *exactly*
+the addresses a phase touches: the PD region equals the union of every
+iteration's accesses, the ID view at parallel iteration ``i`` equals
+iteration ``i``'s accesses (plus any outside-the-parallel-loop work the
+phase does unconditionally), and the storage-symmetry Δs is an upper
+bound on the measured overlap of consecutive iterations.  This module
+replays the IR through :mod:`repro.ir.interp` to get ground truth and
+compares it against the regions enumerated from the descriptors,
+reporting structured :class:`~repro.check.report.Mismatch` entries.
+
+Checks per ``(phase, array)``:
+
+``descriptor.region``
+    ``union(row_addresses(row))`` over the PD's rows equals
+    ``phase_access_set`` exactly (missing and extra addresses are both
+    mismatches).  Rows whose evaluated trip count is < 1 contribute the
+    empty set (zero-trip loops must not make ``row_addresses`` blow up
+    or, worse, enumerate phantom addresses).
+
+``descriptor.iteration``
+    For sampled parallel iterations (both ends, the middle), the ID
+    view ``row_addresses(row, parallel_iteration=i)`` equals
+    ``iteration_access_set`` ∪ the phase's outside-parallel accesses.
+
+``descriptor.symmetry``
+    If consecutive iterations measurably share addresses, the intra
+    result must claim ``has_overlap`` and its summed Δs must cover the
+    measured overlap (claims are conservative: over-claiming is legal,
+    under-claiming is a soundness bug).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+import numpy as np
+
+from ..descriptors import compute_pd
+from ..descriptors.region import row_addresses
+from ..ir import enumerate_phase
+from ..ir.interp import iteration_access_set, phase_access_set
+from ..locality.intra import check_intra_phase
+from .report import CheckReport, Mismatch
+
+__all__ = ["check_descriptors", "descriptor_region"]
+
+_SAMPLE_LIMIT = 4  # example addresses carried per mismatch
+
+
+def _evalf_int(expr, env) -> int:
+    env_f = {k: Fraction(v) for k, v in env.items()}
+    return int(expr.evalf(env_f))
+
+
+def descriptor_region(pd, env, parallel_iteration=None) -> Optional[np.ndarray]:
+    """Addresses enumerated by a PD (ID view when an iteration is given).
+
+    Returns ``None`` when any row is not self-contained — the
+    descriptor algebra cannot enumerate such a region and the caller
+    records the pair as unchecked rather than mismatched.  Rows whose
+    evaluated count is < 1 in any dimension are zero-trip: they
+    contribute no addresses.
+    """
+    chunks = []
+    for row in pd.rows:
+        if not row.is_self_contained():
+            return None
+        counts = (_evalf_int(d.count, env) for d in row.dims)
+        if any(c < 1 for c in counts):
+            continue
+        chunks.append(row_addresses(row, env, parallel_iteration=parallel_iteration))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(chunks))
+
+
+def _mismatch(kind, program, phase, array, detail, truth, got) -> Mismatch:
+    missing = np.setdiff1d(truth, got)
+    extra = np.setdiff1d(got, truth)
+    samples = tuple(int(a) for a in np.concatenate([missing, extra])[:_SAMPLE_LIMIT])
+    return Mismatch(
+        kind=kind,
+        program=program,
+        phase=phase,
+        array=array,
+        detail=detail,
+        missing=int(missing.size),
+        extra=int(extra.size),
+        samples=samples,
+    )
+
+
+def _outside_addresses(phase, env, array_name) -> np.ndarray:
+    """Addresses the phase touches outside its parallel loop."""
+    chunks = [
+        tr.addresses
+        for ia in enumerate_phase(phase, env, array_name)
+        if ia.iteration is None
+        for tr in ia.traces
+    ]
+    chunks = [c for c in chunks if c.size]
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(chunks))
+
+
+def check_descriptors(program, env, *, program_name=None, obs=None) -> CheckReport:
+    """Differentially validate every descriptor the program induces."""
+    name = program_name or getattr(program, "name", "<program>")
+    report = CheckReport(program=name, H=0, env=dict(env))
+    ctx = program.context
+    for phase in program.phases:
+        for array in sorted(phase.arrays(), key=lambda a: a.name):
+            _check_pair(report, program, phase, array, ctx, env, obs=obs)
+    return report
+
+
+def _check_pair(report, program, phase, array, ctx, env, *, obs=None) -> None:
+    name = report.program
+    truth = phase_access_set(phase, env, array.name)
+    try:
+        pd = compute_pd(phase, array, ctx)
+    except Exception as exc:  # descriptor algebra inapplicable, not unsound
+        report.notes.append(
+            f"{phase.name}/{array.name}: PD inapplicable ({type(exc).__name__})"
+        )
+        return
+    region = descriptor_region(pd, env)
+    if region is None:
+        report.notes.append(f"{phase.name}/{array.name}: non-self-contained PD")
+        return
+
+    report.merge_checked("descriptor.region")
+    if obs is not None:
+        obs.count("check.descriptor.region")
+    if not np.array_equal(region, truth):
+        report.mismatches.append(
+            _mismatch(
+                "descriptor.region",
+                name,
+                phase.name,
+                array.name,
+                "PD region != interpreted phase access set",
+                truth,
+                region,
+            )
+        )
+
+    par = phase.parallel_loop
+    if par is None:
+        return
+    lo = _evalf_int(par.lower, env)
+    hi = _evalf_int(par.upper, env)
+    trip = hi - lo + 1
+    if trip <= 0:
+        return
+
+    outside = _outside_addresses(phase, env, array.name)
+    samples = sorted({0, 1, trip // 2, trip - 2, trip - 1} & set(range(trip)))
+    for i in samples:
+        truth_i = np.union1d(
+            iteration_access_set(phase, env, array.name, lo + i), outside
+        )
+        region_i = descriptor_region(pd, env, parallel_iteration=i)
+        report.merge_checked("descriptor.iteration")
+        if obs is not None:
+            obs.count("check.descriptor.iteration")
+        if not np.array_equal(region_i, truth_i):
+            report.mismatches.append(
+                _mismatch(
+                    "descriptor.iteration",
+                    name,
+                    phase.name,
+                    array.name,
+                    f"ID view at parallel iteration {i} != interpreted accesses",
+                    truth_i,
+                    region_i,
+                )
+            )
+
+    _check_symmetry(report, phase, array, ctx, env, lo, trip, outside, obs=obs)
+
+
+def _check_symmetry(report, phase, array, ctx, env, lo, trip, outside, *, obs=None):
+    """Claimed storage symmetry must cover the measured overlap."""
+    if trip < 2:
+        return
+    try:
+        intra = check_intra_phase(phase, array, ctx)
+    except Exception as exc:
+        report.notes.append(
+            f"{phase.name}/{array.name}: intra inapplicable ({type(exc).__name__})"
+        )
+        return
+    measured = 0
+    for i in sorted({0, trip // 2, trip - 2} & set(range(trip - 1))):
+        a = np.setdiff1d(
+            iteration_access_set(phase, env, array.name, lo + i), outside
+        )
+        b = np.setdiff1d(
+            iteration_access_set(phase, env, array.name, lo + i + 1), outside
+        )
+        measured = max(measured, int(np.intersect1d(a, b).size))
+    report.merge_checked("descriptor.symmetry")
+    if obs is not None:
+        obs.count("check.descriptor.symmetry")
+    if measured == 0:
+        return
+    if not intra.has_overlap:
+        report.mismatches.append(
+            Mismatch(
+                kind="descriptor.symmetry",
+                program=report.program,
+                phase=phase.name,
+                array=array.name,
+                detail=(
+                    f"consecutive iterations share {measured} addresses but "
+                    "symmetry claims no overlap"
+                ),
+                missing=measured,
+            )
+        )
+        return
+    claimed = sum(
+        _evalf_int(entry[2], env) for entry in (intra.symmetry.overlap or ())
+    )
+    if claimed < measured:
+        report.mismatches.append(
+            Mismatch(
+                kind="descriptor.symmetry",
+                program=report.program,
+                phase=phase.name,
+                array=array.name,
+                detail=(
+                    f"claimed symmetry distance total {claimed} under-covers "
+                    f"measured overlap {measured}"
+                ),
+                missing=measured - claimed,
+            )
+        )

@@ -1,0 +1,297 @@
+"""LCG oracle — differential validation of edge labels under execution.
+
+Theorems 1–2 promise that an ``L`` edge costs nothing at runtime and a
+``C`` edge costs exactly what Table 1 / Eq. 7 predict.  This module
+runs the DSM simulator under the chosen CYCLIC(p) distribution and
+checks those promises against the observed traffic.
+
+Checks per LCG edge ``(F_k, F_g, X)``:
+
+``lcg.label``
+    Re-derive the Table 1 label from the edge's recorded attributes
+    (``attr_k``/``attr_g``, overlap, balanced feasibility, intra-phase
+    verdict) via :func:`repro.locality.table1.classify_edge` and demand
+    it equals the label the engine assigned.
+
+``lcg.l_edge_traffic``
+    A live (unrelaxed, unfolded) ``L`` edge must carry no communication
+    plan, and — unless an endpoint is replicated — every address reused
+    across the two phases must have the same owner under both layouts.
+
+``lcg.c_edge_comm``
+    A comm-bearing edge (``C``, relaxed, or layout-fold) must have a
+    plan unless an endpoint is replicated.  A ``global`` plan's volume
+    must equal the recomputed owner-changing element count and respect
+    the Eq. 7 envelope ``(|region|, H·(H−1))``; a ``frontier`` plan
+    must ride a claimed overlap and move exactly ``2·(H−1)`` messages
+    of Δs elements each (volume ``2·(H−1)·Δs``).
+
+``lcg.l_edge_traffic`` (residual accesses)
+    On phases promised local by a live ``L`` edge, any access the
+    simulator still counts remote must sit within one layout chunk of
+    the iteration's schedule block — the frontier-misalignment halo —
+    never arbitrarily far away.  (Checked for plain ascending
+    block-cyclic layouts, where chunk adjacency is well-defined.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distribution.costs import edge_volume
+from ..distribution.schedule import (
+    BlockCyclicLayout,
+    CyclicSchedule,
+    ReplicatedLayout,
+)
+from ..dsm.executor import _ev_int, chain_layouts
+from ..ir import enumerate_phase
+from ..ir.interp import phase_access_set
+from ..locality.balanced import Feasibility
+from ..locality.table1 import classify_edge
+from .report import CheckReport, Mismatch
+
+__all__ = ["check_lcg"]
+
+
+def _expected_label(edge) -> str:
+    if edge.attr_k == "P" or edge.attr_g == "P":
+        return classify_edge(edge.attr_k, edge.attr_g, edge.intra_k.has_overlap, True)
+    if edge.balanced is None:
+        return "C"
+    balanced_ok = edge.feasibility is Feasibility.FEASIBLE
+    label = classify_edge(
+        edge.attr_k, edge.attr_g, edge.intra_k.has_overlap, balanced_ok
+    )
+    if label == "L" and not edge.intra_k.holds:
+        label = "C"
+    return label
+
+
+def check_lcg(program, env, H, *, back_edges=(), program_name=None, result=None, obs=None) -> CheckReport:
+    """Differentially validate every LCG edge of ``program`` at ``H``.
+
+    ``result`` may carry a precomputed :func:`repro.analyze` result for
+    the same ``(program, env, H, back_edges)``; otherwise the analysis
+    runs here.
+    """
+    from .. import analyze  # deferred: repro package imports repro.check.faults
+
+    name = program_name or getattr(program, "name", "<program>")
+    report = CheckReport(program=name, H=H, env=dict(env))
+    if result is None:
+        result = analyze(program, env=env, H=H, back_edges=back_edges)
+    lcg, plan, exec_report = result.lcg, result.plan, result.report
+
+    layouts = chain_layouts(lcg, plan, env, H)
+    folded = {tuple(t) for t in layouts.pop("__fold_edges__", [])}
+    relaxed = {tuple(t) for t in getattr(plan, "relaxed_edges", ())}
+    plans = {(c.edge[0], c.edge[1], c.array): c for c in exec_report.comms}
+
+    promised = set()  # (phase, array) pairs a live L edge promises local
+    for array in lcg.arrays():
+        for edge in lcg.edges(array):
+            key = (edge.phase_k, edge.phase_g, array)
+            _check_edge(
+                report, program, edge, key, layouts, relaxed, folded, plans,
+                env, H, promised, obs=obs,
+            )
+    _check_residual_remotes(
+        report, program, plan, layouts, promised, env, H, obs=obs
+    )
+    return report
+
+
+def _check_edge(report, program, edge, key, layouts, relaxed, folded, plans,
+                env, H, promised, *, obs=None) -> None:
+    phase_k, phase_g, array = key
+    where = dict(program=report.program, phase=f"{phase_k}->{phase_g}", array=array)
+
+    report.merge_checked("lcg.label")
+    if obs is not None:
+        obs.count("check.lcg.label")
+    expected = _expected_label(edge)
+    if expected != edge.label:
+        report.mismatches.append(
+            Mismatch(
+                kind="lcg.label",
+                detail=f"Table 1 re-derivation gives {expected!r}, engine assigned {edge.label!r}",
+                **where,
+            )
+        )
+
+    layout_k = layouts[(phase_k, array)]
+    layout_g = layouts[(phase_g, array)]
+    replicated = isinstance(layout_k, ReplicatedLayout) or isinstance(
+        layout_g, ReplicatedLayout
+    )
+    comm_bearing = edge.label == "C" or key in relaxed or key in folded
+
+    if not comm_bearing:
+        promised.add((phase_k, array))
+        promised.add((phase_g, array))
+        report.merge_checked("lcg.l_edge_traffic")
+        if obs is not None:
+            obs.count("check.lcg.l_edge")
+        if key in plans:
+            report.mismatches.append(
+                Mismatch(
+                    kind="lcg.l_edge_traffic",
+                    detail="L edge carries a communication plan",
+                    **where,
+                )
+            )
+        if not replicated:
+            reuse = np.intersect1d(
+                phase_access_set(program.phase(phase_k), env, array),
+                phase_access_set(program.phase(phase_g), env, array),
+            )
+            if reuse.size:
+                same = np.asarray(layout_k.owner(reuse)) == np.asarray(
+                    layout_g.owner(reuse)
+                )
+                if not same.all():
+                    moved = reuse[~same]
+                    report.mismatches.append(
+                        Mismatch(
+                            kind="lcg.l_edge_traffic",
+                            detail=f"{moved.size} reused addresses change owner across an L edge",
+                            missing=int(moved.size),
+                            samples=tuple(int(a) for a in moved[:4]),
+                            **where,
+                        )
+                    )
+        return
+
+    report.merge_checked("lcg.c_edge_comm")
+    if obs is not None:
+        obs.count("check.lcg.c_edge")
+    comm = plans.get(key)
+    if replicated:
+        if comm is not None:
+            report.mismatches.append(
+                Mismatch(
+                    kind="lcg.c_edge_comm",
+                    detail="communication planned despite a replicated endpoint",
+                    **where,
+                )
+            )
+        return
+    if comm is None:
+        report.mismatches.append(
+            Mismatch(
+                kind="lcg.c_edge_comm",
+                detail="comm-bearing edge has no communication plan",
+                **where,
+            )
+        )
+        return
+
+    region = phase_access_set(program.phase(phase_g), env, array)
+    if comm.pattern == "global":
+        moved = int(
+            (np.asarray(layout_k.owner(region)) != np.asarray(layout_g.owner(region))).sum()
+        )
+        if comm.volume != moved:
+            report.mismatches.append(
+                Mismatch(
+                    kind="lcg.c_edge_comm",
+                    detail=f"global redistribution volume {comm.volume} != recomputed moved count {moved}",
+                    **where,
+                )
+            )
+        eq7_volume, eq7_messages = edge_volume(region.size, None, H)
+        if comm.volume > eq7_volume or comm.messages > eq7_messages:
+            report.mismatches.append(
+                Mismatch(
+                    kind="lcg.c_edge_comm",
+                    detail=(
+                        f"observed ({comm.volume} elems, {comm.messages} msgs) exceeds "
+                        f"Eq. 7 envelope ({eq7_volume}, {eq7_messages})"
+                    ),
+                    **where,
+                )
+            )
+    else:  # frontier
+        if not edge.intra_k.has_overlap:
+            report.mismatches.append(
+                Mismatch(
+                    kind="lcg.c_edge_comm",
+                    detail="frontier update on an edge without claimed overlap",
+                    **where,
+                )
+            )
+            return
+        delta_s = _ev_int(edge.intra_k.symmetry.overlap[0][2], env)
+        eq7_volume, eq7_messages = edge_volume(region.size, delta_s, H)
+        bad_shape = (
+            comm.messages != eq7_messages
+            or comm.volume != eq7_volume
+            or any(put.elements != delta_s for put in comm.puts)
+        )
+        if bad_shape:
+            report.mismatches.append(
+                Mismatch(
+                    kind="lcg.c_edge_comm",
+                    detail=(
+                        f"frontier shape ({comm.volume} elems, {comm.messages} msgs) != "
+                        f"Eq. 7 inputs (Δs={delta_s}: {eq7_volume} elems, {eq7_messages} msgs)"
+                    ),
+                    **where,
+                )
+            )
+
+
+def _check_residual_remotes(report, program, plan, layouts, promised, env, H, *, obs=None):
+    """Remote accesses on L-promised pairs must be frontier-adjacent."""
+    for phase in program.phases:
+        arrays = [a.name for a in phase.arrays() if (phase.name, a.name) in promised]
+        if not arrays:
+            continue
+        par = phase.parallel_loop
+        trip = _ev_int(par.trip_count, env) if par is not None else 1
+        chunk = plan.phase_chunks.get(phase.name, 1)
+        schedule = CyclicSchedule(trip=trip, p=chunk, H=H)
+        lo = _ev_int(par.lower, env) if par is not None else 0
+        for accesses in enumerate_phase(phase, env):
+            if accesses.iteration is None:
+                continue
+            idx = accesses.iteration - lo
+            pe = int(np.asarray(schedule.owner(idx)))
+            block = idx // chunk
+            for trace in accesses.traces:
+                if trace.array not in arrays:
+                    continue
+                layout = layouts.get((phase.name, trace.array))
+                if not isinstance(layout, BlockCyclicLayout) or getattr(
+                    layout, "reversed_", False
+                ):
+                    continue
+                remote = np.asarray(layout.owner(trace.addresses)) != pe
+                if not remote.any():
+                    continue
+                report.merge_checked("lcg.l_edge_traffic")
+                if obs is not None:
+                    obs.count("check.lcg.residual")
+                chunk_index = (
+                    np.asarray(trace.addresses)[remote] - layout.origin
+                ) // layout.chunk
+                drift = int(np.abs(chunk_index - block).max())
+                if drift > 1:
+                    far = np.asarray(trace.addresses)[remote][
+                        np.abs(chunk_index - block) > 1
+                    ]
+                    report.mismatches.append(
+                        Mismatch(
+                            kind="lcg.l_edge_traffic",
+                            program=report.program,
+                            phase=phase.name,
+                            array=trace.array,
+                            detail=(
+                                f"remote access {drift} chunks from iteration "
+                                f"{accesses.iteration}'s block — beyond the frontier halo"
+                            ),
+                            extra=int(far.size),
+                            samples=tuple(int(a) for a in far[:4]),
+                        )
+                    )

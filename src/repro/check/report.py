@@ -1,0 +1,93 @@
+"""Structured mismatch reporting for the differential checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CheckReport", "Mismatch"]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One verified disagreement between an oracle and the analysis.
+
+    ``kind`` is a dotted family name (``descriptor.region``,
+    ``descriptor.iteration``, ``descriptor.symmetry``, ``lcg.label``,
+    ``lcg.l_edge_traffic``, ``lcg.c_edge_comm``) so reports can be
+    grouped and counted; ``detail`` is the human-readable finding;
+    ``missing``/``extra`` carry address-set evidence where applicable
+    (up to a few sample addresses each, plus totals).
+    """
+
+    kind: str
+    program: str
+    phase: str
+    array: str
+    detail: str
+    missing: int = 0
+    extra: int = 0
+    samples: tuple = ()
+
+    def __str__(self) -> str:
+        where = f"{self.program}/{self.phase}/{self.array}"
+        evidence = ""
+        if self.missing or self.extra:
+            evidence = f" [missing={self.missing} extra={self.extra}]"
+        if self.samples:
+            evidence += f" e.g. {list(self.samples)}"
+        return f"{self.kind}: {where}: {self.detail}{evidence}"
+
+
+@dataclass
+class CheckReport:
+    """Everything one differential run found for one (program, H)."""
+
+    program: str
+    H: int
+    env: dict
+    mismatches: list = field(default_factory=list)  # list[Mismatch]
+    checked: dict = field(default_factory=dict)  # family -> comparisons run
+    notes: list = field(default_factory=list)  # non-failing observations
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def merge_checked(self, family: str, n: int = 1) -> None:
+        self.checked[family] = self.checked.get(family, 0) + n
+
+    def render(self) -> str:
+        head = (
+            f"{self.program} @ H={self.H}: "
+            + ("OK" if self.ok else f"{len(self.mismatches)} MISMATCH(ES)")
+            + " ("
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items()))
+            + ")"
+        )
+        lines = [head]
+        lines.extend(f"  {m}" for m in self.mismatches)
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "program": self.program,
+            "H": self.H,
+            "env": dict(self.env),
+            "ok": self.ok,
+            "checked": dict(self.checked),
+            "notes": list(self.notes),
+            "mismatches": [
+                {
+                    "kind": m.kind,
+                    "phase": m.phase,
+                    "array": m.array,
+                    "detail": m.detail,
+                    "missing": m.missing,
+                    "extra": m.extra,
+                    "samples": [int(s) for s in m.samples],
+                }
+                for m in self.mismatches
+            ],
+        }

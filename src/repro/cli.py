@@ -12,6 +12,7 @@ Usage::
     python -m repro bench-perf --out BENCH_perf.json   # perf harness
     python -m repro serve --port 8377             # analysis service
     python -m repro query --code adi --H 4 --port 8377
+    python -m repro check --H 16,64,256           # differential soundness
 
 Engine knobs travel through ``--opt KEY=VALUE,...`` — the exact grammar
 of :meth:`repro.AnalysisOptions.from_spec`, so the CLI surface is
@@ -83,6 +84,10 @@ def main(argv=None) -> int:
         from .service.client import main_query
 
         return main_query(list(argv[1:]))
+    if argv and argv[0] == "check":
+        from .check.cli import main_check
+
+        return main_check(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -171,7 +176,9 @@ def main(argv=None) -> int:
     from .obs import obs_span
 
     try:
-        options = AnalysisOptions.from_spec(",".join(args.opt))
+        # Each repeated --opt is one spec parsed on its own, so a value
+        # containing `,`/`=` (a cache path, say) survives unmangled.
+        options = AnalysisOptions.from_specs(args.opt)
     except ValueError as exc:
         raise SystemExit(f"bad --opt: {exc}")
     if args.trace:

@@ -22,13 +22,16 @@ Both levers are toggleable in the style of ``set_fast_path``:
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
 import warnings
 from dataclasses import replace
 from typing import Mapping, Optional, Sequence
 
+from ..check.faults import fire as _fault_fire
 from ..descriptors.fingerprint import edge_fingerprint, phase_array_fingerprint
+from ..errors import AnalysisError, CacheLoadWarning
 from ..obs import obs_span
 from ..symbolic import sym
 from .inter import EdgeAnalysis, analyze_edge
@@ -133,6 +136,7 @@ class AnalysisCache:
             "edge_hits": 0,
             "edge_misses": 0,
             "edge_relabels": 0,
+            "load_failed": 0,
         }
         self._lock = threading.RLock()
 
@@ -217,17 +221,42 @@ class AnalysisCache:
             fh.write(payload)
 
     @classmethod
-    def load(cls, path) -> "AnalysisCache":
-        """Load a pickled cache; unreadable/mismatched files load empty."""
+    def load(cls, path, obs=None) -> "AnalysisCache":
+        """Load a pickled cache; degraded loads are loud.
+
+        A missing file is the normal cold start and loads empty
+        silently.  A corrupt, truncated or schema-mismatched file also
+        loads empty — a correct warm-start degradation — but emits a
+        :class:`CacheLoadWarning`, bumps the cache's ``load_failed``
+        stat (surfaced in the service ``/metrics`` document) and counts
+        ``analysis_cache.load_failed`` on ``obs`` when given.
+        """
         cache = cls()
         try:
             with open(path, "rb") as fh:
+                if _fault_fire("corrupt_cache"):
+                    raise pickle.UnpicklingError("injected corrupt_cache fault")
                 payload = pickle.load(fh)
-            if payload.get("schema") == cls.SCHEMA:
-                cache.intra.update(payload["intra"])
-                cache.edges.update(payload["edges"])
-        except Exception:
+            if not isinstance(payload, dict) or "intra" not in payload:
+                raise pickle.UnpicklingError("not an analysis-cache payload")
+            if payload.get("schema") != cls.SCHEMA:
+                raise pickle.UnpicklingError(
+                    f"cache schema {payload.get('schema')!r} != {cls.SCHEMA!r}"
+                )
+            cache.intra.update(payload["intra"])
+            cache.edges.update(payload["edges"])
+        except FileNotFoundError:
             pass
+        except Exception as exc:
+            cache.bump("load_failed")
+            if obs is not None:
+                obs.count("analysis_cache.load_failed")
+            warnings.warn(
+                f"analysis cache at {str(path)!r} could not be loaded "
+                f"({type(exc).__name__}: {exc}); starting cold",
+                CacheLoadWarning,
+                stacklevel=2,
+            )
         return cache
 
 
@@ -395,26 +424,59 @@ def _edge_worker(task):
     obs = getattr(ctx, "obs", None)
     label = f"edge:{array.name}:{phase_k.name}->{phase_g.name}"
     with obs_span(obs, label):
-        analysis = analyze_edge(
-            phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
-        )
+        if _fault_fire("worker_crash"):
+            os._exit(87)  # simulate the worker process dying mid-task
+        try:
+            analysis = analyze_edge(
+                phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
+            )
+        except Exception as exc:
+            raise AnalysisError(
+                f"edge analysis failed for {label}: {exc!r}"
+            ) from exc
     payload = obs.payload() if obs is not None else None
     return idx, (analysis, payload)
 
 
-def _run_parallel(tasks, workers: Optional[int] = None) -> Optional[dict]:
-    """Fan tasks out over a fork pool; None signals 'fall back to serial'."""
+def _note_pool_fallback(obs, exc) -> None:
+    if obs is not None:
+        obs.count("engine.pool_fallback")
+    warnings.warn(
+        f"parallel engine unavailable ({type(exc).__name__}: {exc}); "
+        "falling back to serial dispatch",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _run_parallel(tasks, workers: Optional[int] = None, obs=None) -> Optional[dict]:
+    """Fan tasks out over a fork pool; None signals 'fall back to serial'.
+
+    Only *infrastructure* failures degrade to the serial path — the
+    pool cannot be set up, a worker process dies, arguments or results
+    fail to pickle — each counted as ``engine.pool_fallback`` with a
+    warning.  An exception raised by the edge analysis itself surfaces
+    as :class:`AnalysisError` (wrapped in the worker): that is a
+    genuine analysis bug, and silently recomputing it serially would
+    only mask it behind a quietly-slow build.
+    """
     try:
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor
 
         mp_ctx = mp.get_context("fork")
         width = min(len(tasks), mp.cpu_count() or 1, workers or _MAX_WORKERS)
-        with ProcessPoolExecutor(
-            max_workers=width, mp_context=mp_ctx
-        ) as pool:
+        pool = ProcessPoolExecutor(max_workers=width, mp_context=mp_ctx)
+    except Exception as exc:
+        _note_pool_fallback(obs, exc)
+        return None
+    try:
+        with pool:
             return dict(pool.map(_edge_worker, tasks))
-    except Exception:
+    except AnalysisError:
+        raise
+    except Exception as exc:
+        _note_pool_fallback(obs, exc)
         return None
 
 
@@ -487,7 +549,7 @@ def analyze_edges(
             (i, items[i][0], items[i][1], items[i][2], ctx, H, env, H_value)
             for i in compute
         ]
-        computed = _run_parallel(tasks, workers=workers)
+        computed = _run_parallel(tasks, workers=workers, obs=obs)
         if computed is not None and obs is not None:
             obs.count("engine.parallel_batches")
     if computed is None:

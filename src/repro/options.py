@@ -30,6 +30,61 @@ _TRUE = ("on", "true", "yes", "1")
 _FALSE = ("off", "false", "no", "0")
 
 
+def _split_unescaped(text: str, sep: str) -> list:
+    """Split on ``sep`` except where it is backslash-escaped."""
+    parts: list = []
+    current: list = []
+    it = iter(text)
+    for ch in it:
+        if ch == "\\":
+            nxt = next(it, None)
+            if nxt is None:
+                current.append(ch)
+            else:
+                current.append(ch + nxt)
+            continue
+        if ch == sep:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def _partition_unescaped(text: str, sep: str):
+    """Like ``str.partition`` but skipping backslash-escaped separators."""
+    escaped = False
+    for i, ch in enumerate(text):
+        if escaped:
+            escaped = False
+            continue
+        if ch == "\\":
+            escaped = True
+            continue
+        if ch == sep:
+            return text[:i], True, text[i + 1 :]
+    return text, False, ""
+
+
+def _unescape(text: str) -> str:
+    out: list = []
+    it = iter(text)
+    for ch in it:
+        if ch == "\\":
+            nxt = next(it, None)
+            out.append(ch if nxt is None else nxt)
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace(",", "\\,").replace("=", "\\=")
+    )
+
+
 def _parse_bool(key: str, value: str) -> bool:
     low = value.strip().lower()
     if low in _TRUE:
@@ -118,20 +173,42 @@ class AnalysisOptions:
         Keys: ``engine``, ``cache`` (on/off or a file path),
         ``refutation`` (on/off), ``fast_path`` (wide/legacy/off),
         ``workers`` (int), ``trace`` (on/off), ``metrics`` (on/off).
-        The long Python field names are accepted as aliases.
+        The long Python field names are accepted as aliases.  Literal
+        ``,``/``=``/``\\`` inside a value (cache file paths, typically)
+        are backslash-escaped, as :meth:`to_spec` emits them.
+        """
+        kwargs = cls._spec_kwargs(spec)
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_specs(cls, specs, **overrides) -> "AnalysisOptions":
+        """Parse a sequence of spec strings (the CLI's repeated ``--opt``).
+
+        Each spec is parsed independently — so one ``--opt
+        cache=/warm,start.pkl`` stays one assignment even with escapes
+        aside — and later specs win per key.
         """
         kwargs: dict = {}
-        for item in (spec or "").split(","):
-            item = item.strip()
-            if not item:
+        for spec in specs:
+            kwargs.update(cls._spec_kwargs(spec))
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    @classmethod
+    def _spec_kwargs(cls, spec: str) -> dict:
+        kwargs: dict = {}
+        for item in _split_unescaped(spec or "", ","):
+            if not _unescape(item).strip():
                 continue
-            key, sep, value = item.partition("=")
+            key, sep, value = _partition_unescaped(item, "=")
             if not sep:
                 raise ValueError(
-                    f"bad option {item!r}: expected KEY=VALUE"
+                    f"bad option {_unescape(item).strip()!r}: "
+                    f"expected KEY=VALUE"
                 )
-            key = key.strip().replace("-", "_")
-            value = value.strip()
+            key = _unescape(key).strip().replace("-", "_")
+            value = _unescape(value.strip())
             if key == "engine":
                 kwargs["engine"] = value
             elif key in ("cache", "analysis_cache"):
@@ -157,8 +234,7 @@ class AnalysisOptions:
                     f"unknown option {key!r}; known keys: engine, cache, "
                     f"refutation, fast_path, workers, trace, metrics"
                 )
-        kwargs.update(overrides)
-        return cls(**kwargs)
+        return kwargs
 
     def to_spec(self) -> str:
         """The inverse of :meth:`from_spec` (explicitly-set keys only)."""
@@ -178,6 +254,10 @@ class AnalysisOptions:
                 continue
             if isinstance(value, bool):
                 value = "on" if value else "off"
+            elif isinstance(value, str):
+                value = _escape(value)
+            elif isinstance(value, os.PathLike):
+                value = _escape(os.fspath(value))
             parts.append(f"{short[f.name]}={value}")
         return ",".join(parts)
 

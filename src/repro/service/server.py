@@ -230,6 +230,7 @@ class AnalysisServer(ThreadingHTTPServer):
             "edge_hit_rate": cache["edge_hit_rate"],
             "intra_hit_rate": cache["intra_hit_rate"],
             "entries": cache["entries"],
+            "load_failed": cache["stats"].get("load_failed", 0),
         }
         doc["draining"] = self.draining
         return doc

@@ -510,6 +510,10 @@ def compile_expr(
     ``names`` fixes the closure's input set (it must cover the free
     symbols); by default the free symbols themselves, sorted.
     """
+    from ..check.faults import fire as _fault_fire
+
+    if _fault_fire("compile_failure"):
+        raise UncompilableExpr("injected compile_failure fault")
     expr = as_expr(expr)
     if names is None:
         names = tuple(sorted(s.name for s in expr.free_symbols()))

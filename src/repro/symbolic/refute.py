@@ -34,6 +34,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..check.faults import fire as _fault_fire
+from ..errors import ProverTimeout
 from .compile import UncompilableExpr, compile_expr
 from .expr import Expr
 
@@ -237,7 +239,19 @@ def refute_nonneg(ctx, expr: Expr) -> bool:
         if obs is not None:
             obs.count("refute.declined")
         return False
-    verdict = bank.refutes(expr)
+    try:
+        if _fault_fire("prover_timeout"):
+            raise ProverTimeout("injected prover_timeout fault")
+        verdict = bank.refutes(expr)
+    except ProverTimeout:
+        # Declining is a correct slow path: refutation only ever
+        # accelerates False verdicts, so the query falls through to the
+        # full proof search with identical results.
+        _STATS["declined"] += 1
+        if obs is not None:
+            obs.count("prover.timeouts")
+            obs.count("refute.declined")
+        return False
     if verdict is None:
         _STATS["declined"] += 1
         if obs is not None:

@@ -1,0 +1,110 @@
+"""The ``python -m repro check`` front door."""
+
+import json
+
+import pytest
+
+from repro.check.cli import env_for, main_check, run_checks
+from repro.check.report import CheckReport, Mismatch
+from repro.errors import SoundnessError
+from repro.obs import Collector
+
+
+class TestEnvScaling:
+    def test_tfft2_grows_with_machine(self):
+        base = {"P": 64, "p": 6, "Q": 64, "q": 6}
+        assert env_for("tfft2", base, 16) == base
+        scaled = env_for("tfft2", base, 256)
+        assert scaled["P"] == 256 and scaled["p"] == 8
+
+    def test_other_codes_untouched(self):
+        env = {"N": 64}
+        assert env_for("jacobi", env, 256) == env
+
+
+class TestRunChecks:
+    def test_clean_sweep_returns_reports(self):
+        obs = Collector(trace=False, metrics=True)
+        reports = run_checks(["jacobi"], (4,), obs=obs)
+        assert len(reports) == 2  # descriptor report + lcg report
+        assert all(r.ok for r in reports)
+        assert obs.counters["check.programs"] == 1
+        assert "check.mismatches" not in obs.counters
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown program"):
+            run_checks(["fortranzilla"], (4,))
+
+    def test_mismatch_raises_soundness_error(self, monkeypatch):
+        def lying_oracle(program, env, H, **kwargs):
+            report = CheckReport(program="jacobi", H=H, env=dict(env))
+            report.mismatches.append(
+                Mismatch(
+                    kind="lcg.label",
+                    program="jacobi",
+                    phase="F->G",
+                    array="A",
+                    detail="synthetic mismatch",
+                )
+            )
+            return report
+
+        monkeypatch.setattr(
+            "repro.check.lcg_oracle.check_lcg", lying_oracle
+        )
+        obs = Collector(trace=False, metrics=True)
+        with pytest.raises(SoundnessError, match="1 mismatch") as excinfo:
+            run_checks(["jacobi"], (4,), obs=obs)
+        assert any(not r.ok for r in excinfo.value.reports)
+        assert obs.counters["check.mismatches"] == 1
+
+
+class TestMainCheck:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main_check(["--code", "jacobi", "--H", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "soundness: OK" in out
+        assert "0 mismatch(es)" in out
+
+    def test_json_document(self, capsys):
+        assert main_check(["--code", "jacobi", "--H", "4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {r["program"] for r in doc["reports"]} == {"jacobi"}
+        assert all(r["ok"] for r in doc["reports"])
+        assert doc["metrics"]["counters"]["check.programs"] == 1
+
+    def test_mismatch_exits_one(self, monkeypatch, capsys):
+        def lying_oracle(program, env, H, **kwargs):
+            report = CheckReport(program="jacobi", H=H, env=dict(env))
+            report.mismatches.append(
+                Mismatch(
+                    kind="descriptor.region",
+                    program="jacobi",
+                    phase="F",
+                    array="A",
+                    detail="synthetic",
+                )
+            )
+            return report
+
+        monkeypatch.setattr(
+            "repro.check.lcg_oracle.check_lcg", lying_oracle
+        )
+        assert main_check(["--code", "jacobi", "--H", "4"]) == 1
+        captured = capsys.readouterr()
+        assert "SOUNDNESS" in captured.err
+        assert "MISMATCH" in captured.out
+
+    def test_bad_fault_name_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main_check(["--faults", "cosmic_ray"])
+
+    def test_bad_H_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main_check(["--H", "sixteen"])
+
+    def test_dispatched_from_top_level_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--code", "jacobi", "--H", "4"]) == 0
+        assert "soundness: OK" in capsys.readouterr().out

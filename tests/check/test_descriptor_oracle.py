@@ -1,0 +1,128 @@
+"""Descriptor oracle: clean on the suite, sharp on tampered descriptors.
+
+The oracle is only worth its CI minutes if (a) sound descriptors come
+back with zero mismatches and (b) *unsound* ones are actually caught —
+vacuous checkers pass everything.  Alongside the suite programs we push
+the two classic symbolic-differencing traps through it: zero-trip loops
+and negative-stride subscripts.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.check.descriptor_oracle import check_descriptors, descriptor_region
+from repro.codes import ALL_CODES
+from repro.descriptors import compute_pd
+from repro.ir import ProgramBuilder
+from repro.ir.interp import phase_access_set
+from repro.obs import Collector
+
+
+@pytest.mark.parametrize("name", ["jacobi", "adi", "redblack", "tfft2"])
+def test_suite_programs_clean(name):
+    builder, env, _ = ALL_CODES[name]
+    obs = Collector(trace=False, metrics=True)
+    report = check_descriptors(builder(), env, program_name=name, obs=obs)
+    assert report.ok, report.render()
+    assert report.checked.get("descriptor.region", 0) > 0
+    assert report.checked.get("descriptor.iteration", 0) > 0
+    assert obs.counters["check.descriptor.region"] == report.checked[
+        "descriptor.region"
+    ]
+
+
+def test_zero_trip_parallel_loop():
+    """A doall that runs zero times must enumerate the empty region."""
+    bld = ProgramBuilder("zerotrip")
+    N = bld.param("N", minimum=1)
+    A = bld.array("A", 64)
+    with bld.phase("F_empty") as ph:
+        with ph.doall("i", N, N - 1) as i:  # upper < lower: zero trips
+            ph.write(A, i)
+    with bld.phase("F_full") as ph:
+        with ph.doall("j", 0, N - 1) as j:
+            ph.read(A, j)
+    prog = bld.build()
+    report = check_descriptors(prog, {"N": 16})
+    assert report.ok, report.render()
+    empty = prog.phase("F_empty")
+    assert phase_access_set(empty, {"N": 16}, "A").size == 0
+    pd = compute_pd(empty, prog.arrays["A"], prog.context)
+    region = descriptor_region(pd, {"N": 16})
+    assert region is not None and region.size == 0
+
+
+def test_zero_trip_inner_loop():
+    """An inner serial loop with no iterations contributes no addresses."""
+    bld = ProgramBuilder("zeroinner")
+    N = bld.param("N", minimum=4)
+    A = bld.array("A", 256)
+    with bld.phase("F_k") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            with ph.do("j", N, N - 1) as j:  # zero-trip inner loop
+                ph.write(A, N * i + j)
+            ph.write(A, i)
+    prog = bld.build()
+    report = check_descriptors(prog, {"N": 8})
+    assert report.ok, report.render()
+
+
+def test_negative_stride_subscript():
+    """Reversed traversal: subscript decreasing in the parallel index."""
+    bld = ProgramBuilder("negstride")
+    N = bld.param("N", minimum=8)
+    A = bld.array("A", 128)
+    with bld.phase("F_rev") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            ph.write(A, N - 1 - i)
+    with bld.phase("F_rev2") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            ph.read(A, 2 * (N - 1) - 2 * i)
+    prog = bld.build()
+    report = check_descriptors(prog, {"N": 16})
+    assert report.ok, report.render()
+
+
+def test_tampered_descriptor_is_caught(monkeypatch):
+    """Corrupting a PD row must surface as a descriptor.region mismatch."""
+    builder, env, _ = ALL_CODES["jacobi"]
+    prog = builder()
+
+    real_compute_pd = compute_pd
+
+    def tampered(phase, array, ctx):
+        pd = real_compute_pd(phase, array, ctx)
+        row = pd.rows[0]
+        dim = row.dims[0]
+        bad_dims = (dataclasses.replace(dim, stride=dim.stride + 1),) + tuple(
+            row.dims[1:]
+        )
+        bad_row = dataclasses.replace(row, dims=bad_dims)
+        return dataclasses.replace(pd, rows=(bad_row,) + tuple(pd.rows[1:]))
+
+    monkeypatch.setattr(
+        "repro.check.descriptor_oracle.compute_pd", tampered
+    )
+    report = check_descriptors(prog, env, program_name="jacobi")
+    assert not report.ok
+    kinds = {m.kind for m in report.mismatches}
+    assert "descriptor.region" in kinds
+    first = next(
+        m for m in report.mismatches if m.kind == "descriptor.region"
+    )
+    assert first.missing + first.extra > 0
+    assert first.samples  # evidence addresses are carried
+
+
+def test_region_matches_truth_exactly_on_example():
+    builder, env, _ = ALL_CODES["mgrid"]
+    prog = builder()
+    phase = prog.phases[0]
+    array = sorted(phase.arrays(), key=lambda a: a.name)[0]
+    pd = compute_pd(phase, array, prog.context)
+    region = descriptor_region(pd, env)
+    truth = phase_access_set(phase, env, array.name)
+    assert region is not None
+    assert np.array_equal(region, truth)

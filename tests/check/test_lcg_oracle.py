@@ -1,0 +1,77 @@
+"""LCG oracle: clean on the suite, sharp on a flipped label.
+
+``check_lcg`` re-derives every Table 1 label and replays the DSM
+execution; a label the engine got right must match, and a label we
+corrupt behind its back must be reported — both directions, so the
+oracle can't pass vacuously.
+"""
+
+import pytest
+
+from repro import analyze
+from repro.check.lcg_oracle import check_lcg
+from repro.codes import ALL_CODES
+from repro.obs import Collector
+
+
+def _run(name, H):
+    builder, env, back = ALL_CODES[name]
+    prog = builder()
+    result = analyze(prog, env=env, H=H, back_edges=back)
+    return prog, env, back, result
+
+
+@pytest.mark.parametrize(
+    "name,H",
+    [("jacobi", 16), ("adi", 16), ("redblack", 16), ("swim", 16)],
+)
+def test_suite_programs_clean(name, H):
+    prog, env, back, result = _run(name, H)
+    obs = Collector(trace=False, metrics=True)
+    report = check_lcg(
+        prog, env, H, back_edges=back, program_name=name,
+        result=result, obs=obs,
+    )
+    assert report.ok, report.render()
+    assert report.checked.get("lcg.label", 0) > 0
+    assert obs.counters["check.lcg.label"] == report.checked["lcg.label"]
+
+
+def test_l_heavy_and_c_heavy_families_both_exercised():
+    """jacobi is all-L, adi is all-C: the oracle must walk both arms."""
+    prog, env, back, result = _run("jacobi", 16)
+    rep_l = check_lcg(
+        prog, env, 16, back_edges=back, program_name="jacobi", result=result
+    )
+    assert rep_l.checked.get("lcg.l_edge_traffic", 0) > 0
+    prog, env, back, result = _run("adi", 16)
+    rep_c = check_lcg(
+        prog, env, 16, back_edges=back, program_name="adi", result=result
+    )
+    assert rep_c.checked.get("lcg.c_edge_comm", 0) > 0
+
+
+def test_flipped_label_is_caught():
+    """Corrupting an edge label must produce an lcg.label mismatch."""
+    prog, env, back, result = _run("jacobi", 16)
+    flipped = None
+    for array in result.lcg.arrays():
+        for edge in result.lcg.edges(array):
+            if edge.label == "L":
+                object.__setattr__(edge, "label", "C")
+                flipped = (edge, "L")
+                break
+        if flipped:
+            break
+    assert flipped is not None
+    try:
+        report = check_lcg(
+            prog, env, 16, back_edges=back, program_name="jacobi",
+            result=result,
+        )
+    finally:
+        object.__setattr__(flipped[0], "label", flipped[1])
+    assert not report.ok
+    assert any(m.kind == "lcg.label" for m in report.mismatches)
+    # the flip also promises communication that never happens
+    assert any(m.kind == "lcg.c_edge_comm" for m in report.mismatches)

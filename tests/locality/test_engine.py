@@ -218,9 +218,12 @@ class TestDiskCache:
         assert loaded.stats["edge_hits"] >= len(loaded.edges)
 
     def test_corrupt_file_loads_empty(self, tmp_path):
+        from repro.errors import CacheLoadWarning
+
         path = tmp_path / "garbage.pkl"
         path.write_bytes(b"not a pickle")
-        cache = AnalysisCache.load(path)
+        with pytest.warns(CacheLoadWarning):
+            cache = AnalysisCache.load(path)
         assert not cache.edges and not cache.intra
 
     def test_missing_file_loads_empty(self, tmp_path):

@@ -1,0 +1,162 @@
+"""Engine failure semantics: infra degrades, analysis bugs surface.
+
+The old behaviour was one `except Exception: return None` around the
+whole pool, so a genuine bug in `analyze_edge` silently re-ran serially
+(and usually raised there — but only after doubling the work, and any
+parallel-only failure mode was unobservable).  The contract now:
+
+* pool *infrastructure* failures (no pool, dead worker, unpicklable
+  payloads) fall back to serial dispatch, warn, and count
+  ``engine.pool_fallback``;
+* exceptions raised by the analysis itself re-raise as
+  :class:`repro.errors.AnalysisError` with the original as its cause;
+* corrupt cache pickles load cold, warn :class:`CacheLoadWarning`, and
+  count ``analysis_cache.load_failed``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.codes import ALL_CODES
+from repro.errors import AnalysisError, CacheLoadWarning
+from repro.ir import ProgramBuilder
+from repro.locality import AnalysisCache, analyze_edges, build_lcg
+from repro.obs import Collector
+from repro.symbolic import sym
+
+
+def _program():
+    bld = ProgramBuilder("failprog")
+    N = bld.param("N", minimum=8)
+    A = bld.array("A", 64)
+    B = bld.array("B", 64)
+    with bld.phase("F_k") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            ph.write(A, i)
+            ph.write(B, 2 * i)
+    with bld.phase("F_g") as ph:
+        with ph.doall("j", 0, N - 1) as j:
+            ph.read(A, j)
+            ph.read(B, 2 * j + 1)
+    return bld.build()
+
+
+def _items(prog):
+    return [
+        (prog.phase("F_k"), prog.phase("F_g"), prog.arrays["A"]),
+        (prog.phase("F_k"), prog.phase("F_g"), prog.arrays["B"]),
+    ]
+
+
+class TestTaskExceptions:
+    def test_raising_worker_surfaces_as_analysis_error(self, monkeypatch):
+        """A bug in analyze_edge must NOT silently degrade to serial."""
+        prog = _program()
+
+        def broken_analyze_edge(*args, **kwargs):
+            raise ValueError("injected analysis bug")
+
+        monkeypatch.setattr(
+            "repro.locality.engine.analyze_edge", broken_analyze_edge
+        )
+        with pytest.raises(AnalysisError, match="injected analysis bug"):
+            analyze_edges(
+                _items(prog),
+                prog.context,
+                sym("H"),
+                env={"N": 16},
+                H_value=4,
+                parallel=True,
+                cache=False,
+            )
+
+
+class TestPoolSetupFallback:
+    def test_setup_failure_falls_back_serial_with_counter(self, monkeypatch):
+        prog = _program()
+        serial = analyze_edges(
+            _items(prog), prog.context, sym("H"),
+            env={"N": 16}, H_value=4, parallel=False, cache=False,
+        )
+
+        def no_pool(*args, **kwargs):
+            raise RuntimeError("forks disabled on this box")
+
+        monkeypatch.setattr("multiprocessing.get_context", no_pool)
+        obs = Collector(trace=False, metrics=True)
+        prog2 = _program()
+        prog2.context.obs = obs
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            degraded = analyze_edges(
+                _items(prog2), prog2.context, sym("H"),
+                env={"N": 16}, H_value=4, parallel=True, cache=False,
+            )
+        assert obs.counters.get("engine.pool_fallback", 0) == 1
+        assert [e.label for e in degraded] == [e.label for e in serial]
+        assert [e.reason for e in degraded] == [e.reason for e in serial]
+
+    def test_suite_program_identical_after_fallback(self, monkeypatch):
+        builder, env, back = ALL_CODES["tomcatv"]
+        baseline = build_lcg(
+            builder(), env=env, H_value=4, back_edges=back,
+            parallel=False, cache=False,
+        )
+
+        def no_pool(*args, **kwargs):
+            raise RuntimeError("no fork for you")
+
+        monkeypatch.setattr("multiprocessing.get_context", no_pool)
+        with pytest.warns(RuntimeWarning):
+            degraded = build_lcg(
+                builder(), env=env, H_value=4, back_edges=back,
+                parallel=True, cache=False,
+            )
+        for array in sorted(baseline.arrays()):
+            assert baseline.labels(array) == degraded.labels(array)
+
+
+class TestCacheLoadFailures:
+    def test_corrupt_pickle_warns_and_counts(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"not a pickle at all")
+        obs = Collector(trace=False, metrics=True)
+        with pytest.warns(CacheLoadWarning, match="starting cold"):
+            cache = AnalysisCache.load(path, obs=obs)
+        assert not cache.edges and not cache.intra
+        assert cache.stats["load_failed"] == 1
+        assert obs.counters["analysis_cache.load_failed"] == 1
+
+    def test_truncated_pickle_warns(self, tmp_path):
+        src = tmp_path / "ok.pkl"
+        cache = AnalysisCache()
+        cache.save(src)
+        truncated = tmp_path / "truncated.pkl"
+        truncated.write_bytes(src.read_bytes()[:-7])
+        with pytest.warns(CacheLoadWarning):
+            loaded = AnalysisCache.load(truncated)
+        assert not loaded.edges and loaded.stats["load_failed"] == 1
+
+    def test_schema_mismatch_warns(self, tmp_path):
+        path = tmp_path / "old-schema.pkl"
+        path.write_bytes(
+            pickle.dumps({"schema": -1, "intra": {}, "edges": {}})
+        )
+        with pytest.warns(CacheLoadWarning, match="schema"):
+            loaded = AnalysisCache.load(path)
+        assert loaded.stats["load_failed"] == 1
+
+    def test_wrong_payload_type_warns(self, tmp_path):
+        path = tmp_path / "list.pkl"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.warns(CacheLoadWarning):
+            loaded = AnalysisCache.load(path)
+        assert loaded.stats["load_failed"] == 1
+
+    def test_missing_file_is_silent(self, tmp_path):
+        import warnings as w
+
+        with w.catch_warnings():
+            w.simplefilter("error")
+            cache = AnalysisCache.load(tmp_path / "absent.pkl")
+        assert not cache.edges and cache.stats["load_failed"] == 0

@@ -89,6 +89,7 @@ class TestEndpoints:
         metrics = client.metrics()
         assert {"counters", "responses", "latency", "coalesce",
                 "result_cache", "analysis_cache"} <= set(metrics)
+        assert "load_failed" in metrics["analysis_cache"]
         assert metrics["responses"].get("200", 0) >= 1
         assert metrics["latency"]["count"] >= 1
         stats = client.cache_stats()

@@ -309,12 +309,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 # a cache *path* is any value string that the grammar does not read as an
-# on/off token; commas would split the spec, and surrounding whitespace is
-# stripped by the parser, so neither can round-trip
+# on/off token; `,`/`=`/`\` are backslash-escaped by to_spec so they
+# round-trip, but surrounding whitespace is stripped by the parser and
+# cannot
 _PATH_ALPHABET = (
     "abcdefghijklmnopqrstuvwxyz"
     "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
-    "0123456789/._-"
+    "0123456789/._-,=\\"
 )
 _BOOL_TOKENS = ("on", "true", "yes", "1", "off", "false", "no", "0")
 _paths = st.text(
@@ -359,3 +360,58 @@ class TestSpecRoundTripProperty:
         back = AnalysisOptions.from_spec(opts.to_spec())
         assert back.analysis_cache == str(target)
         assert back == AnalysisOptions(analysis_cache=str(target))
+
+
+class TestSpecEscaping:
+    """Values holding the grammar's own separators survive the spec."""
+
+    def test_comma_in_cache_path(self):
+        opts = AnalysisOptions(analysis_cache="/tmp/warm,start.pkl")
+        spec = opts.to_spec()
+        assert "\\," in spec
+        assert AnalysisOptions.from_spec(spec) == opts
+
+    def test_equals_in_cache_path(self):
+        opts = AnalysisOptions(analysis_cache="/tmp/run=7/lcg.pkl")
+        assert AnalysisOptions.from_spec(opts.to_spec()) == opts
+
+    def test_backslash_in_cache_path(self):
+        opts = AnalysisOptions(analysis_cache="C:\\caches\\lcg.pkl")
+        assert AnalysisOptions.from_spec(opts.to_spec()) == opts
+
+    def test_escaped_value_parses_directly(self):
+        opts = AnalysisOptions.from_spec(
+            "cache=/tmp/a\\,b\\=c.pkl,engine=serial"
+        )
+        assert opts.analysis_cache == "/tmp/a,b=c.pkl"
+        assert opts.engine == "serial"
+
+    def test_unescaped_comma_still_separates(self):
+        opts = AnalysisOptions.from_spec("engine=serial,metrics=on")
+        assert opts.engine == "serial" and opts.metrics is True
+
+
+class TestFromSpecs:
+    """Each repeated --opt is one spec; later flags win per key."""
+
+    def test_one_spec_per_flag_needs_no_escaping_across_flags(self):
+        opts = AnalysisOptions.from_specs(
+            ["engine=parallel", "cache=/tmp/warm\\,start.pkl"]
+        )
+        assert opts.engine == "parallel"
+        assert opts.analysis_cache == "/tmp/warm,start.pkl"
+
+    def test_later_specs_win(self):
+        opts = AnalysisOptions.from_specs(["engine=serial", "engine=parallel"])
+        assert opts.engine == "parallel"
+
+    def test_empty_sequence_is_defaults(self):
+        assert AnalysisOptions.from_specs([]) == AnalysisOptions()
+
+    def test_multi_key_specs_still_supported(self):
+        opts = AnalysisOptions.from_specs(
+            ["engine=serial,metrics=on", "workers=2"]
+        )
+        assert opts.engine == "serial"
+        assert opts.metrics is True
+        assert opts.parallel_workers == 2
