@@ -16,6 +16,7 @@ __all__ = [
     "CheckReport",
     "Mismatch",
     "check_descriptors",
+    "check_exec_tier",
     "check_lcg",
     "env_for",
     "faults",
@@ -26,6 +27,7 @@ __all__ = [
 _LAZY = {
     "check_descriptors": "descriptor_oracle",
     "descriptor_region": "descriptor_oracle",
+    "check_exec_tier": "exec_oracle",
     "check_lcg": "lcg_oracle",
     "env_for": "cli",
     "main_check": "cli",

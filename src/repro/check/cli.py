@@ -46,6 +46,7 @@ def run_checks(
     options=None,
     obs: Optional[Collector] = None,
     raise_on_mismatch: bool = True,
+    exec_tier: bool = False,
 ) -> list:
     """Run both oracles over ``codes`` × ``H_values``; return the reports.
 
@@ -54,10 +55,16 @@ def run_checks(
     everything gathered.  ``faults`` names stay armed for the whole
     sweep — the point being that a sweep under faults must *still* come
     back clean, via the documented fallbacks.
+
+    With ``exec_tier`` the sweep instead runs the execution-tier
+    differential (:func:`repro.check.exec_oracle.check_exec_tier`):
+    symbolic closed-form accounting against wide enumeration, phase
+    counts and communication plans byte-for-byte.
     """
     from .. import analyze
     from ..codes import ALL_CODES
     from .descriptor_oracle import check_descriptors
+    from .exec_oracle import check_exec_tier
     from .lcg_oracle import check_lcg
 
     selected = sorted(ALL_CODES) if not codes else list(codes)
@@ -87,27 +94,41 @@ def run_checks(
                         options=options,
                         collector=obs,
                     )
-                    with obs_span(obs, "check.descriptors"):
-                        desc = check_descriptors(
-                            program, env, program_name=code, obs=obs
-                        )
-                    desc.H = H
-                    with obs_span(obs, "check.lcg"):
-                        lcg = check_lcg(
-                            program,
-                            env,
-                            H,
-                            back_edges=back_edges,
-                            program_name=code,
-                            result=result,
-                            obs=obs,
-                        )
-                    found = len(desc.mismatches) + len(lcg.mismatches)
+                    if exec_tier:
+                        with obs_span(obs, "check.exec_tier"):
+                            new_reports = [
+                                check_exec_tier(
+                                    program,
+                                    env,
+                                    H,
+                                    back_edges=back_edges,
+                                    program_name=code,
+                                    result=result,
+                                    obs=obs,
+                                )
+                            ]
+                    else:
+                        with obs_span(obs, "check.descriptors"):
+                            desc = check_descriptors(
+                                program, env, program_name=code, obs=obs
+                            )
+                        desc.H = H
+                        with obs_span(obs, "check.lcg"):
+                            lcg = check_lcg(
+                                program,
+                                env,
+                                H,
+                                back_edges=back_edges,
+                                program_name=code,
+                                result=result,
+                                obs=obs,
+                            )
+                        new_reports = [desc, lcg]
+                    found = sum(len(r.mismatches) for r in new_reports)
                     span.set(mismatches=found)
                     if obs is not None and found:
                         obs.count("check.mismatches", found)
-                reports.append(desc)
-                reports.append(lcg)
+                reports.extend(new_reports)
 
     total = sum(len(r.mismatches) for r in reports)
     if total and raise_on_mismatch:
@@ -167,6 +188,13 @@ def main_check(argv: Sequence[str]) -> int:
     )
     parser.add_argument("--json", action="store_true", help="emit JSON")
     parser.add_argument(
+        "--exec-tier",
+        action="store_true",
+        help="run the execution-tier differential instead (symbolic "
+        "closed-form accounting vs wide enumeration, counts and "
+        "communication plans byte-for-byte)",
+    )
+    parser.add_argument(
         "--trace", action="store_true", help="include span traces in metrics"
     )
     args = parser.parse_args(list(argv))
@@ -196,6 +224,7 @@ def main_check(argv: Sequence[str]) -> int:
             faults=fault_names,
             options=options,
             obs=obs,
+            exec_tier=args.exec_tier,
         )
     except SoundnessError as err:
         print(_render_all(err.reports, obs, args.json))

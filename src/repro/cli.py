@@ -136,8 +136,10 @@ def main(argv=None) -> int:
         default=[],
         metavar="KEY=VALUE,...",
         help="engine options (repeatable), e.g. "
-        "engine=parallel,cache=lcg.pkl,refutation=off,fast_path=wide,"
-        "workers=4 — the grammar of AnalysisOptions.from_spec",
+        "engine=parallel,cache=lcg.pkl,refutation=off,workers=4,"
+        "fast_path=symbolic — executor tiers interp|legacy|wide|symbolic "
+        "(symbolic: closed-form counts, no enumeration) — the grammar "
+        "of AnalysisOptions.from_spec",
     )
     parser.add_argument(
         "--trace",

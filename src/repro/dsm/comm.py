@@ -26,7 +26,14 @@ import numpy as np
 
 from ..distribution.costs import MachineCosts, T3D
 
-__all__ = ["PutOperation", "CommunicationPlan", "redistribution", "frontier_update"]
+__all__ = [
+    "PutOperation",
+    "CommunicationPlan",
+    "redistribution",
+    "null_redistribution",
+    "aggregate_puts",
+    "frontier_update",
+]
 
 
 @dataclass(frozen=True)
@@ -104,18 +111,37 @@ def redistribution(
     dst = new_owner[moved]
     puts = []
     if src.size:
-        pair = src.astype(np.int64) * (int(new_owner.max()) + 1) + dst
-        uniq, counts = np.unique(pair, return_counts=True)
-        base = int(new_owner.max()) + 1
-        for code, count in zip(uniq, counts):
-            puts.append(
-                PutOperation(
-                    source=int(code // base),
-                    dest=int(code % base),
-                    elements=int(count),
-                )
-            )
+        puts = aggregate_puts(src, dst, int(new_owner.max()) + 1)
     return CommunicationPlan(array=array, edge=edge, pattern="global", puts=puts)
+
+
+def aggregate_puts(src: np.ndarray, dst: np.ndarray, base: int) -> list:
+    """Aggregate element transfers into one put per (src, dst) pair.
+
+    ``base`` must exceed every destination PE number; pairs come back
+    sorted lexicographically by (source, dest) — the canonical order
+    every accounting tier must reproduce byte-identically.
+    """
+    pair = src.astype(np.int64) * base + dst
+    uniq, counts = np.unique(pair, return_counts=True)
+    return [
+        PutOperation(
+            source=int(code // base),
+            dest=int(code % base),
+            elements=int(count),
+        )
+        for code, count in zip(uniq, counts)
+    ]
+
+
+def null_redistribution(array: str, edge: tuple) -> CommunicationPlan:
+    """The empty global plan: source and drain layouts already agree.
+
+    The symbolic tier emits this without computing the region — an
+    identical-layout edge moves nothing, so the plan is byte-identical
+    to what :func:`redistribution` would build the slow way.
+    """
+    return CommunicationPlan(array=array, edge=edge, pattern="global", puts=[])
 
 
 def frontier_update(

@@ -37,7 +37,12 @@ from ..distribution.schedule import (
     ReplicatedLayout,
 )
 from ..obs import obs_span
-from .comm import CommunicationPlan, frontier_update, redistribution
+from .comm import (
+    CommunicationPlan,
+    frontier_update,
+    null_redistribution,
+    redistribution,
+)
 
 #: Bytes per array element, for the traffic gauge (the T3D moves
 #: 64-bit words).
@@ -146,17 +151,18 @@ class ExecutionReport:
         )
 
 
-#: Fast-path selector: "wide" (descriptor-first ragged enumeration,
-#: falling back to "legacy"), "legacy" (affine-rectangular only), or
-#: "off" (always interpret).  The perf harness switches this to time
-#: the pre-optimization baseline.
+#: Fast-path selector: "symbolic" (closed-form descriptor accounting,
+#: falling back to "wide"), "wide" (descriptor-first ragged
+#: enumeration, falling back to "legacy"), "legacy"
+#: (affine-rectangular only), or "off" (always interpret).  The perf
+#: harness switches this to time the pre-optimization baseline.
 _FAST_MODE = "wide"
 
 
 def _set_fast_path_default(mode: str) -> str:
     """Move the default executor tier; returns the old one (no warning)."""
     global _FAST_MODE
-    if mode not in ("wide", "legacy", "off"):
+    if mode not in ("symbolic", "wide", "legacy", "off"):
         raise ValueError(f"unknown fast-path mode {mode!r}")
     old = _FAST_MODE
     _FAST_MODE = mode
@@ -198,7 +204,14 @@ def _try_fast_stats(
     mode = mode or _FAST_MODE
     if mode == "off":
         return None
-    if mode == "wide":
+    if mode == "symbolic":
+        stats = _symbolic_fast_stats(phase, env, H, schedule, layouts,
+                                     obs=obs)
+        if stats is not None:
+            if obs is not None:
+                obs.count("dsm.fast_path.symbolic")
+            return stats
+    if mode in ("wide", "symbolic"):
         stats = _wide_fast_stats(phase, env, H, schedule, layouts)
         if stats is not None:
             if obs is not None:
@@ -208,6 +221,30 @@ def _try_fast_stats(
     if stats is not None and obs is not None:
         obs.count("dsm.fast_path.legacy")
     return stats
+
+
+def _symbolic_fast_stats(
+    phase: Phase,
+    env: Mapping[str, int],
+    H: int,
+    schedule: CyclicSchedule,
+    layouts: Mapping[str, object],
+    obs=None,
+):
+    """Closed-form accounting from the access descriptors (the
+    "symbolic" tier): delegates to :mod:`repro.dsm.closed_form`, which
+    counts owner/accessor lattice intersections per (base, stride,
+    span) segment instead of enumerating addresses.  Returns None when
+    the phase is outside even the per-segment fallback's reach."""
+    from .closed_form import symbolic_phase_stats
+
+    counts = symbolic_phase_stats(phase, env, H, schedule, layouts, obs=obs)
+    if counts is None:
+        return None
+    local, remote, iterations = counts
+    return PhaseStats(
+        phase=phase.name, local=local, remote=remote, iterations=iterations
+    )
 
 
 def _wide_fast_stats(
@@ -663,6 +700,28 @@ def execute_with_plan(
     layouts = chain_layouts(lcg, plan, env, H)
     fold_edges = layouts.pop("__fold_edges__", [])
     report = ExecutionReport(program=program.name, H=H, machine=machine)
+    resolved_mode = fast_path or _FAST_MODE
+
+    # Drain regions are needed only on redistribution edges and repeat
+    # across edges sharing a drain phase (redblack's frontier-heavy plan
+    # used to re-enumerate one per edge) — compute them lazily, once.
+    region_cache: dict = {}
+
+    def drain_region(drain, array):
+        key = (drain.name, array.name)
+        if key not in region_cache:
+            region = None
+            if resolved_mode == "symbolic":
+                from .closed_form import symbolic_region
+
+                region = symbolic_region(drain, env, array)
+                if region is None and obs is not None:
+                    obs.count("dsm.symbolic.fallback")
+                    obs.count("dsm.symbolic.fallback.region")
+            if region is None:
+                region = phase_access_set(drain, env, array)
+            region_cache[key] = region
+        return region_cache[key]
 
     with obs_span(obs, "dsm"):
         for phase in program.phases:
@@ -711,7 +770,6 @@ def execute_with_plan(
                 layout_k = layouts[(edge.phase_k, array.name)]
                 layout_g = layouts[(edge.phase_g, array.name)]
                 drain = program.phase(edge.phase_g)
-                region = phase_access_set(drain, env, array)
                 if isinstance(layout_k, ReplicatedLayout) or isinstance(
                     layout_g, ReplicatedLayout
                 ):
@@ -727,16 +785,45 @@ def execute_with_plan(
                             overlap,
                             H,
                         )
-                    else:
-                        old_owner = np.asarray(layout_k.owner(region))
-                        new_owner = np.asarray(layout_g.owner(region))
-                        cp = redistribution(
-                            array.name,
-                            (edge.phase_k, edge.phase_g),
-                            region,
-                            old_owner,
-                            new_owner,
+                    elif (
+                        resolved_mode == "symbolic"
+                        and layout_k == layout_g
+                    ):
+                        # identical layouts move nothing: skip the
+                        # region entirely (byte-identical empty plan)
+                        cp = null_redistribution(
+                            array.name, (edge.phase_k, edge.phase_g)
                         )
+                    else:
+                        cp = None
+                        if resolved_mode == "symbolic":
+                            from .closed_form import symbolic_redistribution
+
+                            cp = symbolic_redistribution(
+                                drain,
+                                env,
+                                array,
+                                layout_k,
+                                layout_g,
+                                H,
+                                (edge.phase_k, edge.phase_g),
+                            )
+                            if cp is None and obs is not None:
+                                obs.count("dsm.symbolic.fallback")
+                                obs.count(
+                                    "dsm.symbolic.fallback.redistribution"
+                                )
+                        if cp is None:
+                            region = drain_region(drain, array)
+                            old_owner = np.asarray(layout_k.owner(region))
+                            new_owner = np.asarray(layout_g.owner(region))
+                            cp = redistribution(
+                                array.name,
+                                (edge.phase_k, edge.phase_g),
+                                region,
+                                old_owner,
+                                new_owner,
+                            )
                     sp.set(
                         pattern=cp.pattern,
                         messages=cp.messages,

@@ -24,7 +24,7 @@ from typing import Optional, Union
 __all__ = ["AnalysisOptions"]
 
 _ENGINES = (None, "serial", "parallel")
-_FAST_PATHS = (None, "wide", "legacy", "off")
+_FAST_PATHS = (None, "symbolic", "wide", "legacy", "off")
 
 _TRUE = ("on", "true", "yes", "1")
 _FALSE = ("off", "false", "no", "0")
@@ -118,9 +118,12 @@ class AnalysisOptions:
     refutation:
         sampled disproof of ``is_nonneg`` queries (bool).
     dsm_fast_path:
-        executor accounting tier: ``"wide"`` (descriptor-first ragged
-        enumeration), ``"legacy"`` (affine-rectangular only) or
-        ``"off"`` (always interpret).
+        executor accounting tier: ``"symbolic"`` (closed-form
+        descriptor arithmetic, O(descriptors) instead of O(addresses)),
+        ``"wide"`` (descriptor-first ragged enumeration), ``"legacy"``
+        (affine-rectangular only) or ``"off"`` (always interpret).
+        Each tier falls back to the next on anything outside its
+        fragment, so counts are identical across tiers.
     parallel_workers:
         cap on the parallel engine's pool width (default: engine cap).
     trace:
@@ -147,7 +150,7 @@ class AnalysisOptions:
         if self.dsm_fast_path not in _FAST_PATHS:
             raise ValueError(
                 f"unknown dsm_fast_path {self.dsm_fast_path!r}: expected "
-                f"'wide', 'legacy' or 'off'"
+                f"'symbolic', 'wide', 'legacy' or 'off'"
             )
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError(
@@ -171,8 +174,9 @@ class AnalysisOptions:
         """Parse ``"engine=parallel,cache=/tmp/lcg.pkl,..."``.
 
         Keys: ``engine``, ``cache`` (on/off or a file path),
-        ``refutation`` (on/off), ``fast_path`` (wide/legacy/off),
-        ``workers`` (int), ``trace`` (on/off), ``metrics`` (on/off).
+        ``refutation`` (on/off), ``fast_path``
+        (symbolic/wide/legacy/off), ``workers`` (int), ``trace``
+        (on/off), ``metrics`` (on/off).
         The long Python field names are accepted as aliases.  Literal
         ``,``/``=``/``\\`` inside a value (cache file paths, typically)
         are backslash-escaped, as :meth:`to_spec` emits them.

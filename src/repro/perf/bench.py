@@ -29,10 +29,24 @@ Three sections are recorded into ``BENCH_perf.json``:
 * ``lcg_full`` — optimized-only LCG-stage scaling at the full sizes for
   H in {16, 64}: cold + warm build times per code.  Cheap enough for CI
   (no baseline pass), guarded by ``--check-lcg``.
+* ``exec`` — the symbolic closed-form tier against wide enumeration at
+  enumeration-hostile sizes (H=64): per-code static/plan speedups, a
+  count-equality assertion, and the observed fallback counters.
+  Guarded by ``--check-exec`` (tfft2 speedup floor + equality).
+* ``exec_large_H`` — symbolic-only runs at H in {1024, 4096}: machine
+  sizes where enumeration multiplies out but closed-form counting does
+  not.  The H=4096 entry is the paper-scale result no enumerating tier
+  ever produced.  Beyond ``LARGE_H_PLAN_MAX`` only ``execute_static``
+  is timed: an all-to-all put *list* is Θ(H²) objects whatever tier
+  counted it.
+* ``exec_huge_N`` — symbolic-only static execution at ~2**20-element
+  problem sizes per code.
 
 Speedups compare wall-clock totals of the two configurations over the
 same stages on the same machine, so the ratio is meaningful even though
-absolute times differ across hosts.
+absolute times differ across hosts.  Since schema 4 each section also
+records ``stage_speedups`` — the per-stage baseline/optimized ratio —
+so a future regression localises to a stage straight from CI output.
 """
 
 from __future__ import annotations
@@ -45,11 +59,17 @@ import time
 from typing import Mapping, Optional
 
 __all__ = [
+    "EXEC_H",
+    "EXEC_SIZES",
     "FULL_H",
     "FULL_SIZES",
+    "HUGE_N_SIZES",
+    "LARGE_H_PLAN_MAX",
+    "LARGE_H_VALUES",
     "LCG_H_VALUES",
     "QUICK_H",
     "QUICK_SIZES",
+    "check_exec",
     "check_lcg_regression",
     "check_regression",
     "main",
@@ -79,10 +99,57 @@ QUICK_SIZES = {
     "redblack": {"N": 1024},
 }
 
-STAGES = ("build", "ard", "lcg", "lcg_warm", "ilp", "exec_static", "exec_plan")
+STAGES = (
+    "build",
+    "ard",
+    "lcg",
+    "lcg_warm",
+    "ilp",
+    "exec_static",
+    "exec_plan",
+    "exec_symbolic",
+)
 
 #: Processor counts for the optimized-only ``lcg_full`` scaling section.
 LCG_H_VALUES = (16, 64)
+
+#: The execution-tier section: enumeration-hostile sizes at H=64, where
+#: the wide tier's cost is address volume and the symbolic tier's is
+#: descriptor count.
+EXEC_H = 64
+EXEC_SIZES = {
+    "tfft2": {"P": 1024, "p": 10, "Q": 1024, "q": 10},
+    "jacobi": {"N": 1 << 20},
+    "swim": {"M": 1024, "N": 1024},
+    "adi": {"M": 1024, "N": 1024},
+    "mgrid": {"N": 1 << 20, "n": 20},
+    "tomcatv": {"M": 1024, "N": 1024},
+    "redblack": {"N": 1 << 20},
+}
+
+#: Machine sizes for the symbolic-only large-H section.  The paper's
+#: T3D topped out at H=256; enumeration cost scales with H while the
+#: closed-form tier's does not, so these are first-ever results.
+LARGE_H_VALUES = (1024, 4096)
+
+#: Largest H at which the large-H section also times plan execution.
+#: The put *list* of an all-to-all redistribution is Θ(H²) Python
+#: objects whatever tier computed the counts — ~16M puts per edge at
+#: H=4096, tens of GB — so beyond this the section reports the
+#: closed-form locality counts (``execute_static``) only.
+LARGE_H_PLAN_MAX = 1024
+
+#: ~2**20-element (and beyond: tfft2's arrays hold 2*P*Q = 2**23)
+#: problem sizes for the symbolic-only huge-N section.
+HUGE_N_SIZES = {
+    "tfft2": {"P": 2048, "p": 11, "Q": 2048, "q": 11},
+    "jacobi": {"N": 1 << 20},
+    "swim": {"M": 1024, "N": 1024},
+    "adi": {"M": 1024, "N": 1024},
+    "mgrid": {"N": 1 << 20, "n": 20},
+    "tomcatv": {"M": 1024, "N": 1024},
+    "redblack": {"N": 1 << 20},
+}
 
 
 def set_optimizations(enabled: bool) -> None:
@@ -188,6 +255,13 @@ def _time_code(name: str, env: Mapping[str, int], H: int) -> dict:
     execute_with_plan(prog, lcg, plan, env, H)
     stages["exec_plan"] = time.perf_counter() - t0
 
+    # The closed-form tier, forced explicitly so the stage is measured
+    # in both configurations regardless of the process default.
+    t0 = time.perf_counter()
+    execute_static(prog, env, H, fast_path="symbolic")
+    execute_with_plan(prog, lcg, plan, env, H, fast_path="symbolic")
+    stages["exec_symbolic"] = time.perf_counter() - t0
+
     stages["total"] = sum(stages[s] for s in STAGES)
     return stages
 
@@ -210,6 +284,21 @@ def _run_mode(sizes: Mapping, H: int, optimized: bool, log) -> dict:
         set_optimizations(True)
 
 
+def _stage_speedups(baseline: dict, optimized: dict) -> dict:
+    """Per-stage baseline/optimized ratio, summed across codes.
+
+    A regression in the end-to-end total only says *something* got
+    slower; the per-stage ratios say *which* stage, straight from the
+    committed payload, with no re-run under a profiler.
+    """
+    speedups: dict = {}
+    for stage in STAGES:
+        base = sum(c[stage] for c in baseline["per_code"].values())
+        opt = sum(c[stage] for c in optimized["per_code"].values())
+        speedups[stage] = base / opt if opt > 0 else float("inf")
+    return speedups
+
+
 def _run_section(sizes: Mapping, H: int, log) -> dict:
     optimized = _run_mode(sizes, H, True, log)
     baseline = _run_mode(sizes, H, False, log)
@@ -223,6 +312,7 @@ def _run_section(sizes: Mapping, H: int, log) -> dict:
             if optimized["total"] > 0
             else float("inf")
         ),
+        "stage_speedups": _stage_speedups(baseline, optimized),
     }
 
 
@@ -302,16 +392,222 @@ def _run_lcg_section(log) -> dict:
     return {"H_values": list(LCG_H_VALUES), "per_H": per_H}
 
 
+def _exec_prepare(name: str, env: Mapping[str, int], H: int):
+    """Build program + LCG + plan once, outside the executor timers."""
+    from ..codes import ALL_CODES
+    from ..distribution import extract_constraints, solve_enumerative
+    from ..locality import build_lcg
+
+    builder, _, back_edges = ALL_CODES[name]
+    prog = builder()
+    lcg = build_lcg(prog, env=env, H_value=H, back_edges=back_edges)
+    plan = solve_enumerative(extract_constraints(lcg), env, H=H)
+    return prog, lcg, plan
+
+
+def _stats_equal(ref, cand) -> bool:
+    """Byte-identical ExecStats: phase counts and put aggregation."""
+    import numpy as np
+
+    if len(ref.phases) != len(cand.phases):
+        return False
+    for pr, pc in zip(ref.phases, cand.phases):
+        for field in ("local", "remote", "iterations"):
+            a = np.asarray(getattr(pr, field))
+            b = np.asarray(getattr(pc, field))
+            if a.shape != b.shape or not np.array_equal(a, b):
+                return False
+    ref_comms = getattr(ref, "comms", ())
+    cand_comms = getattr(cand, "comms", ())
+    if len(ref_comms) != len(cand_comms):
+        return False
+    for cr, cc in zip(ref_comms, cand_comms):
+        if (cr.array, cr.edge, cr.pattern, cr.puts) != (
+            cc.array,
+            cc.edge,
+            cc.pattern,
+            cc.puts,
+        ):
+            return False
+    return True
+
+
+def _run_exec_section(log) -> dict:
+    """Symbolic closed-form tier vs wide enumeration, head to head.
+
+    Enumeration-hostile sizes at H=EXEC_H: the wide tier pays for every
+    address, the symbolic tier for every descriptor.  Each code records
+    both tiers' static/plan wall-clock, the speedups, a byte-identity
+    verdict on the resulting counts + put lists, and the fallback
+    counters the symbolic run emitted (a silent fallback would show up
+    here as a fast-but-actually-wide "speedup" of ~1x).
+    """
+    from ..dsm import execute_static, execute_with_plan
+    from ..obs import Collector
+
+    set_optimizations(True)
+    per_code: dict = {}
+    for name in sorted(EXEC_SIZES):
+        env = EXEC_SIZES[name]
+        prog, lcg, plan = _exec_prepare(name, env, EXEC_H)
+        ctx = prog.context
+        prev_obs = getattr(ctx, "obs", None)
+        sym_obs = Collector(metrics=True)
+        try:
+            ctx.obs = sym_obs
+            t0 = time.perf_counter()
+            sym_static = execute_static(prog, env, EXEC_H, fast_path="symbolic")
+            t_sym_static = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            sym_plan = execute_with_plan(
+                prog, lcg, plan, env, EXEC_H, fast_path="symbolic"
+            )
+            t_sym_plan = time.perf_counter() - t0
+        finally:
+            ctx.obs = prev_obs
+        t0 = time.perf_counter()
+        wide_static = execute_static(prog, env, EXEC_H, fast_path="wide")
+        t_wide_static = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        wide_plan = execute_with_plan(
+            prog, lcg, plan, env, EXEC_H, fast_path="wide"
+        )
+        t_wide_plan = time.perf_counter() - t0
+
+        counters = sym_obs.metrics_snapshot().get("counters", {})
+        per_code[name] = {
+            "wide_static": t_wide_static,
+            "wide_plan": t_wide_plan,
+            "symbolic_static": t_sym_static,
+            "symbolic_plan": t_sym_plan,
+            "speedup_static": (
+                t_wide_static / t_sym_static if t_sym_static > 0 else float("inf")
+            ),
+            "speedup_plan": (
+                t_wide_plan / t_sym_plan if t_sym_plan > 0 else float("inf")
+            ),
+            "counts_equal": (
+                _stats_equal(wide_static, sym_static)
+                and _stats_equal(wide_plan, sym_plan)
+            ),
+            "fallbacks": {
+                key: counters[key]
+                for key in sorted(counters)
+                if key.startswith(("dsm.fast_path.", "dsm.symbolic."))
+            },
+        }
+        rec = per_code[name]
+        log(
+            f"    {name:<10} static {rec['speedup_static']:8.1f}x "
+            f"plan {rec['speedup_plan']:8.1f}x "
+            f"equal={rec['counts_equal']}"
+        )
+    return {
+        "H": EXEC_H,
+        "sizes": {k: dict(v) for k, v in EXEC_SIZES.items()},
+        "per_code": per_code,
+    }
+
+
+def _run_large_H_section(log, H_values=LARGE_H_VALUES) -> dict:
+    """Symbolic-only execution at machine sizes enumeration can't reach.
+
+    tfft2's env is grown with the machine (same rule as ``repro check``)
+    so the ILP stays feasible; the per-code record keeps the env it
+    actually ran, plus the analysis (LCG + ILP) time separately from the
+    executor times — at these H values the solver is the slow part and
+    should not be billed to the execution tier.
+    """
+    from ..check import env_for
+    from ..dsm import execute_static, execute_with_plan
+
+    set_optimizations(True)
+    per_H: dict = {}
+    for H in H_values:
+        per_code: dict = {}
+        for name in sorted(EXEC_SIZES):
+            env = env_for(name, EXEC_SIZES[name], H)
+            t0 = time.perf_counter()
+            prog, lcg, plan = _exec_prepare(name, env, H)
+            t_analysis = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            execute_static(prog, env, H, fast_path="symbolic")
+            t_static = time.perf_counter() - t0
+            per_code[name] = {
+                "env": dict(env),
+                "analysis": t_analysis,
+                "symbolic_static": t_static,
+            }
+            if H <= LARGE_H_PLAN_MAX:
+                t0 = time.perf_counter()
+                execute_with_plan(
+                    prog, lcg, plan, env, H, fast_path="symbolic"
+                )
+                per_code[name]["symbolic_plan"] = time.perf_counter() - t0
+            t_plan = per_code[name].get("symbolic_plan")
+            log(
+                f"    H={H:<5} {name:<10} static {t_static:7.3f}s "
+                f"plan {'skipped' if t_plan is None else f'{t_plan:7.3f}s'} "
+                f"(analysis {t_analysis:.2f}s)"
+            )
+        per_H[str(H)] = {
+            "per_code": per_code,
+            "total_static": sum(
+                c["symbolic_static"] for c in per_code.values()
+            ),
+            "total_plan": (
+                sum(c["symbolic_plan"] for c in per_code.values())
+                if H <= LARGE_H_PLAN_MAX
+                else None
+            ),
+        }
+    return {"H_values": list(H_values), "per_H": per_H}
+
+
+def _run_huge_N_section(log) -> dict:
+    """Symbolic-only static execution at ~2**20-element problem sizes."""
+    from ..codes import ALL_CODES
+    from ..dsm import execute_static
+
+    set_optimizations(True)
+    per_code: dict = {}
+    for name in sorted(HUGE_N_SIZES):
+        env = HUGE_N_SIZES[name]
+        builder, _, _ = ALL_CODES[name]
+        prog = builder()
+        t0 = time.perf_counter()
+        execute_static(prog, env, EXEC_H, fast_path="symbolic")
+        per_code[name] = {"symbolic_static": time.perf_counter() - t0}
+        log(
+            f"    {name:<10} static "
+            f"{per_code[name]['symbolic_static']:7.3f}s"
+        )
+    return {
+        "H": EXEC_H,
+        "sizes": {k: dict(v) for k, v in HUGE_N_SIZES.items()},
+        "per_code": per_code,
+        "total_static": sum(
+            c["symbolic_static"] for c in per_code.values()
+        ),
+    }
+
+
 def run_benchmark(
-    quick_only: bool = False, log=lambda s: None, lcg_section=None
+    quick_only: bool = False,
+    log=lambda s: None,
+    lcg_section=None,
+    exec_section=None,
 ) -> dict:
     """Run the harness; returns the BENCH_perf.json payload.
 
     ``lcg_section`` forces the optimized-only ``lcg_full`` section on or
-    off; by default it runs whenever the full section does.
+    off; by default it runs whenever the full section does.  Likewise
+    ``exec_section`` for the symbolic-vs-wide ``exec`` section; the
+    symbolic-only ``exec_large_H`` / ``exec_huge_N`` sections run with
+    the full section.
     """
     result = {
-        "schema": 3,
+        "schema": 4,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "stages": list(STAGES),
@@ -324,10 +620,19 @@ def run_benchmark(
     if lcg_section:
         log(f"lcg_full section (full sizes, H in {list(LCG_H_VALUES)})")
         result["lcg_full"] = _run_lcg_section(log)
+    if exec_section is None:
+        exec_section = not quick_only
+    if exec_section:
+        log(f"exec section (symbolic vs wide, H={EXEC_H})")
+        result["exec"] = _run_exec_section(log)
     if not quick_only:
         log(f"full section (H={FULL_H}) — the baseline pass takes minutes")
         result["full"] = _run_section(FULL_SIZES, FULL_H, log)
         log(f"  full speedup: {result['full']['speedup']:.2f}x")
+        log(f"exec_large_H section (symbolic only, H in {list(LARGE_H_VALUES)})")
+        result["exec_large_H"] = _run_large_H_section(log)
+        log("exec_huge_N section (symbolic only)")
+        result["exec_huge_N"] = _run_huge_N_section(log)
     return result
 
 
@@ -408,6 +713,37 @@ def check_lcg_regression(
     return None
 
 
+def check_exec(current: dict, min_speedup: float) -> Optional[str]:
+    """Guard the symbolic tier from the fresh ``exec`` section.
+
+    Two assertions, both host-independent: the symbolic counts (and put
+    lists) must be byte-identical to wide enumeration for *every* code,
+    and tfft2 — the enumeration-hostile headline — must hold its
+    speedup floor on both execution modes.  No committed file needed:
+    the ratio is measured within one run on one host.
+    """
+    try:
+        per_code = current["exec"]["per_code"]
+    except KeyError:
+        return "current run has no exec section"
+    for name, rec in sorted(per_code.items()):
+        if not rec["counts_equal"]:
+            return (
+                f"exec tier soundness regression: symbolic counts differ "
+                f"from wide enumeration for {name}"
+            )
+    tfft2 = per_code.get("tfft2")
+    if tfft2 is None:
+        return "exec section has no tfft2 entry"
+    for key in ("speedup_static", "speedup_plan"):
+        if tfft2[key] < min_speedup:
+            return (
+                f"exec perf regression: tfft2 {key} {tfft2[key]:.1f}x is "
+                f"below the required {min_speedup:.1f}x"
+            )
+    return None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench-perf",
@@ -441,7 +777,47 @@ def main(argv=None) -> int:
         help="minimum warm edge-cache hit rate asserted by --check-lcg "
         "(default 0.9)",
     )
+    parser.add_argument(
+        "--check-exec", action="store_true",
+        help="run the symbolic-vs-wide exec section and exit 1 unless "
+        "counts are byte-identical on every code and tfft2 holds "
+        "--min-exec-speedup on both execution modes",
+    )
+    parser.add_argument(
+        "--min-exec-speedup", type=float, default=20.0,
+        help="tfft2 static/plan speedup floor asserted by --check-exec "
+        "(default 20.0; generous vs the ~100x measured, for CI hosts)",
+    )
+    parser.add_argument(
+        "--exec-smoke", type=int, default=None, metavar="H",
+        help="run only the symbolic-only large-H section at the given H "
+        "(CI smoke; wrap in a hard timeout)",
+    )
     args = parser.parse_args(argv)
+
+    if args.exec_smoke is not None:
+        set_optimizations(True)
+        section = _run_large_H_section(
+            lambda s: print(s, file=sys.stderr), (args.exec_smoke,)
+        )
+        payload = json.dumps(
+            {"schema": 4, "exec_large_H": section}, indent=2, sort_keys=True
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(payload)
+        totals = section["per_H"][str(args.exec_smoke)]
+        plan_total = totals["total_plan"]
+        print(
+            f"exec smoke ok: H={args.exec_smoke} static "
+            f"{totals['total_static']:.3f}s plan "
+            f"{'skipped' if plan_total is None else f'{plan_total:.3f}s'}",
+            file=sys.stderr,
+        )
+        return 0
 
     committed = None
     committed_lcg = None
@@ -461,11 +837,14 @@ def main(argv=None) -> int:
             print(f"cannot read {args.check_lcg}: {exc}", file=sys.stderr)
             return 1
 
-    checking = args.check is not None or args.check_lcg is not None
+    checking = (
+        args.check is not None or args.check_lcg is not None or args.check_exec
+    )
     result = run_benchmark(
         quick_only=args.quick or checking,
         log=lambda s: print(s, file=sys.stderr),
         lcg_section=True if args.check_lcg is not None else None,
+        exec_section=True if args.check_exec else None,
     )
     payload = json.dumps(result, indent=2, sort_keys=True)
     if args.out:
@@ -503,6 +882,18 @@ def main(argv=None) -> int:
             f"lcg perf check ok: H={top_H} cold "
             f"{totals['total_cold']:.3f}s warm {totals['total_warm']:.3f}s "
             f"hit-rate {'n/a' if rate is None else f'{rate:.0%}'}",
+            file=sys.stderr,
+        )
+    if args.check_exec:
+        error = check_exec(result, args.min_exec_speedup)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 1
+        tfft2 = result["exec"]["per_code"]["tfft2"]
+        print(
+            f"exec check ok: tfft2 static {tfft2['speedup_static']:.1f}x "
+            f"plan {tfft2['speedup_plan']:.1f}x, counts byte-identical "
+            f"on all codes",
             file=sys.stderr,
         )
     return 0

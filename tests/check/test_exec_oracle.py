@@ -1,0 +1,107 @@
+"""The execution-tier oracle: symbolic accounting vs wide enumeration."""
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.check import check_exec_tier, run_checks
+from repro.check.exec_oracle import _compare_comms, _compare_phases
+from repro.check.report import CheckReport
+
+
+def _stats(*phases):
+    return SimpleNamespace(phases=list(phases))
+
+
+def _phase(name, local, remote=(0, 0), iterations=(1, 1)):
+    return SimpleNamespace(
+        phase=name,
+        local=np.asarray(local),
+        remote=np.asarray(remote),
+        iterations=np.asarray(iterations),
+    )
+
+
+def _comm(array="A", edge=("F1", "F2"), pattern="global", puts=()):
+    return SimpleNamespace(
+        array=array, edge=edge, pattern=pattern, puts=list(puts),
+        volume=sum(p[2] for p in puts), messages=len(puts),
+    )
+
+
+class TestComparePhases:
+    def test_identical_counts_clean(self):
+        report = CheckReport(program="x", H=2, env={})
+        ref = _stats(_phase("F", (3, 4)))
+        _compare_phases(report, "exec.static_counts", ref, ref)
+        assert not report.mismatches
+        assert report.checked["exec.static_counts"] == 1
+
+    def test_count_drift_detected(self):
+        report = CheckReport(program="x", H=2, env={})
+        ref = _stats(_phase("F", (3, 4)))
+        sym = _stats(_phase("F", (3, 5)))
+        _compare_phases(report, "exec.plan_counts", ref, sym)
+        assert len(report.mismatches) == 1
+        assert "local" in report.mismatches[0].detail
+
+    def test_phase_count_drift_detected(self):
+        report = CheckReport(program="x", H=2, env={})
+        _compare_phases(
+            report, "exec.static_counts",
+            _stats(_phase("F", (1, 1))), _stats(),
+        )
+        assert len(report.mismatches) == 1
+
+
+class TestCompareComms:
+    def test_identical_plans_clean(self):
+        report = CheckReport(program="x", H=2, env={})
+        ref = SimpleNamespace(comms=[_comm(puts=[(0, 1, 5)])])
+        _compare_comms(report, ref, ref)
+        assert not report.mismatches
+        assert report.checked["exec.plan_comms"] == 1
+
+    def test_put_divergence_detected(self):
+        report = CheckReport(program="x", H=2, env={})
+        ref = SimpleNamespace(comms=[_comm(puts=[(0, 1, 5)])])
+        sym = SimpleNamespace(comms=[_comm(puts=[(0, 1, 6)])])
+        _compare_comms(report, ref, sym)
+        assert len(report.mismatches) == 1
+        assert "first divergence at put 0" in report.mismatches[0].detail
+
+    def test_identity_divergence_detected(self):
+        report = CheckReport(program="x", H=2, env={})
+        ref = SimpleNamespace(comms=[_comm(pattern="global")])
+        sym = SimpleNamespace(comms=[_comm(pattern="frontier")])
+        _compare_comms(report, ref, sym)
+        assert len(report.mismatches) == 1
+        assert "plan identity" in report.mismatches[0].detail
+
+
+class TestCheckExecTier:
+    def test_clean_on_suite_code(self):
+        from repro.codes import ALL_CODES
+
+        builder, _, back_edges = ALL_CODES["adi"]
+        report = check_exec_tier(
+            builder(), {"M": 12, "N": 12}, 4,
+            back_edges=back_edges, program_name="adi",
+        )
+        assert not report.mismatches
+        assert report.checked.get("exec.static_counts", 0) > 0
+        assert report.checked.get("exec.plan_counts", 0) > 0
+        # the symbolic run's counters surface as notes
+        assert any("dsm.fast_path.symbolic" in n for n in report.notes)
+
+    def test_run_checks_exec_tier_sweep(self):
+        reports = run_checks(["adi"], (4,), exec_tier=True)
+        assert len(reports) == 1
+        assert not reports[0].mismatches
+
+    def test_cli_exec_tier_flag(self, capsys):
+        from repro.check import main_check
+
+        assert main_check(["--exec-tier", "--code", "adi", "--H", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0 mismatch(es)" in out

@@ -71,6 +71,44 @@ class TestCheckLcgRegression:
         )
 
 
+def _exec_payload(static=50.0, plan=50.0, equal=True, code="tfft2"):
+    return {
+        "exec": {
+            "per_code": {
+                code: {
+                    "speedup_static": static,
+                    "speedup_plan": plan,
+                    "counts_equal": equal,
+                }
+            }
+        }
+    }
+
+
+class TestCheckExec:
+    def test_within_bounds(self):
+        assert bench.check_exec(_exec_payload(), 20.0) is None
+
+    def test_counts_mismatch_reported(self):
+        error = bench.check_exec(_exec_payload(equal=False), 20.0)
+        assert error is not None and "soundness" in error
+
+    def test_static_speedup_floor(self):
+        error = bench.check_exec(_exec_payload(static=5.0), 20.0)
+        assert error is not None and "speedup_static" in error
+
+    def test_plan_speedup_floor(self):
+        error = bench.check_exec(_exec_payload(plan=5.0), 20.0)
+        assert error is not None and "speedup_plan" in error
+
+    def test_missing_section_reported(self):
+        assert "no exec section" in bench.check_exec({"schema": 4}, 20.0)
+
+    def test_missing_tfft2_reported(self):
+        payload = _exec_payload(code="jacobi")
+        assert "no tfft2 entry" in bench.check_exec(payload, 20.0)
+
+
 class TestSwitches:
     def test_set_optimizations_flips_every_layer(self):
         import repro.dsm.executor as executor
@@ -109,13 +147,18 @@ class TestHarness:
         monkeypatch.setattr(bench, "QUICK_H", 2)
         monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
         payload = run_benchmark(quick_only=True)
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert "full" not in payload
         assert "lcg_full" not in payload
+        assert "exec" not in payload
         assert "lcg_warm" in payload["stages"]
+        assert "exec_symbolic" in payload["stages"]
         quick = payload["quick"]
         assert set(quick["baseline"]["per_code"]) == {"jacobi"}
         assert quick["speedup"] > 0
+        speedups = quick["stage_speedups"]
+        assert set(speedups) == set(bench.STAGES)
+        assert all(v > 0 for v in speedups.values())
         json.dumps(payload)  # payload must be JSON-serialisable
 
     def test_lcg_section_shape(self, monkeypatch):
@@ -130,6 +173,47 @@ class TestHarness:
             assert totals["total_cold"] >= 0.0
             assert totals["total_warm"] >= 0.0
         json.dumps(payload)
+
+    def test_exec_section_shape(self, monkeypatch):
+        monkeypatch.setattr(bench, "EXEC_H", 4)
+        monkeypatch.setattr(bench, "EXEC_SIZES", {"jacobi": {"N": 256}})
+        section = bench._run_exec_section(lambda s: None)
+        rec = section["per_code"]["jacobi"]
+        assert rec["counts_equal"] is True
+        assert rec["speedup_static"] > 0 and rec["speedup_plan"] > 0
+        assert "dsm.fast_path.symbolic" in rec["fallbacks"]
+        json.dumps(section)
+
+    def test_large_H_section_gates_plan(self, monkeypatch):
+        monkeypatch.setattr(bench, "EXEC_SIZES", {"jacobi": {"N": 256}})
+        monkeypatch.setattr(bench, "LARGE_H_PLAN_MAX", 4)
+        section = bench._run_large_H_section(lambda s: None, (4, 8))
+        with_plan = section["per_H"]["4"]
+        without = section["per_H"]["8"]
+        assert "symbolic_plan" in with_plan["per_code"]["jacobi"]
+        assert "symbolic_plan" not in without["per_code"]["jacobi"]
+        assert with_plan["total_plan"] is not None
+        assert without["total_plan"] is None
+        json.dumps(section)
+
+    def test_cli_exec_smoke(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench, "EXEC_SIZES", {"jacobi": {"N": 256}})
+        out = tmp_path / "smoke.json"
+        assert bench.main(["--exec-smoke", "4", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "exec_large_H" in payload
+        assert payload["exec_large_H"]["per_H"]["4"]["total_static"] >= 0.0
+
+    def test_cli_check_exec_round_trip(self, monkeypatch, capsys):
+        monkeypatch.setattr(bench, "QUICK_H", 2)
+        monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
+        monkeypatch.setattr(bench, "EXEC_H", 4)
+        monkeypatch.setattr(bench, "EXEC_SIZES", {"tfft2": {"P": 16, "p": 4, "Q": 16, "q": 4}})
+        # timings at toy sizes are noise: only the equality half of the
+        # guard is meaningful here, so disable the speedup floor
+        assert (
+            bench.main(["--check-exec", "--min-exec-speedup", "0"]) == 0
+        )
 
     def test_cli_check_round_trip(self, tmp_path, monkeypatch):
         monkeypatch.setattr(bench, "QUICK_H", 2)

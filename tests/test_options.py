@@ -130,6 +130,32 @@ class TestKnobThreading:
         assert c.get("dsm.fast_path.wide", 0) > 0
         assert c.get("dsm.fast_path.interp", 0) == 0
 
+    def test_fast_path_symbolic_counts_closed_form(self):
+        program, env = _small_program()
+        clear_caches()
+        result = analyze(
+            program,
+            env=env,
+            H=4,
+            options=AnalysisOptions(dsm_fast_path="symbolic", metrics=True),
+        )
+        c = result.metrics["counters"]
+        assert c.get("dsm.fast_path.symbolic", 0) > 0
+        assert c.get("dsm.fast_path.interp", 0) == 0
+        # the closed-form tier's counts agree with the wide tier's
+        from repro.dsm import execute_static
+
+        sym = execute_static(program, env, 4, fast_path="symbolic")
+        wide = execute_static(program, env, 4, fast_path="wide")
+        for ps, pw in zip(sym.phases, wide.phases):
+            assert list(ps.local) == list(pw.local)
+            assert list(ps.remote) == list(pw.remote)
+
+    def test_fast_path_symbolic_spec_round_trip(self):
+        opts = AnalysisOptions.from_spec("fast_path=symbolic")
+        assert opts.dsm_fast_path == "symbolic"
+        assert AnalysisOptions.from_spec(opts.to_spec()) == opts
+
     def test_refutation_off_records_no_refute_counters(self):
         from repro.codes import ALL_CODES
 
