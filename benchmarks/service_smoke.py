@@ -8,13 +8,24 @@ asserts the acceptance bar from the serving milestone:
 * at least one response was deduplicated (single-flight coalesce or
   result-LRU hit) — duplicates must not all recompute,
 * every response is byte-identical to its serial in-process twin,
-* draining persists the warm analysis cache snapshot.
+* draining persists the warm analysis cache *and* the compiled-plan
+  bundle snapshots (both written atomically).
+
+``--cold-boot`` re-runs against snapshots left by a previous invocation
+(point ``--snapshot-dir`` at the same directory): a restarted server
+must load both files, replay plans instead of re-deriving, and still
+answer byte-identically.
 
 Run as a script (CI does): exits nonzero on any violation.
 
     PYTHONPATH=src python benchmarks/service_smoke.py
+    PYTHONPATH=src python benchmarks/service_smoke.py \
+        --snapshot-dir ./state && \
+    PYTHONPATH=src python benchmarks/service_smoke.py \
+        --snapshot-dir ./state --cold-boot
 """
 
+import argparse
 import json
 import sys
 import tempfile
@@ -44,18 +55,52 @@ def expected_bodies():
     return expected
 
 
-def main() -> int:
-    snapshot = Path(tempfile.mkdtemp(prefix="repro-smoke-")) / "cache.pkl"
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="directory for cache.pkl and plans.pkl (default: a fresh "
+        "temporary directory)",
+    )
+    parser.add_argument(
+        "--cold-boot",
+        action="store_true",
+        help="require pre-existing snapshots in --snapshot-dir and "
+        "assert the restarted server replays plans from them",
+    )
+    args = parser.parse_args(argv)
+
+    if args.snapshot_dir:
+        state_dir = Path(args.snapshot_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+    else:
+        state_dir = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+    snapshot = state_dir / "cache.pkl"
+    plan_snapshot = state_dir / "plans.pkl"
+
+    if args.cold_boot and not (snapshot.exists() and plan_snapshot.exists()):
+        print(
+            f"FAIL: --cold-boot needs existing snapshots in {state_dir}",
+            file=sys.stderr,
+        )
+        return 1
+
     config = ServiceConfig(
         port=0,
         workers=4,
         queue_limit=64,  # admit the whole burst; smoke tests dedup, not 429s
         snapshot_path=str(snapshot),
         snapshot_every=10,
+        plan_path=str(plan_snapshot),
     )
     server, thread = serve_in_thread(config)
     port = server.server_address[1]
     print(f"server on 127.0.0.1:{port}, {REQUESTS} concurrent requests")
+
+    if args.cold_boot:
+        boot_plans = len(server.state.plan_cache.plans)
+        print(f"cold boot loaded {boot_plans} plans from {plan_snapshot}")
 
     mix = [
         (CODES[i % len(CODES)], H_VALUES[i % len(H_VALUES)])
@@ -81,6 +126,7 @@ def main() -> int:
 
     client = ServiceClient(port=port)
     metrics = client.metrics()
+    plan_stats = server.state.plan_cache.snapshot_stats()
     server.drain()
     thread.join(30)
 
@@ -118,6 +164,23 @@ def main() -> int:
 
     if not snapshot.exists():
         failures.append(f"drain did not write the cache snapshot {snapshot}")
+    if not plan_snapshot.exists():
+        failures.append(
+            f"drain did not write the plan snapshot {plan_snapshot}"
+        )
+
+    print(f"plan cache: {json.dumps(plan_stats['stats'], sort_keys=True)}")
+    if args.cold_boot:
+        if plan_stats["stats"]["load_failed"]:
+            failures.append("cold boot failed to load the plan snapshot")
+        if boot_plans < 1:
+            failures.append(
+                "cold boot loaded zero plans from the bundle"
+            )
+        if plan_stats["stats"]["installed"] < 1:
+            failures.append(
+                "cold-booted server never replayed a snapshot plan"
+            )
 
     if failures:
         for failure in failures:

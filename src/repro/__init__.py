@@ -105,7 +105,14 @@ def analyze(
     from .distribution import extract_constraints, solve_enumerative
     from .dsm import execute_with_plan
     from .obs import obs_span
-    from .symbolic.compile import _compile_cached
+    from .plan import (
+        PlanCache,
+        PlanRecorder,
+        get_plan_cache,
+        install_plan,
+        plan_key,
+    )
+    from .symbolic.compile import compile_stats
 
     opts = _fold_legacy(options, parallel, cache)
 
@@ -122,6 +129,26 @@ def analyze(
             cache_path = cache_arg
             cache_arg = AnalysisCache.load(cache_path, obs=obs)
 
+    # Compiled analysis plans: a path-valued plan_cache loads the
+    # persistent bundle (memo banks install immediately — they speed
+    # every program); plan=True alone uses the in-memory bundle.  A
+    # known (program, binding) installs its plan and replays; an
+    # unknown one records this build into a fresh plan.
+    plan_enabled = opts.plan
+    plan_bundle = None
+    plan_path = None
+    if opts.plan_cache is not None:
+        if hasattr(opts.plan_cache, "plans"):
+            plan_bundle = opts.plan_cache
+        else:
+            plan_path = opts.plan_cache
+            plan_bundle = PlanCache.load(plan_path, obs=obs)
+            plan_bundle.install_banks(obs=obs)
+        if plan_enabled is None:
+            plan_enabled = True
+    elif plan_enabled:
+        plan_bundle = get_plan_cache()
+
     ctx = program.context
     prev_obs = getattr(ctx, "obs", None)
     prev_refutation = getattr(ctx, "refutation", None)
@@ -129,7 +156,19 @@ def analyze(
     if opts.refutation is not None:
         ctx.refutation = opts.refutation
 
-    compile_before = _compile_cached.cache_info()
+    exec_plan = None
+    recorder = None
+    if plan_enabled and plan_bundle is not None:
+        found = plan_bundle.get(plan_key(program, env, H))
+        if found is not None and install_plan(found, obs=obs):
+            exec_plan = found
+            plan_bundle.stats["installed"] += 1
+        else:
+            if found is not None:
+                plan_bundle.stats["rejected"] += 1
+            recorder = PlanRecorder()
+
+    compile_before = compile_stats()
     try:
         with obs_span(obs, "analyze", program=program.name, H=H):
             if obs is not None:
@@ -158,7 +197,23 @@ def analyze(
                 ),
                 cache=cache_arg,
                 workers=opts.parallel_workers,
+                plan=exec_plan,
             )
+            if recorder is not None:
+                compiled_plan = recorder.finish(
+                    program,
+                    env=env,
+                    H_value=H,
+                    back_edges=back_edges,
+                )
+                recorder = None
+                if compiled_plan is not None:
+                    plan_bundle.put(compiled_plan)
+                    if obs is not None:
+                        obs.count("plan.compiled")
+            if plan_path is not None:
+                plan_bundle.capture_banks()
+                plan_bundle.save(plan_path)
             if cache_path is not None:
                 cache_arg.save(cache_path)
             with obs_span(obs, "constraints"):
@@ -182,12 +237,17 @@ def analyze(
                 else None
             )
         if obs is not None and obs.metrics:
-            delta = _compile_cached.cache_info()
+            delta = compile_stats()
             obs.count(
-                "compile.compiled", delta.misses - compile_before.misses
+                "compile.compiled",
+                delta["misses"] - compile_before["misses"],
             )
-            obs.count("compile.reused", delta.hits - compile_before.hits)
+            obs.count(
+                "compile.reused", delta["hits"] - compile_before["hits"]
+            )
     finally:
+        if recorder is not None:
+            recorder.abandon()
         ctx.obs = prev_obs
         if opts.refutation is not None:
             ctx.refutation = prev_refutation

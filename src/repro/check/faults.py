@@ -36,6 +36,11 @@ fault              seam                                     degraded path / coun
                                                             ``prover.timeouts``
 ``compile_failure`` ``symbolic.compile.compile_expr``       exact interpretation;
                                                             ``dsm.fast_path.interp``
+``plan_corrupt``   ``plan.cache.PlanCache.load``            fresh cold build;
+                                                            ``plan.load_failed``
+``plan_stale``     ``plan.cache.PlanCache.load``            fresh cold build
+                                                            (version mismatch);
+                                                            ``plan.load_failed``
 =================  ======================================  =======================
 """
 
@@ -53,6 +58,8 @@ FAULTS: Tuple[str, ...] = (
     "corrupt_cache",
     "prover_timeout",
     "compile_failure",
+    "plan_corrupt",
+    "plan_stale",
 )
 
 #: Faults that only fire in forked subprocesses (the parent runs the

@@ -208,14 +208,25 @@ class IterationDescriptor:
         """
         from ..symbolic import affine_coefficients
 
+        # Memoized per (descriptor instance, p symbol): the linearisation
+        # is a pure function of the rows and the context, both fixed for
+        # the instance's lifetime.  The memo lives in __dict__, so it
+        # pickles (and ships inside plan bundles) with the descriptor.
+        memo = self.__dict__.setdefault("_affine_memo", {})
+        if p_symbol in memo:
+            return memo[p_symbol]
         value = self.balanced_value(p_symbol)
         form = affine_coefficients(value, [p_symbol])
         if not form.exact:
-            return None
-        a = form.coeff(p_symbol)
-        if p_symbol in form.constant.free_symbols():
-            return None
-        return (a, form.constant)
+            result = None
+        else:
+            a = form.coeff(p_symbol)
+            if p_symbol in form.constant.free_symbols():
+                result = None
+            else:
+                result = (a, form.constant)
+        memo[p_symbol] = result
+        return result
 
     # -- misc -----------------------------------------------------------------
 

@@ -50,6 +50,16 @@ class Feasibility(enum.Enum):
     UNKNOWN = "unknown"
 
 
+#: Structural memo of :meth:`BalancedCondition.decide` verdicts.  The
+#: decision is a pure function of the equation (slopes, shift, trips),
+#: the assumption context and the concrete binding — the ``p_k``/``p_g``
+#: symbol *names* never enter it — so structurally identical phase pairs
+#: across programs (and across processes, via plan bundles) share one
+#: verdict.  Witness expressions are name-free for the same reason.
+_DECIDE_CACHE: dict = {}
+_DECIDE_CACHE_MAX = 1 << 14
+
+
 @dataclass
 class BalancedCondition:
     """The instantiated Eq. 1–3 for a phase pair and one array.
@@ -209,6 +219,25 @@ class BalancedCondition:
             )
         return DiophantineSolution(0, 0, 0, 0, 0)
 
+    def _decide_key(
+        self, ctx: Context, H, env, H_value
+    ) -> Optional[tuple]:
+        if not self.affine:
+            return None
+        from ..symbolic import as_expr
+
+        return (
+            self.slope_k._key(),
+            self.slope_g._key(),
+            self.shift._key(),
+            self.trip_k._key(),
+            self.trip_g._key(),
+            ctx._fingerprint(),
+            as_expr(H)._key(),
+            tuple(sorted((k, int(v)) for k, v in (env or {}).items())),
+            H_value,
+        )
+
     def decide(
         self,
         ctx: Context,
@@ -217,15 +246,27 @@ class BalancedCondition:
         H_value: Optional[int] = None,
     ) -> tuple:
         """Symbolic first, concrete fallback.  Returns (Feasibility, witness)."""
+        key = self._decide_key(ctx, H, env, H_value)
+        if key is not None:
+            hit = _DECIDE_CACHE.get(key)
+            if hit is not None:
+                obs = getattr(ctx, "obs", None)
+                if obs is not None:
+                    obs.count("balanced.decide_hits")
+                return hit
         verdict, witness = self.check_symbolic(ctx, H)
-        if verdict is not Feasibility.UNKNOWN:
-            return verdict, witness
-        if env is not None and H_value is not None:
-            sol = self.solve_concrete(env, H_value)
-            if sol.feasible:
-                return Feasibility.FEASIBLE, sol.smallest()
-            return Feasibility.INFEASIBLE, None
-        return Feasibility.UNKNOWN, witness
+        if verdict is Feasibility.UNKNOWN:
+            if env is not None and H_value is not None:
+                sol = self.solve_concrete(env, H_value)
+                if sol.feasible:
+                    verdict, witness = Feasibility.FEASIBLE, sol.smallest()
+                else:
+                    verdict, witness = Feasibility.INFEASIBLE, None
+        if key is not None and verdict is not Feasibility.UNKNOWN:
+            if len(_DECIDE_CACHE) >= _DECIDE_CACHE_MAX:
+                _DECIDE_CACHE.clear()
+            _DECIDE_CACHE[key] = (verdict, witness)
+        return verdict, witness
 
 
 def _one():

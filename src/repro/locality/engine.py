@@ -33,6 +33,7 @@ from ..check.faults import fire as _fault_fire
 from ..descriptors.fingerprint import edge_fingerprint, phase_array_fingerprint
 from ..errors import AnalysisError, CacheLoadWarning
 from ..obs import obs_span
+from ..persist import atomic_write_bytes
 from ..symbolic import sym
 from .inter import EdgeAnalysis, analyze_edge
 from .intra import IntraPhaseResult
@@ -208,7 +209,13 @@ class AnalysisCache:
     # -- persistence -----------------------------------------------------
 
     def save(self, path) -> None:
-        """Pickle the cache for a warm start of a later process."""
+        """Atomically pickle the cache for a warm start of a later process.
+
+        Routed through :func:`repro.persist.atomic_write_bytes` so a
+        crash (or a SIGTERM drain) mid-save can never leave a truncated
+        snapshot behind — the reader sees the previous file or the new
+        one, both loadable.
+        """
         with self._lock:
             payload = pickle.dumps(
                 {
@@ -217,8 +224,7 @@ class AnalysisCache:
                     "edges": self.edges,
                 }
             )
-        with open(path, "wb") as fh:
-            fh.write(payload)
+        atomic_write_bytes(path, payload)
 
     @classmethod
     def load(cls, path, obs=None) -> "AnalysisCache":
@@ -489,6 +495,7 @@ def analyze_edges(
     parallel: Optional[bool] = None,
     cache=None,
     workers: Optional[int] = None,
+    fps: Optional[Sequence] = None,
 ) -> list:
     """Analyze ``(phase_k, phase_g, array)`` work items, in order.
 
@@ -496,15 +503,18 @@ def analyze_edges(
     fingerprint, dispatched (serially or over the pool, per the module
     toggle unless ``parallel`` overrides, ``workers`` capping the pool
     width), then merged back by item index — the result list is
-    identical for every dispatch mode.
+    identical for every dispatch mode.  ``fps`` optionally supplies the
+    items' pre-computed edge fingerprints (from a compiled plan),
+    skipping the per-item recomputation.
     """
     if parallel is None:
         parallel = _ENGINE_MODE == "parallel"
     cache = _resolve_cache(cache)
     obs = getattr(ctx, "obs", None)
 
+    precomputed = fps if fps is not None and len(fps) == len(items) else None
     results: list = [None] * len(items)
-    fps: list = [None] * len(items)
+    fps = [None] * len(items)
     leaders: dict = {}  # fingerprint -> index that computes it
     followers: dict = {}  # index -> leader index
     compute: list = []
@@ -515,9 +525,12 @@ def analyze_edges(
         if cache is None:
             compute.append(i)
             continue
-        fp = edge_fingerprint(
-            phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
-        )
+        if precomputed is not None:
+            fp = precomputed[i]
+        else:
+            fp = edge_fingerprint(
+                phase_k, phase_g, array, ctx, H, env=env, H_value=H_value
+            )
         fps[i] = fp
         if obs is not None:
             obs.count("analysis_cache.edge_lookups")

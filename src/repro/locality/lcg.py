@@ -34,7 +34,35 @@ from ..symbolic import Context, Expr, sym
 from .engine import analyze_edges
 from .inter import EdgeAnalysis
 
-__all__ = ["LCG", "build_lcg"]
+__all__ = ["LCG", "build_lcg", "edge_work_items"]
+
+
+def edge_work_items(
+    program: Program, back_edges: Optional[list] = None
+) -> list:
+    """The LCG's ``(phase_k, phase_g, array)`` work list, in build order.
+
+    Shared between :func:`build_lcg` and the plan compiler
+    (:mod:`repro.plan`) — the pre-computed edge fingerprints of a plan
+    are only valid because both sides enumerate edges through this one
+    function.
+    """
+    work: list = []
+    for array in program.arrays_in_use():
+        accessing = [
+            ph
+            for ph in program.phases
+            if any(x.name == array.name for x in ph.arrays())
+        ]
+        pairs = list(zip(accessing, accessing[1:]))
+        if back_edges:
+            by_name = {ph.name: ph for ph in accessing}
+            for u, v in back_edges:
+                if u in by_name and v in by_name:
+                    pairs.append((by_name[u], by_name[v]))
+        for ph_k, ph_g in pairs:
+            work.append((ph_k, ph_g, array))
+    return work
 
 
 @dataclass
@@ -170,6 +198,7 @@ def build_lcg(
     parallel: Optional[bool] = None,
     cache=None,
     workers: Optional[int] = None,
+    plan=None,
 ) -> LCG:
     """Build and label the LCG of a program.
 
@@ -186,14 +215,16 @@ def build_lcg(
     ``parallel`` overrides the engine dispatch mode for this build,
     ``cache`` the analysis-cache setting (an :class:`AnalysisCache`
     instance, a bool, or None for the module toggles) and ``workers``
-    caps the parallel pool width.
+    caps the parallel pool width.  ``plan`` optionally supplies a
+    :class:`repro.plan.AnalysisPlan` whose pre-computed edge
+    fingerprints replace the per-item recomputation (a mismatching
+    plan is ignored, never trusted).
     """
     H = H if H is not None else sym("H")
     lcg = LCG(program=program, H=H)
     ctx = program.context
 
     arrays = program.arrays_in_use()
-    work: list = []  # (phase_k, phase_g, array) across every graph
     for a_idx, array in enumerate(arrays, start=1):
         g = nx.DiGraph()
         accessing = [
@@ -203,15 +234,18 @@ def build_lcg(
             if ph in accessing:
                 g.add_node(ph.name, attr=ph.access_attribute(array))
                 lcg.p_names[(ph.name, array.name)] = f"p{k_idx}{a_idx}"
-        pairs = list(zip(accessing, accessing[1:]))
-        if back_edges:
-            by_name = {ph.name: ph for ph in accessing}
-            for u, v in back_edges:
-                if u in by_name and v in by_name:
-                    pairs.append((by_name[u], by_name[v]))
-        for ph_k, ph_g in pairs:
-            work.append((ph_k, ph_g, array))
         lcg.graphs[array.name] = g
+    work = edge_work_items(program, back_edges)
+
+    fps = None
+    if plan is not None:
+        fps = plan.edge_fps_for(work, ctx, H, env, H_value)
+        obs = getattr(ctx, "obs", None)
+        if obs is not None:
+            obs.count(
+                "plan.edge_fps_used" if fps is not None
+                else "plan.edge_fps_mismatch"
+            )
 
     with obs_span(
         getattr(ctx, "obs", None), "lcg", arrays=len(arrays), edges=len(work)
@@ -225,6 +259,7 @@ def build_lcg(
             parallel=parallel,
             cache=cache,
             workers=workers,
+            fps=fps,
         )
     for (ph_k, ph_g, array), analysis in zip(work, analyses):
         g = lcg.graphs[array.name]

@@ -126,6 +126,17 @@ class AnalysisOptions:
         fragment, so counts are identical across tiers.
     parallel_workers:
         cap on the parallel engine's pool width (default: engine cap).
+    plan:
+        compiled analysis plans (:mod:`repro.plan`): record a plan on
+        the first build of a (program, binding) and replay it on later
+        builds — pre-computed edge fingerprints, batched nonneg
+        verdicts, pre-built kernels.  Defaults on when ``plan_cache``
+        is set; plain ``plan=True`` uses the in-memory process bundle.
+    plan_cache:
+        persistence for the plan bundle: a path string loads the
+        on-disk plan/compile/refutation snapshot before the build and
+        saves it back after (atomic write), a
+        :class:`repro.plan.PlanCache` instance is used directly.
     trace:
         record spans on a :class:`repro.obs.Collector`; surfaced as
         ``result.trace``.
@@ -138,6 +149,8 @@ class AnalysisOptions:
     refutation: Optional[bool] = None
     dsm_fast_path: Optional[str] = None
     parallel_workers: Optional[int] = None
+    plan: Optional[bool] = None
+    plan_cache: Union[None, str, object] = None
     trace: bool = False
     metrics: bool = False
 
@@ -166,6 +179,16 @@ class AnalysisOptions:
                 f"analysis_cache must be a bool, a path or an "
                 f"AnalysisCache, got {cache!r}"
             )
+        plan_cache = self.plan_cache
+        if not (
+            plan_cache is None
+            or isinstance(plan_cache, (str, os.PathLike))
+            or (hasattr(plan_cache, "plans") and hasattr(plan_cache, "banks"))
+        ):
+            raise ValueError(
+                f"plan_cache must be a path or a PlanCache, "
+                f"got {plan_cache!r}"
+            )
 
     # -- CLI spec grammar (one-to-one with the Python fields) --------------
 
@@ -175,8 +198,9 @@ class AnalysisOptions:
 
         Keys: ``engine``, ``cache`` (on/off or a file path),
         ``refutation`` (on/off), ``fast_path``
-        (symbolic/wide/legacy/off), ``workers`` (int), ``trace``
-        (on/off), ``metrics`` (on/off).
+        (symbolic/wide/legacy/off), ``workers`` (int), ``plan``
+        (on/off), ``plan_cache`` (a file path), ``trace`` (on/off),
+        ``metrics`` (on/off).
         The long Python field names are accepted as aliases.  Literal
         ``,``/``=``/``\\`` inside a value (cache file paths, typically)
         are backslash-escaped, as :meth:`to_spec` emits them.
@@ -229,6 +253,10 @@ class AnalysisOptions:
                 kwargs["dsm_fast_path"] = value
             elif key in ("workers", "parallel_workers"):
                 kwargs["parallel_workers"] = int(value)
+            elif key == "plan":
+                kwargs["plan"] = _parse_bool(key, value)
+            elif key == "plan_cache":
+                kwargs["plan_cache"] = value  # a plan-bundle file path
             elif key == "trace":
                 kwargs["trace"] = _parse_bool(key, value)
             elif key == "metrics":
@@ -236,7 +264,8 @@ class AnalysisOptions:
             else:
                 raise ValueError(
                     f"unknown option {key!r}; known keys: engine, cache, "
-                    f"refutation, fast_path, workers, trace, metrics"
+                    f"refutation, fast_path, workers, plan, plan_cache, "
+                    f"trace, metrics"
                 )
         return kwargs
 
@@ -248,6 +277,8 @@ class AnalysisOptions:
             "refutation": "refutation",
             "dsm_fast_path": "fast_path",
             "parallel_workers": "workers",
+            "plan": "plan",
+            "plan_cache": "plan_cache",
             "trace": "trace",
             "metrics": "metrics",
         }

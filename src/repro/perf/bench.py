@@ -183,8 +183,10 @@ def clear_caches() -> None:
     """
     from ..descriptors import coalesce as _coalesce
     from ..distribution import ilp as _ilp
+    from ..locality import balanced as _balanced
     from ..locality import engine as _engine
     from ..locality import table1 as _table1
+    from ..plan import clear_plan_cache
     from ..symbolic import clear_refutation_banks
     from ..symbolic import compile as _compile
     from ..symbolic import context as _context
@@ -193,13 +195,15 @@ def clear_caches() -> None:
     _expr._divide_exact_cached.cache_clear()
     _expr._shift_difference_cached.cache_clear()
     _expr._SUBS_CACHE.clear()
-    _compile._compile_cached.cache_clear()
+    _compile.clear_compile_memo()
     _coalesce._COALESCE_CACHE.clear()
     _context._NONNEG_CACHE.clear()
+    _balanced._DECIDE_CACHE.clear()
     _table1.classify_edge.cache_clear()
     _ilp._EVAL_CACHE.clear()
     _engine.clear_analysis_cache()
     clear_refutation_banks()
+    clear_plan_cache()
 
 
 def _time_code(name: str, env: Mapping[str, int], H: int) -> dict:
@@ -317,24 +321,38 @@ def _run_section(sizes: Mapping, H: int, log) -> dict:
 
 
 def _time_lcg_only(name: str, env: Mapping[str, int], H: int) -> dict:
-    """Cold + warm LCG build times for one code at one scale.
+    """Cold, warm and plan-driven-cold LCG build times for one code.
 
     Alongside the timings the record carries the engine's *trajectory*:
     how the warm build answered (edge-cache hits vs. lookups) and how
     the prover's queries resolved during the cold build (refuted /
     passed / declined) — so BENCH_perf.json tracks not just how fast
     the stage is but *why*.
+
+    The ``lcg_cold_plan`` stage measures the compiled-plan cold path
+    end to end: a fully cold recording build (untimed) compiles the
+    plan, the bundle round-trips through an on-disk snapshot, every
+    memo table is cleared, and the timed build then starts from
+    *nothing but the loaded bundle* — exactly the restarted-process
+    scenario the plan cache exists for.  ``cold_speedup`` is the plain
+    cold time over this plan-driven cold time.
     """
+    import os
+    import tempfile
+
     from ..codes import ALL_CODES
     from ..locality import build_lcg
     from ..locality.engine import get_analysis_cache
+    from ..plan import PlanCache, PlanRecorder, install_plan
     from ..symbolic import refutation_stats
 
     builder, _, back_edges = ALL_CODES[name]
     clear_caches()
     # Fresh program objects per build (defeating per-object memos), but
     # constructed outside the timers: the stage under test is build_lcg.
-    first, second = builder(), builder()
+    first, second, third, fourth = (
+        builder(), builder(), builder(), builder(),
+    )
     refute_before = refutation_stats()
     t0 = time.perf_counter()
     build_lcg(first, env=env, H_value=H, back_edges=back_edges)
@@ -348,9 +366,45 @@ def _time_lcg_only(name: str, env: Mapping[str, int], H: int) -> dict:
     hits = stats_warm["edge_hits"] - stats_cold["edge_hits"]
     misses = stats_warm["edge_misses"] - stats_cold["edge_misses"]
     lookups = hits + misses
+
+    # Recording build: fully cold (the hook must see every query as the
+    # build actually issues it), untimed — it stands in for the one
+    # prior process that compiled the plan.
+    clear_caches()
+    recorder = PlanRecorder()
+    build_lcg(third, env=env, H_value=H, back_edges=back_edges)
+    compiled = recorder.finish(
+        third, env=env, H_value=H, back_edges=back_edges
+    )
+    bundle = PlanCache()
+    bundle.put(compiled)
+    bundle.capture_banks()
+    fd, bundle_path = tempfile.mkstemp(prefix="repro-bench-plan-")
+    os.close(fd)
+    cold_plan = None
+    try:
+        bundle.save(bundle_path)
+        clear_caches()
+        loaded = PlanCache.load(bundle_path)
+        loaded.install_banks()
+        replay = loaded.get(compiled.key) if compiled is not None else None
+        if replay is not None and install_plan(replay):
+            t0 = time.perf_counter()
+            build_lcg(
+                fourth, env=env, H_value=H, back_edges=back_edges,
+                plan=replay,
+            )
+            cold_plan = time.perf_counter() - t0
+    finally:
+        os.unlink(bundle_path)
+
     return {
         "lcg": cold,
         "lcg_warm": warm,
+        "lcg_cold_plan": cold_plan,
+        "cold_speedup": (
+            cold / cold_plan if cold_plan else None
+        ),
         "warm_edge_hits": hits,
         "warm_edge_lookups": lookups,
         "warm_hit_rate": hits / lookups if lookups else None,
@@ -371,10 +425,23 @@ def _run_lcg_section(log) -> dict:
             per_code[name] = _time_lcg_only(name, FULL_SIZES[name], H)
         hits = sum(c["warm_edge_hits"] for c in per_code.values())
         lookups = sum(c["warm_edge_lookups"] for c in per_code.values())
+        plan_times = [
+            c["lcg_cold_plan"]
+            for c in per_code.values()
+            if c["lcg_cold_plan"] is not None
+        ]
+        total_cold = sum(c["lcg"] for c in per_code.values())
+        total_cold_plan = sum(plan_times) if plan_times else None
         per_H[str(H)] = {
             "per_code": per_code,
-            "total_cold": sum(c["lcg"] for c in per_code.values()),
+            "total_cold": total_cold,
             "total_warm": sum(c["lcg_warm"] for c in per_code.values()),
+            "total_cold_plan": total_cold_plan,
+            "cold_speedup": (
+                total_cold / total_cold_plan
+                if total_cold_plan and len(plan_times) == len(per_code)
+                else None
+            ),
             "warm_hit_rate": hits / lookups if lookups else None,
             "refute_cold": {
                 key: sum(
@@ -384,9 +451,13 @@ def _run_lcg_section(log) -> dict:
             },
         }
         rate = per_H[str(H)]["warm_hit_rate"]
+        speedup = per_H[str(H)]["cold_speedup"]
         log(
             f"    H={H:<3} lcg cold {per_H[str(H)]['total_cold']:7.3f}s "
             f"warm {per_H[str(H)]['total_warm']:7.3f}s "
+            f"plan-cold "
+            f"{'n/a' if total_cold_plan is None else f'{total_cold_plan:7.3f}s'} "
+            f"(x{'n/a' if speedup is None else f'{speedup:.1f}'}) "
             f"hit-rate {'n/a' if rate is None else f'{rate:.0%}'}"
         )
     return {"H_values": list(LCG_H_VALUES), "per_H": per_H}
@@ -607,7 +678,7 @@ def run_benchmark(
     the full section.
     """
     result = {
-        "schema": 4,
+        "schema": 5,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "stages": list(STAGES),
@@ -669,15 +740,19 @@ def check_lcg_regression(
     committed: dict,
     max_regression: float,
     min_hit_rate: Optional[float] = None,
+    min_cold_speedup: Optional[float] = None,
 ) -> Optional[str]:
     """Compare the fresh ``lcg_full`` section against the committed file.
 
-    Both the cold and warm totals are guarded, per H value: the cold
-    total protects the sampled-refutation + engine speedups, the warm
-    total protects the analysis cache specifically.  With
-    ``min_hit_rate``, the *current run's* warm cache-hit rate is also
-    asserted (when the run recorded one — schema-2 payloads did not), so
-    a cache silently answering nothing can't hide behind a fast host.
+    The cold, warm and plan-driven-cold totals are guarded, per H
+    value: the cold total protects the sampled-refutation + engine
+    speedups, the warm total the analysis cache, the plan-cold total
+    the compiled-plan replay path.  With ``min_hit_rate``, the
+    *current run's* warm cache-hit rate is also asserted (when the run
+    recorded one — schema-2 payloads did not), so a cache silently
+    answering nothing can't hide behind a fast host; likewise
+    ``min_cold_speedup`` asserts the current run's cold/plan-cold
+    ratio — a within-run ratio, so host-independent.
     """
     try:
         committed_per_H = committed["lcg_full"]["per_H"]
@@ -691,15 +766,19 @@ def check_lcg_regression(
         current_totals = current_per_H.get(H)
         if current_totals is None:
             return f"current run is missing lcg_full H={H}"
-        for key in ("total_cold", "total_warm"):
-            if committed_totals[key] <= 0:
+        for key in ("total_cold", "total_warm", "total_cold_plan"):
+            committed_value = committed_totals.get(key)
+            current_value = current_totals.get(key)
+            if not committed_value or current_value is None:
+                # schema-4 payloads have no plan-cold totals; the
+                # min_cold_speedup floor below still guards the stage.
                 continue
-            ratio = current_totals[key] / committed_totals[key]
+            ratio = current_value / committed_value
             if ratio > max_regression:
                 return (
                     f"lcg perf regression at H={H}: {key} "
-                    f"{current_totals[key]:.3f}s is {ratio:.2f}x the "
-                    f"committed {committed_totals[key]:.3f}s "
+                    f"{current_value:.3f}s is {ratio:.2f}x the "
+                    f"committed {committed_value:.3f}s "
                     f"(allowed {max_regression:.2f}x)"
                 )
         if min_hit_rate is not None:
@@ -709,6 +788,19 @@ def check_lcg_regression(
                     f"lcg cache regression at H={H}: warm hit rate "
                     f"{rate:.1%} is below the required "
                     f"{min_hit_rate:.1%}"
+                )
+        if min_cold_speedup is not None:
+            speedup = current_totals.get("cold_speedup")
+            if speedup is None:
+                return (
+                    f"lcg plan regression at H={H}: no plan-driven cold "
+                    f"build completed (plan rejected or not installed)"
+                )
+            if speedup < min_cold_speedup:
+                return (
+                    f"lcg plan regression at H={H}: cold speedup "
+                    f"{speedup:.2f}x is below the required "
+                    f"{min_cold_speedup:.2f}x"
                 )
     return None
 
@@ -778,6 +870,12 @@ def main(argv=None) -> int:
         "(default 0.9)",
     )
     parser.add_argument(
+        "--min-cold-speedup", type=float, default=5.0,
+        help="minimum plan-driven cold-build speedup (plain cold over "
+        "plan-cold, within one run) asserted by --check-lcg "
+        "(default 5.0; generous vs the ~16x measured)",
+    )
+    parser.add_argument(
         "--check-exec", action="store_true",
         help="run the symbolic-vs-wide exec section and exit 1 unless "
         "counts are byte-identical on every code and tfft2 holds "
@@ -801,7 +899,7 @@ def main(argv=None) -> int:
             lambda s: print(s, file=sys.stderr), (args.exec_smoke,)
         )
         payload = json.dumps(
-            {"schema": 4, "exec_large_H": section}, indent=2, sort_keys=True
+            {"schema": 5, "exec_large_H": section}, indent=2, sort_keys=True
         )
         if args.out:
             with open(args.out, "w") as fh:
@@ -871,6 +969,7 @@ def main(argv=None) -> int:
             committed_lcg,
             args.max_regression,
             min_hit_rate=args.min_cache_hit_rate,
+            min_cold_speedup=args.min_cold_speedup,
         )
         if error is not None:
             print(error, file=sys.stderr)
@@ -878,9 +977,12 @@ def main(argv=None) -> int:
         top_H = LCG_H_VALUES[-1]
         totals = result["lcg_full"]["per_H"][str(top_H)]
         rate = totals.get("warm_hit_rate")
+        speedup = totals.get("cold_speedup")
         print(
             f"lcg perf check ok: H={top_H} cold "
             f"{totals['total_cold']:.3f}s warm {totals['total_warm']:.3f}s "
+            f"plan-cold x"
+            f"{'n/a' if speedup is None else f'{speedup:.1f}'} "
             f"hit-rate {'n/a' if rate is None else f'{rate:.0%}'}",
             file=sys.stderr,
         )

@@ -1,0 +1,38 @@
+"""Atomic snapshot writes: write-temp + fsync + rename.
+
+Every on-disk cache in the repo (the :class:`AnalysisCache` pickle, the
+plan/compile/refutation bundle of :mod:`repro.plan`) is written through
+this helper so a reader can never observe a half-written file: the
+payload lands in a temporary sibling first, is fsynced, and then
+atomically renamed over the target.  A SIGTERM mid-write leaves either
+the previous snapshot or the new one — both loadable — never a
+truncated pickle.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_bytes"]
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=".snapshot-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

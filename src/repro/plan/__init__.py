@@ -1,0 +1,21 @@
+"""Compiled analysis plans and the persistent plan/compile bundle.
+
+See :mod:`repro.plan.compiler` for the plan IR and recording/install
+machinery, :mod:`repro.plan.cache` for the on-disk bundle format and
+its invalidation matrix.  Enabled per call via
+``AnalysisOptions(plan=True)`` / ``plan_cache="plans.pkl"`` or the CLI
+spec ``--opt plan=on,plan_cache=plans.pkl``.
+"""
+
+from .cache import PlanCache, clear_plan_cache, get_plan_cache
+from .compiler import AnalysisPlan, PlanRecorder, install_plan, plan_key
+
+__all__ = [
+    "AnalysisPlan",
+    "PlanCache",
+    "PlanRecorder",
+    "clear_plan_cache",
+    "get_plan_cache",
+    "install_plan",
+    "plan_key",
+]

@@ -1,0 +1,251 @@
+"""Persistent cross-process plan/compile/refutation bundle.
+
+A :class:`PlanCache` snapshots everything a cold process must otherwise
+re-derive before its first analysis answers: the compiled-expression
+table keys, the global memo banks (subs, coalesce, decide, nonneg), the
+refutation sample-bank contexts, and the :class:`repro.plan.compiler.
+AnalysisPlan` per ``(program, binding)``.  It persists next to the
+:class:`repro.locality.engine.AnalysisCache` snapshot, is loaded at
+service boot and by the CLI, and degrades exactly like it: a missing
+file is a silent cold start; a corrupt, truncated, schema-mismatched or
+*version*-mismatched file loads empty with a
+:class:`repro.errors.CacheLoadWarning`, a ``load_failed`` stat bump and
+a ``plan.load_failed`` counter — never a wrong answer.
+
+Invalidation matrix (see DESIGN.md):
+
+* **repro version** — the bundle embeds ``repro.__version__``; any
+  mismatch discards the whole file (prover/compiler behaviour may have
+  changed between releases, and memo tables encode their verdicts);
+* **program fingerprint** — plans are keyed by
+  ``program_fingerprint``, so an edited program misses;
+* **options/binding fingerprint** — the concrete ``(env, H)`` binding
+  is part of the plan key (the Diophantine fallback depends on it).
+
+Writes are atomic (:func:`repro.persist.atomic_write_bytes`), and every
+bank and plan is pickle-probed individually at save time: an entry that
+fails to pickle is dropped (counted), never allowed to poison the file.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+from ..check.faults import fire as _fault_fire
+from ..errors import CacheLoadWarning
+from ..persist import atomic_write_bytes
+
+__all__ = [
+    "PlanCache",
+    "clear_plan_cache",
+    "get_plan_cache",
+]
+
+
+def _repro_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+class PlanCache:
+    """Plans plus the global memo banks, as one persistable bundle."""
+
+    SCHEMA = 1
+
+    def __init__(self):
+        self.plans: dict = {}  # (program_fp, binding) -> AnalysisPlan
+        self.banks: dict = {}  # captured global memo tables
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "installed": 0,
+            "rejected": 0,
+            "load_failed": 0,
+            "save_dropped": 0,
+        }
+
+    def clear(self) -> None:
+        self.plans.clear()
+        self.banks.clear()
+        for key in self.stats:
+            self.stats[key] = 0
+
+    # -- plan registry ----------------------------------------------------
+
+    def get(self, key):
+        plan = self.plans.get(key)
+        self.stats["hits" if plan is not None else "misses"] += 1
+        return plan
+
+    def put(self, plan) -> None:
+        if plan is not None:
+            self.plans[plan.key] = plan
+
+    def snapshot_stats(self) -> dict:
+        return {
+            "entries": {
+                "plans": len(self.plans),
+                "banks": len(self.banks),
+            },
+            "stats": dict(self.stats),
+        }
+
+    # -- global memo banks ------------------------------------------------
+
+    def capture_banks(self) -> None:
+        """Snapshot the process's warm memo tables into the bundle."""
+        from ..locality import balanced as _balanced
+        from ..descriptors import coalesce as _coalesce
+        from ..symbolic import compile as _compile
+        from ..symbolic import context as _context
+        from ..symbolic import expr as _expr
+        from ..symbolic import refute as _refute
+
+        self.banks = {
+            "subs": dict(_expr._SUBS_CACHE),
+            "coalesce": dict(_coalesce._COALESCE_CACHE),
+            "decide": dict(_balanced._DECIDE_CACHE),
+            "nonneg": dict(_context._NONNEG_CACHE),
+            "compiled": list(_compile.compile_memo_keys()),
+            "refute_ctxs": [
+                _strip(bank.ctx)
+                for bank in _refute._BANKS.values()
+                if bank.usable
+            ],
+        }
+
+    def install_banks(self, obs=None) -> None:
+        """Seed the process's memo tables from the captured bundle.
+
+        Each table is seeded through its normal store path semantics
+        (plain dict update — the caps are enforced by the next store),
+        compiled kernels are rebuilt from their ``(expr, names)`` keys
+        (compilation is deterministic), and refutation banks are
+        re-derived from their contexts (bank contents are a pure
+        function of the context fingerprint).
+        """
+        from ..locality import balanced as _balanced
+        from ..descriptors import coalesce as _coalesce
+        from ..symbolic import compile as _compile
+        from ..symbolic import context as _context
+        from ..symbolic import expr as _expr
+        from ..symbolic.compile import UncompilableExpr
+        from ..symbolic.refute import _bank_for
+
+        if not self.banks:
+            return
+        _expr._SUBS_CACHE.update(self.banks.get("subs", {}))
+        _coalesce._COALESCE_CACHE.update(self.banks.get("coalesce", {}))
+        _balanced._DECIDE_CACHE.update(self.banks.get("decide", {}))
+        _context._NONNEG_CACHE.update(self.banks.get("nonneg", {}))
+        for expr, names in self.banks.get("compiled", ()):
+            try:
+                _compile.compile_expr(expr, names)
+            except UncompilableExpr:
+                if obs is not None:
+                    obs.count("plan.compile_failed")
+        for ctx in self.banks.get("refute_ctxs", ()):
+            _bank_for(ctx)
+        if obs is not None:
+            obs.count("plan.banks_installed")
+
+    # -- persistence ------------------------------------------------------
+
+    def _picklable(self, value) -> bool:
+        try:
+            pickle.dumps(value)
+            return True
+        except Exception:
+            self.stats["save_dropped"] += 1
+            return False
+
+    def save(self, path) -> None:
+        """Atomically snapshot the bundle (probe-and-drop bad entries)."""
+        banks = {
+            name: value
+            for name, value in self.banks.items()
+            if self._picklable(value)
+        }
+        plans = {
+            key: plan
+            for key, plan in self.plans.items()
+            if self._picklable(plan)
+        }
+        payload = pickle.dumps(
+            {
+                "schema": self.SCHEMA,
+                "version": _repro_version(),
+                "banks": banks,
+                "plans": plans,
+            }
+        )
+        atomic_write_bytes(path, payload)
+
+    @classmethod
+    def load(cls, path, obs=None) -> "PlanCache":
+        """Load a bundle; every degraded load is loud and empty.
+
+        Mirrors :meth:`AnalysisCache.load`: a missing file is the
+        normal cold start; corruption, schema drift and *version*
+        drift all load empty with a :class:`CacheLoadWarning`, a
+        ``load_failed`` stat bump and a ``plan.load_failed`` counter.
+        The ``plan_corrupt``/``plan_stale`` fault seams force the two
+        paths deterministically.
+        """
+        cache = cls()
+        try:
+            with open(path, "rb") as fh:
+                if _fault_fire("plan_corrupt"):
+                    raise pickle.UnpicklingError(
+                        "injected plan_corrupt fault"
+                    )
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict) or "plans" not in payload:
+                raise pickle.UnpicklingError("not a plan-cache payload")
+            if payload.get("schema") != cls.SCHEMA:
+                raise pickle.UnpicklingError(
+                    f"plan schema {payload.get('schema')!r} != {cls.SCHEMA!r}"
+                )
+            version = payload.get("version")
+            if _fault_fire("plan_stale"):
+                version = "0.0.0-stale"
+            if version != _repro_version():
+                raise pickle.UnpicklingError(
+                    f"plan bundle version {version!r} != "
+                    f"{_repro_version()!r}"
+                )
+            cache.banks = payload["banks"]
+            cache.plans = payload["plans"]
+        except FileNotFoundError:
+            pass
+        except Exception as exc:
+            cache.stats["load_failed"] += 1
+            if obs is not None:
+                obs.count("plan.load_failed")
+            warnings.warn(
+                f"plan cache at {str(path)!r} could not be loaded "
+                f"({type(exc).__name__}: {exc}); starting cold",
+                CacheLoadWarning,
+                stacklevel=2,
+            )
+        return cache
+
+
+def _strip(ctx):
+    from .compiler import _strip_ctx
+
+    return _strip_ctx(ctx)
+
+
+#: The process-global in-memory bundle (``plan=on`` with no path).
+_GLOBAL_PLAN_CACHE = PlanCache()
+
+
+def get_plan_cache() -> PlanCache:
+    return _GLOBAL_PLAN_CACHE
+
+
+def clear_plan_cache() -> None:
+    _GLOBAL_PLAN_CACHE.clear()

@@ -79,6 +79,7 @@ class ServiceConfig:
     request_timeout: float = 120.0
     snapshot_path: Optional[str] = None
     snapshot_every: int = 16
+    plan_path: Optional[str] = None
     result_cache: int = 128
     latency_window: int = 1024
     verbose: bool = False
@@ -107,6 +108,7 @@ class AnalysisServer(ThreadingHTTPServer):
         self.state = SharedState(
             snapshot_path=config.snapshot_path,
             snapshot_every=config.snapshot_every,
+            plan_path=config.plan_path,
         )
         self.metrics = ServerMetrics(latency_window=config.latency_window)
         self.flights = SingleFlight()
@@ -177,6 +179,15 @@ class AnalysisServer(ThreadingHTTPServer):
                 opts = replace(
                     request.options, analysis_cache=self.state.cache
                 )
+                if opts.plan_cache is None:
+                    # Share the server's plan bundle: every request
+                    # records into / replays from one compiled-plan
+                    # registry, persisted on the snapshot cadence.
+                    opts = replace(
+                        opts,
+                        plan_cache=self.state.plan_cache,
+                        plan=True if opts.plan is None else opts.plan,
+                    )
                 collector = Collector(
                     trace=request.options.trace, metrics=True
                 )
@@ -436,6 +447,13 @@ def main_serve(argv=None) -> int:
         help="snapshot the cache every N completed analyses",
     )
     parser.add_argument(
+        "--plan-snapshot",
+        metavar="FILE",
+        help="load the compiled-plan bundle from FILE at boot (plans + "
+        "compile/refutation banks, same format as --opt "
+        "plan_cache=FILE) and save it back on the snapshot cadence",
+    )
+    parser.add_argument(
         "--result-cache",
         type=int,
         default=128,
@@ -455,6 +473,7 @@ def main_serve(argv=None) -> int:
         request_timeout=args.timeout,
         snapshot_path=args.snapshot,
         snapshot_every=args.snapshot_every,
+        plan_path=args.plan_snapshot,
         result_cache=args.result_cache,
         verbose=args.verbose,
     )

@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..locality.engine import AnalysisCache
 from ..obs import Reservoir
+from ..plan import PlanCache
 
 __all__ = ["SharedState", "ServerMetrics"]
 
@@ -33,7 +34,14 @@ class SharedState:
     empty, exactly like ``AnalysisCache.load``) and saved back every
     ``snapshot_every`` completed analyses and on :meth:`close` — the
     graceful-drain path calls ``close`` after the last in-flight request
-    finishes, so no warm entries are lost to a SIGTERM.
+    finishes, so no warm entries are lost to a SIGTERM.  Both snapshot
+    writes are atomic (temp + fsync + rename), so a drain interrupted
+    mid-save still leaves a loadable file.
+
+    ``plan_path`` adds the compiled-plan bundle (:mod:`repro.plan`):
+    loaded at boot — its memo banks installed immediately, so the first
+    request of a restarted server replays instead of re-deriving — and
+    saved on the same cadence.
     """
 
     def __init__(
@@ -41,6 +49,7 @@ class SharedState:
         snapshot_path: Optional[str] = None,
         snapshot_every: int = 16,
         cache: Optional[AnalysisCache] = None,
+        plan_path: Optional[str] = None,
     ):
         if snapshot_every < 1:
             raise ValueError(
@@ -48,19 +57,29 @@ class SharedState:
             )
         self.snapshot_path = snapshot_path
         self.snapshot_every = snapshot_every
+        self.plan_path = plan_path
         if cache is not None:
             self.cache = cache
         elif snapshot_path is not None:
             self.cache = AnalysisCache.load(snapshot_path)
         else:
             self.cache = AnalysisCache()
+        if plan_path is not None:
+            self.plan_cache = PlanCache.load(plan_path)
+            self.plan_cache.install_banks()
+        else:
+            self.plan_cache = PlanCache()
         self._lock = threading.Lock()
         self._completed_since_snapshot = 0
         self.snapshots_written = 0
 
+    @property
+    def _persistent(self) -> bool:
+        return self.snapshot_path is not None or self.plan_path is not None
+
     def note_completed(self) -> None:
         """Record one finished analysis; snapshot when the period elapses."""
-        if self.snapshot_path is None:
+        if not self._persistent:
             return
         with self._lock:
             self._completed_since_snapshot += 1
@@ -71,10 +90,14 @@ class SharedState:
             self.save_snapshot()
 
     def save_snapshot(self) -> bool:
-        """Write the cache pickle now; False when persistence is off."""
-        if self.snapshot_path is None:
+        """Write the snapshots now; False when persistence is off."""
+        if not self._persistent:
             return False
-        self.cache.save(self.snapshot_path)
+        if self.snapshot_path is not None:
+            self.cache.save(self.snapshot_path)
+        if self.plan_path is not None:
+            self.plan_cache.capture_banks()
+            self.plan_cache.save(self.plan_path)
         with self._lock:
             self.snapshots_written += 1
         return True
@@ -89,6 +112,8 @@ class SharedState:
             doc["snapshots_written"] = self.snapshots_written
         doc["snapshot_path"] = self.snapshot_path
         doc["snapshot_every"] = self.snapshot_every
+        doc["plan_path"] = self.plan_path
+        doc["plan_cache"] = self.plan_cache.snapshot_stats()
         return doc
 
 

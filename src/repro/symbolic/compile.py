@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from functools import lru_cache, reduce
+from functools import reduce
 from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -56,7 +56,14 @@ from .expr import (
     as_expr,
 )
 
-__all__ = ["CompiledExpr", "UncompilableExpr", "compile_expr"]
+__all__ = [
+    "CompiledExpr",
+    "UncompilableExpr",
+    "clear_compile_memo",
+    "compile_expr",
+    "compile_memo_keys",
+    "compile_stats",
+]
 
 #: Largest intermediate numerator magnitude allowed on the int64 path.
 _INT64_LIMIT = 1 << 62
@@ -346,6 +353,13 @@ class CompiledExpr:
 
     __slots__ = ("expr", "names", "denominator", "_fn", "_source")
 
+    def __reduce__(self):
+        # The exec'd closure does not pickle; rebuild from (expr, names)
+        # on load — compilation is deterministic, so the round trip is
+        # exact.  This is what lets plan bundles ship compiled-kernel
+        # *keys* across processes.
+        return (CompiledExpr, (self.expr, self.names))
+
     def __init__(self, expr: Expr, names: tuple):
         emitter = _Emitter()
         body, den = emitter.emit(expr)
@@ -497,9 +511,44 @@ class CompiledExpr:
         return f"CompiledExpr({self.expr!s}, names={self.names})"
 
 
-@lru_cache(maxsize=8192)
+#: Memo of compiled closures keyed ``(expr, names)``.  A plain
+#: insertion-ordered dict rather than an ``lru_cache`` so the plan
+#: compiler can *enumerate* the table into a persistent bundle; bounded
+#: by dropping the oldest eighth when full.
+_COMPILE_MEMO: dict = {}
+_COMPILE_MEMO_MAX = 8192
+_COMPILE_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_stats() -> dict:
+    """A copy of the memo's hit/miss counters (for obs deltas)."""
+    return dict(_COMPILE_STATS)
+
+
+def compile_memo_keys() -> list:
+    """Every ``(expr, names)`` pair currently compiled, in memo order."""
+    return list(_COMPILE_MEMO)
+
+
+def clear_compile_memo() -> None:
+    _COMPILE_MEMO.clear()
+    for key in _COMPILE_STATS:
+        _COMPILE_STATS[key] = 0
+
+
 def _compile_cached(expr: Expr, names: tuple) -> CompiledExpr:
-    return CompiledExpr(expr, names)
+    key = (expr, names)
+    hit = _COMPILE_MEMO.get(key)
+    if hit is not None:
+        _COMPILE_STATS["hits"] += 1
+        return hit
+    _COMPILE_STATS["misses"] += 1
+    compiled = CompiledExpr(expr, names)
+    if len(_COMPILE_MEMO) >= _COMPILE_MEMO_MAX:
+        for old in list(_COMPILE_MEMO)[: _COMPILE_MEMO_MAX // 8]:
+            del _COMPILE_MEMO[old]
+    _COMPILE_MEMO[key] = compiled
+    return compiled
 
 
 def compile_expr(

@@ -47,9 +47,30 @@ __all__ = ["LoopVar", "Context"]
 #: Global memo table for the is_nonneg predicate.  Keyed by (context
 #: fingerprint, expression key); bounded to keep memory in check.  The
 #: predicates are pure functions of (assumptions, expression), so the
-#: cache is sound across Context copies with equal fingerprints.
+#: cache is sound across Context copies with equal fingerprints.  When
+#: the cap is reached the oldest eighth is evicted (dicts iterate in
+#: insertion order), so a long-lived service process keeps the hottest
+#: recent entries instead of freezing whatever filled the table first.
 _NONNEG_CACHE: dict = {}
 _NONNEG_CACHE_MAX = 1 << 18
+
+#: Optional recording hook armed by the plan compiler
+#: (:mod:`repro.plan`): called as ``hook(ctx, ctx_fp, expr, verdict)``
+#: for every is_nonneg query — including memo hits, so a warm process
+#: still records full coverage.  ``None`` costs one load per query.
+_NONNEG_RECORD = None
+
+
+def _nonneg_store(key, result, obs=None) -> None:
+    if len(_NONNEG_CACHE) >= _NONNEG_CACHE_MAX:
+        evicted = list(_NONNEG_CACHE)[: _NONNEG_CACHE_MAX // 8]
+        for old in evicted:
+            del _NONNEG_CACHE[old]
+        if obs is not None:
+            obs.count("prover.cache_evictions", len(evicted))
+    _NONNEG_CACHE[key] = result
+    if obs is not None:
+        obs.gauge("prover.nonneg_cache_size", len(_NONNEG_CACHE))
 
 
 @dataclass(frozen=True)
@@ -252,16 +273,20 @@ class Context:
             return False
         key = (self._fingerprint(), expr._key())
         obs = getattr(self, "obs", None)
+        record = _NONNEG_RECORD
         cached = _NONNEG_CACHE.get(key)
         if cached is not None:
             if obs is not None:
                 obs.count("prover.cache_hits")
+            if record is not None:
+                record(self, key[0], expr, cached)
             return cached
         result = self._is_nonneg_uncached(expr, _depth)
         if obs is not None and result:
             obs.count("prover.proved")
-        if len(_NONNEG_CACHE) < _NONNEG_CACHE_MAX:
-            _NONNEG_CACHE[key] = result
+        _nonneg_store(key, result, obs)
+        if record is not None:
+            record(self, key[0], expr, result)
         return result
 
     def _is_nonneg_uncached(self, expr: Expr, _depth: int) -> bool:

@@ -1,0 +1,102 @@
+"""Plan-cache fault seams: corrupt/stale bundles degrade to cold builds.
+
+Same contract as the other fault tests: with ``plan_corrupt`` or
+``plan_stale`` armed, a plan-driven analysis must produce the exact
+healthy answer (it just rebuilds cold), warn loudly, and leave the
+documented ``plan.load_failed`` counter behind.
+"""
+
+import pytest
+
+from repro import AnalysisOptions, Collector, analyze
+from repro.check import faults
+from repro.codes import ALL_CODES
+from repro.errors import CacheLoadWarning
+from repro.perf.bench import clear_caches
+from repro.plan import PlanCache
+
+
+@pytest.fixture(autouse=True)
+def _cold_process():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _labels(result):
+    lcg = result.lcg
+    return {
+        array: [(e.phase_k, e.phase_g, e.label) for e in lcg.edges(array)]
+        for array in lcg.arrays()
+    }
+
+
+def _analyze(name, H=4, **kwargs):
+    builder, env, back = ALL_CODES[name]
+    clear_caches()
+    return analyze(builder(), env=env, H=H, back_edges=back, **kwargs)
+
+
+@pytest.fixture()
+def baseline():
+    return _labels(_analyze("jacobi"))
+
+
+@pytest.fixture()
+def bundle_path(tmp_path):
+    """A perfectly valid plan bundle on disk (the faults fire at load)."""
+    path = tmp_path / "plans.pkl"
+    _analyze("jacobi", options=AnalysisOptions(plan_cache=str(path)))
+    assert path.exists()
+    return path
+
+
+@pytest.mark.parametrize("fault", ["plan_corrupt", "plan_stale"])
+def test_fault_degrades_to_cold_build(fault, baseline, bundle_path):
+    obs = Collector(trace=False, metrics=True)
+    opts = AnalysisOptions(plan_cache=str(bundle_path))
+    with faults.inject(fault) as armed:
+        with pytest.warns(CacheLoadWarning):
+            result = _analyze("jacobi", options=opts, collector=obs)
+        assert armed[fault] == 1
+    assert _labels(result) == baseline
+    assert obs.counters.get("plan.load_failed", 0) == 1
+    # the cold rebuild re-recorded and re-saved a healthy bundle
+    assert obs.counters.get("plan.installed", 0) == 0
+    assert obs.counters.get("plan.compiled", 0) == 1
+
+
+def test_disarmed_bundle_replays_again(baseline, bundle_path):
+    """After the fault run, the untouched file still replays cleanly."""
+    obs = Collector(trace=False, metrics=True)
+    opts = AnalysisOptions(plan_cache=str(bundle_path))
+    result = _analyze("jacobi", options=opts, collector=obs)
+    assert _labels(result) == baseline
+    assert obs.counters.get("plan.installed", 0) == 1
+    assert obs.counters.get("plan.load_failed", 0) == 0
+
+
+def test_stale_version_file_without_fault(baseline, tmp_path):
+    """A genuinely stale bundle (version drift) degrades the same way."""
+    import pickle
+
+    path = tmp_path / "plans.pkl"
+    path.write_bytes(
+        pickle.dumps(
+            {
+                "schema": PlanCache.SCHEMA,
+                "version": "0.0.0-ancient",
+                "banks": {},
+                "plans": {},
+            }
+        )
+    )
+    obs = Collector(trace=False, metrics=True)
+    with pytest.warns(CacheLoadWarning, match="version"):
+        result = _analyze(
+            "jacobi",
+            options=AnalysisOptions(plan_cache=str(path)),
+            collector=obs,
+        )
+    assert _labels(result) == baseline
+    assert obs.counters.get("plan.load_failed", 0) == 1

@@ -28,12 +28,13 @@ class TestCheckRegression:
         assert check_regression(_payload(5.0), _payload(0.0), 2.0) is None
 
 
-def _lcg_payload(cold, warm, H="64"):
-    return {
-        "lcg_full": {
-            "per_H": {H: {"total_cold": cold, "total_warm": warm}}
-        }
-    }
+def _lcg_payload(cold, warm, H="64", cold_plan=None, cold_speedup=None):
+    totals = {"total_cold": cold, "total_warm": warm}
+    if cold_plan is not None:
+        totals["total_cold_plan"] = cold_plan
+    if cold_speedup is not None:
+        totals["cold_speedup"] = cold_speedup
+    return {"lcg_full": {"per_H": {H: totals}}}
 
 
 class TestCheckLcgRegression:
@@ -69,6 +70,52 @@ class TestCheckLcgRegression:
         assert "missing lcg_full H" in bench.check_lcg_regression(
             _lcg_payload(1.0, 0.1, H="16"), _lcg_payload(1.0, 0.1, H="64"), 2.0
         )
+
+    def test_plan_cold_regression_reported(self):
+        error = bench.check_lcg_regression(
+            _lcg_payload(1.0, 0.1, cold_plan=0.9),
+            _lcg_payload(1.0, 0.1, cold_plan=0.1),
+            2.0,
+        )
+        assert error is not None and "total_cold_plan" in error
+
+    def test_schema4_committed_without_plan_totals_tolerated(self):
+        # a committed schema-4 baseline has no total_cold_plan: the
+        # ratio check skips it instead of crashing
+        assert (
+            bench.check_lcg_regression(
+                _lcg_payload(1.0, 0.1, cold_plan=0.1),
+                _lcg_payload(1.0, 0.1),
+                2.0,
+            )
+            is None
+        )
+
+    def test_cold_speedup_floor(self):
+        current = _lcg_payload(1.0, 0.1, cold_plan=0.5, cold_speedup=2.0)
+        committed = _lcg_payload(1.0, 0.1)
+        error = bench.check_lcg_regression(
+            current, committed, 2.0, min_cold_speedup=5.0
+        )
+        assert error is not None and "cold speedup" in error
+        assert (
+            bench.check_lcg_regression(
+                current, committed, 2.0, min_cold_speedup=1.5
+            )
+            is None
+        )
+
+    def test_cold_speedup_missing_is_an_error(self):
+        # the current run never completed a plan-driven cold build
+        # (plan rejected or install failed): that is itself a failure
+        # of the replay path, not a skip
+        error = bench.check_lcg_regression(
+            _lcg_payload(1.0, 0.1),
+            _lcg_payload(1.0, 0.1),
+            2.0,
+            min_cold_speedup=5.0,
+        )
+        assert error is not None and "no plan-driven cold build" in error
 
 
 def _exec_payload(static=50.0, plan=50.0, equal=True, code="tfft2"):
@@ -147,7 +194,7 @@ class TestHarness:
         monkeypatch.setattr(bench, "QUICK_H", 2)
         monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
         payload = run_benchmark(quick_only=True)
-        assert payload["schema"] == 4
+        assert payload["schema"] == 5
         assert "full" not in payload
         assert "lcg_full" not in payload
         assert "exec" not in payload
@@ -172,6 +219,11 @@ class TestHarness:
             assert set(totals["per_code"]) == {"jacobi"}
             assert totals["total_cold"] >= 0.0
             assert totals["total_warm"] >= 0.0
+            # the compiled-plan replay completed and was measured
+            assert totals["total_cold_plan"] is not None
+            assert totals["cold_speedup"] is not None
+            code = totals["per_code"]["jacobi"]
+            assert code["lcg_cold_plan"] >= 0.0
         json.dumps(payload)
 
     def test_exec_section_shape(self, monkeypatch):
@@ -235,15 +287,25 @@ class TestHarness:
         committed = tmp_path / "bench.json"
         payload = run_benchmark(quick_only=True, lcg_section=True)
         committed.write_text(json.dumps(payload))
-        # millisecond-scale timings are noisy under a loaded test host;
-        # the pass direction only checks plumbing, so be generous
+        # millisecond-scale timings are noisy under a loaded test host
+        # (and the 5x plan floor only holds at real sizes); the pass
+        # direction only checks plumbing, so be generous
         assert (
             bench.main(
-                ["--check-lcg", str(committed), "--max-regression", "100"]
+                [
+                    "--check-lcg", str(committed),
+                    "--max-regression", "100",
+                    "--min-cold-speedup", "0",
+                ]
             )
             == 0
         )
         payload["lcg_full"]["per_H"]["2"]["total_cold"] = 1e-9
         impossible = tmp_path / "impossible.json"
         impossible.write_text(json.dumps(payload))
-        assert bench.main(["--check-lcg", str(impossible)]) == 1
+        assert (
+            bench.main(
+                ["--check-lcg", str(impossible), "--min-cold-speedup", "0"]
+            )
+            == 1
+        )

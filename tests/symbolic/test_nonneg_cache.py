@@ -1,0 +1,56 @@
+"""The structural is_nonneg memo is bounded: oldest-eighth eviction."""
+
+import pytest
+
+from repro.obs import Collector
+from repro.symbolic import Context, sym
+from repro.symbolic import context as ctx_mod
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    saved = dict(ctx_mod._NONNEG_CACHE)
+    ctx_mod._NONNEG_CACHE.clear()
+    yield
+    ctx_mod._NONNEG_CACHE.clear()
+    ctx_mod._NONNEG_CACHE.update(saved)
+
+
+def test_store_grows_and_gauges():
+    obs = Collector(trace=False, metrics=True)
+    for i in range(10):
+        ctx_mod._nonneg_store(("fp", i), True, obs)
+    assert len(ctx_mod._NONNEG_CACHE) == 10
+    assert obs.gauges["prover.nonneg_cache_size"] == 10
+    assert obs.counters.get("prover.cache_evictions", 0) == 0
+
+
+def test_eviction_drops_oldest_eighth(monkeypatch):
+    monkeypatch.setattr(ctx_mod, "_NONNEG_CACHE_MAX", 16)
+    obs = Collector(trace=False, metrics=True)
+    for i in range(16):
+        ctx_mod._nonneg_store(("fp", i), True, obs)
+    assert len(ctx_mod._NONNEG_CACHE) == 16
+    # the 17th insert evicts the oldest 16//8 == 2 entries
+    ctx_mod._nonneg_store(("fp", 16), False, obs)
+    assert len(ctx_mod._NONNEG_CACHE) == 15
+    assert ("fp", 0) not in ctx_mod._NONNEG_CACHE
+    assert ("fp", 1) not in ctx_mod._NONNEG_CACHE
+    assert ctx_mod._NONNEG_CACHE[("fp", 16)] is False
+    assert obs.counters["prover.cache_evictions"] == 2
+    assert obs.gauges["prover.nonneg_cache_size"] == 15
+
+
+def test_cache_stays_bounded_under_load(monkeypatch):
+    monkeypatch.setattr(ctx_mod, "_NONNEG_CACHE_MAX", 32)
+    for i in range(1000):
+        ctx_mod._nonneg_store(("fp", i), True)
+    assert len(ctx_mod._NONNEG_CACHE) <= 32
+
+
+def test_is_nonneg_populates_bounded_cache():
+    ctx = Context()
+    ctx.assume_positive("H")
+    assert ctx.is_nonneg(sym("H") - 1) is True
+    assert len(ctx_mod._NONNEG_CACHE) >= 1
+    assert len(ctx_mod._NONNEG_CACHE) <= ctx_mod._NONNEG_CACHE_MAX

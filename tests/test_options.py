@@ -54,9 +54,17 @@ class TestSpecGrammar:
             "engine=serial",
             "engine=parallel,cache=/tmp/c.pkl,workers=3",
             "refutation=off,fast_path=off,trace=on,metrics=on",
+            "plan=on",
+            "plan=off,plan_cache=/tmp/plans.pkl",
         ):
             opts = AnalysisOptions.from_spec(spec)
             assert AnalysisOptions.from_spec(opts.to_spec()) == opts
+
+    def test_plan_keys_parse(self):
+        opts = AnalysisOptions.from_spec("plan=on,plan_cache=/tmp/plans.pkl")
+        assert opts.plan is True
+        assert opts.plan_cache == "/tmp/plans.pkl"
+        assert AnalysisOptions.from_spec("plan=off").plan is False
 
     def test_empty_spec_is_all_defaults(self):
         assert AnalysisOptions.from_spec("") == AnalysisOptions()
@@ -93,6 +101,16 @@ class TestValidation:
 
         cache = AnalysisCache()
         assert AnalysisOptions(analysis_cache=cache).analysis_cache is cache
+
+    def test_bad_plan_cache_object(self):
+        with pytest.raises(ValueError, match="plan_cache"):
+            AnalysisOptions(plan_cache=3.14)
+
+    def test_plan_cache_instance_accepted(self):
+        from repro.plan import PlanCache
+
+        bundle = PlanCache()
+        assert AnalysisOptions(plan_cache=bundle).plan_cache is bundle
 
     def test_merged_defaults_fills_none_only(self):
         opts = AnalysisOptions(engine="serial")
