@@ -159,13 +159,15 @@ def analyze(
     exec_plan = None
     recorder = None
     if plan_enabled and plan_bundle is not None:
-        found = plan_bundle.get(plan_key(program, env, H))
-        if found is not None and install_plan(found, obs=obs):
+        found = plan_bundle.get(plan_key(program, env, H, back_edges))
+        if found is not None and install_plan(
+            found, obs=obs, cache=cache_arg
+        ):
             exec_plan = found
-            plan_bundle.stats["installed"] += 1
+            plan_bundle.bump("installed")
         else:
             if found is not None:
-                plan_bundle.stats["rejected"] += 1
+                plan_bundle.bump("rejected")
             recorder = PlanRecorder()
 
     compile_before = compile_stats()
@@ -205,6 +207,7 @@ def analyze(
                     env=env,
                     H_value=H,
                     back_edges=back_edges,
+                    cache=cache_arg,
                 )
                 recorder = None
                 if compiled_plan is not None:

@@ -20,7 +20,9 @@ Invalidation matrix (see DESIGN.md):
 * **program fingerprint** — plans are keyed by
   ``program_fingerprint``, so an edited program misses;
 * **options/binding fingerprint** — the concrete ``(env, H)`` binding
-  is part of the plan key (the Diophantine fallback depends on it).
+  and the ``back_edges`` list are part of the plan key (the
+  Diophantine fallback depends on the binding; the edge work list —
+  and so every positional edge fingerprint — on the back edges).
 
 Writes are atomic (:func:`repro.persist.atomic_write_bytes`), and every
 bank and plan is pickle-probed individually at save time: an entry that
@@ -30,6 +32,7 @@ fails to pickle is dropped (counted), never allowed to poison the file.
 from __future__ import annotations
 
 import pickle
+import threading
 import warnings
 
 from ..check.faults import fire as _fault_fire
@@ -50,11 +53,19 @@ def _repro_version() -> str:
 
 
 class PlanCache:
-    """Plans plus the global memo banks, as one persistable bundle."""
+    """Plans plus the global memo banks, as one persistable bundle.
+
+    One bundle is shared across the service's request threads
+    (``ThreadingHTTPServer``) while the snapshot thread captures and
+    saves it, so every mutation and every multi-item read goes through
+    ``_lock`` — ``save`` in particular must not iterate ``plans`` while
+    a concurrent ``put`` resizes it.
+    """
 
     SCHEMA = 1
 
     def __init__(self):
+        self._lock = threading.Lock()
         self.plans: dict = {}  # (program_fp, binding) -> AnalysisPlan
         self.banks: dict = {}  # captured global memo tables
         self.stats = {
@@ -66,31 +77,48 @@ class PlanCache:
             "save_dropped": 0,
         }
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks don't pickle; restored on load
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def clear(self) -> None:
-        self.plans.clear()
-        self.banks.clear()
-        for key in self.stats:
-            self.stats[key] = 0
+        with self._lock:
+            self.plans.clear()
+            self.banks.clear()
+            for key in self.stats:
+                self.stats[key] = 0
 
     # -- plan registry ----------------------------------------------------
 
     def get(self, key):
-        plan = self.plans.get(key)
-        self.stats["hits" if plan is not None else "misses"] += 1
+        with self._lock:
+            plan = self.plans.get(key)
+            self.stats["hits" if plan is not None else "misses"] += 1
         return plan
 
     def put(self, plan) -> None:
         if plan is not None:
-            self.plans[plan.key] = plan
+            with self._lock:
+                self.plans[plan.key] = plan
+
+    def bump(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self.stats[key] += n
 
     def snapshot_stats(self) -> dict:
-        return {
-            "entries": {
-                "plans": len(self.plans),
-                "banks": len(self.banks),
-            },
-            "stats": dict(self.stats),
-        }
+        with self._lock:
+            return {
+                "entries": {
+                    "plans": len(self.plans),
+                    "banks": len(self.banks),
+                },
+                "stats": dict(self.stats),
+            }
 
     # -- global memo banks ------------------------------------------------
 
@@ -103,7 +131,7 @@ class PlanCache:
         from ..symbolic import expr as _expr
         from ..symbolic import refute as _refute
 
-        self.banks = {
+        banks = {
             "subs": dict(_expr._SUBS_CACHE),
             "coalesce": dict(_coalesce._COALESCE_CACHE),
             "decide": dict(_balanced._DECIDE_CACHE),
@@ -111,10 +139,12 @@ class PlanCache:
             "compiled": list(_compile.compile_memo_keys()),
             "refute_ctxs": [
                 _strip(bank.ctx)
-                for bank in _refute._BANKS.values()
+                for bank in list(_refute._BANKS.values())
                 if bank.usable
             ],
         }
+        with self._lock:
+            self.banks = banks
 
     def install_banks(self, obs=None) -> None:
         """Seed the process's memo tables from the captured bundle.
@@ -134,19 +164,21 @@ class PlanCache:
         from ..symbolic.compile import UncompilableExpr
         from ..symbolic.refute import _bank_for
 
-        if not self.banks:
+        with self._lock:
+            banks = self.banks
+        if not banks:
             return
-        _expr._SUBS_CACHE.update(self.banks.get("subs", {}))
-        _coalesce._COALESCE_CACHE.update(self.banks.get("coalesce", {}))
-        _balanced._DECIDE_CACHE.update(self.banks.get("decide", {}))
-        _context._NONNEG_CACHE.update(self.banks.get("nonneg", {}))
-        for expr, names in self.banks.get("compiled", ()):
+        _expr._SUBS_CACHE.update(banks.get("subs", {}))
+        _coalesce._COALESCE_CACHE.update(banks.get("coalesce", {}))
+        _balanced._DECIDE_CACHE.update(banks.get("decide", {}))
+        _context._NONNEG_CACHE.update(banks.get("nonneg", {}))
+        for expr, names in banks.get("compiled", ()):
             try:
                 _compile.compile_expr(expr, names)
             except UncompilableExpr:
                 if obs is not None:
                     obs.count("plan.compile_failed")
-        for ctx in self.banks.get("refute_ctxs", ()):
+        for ctx in banks.get("refute_ctxs", ()):
             _bank_for(ctx)
         if obs is not None:
             obs.count("plan.banks_installed")
@@ -158,19 +190,30 @@ class PlanCache:
             pickle.dumps(value)
             return True
         except Exception:
-            self.stats["save_dropped"] += 1
+            self.bump("save_dropped")
             return False
 
     def save(self, path) -> None:
-        """Atomically snapshot the bundle (probe-and-drop bad entries)."""
+        """Atomically snapshot the bundle (probe-and-drop bad entries).
+
+        The item lists are snapshotted under the lock; the (slow)
+        per-entry pickle probes run outside it, against the snapshot,
+        so concurrent ``put`` calls neither block on pickling nor
+        resize a dict mid-iteration.  Plans and captured banks are
+        never mutated in place after insertion, so the snapshot is
+        consistent.
+        """
+        with self._lock:
+            bank_items = list(self.banks.items())
+            plan_items = list(self.plans.items())
         banks = {
             name: value
-            for name, value in self.banks.items()
+            for name, value in bank_items
             if self._picklable(value)
         }
         plans = {
             key: plan
-            for key, plan in self.plans.items()
+            for key, plan in plan_items
             if self._picklable(plan)
         }
         payload = pickle.dumps(
@@ -216,8 +259,14 @@ class PlanCache:
                     f"plan bundle version {version!r} != "
                     f"{_repro_version()!r}"
                 )
-            cache.banks = payload["banks"]
-            cache.plans = payload["plans"]
+            banks = payload.get("banks")
+            plans = payload["plans"]
+            if not isinstance(banks, dict) or not isinstance(plans, dict):
+                raise pickle.UnpicklingError(
+                    "plan bundle banks/plans are not dicts"
+                )
+            cache.banks = banks
+            cache.plans = plans
         except FileNotFoundError:
             pass
         except Exception as exc:

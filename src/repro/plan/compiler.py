@@ -4,9 +4,9 @@ A cold ``analyze`` call spends almost all of its time in three places:
 the per-edge structural fingerprints, the ``is_nonneg`` proof searches,
 and the expression→kernel compilation feeding the sampled-refutation
 banks.  All three are pure functions of the program structure, the
-assumption context and the concrete ``(env, H)`` binding — so their
-results can be *compiled once* into an :class:`AnalysisPlan` and
-replayed by any later process analysing the same program:
+assumption context and the concrete ``(env, H, back_edges)`` binding —
+so their results can be *compiled once* into an :class:`AnalysisPlan`
+and replayed by any later process analysing the same program:
 
 * **edge work items** — the LCG work list's fingerprints, pre-deduped
   and stored in enumeration order, so a plan-driven build skips the
@@ -50,16 +50,44 @@ __all__ = [
 ]
 
 
-def _binding(env: Optional[Mapping[str, int]], H_value) -> tuple:
+def _canonical_back_edges(back_edges) -> tuple:
+    """``back_edges`` as a canonical tuple — order preserved.
+
+    The back-edge list is part of the plan binding because it extends
+    the LCG edge work list: two same-length lists in different orders
+    enumerate edges in different positions, and a plan's pre-computed
+    fingerprints are positional.  ``None`` and ``[]`` canonicalize to
+    the same empty tuple.
+    """
+    return tuple((str(u), str(v)) for u, v in (back_edges or ()))
+
+
+def _binding(
+    env: Optional[Mapping[str, int]], H_value, back_edges=None
+) -> tuple:
     return (
         tuple(sorted((k, int(v)) for k, v in (env or {}).items())),
         H_value,
+        _canonical_back_edges(back_edges),
     )
 
 
-def plan_key(program, env: Optional[Mapping[str, int]], H_value) -> tuple:
-    """Cache key of a plan: program structure plus concrete binding."""
-    return (program_fingerprint(program), _binding(env, H_value))
+def plan_key(
+    program,
+    env: Optional[Mapping[str, int]],
+    H_value,
+    back_edges: Optional[list] = None,
+) -> tuple:
+    """Cache key of a plan: program structure plus concrete binding.
+
+    The binding covers ``env``, ``H`` *and* ``back_edges`` — the LCG
+    work list (and therefore every positional edge fingerprint a plan
+    carries) depends on all three.
+    """
+    return (
+        program_fingerprint(program),
+        _binding(env, H_value, back_edges),
+    )
 
 
 def _strip_ctx(ctx):
@@ -90,18 +118,21 @@ class AnalysisPlan:
         """The pre-computed edge fingerprints for ``work``, or None.
 
         ``None`` means the plan does not match the work list (length
-        drift, or the spot-checked first fingerprint disagrees with a
-        fresh computation) and the caller must fall back to computing
-        fingerprints directly — never a wrong key.
+        drift, or a spot-checked fingerprint disagrees with a fresh
+        computation) and the caller must fall back to computing
+        fingerprints directly — never a wrong key.  Both ends of the
+        list are probed: back-edge items are appended at the tail, so
+        the last item catches back-edge drift the first cannot (the
+        primary guard is that ``back_edges`` is part of the plan key).
         """
         if len(work) != len(self.edge_fps):
             return None
-        if work:
-            ph_k, ph_g, array = work[0]
+        for probe in {0, len(work) - 1} if work else ():
+            ph_k, ph_g, array = work[probe]
             fresh = edge_fingerprint(
                 ph_k, ph_g, array, ctx, H, env=env, H_value=H_value
             )
-            if fresh != self.edge_fps[0]:
+            if fresh != self.edge_fps[probe]:
                 return None
         return list(self.edge_fps)
 
@@ -148,9 +179,17 @@ class PlanRecorder:
         H=None,
         H_value=None,
         back_edges: Optional[list] = None,
+        cache=None,
     ) -> Optional["AnalysisPlan"]:
-        """Disarm and assemble the plan; None when recording was inert."""
-        from ..locality.engine import get_analysis_cache
+        """Disarm and assemble the plan; None when recording was inert.
+
+        ``cache`` is the :class:`AnalysisCache` (or build_lcg-style
+        toggle) the recorded build actually ran against — the Theorem-1
+        verdicts are read from there, not from the process-global cache,
+        so a build against a caller-supplied or path-loaded cache
+        records a full intra table.
+        """
+        from ..locality.engine import _resolve_cache
         from ..locality.lcg import edge_work_items
         from ..symbolic import compile as _compile
         from ..symbolic import context as _context
@@ -172,13 +211,14 @@ class PlanRecorder:
         )
 
         intra: dict = {}
-        cache = get_analysis_cache()
-        for phase in program.phases:
-            for array in sorted(phase.arrays(), key=lambda a: a.name):
-                fp = phase_array_fingerprint(phase, array, ctx)
-                hit = cache.intra.get(fp)
-                if hit is not None:
-                    intra[fp] = hit
+        acache = _resolve_cache(cache)
+        if acache is not None:
+            for phase in program.phases:
+                for array in sorted(phase.arrays(), key=lambda a: a.name):
+                    fp = phase_array_fingerprint(phase, array, ctx)
+                    hit = acache.intra.get(fp)
+                    if hit is not None:
+                        intra[fp] = hit
 
         compiled = tuple(
             key
@@ -188,7 +228,7 @@ class PlanRecorder:
 
         return AnalysisPlan(
             program_fp=program_fingerprint(program),
-            binding=_binding(env, H_value),
+            binding=_binding(env, H_value, back_edges),
             edge_fps=edge_fps,
             intra=intra,
             nonneg=list(self.nonneg),
@@ -197,19 +237,20 @@ class PlanRecorder:
         )
 
 
-def install_plan(plan: AnalysisPlan, obs=None) -> bool:
+def install_plan(plan: AnalysisPlan, obs=None, cache=None) -> bool:
     """Seed the process's memo tables from a plan; False = degrade cold.
 
     Install order mirrors the cold path's dependency order: kernels
     first (the refutation sweep evaluates through them), then the
     batched nonneg verdicts — cross-checked against the context's
     sample bank in one vectorised sweep before anything is seeded —
-    then the Theorem-1 verdicts into the analysis cache.  Any
-    integrity failure (a recorded proof the bank refutes) rejects the
-    *whole* plan: a fresh cold build is always correct, a partially
-    trusted plan is not auditable.
+    then the Theorem-1 verdicts into the analysis cache (``cache`` is
+    the cache the replaying build will run against; default is the
+    process-global one).  Any integrity failure (a recorded proof the
+    bank refutes) rejects the *whole* plan: a fresh cold build is
+    always correct, a partially trusted plan is not auditable.
     """
-    from ..locality.engine import get_analysis_cache
+    from ..locality.engine import _resolve_cache
     from ..symbolic import context as _context
     from ..symbolic.compile import UncompilableExpr, compile_expr
     from ..symbolic.refute import _bank_for
@@ -252,9 +293,10 @@ def install_plan(plan: AnalysisPlan, obs=None) -> bool:
     for fp, expr, verdict in plan.nonneg:
         _context._nonneg_store((fp, expr._key()), verdict)
 
-    cache = get_analysis_cache()
-    for fp, result in plan.intra.items():
-        cache.store_intra(fp, result)
+    acache = _resolve_cache(cache)
+    if acache is not None:
+        for fp, result in plan.intra.items():
+            acache.store_intra(fp, result)
 
     if obs is not None:
         obs.count("plan.installed")

@@ -127,11 +127,58 @@ class TestPlanObject:
 
     def test_recorder_captures_build(self):
         program, env, H, back, plan = self._record()
-        assert plan.key == plan_key(program, env, H)
+        assert plan.key == plan_key(program, env, H, back)
         assert len(plan.edge_fps) > 0
         assert len(plan.nonneg) > 0
         assert len(plan.ctxs) > 0
         assert plan.intra  # Theorem-1 verdicts were seeded by the build
+
+    def test_back_edges_are_part_of_the_plan_key(self):
+        """Two same-length back-edge lists must never share a plan.
+
+        The back edges extend the LCG work list positionally, so a plan
+        recorded under one list replayed under another would assign its
+        pre-computed edge fingerprints to the wrong edges — and poison
+        the persistent edge cache with wrong keys.
+        """
+        builder, env, back = ALL_CODES["jacobi"]
+        program = builder()
+        assert back  # jacobi exercises the back-edge mechanism
+        base = plan_key(program, env, 4, back)
+        assert plan_key(program, env, 4) != base
+        flipped = [(v, u) for u, v in back]
+        assert plan_key(program, env, 4, flipped) != base
+        # None and [] canonicalize to the same binding
+        assert plan_key(program, env, 4, None) == plan_key(
+            program, env, 4, []
+        )
+
+    def test_finish_and_install_use_the_build_cache(self):
+        """Theorem-1 verdicts round-trip through a caller-supplied cache.
+
+        A build run against a private AnalysisCache must record its
+        intra table from *that* cache (not the cold process-global one),
+        and installing the plan with ``cache=`` must seed that cache.
+        """
+        from repro.locality.engine import AnalysisCache, get_analysis_cache
+
+        builder, env, back = ALL_CODES["jacobi"]
+        program = builder()
+        private = AnalysisCache()
+        recorder = PlanRecorder()
+        analyze(program, env=env, H=4, back_edges=back, cache=private)
+        plan = recorder.finish(
+            program, env=env, H_value=4, back_edges=back, cache=private
+        )
+        assert plan is not None
+        assert plan.intra  # captured from the private cache
+        assert set(plan.intra) <= set(private.intra)
+
+        clear_caches()
+        target = AnalysisCache()
+        assert install_plan(plan, cache=target) is True
+        assert len(target.intra) == len(plan.intra)
+        assert len(get_analysis_cache().intra) == 0
 
     def test_pickle_round_trip_installs(self):
         program, env, H, back, plan = self._record()

@@ -125,6 +125,29 @@ class TestInvalidation:
             loaded = PlanCache.load(path)
         assert loaded.plans == {}
 
+    @pytest.mark.parametrize("field", ["banks", "plans"])
+    def test_non_dict_banks_or_plans_load_empty_with_warning(
+        self, tmp_path, field
+    ):
+        """A shape-mangled bundle takes the cold path, not a crash later."""
+        from repro import __version__
+
+        payload = {
+            "schema": PlanCache.SCHEMA,
+            "version": __version__,
+            "banks": {},
+            "plans": {},
+        }
+        payload[field] = ["not", "a", "dict"]
+        path = tmp_path / "plans.pkl"
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.warns(CacheLoadWarning):
+            loaded = PlanCache.load(path)
+        assert loaded.plans == {}
+        assert loaded.banks == {}
+        assert loaded.stats["load_failed"] == 1
+        loaded.install_banks()  # must be a no-op, not an AttributeError
+
 
 class TestSaveHygiene:
     def test_unpicklable_entry_dropped_not_fatal(self, tmp_path):
@@ -149,6 +172,59 @@ class TestSaveHygiene:
         atomic_write_bytes(path, b"new")
         assert path.read_bytes() == b"new"
         assert os.listdir(tmp_path) == ["x.bin"]
+
+
+class TestThreadSafety:
+    def test_concurrent_put_during_save(self, tmp_path):
+        """Request threads put() while the snapshot thread save()s.
+
+        This is the service's actual concurrency shape (one bundle
+        shared across ThreadingHTTPServer request threads plus the
+        snapshot cadence); without the bundle lock, save()'s iteration
+        over ``plans`` races the dict resize and raises ``dictionary
+        changed size during iteration``.
+        """
+        import threading
+        from types import SimpleNamespace
+
+        bundle, plan = _recorded_bundle()
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            i = 0
+            try:
+                while not stop.is_set():
+                    bundle.put(SimpleNamespace(key=("fp", i)))
+                    bundle.get(("fp", i))
+                    i += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for n in range(10):
+                bundle.capture_banks()
+                bundle.save(tmp_path / "plans.pkl")
+                bundle.snapshot_stats()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert errors == []
+        loaded = PlanCache.load(tmp_path / "plans.pkl")
+        assert plan.key in loaded.plans
+
+    def test_bundle_pickle_round_trip_restores_lock(self):
+        bundle, plan = _recorded_bundle()
+        clone = pickle.loads(pickle.dumps(bundle))
+        assert plan.key in clone.plans
+        clone.put(plan)  # lock was restored; mutation works
+        assert clone.snapshot_stats()["entries"]["plans"] == len(
+            clone.plans
+        )
 
 
 class TestPathWiring:
