@@ -16,6 +16,13 @@ asserts the acceptance bar from the serving milestone:
 must load both files, replay plans instead of re-deriving, and still
 answer byte-identically.
 
+``--cluster`` smokes the multi-process tier instead: a sustained mixed
+workload against ``serve --workers 4``-style routers at 1 and 4
+workers, with one worker SIGKILLed mid-run.  Asserts zero lost
+requests, byte-identity with in-process ``analyze()`` throughout, at
+least one supervised respawn — and, on runners with ≥ 4 cores, that
+4-worker aggregate throughput scales ≥ 3× over 1 worker.
+
 Run as a script (CI does): exits nonzero on any violation.
 
     PYTHONPATH=src python benchmarks/service_smoke.py
@@ -23,36 +30,178 @@ Run as a script (CI does): exits nonzero on any violation.
         --snapshot-dir ./state && \
     PYTHONPATH=src python benchmarks/service_smoke.py \
         --snapshot-dir ./state --cold-boot
+    PYTHONPATH=src python benchmarks/service_smoke.py --cluster
 """
 
 import argparse
 import json
+import os
+import signal
 import sys
 import tempfile
 import threading
+import time
 from pathlib import Path
 
 from repro import analyze
 from repro.codes import ALL_CODES
 from repro.service import ServiceClient, ServiceConfig, serve_in_thread
-from repro.service.protocol import dumps_canonical, response_document
+from repro.service.protocol import dumps_canonical
 
 REQUESTS = 50
 CODES = ["jacobi", "adi", "tfft2"]  # duplicates by construction
 H_VALUES = [4, 8]
 
+#: The cluster workload: unique (code, H) pairs — uniqueness defeats
+#: the result LRU and single-flight, so throughput measures actual
+#: pipeline work spread across the shards, not dedup.
+CLUSTER_H_VALUES = [4, 5, 6, 7]
+#: Required aggregate speedup from 1 -> 4 workers, asserted only on
+#: runners with >= 4 cores (a 1-core container cannot scale processes).
+CLUSTER_SCALING = 3.0
+CLUSTER_WORKERS = 4
 
-def expected_bodies():
+
+def expected_bodies(H_values):
     """Serial in-process answers, keyed by (code, H)."""
     expected = {}
     for code in CODES:
         builder, env, back = ALL_CODES[code]
-        for H in H_VALUES:
+        for H in H_values:
             result = analyze(builder(), env=env, H=H, back_edges=back)
-            expected[(code, H)] = dumps_canonical(
-                response_document(result, env, H)
-            )
+            expected[(code, H)] = dumps_canonical(result.to_document())
     return expected
+
+
+def _cluster_burst(workers: int, expected, kill_one: bool = False):
+    """One sustained burst against a ``workers``-wide cluster.
+
+    Returns ``(elapsed_seconds, failures, respawns)``; every request
+    outcome is checked for success and byte-identity inside.
+    """
+    from repro.cluster import cluster_in_thread
+
+    config = ServiceConfig(
+        port=0,
+        workers=workers,
+        threads=2,
+        queue_limit=64,
+        heartbeat_every=0.2,
+    )
+    router, thread = cluster_in_thread(config)
+    port = router.server_address[1]
+    mix = [(code, H) for H in CLUSTER_H_VALUES for code in CODES] * 2
+    outcomes = [None] * len(mix)
+    failures = []
+
+    started = threading.Event()
+
+    def fire(slot, code, H):
+        client = ServiceClient(port=port, retries=8, backoff=0.1,
+                               timeout=300)
+        try:
+            outcomes[slot] = ("ok", code, H, client.analyze(code=code, H=H))
+        except Exception as exc:  # recorded, judged after the join
+            outcomes[slot] = ("error", code, H, exc)
+        started.set()
+
+    killer = None
+    if kill_one:
+
+        def kill_a_worker():
+            # Wait for the burst to be genuinely in flight, then
+            # SIGKILL one worker out from under it.
+            started.wait(60)
+            victim = router.supervisor.handles()[0]
+            print(
+                f"SIGKILL shard {victim.shard} (pid {victim.pid}) mid-run"
+            )
+            os.kill(victim.pid, signal.SIGKILL)
+
+        killer = threading.Thread(target=kill_a_worker, daemon=True)
+        killer.start()
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=fire, args=(slot, code, H))
+        for slot, (code, H) in enumerate(mix)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(600)
+    elapsed = time.perf_counter() - t0
+    if killer is not None:
+        killer.join(10)
+
+    metrics = ServiceClient(port=port).metrics()
+    respawns = metrics["workers"]["respawns"]
+    router.drain()
+    thread.join(30)
+
+    errors = [o for o in outcomes if o is None or o[0] == "error"]
+    if errors:
+        failures.append(
+            f"{workers}-worker burst lost {len(errors)} requests: "
+            f"{errors[:3]}"
+        )
+    mismatched = sum(
+        1
+        for o in outcomes
+        if o and o[0] == "ok"
+        and dumps_canonical(o[3]) != expected[(o[1], o[2])]
+    )
+    if mismatched:
+        failures.append(
+            f"{workers}-worker burst: {mismatched} responses differ "
+            f"from serial analyze()"
+        )
+    print(
+        f"{workers} workers: {len(mix)} requests in {elapsed:.2f}s "
+        f"({len(mix) / elapsed:.2f} req/s), respawns={respawns}"
+    )
+    return elapsed, failures, respawns
+
+
+def cluster_main() -> int:
+    """The ``--cluster`` smoke: scaling, worker kill, zero loss."""
+    print("computing serial baselines...")
+    expected = expected_bodies(CLUSTER_H_VALUES)
+    failures = []
+
+    one, fails, _ = _cluster_burst(1, expected)
+    failures += fails
+    four, fails, respawns = _cluster_burst(
+        CLUSTER_WORKERS, expected, kill_one=True
+    )
+    failures += fails
+    if respawns < 1:
+        failures.append(
+            "the killed worker was never respawned by the supervisor"
+        )
+
+    speedup = one / four if four else 0.0
+    cores = os.cpu_count() or 1
+    print(f"aggregate speedup 1->{CLUSTER_WORKERS} workers: {speedup:.2f}x "
+          f"on {cores} cores")
+    if cores >= CLUSTER_WORKERS:
+        if speedup < CLUSTER_SCALING:
+            failures.append(
+                f"throughput scaled only {speedup:.2f}x from 1 to "
+                f"{CLUSTER_WORKERS} workers (need >= {CLUSTER_SCALING}x)"
+            )
+    else:
+        print(
+            f"note: scaling assertion skipped on a {cores}-core runner "
+            f"(needs >= {CLUSTER_WORKERS})"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("cluster smoke passed")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -69,7 +218,16 @@ def main(argv=None) -> int:
         help="require pre-existing snapshots in --snapshot-dir and "
         "assert the restarted server replays plans from them",
     )
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="smoke the multi-process cluster tier instead (scaling, "
+        "mid-run worker kill, zero lost requests)",
+    )
     args = parser.parse_args(argv)
+
+    if args.cluster:
+        return cluster_main()
 
     if args.snapshot_dir:
         state_dir = Path(args.snapshot_dir)
@@ -88,7 +246,7 @@ def main(argv=None) -> int:
 
     config = ServiceConfig(
         port=0,
-        workers=4,
+        threads=4,
         queue_limit=64,  # admit the whole burst; smoke tests dedup, not 429s
         snapshot_path=str(snapshot),
         snapshot_every=10,
@@ -135,7 +293,7 @@ def main(argv=None) -> int:
     if errors:
         failures.append(f"{len(errors)} requests failed: {errors[:3]}")
 
-    expected = expected_bodies()
+    expected = expected_bodies(H_VALUES)
     mismatched = sum(
         1
         for kind, code, H, doc in outcomes

@@ -44,7 +44,9 @@ class AnalysisResult:
     ``trace`` is the :class:`repro.obs.Collector` holding the span tree
     when tracing was requested (``trace.render()`` / ``trace.to_json()``)
     and ``metrics`` the counter/gauge snapshot when metrics were; both
-    are ``None`` otherwise.
+    are ``None`` otherwise.  ``env`` and ``H`` echo the binding the
+    pipeline ran under, which makes the result self-describing:
+    :meth:`to_document` needs no extra arguments.
     """
 
     program: Program
@@ -54,6 +56,21 @@ class AnalysisResult:
     report: object
     trace: object = None
     metrics: Optional[dict] = None
+    env: Mapping[str, int] = None
+    H: int = 0
+
+    def to_document(self) -> dict:
+        """The versioned wire document (:mod:`repro.document`).
+
+        The single producer of the result serialization: the CLI's
+        ``--json``, the service's ``POST /analyze`` responses and job
+        results, and the checker's JSON reports all call this, so the
+        wire format cannot fork.  Serialize with
+        :func:`repro.document.dumps_canonical` for the canonical bytes.
+        """
+        from .document import result_document
+
+        return result_document(self)
 
 
 def _fold_legacy(options, parallel, cache):
@@ -142,8 +159,7 @@ def analyze(
             plan_bundle = opts.plan_cache
         else:
             plan_path = opts.plan_cache
-            plan_bundle = PlanCache.load(plan_path, obs=obs)
-            plan_bundle.install_banks(obs=obs)
+            plan_bundle = PlanCache.open(plan_path, obs=obs)
         if plan_enabled is None:
             plan_enabled = True
     elif plan_enabled:
@@ -261,6 +277,8 @@ def analyze(
         constraints=constraints,
         plan=plan,
         report=report,
+        env=dict(env),
+        H=int(H),
         trace=obs if (obs is not None and obs.trace) else None,
         metrics=(
             obs.metrics_snapshot()

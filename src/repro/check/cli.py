@@ -9,7 +9,6 @@ degradation paths still produce sound answers), and fails loudly —
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 from contextlib import ExitStack
@@ -143,10 +142,15 @@ def run_checks(
 
 def _render_all(reports, obs, as_json: bool) -> str:
     if as_json:
-        doc = {"reports": [r.to_json() for r in reports]}
+        from ..document import RESULT_SCHEMA, dumps_canonical
+
+        doc = {
+            "schema": RESULT_SCHEMA,
+            "reports": [r.to_json() for r in reports],
+        }
         if obs is not None:
             doc["metrics"] = obs.metrics_snapshot()
-        return json.dumps(doc, indent=2, sort_keys=True)
+        return dumps_canonical(doc)
     lines = [r.render() for r in reports]
     total = sum(len(r.mismatches) for r in reports)
     checked = sum(sum(r.checked.values()) for r in reports)

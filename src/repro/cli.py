@@ -16,10 +16,10 @@ Usage::
 
 Engine knobs travel through ``--opt KEY=VALUE,...`` — the exact grammar
 of :meth:`repro.AnalysisOptions.from_spec`, so the CLI surface is
-one-to-one with the Python API.  ``--trace FILE`` writes the span tree
-as JSON (and renders it to stderr); ``--metrics`` prints the counter
-table.  The pre-1.1 ``--parallel-lcg``/``--analysis-cache`` flags keep
-working as deprecated aliases.
+one-to-one with the Python API (the pre-1.1 ``--parallel-lcg``/
+``--analysis-cache`` aliases were removed in PR 8).  ``--trace FILE``
+writes the span tree as JSON (and renders it to stderr); ``--metrics``
+prints the counter table.
 
 Prints the LCG, the Table-2 constraint system, the Eq. 7 chunking and
 the measured DSM execution report.
@@ -159,17 +159,6 @@ def main(argv=None) -> int:
         "document (the same serializer `python -m repro serve` uses) "
         "instead of the human-readable report",
     )
-    parser.add_argument(
-        "--parallel-lcg",
-        action="store_true",
-        help="deprecated alias for --opt engine=parallel",
-    )
-    parser.add_argument(
-        "--analysis-cache",
-        metavar="FILE",
-        help="deprecated alias for --opt cache=FILE (warm-start the "
-        "locality analysis from the pickled cache, save it back on exit)",
-    )
     args = parser.parse_args(argv)
 
     from dataclasses import replace
@@ -187,18 +176,6 @@ def main(argv=None) -> int:
         options = replace(options, trace=True)
     if args.metrics:
         options = replace(options, metrics=True)
-    if args.parallel_lcg and options.engine is None:
-        print(
-            "note: --parallel-lcg is deprecated; use --opt engine=parallel",
-            file=sys.stderr,
-        )
-        options = replace(options, engine="parallel")
-    if args.analysis_cache and options.analysis_cache is None:
-        print(
-            "note: --analysis-cache is deprecated; use --opt cache=FILE",
-            file=sys.stderr,
-        )
-        options = replace(options, analysis_cache=args.analysis_cache)
 
     collector = None
     if options.trace or options.metrics:
@@ -261,9 +238,7 @@ def main(argv=None) -> int:
     if args.json:
         import json
 
-        from .service.protocol import response_document
-
-        doc = response_document(result, env, args.H)
+        doc = result.to_document()
         print(json.dumps(doc, indent=2, sort_keys=True))
         return 0
 

@@ -1,0 +1,41 @@
+"""``repro.cluster`` — the multi-process scale-out tier of the service.
+
+``python -m repro serve --workers N`` (N ≥ 2, or any ``--queue-dir``)
+starts a front-end **router** that consistent-hashes each request's
+structural key onto N forked **analysis workers**, each a full
+single-process :class:`~repro.service.server.AnalysisServer` owning its
+own warm cache shard on disk.  The pieces:
+
+* :mod:`.hashring` — the consistent-hash ring (affinity + minimal
+  remapping on membership change);
+* :mod:`.worker` — the forked worker entrypoint;
+* :mod:`.supervisor` — spawn/heartbeat/respawn/retire + the pure
+  autoscale decision;
+* :mod:`.jobs` — the durable idempotent ``POST /jobs`` journal;
+* :mod:`.router` — the HTTP front end tying them together.
+
+The cluster speaks exactly the single-process protocol
+(:mod:`repro.service.protocol`): a response proxied through the router
+is byte-identical to the in-process ``analyze()`` serialization, which
+is the acceptance property the smoke benchmark asserts.
+"""
+
+from .hashring import HashRing, hash_key
+from .jobs import Job, JobQueue
+from .router import ClusterRouter, cluster_in_thread, main_cluster
+from .supervisor import Supervisor, WorkerHandle, desired_workers
+from .worker import run_worker
+
+__all__ = [
+    "ClusterRouter",
+    "HashRing",
+    "Job",
+    "JobQueue",
+    "Supervisor",
+    "WorkerHandle",
+    "cluster_in_thread",
+    "desired_workers",
+    "hash_key",
+    "main_cluster",
+    "run_worker",
+]

@@ -1,0 +1,124 @@
+"""Consistent hash ring: request keys -> analysis shards.
+
+The router places every shard at ``replicas`` pseudo-random points on a
+2^64 ring (SHA-256 of ``"shard:{id}:{replica}"``) and routes a request
+to the first shard point at or clockwise-after the hash of its
+:func:`~repro.service.protocol.request_key`.  Two properties matter:
+
+* **Affinity** — the same structural program fingerprint always lands
+  on the same shard, so each shard's warm
+  :class:`~repro.locality.engine.AnalysisCache`/plan bundle sees every
+  repeat of "its" programs.  A round-robin router would spread repeats
+  across all shards and cold-miss ``N - 1`` times per program.
+* **Minimal disruption** — adding or retiring one shard remaps only the
+  keys in the arcs that shard's points own (~``1/N`` of the space);
+  every other key keeps its warm shard.  That is what makes the
+  queue-depth autoscaler cheap to act on.
+
+The ring is read-mostly (every request does a lookup; membership only
+changes on spawn/retire), so lookups take a snapshot under the lock and
+bisect outside it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import List, Optional, Tuple
+
+__all__ = ["HashRing", "hash_key"]
+
+_SPACE = 1 << 64
+
+
+def hash_key(key) -> int:
+    """A stable 64-bit point for any printable-repr key.
+
+    Request keys are tuples of strings/ints/tuples (see
+    ``protocol.request_key``), whose ``repr`` is deterministic across
+    processes and runs — unlike ``hash()``, which is salted per process
+    for strings and would break router-restart affinity.
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Thread-safe consistent-hash ring over integer shard ids."""
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._lock = threading.Lock()
+        self._points: List[int] = []  # sorted ring positions
+        self._owners: dict = {}  # position -> shard id
+        self._shards: set = set()
+
+    def _positions(self, shard: int):
+        for replica in range(self.replicas):
+            yield hash_key(f"shard:{shard}:{replica}")
+
+    def add(self, shard: int) -> None:
+        with self._lock:
+            if shard in self._shards:
+                return
+            self._shards.add(shard)
+            for pos in self._positions(shard):
+                # A (vanishingly rare) collision keeps the earlier
+                # owner; the shard still owns its other replica points.
+                if pos in self._owners:
+                    continue
+                self._owners[pos] = shard
+                bisect.insort(self._points, pos)
+
+    def remove(self, shard: int) -> None:
+        with self._lock:
+            if shard not in self._shards:
+                return
+            self._shards.discard(shard)
+            for pos in self._positions(shard):
+                if self._owners.get(pos) == shard:
+                    del self._owners[pos]
+                    index = bisect.bisect_left(self._points, pos)
+                    del self._points[index]
+
+    def shards(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+    def __contains__(self, shard: int) -> bool:
+        with self._lock:
+            return shard in self._shards
+
+    def lookup(self, key) -> Optional[int]:
+        """The shard owning ``key``; None on an empty ring."""
+        chain = self.lookup_chain(key, 1)
+        return chain[0] if chain else None
+
+    def lookup_chain(self, key, n: int) -> List[int]:
+        """Up to ``n`` distinct shards in ring order from ``key``.
+
+        The first entry is the owner; the rest are the fallback order a
+        router replays through when the owner is draining or dead and
+        membership has not caught up yet.
+        """
+        with self._lock:
+            points = list(self._points)
+            owners = dict(self._owners)
+        if not points:
+            return []
+        chain: List[int] = []
+        start = bisect.bisect(points, hash_key(key) % _SPACE)
+        for offset in range(len(points)):
+            shard = owners[points[(start + offset) % len(points)]]
+            if shard not in chain:
+                chain.append(shard)
+                if len(chain) >= n:
+                    break
+        return chain

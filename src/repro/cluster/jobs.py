@@ -1,0 +1,208 @@
+"""Durable idempotent job queue: ``POST /jobs`` journaling + boot replay.
+
+Batch clients that cannot afford to lose work submit through ``/jobs``
+with an **idempotency key**.  The router journals the request to one
+canonical-JSON file per job under ``--queue-dir`` *before* running it
+(:func:`repro.persist.atomic_write_bytes`: temp + fsync + rename, so a
+crash mid-write leaves either no journal or a complete one), marks the
+job ``done`` with its full result document afterwards, and replays
+every still-``pending`` journal at boot.  The contract:
+
+* an acknowledged job survives a router crash — it is re-run at boot;
+* resubmitting an idempotency key whose job finished returns the
+  journaled result document, byte-identical to the first response
+  (``done`` journals store the document itself, not a pointer into a
+  cache that might have evicted it);
+* a corrupt or truncated journal file degrades exactly like the cache
+  pickles: skipped with a :class:`repro.errors.CacheLoadWarning` and a
+  ``corrupt`` stat bump — it never takes down the boot or the other
+  journals (see DESIGN.md's failure matrix).
+
+File names derive from the SHA-256 of the idempotency key, so any
+printable key is safe and equal keys collide on purpose.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..document import dumps_canonical
+from ..errors import CacheLoadWarning
+from ..persist import atomic_write_bytes
+
+__all__ = ["Job", "JobQueue"]
+
+JOB_SCHEMA = 1
+
+PENDING = "pending"
+DONE = "done"
+
+
+@dataclass
+class Job:
+    """One journaled batch request."""
+
+    key: str  # the client's idempotency key
+    request: dict  # the /analyze request document
+    state: str = PENDING
+    result: Optional[dict] = None  # the full response document when done
+    attempts: int = 0  # run attempts this process (not journaled)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": JOB_SCHEMA,
+            "key": self.key,
+            "request": self.request,
+            "state": self.state,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_json(cls, doc) -> "Job":
+        if (
+            not isinstance(doc, dict)
+            or doc.get("schema") != JOB_SCHEMA
+            or not isinstance(doc.get("key"), str)
+            or not isinstance(doc.get("request"), dict)
+            or doc.get("state") not in (PENDING, DONE)
+            or (doc["state"] == DONE and not isinstance(doc.get("result"), dict))
+        ):
+            raise ValueError("not a job journal document")
+        return cls(
+            key=doc["key"],
+            request=doc["request"],
+            state=doc["state"],
+            result=doc.get("result"),
+        )
+
+
+@dataclass
+class _Stats:
+    submitted: int = 0
+    deduped: int = 0
+    completed: int = 0
+    replayed: int = 0
+    corrupt: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self.lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                "submitted": self.submitted,
+                "deduped": self.deduped,
+                "completed": self.completed,
+                "replayed": self.replayed,
+                "corrupt": self.corrupt,
+            }
+
+
+class JobQueue:
+    """The on-disk journal plus its in-memory index, under one lock."""
+
+    def __init__(self, directory):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self.stats = _Stats()
+        self._load()
+
+    def _path(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return os.path.join(self.directory, f"job-{digest}.json")
+
+    def _journal(self, job: Job) -> None:
+        payload = dumps_canonical(job.to_json()).encode("utf-8")
+        atomic_write_bytes(self._path(job.key), payload)
+
+    def _load(self) -> None:
+        """Index every journal on disk; corrupt files are skipped loudly."""
+        try:
+            names = sorted(os.listdir(self.directory))
+        except FileNotFoundError:
+            return
+        for name in names:
+            if not (name.startswith("job-") and name.endswith(".json")):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "rb") as fh:
+                    job = Job.from_json(json.loads(fh.read()))
+            except (OSError, ValueError) as exc:
+                self.stats.bump("corrupt")
+                warnings.warn(
+                    f"job journal {path!r} could not be loaded "
+                    f"({type(exc).__name__}: {exc}); skipping it",
+                    CacheLoadWarning,
+                    stacklevel=2,
+                )
+                continue
+            self._jobs[job.key] = job
+
+    # -- the lifecycle ----------------------------------------------------
+
+    def submit(self, key: str, request: dict) -> tuple:
+        """Journal a job as pending; ``(job, created)``.
+
+        ``created`` is False when the idempotency key is already known —
+        the caller then serves the journaled result (done) or lets the
+        in-flight run finish (pending) instead of running it again.
+        The journal hits disk *before* this returns, so an acknowledged
+        submission is durable.
+        """
+        with self._lock:
+            existing = self._jobs.get(key)
+            if existing is not None:
+                self.stats.bump("deduped")
+                return existing, False
+            job = Job(key=key, request=dict(request))
+            self._jobs[key] = job
+            self._journal(job)
+            self.stats.bump("submitted")
+            return job, True
+
+    def complete(self, key: str, result: dict) -> Job:
+        """Mark a job done, journaling its full result document."""
+        with self._lock:
+            job = self._jobs[key]
+            job.state = DONE
+            job.result = result
+            self._journal(job)
+            self.stats.bump("completed")
+            return job
+
+    def get(self, key: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(key)
+
+    def pending(self) -> List[Job]:
+        """Jobs to (re)run, in deterministic key order — the boot replay."""
+        with self._lock:
+            return sorted(
+                (j for j in self._jobs.values() if j.state == PENDING),
+                key=lambda j: j.key,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def snapshot_stats(self) -> dict:
+        doc = self.stats.snapshot()
+        with self._lock:
+            states = {PENDING: 0, DONE: 0}
+            for job in self._jobs.values():
+                states[job.state] += 1
+        doc["jobs"] = states
+        doc["directory"] = self.directory
+        return doc

@@ -1,0 +1,585 @@
+"""The cluster front end: ``python -m repro serve --workers N``.
+
+A :class:`ThreadingHTTPServer` that owns no analysis state of its own.
+It materializes each ``/analyze`` request just far enough to compute
+the structural :func:`~repro.service.protocol.request_key`, looks the
+key up on the consistent-hash ring, and proxies the request to the
+owning shard's worker process — so every repeat of a program lands on
+the shard whose :class:`~repro.locality.engine.AnalysisCache` is
+already warm for it, and the N shards warm N disjoint key arcs instead
+of N copies of the same one.
+
+Failure handling, in the order a request meets it:
+
+* **target shard draining** (scale-down in progress) — immediate 503 +
+  ``Retry-After``; the blocking client's backoff retries until the
+  shard leaves the ring and the key remaps to a survivor;
+* **worker death mid-proxy** — the proxy socket fails, the router waits
+  one heartbeat for the supervisor's respawn and replays the request
+  against the same shard (fresh port, warm snapshot), up to
+  ``replay_limit`` times; an admitted request is never dropped, it is
+  at-least-once re-executed (deterministic pipeline, so the replayed
+  answer is byte-identical);
+* **every worker gone** — 503, never a hang.
+
+``POST /jobs`` adds the durable tier (:mod:`repro.cluster.jobs`):
+journal first, run through the same dispatch path, journal the result,
+replay pending journals at boot.  ``GET /metrics`` aggregates the
+shards' counters (:func:`repro.obs.merge_counter_docs`) under
+``workers.*`` plus the router's own routing/scaling counters.
+
+The queue-depth autoscaler runs on ``scale_window``: the decision is
+:func:`~repro.cluster.supervisor.desired_workers` of the router's
+outstanding-request gauge, acted on one spawn or retire per tick.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .. import __version__
+from ..document import dumps_canonical
+from ..obs import merge_counter_docs
+from ..service.config import ServiceConfig
+from ..service.protocol import (
+    PROTOCOL_VERSION,
+    AnalyzeRequest,
+    ProtocolError,
+    build_request_program,
+    request_key,
+)
+from ..service.server import MAX_BODY_BYTES
+from ..service.state import ServerMetrics
+from .jobs import DONE, JobQueue
+from .supervisor import Supervisor, desired_workers
+
+__all__ = ["ClusterRouter", "cluster_in_thread", "main_cluster"]
+
+#: How long a pending-job resubmission waits for the in-flight run
+#: before answering 202 (poll ``GET /jobs/<key>``).
+_PENDING_POLL = 0.05
+
+
+class ClusterRouter(ThreadingHTTPServer):
+    """Consistent-hash router over the supervised worker fleet."""
+
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.supervisor = Supervisor(config)
+        self.jobs: Optional[JobQueue] = (
+            JobQueue(config.queue_dir)
+            if config.queue_dir is not None
+            else None
+        )
+        self.metrics = ServerMetrics(latency_window=config.latency_window)
+        self._gauge_lock = threading.Lock()
+        self._outstanding = 0  # proxied requests not yet answered
+        self._draining = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._drain_started = False
+        self._drain_done = threading.Event()
+        self._scale_stop = threading.Event()
+        self._scale_thread: Optional[threading.Thread] = None
+        self._replay_pool: Optional[ThreadPoolExecutor] = None
+        super().__init__((config.host, config.port), _RouterHandler)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the fleet, replay journaled jobs, start the autoscaler."""
+        self.supervisor.start()
+        if self.jobs is not None:
+            pending = self.jobs.pending()
+            if pending:
+                self._replay_pool = ThreadPoolExecutor(
+                    max_workers=self.config.threads,
+                    thread_name_prefix="repro-job-replay",
+                )
+                for job in pending:
+                    self.jobs.stats.bump("replayed")
+                    self._replay_pool.submit(self._run_job, job.key,
+                                             job.request)
+        lo, hi = self.config.scale_bounds()
+        if hi > lo:
+            self._scale_thread = threading.Thread(
+                target=self._scale_loop, name="repro-autoscale", daemon=True
+            )
+            self._scale_thread.start()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self) -> None:
+        """Stop accepting, finish proxied work, drain every worker."""
+        with self._drain_lock:
+            first = not self._drain_started
+            self._drain_started = True
+        if not first:
+            self._drain_done.wait()
+            return
+        self._draining.set()
+        self._scale_stop.set()
+        if self._scale_thread is not None:
+            self._scale_thread.join(timeout=5)
+        self.shutdown()
+        if self._replay_pool is not None:
+            self._replay_pool.shutdown(wait=True)
+        self.server_close()  # joins in-flight handler threads
+        self.supervisor.stop()  # SIGTERM-drains every worker
+        self._drain_done.set()
+
+    # -- the proxy path ---------------------------------------------------
+
+    def _note_outstanding(self, delta: int) -> None:
+        with self._gauge_lock:
+            self._outstanding += delta
+
+    def outstanding(self) -> int:
+        with self._gauge_lock:
+            return self._outstanding
+
+    def _proxy(self, port: int, method: str, path: str,
+               body: Optional[bytes] = None) -> Tuple[int, dict]:
+        conn = http.client.HTTPConnection(
+            self.config.host, port, timeout=self.config.request_timeout + 10
+        )
+        try:
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = response.read()
+            try:
+                doc = json.loads(payload) if payload else {}
+            except json.JSONDecodeError:
+                doc = {"error": payload.decode("utf-8", "replace")}
+            return response.status, doc
+        finally:
+            conn.close()
+
+    def dispatch(self, key, request_doc: dict) -> Tuple[int, dict, dict]:
+        """Route one materialized request; ``(status, doc, headers)``.
+
+        The replay loop is the zero-loss guarantee: a proxy that dies
+        under us (worker crash) is retried against the shard's next
+        generation after a heartbeat, up to ``replay_limit`` times.
+        """
+        body = dumps_canonical(request_doc).encode("utf-8")
+        self._note_outstanding(1)
+        try:
+            replays = 0
+            while True:
+                shard = self.supervisor.ring.lookup(key)
+                if shard is None:
+                    return (
+                        503,
+                        {"error": "no analysis workers available"},
+                        {"Retry-After": "1"},
+                    )
+                handle = self.supervisor.handle(shard)
+                if handle is None or handle.draining.is_set():
+                    self.metrics.bump("router.draining_rejects")
+                    return (
+                        503,
+                        {"error": f"shard {shard} is draining; retry"},
+                        {"Retry-After": "1"},
+                    )
+                try:
+                    status, doc = self._proxy(
+                        handle.port, "POST", "/analyze", body
+                    )
+                except (ConnectionError, OSError,
+                        http.client.HTTPException):
+                    replays += 1
+                    self.metrics.bump("router.replays")
+                    if replays > self.config.replay_limit:
+                        return (
+                            502,
+                            {
+                                "error": (
+                                    f"shard {shard} failed "
+                                    f"{replays} times"
+                                )
+                            },
+                            {},
+                        )
+                    # Give the supervisor one heartbeat to respawn the
+                    # shard, then replay against its next generation.
+                    time.sleep(self.config.heartbeat_every)
+                    continue
+                self.metrics.bump("router.routed")
+                return status, doc, {}
+        finally:
+            self._note_outstanding(-1)
+
+    def route_analyze(self, request: AnalyzeRequest) -> Tuple[int, dict, dict]:
+        program, env, back = build_request_program(request)
+        key = request_key(request, program, env, back)
+        return self.dispatch(key, request.to_json())
+
+    # -- the durable job tier ---------------------------------------------
+
+    def _run_job(self, key: str, request_doc: dict) -> Optional[dict]:
+        """Execute one journaled job through the dispatch path."""
+        try:
+            request = AnalyzeRequest.from_json(request_doc)
+            status, doc, _ = self.route_analyze(request)
+        except ProtocolError as exc:
+            status, doc = 400, {"error": str(exc)}
+        if 200 <= status < 300:
+            self.jobs.complete(key, doc)
+            return doc
+        # A journaled job must not be marked done with a transient
+        # failure: leave it pending so the next boot replays it.
+        self.metrics.bump("router.job_run_failed")
+        return None
+
+    def submit_job(self, key: str, request_doc: dict) -> Tuple[int, dict]:
+        """``POST /jobs``: journal, run (or dedup), answer."""
+        # Materialize fully before journaling: shape errors, unknown
+        # codes and unparsable source all answer 400 here, so a journal
+        # entry is by construction runnable — a definitively-bad request
+        # must not become a pending job that every boot replays and
+        # every replay fails.
+        build_request_program(AnalyzeRequest.from_json(request_doc))
+        job, created = self.jobs.submit(key, request_doc)
+        if created:
+            result = self._run_job(key, request_doc)
+            if result is None:
+                return 503, {
+                    "job": key,
+                    "state": "pending",
+                    "error": "job admitted but not yet completed",
+                }
+            return 200, {
+                "job": key, "state": DONE, "cached": False, "result": result,
+            }
+        if job.state != DONE:
+            # Another thread (or the boot replay) is running it; wait
+            # for the journaled result rather than racing a duplicate.
+            deadline = time.monotonic() + self.config.request_timeout
+            while time.monotonic() < deadline:
+                job = self.jobs.get(key)
+                if job is not None and job.state == DONE:
+                    break
+                time.sleep(_PENDING_POLL)
+        if job is not None and job.state == DONE:
+            return 200, {
+                "job": key,
+                "state": DONE,
+                "cached": True,
+                "result": job.result,
+            }
+        return 202, {"job": key, "state": "pending"}
+
+    def job_document(self, key: str) -> Optional[dict]:
+        job = self.jobs.get(key) if self.jobs is not None else None
+        if job is None:
+            return None
+        doc = {"job": job.key, "state": job.state}
+        if job.state == DONE:
+            doc["result"] = job.result
+        return doc
+
+    # -- read-only documents ----------------------------------------------
+
+    def health_document(self) -> dict:
+        fleet = self.supervisor.describe()
+        workers = fleet["workers"]
+        ok = bool(workers) and all(
+            w["status"] == "ok" for w in workers
+        )
+        return {
+            "status": (
+                "draining"
+                if self.draining
+                else ("ok" if ok else "degraded")
+            ),
+            "role": "router",
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "workers": workers,
+            "ring": fleet["ring"],
+        }
+
+    def metrics_document(self) -> dict:
+        doc = self.metrics.snapshot()
+        fleet = self.supervisor.describe()
+        shard_docs = {}
+        counters = []
+        for worker in fleet["workers"]:
+            if worker["status"] != "ok":
+                continue
+            try:
+                status, shard_doc = self._proxy(
+                    worker["port"], "GET", "/metrics"
+                )
+            except (ConnectionError, OSError, http.client.HTTPException):
+                continue
+            if status != 200:
+                continue
+            shard_docs[f"shard-{worker['shard']}"] = {
+                "in_flight": shard_doc.get("in_flight"),
+                "queue_depth": shard_doc.get("queue_depth"),
+                "responses": shard_doc.get("responses"),
+            }
+            counters.append(shard_doc.get("counters") or {})
+        doc["workers"] = {
+            "counters": merge_counter_docs(counters),
+            "shards": shard_docs,
+            "respawns": fleet["respawns"],
+            "retired": fleet["retired"],
+            "count": len(fleet["workers"]),
+        }
+        doc["outstanding"] = self.outstanding()
+        doc["draining"] = self.draining
+        if self.jobs is not None:
+            doc["jobs"] = self.jobs.snapshot_stats()
+        return doc
+
+    def cache_stats_document(self) -> dict:
+        doc: dict = {"shards": {}}
+        for worker in self.supervisor.describe()["workers"]:
+            if worker["status"] != "ok":
+                continue
+            try:
+                status, shard_doc = self._proxy(
+                    worker["port"], "GET", "/cache/stats"
+                )
+            except (ConnectionError, OSError, http.client.HTTPException):
+                continue
+            if status == 200:
+                doc["shards"][f"shard-{worker['shard']}"] = shard_doc
+        return doc
+
+    # -- autoscale --------------------------------------------------------
+
+    def _scale_once(self) -> None:
+        lo, hi = self.config.scale_bounds()
+        current = self.supervisor.active_count()
+        want = desired_workers(
+            self.outstanding(), self.config.threads, current, lo, hi
+        )
+        if want > current:
+            try:
+                self.supervisor.spawn_one()
+                self.metrics.bump("router.scaled_up")
+            except RuntimeError as exc:
+                print(f"scale-up failed: {exc}", file=sys.stderr)
+        elif want < current:
+            if self.supervisor.retire_one() is not None:
+                self.metrics.bump("router.scaled_down")
+
+    def _scale_loop(self) -> None:
+        while not self._scale_stop.wait(self.config.scale_window):
+            self._scale_once()
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    timeout = 10
+    server: ClusterRouter
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.config.verbose:
+            sys.stderr.write(
+                "%s - - [%s] %s\n"
+                % (self.address_string(), self.log_date_time_string(),
+                   format % args)
+            )
+
+    def _respond(self, status: int, doc, headers: Optional[dict] = None):
+        body = dumps_canonical(doc).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.metrics.note_response(status)
+
+    def _error(self, status: int, message: str,
+               headers: Optional[dict] = None):
+        self._respond(status, {"error": message}, headers)
+
+    def _read_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return None
+        if length <= 0:
+            self._error(400, "missing request body")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body over {MAX_BODY_BYTES} bytes")
+            return None
+        try:
+            return json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"request body is not JSON: {exc}")
+            return None
+
+    def do_GET(self):
+        if self.path == "/healthz":
+            self._respond(200, self.server.health_document())
+        elif self.path == "/metrics":
+            self._respond(200, self.server.metrics_document())
+        elif self.path == "/cache/stats":
+            self._respond(200, self.server.cache_stats_document())
+        elif self.path.startswith("/jobs/"):
+            if self.server.jobs is None:
+                self._error(404, "job queue not enabled (--queue-dir)")
+                return
+            doc = self.server.job_document(self.path[len("/jobs/"):])
+            if doc is None:
+                self._error(404, "no such job")
+            else:
+                self._respond(200, doc)
+        else:
+            self._error(404, f"no such endpoint {self.path!r}")
+
+    def do_POST(self):
+        if self.path not in ("/analyze", "/jobs"):
+            self._error(404, f"no such endpoint {self.path!r}")
+            return
+        if self.server.draining:
+            self._error(
+                503, "router is draining", headers={"Retry-After": "1"}
+            )
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        t0 = time.perf_counter()
+        try:
+            if self.path == "/analyze":
+                try:
+                    request = AnalyzeRequest.from_json(body)
+                    status, doc, headers = self.server.route_analyze(request)
+                except ProtocolError as exc:
+                    self._error(400, str(exc))
+                    return
+                self._respond(status, doc, headers)
+            else:
+                if self.server.jobs is None:
+                    self._error(
+                        404,
+                        "job queue not enabled; start the router with "
+                        "--queue-dir",
+                    )
+                    return
+                if not isinstance(body, dict):
+                    self._error(400, "request body must be a JSON object")
+                    return
+                key = body.get("idempotency_key")
+                request_doc = body.get("request")
+                if not (isinstance(key, str) and key):
+                    self._error(
+                        400, "'idempotency_key' must be a non-empty string"
+                    )
+                    return
+                if not isinstance(request_doc, dict):
+                    self._error(
+                        400, "'request' must be an /analyze request object"
+                    )
+                    return
+                try:
+                    status, doc = self.server.submit_job(key, request_doc)
+                except ProtocolError as exc:
+                    self._error(400, str(exc))
+                    return
+                self._respond(status, doc)
+        except (BrokenPipeError, ConnectionResetError):
+            raise
+        except Exception as exc:  # defensive: a bug must not kill the thread
+            self.server.metrics.bump("router.errors")
+            self._error(500, f"internal error: {type(exc).__name__}: {exc}")
+        finally:
+            self.server.metrics.observe_latency(time.perf_counter() - t0)
+
+
+def cluster_in_thread(config: ServiceConfig) -> tuple:
+    """Start a router (and its fleet) on a background thread.
+
+    Returns ``(router, thread)``; ``config.port = 0`` picks an
+    ephemeral port.  Callers own shutdown: ``router.drain()`` then
+    ``thread.join()``.
+    """
+    router = ClusterRouter(config)
+    try:
+        router.start()
+    except BaseException:
+        router.supervisor.stop()
+        router.server_close()
+        raise
+    thread = threading.Thread(
+        target=router.serve_forever, name="repro-router", daemon=True
+    )
+    thread.start()
+    return router, thread
+
+
+def main_cluster(config: ServiceConfig) -> int:
+    """``python -m repro serve --workers N [--queue-dir DIR]``."""
+    try:
+        router = ClusterRouter(config)
+    except OSError as exc:
+        print(
+            f"cannot bind {config.host}:{config.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        router.start()
+    except RuntimeError as exc:
+        print(f"cluster failed to start: {exc}", file=sys.stderr)
+        router.supervisor.stop()
+        router.server_close()
+        return 1
+
+    host, port = router.server_address[:2]
+    lo, hi = config.scale_bounds()
+    print(
+        f"repro cluster v{__version__} (protocol {PROTOCOL_VERSION}) "
+        f"routing on http://{host}:{port} — "
+        f"{config.workers} workers (bounds {lo}..{hi}), "
+        f"{config.threads} threads each"
+        + (f", job queue at {config.queue_dir}" if config.queue_dir else ""),
+        file=sys.stderr,
+    )
+
+    def on_signal(signum, frame):
+        print(
+            f"signal {signal.Signals(signum).name}: draining cluster...",
+            file=sys.stderr,
+        )
+        threading.Thread(
+            target=router.drain, name="repro-drain", daemon=True
+        ).start()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, on_signal)
+    try:
+        router.serve_forever()
+    finally:
+        router.drain()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("cluster drained; shard snapshots saved", file=sys.stderr)
+    return 0

@@ -1,0 +1,318 @@
+"""Worker supervision: spawn, heartbeat, respawn, retire, autoscale math.
+
+The supervisor owns the worker processes and the ring membership; the
+router only reads them.  Liveness is checked on a ``heartbeat_every``
+cadence two ways — ``waitpid`` (a dead process is definitive) and an
+HTTP ``GET /healthz`` probe (a wedged process answers nothing) — and a
+worker that fails either is respawned onto the **same shard** with
+``generation + 1``: same snapshot directory, so the replacement
+warm-starts from the last snapshot the dead worker wrote, and the ring
+is untouched, so no other shard's keys move.  Requests that were
+in flight on the dead worker fail at the router's proxy socket and are
+replayed against the respawn (:mod:`repro.cluster.router`); nothing is
+lost, some work is redone — the standard at-least-once trade.
+
+Retiring (the scale-down path) is the opposite contract: the shard
+first *drains* — the router answers its keys with 503 + ``Retry-After``
+while SIGTERM lets in-flight work finish and snapshot — and only then
+leaves the ring, remapping its arc to the survivors.
+
+:func:`desired_workers` is the autoscale decision as a pure function of
+the router's outstanding-request gauge, so the policy is unit-testable
+without processes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import multiprocessing
+import os
+import signal
+import sys
+import threading
+import time
+from typing import Dict, Optional
+
+from ..service.config import ServiceConfig
+from .hashring import HashRing
+from .worker import run_worker
+
+__all__ = ["WorkerHandle", "Supervisor", "desired_workers"]
+
+#: Consecutive failed /healthz probes before a live process is declared
+#: wedged and respawned.
+HEALTHZ_FAILURES = 3
+
+#: Seconds to wait for a freshly forked worker to report its port.
+SPAWN_TIMEOUT = 30.0
+
+
+def desired_workers(
+    outstanding: int, threads: int, current: int, lo: int, hi: int
+) -> int:
+    """How many workers the backlog wants, clamped to ``[lo, hi]``.
+
+    ``outstanding`` is the router's gauge of proxied requests not yet
+    answered; one worker absorbs ``threads`` of them concurrently, so
+    the target is ``ceil(outstanding / threads)`` — scaled *gradually*
+    by the caller (one spawn/retire per tick) to avoid flapping on a
+    bursty gauge.
+    """
+    want = max(1, -(-max(0, outstanding) // max(1, threads)))
+    return max(lo, min(hi, want))
+
+
+class WorkerHandle:
+    """One live (or draining) worker process, as the router sees it."""
+
+    def __init__(self, shard: int, generation: int, process, port: int):
+        self.shard = shard
+        self.generation = generation
+        self.process = process
+        self.port = port
+        self.draining = threading.Event()
+        self.healthz_failures = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def describe(self) -> dict:
+        return {
+            "shard": self.shard,
+            "generation": self.generation,
+            "pid": self.pid,
+            "port": self.port,
+            "status": (
+                "draining"
+                if self.draining.is_set()
+                else ("ok" if self.alive() else "dead")
+            ),
+        }
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # non-POSIX: lose fault-seam inheritance only
+        return multiprocessing.get_context("spawn")
+
+
+class Supervisor:
+    """Spawns and watches the shard processes; owns the hash ring."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.ring = HashRing()
+        self._ctx = _fork_context()
+        self._lock = threading.Lock()
+        self._handles: Dict[int, WorkerHandle] = {}
+        self._next_shard = 0
+        self.respawns = 0
+        self.retired = 0
+        self._stop = threading.Event()
+        self._beat_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the initial fleet and start the heartbeat loop."""
+        for _ in range(self.config.workers):
+            self.spawn_one()
+        self._beat_thread = threading.Thread(
+            target=self._beat_loop, name="repro-heartbeat", daemon=True
+        )
+        self._beat_thread.start()
+
+    def stop(self) -> None:
+        """Drain every worker (SIGTERM, join) and stop the heartbeat."""
+        self._stop.set()
+        if self._beat_thread is not None:
+            self._beat_thread.join(timeout=5)
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            handle.draining.set()
+            self._terminate(handle)
+        for handle in handles:
+            handle.process.join(timeout=10)
+            if handle.alive():
+                handle.process.kill()
+                handle.process.join(timeout=5)
+            self.ring.remove(handle.shard)
+
+    def _terminate(self, handle: WorkerHandle) -> None:
+        try:
+            if handle.pid:
+                os.kill(handle.pid, signal.SIGTERM)
+        except (ProcessLookupError, OSError):
+            pass
+
+    # -- spawning ---------------------------------------------------------
+
+    def _spawn(self, shard: int, generation: int) -> WorkerHandle:
+        worker_config = self.config.for_shard(shard, generation)
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=run_worker,
+            args=(worker_config.to_spec(), child),
+            name=f"repro-shard-{shard}",
+        )
+        process.start()
+        child.close()
+        if not parent.poll(SPAWN_TIMEOUT):
+            process.kill()
+            raise RuntimeError(
+                f"shard {shard} gen {generation} did not report a port "
+                f"within {SPAWN_TIMEOUT}s"
+            )
+        status, value = parent.recv()
+        parent.close()
+        if status != "ok":
+            process.join(timeout=5)
+            raise RuntimeError(
+                f"shard {shard} gen {generation} failed to start: {value}"
+            )
+        return WorkerHandle(shard, generation, process, int(value))
+
+    def spawn_one(self) -> int:
+        """Bring up a brand-new shard; returns its id."""
+        with self._lock:
+            shard = self._next_shard
+            self._next_shard += 1
+        handle = self._spawn(shard, generation=0)
+        with self._lock:
+            self._handles[shard] = handle
+        self.ring.add(shard)
+        return shard
+
+    def _respawn(self, dead: WorkerHandle) -> None:
+        generation = dead.generation + 1
+        try:
+            handle = self._spawn(dead.shard, generation)
+        except RuntimeError as exc:
+            # Leave the dead handle in place; the next beat retries
+            # (generation keeps advancing, so the attempt is visible).
+            dead.generation = generation
+            print(f"respawn failed: {exc}", file=sys.stderr)
+            return
+        with self._lock:
+            self._handles[dead.shard] = handle
+            self.respawns += 1
+        if self.config.verbose:
+            print(
+                f"respawned shard {dead.shard} as gen {generation} "
+                f"(port {handle.port})",
+                file=sys.stderr,
+            )
+
+    # -- retiring ---------------------------------------------------------
+
+    def retire_one(self) -> Optional[int]:
+        """Drain and remove the youngest shard (scale-down step).
+
+        Marks it draining immediately — the router starts answering its
+        keys with 503 — and finishes the SIGTERM/join/ring-removal on a
+        background thread so the autoscaler tick never blocks on a
+        drain.  Returns the shard id, or None if only one worker left.
+        """
+        with self._lock:
+            active = [
+                h for h in self._handles.values()
+                if not h.draining.is_set()
+            ]
+            if len(active) <= 1:
+                return None
+            handle = max(active, key=lambda h: h.shard)
+            handle.draining.set()
+        threading.Thread(
+            target=self._finish_retire,
+            args=(handle,),
+            name=f"repro-retire-{handle.shard}",
+            daemon=True,
+        ).start()
+        return handle.shard
+
+    def _finish_retire(self, handle: WorkerHandle) -> None:
+        self._terminate(handle)
+        handle.process.join(timeout=60)
+        if handle.alive():
+            handle.process.kill()
+            handle.process.join(timeout=5)
+        self.ring.remove(handle.shard)
+        with self._lock:
+            if self._handles.get(handle.shard) is handle:
+                del self._handles[handle.shard]
+            self.retired += 1
+
+    # -- heartbeats -------------------------------------------------------
+
+    def _probe_healthz(self, handle: WorkerHandle) -> bool:
+        conn = http.client.HTTPConnection(
+            self.config.host,
+            handle.port,
+            timeout=max(self.config.heartbeat_every, 0.25),
+        )
+        try:
+            conn.request("GET", "/healthz")
+            return conn.getresponse().status == 200
+        except (ConnectionError, OSError):
+            return False
+        finally:
+            conn.close()
+
+    def _beat_once(self) -> None:
+        with self._lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            if self._stop.is_set() or handle.draining.is_set():
+                continue
+            if not handle.alive():
+                self._respawn(handle)
+                continue
+            if self._probe_healthz(handle):
+                handle.healthz_failures = 0
+            else:
+                handle.healthz_failures += 1
+                if handle.healthz_failures >= HEALTHZ_FAILURES:
+                    # Alive but unresponsive: put it down, bring up the
+                    # next generation (same shard, same snapshots).
+                    handle.process.kill()
+                    handle.process.join(timeout=5)
+                    self._respawn(handle)
+
+    def _beat_loop(self) -> None:
+        while not self._stop.wait(self.config.heartbeat_every):
+            self._beat_once()
+
+    # -- read-only views --------------------------------------------------
+
+    def handle(self, shard: int) -> Optional[WorkerHandle]:
+        with self._lock:
+            return self._handles.get(shard)
+
+    def handles(self) -> list:
+        with self._lock:
+            return sorted(self._handles.values(), key=lambda h: h.shard)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return sum(
+                1 for h in self._handles.values()
+                if not h.draining.is_set()
+            )
+
+    def describe(self) -> dict:
+        with self._lock:
+            handles = sorted(self._handles.values(), key=lambda h: h.shard)
+            respawns, retired = self.respawns, self.retired
+        return {
+            "workers": [h.describe() for h in handles],
+            "respawns": respawns,
+            "retired": retired,
+            "ring": list(self.ring.shards()),
+        }

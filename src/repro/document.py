@@ -1,0 +1,173 @@
+"""The one producer of the versioned analysis result document.
+
+Every surface that serializes an :class:`repro.AnalysisResult` — the
+CLI's ``--json`` mode, the service protocol (``POST /analyze`` bodies,
+job results), and the differential checker's JSON reports — routes
+through :func:`result_document` (usually via
+:meth:`repro.AnalysisResult.to_document`), so the wire format has
+exactly one producer and a response served by any process is
+byte-identical to serializing a serial in-process ``analyze()``.
+
+The document is versioned twice, deliberately:
+
+* ``version`` — the wire protocol generation (shared with the request
+  schema in :mod:`repro.service.protocol`);
+* ``schema`` — the result-document shape itself, bumped whenever a
+  field is added, removed or re-typed so downstream parsers can detect
+  drift without diffing keys.
+
+:func:`dumps_canonical` is the one canonical encoding (sorted keys,
+fixed separators, no NaN/Inf): byte-identity claims across processes,
+shards and restarts all reduce to equality of its output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional
+
+__all__ = [
+    "RESULT_SCHEMA",
+    "WIRE_VERSION",
+    "dumps_canonical",
+    "result_document",
+]
+
+#: Wire-protocol generation (request and response documents share it).
+WIRE_VERSION = 1
+
+#: Result-document shape version.  Schema 1 was the PR 4 document
+#: (identified only by its wire ``version``); schema 2 added this field
+#: and the ``env``/``H`` echo becoming intrinsic to the result.
+RESULT_SCHEMA = 2
+
+
+def _finite(value) -> Optional[float]:
+    """A plain finite float, or None (JSON has no NaN/Inf)."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _lcg_document(lcg, plan) -> dict:
+    broken_by_array: dict = {}
+    for phase_k, phase_g, array in plan.relaxed_edges:
+        broken_by_array.setdefault(array, set()).add((phase_k, phase_g))
+    doc: dict = {}
+    for array in lcg.arrays():
+        graph = lcg.graph(array)
+        nodes = [
+            {
+                "phase": name,
+                "attr": graph.nodes[name]["attr"],
+                "p": lcg.p_names.get((name, array), ""),
+            }
+            for name in lcg._phase_order(array)
+        ]
+        doc[array] = {
+            "nodes": nodes,
+            "labels": [list(t) for t in lcg.labels(array)],
+            "chains": lcg.chains(array, broken=broken_by_array.get(array)),
+        }
+    return doc
+
+
+def _schedule_document(lcg, plan) -> list:
+    from .dsm import schedule_communications
+    from .dsm.schedule_comm import CommStep, PhaseStep
+
+    steps = []
+    for step in schedule_communications(lcg, plan).steps:
+        if isinstance(step, PhaseStep):
+            steps.append(
+                {"kind": "phase", "phase": step.phase, "chunk": step.chunk,
+                 "text": str(step)}
+            )
+        elif isinstance(step, CommStep):
+            steps.append(
+                {
+                    "kind": "comm",
+                    "array": step.array,
+                    "source_phase": step.source_phase,
+                    "drain_phase": step.drain_phase,
+                    "pattern": step.pattern,
+                    "text": str(step),
+                }
+            )
+        else:  # future step kinds degrade to their rendering
+            steps.append({"kind": "other", "text": str(step)})
+    return steps
+
+
+def _report_document(report) -> Optional[dict]:
+    if report is None:
+        return None
+    return {
+        "program": report.program,
+        "H": report.H,
+        "total_local": report.total_local,
+        "total_remote": report.total_remote,
+        "comm_volume": report.comm_volume,
+        "comm_messages": report.comm_messages,
+        "parallel_time": _finite(report.parallel_time()),
+        "serial_time": _finite(report.serial_time()),
+        "speedup": _finite(report.speedup()),
+        "efficiency": _finite(report.efficiency()),
+        "phases": [
+            {
+                "phase": p.phase,
+                "local": int(p.local.sum()),
+                "remote": int(p.remote.sum()),
+                "iterations": int(p.iterations.sum()),
+            }
+            for p in report.phases
+        ],
+        "comms": [str(c) for c in report.comms],
+        "summary": report.summary(),
+    }
+
+
+def result_document(result) -> dict:
+    """Serialize one :class:`repro.AnalysisResult` as the wire document.
+
+    Pure data in, pure data out: every value is a JSON-native type and
+    the document depends only on the analysis result — serializing a
+    serial in-process ``analyze()`` gives the byte-identical document
+    any server, shard or replayed job returns for the same request.
+    """
+    plan = result.plan
+    return {
+        "version": WIRE_VERSION,
+        "schema": RESULT_SCHEMA,
+        "program": result.program.name,
+        "env": {name: int(value) for name, value in result.env.items()},
+        "H": int(result.H),
+        "lcg": _lcg_document(result.lcg, plan),
+        "constraints": {
+            "locality": [str(c) for c in result.constraints.locality],
+            "load_balance": [str(c) for c in result.constraints.load_balance],
+            "storage": [str(c) for c in result.constraints.storage],
+            "affinity": [str(c) for c in result.constraints.affinity],
+        },
+        "plan": {
+            "chunks": {k: int(v) for k, v in plan.chunks.items()},
+            "phase_chunks": {
+                k: int(v) for k, v in plan.phase_chunks.items()
+            },
+            "objective": _finite(plan.objective),
+            "imbalance": _finite(plan.imbalance),
+            "communication": _finite(plan.communication),
+            "relaxed_edges": [list(e) for e in plan.relaxed_edges],
+        },
+        "schedule": _schedule_document(result.lcg, plan),
+        "report": _report_document(result.report),
+        "trace": result.trace.to_json() if result.trace is not None else None,
+        "metrics": result.metrics,
+    }
+
+
+def dumps_canonical(doc) -> str:
+    """The one canonical wire encoding (sorted keys, no whitespace)."""
+    return json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )

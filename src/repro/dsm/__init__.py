@@ -18,7 +18,6 @@ from .executor import (
     chain_layouts,
     execute_static,
     execute_with_plan,
-    set_fast_path,
 )
 
 __all__ = [
@@ -32,7 +31,6 @@ __all__ = [
     "execute_with_plan",
     "frontier_update",
     "redistribution",
-    "set_fast_path",
     "PhaseStep",
     "ProgramSchedule",
     "schedule_communications",

@@ -21,7 +21,6 @@ Two execution modes back the §4.3 experiment:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -54,7 +53,6 @@ __all__ = [
     "execute_static",
     "execute_with_plan",
     "chain_layouts",
-    "set_fast_path",
 ]
 
 
@@ -167,21 +165,6 @@ def _set_fast_path_default(mode: str) -> str:
     old = _FAST_MODE
     _FAST_MODE = mode
     return old
-
-
-def set_fast_path(mode: str) -> str:
-    """Deprecated: pass ``AnalysisOptions(dsm_fast_path=...)`` to ``analyze``.
-
-    Still moves the process-wide default tier (which an option left at
-    ``None`` inherits); returns the previous mode.
-    """
-    warnings.warn(
-        "set_fast_path is deprecated; pass "
-        "repro.AnalysisOptions(dsm_fast_path=...) to analyze() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _set_fast_path_default(mode)
 
 
 def _try_fast_stats(

@@ -8,8 +8,6 @@ from .engine import (
     analyze_edges,
     clear_analysis_cache,
     get_analysis_cache,
-    set_analysis_cache,
-    set_engine,
 )
 from .table1 import ATTRIBUTES, EDGE_LABEL_TABLE, classify_edge
 from .lcg import LCG, build_lcg
@@ -31,6 +29,4 @@ __all__ = [
     "classify_edge",
     "clear_analysis_cache",
     "get_analysis_cache",
-    "set_analysis_cache",
-    "set_engine",
 ]

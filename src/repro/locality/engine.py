@@ -15,9 +15,11 @@ the builder now routes through:
   (fork start method; transparent serial fallback) with a deterministic
   index-ordered merge, so parallel and serial builds are byte-identical.
 
-Both levers are toggleable in the style of ``set_fast_path``:
-:func:`set_engine` picks serial/parallel dispatch,
-:func:`set_analysis_cache` turns the process-global cache on/off.
+Both levers are configured per call through
+:class:`repro.AnalysisOptions` (``engine=``, ``analysis_cache=``);
+options left at ``None`` inherit the process defaults, which tests move
+via the private ``_set_engine_default``/``_set_analysis_cache_default``
+helpers.
 """
 
 from __future__ import annotations
@@ -43,8 +45,6 @@ __all__ = [
     "analyze_edges",
     "clear_analysis_cache",
     "get_analysis_cache",
-    "set_analysis_cache",
-    "set_engine",
 ]
 
 #: Dispatch mode for build_lcg's edge fan-out: "serial" | "parallel".
@@ -68,42 +68,12 @@ def _set_engine_default(mode: str) -> str:
     return old
 
 
-def set_engine(mode: str) -> str:
-    """Deprecated: pass ``AnalysisOptions(engine=...)`` to ``analyze``.
-
-    Still moves the process-wide default dispatch mode (which an option
-    left at ``None`` inherits); returns the old mode.
-    """
-    warnings.warn(
-        "set_engine is deprecated; pass "
-        "repro.AnalysisOptions(engine=...) to analyze() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _set_engine_default(mode)
-
-
 def _set_analysis_cache_default(enabled: bool) -> bool:
     """Move the default cache toggle; returns the old one (no warning)."""
     global _CACHE_ENABLED
     old = _CACHE_ENABLED
     _CACHE_ENABLED = bool(enabled)
     return old
-
-
-def set_analysis_cache(enabled: bool) -> bool:
-    """Deprecated: pass ``AnalysisOptions(analysis_cache=...)`` to ``analyze``.
-
-    Still moves the process-wide default (which an option left at
-    ``None`` inherits); returns the old setting.
-    """
-    warnings.warn(
-        "set_analysis_cache is deprecated; pass "
-        "repro.AnalysisOptions(analysis_cache=...) to analyze() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _set_analysis_cache_default(enabled)
 
 
 class AnalysisCache:

@@ -7,6 +7,12 @@ cycles.
 """
 
 from .core import Collector, Span, obs_span
-from .stats import Reservoir
+from .stats import Reservoir, merge_counter_docs
 
-__all__ = ["Collector", "Reservoir", "Span", "obs_span"]
+__all__ = [
+    "Collector",
+    "Reservoir",
+    "Span",
+    "merge_counter_docs",
+    "obs_span",
+]

@@ -13,7 +13,24 @@ from __future__ import annotations
 import threading
 from collections import deque
 
-__all__ = ["Reservoir"]
+__all__ = ["Reservoir", "merge_counter_docs"]
+
+
+def merge_counter_docs(docs) -> dict:
+    """Sum flat ``name -> count`` dicts into one sorted total.
+
+    The cluster router aggregates each shard's ``/metrics`` counters
+    with this; missing/empty documents contribute nothing, so a shard
+    that died mid-scrape degrades the totals, never the endpoint.
+    """
+    total: dict = {}
+    for doc in docs:
+        if not doc:
+            continue
+        for name, n in doc.items():
+            if isinstance(n, (int, float)) and not isinstance(n, bool):
+                total[name] = total.get(name, 0) + n
+    return dict(sorted(total.items()))
 
 
 class Reservoir:

@@ -5,10 +5,10 @@ PRs 1–2 grew four process-global toggles (``locality.set_engine``,
 ``dsm.set_fast_path``).  Module state composes badly — libraries
 embedding the analysis cannot scope a setting to one call — so the
 knobs now travel explicitly: build a frozen :class:`AnalysisOptions`
-and pass it to :func:`repro.analyze`.  The old setters survive as
-deprecated shims that move the corresponding *default*; an option left
-at ``None`` inherits that default, so old code keeps working while new
-code is fully explicit.
+and pass it to :func:`repro.analyze`.  This is the *only* configuration
+surface — the deprecated ``set_*`` shims were removed in PR 8.  An
+option left at ``None`` inherits the process default, which tests and
+the perf harness move via the private ``_set_*_default`` helpers.
 
 The CLI accepts the same knobs one-to-one via ``--opt KEY=VALUE,...``
 (:meth:`AnalysisOptions.from_spec` parses the spec, so the CLI grammar

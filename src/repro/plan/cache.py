@@ -281,6 +281,20 @@ class PlanCache:
             )
         return cache
 
+    @classmethod
+    def open(cls, path, obs=None) -> "PlanCache":
+        """Load a bundle from ``path`` and install its memo banks.
+
+        The boot-time idiom every warm-starting process uses (service
+        shards, the CLI's ``--opt plan_cache=FILE`` path): one call
+        gives a bundle whose banks are already seeded into the
+        process-global memo tables, so the first analysis replays
+        instead of re-deriving.
+        """
+        cache = cls.load(path, obs=obs)
+        cache.install_banks(obs=obs)
+        return cache
+
 
 def _strip(ctx):
     from .compiler import _strip_ctx

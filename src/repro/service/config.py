@@ -1,0 +1,254 @@
+"""``ServiceConfig`` — the one frozen configuration value of the service.
+
+PRs 4 and 7 grew :class:`SharedState` and the server a positional-kwarg
+spread (``snapshot_path``, ``snapshot_every``, ``plan_path``, cadence,
+…) that every new layer had to thread through.  This PR collapses the
+whole serving surface into one frozen dataclass, mirroring
+:class:`repro.AnalysisOptions`:
+
+* every process of the cluster — router, analysis workers, the
+  single-process server — is constructed from a ``ServiceConfig``;
+* :meth:`from_spec`/:meth:`to_spec` give it the same escaped
+  ``KEY=VALUE,...`` grammar as ``--opt``, so the router ships each
+  worker its exact configuration as **one serializable value** (the
+  spec string crosses the fork/exec boundary without pickling);
+* :meth:`for_shard` derives a worker's config from the router's —
+  ephemeral port, shard identity, per-shard snapshot paths carved out
+  of ``snapshot_dir`` — so every shard owns an independent warm
+  :class:`AnalysisCache`/:class:`PlanCache` pair on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from ..options import (
+    _parse_bool,
+    _partition_unescaped,
+    _split_unescaped,
+    _unescape,
+    _escape,
+)
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``python -m repro serve`` can tune, in one value.
+
+    Single-process fields
+    ---------------------
+    ``threads`` is the per-process analysis thread pool (what
+    ``workers`` meant before the cluster existed); ``queue_limit`` the
+    admission queue beyond it (overflow answers 429);
+    ``snapshot_path``/``plan_path`` the warm-cache and plan-bundle
+    pickles, written every ``snapshot_every`` completed analyses.
+
+    Cluster fields
+    --------------
+    ``workers`` is the number of forked analysis *processes* — 1 keeps
+    the in-process single server, ≥2 starts the consistent-hash router
+    of :mod:`repro.cluster`.  ``min_workers``/``max_workers`` bound the
+    queue-depth autoscaler (both default to ``workers``).
+    ``snapshot_dir`` is the root under which each shard keeps its own
+    ``shard-N/cache.pkl`` + ``shard-N/plans.pkl``; ``queue_dir``
+    enables the durable idempotent job journal.  ``shard`` and
+    ``generation`` identify one worker process (the router stamps them
+    via :meth:`for_shard`; ``None`` means "not a shard").
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    threads: int = 4
+    queue_limit: int = 16
+    request_timeout: float = 120.0
+    snapshot_path: Optional[str] = None
+    snapshot_every: int = 16
+    plan_path: Optional[str] = None
+    result_cache: int = 128
+    latency_window: int = 1024
+    verbose: bool = False
+    workers: int = 1
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
+    snapshot_dir: Optional[str] = None
+    queue_dir: Optional[str] = None
+    shard: Optional[int] = None
+    generation: int = 0
+    heartbeat_every: float = 0.5
+    replay_limit: int = 5
+    scale_window: float = 2.0
+
+    def __post_init__(self):
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.queue_limit < 0:
+            raise ValueError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {self.request_timeout}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        lo, hi = self.scale_bounds()
+        if not (1 <= lo <= hi):
+            raise ValueError(
+                f"worker bounds must satisfy 1 <= min <= max, got "
+                f"min={lo}, max={hi}"
+            )
+        if self.shard is not None and self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.replay_limit < 0:
+            raise ValueError(
+                f"replay_limit must be >= 0, got {self.replay_limit}"
+            )
+
+    # -- derived views ----------------------------------------------------
+
+    def scale_bounds(self) -> tuple:
+        """``(min_workers, max_workers)`` with defaults resolved."""
+        lo = self.workers if self.min_workers is None else self.min_workers
+        hi = self.workers if self.max_workers is None else self.max_workers
+        return lo, hi
+
+    @property
+    def clustered(self) -> bool:
+        """Whether this config asks for the multi-process router tier."""
+        _, hi = self.scale_bounds()
+        return max(self.workers, hi) > 1 or self.queue_dir is not None
+
+    def shard_dir(self, shard: int) -> Optional[str]:
+        if self.snapshot_dir is None:
+            return None
+        return os.path.join(self.snapshot_dir, f"shard-{shard}")
+
+    def resolved_snapshot_path(self) -> Optional[str]:
+        """The analysis-cache pickle this process should load/save."""
+        if self.snapshot_path is not None:
+            return self.snapshot_path
+        base = (
+            self.shard_dir(self.shard)
+            if self.shard is not None
+            else self.snapshot_dir
+        )
+        return os.path.join(base, "cache.pkl") if base else None
+
+    def resolved_plan_path(self) -> Optional[str]:
+        """The plan-bundle pickle this process should load/save."""
+        if self.plan_path is not None:
+            return self.plan_path
+        base = (
+            self.shard_dir(self.shard)
+            if self.shard is not None
+            else self.snapshot_dir
+        )
+        return os.path.join(base, "plans.pkl") if base else None
+
+    def for_shard(self, shard: int, generation: int = 0) -> "ServiceConfig":
+        """Derive one worker process's config from the router's.
+
+        The worker binds an ephemeral port on the router's host, keeps
+        the router's analysis knobs (threads, queue, timeout, caches)
+        and gets its own snapshot paths under ``snapshot_dir`` so no
+        two shards ever contend on one pickle.  ``generation`` counts
+        respawns of the same shard (fault seams key off it).
+        """
+        return replace(
+            self,
+            port=0,
+            workers=1,
+            min_workers=None,
+            max_workers=None,
+            queue_dir=None,
+            snapshot_path=(
+                os.path.join(self.shard_dir(shard), "cache.pkl")
+                if self.snapshot_dir is not None
+                else None
+            ),
+            plan_path=(
+                os.path.join(self.shard_dir(shard), "plans.pkl")
+                if self.snapshot_dir is not None
+                else None
+            ),
+            shard=shard,
+            generation=generation,
+        )
+
+    # -- the spec grammar (mirrors AnalysisOptions) -----------------------
+
+    _INT_FIELDS = frozenset(
+        {
+            "port", "threads", "queue_limit", "snapshot_every",
+            "result_cache", "latency_window", "workers", "min_workers",
+            "max_workers", "shard", "generation", "replay_limit",
+        }
+    )
+    _FLOAT_FIELDS = frozenset(
+        {"request_timeout", "heartbeat_every", "scale_window"}
+    )
+    _BOOL_FIELDS = frozenset({"verbose"})
+
+    @classmethod
+    def from_spec(cls, spec: str, **overrides) -> "ServiceConfig":
+        """Parse ``"port=8377,workers=4,queue_dir=/var/jobs,..."``.
+
+        Field names are the keys; literal ``,``/``=``/``\\`` inside a
+        value (paths, typically) are backslash-escaped exactly as
+        :meth:`to_spec` emits them — the two are inverses, which is the
+        property that lets the router hand a worker its whole config as
+        one string.
+        """
+        kwargs: dict = {}
+        for item in _split_unescaped(spec or "", ","):
+            if not _unescape(item).strip():
+                continue
+            key, sep, value = _partition_unescaped(item, "=")
+            if not sep:
+                raise ValueError(
+                    f"bad service option {_unescape(item).strip()!r}: "
+                    f"expected KEY=VALUE"
+                )
+            key = _unescape(key).strip().replace("-", "_")
+            value = _unescape(value.strip())
+            if key not in {f.name for f in fields(cls)}:
+                raise ValueError(
+                    f"unknown service option {key!r}; known keys: "
+                    f"{', '.join(f.name for f in fields(cls))}"
+                )
+            if key in cls._INT_FIELDS:
+                kwargs[key] = int(value)
+            elif key in cls._FLOAT_FIELDS:
+                kwargs[key] = float(value)
+            elif key in cls._BOOL_FIELDS:
+                kwargs[key] = _parse_bool(key, value)
+            else:
+                kwargs[key] = value
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def to_spec(self) -> str:
+        """The inverse of :meth:`from_spec` (explicitly-set keys only)."""
+        parts: list = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            if isinstance(value, bool):
+                value = "on" if value else "off"
+            elif isinstance(value, float):
+                value = repr(value)
+            elif isinstance(value, int):
+                value = str(value)
+            else:
+                value = _escape(os.fspath(value))
+            parts.append(f"{f.name}={value}")
+        return ",".join(parts)

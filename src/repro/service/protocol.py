@@ -22,11 +22,10 @@ for a request is *byte-identical* to serializing a serial
 
 from __future__ import annotations
 
-import json
-import math
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from ..document import WIRE_VERSION, dumps_canonical
 from ..options import AnalysisOptions
 
 __all__ = [
@@ -39,7 +38,7 @@ __all__ = [
     "dumps_canonical",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = WIRE_VERSION
 
 
 class ProtocolError(ValueError):
@@ -261,131 +260,26 @@ def request_key(request: AnalyzeRequest, program, env: Mapping[str, int],
 # ---------------------------------------------------------------------------
 
 
-def _finite(value) -> Optional[float]:
-    """A plain finite float, or None (JSON has no NaN/Inf)."""
-    value = float(value)
-    return value if math.isfinite(value) else None
+def response_document(
+    result,
+    env: Optional[Mapping[str, int]] = None,
+    H: Optional[int] = None,
+) -> dict:
+    """The response body for one :class:`repro.AnalysisResult`.
 
-
-def _lcg_document(lcg, plan) -> dict:
-    broken_by_array: dict = {}
-    for phase_k, phase_g, array in plan.relaxed_edges:
-        broken_by_array.setdefault(array, set()).add((phase_k, phase_g))
-    doc: dict = {}
-    for array in lcg.arrays():
-        graph = lcg.graph(array)
-        nodes = [
-            {
-                "phase": name,
-                "attr": graph.nodes[name]["attr"],
-                "p": lcg.p_names.get((name, array), ""),
-            }
-            for name in lcg._phase_order(array)
-        ]
-        doc[array] = {
-            "nodes": nodes,
-            "labels": [list(t) for t in lcg.labels(array)],
-            "chains": lcg.chains(array, broken=broken_by_array.get(array)),
-        }
-    return doc
-
-
-def _schedule_document(lcg, plan) -> list:
-    from ..dsm import schedule_communications
-    from ..dsm.schedule_comm import CommStep, PhaseStep
-
-    steps = []
-    for step in schedule_communications(lcg, plan).steps:
-        if isinstance(step, PhaseStep):
-            steps.append(
-                {"kind": "phase", "phase": step.phase, "chunk": step.chunk,
-                 "text": str(step)}
-            )
-        elif isinstance(step, CommStep):
-            steps.append(
-                {
-                    "kind": "comm",
-                    "array": step.array,
-                    "source_phase": step.source_phase,
-                    "drain_phase": step.drain_phase,
-                    "pattern": step.pattern,
-                    "text": str(step),
-                }
-            )
-        else:  # future step kinds degrade to their rendering
-            steps.append({"kind": "other", "text": str(step)})
-    return steps
-
-
-def _report_document(report) -> Optional[dict]:
-    if report is None:
-        return None
-    return {
-        "program": report.program,
-        "H": report.H,
-        "total_local": report.total_local,
-        "total_remote": report.total_remote,
-        "comm_volume": report.comm_volume,
-        "comm_messages": report.comm_messages,
-        "parallel_time": _finite(report.parallel_time()),
-        "serial_time": _finite(report.serial_time()),
-        "speedup": _finite(report.speedup()),
-        "efficiency": _finite(report.efficiency()),
-        "phases": [
-            {
-                "phase": p.phase,
-                "local": int(p.local.sum()),
-                "remote": int(p.remote.sum()),
-                "iterations": int(p.iterations.sum()),
-            }
-            for p in report.phases
-        ],
-        "comms": [str(c) for c in report.comms],
-        "summary": report.summary(),
-    }
-
-
-def response_document(result, env: Mapping[str, int], H: int) -> dict:
-    """Serialize one :class:`repro.AnalysisResult` as the response body.
-
-    Pure data in, pure data out: every value is a JSON-native type and
-    the document depends only on the analysis result — serializing a
-    serial in-process ``analyze()`` gives the byte-identical document
-    the server sends for the same request.
+    A thin delegate to :meth:`repro.AnalysisResult.to_document` — the
+    result carries its own ``env``/``H`` binding since schema 2, so the
+    wire format has exactly one producer (:mod:`repro.document`).  The
+    legacy ``env``/``H`` arguments are accepted for caller symmetry and
+    cross-checked when given.
     """
-    plan = result.plan
-    doc = {
-        "version": PROTOCOL_VERSION,
-        "program": result.program.name,
-        "env": {name: int(value) for name, value in env.items()},
-        "H": int(H),
-        "lcg": _lcg_document(result.lcg, plan),
-        "constraints": {
-            "locality": [str(c) for c in result.constraints.locality],
-            "load_balance": [str(c) for c in result.constraints.load_balance],
-            "storage": [str(c) for c in result.constraints.storage],
-            "affinity": [str(c) for c in result.constraints.affinity],
-        },
-        "plan": {
-            "chunks": {k: int(v) for k, v in plan.chunks.items()},
-            "phase_chunks": {
-                k: int(v) for k, v in plan.phase_chunks.items()
-            },
-            "objective": _finite(plan.objective),
-            "imbalance": _finite(plan.imbalance),
-            "communication": _finite(plan.communication),
-            "relaxed_edges": [list(e) for e in plan.relaxed_edges],
-        },
-        "schedule": _schedule_document(result.lcg, plan),
-        "report": _report_document(result.report),
-        "trace": result.trace.to_json() if result.trace is not None else None,
-        "metrics": result.metrics,
-    }
-    return doc
-
-
-def dumps_canonical(doc) -> str:
-    """The one canonical wire encoding (sorted keys, no whitespace)."""
-    return json.dumps(
-        doc, sort_keys=True, separators=(",", ":"), allow_nan=False
-    )
+    if env is not None and dict(env) != dict(result.env):
+        raise ValueError(
+            f"env {dict(env)!r} does not match the analyzed binding "
+            f"{dict(result.env)!r}"
+        )
+    if H is not None and int(H) != int(result.H):
+        raise ValueError(
+            f"H {H!r} does not match the analyzed machine size {result.H!r}"
+        )
+    return result.to_document()

@@ -44,12 +44,13 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from .. import __version__, Collector, analyze
 from .coalesce import ResultLRU, SingleFlight
+from .config import ServiceConfig
 from .protocol import (
     PROTOCOL_VERSION,
     AnalyzeRequest,
@@ -57,7 +58,6 @@ from .protocol import (
     build_request_program,
     dumps_canonical,
     request_key,
-    response_document,
 )
 from .state import ServerMetrics, SharedState
 
@@ -68,35 +68,6 @@ __all__ = ["ServiceConfig", "AnalysisServer", "serve_in_thread", "main_serve"]
 MAX_BODY_BYTES = 4 << 20
 
 
-@dataclass(frozen=True)
-class ServiceConfig:
-    """Everything ``python -m repro serve`` can tune."""
-
-    host: str = "127.0.0.1"
-    port: int = 8377
-    workers: int = 4
-    queue_limit: int = 16
-    request_timeout: float = 120.0
-    snapshot_path: Optional[str] = None
-    snapshot_every: int = 16
-    plan_path: Optional[str] = None
-    result_cache: int = 128
-    latency_window: int = 1024
-    verbose: bool = False
-
-    def __post_init__(self):
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
-        if self.queue_limit < 0:
-            raise ValueError(
-                f"queue_limit must be >= 0, got {self.queue_limit}"
-            )
-        if self.request_timeout <= 0:
-            raise ValueError(
-                f"request_timeout must be > 0, got {self.request_timeout}"
-            )
-
-
 class AnalysisServer(ThreadingHTTPServer):
     """ThreadingHTTPServer + the serving state machine."""
 
@@ -105,19 +76,15 @@ class AnalysisServer(ThreadingHTTPServer):
 
     def __init__(self, config: ServiceConfig):
         self.config = config
-        self.state = SharedState(
-            snapshot_path=config.snapshot_path,
-            snapshot_every=config.snapshot_every,
-            plan_path=config.plan_path,
-        )
+        self.state = SharedState(config)
         self.metrics = ServerMetrics(latency_window=config.latency_window)
         self.flights = SingleFlight()
         self.results = ResultLRU(config.result_cache)
         self.pool = ThreadPoolExecutor(
-            max_workers=config.workers, thread_name_prefix="repro-analyze"
+            max_workers=config.threads, thread_name_prefix="repro-analyze"
         )
         self._admission = threading.BoundedSemaphore(
-            config.workers + config.queue_limit
+            config.threads + config.queue_limit
         )
         self._gauge_lock = threading.Lock()
         self._admitted = 0  # admitted, not yet responded
@@ -152,7 +119,7 @@ class AnalysisServer(ThreadingHTTPServer):
             "admitted": admitted,
             "in_flight": in_flight,
             "queue_depth": max(0, admitted - in_flight),
-            "capacity": self.config.workers + self.config.queue_limit,
+            "capacity": self.config.threads + self.config.queue_limit,
         }
 
     @property
@@ -200,7 +167,7 @@ class AnalysisServer(ThreadingHTTPServer):
                     options=opts,
                     collector=collector,
                 )
-                doc = response_document(result, env, request.H)
+                doc = result.to_document()
                 if not request.options.metrics:
                     doc["metrics"] = None
                 self.metrics.merge_counters(collector.counters)
@@ -221,11 +188,15 @@ class AnalysisServer(ThreadingHTTPServer):
     # -- read-only documents --------------------------------------------
 
     def health_document(self) -> dict:
-        return {
+        doc = {
             "status": "draining" if self.draining else "ok",
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
         }
+        if self.config.shard is not None:
+            doc["shard"] = self.config.shard
+            doc["generation"] = self.config.generation
+        return doc
 
     def metrics_document(self) -> dict:
         doc = self.metrics.snapshot()
@@ -413,19 +384,50 @@ def main_serve(argv=None) -> int:
         prog="repro serve",
         description=(
             "Run the locality-analysis service: POST /analyze, "
-            "GET /healthz, GET /metrics, GET /cache/stats."
+            "GET /healthz, GET /metrics, GET /cache/stats — and, with "
+            "--workers N (N >= 2) or --queue-dir, the sharded "
+            "multi-process cluster with POST /jobs."
         ),
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8377)
     parser.add_argument(
-        "--workers", type=int, default=4, help="analysis worker threads"
+        "--workers",
+        type=int,
+        default=1,
+        help="analysis worker PROCESSES; >= 2 starts the consistent-hash "
+        "cluster router (each worker owns its own warm cache shard)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="analysis threads per worker process",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        help="autoscaler floor on worker processes (default: --workers)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="autoscaler ceiling on worker processes (default: --workers)",
     )
     parser.add_argument(
         "--queue",
         type=int,
         default=16,
-        help="admission queue beyond the workers; overflow answers 429",
+        help="admission queue beyond the threads; overflow answers 429",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        metavar="DIR",
+        help="durable idempotent job queue: POST /jobs journals every "
+        "batch request to DIR (atomic fsync-rename) and replays "
+        "unfinished jobs on boot",
     )
     parser.add_argument(
         "--timeout",
@@ -438,6 +440,13 @@ def main_serve(argv=None) -> int:
         metavar="FILE",
         help="warm-start the shared analysis cache from FILE and "
         "periodically pickle it back (same format as --opt cache=FILE)",
+    )
+    parser.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="root directory for per-shard cache/plan snapshots "
+        "(DIR/shard-N/{cache,plans}.pkl in cluster mode; "
+        "DIR/{cache,plans}.pkl single-process)",
     )
     parser.add_argument(
         "--snapshot-every",
@@ -469,14 +478,23 @@ def main_serve(argv=None) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        threads=args.threads,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
         queue_limit=args.queue,
+        queue_dir=args.queue_dir,
         request_timeout=args.timeout,
         snapshot_path=args.snapshot,
+        snapshot_dir=args.snapshot_dir,
         snapshot_every=args.snapshot_every,
         plan_path=args.plan_snapshot,
         result_cache=args.result_cache,
         verbose=args.verbose,
     )
+    if config.clustered:
+        from ..cluster import main_cluster
+
+        return main_cluster(config)
     try:
         server = AnalysisServer(config)
     except OSError as exc:
@@ -487,7 +505,7 @@ def main_serve(argv=None) -> int:
     print(
         f"repro service v{__version__} (protocol {PROTOCOL_VERSION}) "
         f"listening on http://{host}:{port} — "
-        f"{config.workers} workers, queue {config.queue_limit}",
+        f"{config.threads} threads, queue {config.queue_limit}",
         file=sys.stderr,
     )
 

@@ -16,12 +16,14 @@ under one lock; the ``/metrics`` endpoint serves its snapshot.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Optional
 
 from ..locality.engine import AnalysisCache
 from ..obs import Reservoir
 from ..plan import PlanCache
+from .config import ServiceConfig
 
 __all__ = ["SharedState", "ServerMetrics"]
 
@@ -29,44 +31,45 @@ __all__ = ["SharedState", "ServerMetrics"]
 class SharedState:
     """The warm :class:`AnalysisCache` plus its snapshot policy.
 
-    ``snapshot_path=None`` disables persistence.  Otherwise the cache is
-    loaded from the path at startup (missing/unreadable files load
-    empty, exactly like ``AnalysisCache.load``) and saved back every
-    ``snapshot_every`` completed analyses and on :meth:`close` — the
-    graceful-drain path calls ``close`` after the last in-flight request
-    finishes, so no warm entries are lost to a SIGTERM.  Both snapshot
-    writes are atomic (temp + fsync + rename), so a drain interrupted
-    mid-save still leaves a loadable file.
+    Constructed from one frozen :class:`ServiceConfig` — the same value
+    the router ships to each worker — from which it resolves this
+    process's (possibly shard-specific) snapshot paths.  With no
+    snapshot paths persistence is off.  Otherwise the cache is loaded
+    from disk at startup (missing/unreadable files load empty, exactly
+    like ``AnalysisCache.load``) and saved back every
+    ``config.snapshot_every`` completed analyses and on :meth:`close` —
+    the graceful-drain path calls ``close`` after the last in-flight
+    request finishes, so no warm entries are lost to a SIGTERM.  Both
+    snapshot writes are atomic (temp + fsync + rename), so a drain
+    interrupted mid-save still leaves a loadable file.
 
-    ``plan_path`` adds the compiled-plan bundle (:mod:`repro.plan`):
-    loaded at boot — its memo banks installed immediately, so the first
+    The plan path adds the compiled-plan bundle (:mod:`repro.plan`):
+    opened at boot — its memo banks installed immediately, so the first
     request of a restarted server replays instead of re-deriving — and
     saved on the same cadence.
     """
 
     def __init__(
         self,
-        snapshot_path: Optional[str] = None,
-        snapshot_every: int = 16,
+        config: Optional[ServiceConfig] = None,
         cache: Optional[AnalysisCache] = None,
-        plan_path: Optional[str] = None,
     ):
-        if snapshot_every < 1:
-            raise ValueError(
-                f"snapshot_every must be >= 1, got {snapshot_every}"
-            )
-        self.snapshot_path = snapshot_path
-        self.snapshot_every = snapshot_every
-        self.plan_path = plan_path
+        config = config if config is not None else ServiceConfig()
+        self.config = config
+        self.snapshot_path = config.resolved_snapshot_path()
+        self.snapshot_every = config.snapshot_every
+        self.plan_path = config.resolved_plan_path()
+        for path in (self.snapshot_path, self.plan_path):
+            if path is not None and os.path.dirname(path):
+                os.makedirs(os.path.dirname(path), exist_ok=True)
         if cache is not None:
             self.cache = cache
-        elif snapshot_path is not None:
-            self.cache = AnalysisCache.load(snapshot_path)
+        elif self.snapshot_path is not None:
+            self.cache = AnalysisCache.load(self.snapshot_path)
         else:
             self.cache = AnalysisCache()
-        if plan_path is not None:
-            self.plan_cache = PlanCache.load(plan_path)
-            self.plan_cache.install_banks()
+        if self.plan_path is not None:
+            self.plan_cache = PlanCache.open(self.plan_path)
         else:
             self.plan_cache = PlanCache()
         self._lock = threading.Lock()

@@ -55,7 +55,6 @@ from .refute import (
     clear_refutation_banks,
     refutation_stats,
     refute_nonneg,
-    set_refutation,
 )
 from .sampling import always_nonneg_sampled, equivalent, random_env
 
@@ -97,7 +96,6 @@ __all__ = [
     "refutation_stats",
     "refute_nonneg",
     "set_memoization",
-    "set_refutation",
     "shift_difference",
     "smax",
     "smin",

@@ -28,7 +28,6 @@ are reproducible across runs and across processes.
 
 from __future__ import annotations
 
-import warnings
 import zlib
 from typing import Optional
 
@@ -43,7 +42,6 @@ __all__ = [
     "clear_refutation_banks",
     "refutation_stats",
     "refute_nonneg",
-    "set_refutation",
 ]
 
 #: Number of sampled environments per context bank.  30 was enough to
@@ -51,7 +49,7 @@ __all__ = [
 #: columns cost nothing thanks to vectorised evaluation.
 BANK_SIZE = 32
 
-#: Master switch, flipped by the perf harness like ``set_memoization``.
+#: Master switch; the perf harness moves it via ``_set_refutation_default``.
 _REFUTE_ENABLED = True
 
 #: One bank per context fingerprint.
@@ -67,21 +65,6 @@ def _set_refutation_default(enabled: bool) -> bool:
     old = _REFUTE_ENABLED
     _REFUTE_ENABLED = bool(enabled)
     return old
-
-
-def set_refutation(enabled: bool) -> bool:
-    """Deprecated: pass ``AnalysisOptions(refutation=...)`` to ``analyze``.
-
-    Still moves the process-wide default (which an option left at
-    ``None`` inherits); returns the old setting.
-    """
-    warnings.warn(
-        "set_refutation is deprecated; pass "
-        "repro.AnalysisOptions(refutation=...) to analyze() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _set_refutation_default(enabled)
 
 
 def clear_refutation_banks() -> None:

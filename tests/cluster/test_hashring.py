@@ -1,0 +1,125 @@
+"""The consistent-hash ring: affinity, minimal remapping, fallbacks."""
+
+import hashlib
+
+import pytest
+
+from repro.cluster import HashRing, hash_key
+
+KEYS = [("prog", i, ("env", i % 7), i * 3) for i in range(400)]
+
+
+def ring_of(shards, replicas=64):
+    ring = HashRing(replicas=replicas)
+    for shard in shards:
+        ring.add(shard)
+    return ring
+
+
+class TestHashKey:
+    def test_matches_sha256_of_repr(self):
+        key = ("fingerprint", (("N", 256),), 4)
+        digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+        assert hash_key(key) == int.from_bytes(digest[:8], "big")
+
+    def test_stable_across_calls(self):
+        key = ("abc", 1, (2, 3))
+        assert hash_key(key) == hash_key(key)
+
+    def test_distinct_keys_spread(self):
+        points = {hash_key(k) for k in KEYS}
+        assert len(points) == len(KEYS)
+
+
+class TestMembership:
+    def test_empty_ring_has_no_owner(self):
+        ring = HashRing()
+        assert ring.lookup("anything") is None
+        assert ring.lookup_chain("anything", 3) == []
+        assert len(ring) == 0
+
+    def test_add_remove_contains(self):
+        ring = ring_of([0, 1, 2])
+        assert len(ring) == 3
+        assert 1 in ring and 5 not in ring
+        assert ring.shards() == (0, 1, 2)
+        ring.remove(1)
+        assert 1 not in ring
+        assert ring.shards() == (0, 2)
+
+    def test_add_is_idempotent(self):
+        ring = ring_of([0])
+        before = {k: ring.lookup(k) for k in KEYS}
+        ring.add(0)
+        assert {k: ring.lookup(k) for k in KEYS} == before
+
+    def test_remove_unknown_is_noop(self):
+        ring = ring_of([0, 1])
+        ring.remove(9)
+        assert ring.shards() == (0, 1)
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
+
+
+class TestAffinity:
+    def test_same_key_same_shard(self):
+        ring = ring_of([0, 1, 2, 3])
+        for key in KEYS[:32]:
+            assert ring.lookup(key) == ring.lookup(key)
+
+    def test_mapping_survives_a_restart(self):
+        """A rebuilt ring (router restart) owns every key identically —
+        the property ``hash()`` salting would break."""
+        first = ring_of([0, 1, 2, 3])
+        second = ring_of([0, 1, 2, 3])
+        for key in KEYS:
+            assert first.lookup(key) == second.lookup(key)
+
+    def test_all_shards_get_work(self):
+        ring = ring_of([0, 1, 2, 3])
+        owners = {ring.lookup(k) for k in KEYS}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestMinimalRemapping:
+    def test_adding_a_shard_only_steals_for_the_newcomer(self):
+        ring = ring_of([0, 1, 2])
+        before = {k: ring.lookup(k) for k in KEYS}
+        ring.add(3)
+        moved = 0
+        for key in KEYS:
+            after = ring.lookup(key)
+            if after != before[key]:
+                # every remapped key must land on the new shard
+                assert after == 3
+                moved += 1
+        # ~1/4 of the space, never the whole keyspace
+        assert 0 < moved < len(KEYS) // 2
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        ring = ring_of([0, 1, 2, 3])
+        before = {k: ring.lookup(k) for k in KEYS}
+        ring.remove(2)
+        for key in KEYS:
+            if before[key] != 2:
+                # survivors keep their warm shard
+                assert ring.lookup(key) == before[key]
+            else:
+                assert ring.lookup(key) != 2
+
+
+class TestLookupChain:
+    def test_chain_is_distinct_and_starts_at_owner(self):
+        ring = ring_of([0, 1, 2, 3])
+        for key in KEYS[:64]:
+            chain = ring.lookup_chain(key, 3)
+            assert chain[0] == ring.lookup(key)
+            assert len(chain) == 3
+            assert len(set(chain)) == len(chain)
+
+    def test_chain_caps_at_membership(self):
+        ring = ring_of([0, 1])
+        chain = ring.lookup_chain("key", 5)
+        assert sorted(chain) == [0, 1]

@@ -1,0 +1,143 @@
+"""The durable job journal: dedup, completion, boot replay, corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster import Job, JobQueue
+from repro.cluster.jobs import DONE, JOB_SCHEMA, PENDING
+from repro.document import dumps_canonical
+from repro.errors import CacheLoadWarning
+
+REQUEST = {"version": 1, "code": "jacobi", "H": 4}
+RESULT = {"program": "jacobi", "plan": {"phase_chunks": {"F": 1}}}
+
+
+def journal_files(directory):
+    return sorted(
+        n for n in os.listdir(directory)
+        if n.startswith("job-") and n.endswith(".json")
+    )
+
+
+class TestSubmit:
+    def test_journal_hits_disk_before_the_ack(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, created = queue.submit("batch-1", REQUEST)
+        assert created
+        assert job.state == PENDING
+        files = journal_files(tmp_path)
+        assert len(files) == 1
+        doc = json.loads((tmp_path / files[0]).read_bytes())
+        assert doc == {
+            "schema": JOB_SCHEMA,
+            "key": "batch-1",
+            "request": REQUEST,
+            "state": PENDING,
+            "result": None,
+        }
+
+    def test_resubmission_dedups_without_rewriting(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, created = queue.submit("batch-1", REQUEST)
+        again, created_again = queue.submit("batch-1", {"other": "doc"})
+        assert created and not created_again
+        assert again is first
+        assert again.request == REQUEST  # the original request wins
+        assert queue.stats.snapshot()["deduped"] == 1
+
+    def test_distinct_keys_distinct_journals(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("a", REQUEST)
+        queue.submit("b", REQUEST)
+        assert len(journal_files(tmp_path)) == 2
+        assert len(queue) == 2
+
+
+class TestComplete:
+    def test_done_journals_the_full_result_document(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("batch-1", REQUEST)
+        job = queue.complete("batch-1", RESULT)
+        assert job.state == DONE
+        (name,) = journal_files(tmp_path)
+        doc = json.loads((tmp_path / name).read_bytes())
+        assert doc["state"] == DONE
+        assert doc["result"] == RESULT
+
+    def test_reboot_serves_the_journaled_result_byte_identically(
+        self, tmp_path
+    ):
+        queue = JobQueue(tmp_path)
+        queue.submit("batch-1", REQUEST)
+        queue.complete("batch-1", RESULT)
+
+        rebooted = JobQueue(tmp_path)  # a fresh process over the same dir
+        job = rebooted.get("batch-1")
+        assert job is not None and job.state == DONE
+        assert dumps_canonical(job.result) == dumps_canonical(RESULT)
+        assert rebooted.pending() == []
+
+
+class TestBootReplay:
+    def test_pending_jobs_sorted_by_key(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        for key in ("zeta", "alpha", "mid"):
+            queue.submit(key, REQUEST)
+        queue.complete("mid", RESULT)
+
+        rebooted = JobQueue(tmp_path)
+        assert [j.key for j in rebooted.pending()] == ["alpha", "zeta"]
+
+    def test_stats_track_both_states(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("a", REQUEST)
+        queue.submit("b", REQUEST)
+        queue.complete("a", RESULT)
+        stats = queue.snapshot_stats()
+        assert stats["jobs"] == {PENDING: 1, DONE: 1}
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 1
+
+
+class TestCorruption:
+    def test_corrupt_journal_is_skipped_loudly(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("good", REQUEST)
+        (name,) = journal_files(tmp_path)
+        # a torn write that somehow survived (not possible through
+        # atomic_write_bytes, but disks lie)
+        (tmp_path / "job-deadbeef.json").write_bytes(b'{"schema": 1, "ke')
+
+        with pytest.warns(CacheLoadWarning, match="job-deadbeef"):
+            rebooted = JobQueue(tmp_path)
+        assert rebooted.stats.snapshot()["corrupt"] == 1
+        # the good journal still loads
+        assert rebooted.get("good") is not None
+        assert len(rebooted) == 1
+
+    def test_wrong_schema_is_corruption_too(self, tmp_path):
+        bad = {"schema": 99, "key": "k", "request": {}, "state": PENDING}
+        (tmp_path / "job-cafe.json").write_text(json.dumps(bad))
+        with pytest.warns(CacheLoadWarning):
+            queue = JobQueue(tmp_path)
+        assert queue.stats.snapshot()["corrupt"] == 1
+        assert len(queue) == 0
+
+    def test_done_without_result_is_invalid(self):
+        doc = {
+            "schema": JOB_SCHEMA,
+            "key": "k",
+            "request": {},
+            "state": DONE,
+            "result": None,
+        }
+        with pytest.raises(ValueError):
+            Job.from_json(doc)
+
+    def test_unrelated_files_are_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("not a journal")
+        queue = JobQueue(tmp_path)
+        assert len(queue) == 0
+        assert queue.stats.snapshot()["corrupt"] == 0

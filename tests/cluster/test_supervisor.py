@@ -1,0 +1,42 @@
+"""The autoscale decision — a pure function, tested without processes."""
+
+import pytest
+
+from repro.cluster import desired_workers
+
+
+class TestDesiredWorkers:
+    def test_idle_fleet_scales_to_the_floor(self):
+        assert desired_workers(0, threads=2, current=4, lo=1, hi=8) == 1
+        assert desired_workers(0, threads=2, current=4, lo=3, hi=8) == 3
+
+    def test_one_worker_absorbs_threads_requests(self):
+        assert desired_workers(2, threads=2, current=1, lo=1, hi=8) == 1
+        assert desired_workers(3, threads=2, current=1, lo=1, hi=8) == 2
+
+    def test_ceiling_division(self):
+        assert desired_workers(5, threads=2, current=1, lo=1, hi=8) == 3
+        assert desired_workers(6, threads=2, current=1, lo=1, hi=8) == 3
+        assert desired_workers(7, threads=2, current=1, lo=1, hi=8) == 4
+
+    def test_clamped_to_the_ceiling(self):
+        assert desired_workers(1000, threads=1, current=2, lo=1, hi=4) == 4
+
+    def test_fixed_bounds_pin_the_fleet(self):
+        # min == max (the default when only --workers is given): the
+        # autoscaler is inert regardless of backlog.
+        for outstanding in (0, 3, 100):
+            assert desired_workers(
+                outstanding, threads=2, current=4, lo=4, hi=4
+            ) == 4
+
+    def test_negative_gauge_treated_as_idle(self):
+        assert desired_workers(-5, threads=2, current=2, lo=1, hi=8) == 1
+
+    def test_degenerate_threads_guarded(self):
+        assert desired_workers(4, threads=0, current=1, lo=1, hi=8) == 4
+
+    @pytest.mark.parametrize("outstanding", range(0, 40, 7))
+    def test_always_within_bounds(self, outstanding):
+        want = desired_workers(outstanding, threads=3, current=2, lo=2, hi=5)
+        assert 2 <= want <= 5

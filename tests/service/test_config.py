@@ -1,0 +1,130 @@
+"""ServiceConfig: the one frozen configuration value of the service."""
+
+import pytest
+
+from repro.service import ServiceConfig
+
+
+class TestSpecRoundTrip:
+    def test_default_round_trips_empty(self):
+        config = ServiceConfig()
+        assert config.to_spec() == ""
+        assert ServiceConfig.from_spec("") == config
+
+    def test_explicit_fields_round_trip(self):
+        config = ServiceConfig(
+            port=0,
+            threads=2,
+            workers=4,
+            min_workers=2,
+            max_workers=8,
+            queue_limit=3,
+            request_timeout=30.0,
+            snapshot_dir="/tmp/snaps",
+            queue_dir="/tmp/jobs",
+            shard=1,
+            generation=2,
+            heartbeat_every=0.25,
+            replay_limit=7,
+            verbose=True,
+        )
+        assert ServiceConfig.from_spec(config.to_spec()) == config
+
+    def test_paths_with_commas_and_equals_survive(self):
+        config = ServiceConfig(snapshot_dir="/tmp/a=b,c/snaps")
+        round_tripped = ServiceConfig.from_spec(config.to_spec())
+        assert round_tripped.snapshot_dir == "/tmp/a=b,c/snaps"
+
+    def test_worker_spec_round_trips_through_fork_boundary(self):
+        """for_shard -> to_spec -> from_spec is exactly what the
+        supervisor ships each worker process."""
+        router = ServiceConfig(workers=4, snapshot_dir="/tmp/s", threads=2)
+        worker = router.for_shard(3, generation=1)
+        assert ServiceConfig.from_spec(worker.to_spec()) == worker
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown service option"):
+            ServiceConfig.from_spec("warp_drive=on")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            ServiceConfig.from_spec("port")
+
+    def test_overrides_win(self):
+        config = ServiceConfig.from_spec("port=1234", port=0)
+        assert config.port == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threads": 0},
+            {"workers": 0},
+            {"queue_limit": -1},
+            {"request_timeout": 0},
+            {"snapshot_every": 0},
+            {"min_workers": 3, "max_workers": 2},
+            {"min_workers": 0},
+            {"shard": -1},
+            {"replay_limit": -1},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ServiceConfig().port = 1
+
+
+class TestClusterDerivation:
+    def test_single_process_is_not_clustered(self):
+        assert not ServiceConfig().clustered
+        assert not ServiceConfig(workers=1).clustered
+
+    def test_workers_or_queue_dir_cluster(self):
+        assert ServiceConfig(workers=2).clustered
+        assert ServiceConfig(queue_dir="/tmp/jobs").clustered
+        assert ServiceConfig(workers=1, max_workers=4).clustered
+
+    def test_scale_bounds_default_to_workers(self):
+        assert ServiceConfig(workers=3).scale_bounds() == (3, 3)
+        assert ServiceConfig(
+            workers=2, min_workers=1, max_workers=5
+        ).scale_bounds() == (1, 5)
+
+    def test_for_shard_carves_private_snapshot_paths(self):
+        router = ServiceConfig(workers=2, snapshot_dir="/tmp/snaps")
+        w0 = router.for_shard(0)
+        w1 = router.for_shard(1)
+        assert w0.resolved_snapshot_path() == "/tmp/snaps/shard-0/cache.pkl"
+        assert w0.resolved_plan_path() == "/tmp/snaps/shard-0/plans.pkl"
+        assert w1.resolved_snapshot_path() == "/tmp/snaps/shard-1/cache.pkl"
+        # no two shards may ever contend on one pickle
+        assert w0.resolved_snapshot_path() != w1.resolved_snapshot_path()
+
+    def test_for_shard_strips_cluster_fields(self):
+        router = ServiceConfig(
+            workers=4, max_workers=8, queue_dir="/tmp/jobs"
+        )
+        worker = router.for_shard(2, generation=3)
+        assert worker.port == 0
+        assert worker.workers == 1
+        assert worker.queue_dir is None
+        assert not worker.clustered
+        assert worker.shard == 2
+        assert worker.generation == 3
+
+    def test_no_snapshot_dir_means_no_persistence(self):
+        worker = ServiceConfig(workers=2).for_shard(0)
+        assert worker.resolved_snapshot_path() is None
+        assert worker.resolved_plan_path() is None
+
+    def test_explicit_paths_win_over_snapshot_dir(self):
+        config = ServiceConfig(
+            snapshot_dir="/tmp/snaps", snapshot_path="/explicit/cache.pkl"
+        )
+        assert config.resolved_snapshot_path() == "/explicit/cache.pkl"
+        assert config.resolved_plan_path() == "/tmp/snaps/plans.pkl"

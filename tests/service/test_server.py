@@ -43,7 +43,7 @@ def server(tmp_path):
     """A fresh server per test, drained afterwards."""
     config = ServiceConfig(
         port=0,
-        workers=4,
+        threads=4,
         queue_limit=8,
         snapshot_path=str(tmp_path / "cache.pkl"),
         snapshot_every=1000,  # tests trigger snapshots via drain
@@ -195,7 +195,7 @@ class TestCoalescing:
 
 class TestBackpressure:
     def test_429_when_admission_queue_full(self, tmp_path):
-        config = ServiceConfig(port=0, workers=1, queue_limit=0)
+        config = ServiceConfig(port=0, threads=1, queue_limit=0)
         server, thread = serve_in_thread(config)
         try:
             entered = threading.Event()
@@ -235,7 +235,7 @@ class TestBackpressure:
             thread.join(10)
 
     def test_client_retries_through_429(self, tmp_path):
-        config = ServiceConfig(port=0, workers=1, queue_limit=0)
+        config = ServiceConfig(port=0, threads=1, queue_limit=0)
         server, thread = serve_in_thread(config)
         try:
             entered = threading.Event()
@@ -285,7 +285,7 @@ class TestDrain:
     def test_drain_finishes_in_flight_and_snapshots(self, tmp_path):
         snapshot = tmp_path / "drain.pkl"
         config = ServiceConfig(
-            port=0, workers=2, snapshot_path=str(snapshot),
+            port=0, threads=2, snapshot_path=str(snapshot),
             snapshot_every=1000,
         )
         server, thread = serve_in_thread(config)
@@ -334,7 +334,7 @@ class TestDrain:
             _post_raw(port, {"version": 1, "code": "adi"}, timeout=2)
 
     def test_drain_is_idempotent(self, tmp_path):
-        config = ServiceConfig(port=0, workers=1)
+        config = ServiceConfig(port=0, threads=1)
         server, thread = serve_in_thread(config)
         server.drain()
         server.drain()
@@ -347,7 +347,7 @@ class TestWarmCacheSharing:
         # the full pipeline again — against the shared warm
         # AnalysisCache, which must answer the edge work *and* still
         # produce byte-identical output (relabelling is exact).
-        config = ServiceConfig(port=0, workers=2, result_cache=0)
+        config = ServiceConfig(port=0, threads=2, result_cache=0)
         server, thread = serve_in_thread(config)
         try:
             port = _port(server)

@@ -136,16 +136,25 @@ def test_trace_writes_json_and_renders_tree(tmp_path, capsys):
     assert "analyze" in err  # rendered tree goes to stderr
 
 
-def test_deprecated_aliases_still_work(tmp_path, capsys):
+def test_removed_aliases_are_rejected(capsys):
+    """The pre-1.1 alias flags are gone; --opt is the only surface."""
+    for flag in (["--parallel-lcg"], ["--analysis-cache", "lcg.pkl"]):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--code", "jacobi", "--env", "N=256", "--H", "4", *flag])
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "unrecognized arguments" in err
+
+
+def test_opt_covers_removed_aliases(tmp_path):
+    """The --opt spellings the aliases mapped to still work."""
     cache = tmp_path / "lcg.pkl"
     rc = main(
         ["--code", "jacobi", "--env", "N=256", "--H", "4",
-         "--parallel-lcg", "--analysis-cache", str(cache)]
+         "--opt", f"engine=parallel,cache={cache}"]
     )
     assert rc == 0
     assert cache.exists()
-    err = capsys.readouterr().err
-    assert "deprecated" in err and "--opt" in err
 
 
 def test_json_output_matches_service_protocol(capsys):

@@ -1,6 +1,4 @@
-"""AnalysisOptions: spec grammar, validation, knob threading, shims."""
-
-import warnings
+"""AnalysisOptions: spec grammar, validation, knob threading."""
 
 import pytest
 
@@ -267,70 +265,51 @@ class TestKnobThreading:
         )
 
 
-class TestDeprecatedShims:
-    def test_set_engine_warns_but_works(self):
-        from repro.locality.engine import _ENGINE_MODE, set_engine
+class TestConfigurationSurface:
+    """AnalysisOptions is the only public configuration surface (PR 8)."""
 
-        with pytest.deprecated_call():
-            old = set_engine("parallel")
+    def test_set_shims_are_gone(self):
+        import repro.dsm
+        import repro.locality
+        import repro.symbolic
+
+        for module, name in [
+            (repro.locality, "set_engine"),
+            (repro.locality, "set_analysis_cache"),
+            (repro.symbolic, "set_refutation"),
+            (repro.dsm, "set_fast_path"),
+        ]:
+            assert not hasattr(module, name)
+            assert name not in module.__all__
+
+    def test_default_movers_still_validate(self):
+        from repro.dsm.executor import _set_fast_path_default
+        from repro.locality.engine import _set_engine_default
+
+        with pytest.raises(ValueError, match="unknown engine"):
+            _set_engine_default("turbo")
+        with pytest.raises(ValueError, match="unknown fast-path"):
+            _set_fast_path_default("turbo")
+
+    def test_engine_default_moves(self):
+        from repro.locality import engine
+        from repro.locality.engine import _set_engine_default
+
+        old = _set_engine_default("parallel")
         try:
-            from repro.locality import engine
-
             assert engine._ENGINE_MODE == "parallel"
         finally:
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                set_engine(old)
+            _set_engine_default(old)
 
-    def test_set_engine_still_validates(self):
-        from repro.locality.engine import set_engine
+    def test_refutation_default_moves(self):
+        from repro.symbolic import refute
+        from repro.symbolic.refute import _set_refutation_default
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(ValueError, match="unknown engine"):
-                set_engine("turbo")
-
-    def test_set_analysis_cache_warns_but_works(self):
-        from repro.locality.engine import set_analysis_cache
-
-        with pytest.deprecated_call():
-            old = set_analysis_cache(False)
+        old = _set_refutation_default(False)
         try:
-            from repro.locality import engine
-
-            assert engine._CACHE_ENABLED is False
-        finally:
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                set_analysis_cache(old)
-
-    def test_set_refutation_warns_but_works(self):
-        from repro.symbolic import set_refutation
-
-        with pytest.deprecated_call():
-            old = set_refutation(False)
-        try:
-            from repro.symbolic import refute
-
             assert refute._REFUTE_ENABLED is False
         finally:
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                set_refutation(old)
-
-    def test_set_fast_path_warns_but_works(self):
-        from repro.dsm import set_fast_path
-
-        with pytest.deprecated_call():
-            old = set_fast_path("legacy")
-        try:
-            from repro.dsm import executor
-
-            assert executor._FAST_MODE == "legacy"
-        finally:
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                set_fast_path(old)
+            _set_refutation_default(old)
 
     def test_option_none_inherits_moved_default(self):
         """An option left at None follows what the shim set."""
