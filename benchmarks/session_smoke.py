@@ -1,0 +1,253 @@
+"""Session smoke: boot the server, drive a session end to end, check
+the acceptance bar of the interactive-session milestone:
+
+* ``POST /session`` → ``/edit`` → ``/sweep`` answers are byte-identical
+  (sha256 over the canonical document) to fresh in-process ``analyze()``
+  calls at the same parameters,
+* the what-if chunk-pin sweep on jacobi returns a Pareto front with at
+  least 2 genuinely conflicting layouts, and reuses every LCG edge
+  (``edges_recomputed == 0`` at unchanged H),
+* ``DELETE`` frees the id (a later edit 404s), and a full table answers
+  429 with Retry-After,
+* idle sessions are TTL-evicted (a short ``session_ttl`` makes the next
+  request observe the eviction),
+* 1000 create/close cycles through a bounded :class:`SessionTable` leak
+  zero live ``Session`` objects (probed via the ``Session._LIVE``
+  WeakSet after ``gc.collect()``).
+
+Run as a script (CI does): exits nonzero on any violation.
+
+    PYTHONPATH=src python benchmarks/session_smoke.py
+"""
+
+import argparse
+import gc
+import hashlib
+import http.client
+import json
+import sys
+import time
+
+from repro import AnalysisOptions, analyze
+from repro.codes import ALL_CODES
+from repro.options import format_chunk_bounds
+from repro.service import ServiceClient, ServiceConfig, serve_in_thread
+from repro.service.protocol import dumps_canonical
+from repro.session.api import SessionTable
+from repro.session.state import Session
+
+SESSION_LIMIT = 4
+SESSION_TTL = 2.0
+CYCLES = 1000
+
+
+def fresh_sha(code, H, alpha=None, beta=None, bounds=None, execute=True):
+    """The cold in-process answer a session response must match."""
+    builder, default_env, back = ALL_CODES[code]
+    options = AnalysisOptions(
+        trace=False,
+        metrics=False,
+        plan=False,
+        plan_cache=None,
+        analysis_cache=False,
+        machine_alpha=alpha,
+        machine_beta=beta,
+        chunk_bounds=format_chunk_bounds(bounds) if bounds else None,
+    )
+    result = analyze(
+        builder(),
+        env=default_env,
+        H=H,
+        back_edges=back,
+        execute=execute,
+        options=options,
+    )
+    doc = result.to_document()
+    doc["metrics"] = None
+    doc["trace"] = None
+    return hashlib.sha256(dumps_canonical(doc).encode()).hexdigest()
+
+
+def raw_request(port, method, path, doc=None):
+    """One request with no retries — the 429/404 assertions need the
+    raw status, which the retrying ServiceClient deliberately hides."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    body = json.dumps(doc).encode() if doc is not None else None
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body=body, headers=headers)
+    resp = conn.getresponse()
+    payload = resp.read()
+    headers_out = dict(resp.getheaders())
+    conn.close()
+    try:
+        return resp.status, json.loads(payload), headers_out
+    except (ValueError, UnicodeDecodeError):
+        return resp.status, {}, headers_out
+
+
+def http_smoke(failures) -> None:
+    config = ServiceConfig(
+        port=0,
+        threads=2,
+        queue_limit=16,
+        session_limit=SESSION_LIMIT,
+        session_ttl=SESSION_TTL,
+    )
+    server, thread = serve_in_thread(config)
+    port = server.server_address[1]
+    client = ServiceClient(port=port)
+    print(f"server on 127.0.0.1:{port} (session_limit={SESSION_LIMIT}, "
+          f"session_ttl={SESSION_TTL}s)")
+
+    # -- create -> edit -> sweep, byte-identical throughout -------------
+    created = client.request("POST", "/session", {"code": "jacobi", "H": 8})
+    sid = created["session"]
+    if created["sha256"] != fresh_sha("jacobi", 8):
+        failures.append("create response is not byte-identical to a "
+                        "fresh analyze() at H=8")
+
+    edited = client.request(
+        "POST", f"/session/{sid}/edit",
+        {"op": "set_param", "key": "H", "value": 16},
+    )
+    if edited["sha256"] != fresh_sha("jacobi", 16):
+        failures.append("post-edit response (H=16) is not byte-identical "
+                        "to a fresh analyze()")
+
+    pinned = client.request(
+        "POST", f"/session/{sid}/edit",
+        {"ops": [
+            {"op": "set_param", "key": "H", "value": 8},
+            {"op": "edit_phase", "phase": "F_sweep", "chunk": 8},
+        ]},
+    )
+    if pinned["sha256"] != fresh_sha(
+        "jacobi", 8, bounds={"F_sweep": (8, 8)}
+    ):
+        failures.append("post-pin response is not byte-identical to a "
+                        "fresh analyze() with the same chunk bounds")
+
+    swept = client.request(
+        "POST", f"/session/{sid}/sweep",
+        {"sweep": {"chunk:F_sweep": "1:12:1"}},
+    )
+    front = swept["front"]
+    print(f"sweep: {len(swept['points'])} points, front={len(front)}, "
+          f"reuse={swept['reuse']}")
+    if len(front) < 2:
+        failures.append(
+            f"jacobi chunk-pin sweep returned a {len(front)}-point Pareto "
+            f"front; need >= 2 conflicting layouts"
+        )
+    if swept["reuse"]["edges_recomputed"] != 0:
+        failures.append(
+            f"same-H sweep recomputed {swept['reuse']['edges_recomputed']} "
+            f"LCG edges; every edge should come from the session cache"
+        )
+    probe = swept["points"][9]  # pin = 10
+    if probe["sha256"] != fresh_sha(
+        "jacobi", 8, bounds={"F_sweep": (10, 10)}
+    ):
+        failures.append("sweep point chunk=10 is not byte-identical to a "
+                        "fresh analyze() at the same pin")
+
+    # -- DELETE frees the id --------------------------------------------
+    client.request("DELETE", f"/session/{sid}")
+    status, _, _ = raw_request(
+        port, "POST", f"/session/{sid}/edit",
+        {"op": "set_param", "key": "H", "value": 4},
+    )
+    if status != 404:
+        failures.append(f"edit after DELETE answered {status}, wanted 404")
+    status, _, _ = raw_request(port, "DELETE", f"/session/{sid}")
+    if status != 404:
+        failures.append(f"double DELETE answered {status}, wanted 404")
+
+    # -- the bounded table answers 429 when full ------------------------
+    held = []
+    for _ in range(SESSION_LIMIT):
+        doc = client.request("POST", "/session", {"code": "jacobi", "H": 4})
+        held.append(doc["session"])
+    status, body, headers = raw_request(
+        port, "POST", "/session", {"code": "jacobi", "H": 4}
+    )
+    if status != 429:
+        failures.append(
+            f"create into a full table answered {status}, wanted 429"
+        )
+    elif "Retry-After" not in headers:
+        failures.append("429 overflow response carried no Retry-After")
+    for held_sid in held:
+        client.request("DELETE", f"/session/{held_sid}")
+
+    # -- TTL eviction ----------------------------------------------------
+    doc = client.request("POST", "/session", {"code": "jacobi", "H": 4})
+    idle_sid = doc["session"]
+    time.sleep(SESSION_TTL + 0.5)
+    status, _, _ = raw_request(port, "GET", f"/session/{idle_sid}")
+    if status != 404:
+        failures.append(
+            f"GET on an idle session after TTL answered {status}, "
+            f"wanted 404 (evicted)"
+        )
+    sessions = client.metrics()["sessions"]
+    print(f"session table: {json.dumps(sessions, sort_keys=True)}")
+    if sessions["expired"] < 1:
+        failures.append("server metrics recorded no TTL eviction")
+    if sessions["rejected_full"] < 1:
+        failures.append("server metrics recorded no 429 rejection")
+    if sessions["live"] != 0:
+        failures.append(
+            f"{sessions['live']} sessions still live after the smoke"
+        )
+
+    server.drain()
+    thread.join(30)
+
+
+def memory_probe(failures) -> None:
+    """1000 create/close cycles must not grow the live-session count.
+
+    Every cycle goes through a bounded :class:`SessionTable` (put then
+    delete — the exact code path TTL eviction shares), with a solve on
+    every 100th cycle so closed sessions provably held a warm memo and
+    cache when they died.
+    """
+    builder, env, back = ALL_CODES["jacobi"]
+    program = builder()
+    gc.collect()
+    baseline = len(Session._LIVE)
+    table = SessionTable(limit=8, ttl=600.0)
+    for i in range(CYCLES):
+        session = Session(program, env, 4, back_edges=back, execute=False)
+        if i % 100 == 0:
+            session.solve()
+        table.put(session)
+        table.delete(session.id)
+        del session
+    gc.collect()
+    leaked = len(Session._LIVE) - baseline
+    print(f"memory probe: {CYCLES} create/close cycles, "
+          f"live sessions {baseline} -> {len(Session._LIVE)}")
+    if leaked > 0:
+        failures.append(
+            f"{leaked} Session objects survived close() + gc across "
+            f"{CYCLES} create/evict cycles"
+        )
+
+
+def main(argv=None) -> int:
+    argparse.ArgumentParser(description=__doc__).parse_args(argv)
+    failures = []
+    http_smoke(failures)
+    memory_probe(failures)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("session smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,7 @@ def analyze(
     cache=None,
     options: Optional[AnalysisOptions] = None,
     collector: Optional[Collector] = None,
+    ilp_memo=None,
 ) -> AnalysisResult:
     """Run the full paper pipeline on a program.
 
@@ -115,11 +116,17 @@ def analyze(
     stage too); otherwise one is created when the options ask for
     tracing or metrics.  The legacy ``parallel``/``cache`` arguments
     keep working and fold into the options.
+
+    ``ilp_memo`` is a :class:`repro.distribution.TermMemo` a session or
+    sweep carries across calls so the Eq. 7 enumeration reuses
+    component argmins; it never changes the result (memo hits are
+    bit-identical to evaluating), so it stays out of ``options`` — it
+    is pure acceleration state, not configuration.
     """
     from .locality import build_lcg
     from .locality.engine import AnalysisCache
     from .locality.intra import check_intra_phase
-    from .distribution import extract_constraints, solve_enumerative
+    from .distribution import T3D, extract_constraints, solve_enumerative
     from .dsm import execute_with_plan
     from .obs import obs_span
     from .plan import (
@@ -237,8 +244,36 @@ def analyze(
                 cache_arg.save(cache_path)
             with obs_span(obs, "constraints"):
                 constraints = extract_constraints(lcg)
+            machine = T3D
+            if (
+                opts.machine_alpha is not None
+                or opts.machine_beta is not None
+            ):
+                machine = replace(
+                    T3D,
+                    **{
+                        k: v
+                        for k, v in (
+                            ("alpha", opts.machine_alpha),
+                            ("beta", opts.machine_beta),
+                        )
+                        if v is not None
+                    },
+                )
+            bounds = None
+            if opts.chunk_bounds is not None:
+                from .options import parse_chunk_bounds
+
+                bounds = parse_chunk_bounds(opts.chunk_bounds)
             with obs_span(obs, "ilp") as sp:
-                plan = solve_enumerative(constraints, env, H=H)
+                plan = solve_enumerative(
+                    constraints,
+                    env,
+                    H=H,
+                    machine=machine,
+                    chunk_bounds=bounds,
+                    memo=ilp_memo,
+                )
                 sp.set(
                     components=len(plan.components),
                     relaxed=len(plan.relaxed_edges),

@@ -18,6 +18,7 @@ __all__ = [
     "check_descriptors",
     "check_exec_tier",
     "check_lcg",
+    "check_session",
     "env_for",
     "faults",
     "main_check",
@@ -29,6 +30,7 @@ _LAZY = {
     "descriptor_region": "descriptor_oracle",
     "check_exec_tier": "exec_oracle",
     "check_lcg": "lcg_oracle",
+    "check_session": "session_oracle",
     "env_for": "cli",
     "main_check": "cli",
     "run_checks": "cli",

@@ -46,6 +46,7 @@ def run_checks(
     obs: Optional[Collector] = None,
     raise_on_mismatch: bool = True,
     exec_tier: bool = False,
+    session: bool = False,
 ) -> list:
     """Run both oracles over ``codes`` × ``H_values``; return the reports.
 
@@ -59,12 +60,19 @@ def run_checks(
     differential (:func:`repro.check.exec_oracle.check_exec_tier`):
     symbolic closed-form accounting against wide enumeration, phase
     counts and communication plans byte-for-byte.
+
+    With ``session`` the sweep runs the session oracle
+    (:func:`repro.check.session_oracle.check_session`): a live
+    :class:`repro.session.Session` driven through edits and a what-if
+    sweep, every incremental document compared byte-for-byte against a
+    cold ``analyze()`` at the same parameters.
     """
     from .. import analyze
     from ..codes import ALL_CODES
     from .descriptor_oracle import check_descriptors
     from .exec_oracle import check_exec_tier
     from .lcg_oracle import check_lcg
+    from .session_oracle import check_session
 
     selected = sorted(ALL_CODES) if not codes else list(codes)
     for code in selected:
@@ -85,6 +93,30 @@ def run_checks(
                 with obs_span(obs, "check", program=code, H=H) as span:
                     if obs is not None:
                         obs.count("check.programs")
+                    if session:
+                        # The session oracle runs its own warm and cold
+                        # analyses internally; a third one here would be
+                        # pure waste.
+                        with obs_span(obs, "check.session"):
+                            new_reports = [
+                                check_session(
+                                    program,
+                                    env,
+                                    H,
+                                    back_edges=back_edges,
+                                    program_name=code,
+                                    options=options,
+                                    obs=obs,
+                                )
+                            ]
+                        found = sum(
+                            len(r.mismatches) for r in new_reports
+                        )
+                        span.set(mismatches=found)
+                        if obs is not None and found:
+                            obs.count("check.mismatches", found)
+                        reports.extend(new_reports)
+                        continue
                     result = analyze(
                         program,
                         env=env,
@@ -199,6 +231,14 @@ def main_check(argv: Sequence[str]) -> int:
         "communication plans byte-for-byte)",
     )
     parser.add_argument(
+        "--session",
+        action="store_true",
+        help="run the session oracle instead: drive a live repro.session "
+        "Session through edits and a what-if sweep, comparing every "
+        "incremental document byte-for-byte against a cold analyze() at "
+        "the same parameters",
+    )
+    parser.add_argument(
         "--trace", action="store_true", help="include span traces in metrics"
     )
     args = parser.parse_args(list(argv))
@@ -229,6 +269,7 @@ def main_check(argv: Sequence[str]) -> int:
             options=options,
             obs=obs,
             exec_tier=args.exec_tier,
+            session=args.session,
         )
     except SoundnessError as err:
         print(_render_all(err.reports, obs, args.json))

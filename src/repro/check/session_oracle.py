@@ -1,0 +1,234 @@
+"""Session oracle — incremental answers vs fresh ``analyze()``, byte-for-byte.
+
+The session subsystem's whole contract is one sentence: a session's
+answer at any parameter point is *defined* as a fresh ``analyze()`` at
+those parameters.  Warm caches, term memos and fingerprint-driven edge
+reuse are accelerations, never approximations.  This oracle drives a
+live :class:`repro.session.Session` through the same moves a client
+makes — create, a sequence of ``set_param``/``edit_phase`` edits, a
+what-if sweep — and after every solve re-runs the analysis cold (no
+cache, no memo) at the session's exact parameters, comparing the two
+canonical result documents byte for byte.
+
+Families reported:
+
+* ``session.byte_identity`` — one comparison per create/edit solve;
+* ``session.sweep_point`` — one per feasible sweep grid point;
+* ``session.sha`` — the advertised sha256 matches the document bytes;
+* ``session.sweep_isolated`` — a sweep left the session's own
+  parameters untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from .. import analyze
+from ..document import dumps_canonical
+from ..obs import Collector
+from ..session.delta import apply_edits
+from ..session.state import Session, SessionError
+from ..session.sweep import run_sweep
+from .report import CheckReport, Mismatch
+
+__all__ = ["check_session"]
+
+
+def _fresh_document(session: Session, env, H, alpha, beta, bounds) -> dict:
+    """The cold-path answer at explicit parameters — the ground truth."""
+    result = analyze(
+        session.program,
+        env=env,
+        H=H,
+        back_edges=session.back_edges,
+        execute=session.execute,
+        options=session.options_at(alpha, beta, bounds, fresh=True),
+    )
+    doc = result.to_document()
+    doc["metrics"] = None
+    doc["trace"] = None
+    return doc
+
+
+def _diverged_keys(session_doc: dict, fresh_doc: dict) -> list:
+    keys = sorted(set(session_doc) | set(fresh_doc))
+    return [
+        k
+        for k in keys
+        if dumps_canonical({k: session_doc.get(k)})
+        != dumps_canonical({k: fresh_doc.get(k)})
+    ]
+
+
+def _compare_docs(
+    report: CheckReport,
+    family: str,
+    label: str,
+    session_doc: dict,
+    fresh_doc: dict,
+    obs: Optional[Collector] = None,
+) -> None:
+    report.merge_checked(family)
+    if obs is not None:
+        obs.count("check.session.comparisons")
+    if dumps_canonical(session_doc) == dumps_canonical(fresh_doc):
+        return
+    diverged = _diverged_keys(session_doc, fresh_doc)
+    report.mismatches.append(
+        Mismatch(
+            kind=family,
+            program=report.program,
+            phase=label,
+            array=",".join(diverged) or "?",
+            detail=(
+                "session document != fresh analyze() at identical "
+                f"parameters ({label}); diverging top-level keys: "
+                f"{', '.join(diverged) or 'byte-level only'}"
+            ),
+        )
+    )
+
+
+def _check_sha(
+    report: CheckReport, label: str, doc: dict, advertised: str
+) -> None:
+    report.merge_checked("session.sha")
+    actual = hashlib.sha256(dumps_canonical(doc).encode()).hexdigest()
+    if actual != advertised:
+        report.mismatches.append(
+            Mismatch(
+                kind="session.sha",
+                program=report.program,
+                phase=label,
+                array="sha256",
+                detail=(
+                    f"advertised sha256 {advertised[:12]}… does not match "
+                    f"the document bytes ({actual[:12]}…)"
+                ),
+            )
+        )
+
+
+def check_session(
+    program,
+    env,
+    H: int,
+    *,
+    back_edges=(),
+    program_name: Optional[str] = None,
+    options=None,
+    obs: Optional[Collector] = None,
+) -> CheckReport:
+    """Drive one session through edits + a sweep; verify byte identity.
+
+    The edit sequence deliberately crosses every invalidation class:
+    an ``H`` move (re-binds every edge fingerprint), a machine-``alpha``
+    move (LCG untouched, objective terms move), a phase chunk pin
+    (distribution space restricted), and a move back (exact-repeat
+    parameter point, the memo-hit path).  The sweep overlays an ``H``
+    grid and asks for full documents so each feasible point can be
+    checked against the cold path.
+    """
+    name = program_name or getattr(program, "name", "?")
+    report = CheckReport(program=name, H=H, env=dict(env))
+    session = Session(
+        program,
+        env,
+        H,
+        back_edges=list(back_edges) or None,
+        execute=True,
+        options=options,
+    )
+    try:
+        # -- create ------------------------------------------------------
+        solved = session.solve()
+        fresh = _fresh_document(
+            session, session.env, session.H, session.alpha, session.beta,
+            session.bounds,
+        )
+        _compare_docs(
+            report, "session.byte_identity", "create",
+            solved["document"], fresh, obs,
+        )
+        _check_sha(report, "create", solved["document"], solved["sha256"])
+
+        # -- edits: H, alpha, phase pin, alpha back --------------------
+        H_small = max(2, H // 2)
+        steps = [
+            (f"edit H={H_small}",
+             [{"op": "set_param", "key": "H", "value": H_small}]),
+            ("edit alpha=50",
+             [{"op": "set_param", "key": "alpha", "value": 50.0}]),
+        ]
+        first_phase = session.phase_names()[0]
+        steps.append(
+            (f"pin {first_phase} chunk=2",
+             [{"op": "edit_phase", "phase": first_phase, "chunk": 2}])
+        )
+        steps.append(
+            ("edit alpha=default",
+             [{"op": "set_param", "key": "alpha", "value": None}])
+        )
+        for label, ops in steps:
+            try:
+                out = apply_edits(session, ops)
+            except (SessionError, ValueError, RuntimeError) as exc:
+                # A pin can make the clamped box genuinely infeasible on
+                # some programs; that is a legal 400, not a soundness
+                # problem.  Undo the clamp and keep checking.
+                session.bounds.pop(first_phase, None)
+                report.notes.append(f"{label}: infeasible ({exc})")
+                continue
+            fresh = _fresh_document(
+                session, session.env, session.H, session.alpha,
+                session.beta, session.bounds,
+            )
+            _compare_docs(
+                report, "session.byte_identity", label,
+                out["document"], fresh, obs,
+            )
+            _check_sha(report, label, out["document"], out["sha256"])
+
+        # -- sweep -------------------------------------------------------
+        params_before = session.params()
+        grid = {"H": sorted({session.H, H, H_small})}
+        sweep = run_sweep(session, grid, include_documents=True)
+        for point in sweep["points"]:
+            if not point.get("feasible"):
+                report.notes.append(
+                    f"sweep point {point['params']} infeasible"
+                )
+                continue
+            env_p = dict(session.env)
+            H_p = point["params"].get("H", session.H)
+            fresh = _fresh_document(
+                session, env_p, H_p, session.alpha, session.beta,
+                session.bounds,
+            )
+            label = f"sweep H={H_p}"
+            _compare_docs(
+                report, "session.sweep_point", label,
+                point["document"], fresh, obs,
+            )
+            _check_sha(report, label, point["document"], point["sha256"])
+
+        report.merge_checked("session.sweep_isolated")
+        if session.params() != params_before:
+            report.mismatches.append(
+                Mismatch(
+                    kind="session.sweep_isolated",
+                    program=name,
+                    phase="sweep",
+                    array="params",
+                    detail=(
+                        "run_sweep mutated the session's own parameters: "
+                        f"{params_before} -> {session.params()}"
+                    ),
+                )
+            )
+        if not sweep["front"]:
+            report.notes.append("sweep returned an empty Pareto front")
+    finally:
+        session.close()
+    return report

@@ -88,6 +88,10 @@ def main(argv=None) -> int:
         from .check.cli import main_check
 
         return main_check(list(argv[1:]))
+    if argv and argv[0] == "session":
+        from .session.cli import main_session
+
+        return main_session(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(

@@ -48,6 +48,7 @@ from typing import Optional, Tuple
 from .. import __version__
 from ..document import dumps_canonical
 from ..obs import merge_counter_docs
+from ..service.coalesce import ResultLRU
 from ..service.config import ServiceConfig
 from ..service.protocol import (
     PROTOCOL_VERSION,
@@ -58,6 +59,7 @@ from ..service.protocol import (
 )
 from ..service.server import MAX_BODY_BYTES
 from ..service.state import ServerMetrics
+from ..session.api import mint_session_id, session_route
 from .jobs import DONE, JobQueue
 from .supervisor import Supervisor, desired_workers
 
@@ -83,6 +85,10 @@ class ClusterRouter(ThreadingHTTPServer):
             else None
         )
         self.metrics = ServerMetrics(latency_window=config.latency_window)
+        #: Router-level LRU of finished /analyze responses: a repeat of
+        #: a completed request answers here without a proxy hop, on top
+        #: of whatever result cache the owning shard keeps.
+        self.results = ResultLRU(config.result_cache)
         self._gauge_lock = threading.Lock()
         self._outstanding = 0  # proxied requests not yet answered
         self._draining = threading.Event()
@@ -170,14 +176,31 @@ class ClusterRouter(ThreadingHTTPServer):
         finally:
             conn.close()
 
-    def dispatch(self, key, request_doc: dict) -> Tuple[int, dict, dict]:
+    def dispatch(
+        self,
+        key,
+        request_doc: Optional[dict],
+        method: str = "POST",
+        path: str = "/analyze",
+    ) -> Tuple[int, dict, dict]:
         """Route one materialized request; ``(status, doc, headers)``.
 
-        The replay loop is the zero-loss guarantee: a proxy that dies
-        under us (worker crash) is retried against the shard's next
-        generation after a heartbeat, up to ``replay_limit`` times.
+        ``key`` picks the owning shard on the consistent-hash ring —
+        the structural request key for ``/analyze``, the session id for
+        ``/session/{id}/*`` (which is what makes sessions shard-sticky:
+        every operation on a session lands on the worker holding its
+        warm state).  The replay loop is the zero-loss guarantee: a
+        proxy that dies under us (worker crash) is retried against the
+        shard's next generation after a heartbeat, up to
+        ``replay_limit`` times.  (A replayed *session* operation may
+        answer 404 — the respawned shard lost its session table; the
+        client recreates.  Deterministic failure, never a hang.)
         """
-        body = dumps_canonical(request_doc).encode("utf-8")
+        body = (
+            None
+            if request_doc is None
+            else dumps_canonical(request_doc).encode("utf-8")
+        )
         self._note_outstanding(1)
         try:
             replays = 0
@@ -199,7 +222,7 @@ class ClusterRouter(ThreadingHTTPServer):
                     )
                 try:
                     status, doc = self._proxy(
-                        handle.port, "POST", "/analyze", body
+                        handle.port, method, path, body
                     )
                 except (ConnectionError, OSError,
                         http.client.HTTPException):
@@ -228,7 +251,39 @@ class ClusterRouter(ThreadingHTTPServer):
     def route_analyze(self, request: AnalyzeRequest) -> Tuple[int, dict, dict]:
         program, env, back = build_request_program(request)
         key = request_key(request, program, env, back)
-        return self.dispatch(key, request.to_json())
+        cached = self.results.get(key)
+        if cached is not None:
+            self.metrics.bump("router.lru_hit")
+            return 200, cached, {}
+        status, doc, headers = self.dispatch(key, request.to_json())
+        if status == 200:
+            self.results.put(key, doc)
+        return status, doc, headers
+
+    # -- the session tier --------------------------------------------------
+
+    def route_session_create(self, body: dict) -> Tuple[int, dict, dict]:
+        """``POST /session``: mint the id, pin the shard, proxy.
+
+        The router chooses the session id *before* dispatch so the
+        create and every later ``/session/{id}/*`` call hash to the
+        same shard — the id is the stickiness key.
+        """
+        doc = dict(body)
+        sid = doc.get("session_id")
+        if sid is None:
+            sid = mint_session_id()
+            doc["session_id"] = sid
+        elif not (isinstance(sid, str) and sid):
+            return 400, {"error": "'session_id' must be a non-empty string"}, {}
+        return self.dispatch(sid, doc, path="/session")
+
+    def route_session(
+        self, sid: str, method: str, path: str,
+        body: Optional[dict] = None,
+    ) -> Tuple[int, dict, dict]:
+        """Any ``/session/{id}[/verb]`` operation, sticky by id."""
+        return self.dispatch(sid, body, method=method, path=path)
 
     # -- the durable job tier ---------------------------------------------
 
@@ -335,6 +390,7 @@ class ClusterRouter(ThreadingHTTPServer):
                 "in_flight": shard_doc.get("in_flight"),
                 "queue_depth": shard_doc.get("queue_depth"),
                 "responses": shard_doc.get("responses"),
+                "sessions": shard_doc.get("sessions"),
             }
             counters.append(shard_doc.get("counters") or {})
         doc["workers"] = {
@@ -345,6 +401,7 @@ class ClusterRouter(ThreadingHTTPServer):
             "count": len(fleet["workers"]),
         }
         doc["outstanding"] = self.outstanding()
+        doc["result_cache"] = self.results.stats()
         doc["draining"] = self.draining
         if self.jobs is not None:
             doc["jobs"] = self.jobs.snapshot_stats()
@@ -451,12 +508,37 @@ class _RouterHandler(BaseHTTPRequestHandler):
             else:
                 self._respond(200, doc)
         else:
+            route = session_route(self.path)
+            if route is not None and route[0] == "entity":
+                status, doc, headers = self.server.route_session(
+                    route[1], "GET", self.path
+                )
+                self._respond(status, doc, headers)
+                return
             self._error(404, f"no such endpoint {self.path!r}")
 
-    def do_POST(self):
-        if self.path not in ("/analyze", "/jobs"):
+    def do_DELETE(self):
+        route = session_route(self.path)
+        if route is None or route[0] != "entity":
             self._error(404, f"no such endpoint {self.path!r}")
             return
+        if self.server.draining:
+            self._error(
+                503, "router is draining", headers={"Retry-After": "1"}
+            )
+            return
+        status, doc, headers = self.server.route_session(
+            route[1], "DELETE", self.path
+        )
+        self._respond(status, doc, headers)
+
+    def do_POST(self):
+        s_route = None
+        if self.path not in ("/analyze", "/jobs"):
+            s_route = session_route(self.path)
+            if s_route is None or s_route[0] == "entity":
+                self._error(404, f"no such endpoint {self.path!r}")
+                return
         if self.server.draining:
             self._error(
                 503, "router is draining", headers={"Retry-After": "1"}
@@ -467,7 +549,21 @@ class _RouterHandler(BaseHTTPRequestHandler):
             return
         t0 = time.perf_counter()
         try:
-            if self.path == "/analyze":
+            if s_route is not None:
+                if not isinstance(body, dict):
+                    self._error(400, "request body must be a JSON object")
+                    return
+                verb, sid = s_route
+                if verb == "create":
+                    status, doc, headers = (
+                        self.server.route_session_create(body)
+                    )
+                else:
+                    status, doc, headers = self.server.route_session(
+                        sid, "POST", self.path, body
+                    )
+                self._respond(status, doc, headers)
+            elif self.path == "/analyze":
                 try:
                     request = AnalyzeRequest.from_json(body)
                     status, doc, headers = self.server.route_analyze(request)

@@ -14,10 +14,13 @@ from .costs import (
     communication_cost,
     edge_volume,
     imbalance_cost,
+    pareto_front,
 )
 from .ilp import (
     DistributionPlan,
+    TermMemo,
     VariableComponent,
+    objective_breakdown,
     reduce_system,
     solve_enumerative,
     solve_milp,
@@ -45,11 +48,14 @@ __all__ = [
     "ReplicatedLayout",
     "StorageConstraint",
     "T3D",
+    "TermMemo",
     "VariableComponent",
     "communication_cost",
     "edge_volume",
     "extract_constraints",
     "imbalance_cost",
+    "objective_breakdown",
+    "pareto_front",
     "reduce_system",
     "solve_enumerative",
     "solve_milp",

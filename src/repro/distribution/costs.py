@@ -31,7 +31,13 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping, Optional
 
-__all__ = ["MachineCosts", "imbalance_cost", "communication_cost", "edge_volume"]
+__all__ = [
+    "MachineCosts",
+    "imbalance_cost",
+    "communication_cost",
+    "edge_volume",
+    "pareto_front",
+]
 
 
 @dataclass(frozen=True)
@@ -103,3 +109,31 @@ def communication_cost(
     """``C^kg``: aggregated put cost of one C edge."""
     volume, messages = edge_volume(region_size, overlap, H)
     return machine.alpha * messages + machine.beta * volume
+
+
+def pareto_front(points) -> list:
+    """Indices of the non-dominated points of (communication, imbalance).
+
+    Both axes minimised.  A point is dominated when another point is no
+    worse on both axes and strictly better on at least one; ties keep
+    the earliest index so the front is deterministic in input order.
+    Sweeps use this to present the layout trade-off curve instead of a
+    single optimum.
+    """
+    pts = list(points)
+    front: list = []
+    for i, (ci, bi) in enumerate(pts):
+        dominated = False
+        for j, (cj, bj) in enumerate(pts):
+            if j == i:
+                continue
+            better_or_equal = cj <= ci and bj <= bi
+            strictly_better = cj < ci or bj < bi
+            if better_or_equal and (
+                strictly_better or (cj == ci and bj == bi and j < i)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front

@@ -32,7 +32,9 @@ from .costs import MachineCosts, T3D, communication_cost, imbalance_cost
 
 __all__ = [
     "DistributionPlan",
+    "TermMemo",
     "VariableComponent",
+    "objective_breakdown",
     "reduce_system",
     "solve_enumerative",
     "solve_milp",
@@ -64,6 +66,58 @@ def _ev_int(expr: Expr, env: Mapping[str, int]) -> int:
     if v.denominator != 1:
         raise ValueError(f"{expr} not integral under {env}")
     return int(v)
+
+
+class TermMemo:
+    """Cross-solve memo for Eq. 7 terms (sessions, what-if sweeps).
+
+    Two levels, both keyed on plain evaluated integers/floats so hits
+    return the *identical* floats a cold evaluation produces (the
+    accumulation order in :func:`_component_cost` is unchanged, so a
+    memoized solve is bit-identical to a fresh one):
+
+    * ``component`` — a whole component's argmin: structural key
+      (members, candidate ``t`` range, trips, overlaps, work, ``H``,
+      machine) -> ``(best_t, best_cost)``.  A sweep that edits one
+      phase re-enumerates only the touched component; every other
+      component is answered here without evaluating a single candidate.
+    * ``terms`` — one variable's ``(imbalance, frontier-comm)`` pair,
+      shared between components and across grid points that agree on
+      the per-variable inputs.
+    """
+
+    __slots__ = (
+        "component",
+        "terms",
+        "component_hits",
+        "component_misses",
+        "term_hits",
+        "term_misses",
+    )
+
+    def __init__(self):
+        self.component: dict = {}
+        self.terms: dict = {}
+        self.component_hits = 0
+        self.component_misses = 0
+        self.term_hits = 0
+        self.term_misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "component_entries": len(self.component),
+            "term_entries": len(self.terms),
+            "component_hits": self.component_hits,
+            "component_misses": self.component_misses,
+            "term_hits": self.term_hits,
+            "term_misses": self.term_misses,
+        }
+
+    def clear(self) -> None:
+        self.component.clear()
+        self.terms.clear()
+        self.component_hits = self.component_misses = 0
+        self.term_hits = self.term_misses = 0
 
 
 class _AffineUnionFind:
@@ -171,11 +225,16 @@ def reduce_system(
     env: Mapping[str, int],
     H: int,
     skip_locality: Optional[set] = None,
+    chunk_bounds: Optional[Mapping[str, tuple]] = None,
 ) -> list:
     """Collapse equalities into :class:`VariableComponent` boxes.
 
     ``skip_locality`` holds (phase_k, phase_g, array) triples whose
     locality constraint is ignored (relaxed to communication).
+    ``chunk_bounds`` maps phase names to ``(lo, hi)`` clamps on that
+    phase's chunk variables (``lo == hi`` pins the chunk), shrinking
+    the per-variable ``[1, ub]`` box before the component t-range is
+    derived.
     """
     skip_locality = skip_locality or set()
     uf = _AffineUnionFind()
@@ -224,6 +283,16 @@ def reduce_system(
         ub_v = int(bound) if bound >= 1 else 0
         ub[c.var] = min(ub.get(c.var, 1 << 60), ub_v)
 
+    lb: dict[str, int] = {}
+    if chunk_bounds:
+        for var, (phase, _array) in system.variables.items():
+            clamp = chunk_bounds.get(phase)
+            if clamp is None:
+                continue
+            lo, hi = clamp
+            lb[var] = max(1, int(lo))
+            ub[var] = min(ub.get(var, 1 << 60), int(hi))
+
     groups: dict[str, dict] = {}
     for var in system.variables:
         root, a, b = uf.find(var)
@@ -234,15 +303,16 @@ def reduce_system(
         t_lo, t_hi = 1, 1 << 60
         for var, (a, b) in members.items():
             ub_v = ub.get(var, 1 << 60)
-            # 1 <= a*t + b <= ub_v, with a possibly negative
+            lb_v = lb.get(var, 1)
+            # lb_v <= a*t + b <= ub_v, with a possibly negative
             if a > 0:
-                t_lo = max(t_lo, _ceil_frac(Fraction(1) - b, a))
+                t_lo = max(t_lo, _ceil_frac(Fraction(lb_v) - b, a))
                 t_hi = min(t_hi, _floor_frac(Fraction(ub_v) - b, a))
             elif a < 0:
                 t_lo = max(t_lo, _ceil_frac(Fraction(ub_v) - b, a))
-                t_hi = min(t_hi, _floor_frac(Fraction(1) - b, a))
+                t_hi = min(t_hi, _floor_frac(Fraction(lb_v) - b, a))
             else:
-                if not (1 <= b <= ub_v):
+                if not (lb_v <= b <= ub_v):
                     t_hi = 0  # infeasible
         comp = VariableComponent(
             root=root, members=members, t_min=t_lo, t_max=min(t_hi, 1 << 31)
@@ -268,6 +338,57 @@ def _floor_frac(num: Fraction, den: Fraction) -> int:
     return int(q.numerator // q.denominator)
 
 
+def _var_inputs(system, var, env, work, trips):
+    """The evaluated per-variable Eq. 7 inputs: (trip, work, halo width).
+
+    ``None`` when the variable has no load-balance constraint (it
+    contributes nothing to the objective); ``width`` is ``None`` when
+    no overlap constraint exists for the variable.
+    """
+    lb = trips.get(var)
+    if lb is None:
+        return None
+    trip = _ev_int(lb.trip, env)
+    wk = work.get(lb.phase, 1.0)
+    overlap = system.overlaps.get(var) if hasattr(system, "overlaps") else None
+    if overlap is not None:
+        try:
+            width = _ev_int(overlap, env)
+        except (ValueError, KeyError):
+            width = 0
+    else:
+        width = None
+    return trip, wk, width
+
+
+def _var_term(trip, wk, width, p, H, machine, memo=None):
+    """One variable's (imbalance, frontier-comm) pair at chunk ``p``.
+
+    The two floats are computed exactly as the inline Eq. 7 evaluation
+    always has, so a :class:`TermMemo` hit returns the identical values
+    a cold evaluation produces — memoized solves stay bit-identical.
+    """
+    if memo is not None:
+        tkey = (trip, p, H, wk, width, machine.alpha, machine.beta)
+        pair = memo.terms.get(tkey)
+        if pair is not None:
+            memo.term_hits += 1
+            return pair
+    imb = imbalance_cost(trip, p, H, wk)
+    if width is not None:
+        blocks = -(-trip // p)
+        comm = machine.beta * width * blocks + machine.alpha * min(
+            blocks, 2 * H
+        )
+    else:
+        comm = None
+    pair = (imb, comm)
+    if memo is not None:
+        memo.terms[tkey] = pair
+        memo.term_misses += 1
+    return pair
+
+
 def _component_cost(
     system: ConstraintSystem,
     comp: VariableComponent,
@@ -277,6 +398,7 @@ def _component_cost(
     machine: MachineCosts,
     work: Mapping[str, float],
     trips: Optional[Mapping] = None,
+    memo: Optional[TermMemo] = None,
 ) -> Optional[float]:
     """Eq. 7 objective restricted to one component.
 
@@ -295,22 +417,32 @@ def _component_cost(
     if trips is None:
         trips = {c.var: c for c in system.load_balance}
     for var, p in values.items():
-        lb = trips.get(var)
-        if lb is None:
+        inputs = _var_inputs(system, var, env, work, trips)
+        if inputs is None:
             continue
-        trip = _ev_int(lb.trip, env)
-        total += imbalance_cost(trip, p, H, work.get(lb.phase, 1.0))
-        overlap = system.overlaps.get(var) if hasattr(system, "overlaps") else None
-        if overlap is not None:
-            try:
-                width = _ev_int(overlap, env)
-            except (ValueError, KeyError):
-                width = 0
-            blocks = -(-trip // p)
-            total += machine.beta * width * blocks + machine.alpha * min(
-                blocks, 2 * H
-            )
+        trip, wk, width = inputs
+        imb, comm = _var_term(trip, wk, width, p, H, machine, memo=memo)
+        total += imb
+        if comm is not None:
+            total += comm
     return total
+
+
+def _component_key(system, comp, ts, env, H, machine, work, trips):
+    """A structural memo key capturing every input of a component argmin.
+
+    Two solves agreeing on this key (members with their affine
+    relations, the candidate ``t`` list, evaluated trips/halo widths,
+    work weights, ``H`` and the machine coefficients) evaluate the
+    identical cost function over the identical candidates, so caching
+    ``(best_t, best_cost)`` under it is exact.
+    """
+    sig = []
+    for var in sorted(comp.members):
+        a, b = comp.members[var]
+        inputs = _var_inputs(system, var, env, work, trips)
+        sig.append((var, a, b, inputs))
+    return (tuple(sig), tuple(ts), H, machine.alpha, machine.beta)
 
 
 def solve_enumerative(
@@ -320,6 +452,8 @@ def solve_enumerative(
     machine: MachineCosts = T3D,
     work: Optional[Mapping[str, float]] = None,
     region_sizes: Optional[Mapping[tuple, int]] = None,
+    chunk_bounds: Optional[Mapping[str, tuple]] = None,
+    memo: Optional[TermMemo] = None,
 ) -> DistributionPlan:
     """Exact optimisation of Eq. 7 by per-component enumeration.
 
@@ -327,6 +461,10 @@ def solve_enumerative(
     ``region_sizes`` maps (phase_k, phase_g, array) C edges to moved
     element counts for the communication term (constant per labelling,
     reported in the objective but not steering the argmin).
+    ``chunk_bounds`` clamps phases' chunks (see :func:`reduce_system`);
+    ``memo`` is a :class:`TermMemo` carried across solves by sessions
+    and sweeps — hits skip a component's candidate enumeration entirely
+    and are bit-identical to evaluating it.
 
     When the full system is infeasible, locality constraints are relaxed
     one at a time (greedy, largest-slope-ratio first — the tightest
@@ -338,7 +476,9 @@ def solve_enumerative(
     work = dict(work or {})
     relaxed: set = set()
     while True:
-        components = reduce_system(system, env, H, skip_locality=relaxed)
+        components = reduce_system(
+            system, env, H, skip_locality=relaxed, chunk_bounds=chunk_bounds
+        )
         infeasible = [c for c in components if not c.feasible_ts()]
         if not infeasible:
             break
@@ -358,14 +498,30 @@ def solve_enumerative(
     for comp in components:
         if obs is not None:
             obs.count("ilp.components")
+        ts = comp.feasible_ts()
+        mkey = None
+        if memo is not None:
+            mkey = _component_key(
+                system, comp, ts, env, H, machine, work, trips
+            )
+            hit = memo.component.get(mkey)
+            if hit is not None:
+                best_t, best_cost = hit
+                memo.component_hits += 1
+                if obs is not None:
+                    obs.count("ilp.component_memo_hits")
+                chunks.update(comp.values_for(best_t))
+                imbalance_total += best_cost
+                continue
+            memo.component_misses += 1
         with obs_span(obs, f"ilp:component:{comp.root}") as sp:
-            ts = comp.feasible_ts()
             if obs is not None:
                 obs.count("ilp.candidates", len(ts))
             best_t, best_cost = None, None
             for t in ts:
                 cost = _component_cost(
-                    system, comp, t, env, H, machine, work, trips=trips
+                    system, comp, t, env, H, machine, work, trips=trips,
+                    memo=memo,
                 )
                 if cost is None:
                     continue
@@ -373,6 +529,8 @@ def solve_enumerative(
                     best_t, best_cost = t, cost
             values = comp.values_for(best_t)
             sp.set(candidates=len(ts), best_t=best_t)
+        if memo is not None:
+            memo.component[mkey] = (best_t, best_cost)
         chunks.update(values)
         imbalance_total += best_cost
 
@@ -410,6 +568,42 @@ def solve_enumerative(
         components=components,
         relaxed_edges=sorted(relaxed),
     )
+
+
+def objective_breakdown(
+    system: ConstraintSystem,
+    plan: DistributionPlan,
+    env: Mapping[str, int],
+    H: int,
+    machine: MachineCosts = T3D,
+    work: Optional[Mapping[str, float]] = None,
+) -> dict:
+    """Split a solved plan's objective into pure-imbalance vs communication.
+
+    ``DistributionPlan.imbalance`` folds the p-dependent frontier/halo
+    traffic into the D^k sum (that mix *is* the quantity the argmin
+    minimises); sweeps presenting a Pareto front need the two axes the
+    paper trades off — wasted cycles vs moved data — so this re-walks
+    the chosen chunks and separates the terms.  Reporting only: the
+    plan itself is untouched.
+    """
+    work = dict(work or {})
+    trips = {c.var: c for c in system.load_balance}
+    imbalance = 0.0
+    frontier = 0.0
+    for var, p in plan.chunks.items():
+        inputs = _var_inputs(system, var, env, work, trips)
+        if inputs is None:
+            continue
+        trip, wk, width = inputs
+        imb, comm = _var_term(trip, wk, width, p, H, machine)
+        imbalance += imb
+        if comm is not None:
+            frontier += comm
+    return {
+        "imbalance": imbalance,
+        "communication": frontier + plan.communication,
+    }
 
 
 def _pick_relaxation(

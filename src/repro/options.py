@@ -21,7 +21,7 @@ import os
 from dataclasses import dataclass, fields, replace
 from typing import Optional, Union
 
-__all__ = ["AnalysisOptions"]
+__all__ = ["AnalysisOptions", "format_chunk_bounds", "parse_chunk_bounds"]
 
 _ENGINES = (None, "serial", "parallel")
 _FAST_PATHS = (None, "symbolic", "wide", "legacy", "off")
@@ -85,6 +85,47 @@ def _escape(text: str) -> str:
     )
 
 
+def parse_chunk_bounds(spec: str) -> dict:
+    """Parse ``"F1:1:8;F3:4:4"`` into ``{phase: (lo, hi)}``.
+
+    Each clause bounds one phase's CYCLIC(p) chunk to ``lo <= p <= hi``
+    (``lo == hi`` pins it).  A single number is shorthand for a pin.
+    """
+    bounds: dict = {}
+    for clause in (spec or "").split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = [p.strip() for p in clause.split(":")]
+        if len(parts) == 2:
+            parts.append(parts[1])
+        if len(parts) != 3 or not parts[0]:
+            raise ValueError(
+                f"bad chunk bound {clause!r}: expected PHASE:lo:hi"
+            )
+        phase = parts[0]
+        try:
+            lo, hi = int(parts[1]), int(parts[2])
+        except ValueError:
+            raise ValueError(
+                f"bad chunk bound {clause!r}: lo/hi must be integers"
+            ) from None
+        if lo < 1 or hi < lo:
+            raise ValueError(
+                f"bad chunk bound {clause!r}: need 1 <= lo <= hi"
+            )
+        bounds[phase] = (lo, hi)
+    return bounds
+
+
+def format_chunk_bounds(bounds) -> str:
+    """The canonical (sorted) spec string for a ``{phase: (lo, hi)}`` map."""
+    return ";".join(
+        f"{phase}:{lo}:{hi}"
+        for phase, (lo, hi) in sorted(bounds.items())
+    )
+
+
 def _parse_bool(key: str, value: str) -> bool:
     low = value.strip().lower()
     if low in _TRUE:
@@ -126,6 +167,17 @@ class AnalysisOptions:
         fragment, so counts are identical across tiers.
     parallel_workers:
         cap on the parallel engine's pool width (default: engine cap).
+    machine_alpha / machine_beta:
+        Eq. 7 machine-cost overrides: per-message latency and
+        per-element bandwidth in units of one local access.  ``None``
+        keeps the T3D defaults (:data:`repro.distribution.costs.T3D`).
+        These steer the distribution solver only — labels and
+        descriptors are machine-independent.
+    chunk_bounds:
+        distribution-space restriction, ``"PHASE:lo:hi;..."``: clamp a
+        phase's CYCLIC(p) chunk to ``lo <= p <= hi`` (``lo == hi`` pins
+        it).  The solver optimises within the clamped boxes; an empty
+        box triggers the usual relaxation path.
     plan:
         compiled analysis plans (:mod:`repro.plan`): record a plan on
         the first build of a (program, binding) and replay it on later
@@ -149,6 +201,9 @@ class AnalysisOptions:
     refutation: Optional[bool] = None
     dsm_fast_path: Optional[str] = None
     parallel_workers: Optional[int] = None
+    machine_alpha: Optional[float] = None
+    machine_beta: Optional[float] = None
+    chunk_bounds: Optional[str] = None
     plan: Optional[bool] = None
     plan_cache: Union[None, str, object] = None
     trace: bool = False
@@ -169,6 +224,17 @@ class AnalysisOptions:
             raise ValueError(
                 f"parallel_workers must be >= 1, got {self.parallel_workers}"
             )
+        for name in ("machine_alpha", "machine_beta"):
+            value = getattr(self, name)
+            if value is not None and not float(value) >= 0.0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+        if self.chunk_bounds is not None:
+            # Validate and canonicalise (sorted clauses) so equal bound
+            # sets compare/serialize identically, e.g. in request keys.
+            canonical = format_chunk_bounds(
+                parse_chunk_bounds(self.chunk_bounds)
+            )
+            object.__setattr__(self, "chunk_bounds", canonical)
         cache = self.analysis_cache
         if not (
             cache is None
@@ -253,6 +319,12 @@ class AnalysisOptions:
                 kwargs["dsm_fast_path"] = value
             elif key in ("workers", "parallel_workers"):
                 kwargs["parallel_workers"] = int(value)
+            elif key in ("alpha", "machine_alpha"):
+                kwargs["machine_alpha"] = float(value)
+            elif key in ("beta", "machine_beta"):
+                kwargs["machine_beta"] = float(value)
+            elif key in ("chunks", "chunk_bounds"):
+                kwargs["chunk_bounds"] = value
             elif key == "plan":
                 kwargs["plan"] = _parse_bool(key, value)
             elif key == "plan_cache":
@@ -264,8 +336,8 @@ class AnalysisOptions:
             else:
                 raise ValueError(
                     f"unknown option {key!r}; known keys: engine, cache, "
-                    f"refutation, fast_path, workers, plan, plan_cache, "
-                    f"trace, metrics"
+                    f"refutation, fast_path, workers, alpha, beta, chunks, "
+                    f"plan, plan_cache, trace, metrics"
                 )
         return kwargs
 
@@ -277,6 +349,9 @@ class AnalysisOptions:
             "refutation": "refutation",
             "dsm_fast_path": "fast_path",
             "parallel_workers": "workers",
+            "machine_alpha": "alpha",
+            "machine_beta": "beta",
+            "chunk_bounds": "chunks",
             "plan": "plan",
             "plan_cache": "plan_cache",
             "trace": "trace",

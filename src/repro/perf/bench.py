@@ -41,6 +41,12 @@ Three sections are recorded into ``BENCH_perf.json``:
   counted it.
 * ``exec_huge_N`` — symbolic-only static execution at ~2**20-element
   problem sizes per code.
+* ``sweep`` — the session subsystem's reason to exist, measured: one
+  warm :class:`repro.session.Session` sweeping a ≥16-point H × chunk
+  grid against the same grid as independent cold ``analyze()`` calls,
+  with per-point sha256 byte-identity asserted between the two paths.
+  Guarded by ``--check-sweep`` (speedup floor + identity + a ≥2-point
+  Pareto front).
 
 Speedups compare wall-clock totals of the two configurations over the
 same stages on the same machine, so the ratio is meaningful even though
@@ -69,9 +75,12 @@ __all__ = [
     "LCG_H_VALUES",
     "QUICK_H",
     "QUICK_SIZES",
+    "FRONT_GRID",
+    "SWEEP_GRID",
     "check_exec",
     "check_lcg_regression",
     "check_regression",
+    "check_sweep",
     "main",
     "run_benchmark",
     "set_optimizations",
@@ -150,6 +159,25 @@ HUGE_N_SIZES = {
     "tomcatv": {"M": 1024, "N": 1024},
     "redblack": {"N": 1 << 20},
 }
+
+
+#: The ``sweep`` section's timed workload: tfft2 at the quick size — the
+#: code whose cold analysis is dominated by cacheable edge work (~15x
+#: cold/warm ratio) — over a 16-point H × chunk-pin grid.  Two H values,
+#: not four: each new H re-binds every edge fingerprint, so H values
+#: are the expensive axis of a session sweep and chunk pins the cheap
+#: one.
+SWEEP_CODE = "tfft2"
+SWEEP_H = 8
+SWEEP_GRID = {"H": [4, 8], "chunk:F1_DO_100_RCFFTZ": [1, 2, 3, 4, 5, 6, 7, 8]}
+
+#: The Pareto-front probe: an unrestricted sweep collapses to a
+#: one-point front (the model's feasible-maximum chunk minimizes both
+#: axes), so conflicting layouts are exposed by pinning jacobi's sweep
+#: phase across a capped range at fixed H — communication falls and
+#: imbalance rises as the pin grows.
+FRONT_CODE = "jacobi"
+FRONT_GRID = {"chunk:F_sweep": list(range(1, 13))}
 
 
 def set_optimizations(enabled: bool) -> None:
@@ -663,11 +691,146 @@ def _run_huge_N_section(log) -> dict:
     }
 
 
+def _run_sweep_section(log) -> dict:
+    """One warm session vs independent cold solves over the same grid.
+
+    Two measurements.  The *timed* half runs ``SWEEP_GRID`` through one
+    :class:`repro.session.Session` and then re-runs the same grid as
+    independent cold ``analyze()`` calls — fresh program object, every
+    cache and memo cleared per point.  Program construction and cache
+    clearing happen *outside* the cold timers, so the ratio understates
+    the session's win rather than inflating it; per-point sha256s are
+    compared across the two paths, and the speedup only counts if the
+    bytes are identical.  Both paths run analysis-only
+    (``execute=False``): a layout sweep needs the objective, not the
+    DSM simulation, and the simulation is unmemoizable cost paid
+    equally by both sides.
+
+    The *untimed* half sweeps ``FRONT_GRID`` (a capped chunk-pin range
+    at fixed H) through a second session and records the Pareto front —
+    the ≥2-conflicting-layouts property the gate asserts.
+    """
+    import hashlib
+    import itertools
+
+    from .. import AnalysisOptions, analyze
+    from ..codes import ALL_CODES
+    from ..document import dumps_canonical
+    from ..options import format_chunk_bounds
+    from ..session.state import Session
+    from ..session.sweep import run_sweep
+
+    set_optimizations(True)
+    env = QUICK_SIZES[SWEEP_CODE]
+    builder, _, back_edges = ALL_CODES[SWEEP_CODE]
+
+    # -- warm path: one session, one sweep ------------------------------
+    clear_caches()
+    program = builder()
+    t0 = time.perf_counter()
+    session = Session(
+        program, env, SWEEP_H, back_edges=back_edges, execute=False
+    )
+    session.solve()
+    out = run_sweep(session, SWEEP_GRID)
+    t_session = time.perf_counter() - t0
+    session.close()
+
+    # -- cold path: the same grid, nothing shared -----------------------
+    keys = sorted(SWEEP_GRID)
+    t_cold = 0.0
+    cold_shas: list = []
+    for combo in itertools.product(*(SWEEP_GRID[k] for k in keys)):
+        params = dict(zip(keys, combo))
+        H = params.get("H", SWEEP_H)
+        bounds = {
+            k.partition(":")[2]: (v, v)
+            for k, v in params.items()
+            if k.startswith("chunk:")
+        }
+        options = AnalysisOptions(
+            trace=False,
+            metrics=False,
+            plan=False,
+            plan_cache=None,
+            analysis_cache=False,
+            chunk_bounds=format_chunk_bounds(bounds) or None,
+        )
+        prog_cold = builder()
+        clear_caches()
+        try:
+            t0 = time.perf_counter()
+            result = analyze(
+                prog_cold,
+                env=env,
+                H=H,
+                back_edges=back_edges,
+                execute=False,
+                options=options,
+            )
+            t_cold += time.perf_counter() - t0
+        except (ValueError, RuntimeError):
+            cold_shas.append(None)
+            continue
+        doc = result.to_document()
+        doc["metrics"] = None
+        doc["trace"] = None
+        cold_shas.append(
+            hashlib.sha256(dumps_canonical(doc).encode()).hexdigest()
+        )
+
+    session_shas = [p.get("sha256") for p in out["points"]]
+    identical = session_shas == cold_shas
+
+    # -- Pareto probe: conflicting layouts from a capped pin sweep ------
+    front_env = QUICK_SIZES[FRONT_CODE]
+    front_builder, _, front_back = ALL_CODES[FRONT_CODE]
+    front_session = Session(
+        front_builder(), front_env, SWEEP_H, back_edges=front_back,
+        execute=False,
+    )
+    front_out = run_sweep(front_session, FRONT_GRID)
+    front_session.close()
+    front_points = [
+        {
+            "params": front_out["points"][i]["params"],
+            "communication": front_out["points"][i]["communication"],
+            "imbalance": front_out["points"][i]["imbalance"],
+        }
+        for i in front_out["front"]
+    ]
+
+    section = {
+        "code": SWEEP_CODE,
+        "env": dict(env),
+        "grid": out["grid"],
+        "points": len(out["points"]),
+        "feasible_points": out["reuse"]["feasible_points"],
+        "session_seconds": t_session,
+        "cold_seconds": t_cold,
+        "speedup": t_cold / t_session if t_session > 0 else float("inf"),
+        "identical": identical,
+        "reuse": out["reuse"],
+        "front_code": FRONT_CODE,
+        "front_grid": front_out["grid"],
+        "front_size": len(front_out["front"]),
+        "front": front_points,
+    }
+    log(
+        f"    {SWEEP_CODE:<10} {section['points']} points: session "
+        f"{t_session:.2f}s vs cold {t_cold:.2f}s "
+        f"({section['speedup']:.1f}x), identical={identical}; "
+        f"{FRONT_CODE} pin-sweep front={section['front_size']}"
+    )
+    return section
+
+
 def run_benchmark(
     quick_only: bool = False,
     log=lambda s: None,
     lcg_section=None,
     exec_section=None,
+    sweep_section=None,
 ) -> dict:
     """Run the harness; returns the BENCH_perf.json payload.
 
@@ -675,10 +838,11 @@ def run_benchmark(
     off; by default it runs whenever the full section does.  Likewise
     ``exec_section`` for the symbolic-vs-wide ``exec`` section; the
     symbolic-only ``exec_large_H`` / ``exec_huge_N`` sections run with
-    the full section.
+    the full section, and ``sweep_section`` the session-vs-cold sweep
+    comparison.
     """
     result = {
-        "schema": 5,
+        "schema": 6,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "stages": list(STAGES),
@@ -696,6 +860,11 @@ def run_benchmark(
     if exec_section:
         log(f"exec section (symbolic vs wide, H={EXEC_H})")
         result["exec"] = _run_exec_section(log)
+    if sweep_section is None:
+        sweep_section = not quick_only
+    if sweep_section:
+        log(f"sweep section (one session vs cold analyze per grid point)")
+        result["sweep"] = _run_sweep_section(log)
     if not quick_only:
         log(f"full section (H={FULL_H}) — the baseline pass takes minutes")
         result["full"] = _run_section(FULL_SIZES, FULL_H, log)
@@ -836,6 +1005,44 @@ def check_exec(current: dict, min_speedup: float) -> Optional[str]:
     return None
 
 
+def check_sweep(current: dict, min_speedup: float) -> Optional[str]:
+    """Guard the session subsystem from the fresh ``sweep`` section.
+
+    Host-independent, no committed file: the grid must hold at least 16
+    points, every per-point document must be byte-identical (sha256)
+    between the warm-session path and the independent cold path, the
+    Pareto front must hold ≥2 genuinely conflicting layouts, and the
+    one-session sweep must beat the cold path by ``min_speedup``.
+    """
+    try:
+        section = current["sweep"]
+    except KeyError:
+        return "current run has no sweep section"
+    if section["points"] < 16:
+        return (
+            f"sweep section covered only {section['points']} grid points; "
+            f"the gate requires at least 16"
+        )
+    if not section["identical"]:
+        return (
+            "sweep soundness regression: per-point documents differ "
+            "between the warm session and independent cold analyze()"
+        )
+    if section["front_size"] < 2:
+        return (
+            f"sweep Pareto regression: front has {section['front_size']} "
+            f"point(s); the chunk-pin grid must expose >= 2 conflicting "
+            f"layouts"
+        )
+    if section["speedup"] < min_speedup:
+        return (
+            f"sweep perf regression: one-session sweep is only "
+            f"{section['speedup']:.1f}x the cold path "
+            f"(required {min_speedup:.1f}x)"
+        )
+    return None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench-perf",
@@ -887,6 +1094,18 @@ def main(argv=None) -> int:
         "(default 20.0; generous vs the ~100x measured, for CI hosts)",
     )
     parser.add_argument(
+        "--check-sweep", action="store_true",
+        help="run the session-sweep section and exit 1 unless the "
+        "one-session grid sweep is byte-identical to independent cold "
+        "analyze() calls, yields a >=2-point Pareto front, and holds "
+        "--min-sweep-speedup",
+    )
+    parser.add_argument(
+        "--min-sweep-speedup", type=float, default=5.0,
+        help="speedup floor for the one-session sweep over independent "
+        "cold analyze() calls, asserted by --check-sweep (default 5.0)",
+    )
+    parser.add_argument(
         "--exec-smoke", type=int, default=None, metavar="H",
         help="run only the symbolic-only large-H section at the given H "
         "(CI smoke; wrap in a hard timeout)",
@@ -899,7 +1118,7 @@ def main(argv=None) -> int:
             lambda s: print(s, file=sys.stderr), (args.exec_smoke,)
         )
         payload = json.dumps(
-            {"schema": 5, "exec_large_H": section}, indent=2, sort_keys=True
+            {"schema": 6, "exec_large_H": section}, indent=2, sort_keys=True
         )
         if args.out:
             with open(args.out, "w") as fh:
@@ -936,13 +1155,17 @@ def main(argv=None) -> int:
             return 1
 
     checking = (
-        args.check is not None or args.check_lcg is not None or args.check_exec
+        args.check is not None
+        or args.check_lcg is not None
+        or args.check_exec
+        or args.check_sweep
     )
     result = run_benchmark(
         quick_only=args.quick or checking,
         log=lambda s: print(s, file=sys.stderr),
         lcg_section=True if args.check_lcg is not None else None,
         exec_section=True if args.check_exec else None,
+        sweep_section=True if args.check_sweep else None,
     )
     payload = json.dumps(result, indent=2, sort_keys=True)
     if args.out:
@@ -996,6 +1219,18 @@ def main(argv=None) -> int:
             f"exec check ok: tfft2 static {tfft2['speedup_static']:.1f}x "
             f"plan {tfft2['speedup_plan']:.1f}x, counts byte-identical "
             f"on all codes",
+            file=sys.stderr,
+        )
+    if args.check_sweep:
+        error = check_sweep(result, args.min_sweep_speedup)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 1
+        sweep = result["sweep"]
+        print(
+            f"sweep check ok: {sweep['points']} points {sweep['speedup']:.1f}x "
+            f"over cold, byte-identical, Pareto front of "
+            f"{sweep['front_size']}",
             file=sys.stderr,
         )
     return 0

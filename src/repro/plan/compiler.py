@@ -140,12 +140,14 @@ class AnalysisPlan:
 class PlanRecorder:
     """Capture one build's prover/compile activity into a plan.
 
-    Arms the ``_NONNEG_RECORD`` hook for the duration of the build (a
-    hook already armed by another in-flight recording leaves this one
-    inert — ``finish`` then returns ``None`` and the caller records
-    nothing).  Recording is append-only and GIL-atomic; queries issued
-    by unrelated threads while armed are harmless over-capture, since
-    every record is structurally keyed and sound wherever it came from.
+    Arms a per-recorder hook on ``_NONNEG_RECORD`` (a copy-on-write
+    tuple, see :func:`repro.symbolic.context._add_nonneg_record`) for
+    the duration of the build, so any number of concurrent builds — one
+    per in-flight server request — each record their own plan instead
+    of the first one winning.  Recording is append-only and GIL-atomic;
+    queries issued by unrelated threads while armed are harmless
+    over-capture, since every record is structurally keyed and sound
+    wherever it came from.
     """
 
     def __init__(self):
@@ -155,9 +157,11 @@ class PlanRecorder:
         self.nonneg: list = []
         self.ctxs: dict = {}
         self._compile_before = set(_compile.compile_memo_keys())
-        self.active = _context._NONNEG_RECORD is None
-        if self.active:
-            _context._NONNEG_RECORD = self._record
+        # One stable bound-method object: add/remove match hooks by
+        # identity, and ``self._record`` rebinds on every access.
+        self._hook = self._record
+        self.active = True
+        _context._add_nonneg_record(self._hook)
 
     def _record(self, ctx, ctx_fp, expr, verdict) -> None:
         self.nonneg.append((ctx_fp, expr, bool(verdict)))
@@ -169,7 +173,7 @@ class PlanRecorder:
         from ..symbolic import context as _context
 
         if self.active:
-            _context._NONNEG_RECORD = None
+            _context._remove_nonneg_record(self._hook)
             self.active = False
 
     def finish(
@@ -181,7 +185,7 @@ class PlanRecorder:
         back_edges: Optional[list] = None,
         cache=None,
     ) -> Optional["AnalysisPlan"]:
-        """Disarm and assemble the plan; None when recording was inert.
+        """Disarm and assemble the plan; None when already disarmed.
 
         ``cache`` is the :class:`AnalysisCache` (or build_lcg-style
         toggle) the recorded build actually ran against — the Theorem-1
@@ -197,7 +201,7 @@ class PlanRecorder:
 
         if not self.active:
             return None
-        _context._NONNEG_RECORD = None
+        _context._remove_nonneg_record(self._hook)
         self.active = False
 
         ctx = program.context

@@ -81,6 +81,8 @@ class ServiceConfig:
     heartbeat_every: float = 0.5
     replay_limit: int = 5
     scale_window: float = 2.0
+    session_limit: int = 64
+    session_ttl: float = 600.0
 
     def __post_init__(self):
         if self.threads < 1:
@@ -110,6 +112,14 @@ class ServiceConfig:
         if self.replay_limit < 0:
             raise ValueError(
                 f"replay_limit must be >= 0, got {self.replay_limit}"
+            )
+        if self.session_limit < 1:
+            raise ValueError(
+                f"session_limit must be >= 1, got {self.session_limit}"
+            )
+        if self.session_ttl <= 0:
+            raise ValueError(
+                f"session_ttl must be > 0, got {self.session_ttl}"
             )
 
     # -- derived views ----------------------------------------------------
@@ -190,10 +200,12 @@ class ServiceConfig:
             "port", "threads", "queue_limit", "snapshot_every",
             "result_cache", "latency_window", "workers", "min_workers",
             "max_workers", "shard", "generation", "replay_limit",
+            "session_limit",
         }
     )
     _FLOAT_FIELDS = frozenset(
-        {"request_timeout", "heartbeat_every", "scale_window"}
+        {"request_timeout", "heartbeat_every", "scale_window",
+         "session_ttl"}
     )
     _BOOL_FIELDS = frozenset({"verbose"})
 

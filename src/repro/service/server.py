@@ -24,7 +24,11 @@ pieces, in request order:
    final cache snapshot.  No admitted work is dropped.
 
 Endpoints: ``POST /analyze``, ``GET /healthz``, ``GET /metrics``,
-``GET /cache/stats``.
+``GET /cache/stats``, and the interactive session tier
+(:mod:`repro.session`): ``POST /session``, ``GET /session/{id}``,
+``POST /session/{id}/edit``, ``POST /session/{id}/sweep``,
+``DELETE /session/{id}`` — a bounded TTL-evicted table of warm
+incremental-analysis sessions sharing the server's analysis cache.
 
 The worker pool is deliberately made of *threads*: the pipeline's hot
 loops sit in NumPy/symbolic code, the shared caches make most repeat
@@ -49,6 +53,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from .. import __version__, Collector, analyze
+from ..session.api import (
+    SessionLimitError,
+    SessionNotFound,
+    SessionTable,
+    handle_create,
+    handle_delete,
+    handle_edit,
+    handle_get,
+    handle_sweep,
+    session_route,
+)
+from ..session.state import SessionError
 from .coalesce import ResultLRU, SingleFlight
 from .config import ServiceConfig
 from .protocol import (
@@ -80,6 +96,9 @@ class AnalysisServer(ThreadingHTTPServer):
         self.metrics = ServerMetrics(latency_window=config.latency_window)
         self.flights = SingleFlight()
         self.results = ResultLRU(config.result_cache)
+        self.sessions = SessionTable(
+            limit=config.session_limit, ttl=config.session_ttl
+        )
         self.pool = ThreadPoolExecutor(
             max_workers=config.threads, thread_name_prefix="repro-analyze"
         )
@@ -185,6 +204,48 @@ class AnalysisServer(ThreadingHTTPServer):
             with self._gauge_lock:
                 self._in_flight -= 1
 
+    def run_session_job(self, verb: str, sid, body) -> tuple:
+        """One session operation; ``(status, doc, headers)``.
+
+        Session requests ride the same admission/pool path as
+        ``/analyze`` (the caller handles that); this translates the
+        session subsystem's exceptions to HTTP statuses.  Sessions
+        share the server's warm :class:`AnalysisCache`, so a session's
+        first solve reuses whatever ``/analyze`` traffic already built.
+        """
+        with self._gauge_lock:
+            self._in_flight += 1
+        try:
+            if verb == "create":
+                doc = handle_create(
+                    self.sessions, body, cache=self.state.cache
+                )
+                self.metrics.bump("sessions.created")
+            elif verb == "edit":
+                doc = handle_edit(self.sessions, sid, body)
+                self.metrics.bump("sessions.edits")
+            elif verb == "sweep":
+                doc = handle_sweep(self.sessions, sid, body)
+                self.metrics.bump("sessions.sweeps")
+            elif verb == "get":
+                doc = handle_get(self.sessions, sid)
+            elif verb == "delete":
+                doc = handle_delete(self.sessions, sid)
+                self.metrics.bump("sessions.deleted")
+            else:
+                return 404, {"error": f"no such session verb {verb!r}"}, {}
+            return 200, doc, {}
+        except (ProtocolError, SessionError) as exc:
+            return 400, {"error": str(exc)}, {}
+        except SessionNotFound:
+            return 404, {"error": f"no such session {sid!r}"}, {}
+        except SessionLimitError as exc:
+            self.metrics.bump("sessions.rejected_full")
+            return 429, {"error": str(exc)}, {"Retry-After": "1"}
+        finally:
+            with self._gauge_lock:
+                self._in_flight -= 1
+
     # -- read-only documents --------------------------------------------
 
     def health_document(self) -> dict:
@@ -207,6 +268,7 @@ class AnalysisServer(ThreadingHTTPServer):
             "in_flight_keys": self.flights.in_flight(),
         }
         doc["result_cache"] = self.results.stats()
+        doc["sessions"] = self.sessions.describe()
         cache = self.state.cache.snapshot_stats()
         doc["analysis_cache"] = {
             "edge_hit_rate": cache["edge_hit_rate"],
@@ -240,6 +302,7 @@ class AnalysisServer(ThreadingHTTPServer):
         self.shutdown()  # stop the accept loop (serve_forever returns)
         self.pool.shutdown(wait=True)  # queued + running jobs finish
         self.server_close()  # joins in-flight handler threads
+        self.sessions.close_all()  # release every live session's state
         self.state.close()  # final cache snapshot
         self._drain_done.set()
 
@@ -278,6 +341,30 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ---------------------------------------------------------
 
+    _session_route = staticmethod(session_route)
+
+    def _read_json_body(self):
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return None
+        if length <= 0:
+            self._error(400, "missing request body")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body over {MAX_BODY_BYTES} bytes")
+            return None
+        try:
+            doc = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"request body is not JSON: {exc}")
+            return None
+        if not isinstance(doc, dict):
+            self._error(400, "request body must be a JSON object")
+            return None
+        return doc
+
     def do_GET(self):
         if self.path == "/healthz":
             self._respond(200, self.server.health_document())
@@ -286,37 +373,46 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/cache/stats":
             self._respond(200, self.server.cache_stats_document())
         else:
+            route = self._session_route(self.path)
+            if route is not None and route[0] == "entity":
+                status, doc, headers = self.server.run_session_job(
+                    "get", route[1], None
+                )
+                self._respond(status, doc, headers)
+                return
             self._error(404, f"no such endpoint {self.path!r}")
 
-    def do_POST(self):
-        if self.path != "/analyze":
+    def do_DELETE(self):
+        route = self._session_route(self.path)
+        if route is None or route[0] != "entity":
             self._error(404, f"no such endpoint {self.path!r}")
             return
+        status, doc, headers = self.server.run_session_job(
+            "delete", route[1], None
+        )
+        self._respond(status, doc, headers)
+
+    def do_POST(self):
+        session_route = None
+        if self.path != "/analyze":
+            session_route = self._session_route(self.path)
+            if session_route is None or session_route[0] == "entity":
+                self._error(404, f"no such endpoint {self.path!r}")
+                return
         if self.server.draining:
             self._error(
                 503, "server is draining", headers={"Retry-After": "1"}
             )
             return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            self._error(400, "bad Content-Length")
+        payload = self._read_json_body()
+        if payload is None:
             return
-        if length <= 0:
-            self._error(400, "missing request body")
-            return
-        if length > MAX_BODY_BYTES:
-            self._error(413, f"request body over {MAX_BODY_BYTES} bytes")
-            return
-        body = self.rfile.read(length)
-        try:
-            request = AnalyzeRequest.from_json(json.loads(body))
-        except ProtocolError as exc:
-            self._error(400, str(exc))
-            return
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            self._error(400, f"request body is not JSON: {exc}")
-            return
+        if session_route is None:
+            try:
+                request = AnalyzeRequest.from_json(payload)
+            except ProtocolError as exc:
+                self._error(400, str(exc))
+                return
 
         if not self.server.admit():
             self.server.metrics.bump("analyze.rejected_busy")
@@ -328,9 +424,17 @@ class _Handler(BaseHTTPRequestHandler):
             return
         t0 = time.perf_counter()
         try:
-            future = self.server.pool.submit(self.server.run_job, request)
+            if session_route is None:
+                future = self.server.pool.submit(
+                    self.server.run_job, request
+                )
+            else:
+                verb, sid = session_route
+                future = self.server.pool.submit(
+                    self.server.run_session_job, verb, sid, payload
+                )
             try:
-                doc = future.result(
+                outcome = future.result(
                     timeout=self.server.config.request_timeout
                 )
             except FutureTimeout:
@@ -353,7 +457,11 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                     return
                 raise
-            self._respond(200, doc)
+            if session_route is None:
+                self._respond(200, outcome)
+            else:
+                status, doc, headers = outcome
+                self._respond(status, doc, headers)
         except (BrokenPipeError, ConnectionResetError):
             raise
         except Exception as exc:  # defensive: a bug must not kill the thread
@@ -470,6 +578,23 @@ def main_serve(argv=None) -> int:
         help="LRU capacity for finished response documents",
     )
     parser.add_argument(
+        "--session-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded live interactive-session table; a full table "
+        "answers POST /session with 429 + Retry-After until a "
+        "session is deleted or expires",
+    )
+    parser.add_argument(
+        "--session-ttl",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="idle sessions are closed and their caches freed after "
+        "this long",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every request"
     )
     args = parser.parse_args(argv)
@@ -489,6 +614,8 @@ def main_serve(argv=None) -> int:
         snapshot_every=args.snapshot_every,
         plan_path=args.plan_snapshot,
         result_cache=args.result_cache,
+        session_limit=args.session_limit,
+        session_ttl=args.session_ttl,
         verbose=args.verbose,
     )
     if config.clustered:

@@ -1,0 +1,54 @@
+"""repro.session — interactive incremental re-solve and what-if sweeps.
+
+A :class:`Session` keeps one program's parsed IR, per-(phase, array)
+fingerprint table, warm LCG analysis cache and Eq. 7 term memo live
+across requests, so parameter edits re-analyse only what they touched
+and sweeps answer most grid points from memo state.  Three layers:
+
+* :mod:`repro.session.state` — the session object and its solve path;
+* :mod:`repro.session.delta` — edit operations (``set_param``,
+  ``edit_phase``) with re-fingerprint/reuse accounting;
+* :mod:`repro.session.sweep` — what-if grids over ``H``, machine
+  coefficients, ``env`` bindings and per-phase chunk pins, reported as
+  a (communication, imbalance) Pareto front;
+* :mod:`repro.session.api` — the bounded TTL session table and the
+  endpoint bodies the service/CLI share.
+
+The invariant everything above leans on: a session's answer at any
+parameter point is byte-identical to a fresh :func:`repro.analyze` at
+the same parameters (``repro.check --session`` enforces it).
+"""
+
+from .api import (
+    SessionLimitError,
+    SessionNotFound,
+    SessionTable,
+    handle_create,
+    handle_delete,
+    handle_edit,
+    handle_get,
+    handle_sweep,
+    mint_session_id,
+)
+from .delta import apply_edit, apply_edits
+from .state import Session, SessionError
+from .sweep import parse_sweep_args, parse_sweep_spec, run_sweep
+
+__all__ = [
+    "Session",
+    "SessionError",
+    "SessionLimitError",
+    "SessionNotFound",
+    "SessionTable",
+    "apply_edit",
+    "apply_edits",
+    "handle_create",
+    "handle_delete",
+    "handle_edit",
+    "handle_get",
+    "handle_sweep",
+    "mint_session_id",
+    "parse_sweep_args",
+    "parse_sweep_spec",
+    "run_sweep",
+]

@@ -1,0 +1,271 @@
+"""The session subsystem's service surface — table, TTL, handlers.
+
+:class:`SessionTable` is the bounded, TTL-evicting registry a server
+process owns; the ``handle_*`` functions implement the endpoint bodies
+(``POST /session``, ``POST /session/{id}/edit``,
+``POST /session/{id}/sweep``, ``GET /session/{id}``,
+``DELETE /session/{id}``) as plain ``payload -> payload`` calls so the
+HTTP layer stays a thin router and the CLI/tests can drive the exact
+same code in-process.
+
+Error mapping (the server translates):
+
+* :class:`~repro.service.protocol.ProtocolError` /
+  :class:`~repro.session.state.SessionError` — 400, client-correctable;
+* :class:`SessionNotFound` — 404 (unknown id, or TTL-evicted);
+* :class:`SessionLimitError` — 429, the bounded table is full of live
+  sessions (delete one, or wait for TTL eviction).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Mapping, Optional
+
+from .delta import apply_edits
+from .state import Session, SessionError
+from .sweep import run_sweep
+
+__all__ = [
+    "SessionLimitError",
+    "SessionNotFound",
+    "SessionTable",
+    "handle_create",
+    "handle_delete",
+    "handle_edit",
+    "handle_get",
+    "handle_sweep",
+    "mint_session_id",
+    "session_route",
+]
+
+
+class SessionLimitError(Exception):
+    """The bounded session table is full of unexpired sessions (429)."""
+
+
+class SessionNotFound(KeyError):
+    """No live session under that id (404) — never created, or evicted."""
+
+
+class SessionTable:
+    """Bounded map of live sessions with sliding-TTL eviction.
+
+    Every operation first sweeps expired sessions (no reaper thread to
+    manage), so expiry is deterministic relative to the operation
+    stream: a session idle past ``ttl`` is gone by the time the next
+    request — any request — is served.  Eviction and deletion both call
+    :meth:`Session.close`, releasing the LCG cache and term memo
+    immediately rather than when the GC gets around to it.
+    """
+
+    def __init__(self, limit: int = 64, ttl: float = 600.0):
+        if limit < 1:
+            raise ValueError(f"session limit must be >= 1, got {limit}")
+        if ttl <= 0:
+            raise ValueError(f"session ttl must be > 0, got {ttl}")
+        self.limit = limit
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._sessions: dict = {}
+        self.created = 0
+        self.expired = 0
+        self.deleted = 0
+        self.rejected_full = 0
+
+    def _sweep_locked(self) -> None:
+        now = time.monotonic()
+        dead = [
+            sid
+            for sid, session in self._sessions.items()
+            if now - session.touched > self.ttl
+        ]
+        for sid in dead:
+            session = self._sessions.pop(sid)
+            session.close()
+            self.expired += 1
+
+    def put(self, session: Session) -> None:
+        with self._lock:
+            self._sweep_locked()
+            if len(self._sessions) >= self.limit:
+                self.rejected_full += 1
+                raise SessionLimitError(
+                    f"session table full ({self.limit} live sessions); "
+                    f"DELETE one or wait for TTL eviction"
+                )
+            self._sessions[session.id] = session
+            self.created += 1
+
+    def get(self, sid: str) -> Session:
+        with self._lock:
+            self._sweep_locked()
+            session = self._sessions.get(sid)
+            if session is None:
+                raise SessionNotFound(sid)
+            session.touch()
+            return session
+
+    def delete(self, sid: str) -> bool:
+        with self._lock:
+            self._sweep_locked()
+            session = self._sessions.pop(sid, None)
+        if session is None:
+            return False
+        session.close()
+        self.deleted += 1
+        return True
+
+    def close_all(self) -> int:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+        return len(sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._sweep_locked()
+            return len(self._sessions)
+
+    def describe(self) -> dict:
+        with self._lock:
+            self._sweep_locked()
+            return {
+                "live": len(self._sessions),
+                "limit": self.limit,
+                "ttl": self.ttl,
+                "created": self.created,
+                "expired": self.expired,
+                "deleted": self.deleted,
+                "rejected_full": self.rejected_full,
+            }
+
+
+# -- endpoint bodies --------------------------------------------------------
+
+
+def handle_create(
+    table: SessionTable, body: Mapping, *, cache=None
+) -> dict:
+    """``POST /session`` — create, solve once, register.
+
+    The body is an ``/analyze`` request plus an optional ``session_id``
+    (the cluster router mints one up front so it can route the create
+    and every later ``/session/{id}/*`` call to the same shard).  The
+    first solve happens before registration: a program that fails to
+    analyse never occupies a table slot.
+    """
+    # Imported at call time: repro.service's package init imports the
+    # server, which imports this module — an eager import here would
+    # close that cycle whenever the session package loads first.
+    from ..service.protocol import (
+        AnalyzeRequest,
+        ProtocolError,
+        build_request_program,
+    )
+
+    doc = dict(body)
+    sid = doc.pop("session_id", None)
+    if sid is not None and not (isinstance(sid, str) and sid):
+        raise ProtocolError("'session_id' must be a non-empty string")
+    request = AnalyzeRequest.from_json(doc)
+    program, env, back = build_request_program(request)
+    session = Session(
+        program,
+        env,
+        request.H,
+        back_edges=back,
+        execute=request.execute,
+        options=request.options,
+        session_id=sid,
+        cache=cache,
+    )
+    solved = session.solve()
+    table.put(session)
+    return {
+        "session": session.id,
+        "revision": session.revision,
+        "params": session.params(),
+        **solved,
+    }
+
+
+def handle_edit(table: SessionTable, sid: str, body: Mapping) -> dict:
+    """``POST /session/{id}/edit`` — apply ops, re-solve incrementally.
+
+    ``body`` is ``{"ops": [...]}`` or a single op object; the response
+    carries the re-solved document, the new revision, and the ``reuse``
+    counters proving which edges came from the warm cache.
+    """
+    session = table.get(sid)
+    if not isinstance(body, Mapping):
+        raise SessionError("edit body must be a JSON object")
+    ops = body.get("ops")
+    if ops is None and "op" in body:
+        ops = [body]
+    with session.lock:
+        out = apply_edits(session, ops)
+        params = session.params()
+    return {"session": sid, "params": params, **out}
+
+
+def handle_sweep(table: SessionTable, sid: str, body: Mapping) -> dict:
+    """``POST /session/{id}/sweep`` — what-if grid + Pareto front.
+
+    ``body`` is ``{"sweep": {KEY: values-or-"lo:hi:step"}}`` with
+    optional ``include_documents``.  The sweep reads through the
+    session's warm caches but never mutates its parameters.
+    """
+    session = table.get(sid)
+    if not isinstance(body, Mapping):
+        raise SessionError("sweep body must be a JSON object")
+    include = bool(body.get("include_documents", False))
+    with session.lock:
+        out = run_sweep(
+            session, body.get("sweep"), include_documents=include
+        )
+    return {"session": sid, "revision": session.revision, **out}
+
+
+def handle_get(table: SessionTable, sid: str) -> dict:
+    """``GET /session/{id}`` — parameters, revision, reuse-state sizes."""
+    session = table.get(sid)
+    with session.lock:
+        return session.describe()
+
+
+def handle_delete(table: SessionTable, sid: str) -> dict:
+    """``DELETE /session/{id}`` — close and free, deterministically."""
+    if not table.delete(sid):
+        raise SessionNotFound(sid)
+    return {"session": sid, "deleted": True}
+
+
+def mint_session_id() -> str:
+    """A fresh session id — the router's stickiness key."""
+    return uuid.uuid4().hex
+
+
+def session_route(path: str) -> Optional[tuple]:
+    """``(verb, sid)`` for a ``/session`` URL path, or ``None``.
+
+    ``/session`` -> ``("create", None)``; ``/session/{id}`` ->
+    ``("entity", id)`` (GET describes, DELETE frees);
+    ``/session/{id}/edit|sweep`` -> that verb.  Shared by the
+    single-process server and the cluster router so the two tiers
+    cannot drift on the URL shape.
+    """
+    parts = [p for p in path.split("/") if p]
+    if not parts or parts[0] != "session":
+        return None
+    if len(parts) == 1:
+        return ("create", None)
+    if len(parts) == 2:
+        return ("entity", parts[1])
+    if len(parts) == 3 and parts[2] in ("edit", "sweep"):
+        return (parts[2], parts[1])
+    return None

@@ -1,0 +1,170 @@
+"""Edit operations over a live session — re-do only what changed.
+
+Two operation kinds, mirroring the knobs the distribution model
+actually has:
+
+* ``set_param`` — move ``H``, the machine's ``alpha`` (per-message
+  latency) or ``beta`` (per-element bandwidth), or one ``env``
+  parameter binding;
+* ``edit_phase`` — clamp or pin one phase's CYCLIC(p) chunk
+  (``chunk=N`` pins, ``min_chunk``/``max_chunk`` bound, ``clear``
+  removes the clamp).
+
+Applying an edit re-fingerprints only the touched phase-arrays (for
+these parameter-level edits: none — the structure is unchanged) and the
+follow-up solve re-analyzes only LCG edges whose fingerprints miss the
+session's warm cache; the returned ``reuse`` counters
+(``edges_reused``/``edges_recomputed``) are the proof.  An ``H`` or
+``env`` edit re-binds every edge fingerprint, so the first solve after
+it recomputes edges once and later returns to full reuse; machine and
+chunk-bound edits leave the LCG binding untouched and reuse every edge.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .state import Session, SessionError
+
+__all__ = ["apply_edit", "apply_edits"]
+
+_PARAM_KEYS = ("H", "alpha", "beta")
+
+
+def _as_int(value, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SessionError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def _as_cost(value, what: str) -> float:
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        raise SessionError(
+            f"{what} must be a number, got {value!r}"
+        ) from None
+    if not out >= 0.0:
+        raise SessionError(f"{what} must be >= 0, got {value!r}")
+    return out
+
+
+def _set_param(session: Session, op: Mapping) -> str:
+    key = op.get("key")
+    if not isinstance(key, str) or not key:
+        raise SessionError("set_param needs a string 'key'")
+    value = op.get("value")
+    if key == "H":
+        H = _as_int(value, "H")
+        if H < 1:
+            raise SessionError(f"H must be >= 1, got {H}")
+        session.H = H
+        return f"H={H}"
+    if key in ("alpha", "beta"):
+        if value is None:
+            setattr(session, key, None)
+            return f"{key}=default"
+        cost = _as_cost(value, key)
+        setattr(session, key, cost)
+        return f"{key}={cost}"
+    if key in session.env:
+        session.env[key] = _as_int(value, f"env {key}")
+        return f"env {key}={value}"
+    raise SessionError(
+        f"unknown parameter {key!r}: expected H, alpha, beta or one of "
+        f"{', '.join(sorted(session.env))}"
+    )
+
+
+def _edit_phase(session: Session, op: Mapping) -> str:
+    phase = op.get("phase")
+    names = session.phase_names()
+    if phase not in names:
+        raise SessionError(
+            f"unknown phase {phase!r}: expected one of {', '.join(names)}"
+        )
+    if op.get("clear"):
+        session.bounds.pop(phase, None)
+        return f"{phase} bounds cleared"
+    if "chunk" in op:
+        pin = _as_int(op["chunk"], "chunk")
+        if pin < 1:
+            raise SessionError(f"chunk must be >= 1, got {pin}")
+        session.bounds[phase] = (pin, pin)
+        return f"{phase} chunk pinned to {pin}"
+    lo_prev, hi_prev = session.bounds.get(phase, (1, 1 << 31))
+    lo = (
+        _as_int(op["min_chunk"], "min_chunk")
+        if "min_chunk" in op
+        else lo_prev
+    )
+    hi = (
+        _as_int(op["max_chunk"], "max_chunk")
+        if "max_chunk" in op
+        else hi_prev
+    )
+    if not (1 <= lo <= hi):
+        raise SessionError(
+            f"need 1 <= min_chunk <= max_chunk, got {lo}..{hi}"
+        )
+    if "min_chunk" not in op and "max_chunk" not in op:
+        raise SessionError(
+            "edit_phase needs 'chunk', 'min_chunk'/'max_chunk' or 'clear'"
+        )
+    session.bounds[phase] = (lo, hi)
+    return f"{phase} chunk bounded to {lo}..{hi}"
+
+
+def apply_edit(session: Session, op: Mapping) -> dict:
+    """Apply one edit operation; the session's parameters move in place.
+
+    Returns ``{"applied", "refingerprinted"}``.  Raises
+    :class:`SessionError` (a 400, client-correctable) on any malformed
+    or unknown operation — the session is left unchanged in that case.
+    """
+    if not isinstance(op, Mapping):
+        raise SessionError(f"edit op must be an object, got {op!r}")
+    kind = op.get("op")
+    touched_phases: set = set()
+    if kind == "set_param":
+        applied = _set_param(session, op)
+    elif kind == "edit_phase":
+        applied = _edit_phase(session, op)
+        # Parameter-level phase edits do not alter the IR, so the
+        # structural fingerprints of the touched phase cannot move —
+        # refingerprint() proves it (and would catch a future edit kind
+        # that does mutate descriptors).
+        touched_phases = {op.get("phase")}
+    else:
+        raise SessionError(
+            f"unknown edit op {kind!r}: expected set_param or edit_phase"
+        )
+    changed = session.refingerprint(touched_phases)
+    return {"applied": applied, "refingerprinted": changed}
+
+
+def apply_edits(session: Session, ops) -> dict:
+    """Apply a sequence of edits atomically, then re-solve.
+
+    Validation-first: every op is checked by applying against the live
+    session under its lock; the first bad op raises and the solve never
+    runs (earlier ops in the batch do stick — the service treats a 400
+    edit as "fix the op and resend", and resending is idempotent for
+    every op kind).
+    """
+    if not isinstance(ops, (list, tuple)) or not ops:
+        raise SessionError("'ops' must be a non-empty list of edit ops")
+    applied = []
+    refingerprinted = 0
+    for op in ops:
+        out = apply_edit(session, op)
+        applied.append(out["applied"])
+        refingerprinted += out["refingerprinted"]
+    session.revision += 1
+    solved = session.solve()
+    return {
+        "applied": applied,
+        "refingerprinted": refingerprinted,
+        "revision": session.revision,
+        **solved,
+    }

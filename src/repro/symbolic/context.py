@@ -20,6 +20,7 @@ means "could not prove" and callers must stay conservative.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping, Optional, Sequence
@@ -54,11 +55,35 @@ __all__ = ["LoopVar", "Context"]
 _NONNEG_CACHE: dict = {}
 _NONNEG_CACHE_MAX = 1 << 18
 
-#: Optional recording hook armed by the plan compiler
-#: (:mod:`repro.plan`): called as ``hook(ctx, ctx_fp, expr, verdict)``
-#: for every is_nonneg query — including memo hits, so a warm process
-#: still records full coverage.  ``None`` costs one load per query.
-_NONNEG_RECORD = None
+#: Recording hooks armed by the plan compiler (:mod:`repro.plan`):
+#: each is called as ``hook(ctx, ctx_fp, expr, verdict)`` for every
+#: is_nonneg query — including memo hits, so a warm process still
+#: records full coverage.  A *tuple* of hooks (copy-on-write under
+#: ``_RECORD_LOCK``) so any number of concurrent recorders — one per
+#: in-flight server request — observe every query; the common empty
+#: case costs one load + falsy check per query.  (``None`` is tolerated
+#: as empty for older test fixtures that reset the global directly.)
+_NONNEG_RECORD: tuple = ()
+_RECORD_LOCK = threading.Lock()
+
+
+def _add_nonneg_record(hook) -> None:
+    """Arm ``hook`` (idempotent per object identity)."""
+    global _NONNEG_RECORD
+    with _RECORD_LOCK:
+        current = _NONNEG_RECORD or ()
+        if any(h is hook for h in current):
+            return
+        _NONNEG_RECORD = current + (hook,)
+
+
+def _remove_nonneg_record(hook) -> None:
+    """Disarm ``hook``; unknown hooks are ignored."""
+    global _NONNEG_RECORD
+    with _RECORD_LOCK:
+        _NONNEG_RECORD = tuple(
+            h for h in (_NONNEG_RECORD or ()) if h is not hook
+        )
 
 
 def _nonneg_store(key, result, obs=None) -> None:
@@ -278,15 +303,17 @@ class Context:
         if cached is not None:
             if obs is not None:
                 obs.count("prover.cache_hits")
-            if record is not None:
-                record(self, key[0], expr, cached)
+            if record:
+                for hook in record:
+                    hook(self, key[0], expr, cached)
             return cached
         result = self._is_nonneg_uncached(expr, _depth)
         if obs is not None and result:
             obs.count("prover.proved")
         _nonneg_store(key, result, obs)
-        if record is not None:
-            record(self, key[0], expr, result)
+        if record:
+            for hook in record:
+                hook(self, key[0], expr, result)
         return result
 
     def _is_nonneg_uncached(self, expr: Expr, _depth: int) -> bool:

@@ -80,11 +80,11 @@ class TestProxyPath:
             assert sorted(health["ring"]) == [0, 1]
 
             metrics = client.metrics()
-            assert metrics["counters"]["router.routed"] == 3
-            # affinity: the repeat landed on the same shard, whose
-            # result LRU already held the answer
-            counters = metrics["workers"]["counters"]
-            assert counters.get("analyze.result_cache_hits", 0) >= 1
+            # the repeat is answered by the router's own result LRU and
+            # never dispatched; only the two unique requests were routed
+            assert metrics["counters"]["router.routed"] == 2
+            assert metrics["counters"]["router.lru_hit"] == 1
+            assert metrics["result_cache"]["hits"] == 1
             assert metrics["workers"]["count"] == 2
 
     def test_draining_router_rejects_new_work(self):

@@ -156,6 +156,41 @@ class TestCheckExec:
         assert "no tfft2 entry" in bench.check_exec(payload, 20.0)
 
 
+def _sweep_payload(**overrides):
+    section = {
+        "points": 16,
+        "identical": True,
+        "front_size": 3,
+        "speedup": 7.0,
+    }
+    section.update(overrides)
+    return {"sweep": section}
+
+
+class TestCheckSweep:
+    def test_healthy_payload_passes(self):
+        assert bench.check_sweep(_sweep_payload(), 5.0) is None
+
+    def test_missing_section_reported(self):
+        assert "no sweep section" in bench.check_sweep({"schema": 6}, 5.0)
+
+    def test_too_few_points(self):
+        error = bench.check_sweep(_sweep_payload(points=8), 5.0)
+        assert error is not None and "at least 16" in error
+
+    def test_identity_violation(self):
+        error = bench.check_sweep(_sweep_payload(identical=False), 5.0)
+        assert error is not None and "soundness" in error
+
+    def test_degenerate_front(self):
+        error = bench.check_sweep(_sweep_payload(front_size=1), 5.0)
+        assert error is not None and "Pareto" in error
+
+    def test_speedup_floor(self):
+        error = bench.check_sweep(_sweep_payload(speedup=2.0), 5.0)
+        assert error is not None and "perf regression" in error
+
+
 class TestSwitches:
     def test_set_optimizations_flips_every_layer(self):
         import repro.dsm.executor as executor
@@ -194,10 +229,11 @@ class TestHarness:
         monkeypatch.setattr(bench, "QUICK_H", 2)
         monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 32}})
         payload = run_benchmark(quick_only=True)
-        assert payload["schema"] == 5
+        assert payload["schema"] == 6
         assert "full" not in payload
         assert "lcg_full" not in payload
         assert "exec" not in payload
+        assert "sweep" not in payload
         assert "lcg_warm" in payload["stages"]
         assert "exec_symbolic" in payload["stages"]
         quick = payload["quick"]
@@ -234,6 +270,26 @@ class TestHarness:
         assert rec["counts_equal"] is True
         assert rec["speedup_static"] > 0 and rec["speedup_plan"] > 0
         assert "dsm.fast_path.symbolic" in rec["fallbacks"]
+        json.dumps(section)
+
+    def test_sweep_section_shape(self, monkeypatch):
+        monkeypatch.setattr(bench, "SWEEP_CODE", "jacobi")
+        monkeypatch.setattr(bench, "SWEEP_H", 4)
+        monkeypatch.setattr(
+            bench, "SWEEP_GRID", {"H": [2, 4], "chunk:F_sweep": [2, 4]}
+        )
+        monkeypatch.setattr(
+            bench, "FRONT_GRID", {"chunk:F_sweep": list(range(1, 13))}
+        )
+        monkeypatch.setattr(bench, "QUICK_SIZES", {"jacobi": {"N": 256}})
+        section = bench._run_sweep_section(lambda s: None)
+        assert section["points"] == 4
+        # the headline property, independent of host speed: the warm
+        # and cold paths produced byte-identical documents per point
+        assert section["identical"] is True
+        assert section["speedup"] > 0
+        assert section["front_size"] >= 2
+        assert section["reuse"]["edges_reused"] > 0
         json.dumps(section)
 
     def test_large_H_section_gates_plan(self, monkeypatch):

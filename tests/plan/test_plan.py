@@ -33,7 +33,7 @@ def _cold_process():
     clear_caches()
     yield
     clear_caches()
-    _context._NONNEG_RECORD = None
+    _context._NONNEG_RECORD = ()
 
 
 def _run(name, H=4, **kwargs):
@@ -189,23 +189,29 @@ class TestPlanObject:
         clear_caches()
         assert install_plan(clone) is True
 
-    def test_nested_recorder_is_inert(self):
+    def test_concurrent_recorders_both_record(self):
         builder, env, back = ALL_CODES["jacobi"]
         program = builder()
         outer = PlanRecorder()
-        inner = PlanRecorder()  # hook already armed -> inert
-        assert outer.active and not inner.active
+        inner = PlanRecorder()  # concurrent recorders each capture
+        assert outer.active and inner.active
+        assert len(_context._NONNEG_RECORD) == 2
         analyze(program, env=env, H=4, back_edges=back)
-        assert inner.finish(program, env=env, H_value=4) is None
+        inner_plan = inner.finish(
+            program, env=env, H_value=4, back_edges=back
+        )
         plan = outer.finish(program, env=env, H_value=4, back_edges=back)
-        assert plan is not None
-        assert _context._NONNEG_RECORD is None
+        assert plan is not None and inner_plan is not None
+        assert len(inner_plan.nonneg) == len(plan.nonneg)
+        assert not _context._NONNEG_RECORD
+        # finishing twice stays disarmed and returns None
+        assert inner.finish(program, env=env, H_value=4) is None
 
     def test_abandon_disarms_hook(self):
         recorder = PlanRecorder()
-        assert _context._NONNEG_RECORD is not None
+        assert _context._NONNEG_RECORD
         recorder.abandon()
-        assert _context._NONNEG_RECORD is None
+        assert not _context._NONNEG_RECORD
 
     def test_edge_fps_for_rejects_length_drift(self):
         from repro.locality.lcg import edge_work_items
