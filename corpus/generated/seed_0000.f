@@ -1,0 +1,29 @@
+! env: M=8,N=128
+! seed: 0
+program fuzz_0000
+  param N
+  param M
+  array A(128)
+  array B(128)
+  array C(1144)
+  array D(255)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = 0, i
+        C(2 * j) = f(C(i))
+        C(M * i + j) = f(C(i))
+      end do
+      C(3 * i) = f(C(i), B(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      do j = 0, i
+        D(N - 1 - i) = f(D(i + j))
+      end do
+      B(N - 1 - i) = f(A(i), B(i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,16 @@
+! env: N=128
+! seed: 1
+program fuzz_0001
+  param N
+  array A(128)
+  array B(128)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      if (i == 64) then
+        D(N - 1 - i) = f(B(i), A(i))
+      end if
+    end doall
+  end phase
+end program

@@ -1,0 +1,17 @@
+! env: q=7
+! seed: 2
+program fuzz_0002
+  param q
+  array B(128)
+  array C(129)
+  array D(130)
+
+  phase F0
+    doall i = 0, 2 ** q - 1
+      C(i + 1) = f(D(2 ** q - 1 - i))
+      if (i == 3) then
+        C(i) = f(D(i + 2), B(i))
+      end if
+    end doall
+  end phase
+end program

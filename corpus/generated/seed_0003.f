@@ -1,0 +1,16 @@
+! env: N=128
+! seed: 3
+program fuzz_0003
+  param N
+  array A(128)
+  array B(128)
+  array C(128)
+
+  phase F0
+    doall i = 0, N - 1
+      if (i < 64) then
+        A(i) = f(C(i), B(i))
+      end if
+    end doall
+  end phase
+end program

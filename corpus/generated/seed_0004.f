@@ -1,0 +1,16 @@
+! env: N=128
+! seed: 4
+program fuzz_0004
+  param N
+  array A(128)
+  array C(129)
+
+  phase F0
+    doall i = 0, N - 1
+      A(i) = f(C(i), A(i))
+      if (i < 64) then
+        C(i) = f(C(i), C(i + 1))
+      end if
+    end doall
+  end phase
+end program

@@ -1,0 +1,47 @@
+! env: K=8,M=4,N=128,q=7
+! seed: 5
+program fuzz_0005
+  param N
+  param q
+  param M
+  param K
+  array A(513)
+  array B(131)
+  array C(129)
+  array D(129)
+
+  phase F0
+    doall i = 0, N - 1
+      A(i) = f(B(N - 1 - i), A(i))
+      if (i == 64) then
+        A(i) = f(A(N - 1 - i))
+      end if
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, 2 ** q - 1
+      do j = M - 1, 0, -1
+        do k = 0, K - 1
+          if (i <= i) then
+            B(i + j) = f(C(i + 1))
+          end if
+        end do
+      end do
+      do j = M, M - 1
+        if (j <= i) then
+          C(j) = f(A(M * i + j), C(j))
+        end if
+        if (j >= i) then
+          B(2 * j) = f(C(j))
+        end if
+      end do
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      D(i + 1) = f(A(N - 1 - i), B(i))
+    end doall
+  end phase
+end program

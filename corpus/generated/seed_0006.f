@@ -1,0 +1,32 @@
+! env: M=3,N=128
+! seed: 6
+program fuzz_0006
+  param N
+  param M
+  array A(128)
+  array B(128)
+  array C(130)
+  array D(130)
+
+  phase F0
+    doall i = 0, N - 1
+      A(i) = f(C(i + 2), D(i))
+      do j = M - 1, 0, -1
+        C(N - 1 - i) = f(D(i + 2))
+      end do
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      A(i) = f(C(i))
+      B(i) = f(D(i), B(i))
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      B(i) = f(C(i + 1), B(i))
+    end doall
+  end phase
+end program

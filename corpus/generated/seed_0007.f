@@ -1,0 +1,33 @@
+! env: K=3,M=4,N=128,q=7
+! seed: 7
+program fuzz_0007
+  param N
+  param M
+  param K
+  param q
+  array A(128)
+  array B(128)
+  array C(128)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      A(i) = f(C(i))
+      do j = 0, i
+        do k = K - 1, 0, -1
+          if (j < i) then
+            B(N - 1 - i) = f(D(i))
+          end if
+        end do
+      end do
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, 2 ** q - 1
+      if (i < 1) then
+        C(i) = f(A(i))
+      end if
+    end doall
+  end phase
+end program

@@ -1,0 +1,26 @@
+! env: K=4,M=3,N=128
+! seed: 8
+program fuzz_0008
+  param N
+  param M
+  param K
+  array A(131)
+  array B(384)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = M, M - 1
+        do k = 0, K - 1
+          D(3 * j) = f(B(i + j), D(j))
+          if (i == 2) then
+            D(2 * k) = f(A(i + j), A(3 * k))
+          end if
+        end do
+      end do
+      do j = 0, M - 1
+        D(N - 1 - i) = f(B(M * i + j))
+      end do
+    end doall
+  end phase
+end program

@@ -1,0 +1,28 @@
+! env: M=3,N=128
+! seed: 9
+program fuzz_0009
+  param N
+  param M
+  array A(382)
+  array B(385)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = M, M - 1
+        A(i + 2) = f(D(N - 1 - i))
+        B(i) = f(B(M * i + j))
+      end do
+      A(i) = f(A(i + 1), D(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      if (i <= 1) then
+        A(3 * i) = f(B(i), D(N - 1 - i))
+      end if
+      A(i) = f(A(i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,36 @@
+! env: M=6,q=7
+! seed: 10
+program fuzz_0010
+  param q
+  param M
+  array A(128)
+  array B(382)
+  array C(255)
+  array D(129)
+
+  phase F0
+    doall i = 0, 2 ** q - 1
+      B(3 * i) = f(A(i))
+      A(i) = f(D(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, 2 ** q - 1
+      if (i >= 3) then
+        D(i) = f(B(3 * i), D(i))
+      end if
+      do j = 0, M - 1
+        B(j + 2) = f(A(2 ** q - 1 - i), C(i + j))
+        B(2 * i) = f(D(i + 1))
+      end do
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, 2 ** q - 1
+      B(i) = f(B(i), B(i + 2))
+      C(i) = f(C(2 * i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,34 @@
+! env: K=3,M=3,N=128
+! seed: 11
+program fuzz_0011
+  param N
+  param M
+  param K
+  array A(255)
+  array B(385)
+  array C(255)
+  array D(255)
+
+  phase F0
+    doall i = 0, N - 1
+      B(i) = f(A(2 * i))
+      do j = M, M - 1
+        B(M * i + j) = f(A(i))
+        do k = 0, K - 1
+          if (k <= 1) then
+            C(2 * i) = f(C(2 * k), C(i + 2))
+          end if
+          if (k == 1) then
+            A(i + j) = f(D(i), A(i))
+          end if
+        end do
+      end do
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      D(2 * i) = f(C(i), C(i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,28 @@
+! env: M=6,N=128
+! seed: 12
+program fuzz_0012
+  param N
+  param M
+  array A(768)
+  array B(128)
+  array C(128)
+  array D(130)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = 0, M - 1
+        if (j <= 3) then
+          A(N - 1 - i) = f(D(i + 2))
+        end if
+        A(M * i + j) = f(A(M * i + j))
+      end do
+      C(N - 1 - i) = f(A(i), B(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      B(i) = f(B(N - 1 - i), A(i))
+    end doall
+  end phase
+end program

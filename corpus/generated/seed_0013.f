@@ -1,0 +1,20 @@
+! env: N=128
+! seed: 13
+program fuzz_0013
+  param N
+  array A(255)
+  array B(128)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      B(i) = f(B(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      A(2 * i) = f(B(i), D(N - 1 - i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,15 @@
+! env: N=128
+! seed: 14
+program fuzz_0014
+  param N
+  array A(130)
+  array C(382)
+
+  phase F0
+    doall i = 0, N - 1
+      if (i >= 64) then
+        A(N - 1 - i) = f(C(3 * i), A(i + 2))
+      end if
+    end doall
+  end phase
+end program

@@ -1,0 +1,16 @@
+! env: M=3,q=7
+! seed: 15
+program fuzz_0015
+  param q
+  param M
+  array B(130)
+  array D(128)
+
+  phase F0
+    doall i = 0, 2 ** q - 1
+      do j = 0, M - 1
+        B(i + j) = f(B(j), D(2 ** q - 1 - i))
+      end do
+    end doall
+  end phase
+end program

@@ -1,0 +1,27 @@
+! env: N=128
+! seed: 16
+program fuzz_0016
+  param N
+  array A(128)
+  array B(382)
+  array C(255)
+  array D(382)
+
+  phase F0
+    doall i = 0, N - 1
+      D(i) = f(B(N - 1 - i), B(i))
+      if (i <= 64) then
+        C(i) = f(A(i), D(2 * i))
+      end if
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      if (i >= 64) then
+        D(3 * i) = f(C(i))
+      end if
+      B(3 * i) = f(C(2 * i), B(N - 1 - i))
+    end doall
+  end phase
+end program

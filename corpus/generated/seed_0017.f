@@ -1,0 +1,35 @@
+! env: M=3,N=128,q=7
+! seed: 17
+program fuzz_0017
+  param N
+  param q
+  param M
+  array A(130)
+  array B(128)
+  array C(382)
+  array D(130)
+
+  phase F0
+    doall i = 0, N - 1
+      C(i) = f(A(i))
+      D(i + 2) = f(A(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, 2 ** q - 1
+      if (i < 64) then
+        C(3 * i) = f(D(i))
+      end if
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      do j = 0, M - 1, 3
+        C(M * i + j) = f(D(i))
+      end do
+      B(i) = f(A(i + 2), B(N - 1 - i))
+    end doall
+  end phase
+end program

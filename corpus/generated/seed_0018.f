@@ -1,0 +1,19 @@
+! env: M=6,q=7
+! seed: 18
+program fuzz_0018
+  param q
+  param M
+  array A(129)
+  array D(768)
+
+  phase F0
+    doall i = 0, 2 ** q - 1
+      if (i == 3) then
+        D(i) = f(D(i + 2), A(i + 1))
+      end if
+      do j = 0, M - 1
+        D(j) = f(A(j + 1), D(M * i + j))
+      end do
+    end doall
+  end phase
+end program

@@ -1,0 +1,33 @@
+! env: M=4,N=128,q=7
+! seed: 19
+program fuzz_0019
+  param q
+  param N
+  param M
+  array A(512)
+  array B(128)
+  array C(128)
+  array D(255)
+
+  phase F0
+    doall i = 0, 2 ** q - 1
+      D(i + 1) = f(A(i + 2), C(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, 2 ** q - 1
+      A(i) = f(A(i))
+      D(i) = f(A(2 * i))
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      D(2 * i) = f(B(i), A(i))
+      do j = 0, M - 1
+        A(M * i + j) = f(A(2 * j), D(i + j))
+      end do
+    end doall
+  end phase
+end program

@@ -1,0 +1,39 @@
+! env: M=6,N=128,q=7
+! seed: 20
+program fuzz_0020
+  param N
+  param q
+  param M
+  array A(129)
+  array B(255)
+  array C(382)
+  array D(129)
+
+  phase F0
+    doall i = 0, N - 1
+      if (i >= 64) then
+        B(i) = f(A(i), C(3 * i))
+      end if
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, 2 ** q - 1
+      C(i + 1) = f(D(i), B(i))
+      do j = 0, M - 1
+        if (j < i) then
+          A(i + 1) = f(A(j))
+        end if
+        if (j == i) then
+          B(2 ** q - 1 - i) = f(D(i), D(2 ** q - 1 - i))
+        end if
+      end do
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      D(i + 1) = f(B(2 * i))
+    end doall
+  end phase
+end program

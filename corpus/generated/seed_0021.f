@@ -1,0 +1,15 @@
+! env: N=128
+! seed: 21
+program fuzz_0021
+  param N
+  array A(128)
+  array B(128)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      D(i) = f(D(i))
+      B(i) = f(A(i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,23 @@
+! env: K=6,M=6,q=7
+! seed: 22
+program fuzz_0022
+  param q
+  param M
+  param K
+  array A(768)
+  array B(128)
+  array D(128)
+
+  phase F0
+    doall i = 0, 2 ** q - 1
+      do j = 0, M - 1
+        do k = 0, K - 1
+          D(2 ** q - 1 - i) = f(A(M * i + j))
+        end do
+      end do
+      if (i <= 3) then
+        B(i) = f(A(2 ** q - 1 - i))
+      end if
+    end doall
+  end phase
+end program

@@ -1,0 +1,34 @@
+! env: K=6,M=8,N=128
+! seed: 23
+program fuzz_0023
+  param N
+  param M
+  param K
+  array A(128)
+  array B(128)
+  array C(1023)
+  array D(129)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = 0, M - 1, 3
+        do k = 0, K - 1
+          if (k < i) then
+            A(k) = f(D(k), D(i + 1))
+          end if
+          C(N - 1 - i) = f(B(N - 1 - i))
+        end do
+        if (j >= 3) then
+          C(M * i + j) = f(D(j))
+        end if
+      end do
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      B(i) = f(B(i), A(i))
+      C(i) = f(C(i), C(i))
+    end doall
+  end phase
+end program

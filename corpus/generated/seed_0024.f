@@ -1,0 +1,30 @@
+! env: M=4,N=128
+! seed: 24
+program fuzz_0024
+  param N
+  param M
+  array A(128)
+  array B(129)
+  array C(382)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = 0, M - 1
+        A(N - 1 - i) = f(C(N - 1 - i))
+      end do
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      A(i) = f(D(N - 1 - i), C(3 * i))
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      C(i) = f(B(i + 1))
+    end doall
+  end phase
+end program

@@ -1,0 +1,30 @@
+! env: K=8,M=8,N=128
+! seed: 25
+program fuzz_0025
+  param N
+  param M
+  param K
+  array A(1023)
+  array B(128)
+  array C(1023)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = 0, M - 1, 2
+        do k = 0, K - 1
+          A(M * i + j) = f(C(i + j))
+        end do
+        C(M * i + j) = f(A(i + j), A(M * i + j))
+      end do
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      if (i == 4) then
+        A(i) = f(B(N - 1 - i))
+      end if
+      A(i) = f(A(i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,32 @@
+! env: M=8,N=128
+! seed: 26
+program fuzz_0026
+  param N
+  param M
+  array A(1024)
+  array B(1024)
+  array D(255)
+
+  phase F0
+    doall i = 0, N - 1
+      A(i) = f(B(N - 1 - i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      D(N - 1 - i) = f(A(N - 1 - i))
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      do j = 0, M - 1
+        if (i >= i) then
+          A(M * i + j) = f(A(3 * j))
+        end if
+        D(2 * i) = f(B(M * i + j), D(i + j))
+      end do
+    end doall
+  end phase
+end program

@@ -1,0 +1,31 @@
+! env: M=6,N=128
+! seed: 27
+program fuzz_0027
+  param N
+  param M
+  array A(128)
+  array B(128)
+  array C(768)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      B(i) = f(C(i + 2), B(i))
+      A(N - 1 - i) = f(D(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      C(i) = f(B(i), C(i))
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      do j = M - 1, 0, -1
+        A(j) = f(C(M * i + j))
+      end do
+    end doall
+  end phase
+end program

@@ -1,0 +1,26 @@
+! env: K=8,M=8,N=128
+! seed: 28
+program fuzz_0028
+  param N
+  param M
+  param K
+  array A(1025)
+  array B(1025)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = M, M - 1
+        do k = 0, K - 1
+          B(M * i + j) = f(B(j))
+        end do
+        do k = 0, K - 1
+          B(k) = f(B(N - 1 - i), D(i))
+          if (j >= 4) then
+            A(M * i + j) = f(A(M * i + j), D(i))
+          end if
+        end do
+      end do
+    end doall
+  end phase
+end program

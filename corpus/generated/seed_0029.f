@@ -1,0 +1,42 @@
+! env: M=8,N=128,q=7
+! seed: 29
+program fuzz_0029
+  param q
+  param M
+  param N
+  array A(134)
+  array B(134)
+  array C(128)
+  array D(255)
+
+  phase F0
+    doall i = 0, 2 ** q - 1
+      do j = 0, M - 1, 3
+        A(i + j) = f(B(i + j), C(j))
+      end do
+      if (i <= 4) then
+        D(i) = f(D(2 ** q - 1 - i), B(i))
+      end if
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      if (i == 4) then
+        D(i) = f(C(i))
+      end if
+      if (i == 4) then
+        A(N - 1 - i) = f(B(i + 2), A(i))
+      end if
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      D(2 * i) = f(B(N - 1 - i), C(i))
+      if (i <= 4) then
+        D(i) = f(A(N - 1 - i))
+      end if
+    end doall
+  end phase
+end program

@@ -1,0 +1,33 @@
+! env: M=8,N=128
+! seed: 30
+program fuzz_0030
+  param N
+  param M
+  array A(255)
+  array B(135)
+  array C(129)
+  array D(1024)
+
+  phase F0
+    doall i = 0, N - 1
+      B(i + 2) = f(B(i), A(i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      do j = 0, M - 1
+        A(2 * i) = f(D(M * i + j), A(N - 1 - i))
+        if (i >= 4) then
+          B(i + j) = f(C(i + 1), B(N - 1 - i))
+        end if
+      end do
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      C(i) = f(C(i), D(i))
+    end doall
+  end phase
+end program

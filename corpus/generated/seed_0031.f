@@ -1,0 +1,17 @@
+! env: M=4,N=128
+! seed: 31
+program fuzz_0031
+  param N
+  param M
+  array A(128)
+  array B(128)
+
+  phase F0
+    doall i = 0, N - 1
+      do j = 0, M - 1
+        B(i) = f(B(j))
+      end do
+      B(i) = f(A(i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,14 @@
+! env: N=128
+! seed: 32
+program fuzz_0032
+  param N
+  array A(129)
+
+  phase F0
+    doall i = 0, N - 1
+      if (i == 64) then
+        A(N - 1 - i) = f(A(i + 1))
+      end if
+    end doall
+  end phase
+end program

@@ -1,0 +1,30 @@
+! env: N=128,q=7
+! seed: 33
+program fuzz_0033
+  param q
+  param N
+  array A(128)
+  array B(128)
+  array C(382)
+  array D(130)
+
+  phase F0
+    doall i = 0, 2 ** q - 1
+      C(3 * i) = f(D(i + 2), D(i + 1))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      C(i + 1) = f(C(i + 1))
+      A(N - 1 - i) = f(B(i), C(i + 2))
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      D(i) = f(C(i))
+      A(i) = f(A(i))
+    end doall
+  end phase
+end program

@@ -1,0 +1,29 @@
+! env: N=128,q=7
+! seed: 34
+program fuzz_0034
+  param N
+  param q
+  array A(255)
+  array B(128)
+  array C(382)
+  array D(128)
+
+  phase F0
+    doall i = 0, N - 1
+      A(2 * i) = f(C(i + 1), A(i + 1))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      C(i + 2) = f(C(i + 2))
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, 2 ** q - 1
+      B(i) = f(D(i), A(i))
+      A(i) = f(C(3 * i), B(i))
+    end doall
+  end phase
+end program

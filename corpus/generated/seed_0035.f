@@ -1,0 +1,29 @@
+! env: N=128
+! seed: 35
+program fuzz_0035
+  param N
+  array A(128)
+  array B(130)
+  array C(128)
+  array D(130)
+
+  phase F0
+    doall i = 0, N - 1
+      B(i + 2) = f(C(N - 1 - i))
+    end doall
+  end phase
+
+  phase F1
+    doall i = 0, N - 1
+      if (i < 64) then
+        D(i + 2) = f(A(i), C(i))
+      end if
+    end doall
+  end phase
+
+  phase F2
+    doall i = 0, N - 1
+      C(i) = f(A(N - 1 - i))
+    end doall
+  end phase
+end program

@@ -9,7 +9,6 @@ degradation paths still produce sound answers), and fails loudly —
 from __future__ import annotations
 
 import argparse
-import math
 import sys
 from contextlib import ExitStack
 from typing import Optional, Sequence, Tuple
@@ -26,15 +25,17 @@ DEFAULT_H = (16, 64, 256)
 def env_for(name: str, env: dict, H: int) -> dict:
     """Scale a program's reference env so it stays meaningful at ``H``.
 
-    tfft2's reference problem iterates over ``P = 2**p`` points; with
-    fewer iterations than processors the Eq. 7 program is genuinely
-    infeasible (nothing to balance), so grow the problem with the
-    machine instead of reporting a vacuous run.
+    With fewer parallel iterations than processors the Eq. 7 program is
+    genuinely infeasible (nothing to balance), so grow the problem with
+    the machine instead of reporting a vacuous run.  Scaling rules live
+    with the codes themselves (:data:`repro.codes.ENV_SCALERS`); a code
+    without a registered scaler is a hard, typed error — checking an
+    unscaled env silently is precisely the vacuous pass this sweep
+    exists to rule out.
     """
-    if name == "tfft2":
-        exp = max(env["p"], int(math.ceil(math.log2(max(H, 2)))))
-        return {"P": 2 ** exp, "p": exp, "Q": 2 ** exp, "q": exp}
-    return dict(env)
+    from ..codes import scaled_env
+
+    return scaled_env(name, env, H)
 
 
 def run_checks(

@@ -63,15 +63,27 @@ def descriptor_region(pd, env, parallel_iteration=None) -> Optional[np.ndarray]:
     records the pair as unchecked rather than mismatched.  Rows whose
     evaluated count is < 1 in any dimension are zero-trip: they
     contribute no addresses.
+
+    A row can also fail enumeration with a free symbol the env does not
+    bind: a triangular bound keeps the *parallel* loop's index inside a
+    sequential count, which ``is_self_contained`` cannot see (the
+    symbol is no dim of the row, so it looks like a plain parameter).
+    Such rows denote an iteration-dependent family of regions, not one
+    region — the same non-enumerable case, reported the same way.
     """
     chunks = []
-    for row in pd.rows:
-        if not row.is_self_contained():
-            return None
-        counts = (_evalf_int(d.count, env) for d in row.dims)
-        if any(c < 1 for c in counts):
-            continue
-        chunks.append(row_addresses(row, env, parallel_iteration=parallel_iteration))
+    try:
+        for row in pd.rows:
+            if not row.is_self_contained():
+                return None
+            counts = (_evalf_int(d.count, env) for d in row.dims)
+            if any(c < 1 for c in counts):
+                continue
+            chunks.append(
+                row_addresses(row, env, parallel_iteration=parallel_iteration)
+            )
+    except KeyError:
+        return None
     if not chunks:
         return np.empty(0, dtype=np.int64)
     return np.unique(np.concatenate(chunks))
@@ -224,9 +236,19 @@ def _check_symmetry(report, phase, array, ctx, env, lo, trip, outside, *, obs=No
             )
         )
         return
-    claimed = sum(
-        _evalf_int(entry[2], env) for entry in (intra.symmetry.overlap or ())
-    )
+    claimed = 0
+    for entry in intra.symmetry.overlap or ():
+        try:
+            claimed += _evalf_int(entry[2], env)
+        except KeyError:
+            # Iteration-dependent Δs (triangular bounds): the claim has
+            # no single concrete value; it conservatively covers any
+            # measured overlap.  Record the fallback and stop summing.
+            report.notes.append(
+                f"{phase.name}/{array.name}: iteration-dependent Δs "
+                f"claim {entry[2]} taken as covering"
+            )
+            return
     if claimed < measured:
         report.mismatches.append(
             Mismatch(

@@ -28,10 +28,12 @@ Checks per LCG edge ``(F_k, F_g, X)``:
 
 ``lcg.l_edge_traffic`` (residual accesses)
     On phases promised local by a live ``L`` edge, any access the
-    simulator still counts remote must sit within one layout chunk of
-    the iteration's schedule block — the frontier-misalignment halo —
-    never arbitrarily far away.  (Checked for plain ascending
-    block-cyclic layouts, where chunk adjacency is well-defined.)
+    simulator still counts remote must sit within the frontier-
+    misalignment halo of the iteration's schedule block — within
+    ``ceil(Δs / chunk)`` chunks for a claimed overlap distance Δs
+    (at least one chunk) — never arbitrarily far away.  (Checked for
+    plain ascending block-cyclic layouts, where chunk adjacency is
+    well-defined.)
 """
 
 from __future__ import annotations
@@ -63,7 +65,7 @@ def _expected_label(edge) -> str:
     label = classify_edge(
         edge.attr_k, edge.attr_g, edge.intra_k.has_overlap, balanced_ok
     )
-    if label == "L" and not edge.intra_k.holds:
+    if label == "L" and not (edge.intra_k.holds and edge.intra_g.holds):
         label = "C"
     return label
 
@@ -88,7 +90,11 @@ def check_lcg(program, env, H, *, back_edges=(), program_name=None, result=None,
     relaxed = {tuple(t) for t in getattr(plan, "relaxed_edges", ())}
     plans = {(c.edge[0], c.edge[1], c.array): c for c in exec_report.comms}
 
-    promised = set()  # (phase, array) pairs a live L edge promises local
+    # (phase, array) pairs a live L edge promises local, mapped to the
+    # widest claimed overlap distance Δs (the halo the residual check
+    # must tolerate); None when a claim exists but cannot be evaluated
+    # under the env (iteration-dependent Δs) — those pairs are skipped.
+    promised: dict = {}
     for array in lcg.arrays():
         for edge in lcg.edges(array):
             key = (edge.phase_k, edge.phase_g, array)
@@ -128,8 +134,31 @@ def _check_edge(report, program, edge, key, layouts, relaxed, folded, plans,
     comm_bearing = edge.label == "C" or key in relaxed or key in folded
 
     if not comm_bearing:
-        promised.add((phase_k, array))
-        promised.add((phase_g, array))
+        for side, intra in ((phase_k, edge.intra_k), (phase_g, edge.intra_g)):
+            halo = promised.get((side, array), 0)
+            if halo is not None:
+                try:
+                    if intra.symmetry is not None:
+                        for (_, _, dist) in intra.symmetry.overlap:
+                            halo = max(halo, _ev_int(dist, env))
+                    if intra.iteration_descriptor is not None:
+                        # One iteration's reach past its own block: the
+                        # spread of the ID rows at a fixed iteration —
+                        # from the lowest row base to the highest row
+                        # end (e.g. D(i) and D(i+2) are two rows whose
+                        # bases sit 2 apart) — bounds the halo even when
+                        # no overlap pair was claimed.
+                        lo = hi = None
+                        for row in intra.iteration_descriptor.rows:
+                            b = _ev_int(row.base0, env)
+                            e = b + _ev_int(row.extent, env)
+                            lo = b if lo is None else min(lo, b)
+                            hi = e if hi is None else max(hi, e)
+                        if lo is not None:
+                            halo = max(halo, hi - lo)
+                except (KeyError, ValueError):
+                    halo = None
+            promised[(side, array)] = halo
         report.merge_checked("lcg.l_edge_traffic")
         if obs is not None:
             obs.count("check.lcg.l_edge")
@@ -243,9 +272,13 @@ def _check_edge(report, program, edge, key, layouts, relaxed, folded, plans,
 
 
 def _check_residual_remotes(report, program, plan, layouts, promised, env, H, *, obs=None):
-    """Remote accesses on L-promised pairs must be frontier-adjacent."""
+    """Remote accesses on L-promised pairs must stay within the halo."""
     for phase in program.phases:
-        arrays = [a.name for a in phase.arrays() if (phase.name, a.name) in promised]
+        arrays = [
+            a.name
+            for a in phase.arrays()
+            if promised.get((phase.name, a.name)) is not None
+        ]
         if not arrays:
             continue
         par = phase.parallel_loop
@@ -277,9 +310,11 @@ def _check_residual_remotes(report, program, plan, layouts, promised, env, H, *,
                     np.asarray(trace.addresses)[remote] - layout.origin
                 ) // layout.chunk
                 drift = int(np.abs(chunk_index - block).max())
-                if drift > 1:
+                halo = promised[(phase.name, trace.array)]
+                allowed = max(1, -(-halo // layout.chunk))
+                if drift > allowed:
                     far = np.asarray(trace.addresses)[remote][
-                        np.abs(chunk_index - block) > 1
+                        np.abs(chunk_index - block) > allowed
                     ]
                     report.mismatches.append(
                         Mismatch(
@@ -289,7 +324,9 @@ def _check_residual_remotes(report, program, plan, layouts, promised, env, H, *,
                             array=trace.array,
                             detail=(
                                 f"remote access {drift} chunks from iteration "
-                                f"{accesses.iteration}'s block — beyond the frontier halo"
+                                f"{accesses.iteration}'s block — beyond the "
+                                f"frontier halo ({allowed} chunk(s) for "
+                                f"Δs={halo})"
                             ),
                             extra=int(far.size),
                             samples=tuple(int(a) for a in far[:4]),

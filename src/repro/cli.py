@@ -88,6 +88,10 @@ def main(argv=None) -> int:
         from .check.cli import main_check
 
         return main_check(list(argv[1:]))
+    if argv and argv[0] == "fuzz":
+        from .fuzz.cli import main_fuzz
+
+        return main_fuzz(list(argv[1:]))
     if argv and argv[0] == "session":
         from .session.cli import main_session
 
@@ -257,6 +261,8 @@ def main(argv=None) -> int:
     print(f"CYCLIC(p) chunks: {result.plan.phase_chunks}")
     if result.plan.relaxed_edges:
         print(f"relaxed to communication: {result.plan.relaxed_edges}")
+    if getattr(result.plan, "relaxed_storage", None):
+        print(f"storage schemes dropped: {result.plan.relaxed_storage}")
     if args.schedule:
         from .dsm import schedule_communications
 

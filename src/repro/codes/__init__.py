@@ -1,10 +1,26 @@
-"""Benchmark programs: TFFT2 (the paper's running example) plus five
-representative kernels standing in for the six-code PACT'98 suite.
+"""Benchmark programs: TFFT2 (the paper's running example), five
+representative kernels standing in for the six-code PACT'98 suite, and
+the frontier corpus (AutoLALA/Array-OL-style AI and reshaping kernels)
+added for the soundness fuzzer.
 
 Each module exports ``build_<name>()`` returning a :class:`Program` and
 a ``REFERENCE_ENV`` concrete instantiation.  :data:`ALL_CODES` maps a
 short name to ``(builder, reference_env, back_edges)``.
+
+:data:`ENV_SCALERS` maps the same names to ``scaler(env, H) -> env``
+functions used by ``repro check`` (and the perf harness) to grow a
+reference problem with the machine: with fewer parallel iterations than
+processors the Eq. 7 program is genuinely infeasible (nothing to
+balance), so a sweep at large ``H`` must scale the env rather than
+report a vacuous run.  Every registered code MUST have a scaler —
+:func:`scaled_env` raises a typed :class:`~repro.errors.ReproError` for
+codes without one, because silently checking an unscaled env is exactly
+the kind of vacuous pass a soundness sweep exists to prevent.
 """
+
+import math
+
+from ..errors import ReproError
 
 from .tfft2 import build_tfft2, REFERENCE_ENV as TFFT2_ENV, TFFT2_PHASES
 from .jacobi import build_jacobi, REFERENCE_ENV as JACOBI_ENV, BACK_EDGES as JACOBI_BACK
@@ -18,6 +34,24 @@ from .redblack import (
     BACK_EDGES as REDBLACK_BACK,
 )
 
+# Frontier corpus (PR 10): AutoLALA/Array-OL-style kernels authored in
+# the mini-Fortran front end, so registering them also keeps the parser
+# under differential test.
+from .gemm import build_gemm, REFERENCE_ENV as GEMM_ENV
+from .conv2d import build_conv2d, REFERENCE_ENV as CONV2D_ENV
+from .attn import build_attn, REFERENCE_ENV as ATTN_ENV
+from .reshape import build_reshape, REFERENCE_ENV as RESHAPE_ENV
+from .pool2d import build_pool2d, REFERENCE_ENV as POOL2D_ENV
+from .matvec import build_matvec, REFERENCE_ENV as MATVEC_ENV
+from .softmax import build_softmax, REFERENCE_ENV as SOFTMAX_ENV
+from .trisolve import build_trisolve, REFERENCE_ENV as TRISOLVE_ENV
+from .stencil3d import (
+    build_stencil3d,
+    REFERENCE_ENV as STENCIL3D_ENV,
+    BACK_EDGES as STENCIL3D_BACK,
+)
+from .fir import build_fir, REFERENCE_ENV as FIR_ENV
+
 ALL_CODES = {
     "tfft2": (build_tfft2, TFFT2_ENV, []),
     "jacobi": (build_jacobi, JACOBI_ENV, JACOBI_BACK),
@@ -26,16 +60,131 @@ ALL_CODES = {
     "mgrid": (build_mgrid, MGRID_ENV, []),
     "tomcatv": (build_tomcatv, TOMCATV_ENV, []),
     "redblack": (build_redblack, REDBLACK_ENV, REDBLACK_BACK),
+    "gemm": (build_gemm, GEMM_ENV, []),
+    "conv2d": (build_conv2d, CONV2D_ENV, []),
+    "attn": (build_attn, ATTN_ENV, []),
+    "reshape": (build_reshape, RESHAPE_ENV, []),
+    "pool2d": (build_pool2d, POOL2D_ENV, []),
+    "matvec": (build_matvec, MATVEC_ENV, []),
+    "softmax": (build_softmax, SOFTMAX_ENV, []),
+    "trisolve": (build_trisolve, TRISOLVE_ENV, []),
+    "stencil3d": (build_stencil3d, STENCIL3D_ENV, STENCIL3D_BACK),
+    "fir": (build_fir, FIR_ENV, []),
 }
+
+
+class EnvScalingError(ReproError, LookupError):
+    """No env scaler is registered for a benchmark code."""
+
+
+def _pow2_exponent_for(H: int, floor_exp: int) -> int:
+    """Smallest power-of-two exponent covering ``H``, at least ``floor_exp``."""
+    return max(floor_exp, int(math.ceil(math.log2(max(H, 2)))))
+
+
+def _scale_tfft2(env: dict, H: int) -> dict:
+    exp = _pow2_exponent_for(H, env["p"])
+    return {"P": 2 ** exp, "p": exp, "Q": 2 ** exp, "q": exp}
+
+
+def _scale_mgrid(env: dict, H: int) -> dict:
+    # N = 2**n; keep at least 4 points per processor so the coarser
+    # grids in the V-cycle stay non-trivial.
+    exp = _pow2_exponent_for(4 * H, env["n"])
+    return {"N": 2 ** exp, "n": exp}
+
+
+def linear_env_scaler(*names, per_proc: int = 4, parity: int = 1):
+    """A scaler growing each named extent to ``per_proc * H``.
+
+    ``parity`` rounds the scaled extents up to a multiple (red-black
+    codes need even ``N`` for their parity-matched stride-2 bounds).
+    """
+
+    def scale(env: dict, H: int) -> dict:
+        out = dict(env)
+        for name in names:
+            v = max(out[name], per_proc * H)
+            if parity > 1 and v % parity:
+                v += parity - (v % parity)
+            out[name] = v
+        return out
+
+    return scale
+
+
+def _scale_pool2d(env: dict, H: int) -> dict:
+    # The parallel loop runs over Q/2 columns, so the scaled exponent
+    # must cover 2*H; P (the within-processor plane extent) stays put.
+    exp = _pow2_exponent_for(2 * H, env["q"])
+    return {"P": env["P"], "p": env["p"], "Q": 2 ** exp, "q": exp}
+
+
+# Frontier scalers grow only the *parallel* extent: the reduction /
+# within-iteration dimensions (GEMM's M and K, conv2d's rows, attn's
+# window and head sizes, ...) do not gate Eq. 7 feasibility, and
+# scaling them too would make the enumeration oracles cubic in H.
+ENV_SCALERS = {
+    "tfft2": _scale_tfft2,
+    "jacobi": linear_env_scaler("N"),
+    "swim": linear_env_scaler("M", "N"),
+    "adi": linear_env_scaler("M", "N"),
+    "mgrid": _scale_mgrid,
+    "tomcatv": linear_env_scaler("M", "N"),
+    "redblack": linear_env_scaler("N", parity=2),
+    "gemm": linear_env_scaler("N"),
+    "conv2d": linear_env_scaler("Q"),
+    "attn": linear_env_scaler("T"),
+    "reshape": linear_env_scaler("Q"),
+    "pool2d": _scale_pool2d,
+    "matvec": linear_env_scaler("M"),
+    "softmax": linear_env_scaler("N"),
+    "trisolve": linear_env_scaler("N"),
+    "stencil3d": linear_env_scaler("R"),
+    "fir": linear_env_scaler("N"),
+}
+
+
+def scaled_env(name: str, env: dict, H: int) -> dict:
+    """``env`` grown so code ``name`` stays meaningful at machine size ``H``.
+
+    Raises :class:`EnvScalingError` (a :class:`~repro.errors.ReproError`)
+    when no scaler is registered — every entry in :data:`ALL_CODES` must
+    pair with one in :data:`ENV_SCALERS`.
+    """
+    scaler = ENV_SCALERS.get(name)
+    if scaler is None:
+        raise EnvScalingError(
+            f"no env scaler registered for code {name!r}; add an "
+            f"ENV_SCALERS entry in repro.codes so 'repro check' can grow "
+            f"its reference problem with H (known: "
+            f"{', '.join(sorted(ENV_SCALERS))})"
+        )
+    return scaler(dict(env), H)
+
 
 __all__ = [
     "ALL_CODES",
+    "ENV_SCALERS",
+    "EnvScalingError",
     "TFFT2_PHASES",
     "build_adi",
+    "build_attn",
+    "build_conv2d",
+    "build_fir",
+    "build_gemm",
     "build_jacobi",
+    "build_matvec",
     "build_mgrid",
-    "build_swim",
+    "build_pool2d",
     "build_redblack",
+    "build_reshape",
+    "build_softmax",
+    "build_stencil3d",
+    "build_swim",
     "build_tfft2",
     "build_tomcatv",
+    "build_trisolve",
+    "linear_env_scaler",
+    "scaled_env",
 ]

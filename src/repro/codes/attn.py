@@ -1,0 +1,64 @@
+"""Windowed attention — a banded score/context gather.
+
+Sliding-window (local) attention in the AutoLALA gather style, kept
+affine: query row ``i`` attends to keys ``i .. i+W-1``, so the gather
+offset is the loop-index sum ``i + j`` rather than data-dependent
+indirection (which the descriptor algebra cannot carry)::
+
+    F_score:  doall i:  S(i, j) += QM(i, d) * KM(i + j, d)
+    F_ctx:    doall i:  O(i, d) += S(i, j) * VM(i + j, d)
+
+What it exercises:
+
+* **banded multi-index subscripts** ``i + j`` along the parallel
+  dimension (a W-wide read halo on the key/value tensors);
+* an intermediate (``S``) produced and consumed under the same row
+  distribution — the L-edge that makes fused attention local;
+* two gathers sharing one halo pattern (``KM`` and ``VM``).
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_attn", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"T": 48, "W": 8, "D": 8}
+
+SOURCE = """\
+program attn
+  param T
+  param W
+  param D
+  array QM(T, D)
+  array KM(T + W, D)
+  array VM(T + W, D)
+  array S(T, W)
+  array O(T, D)
+
+  phase F_score
+    doall i = 0, T - 1
+      do j = 0, W - 1
+        do d = 0, D - 1
+          S(i, j) = S(i, j) + QM(i, d) * KM(i + j, d)
+        end do
+      end do
+    end doall
+  end phase
+
+  phase F_ctx
+    doall i = 0, T - 1
+      do j = 0, W - 1
+        do d = 0, D - 1
+          O(i, d) = O(i, d) + S(i, j) * VM(i + j, d)
+        end do
+      end do
+    end doall
+  end phase
+end program
+"""
+
+
+def build_attn() -> Program:
+    return parse_and_lower(SOURCE)

@@ -1,0 +1,60 @@
+"""2-D convolution — a 3x3 valid convolution over a padded image.
+
+AutoLALA-style CNN layer: the output is column-parallel, the kernel
+window slides over a halo of two padding columns, and a pointwise
+activation phase follows::
+
+    F_conv:  doall j:  O(i, j) += A(i + r, j + s) * W(r, s)
+    F_act:   doall j:  O(i, j) = f(O(i, j))
+
+What it exercises:
+
+* **overlapping reads** along the parallel dimension (columns ``j``,
+  ``j+1``, ``j+2`` — Δs = 2 halo, Theorem 1 case (c));
+* small constant-extent kernel loops (``r``, ``s``) nested inside the
+  parallel loop;
+* aligned output reuse between the convolution and activation phases.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_conv2d", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"P": 20, "Q": 20}
+
+SOURCE = """\
+program conv2d
+  param P
+  param Q
+  array A(P + 2, Q + 2)
+  array W(3, 3)
+  array O(P, Q)
+
+  phase F_conv
+    doall j = 0, Q - 1
+      do i = 0, P - 1
+        do r = 0, 2
+          do s = 0, 2
+            O(i, j) = O(i, j) + A(i + r, j + s) * W(r, s)
+          end do
+        end do
+      end do
+    end doall
+  end phase
+
+  phase F_act
+    doall j = 0, Q - 1
+      do i = 0, P - 1
+        O(i, j) = f(O(i, j))
+      end do
+    end doall
+  end phase
+end program
+"""
+
+
+def build_conv2d() -> Program:
+    return parse_and_lower(SOURCE)

@@ -1,0 +1,53 @@
+"""FIR filter — sliding taps accumulated by a descending inner loop.
+
+A T-tap finite impulse response filter whose inner accumulation runs
+highest tap first (``do t = T-1, 0, -1``) — same access set, negative
+stride — followed by a pointwise gain phase::
+
+    F_fir:   doall i:  do t = T-1..0 step -1:  Y(i) += X(i+t) * W(t)
+    F_gain:  doall i:  Y(i) = f(Y(i))
+
+What it exercises:
+
+* a **negative-stride inner loop** with symbolic bounds (the trip
+  normalisation must stay exact for ``(0 - (T-1)) / -1``);
+* a T-element sliding read window along the parallel axis;
+* a small fully replicated coefficient array.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_fir", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"N": 64, "T": 8}
+
+SOURCE = """\
+program fir
+  param N
+  param T
+  array X(N + T)
+  array W(T)
+  array Y(N)
+
+  phase F_fir
+    doall i = 0, N - 1
+      do t = T - 1, 0, -1
+        Y(i) = Y(i) + X(i + t) * W(t)
+      end do
+    end doall
+  end phase
+
+  phase F_gain
+    doall i = 0, N - 1
+      Y(i) = f(Y(i))
+    end doall
+  end phase
+end program
+"""
+
+
+def build_fir() -> Program:
+    return parse_and_lower(SOURCE)

@@ -1,0 +1,59 @@
+"""GEMM — dense matrix multiply, the canonical AutoLALA kernel.
+
+Column-parallel ``C = A * B`` in two phases (zero-init then the triple
+nest), written in the mini-Fortran front end so the corpus exercises
+the parser path end to end::
+
+    F_zero:  doall j:  C(:, j) = 0
+    F_gemm:  doall j:  C(:, j) += A(:, k) * B(k, j)
+
+What it exercises:
+
+* a **reduction dimension** (``k``) that is not a locality dimension —
+  every processor reads all of ``A``, while ``C`` stays perfectly
+  aligned between the two phases;
+* R-W accumulation references (``C(i,j) = C(i,j) + ...``);
+* column-major multidimensional linearisation under a column ``doall``.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_gemm", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"M": 24, "N": 24, "K": 24}
+
+SOURCE = """\
+program gemm
+  param M
+  param N
+  param K
+  array A(M, K)
+  array B(K, N)
+  array C(M, N)
+
+  phase F_zero
+    doall j = 0, N - 1
+      do i = 0, M - 1
+        C(i, j) = 0
+      end do
+    end doall
+  end phase
+
+  phase F_gemm
+    doall j = 0, N - 1
+      do k = 0, K - 1
+        do i = 0, M - 1
+          C(i, j) = C(i, j) + A(i, k) * B(k, j)
+        end do
+      end do
+    end doall
+  end phase
+end program
+"""
+
+
+def build_gemm() -> Program:
+    return parse_and_lower(SOURCE)

@@ -1,0 +1,52 @@
+"""Matrix-vector product — row-parallel GEMV with a broadcast operand.
+
+::
+
+    F_mv:     doall i:  Y(i) += A(i, j) * X(j)
+    F_scale:  doall i:  Y(i) = f(Y(i))
+
+What it exercises:
+
+* a fully **replicated read operand** (``X`` is read in its entirety
+  by every parallel iteration's row sum);
+* row-major access to ``A`` under a row ``doall`` (stride-``M``
+  element walks within one parallel iteration);
+* the 1-D result chained locally into a pointwise phase.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_matvec", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"M": 48, "N": 24}
+
+SOURCE = """\
+program matvec
+  param M
+  param N
+  array A(M, N)
+  array X(N)
+  array Y(M)
+
+  phase F_mv
+    doall i = 0, M - 1
+      do j = 0, N - 1
+        Y(i) = Y(i) + A(i, j) * X(j)
+      end do
+    end doall
+  end phase
+
+  phase F_scale
+    doall i = 0, M - 1
+      Y(i) = f(Y(i))
+    end doall
+  end phase
+end program
+"""
+
+
+def build_matvec() -> Program:
+    return parse_and_lower(SOURCE)

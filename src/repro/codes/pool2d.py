@@ -1,0 +1,55 @@
+"""2-D pooling — stride-2 window reduction over a power-of-two image.
+
+A 2x2 max-pool followed by a pointwise normalisation, with the image
+extents declared as ``2**p`` / ``2**q`` so the halved output extents
+stay exact in the symbolic algebra::
+
+    F_pool:  doall j:  O(i, j) = f(A(2i, 2j), A(2i+1, 2j), ...)
+    F_norm:  doall j:  O(i, j) = f(O(i, j))
+
+What it exercises:
+
+* **stride-2 subscripts** (``2*i``, ``2*j``) — non-unit inner strides
+  in both dimensions, the lattice case red-black probes in 1-D;
+* power-of-two parameters and exact ``Q/2`` extent arithmetic;
+* shrunken output consumed under the producing distribution.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_pool2d", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"P": 32, "p": 5, "Q": 32, "q": 5}
+
+SOURCE = """\
+program pool2d
+  param P = 2**p
+  param Q = 2**q
+  array A(P, Q)
+  array O(P / 2, Q / 2)
+
+  phase F_pool
+    doall j = 0, Q / 2 - 1
+      do i = 0, P / 2 - 1
+        O(i, j) = f(A(2*i, 2*j), A(2*i + 1, 2*j), &
+                    A(2*i, 2*j + 1), A(2*i + 1, 2*j + 1))
+      end do
+    end doall
+  end phase
+
+  phase F_norm
+    doall j = 0, Q / 2 - 1
+      do i = 0, P / 2 - 1
+        O(i, j) = f(O(i, j))
+      end do
+    end doall
+  end phase
+end program
+"""
+
+
+def build_pool2d() -> Program:
+    return parse_and_lower(SOURCE)

@@ -1,0 +1,58 @@
+"""Reshaping pipeline — Array-OL-style multidimensional re-view.
+
+A flat buffer ``X(P*Q)`` is passed to a subroutine that *redeclares*
+its dummy as ``A(M, N)`` — the array-reshaping-at-call-boundary case
+the paper's inter-procedural LMAD translation is built for — and the
+column sums flow into a second, pointwise phase::
+
+    F_sum:    call colsum(X, S1, P, Q)   ! views X as P x Q
+    F_scale:  doall j:  S1(j) = f(S1(j))
+
+What it exercises:
+
+* **dummy-array reshaping** (1-D actual, 2-D callee-declared shape);
+* subroutine inlining producing the phase's parallel loop;
+* a reduction into a 1-D result consumed under the same distribution.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_reshape", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"P": 16, "Q": 32}
+
+SOURCE = """\
+program reshape
+  param P
+  param Q
+  array X(P * Q)
+  array S1(Q)
+
+  subroutine colsum(A, S, M, N)
+    array A(M, N)
+    array S(N)
+    doall j = 0, N - 1
+      do i = 0, M - 1
+        S(j) = S(j) + A(i, j)
+      end do
+    end doall
+  end subroutine
+
+  phase F_sum
+    call colsum(X, S1, P, Q)
+  end phase
+
+  phase F_scale
+    doall j = 0, Q - 1
+      S1(j) = f(S1(j))
+    end doall
+  end phase
+end program
+"""
+
+
+def build_reshape() -> Program:
+    return parse_and_lower(SOURCE)

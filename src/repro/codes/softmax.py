@@ -1,0 +1,57 @@
+"""Causal softmax — row-wise masked exponentiation and renormalisation.
+
+The causal-attention mask is an IF guard, which the front end lowers by
+conservative erasure (the guarded references count unconditionally —
+the standard LMAD over-approximation for data-independent analysis)::
+
+    F_mask:  doall i:  if (j <= i) then E(i, j) = f(S(i, j))
+    F_norm:  doall i:  O(i, j) = f(E(i, j))
+
+What it exercises:
+
+* an **IF guard** inside the nest (parsed, then erased — both the
+  analysis and the interpreter see the same over-approximated region,
+  so the differential oracles must still agree exactly);
+* row-distributed square intermediates chained locally;
+* a relational operator (``<=``) in the front end.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_softmax", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"N": 32}
+
+SOURCE = """\
+program softmax
+  param N
+  array S(N, N)
+  array E(N, N)
+  array O(N, N)
+
+  phase F_mask
+    doall i = 0, N - 1
+      do j = 0, N - 1
+        if (j <= i) then
+          E(i, j) = f(S(i, j))
+        end if
+      end do
+    end doall
+  end phase
+
+  phase F_norm
+    doall i = 0, N - 1
+      do j = 0, N - 1
+        O(i, j) = f(E(i, j))
+      end do
+    end doall
+  end phase
+end program
+"""
+
+
+def build_softmax() -> Program:
+    return parse_and_lower(SOURCE)

@@ -1,0 +1,63 @@
+"""3-D 7-point stencil — plane-parallel relaxation with a copy-back.
+
+The jacobi pattern lifted to three dimensions: small ``P x Q`` planes
+stacked along a parallel ``R`` axis, with a copy-back phase closing the
+time loop through ``back_edges``::
+
+    F_st:    doall k:  B(i, j, k) = f(A(i, j, k), A(i±1, j, k), ...)
+    F_copy:  doall k:  A(i, j, k) = B(i, j, k)
+
+What it exercises:
+
+* **three-dimensional linearisation** (the first 3-D arrays in the
+  corpus) with the parallel index in the slowest position;
+* a one-plane halo (Δs = 2 on the ``k`` axis, Theorem 1 case (c));
+* frontier refresh on the back edge, as in jacobi.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_stencil3d", "REFERENCE_ENV", "SOURCE", "BACK_EDGES"]
+
+REFERENCE_ENV = {"P": 10, "Q": 10, "R": 32}
+
+BACK_EDGES = [("F_copy", "F_st")]
+
+SOURCE = """\
+program stencil3d
+  param P
+  param Q
+  param R
+  array A(P, Q, R)
+  array B(P, Q, R)
+
+  phase F_st
+    doall k = 1, R - 2
+      do j = 1, Q - 2
+        do i = 1, P - 2
+          B(i, j, k) = f(A(i, j, k), A(i - 1, j, k), A(i + 1, j, k), &
+                         A(i, j - 1, k), A(i, j + 1, k), &
+                         A(i, j, k - 1), A(i, j, k + 1))
+        end do
+      end do
+    end doall
+  end phase
+
+  phase F_copy
+    doall k = 1, R - 2
+      do j = 1, Q - 2
+        do i = 1, P - 2
+          A(i, j, k) = B(i, j, k)
+        end do
+      end do
+    end doall
+  end phase
+end program
+"""
+
+
+def build_stencil3d() -> Program:
+    return parse_and_lower(SOURCE)

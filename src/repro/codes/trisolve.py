@@ -1,0 +1,52 @@
+"""Triangular accumulation — a row-parallel lower-triangular sweep.
+
+Each row sums its lower-triangular band, so the inner trip count
+depends on the parallel index — the triangular-bound corner the
+descriptor algebra must carry symbolically::
+
+    F_tri:    doall i:  do j = 0, i:  Y(i) += L(i, j) * X(j)
+    F_scale:  doall i:  Y(i) = f(Y(i))
+
+What it exercises:
+
+* **triangular bounds** (inner ``do j = 0, i`` referencing the outer
+  induction variable);
+* per-iteration access sets of *varying size* under one distribution;
+* a prefix-shaped replicated read of ``X``.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from ..ir.parser import parse_and_lower
+
+__all__ = ["build_trisolve", "REFERENCE_ENV", "SOURCE"]
+
+REFERENCE_ENV = {"N": 48}
+
+SOURCE = """\
+program trisolve
+  param N
+  array L(N, N)
+  array X(N)
+  array Y(N)
+
+  phase F_tri
+    doall i = 0, N - 1
+      do j = 0, i
+        Y(i) = Y(i) + L(i, j) * X(j)
+      end do
+    end doall
+  end phase
+
+  phase F_scale
+    doall i = 0, N - 1
+      Y(i) = f(Y(i))
+    end doall
+  end phase
+end program
+"""
+
+
+def build_trisolve() -> Program:
+    return parse_and_lower(SOURCE)

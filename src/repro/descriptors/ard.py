@@ -213,6 +213,22 @@ def compute_ard(access: PhaseAccess, ctx: Context) -> ARD:
     for loop in access.loops:
         index = loop.index
         if index not in phi.free_symbols():
+            if local.is_lt(loop.upper, loop.lower):
+                # The subscript ignores this index, but the loop's range
+                # is provably empty: the reference never executes.  A
+                # count-0 dim makes every view of the row enumerate the
+                # empty set — the same encoding a zero-trip loop gets
+                # when its index *does* appear in the subscript.
+                dims.append(
+                    Dim(
+                        stride=as_expr(1),
+                        count=as_expr(0),
+                        sign=1,
+                        index=index,
+                        parallel=loop.parallel,
+                        dense=True,
+                    )
+                )
             continue
         diff = shift_difference(phi, index)
         if diff.is_zero:

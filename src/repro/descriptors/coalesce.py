@@ -113,6 +113,11 @@ def _try_drop(row: ARD, ctx: Context) -> Optional[ARD]:
     for j, dj in enumerate(dims):
         if dj.parallel or dj.index is None:
             continue
+        if dj.count.is_zero:
+            # A zero-trip dim has no slices: "every slice coincides" is
+            # vacuously true but dropping it would resurrect an access
+            # that never executes.
+            continue
         v = dj.index
         others = [d for i, d in enumerate(dims) if i != j]
         if any(

@@ -206,6 +206,13 @@ class DistributionPlan:
     to communication because no integer chunking satisfied the full
     system — e.g. when a balanced equation forces a chunk past a storage
     bound.  The executor treats them exactly like C edges.
+
+    ``relaxed_storage`` lists symmetric-placement storage constraints
+    the solver dropped because even the minimal chunk ``p = 1`` violated
+    them (``H`` exceeds the shifted gap Δd or the mirror half-span
+    Δr/2): the scheme the constraint protects is unavailable on this
+    machine size, so the node falls back to plain chunking and any L
+    edge incident on it is demoted alongside.
     """
 
     chunks: dict  # var name -> p value
@@ -215,6 +222,7 @@ class DistributionPlan:
     communication: float
     components: list = field(default_factory=list)
     relaxed_edges: list = field(default_factory=list)  # (phase_k, phase_g, array)
+    relaxed_storage: list = field(default_factory=list)  # (phase, array, kind)
 
     def chunk(self, phase: str) -> int:
         return self.phase_chunks[phase]
@@ -226,17 +234,21 @@ def reduce_system(
     H: int,
     skip_locality: Optional[set] = None,
     chunk_bounds: Optional[Mapping[str, tuple]] = None,
+    skip_storage: Optional[set] = None,
 ) -> list:
     """Collapse equalities into :class:`VariableComponent` boxes.
 
     ``skip_locality`` holds (phase_k, phase_g, array) triples whose
     locality constraint is ignored (relaxed to communication).
+    ``skip_storage`` holds :class:`StorageConstraint` objects to drop —
+    a symmetric-placement scheme the machine size makes unavailable.
     ``chunk_bounds`` maps phase names to ``(lo, hi)`` clamps on that
     phase's chunk variables (``lo == hi`` pins the chunk), shrinking
     the per-variable ``[1, ub]`` box before the component t-range is
     derived.
     """
     skip_locality = skip_locality or set()
+    skip_storage = skip_storage or set()
     uf = _AffineUnionFind()
     for var in system.variables:
         uf.add(var)
@@ -276,6 +288,8 @@ def reduce_system(
         ub_v = -(-trip // H)
         ub[c.var] = min(ub.get(c.var, 1 << 60), ub_v)
     for c in system.storage:
+        if c in skip_storage:
+            continue
         dp = _ev(c.delta_p, env)
         limit = _ev(c.limit, env)
         # delta_p * p * H <= limit  ->  p <= limit / (delta_p * H)
@@ -470,27 +484,54 @@ def solve_enumerative(
     one at a time (greedy, largest-slope-ratio first — the tightest
     coupling is the likeliest culprit) and the affected L edge is
     demoted to communication; relaxations are reported in
-    ``DistributionPlan.relaxed_edges``.
+    ``DistributionPlan.relaxed_edges``.  When no locality constraint
+    remains to drop, a *storage* constraint binding the infeasible
+    component is relaxed instead (tightest bound first): a mirror or
+    shifted placement whose box excludes even ``p = 1`` simply does not
+    exist at this ``H``, and insisting on it is not a property of the
+    program.  Dropped schemes are reported in
+    ``DistributionPlan.relaxed_storage`` and every L edge incident on
+    the affected node is demoted to keep the no-traffic promise sound.
     """
     obs = getattr(system.lcg.program.context, "obs", None)
     work = dict(work or {})
     relaxed: set = set()
+    relaxed_storage: set = set()
     while True:
         components = reduce_system(
-            system, env, H, skip_locality=relaxed, chunk_bounds=chunk_bounds
+            system, env, H, skip_locality=relaxed, chunk_bounds=chunk_bounds,
+            skip_storage=relaxed_storage,
         )
         infeasible = [c for c in components if not c.feasible_ts()]
         if not infeasible:
             break
         culprit = _pick_relaxation(system, env, infeasible, relaxed)
-        if culprit is None:
+        if culprit is not None:
+            relaxed.add(culprit)
+            if obs is not None:
+                obs.count("ilp.relaxations")
+            continue
+        storage_culprit = _pick_storage_relaxation(
+            system, env, H, infeasible, relaxed_storage
+        )
+        if storage_culprit is None:
             raise ValueError(
                 f"infeasible component rooted at {infeasible[0].root}: no "
                 f"locality relaxation restores integer feasibility"
             )
-        relaxed.add(culprit)
+        relaxed_storage.add(storage_culprit)
+        node = (storage_culprit.phase, storage_culprit.array)
+        for c in system.locality:
+            key = (c.edge[0], c.edge[1], c.array)
+            if key in relaxed:
+                continue
+            if (
+                system.variables[c.var_k] == node
+                or system.variables[c.var_g] == node
+            ):
+                relaxed.add(key)
         if obs is not None:
-            obs.count("ilp.relaxations")
+            obs.count("ilp.storage_relaxations")
 
     chunks: dict[str, int] = {}
     imbalance_total = 0.0
@@ -567,6 +608,9 @@ def solve_enumerative(
         communication=comm_total,
         components=components,
         relaxed_edges=sorted(relaxed),
+        relaxed_storage=sorted(
+            (c.phase, c.array, c.kind) for c in relaxed_storage
+        ),
     )
 
 
@@ -634,6 +678,35 @@ def _pick_relaxation(
         ratio = max(a_k / a_g, a_g / a_k)
         if best_ratio is None or ratio > best_ratio:
             best, best_ratio = key, ratio
+    return best
+
+
+def _pick_storage_relaxation(
+    system: ConstraintSystem,
+    env: Mapping[str, int],
+    H: int,
+    infeasible: list,
+    already: set,
+) -> Optional[object]:
+    """Choose a storage constraint to drop from an infeasible component.
+
+    Candidates are constraints whose variable sits in an infeasible
+    component; the one with the tightest chunk bound — the smallest
+    ``limit / (delta_P * H)``, i.e. the box that crushed the component —
+    goes first.  Ties break on ``(var, kind)`` so the choice is
+    deterministic across runs and processes.
+    """
+    bad_vars: set = set()
+    for comp in infeasible:
+        bad_vars.update(comp.members)
+    best, best_key = None, None
+    for c in system.storage:
+        if c in already or c.var not in bad_vars:
+            continue
+        bound = _ev(c.limit, env) / (_ev(c.delta_p, env) * H)
+        key = (bound, c.var, c.kind)
+        if best_key is None or key < best_key:
+            best, best_key = c, key
     return best
 
 

@@ -158,6 +158,9 @@ def result_document(result) -> dict:
             "imbalance": _finite(plan.imbalance),
             "communication": _finite(plan.communication),
             "relaxed_edges": [list(e) for e in plan.relaxed_edges],
+            "relaxed_storage": [
+                list(e) for e in getattr(plan, "relaxed_storage", ())
+            ],
         },
         "schedule": _schedule_document(result.lcg, plan),
         "report": _report_document(result.report),

@@ -617,9 +617,21 @@ def _layout_from_id(idesc, p: int, env: Mapping[str, int], H: int):
     whose descending segments use the *reverse distribution* (the
     processor of the touching iteration owns the element).  Overlapping
     segments fall back to the primary row's layout.
+
+    Returns ``None`` when a row's shape is iteration-dependent (a
+    triangular bound leaves the parallel index free in the extent): no
+    single closed-form layout realises locality for such a region, and
+    the caller falls back to BLOCK.
     """
     from ..distribution.schedule import SegmentedLayout
 
+    try:
+        return _layout_from_id_rows(idesc, p, env, H, SegmentedLayout)
+    except KeyError:
+        return None
+
+
+def _layout_from_id_rows(idesc, p, env, H, SegmentedLayout):
     segments = []
     for row in idesc.rows:
         delta = _ev_int(row.delta_p, env) if not row.delta_p.is_zero else 1

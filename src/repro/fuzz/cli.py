@@ -1,0 +1,77 @@
+"""``python -m repro fuzz`` — the randomized soundness sweep.
+
+Seeds and machine sizes are grid specs (``repro.gridspec`` syntax):
+``--seeds 0:199`` sweeps two hundred programs, ``--H 16,64`` checks
+each at both machine sizes.  Failing cases are minimised and included
+in the report; ``--json`` emits the artifact CI archives nightly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..gridspec import GridSpecError, parse_values
+from .driver import DEFAULT_H, run_fuzz
+
+__all__ = ["main_fuzz"]
+
+
+def main_fuzz(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="randomized differential soundness sweep",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="0:19",
+        help="seed grid (lo:hi[:step] or comma list; default 0:19)",
+    )
+    parser.add_argument(
+        "--H",
+        default=",".join(str(h) for h in DEFAULT_H),
+        help="machine-size grid (default 16,64)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip minimising failing cases (faster triage sweeps)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+    parser.add_argument(
+        "--quiet", action="store_true", help="no per-case progress lines"
+    )
+    args = parser.parse_args(list(argv))
+
+    try:
+        seeds = parse_values(args.seeds, spec="--seeds")
+        H_values = parse_values(args.H, spec="--H")
+    except GridSpecError as exc:
+        parser.error(str(exc))
+
+    def progress(outcome):
+        if not args.quiet and not args.json:
+            print(f"  seed {outcome.seed}: {outcome.status}", flush=True)
+
+    report = run_fuzz(
+        seeds,
+        H_values,
+        shrink_failures=not args.no_shrink,
+        progress=progress,
+    )
+
+    if args.json:
+        from ..document import dumps_canonical
+
+        print(dumps_canonical(report.to_json()))
+    else:
+        print(report.render())
+    if not report.ok:
+        print(
+            f"FUZZ: {report.counts['mismatch']} mismatch(es), "
+            f"{report.counts['error']} error(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

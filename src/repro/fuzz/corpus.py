@@ -1,0 +1,130 @@
+"""The committed fuzz corpus: generated fixtures checked into the repo.
+
+The generator is deterministic, so a corpus file is just the seed's
+rendered program frozen in time: a ``! env:`` header carrying the
+concrete parameter values, a ``! seed:`` header recording provenance,
+and the mini-Fortran source.  Freezing them serves two purposes the
+live generator cannot:
+
+* the corpus count (bundled ``repro.codes`` entries + these fixtures)
+  is a reviewable artifact, not a function of generator drift — if a
+  generator change alters what a seed produces, the byte-identity test
+  over these files fails and the change is forced to justify itself;
+* external tools (editors, the parser's own tests, future mutation
+  fuzzing) can consume the programs without importing the generator.
+
+Fixtures are regenerated with :func:`write_corpus`, never edited by
+hand.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..errors import ReproError
+
+__all__ = [
+    "CorpusError",
+    "Fixture",
+    "corpus_dir",
+    "load_corpus",
+    "parse_fixture",
+    "write_corpus",
+]
+
+
+class CorpusError(ReproError, ValueError):
+    """A corpus fixture is missing or structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Fixture:
+    """One corpus file: provenance headers plus parseable source."""
+
+    name: str
+    seed: int
+    env: Dict[str, int]
+    source: str
+
+
+def corpus_dir(root: str) -> str:
+    """The generated-fixture directory under a repo checkout ``root``."""
+    return os.path.join(root, "corpus", "generated")
+
+
+def parse_fixture(text: str, name: str = "<fixture>") -> Fixture:
+    """Parse a fixture file: ``!``-comment headers, then the program.
+
+    The ``env`` and ``seed`` headers are mandatory — a fixture without
+    provenance cannot be re-derived or differentially checked, so the
+    loader refuses it rather than guessing defaults.
+    """
+    env: Dict[str, int] = {}
+    seed = None
+    lines = text.splitlines()
+    body_start = 0
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped.startswith("!"):
+            body_start = i
+            break
+        header = stripped.lstrip("!").strip()
+        if header.startswith("env:"):
+            payload = header[len("env:"):].strip()
+            for item in filter(None, (p.strip() for p in payload.split(","))):
+                key, _, value = item.partition("=")
+                if not key or not value.lstrip("-").isdigit():
+                    raise CorpusError(
+                        f"{name}: malformed env entry {item!r} "
+                        "(expected name=integer)"
+                    )
+                env[key.strip()] = int(value)
+        elif header.startswith("seed:"):
+            payload = header[len("seed:"):].strip()
+            if not payload.isdigit():
+                raise CorpusError(f"{name}: malformed seed header {payload!r}")
+            seed = int(payload)
+    else:
+        body_start = len(lines)
+    if seed is None:
+        raise CorpusError(f"{name}: missing '! seed:' header")
+    if not env:
+        raise CorpusError(f"{name}: missing or empty '! env:' header")
+    source = "\n".join(lines[body_start:])
+    if not source.strip():
+        raise CorpusError(f"{name}: no program body after headers")
+    if not source.endswith("\n"):
+        source += "\n"
+    return Fixture(name=name, seed=seed, env=env, source=source)
+
+
+def load_corpus(directory: str) -> List[Fixture]:
+    """Load every ``*.f`` fixture in ``directory``, sorted by filename."""
+    if not os.path.isdir(directory):
+        raise CorpusError(f"corpus directory not found: {directory}")
+    fixtures = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".f"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, "r", encoding="utf-8") as fh:
+            fixtures.append(parse_fixture(fh.read(), name=filename))
+    if not fixtures:
+        raise CorpusError(f"no *.f fixtures in {directory}")
+    return fixtures
+
+
+def write_corpus(directory: str, seeds: Iterable[int]) -> List[str]:
+    """(Re)generate fixture files for ``seeds``; returns written paths."""
+    from .generator import generate, render_fixture
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for seed in seeds:
+        path = os.path.join(directory, f"seed_{seed:04d}.f")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(render_fixture(generate(seed)))
+        paths.append(path)
+    return paths

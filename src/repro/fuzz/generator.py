@@ -1,0 +1,465 @@
+"""Seeded random DO-nest generator for the soundness fuzzer.
+
+Programs are generated at the **spec level** — small dataclasses for
+loops, guards and assignments — and only rendered to mini-Fortran at
+the end.  The spec is what the shrinker transforms: deleting a phase,
+unwrapping a guard or flattening an inner loop are structural edits
+that always re-render to a parseable program, which is what makes
+minimisation terminate instead of fighting a text-level parser.
+
+Everything is driven by one ``random.Random(seed)``: the same seed
+produces byte-identical source, which is the contract CI relies on to
+reproduce a nightly failure from its seed alone.
+
+The generator stays inside the analyzable language on purpose:
+
+* every phase has exactly one ``doall`` whose trip count (≥ the largest
+  machine size the driver sweeps) keeps Eq. 7 feasible;
+* subscripts are affine in the in-scope indices, with coefficients that
+  may be *symbolic* (``N * i + j`` column-major flattening) — the
+  descriptor algebra's documented fallbacks are outcomes, not crashes;
+* array extents are computed from the generated subscripts' concrete
+  ranges, so the interpreter and the DSM executor never index out of
+  bounds;
+* inner loops draw from the corner-case pool the paper's algebra has
+  to survive: triangular bounds, ``2**L`` bounds, explicit ``step``
+  clauses, negative strides and zero-trip ranges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Assign",
+    "GeneratedProgram",
+    "Guard",
+    "Loop",
+    "Phase",
+    "Ref",
+    "Spec",
+    "generate",
+    "render",
+]
+
+
+# --------------------------------------------------------------------------
+# Spec model
+
+
+@dataclass(frozen=True)
+class Term:
+    """``coef * var`` with the coefficient's concrete value carried."""
+
+    coef_text: str
+    coef_val: int
+    var: str
+
+
+@dataclass(frozen=True)
+class Subscript:
+    """Affine subscript: ``sum(terms) + offset``."""
+
+    terms: tuple = ()
+    offset_text: str = "0"
+    offset_val: int = 0
+
+    def render(self) -> str:
+        pos, neg = [], []
+        for t in self.terms:
+            if t.coef_val < 0:
+                # only -1 coefficients are generated; render them as a
+                # subtraction so the source never needs unary minus
+                neg.append(t.var)
+            elif t.coef_text == "1":
+                pos.append(t.var)
+            else:
+                pos.append(f"{t.coef_text} * {t.var}")
+        if self.offset_text != "0" or not pos:
+            pos.insert(0, self.offset_text) if neg else pos.append(
+                self.offset_text
+            )
+        text = " + ".join(pos)
+        for var in neg:
+            text += f" - {var}"
+        return text
+
+    def bounds(self, ranges: dict) -> tuple:
+        """(min, max) over the concrete index ``ranges`` {var: (lo, hi)}."""
+        lo = hi = self.offset_val
+        for t in self.terms:
+            a, b = ranges[t.var]
+            vals = (t.coef_val * a, t.coef_val * b)
+            lo += min(vals)
+            hi += max(vals)
+        return lo, hi
+
+
+@dataclass(frozen=True)
+class Ref:
+    array: str
+    subscript: Subscript
+
+    def render(self) -> str:
+        return f"{self.array}({self.subscript.render()})"
+
+
+@dataclass
+class Assign:
+    lhs: Ref
+    rhs: tuple = ()
+
+    def render(self, indent: str) -> list:
+        args = ", ".join(r.render() for r in self.rhs) or self.lhs.render()
+        return [f"{indent}{self.lhs.render()} = f({args})"]
+
+
+@dataclass
+class Guard:
+    cond_left: Subscript
+    cond_op: str
+    cond_right: Subscript
+    body: list = field(default_factory=list)
+
+    def render(self, indent: str) -> list:
+        lines = [
+            f"{indent}if ({self.cond_left.render()} {self.cond_op} "
+            f"{self.cond_right.render()}) then"
+        ]
+        for stmt in self.body:
+            lines.extend(stmt.render(indent + "  "))
+        lines.append(f"{indent}end if")
+        return lines
+
+
+@dataclass
+class Loop:
+    index: str
+    lo_text: str
+    hi_text: str
+    lo_val: int
+    hi_val: int
+    step: Optional[int] = None
+    parallel: bool = False
+    body: list = field(default_factory=list)
+
+    @property
+    def trip_range(self) -> tuple:
+        """Concrete (min, max) values the index takes (empty → (0, 0))."""
+        step = self.step or 1
+        if step > 0:
+            if self.hi_val < self.lo_val:
+                return (self.lo_val, self.lo_val)  # zero-trip placeholder
+            last = self.lo_val + ((self.hi_val - self.lo_val) // step) * step
+            return (self.lo_val, last)
+        if self.hi_val > self.lo_val:
+            return (self.lo_val, self.lo_val)
+        last = self.lo_val + ((self.hi_val - self.lo_val) // step) * step
+        return (last, self.lo_val)
+
+    def render(self, indent: str) -> list:
+        kw = "doall" if self.parallel else "do"
+        head = f"{indent}{kw} {self.index} = {self.lo_text}, {self.hi_text}"
+        if self.step is not None:
+            head += f", {self.step}"
+        lines = [head]
+        for stmt in self.body:
+            lines.extend(stmt.render(indent + "  "))
+        lines.append(f"{indent}end {kw}")
+        return lines
+
+
+@dataclass
+class Phase:
+    name: str
+    loop: Loop  # the mandatory outer doall
+
+
+@dataclass
+class Spec:
+    name: str
+    seed: int
+    params: dict = field(default_factory=dict)
+    phases: list = field(default_factory=list)
+    # filled by finalisation: array name -> concrete extent
+    arrays: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated test case: source text plus its concrete env."""
+
+    name: str
+    seed: int
+    source: str
+    env: dict
+    spec: Spec
+
+
+# --------------------------------------------------------------------------
+# Rendering
+
+
+def _walk_refs(stmts, ranges, out):
+    """Collect every (ref, concrete index ranges) under ``stmts``."""
+    for stmt in stmts:
+        if isinstance(stmt, Loop):
+            inner = dict(ranges)
+            inner[stmt.index] = stmt.trip_range
+            _walk_refs(stmt.body, inner, out)
+        elif isinstance(stmt, Guard):
+            for sub in (stmt.cond_left, stmt.cond_right):
+                out.append((Ref("", sub), dict(ranges)))
+            _walk_refs(stmt.body, ranges, out)
+        elif isinstance(stmt, Assign):
+            out.append((stmt.lhs, dict(ranges)))
+            for r in stmt.rhs:
+                out.append((r, dict(ranges)))
+
+
+def finalize_arrays(spec: Spec) -> None:
+    """Size every array to cover its generated subscripts exactly."""
+    extents: dict = {}
+    for phase in spec.phases:
+        refs: list = []
+        _walk_refs([phase.loop], {}, refs)
+        for ref, ranges in refs:
+            if not ref.array:
+                continue
+            _, hi = ref.subscript.bounds(ranges)
+            extents[ref.array] = max(extents.get(ref.array, 1), hi + 1)
+    spec.arrays = dict(sorted(extents.items()))
+
+
+def render(spec: Spec) -> str:
+    lines = [f"program {spec.name}"]
+    for name in spec.params:  # concrete values travel in the env
+        lines.append(f"  param {name}")
+    for name, extent in spec.arrays.items():
+        lines.append(f"  array {name}({extent})")
+    for phase in spec.phases:
+        lines.append("")
+        lines.append(f"  phase {phase.name}")
+        lines.extend(phase.loop.render("    "))
+        lines.append("  end phase")
+    lines.append("end program")
+    return "\n".join(lines) + "\n"
+
+
+def render_fixture(prog: GeneratedProgram) -> str:
+    """Corpus-file form: an ``! env:`` header line plus the source."""
+    env = ",".join(f"{k}={v}" for k, v in sorted(prog.env.items()))
+    return f"! env: {env}\n! seed: {prog.seed}\n{prog.source}"
+
+
+# --------------------------------------------------------------------------
+# Generation
+
+_ARRAY_POOL = ("A", "B", "C", "D")
+_INNER_INDICES = ("j", "k", "t")
+
+#: Trip count of every parallel loop — must cover the largest machine
+#: size the driver sweeps (H = 64) so Eq. 7 stays feasible.
+PARALLEL_TRIPS = 128
+
+
+def _parallel_loop(rng: random.Random, spec: Spec) -> Loop:
+    if rng.random() < 0.25:
+        spec.params["q"] = 7  # 2**7 == PARALLEL_TRIPS
+        return Loop(
+            index="i",
+            lo_text="0",
+            hi_text="2 ** q - 1",
+            lo_val=0,
+            hi_val=PARALLEL_TRIPS - 1,
+            parallel=True,
+        )
+    spec.params["N"] = PARALLEL_TRIPS
+    return Loop(
+        index="i",
+        lo_text="0",
+        hi_text="N - 1",
+        lo_val=0,
+        hi_val=PARALLEL_TRIPS - 1,
+        parallel=True,
+    )
+
+
+def _inner_loop(rng: random.Random, spec: Spec, index: str, outer: Loop) -> Loop:
+    """One inner serial loop drawn from the corner-case pool."""
+    kind = rng.choice(
+        ("plain", "plain", "step", "negative", "triangular", "zero_trip")
+    )
+    extent_name = {"j": "M", "k": "K", "t": "T"}[index]
+    extent = rng.choice((3, 4, 6, 8))
+    spec.params.setdefault(extent_name, extent)
+    extent = spec.params[extent_name]
+    if kind == "plain":
+        return Loop(index, "0", f"{extent_name} - 1", 0, extent - 1)
+    if kind == "step":
+        step = rng.choice((2, 3))
+        return Loop(index, "0", f"{extent_name} - 1", 0, extent - 1, step=step)
+    if kind == "negative":
+        return Loop(
+            index, f"{extent_name} - 1", "0", extent - 1, 0, step=-1
+        )
+    if kind == "triangular" and outer.parallel:
+        # do j = 0, i — the trisolve shape; concrete range is the
+        # parallel loop's full range (widest iteration).
+        return Loop(index, "0", outer.index, 0, outer.hi_val)
+    if kind == "zero_trip":
+        return Loop(
+            index,
+            extent_name,
+            f"{extent_name} - 1",
+            extent,
+            extent - 1,
+        )
+    return Loop(index, "0", f"{extent_name} - 1", 0, extent - 1)
+
+
+def _subscript(
+    rng: random.Random, spec: Spec, indices: list, par_hi: tuple
+) -> Subscript:
+    """An affine, provably in-bounds subscript over ``indices``.
+
+    ``par_hi`` is the parallel loop's ``(hi_text, hi_val)`` — mirror
+    subscripts reverse against *that* extent, whatever its spelling
+    (``N - 1`` or ``2 ** q - 1``)."""
+    style = rng.choice(
+        ("unit", "unit", "shifted", "strided", "flatten", "mirror", "window")
+    )
+    par = indices[0]
+    inner = indices[1:]
+    if style == "unit":
+        var = rng.choice(indices)
+        return Subscript((Term("1", 1, var),))
+    if style == "shifted":
+        var = rng.choice(indices)
+        off = rng.choice((1, 2))
+        return Subscript((Term("1", 1, var),), str(off), off)
+    if style == "strided":
+        var = rng.choice(indices)
+        c = rng.choice((2, 3))
+        return Subscript((Term(str(c), c, var),))
+    if style == "flatten" and inner:
+        # column-major N*i + j with a *symbolic* stride
+        name, val = _extent_param(spec, inner[0])
+        return Subscript(
+            (Term(name, val, par), Term("1", 1, inner[0]))
+        )
+    if style == "mirror":
+        # N - 1 - i style reversal against the parallel extent
+        hi_text, hi_val = par_hi
+        return Subscript((Term("-1", -1, par),), hi_text, hi_val)
+    if style == "window" and inner:
+        # sliding window i + t (FIR / attention gather shape)
+        return Subscript((Term("1", 1, par), Term("1", 1, inner[0])))
+    return Subscript((Term("1", 1, par),))
+
+
+def _extent_param(spec: Spec, index: str) -> tuple:
+    name = {"j": "M", "k": "K", "t": "T"}.get(index, "M")
+    if name not in spec.params:
+        spec.params[name] = 4
+    return name, spec.params[name]
+
+
+def _assign(
+    rng: random.Random, spec: Spec, indices: list, par_hi: tuple
+) -> Assign:
+    lhs = Ref(rng.choice(_ARRAY_POOL), _subscript(rng, spec, indices, par_hi))
+    rhs = tuple(
+        Ref(rng.choice(_ARRAY_POOL), _subscript(rng, spec, indices, par_hi))
+        for _ in range(rng.randint(1, 2))
+    )
+    return Assign(lhs, rhs)
+
+
+def _guard(
+    rng: random.Random, spec: Spec, indices: list, par_hi: tuple
+) -> Guard:
+    left = Subscript((Term("1", 1, rng.choice(indices)),))
+    if len(indices) > 1 and rng.random() < 0.6:
+        right = Subscript((Term("1", 1, indices[0]),))
+    else:
+        name = sorted(spec.params)[0]
+        half = spec.params[name] // 2
+        right = Subscript((), str(half), half)
+    op = rng.choice(("<", "<=", ">=", "=="))
+    return Guard(left, op, right, [_assign(rng, spec, indices, par_hi)])
+
+
+def _body(
+    rng: random.Random,
+    spec: Spec,
+    indices: list,
+    depth: int,
+    par_hi: tuple,
+) -> list:
+    """Imperfect nest body: statements may sit beside inner loops."""
+    stmts: list = []
+    n = rng.randint(1, 2)
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.25 and depth < 2:
+            inner = _inner_loop(
+                rng, spec, _INNER_INDICES[depth], _outer_for(indices)
+            )
+            inner.body = _body(
+                rng, spec, indices + [inner.index], depth + 1, par_hi
+            )
+            stmts.append(inner)
+        elif roll < 0.40:
+            stmts.append(_guard(rng, spec, indices, par_hi))
+        else:
+            stmts.append(_assign(rng, spec, indices, par_hi))
+    if not stmts:
+        stmts.append(_assign(rng, spec, indices, par_hi))
+    return stmts
+
+
+def _outer_for(indices: list) -> Loop:
+    # Only `parallel` and hi_val are consulted by _inner_loop for the
+    # triangular case; a light stand-in keeps the recursion simple.
+    return Loop(
+        index=indices[0],
+        lo_text="0",
+        hi_text="N - 1",
+        lo_val=0,
+        hi_val=PARALLEL_TRIPS - 1,
+        parallel=len(indices) == 1,
+    )
+
+
+def generate(seed: int) -> GeneratedProgram:
+    """Deterministically generate one program from ``seed``."""
+    rng = random.Random(seed)
+    spec = Spec(name=f"fuzz_{seed:04d}", seed=seed)
+    n_phases = rng.randint(1, 3)
+    for p in range(n_phases):
+        loop = _parallel_loop(rng, spec)
+        loop.body = _body(
+            rng, spec, [loop.index], 0, (loop.hi_text, loop.hi_val)
+        )
+        spec.phases.append(Phase(f"F{p}", loop))
+    finalize_arrays(spec)
+    source = render(spec)
+    env = dict(sorted(spec.params.items()))
+    return GeneratedProgram(
+        name=spec.name, seed=seed, source=source, env=env, spec=spec
+    )
+
+
+def from_spec(spec: Spec) -> GeneratedProgram:
+    """Re-render a (possibly shrunk) spec into a runnable test case."""
+    finalize_arrays(spec)
+    return GeneratedProgram(
+        name=spec.name,
+        seed=spec.seed,
+        source=render(spec),
+        env=dict(sorted(spec.params.items())),
+        spec=spec,
+    )

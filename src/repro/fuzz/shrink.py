@@ -1,0 +1,227 @@
+"""Spec-level greedy minimiser for failing fuzz programs.
+
+A failing program is only useful once it is small: the committed
+regression tests are minimized repros, not 40-line random nests.  The
+shrinker works on the generator's :class:`~repro.fuzz.generator.Spec`
+(never on source text), so every candidate re-renders to a parseable
+program by construction and minimisation cannot get stuck fighting the
+parser.
+
+``shrink(prog, failing)`` repeats a fixed, deterministic transformation
+order to a fixpoint, keeping a candidate whenever ``failing`` still
+holds for it (first-improvement greedy):
+
+1. drop a whole phase,
+2. drop a statement from any (non-singleton) body,
+3. unwrap a guard — replace it with its body,
+4. flatten an inner loop — splice its body up with the loop index
+   pinned to its first value,
+5. trim an assignment's argument list to one reference,
+6. simplify a subscript — drop a term or zero the offset.
+
+Transformations only ever remove or simplify, and each acceptance
+strictly decreases the candidate's size measure, so the fixpoint loop
+terminates.  The predicate sees fully re-finalised programs (array
+extents recomputed, env rebuilt), exactly what the driver would run.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator
+
+from .generator import (
+    Assign,
+    GeneratedProgram,
+    Guard,
+    Loop,
+    Ref,
+    Spec,
+    Subscript,
+    from_spec,
+)
+
+__all__ = ["shrink", "spec_size"]
+
+
+def spec_size(spec: Spec) -> int:
+    """Size measure the shrinker strictly decreases: spec node count."""
+
+    def stmts(body):
+        n = 0
+        for s in body:
+            n += 1
+            if isinstance(s, (Loop, Guard)):
+                n += stmts(s.body)
+            elif isinstance(s, Assign):
+                n += len(s.rhs)
+                n += sum(len(r.subscript.terms) for r in (s.lhs, *s.rhs))
+                n += sum(
+                    1
+                    for r in (s.lhs, *s.rhs)
+                    if r.subscript.offset_val != 0
+                )
+        return n
+
+    return sum(1 + stmts(ph.loop.body) for ph in spec.phases)
+
+
+def _pin_index(stmt, index: str, value: int):
+    """Rewrite ``stmt`` with loop ``index`` fixed to ``value``."""
+    if isinstance(stmt, Assign):
+        return Assign(
+            _pin_ref(stmt.lhs, index, value),
+            tuple(_pin_ref(r, index, value) for r in stmt.rhs),
+        )
+    if isinstance(stmt, Guard):
+        return Guard(
+            _pin_sub(stmt.cond_left, index, value),
+            stmt.cond_op,
+            _pin_sub(stmt.cond_right, index, value),
+            [_pin_index(s, index, value) for s in stmt.body],
+        )
+    if isinstance(stmt, Loop):
+        out = copy.copy(stmt)
+        out.body = [_pin_index(s, index, value) for s in stmt.body]
+        return out
+    return stmt
+
+
+def _pin_ref(ref: Ref, index: str, value: int) -> Ref:
+    return Ref(ref.array, _pin_sub(ref.subscript, index, value))
+
+
+def _pin_sub(sub: Subscript, index: str, value: int) -> Subscript:
+    terms = tuple(t for t in sub.terms if t.var != index)
+    if len(terms) == len(sub.terms):
+        return sub
+    folded = sub.offset_val + sum(
+        t.coef_val * value for t in sub.terms if t.var == index
+    )
+    if folded < 0:
+        # A pinned mirror term can dip below zero; clamp — shrink
+        # candidates need only be *valid*, not equivalent.
+        folded = 0
+    return Subscript(terms, str(folded), folded)
+
+
+def _bodies(spec: Spec) -> Iterator[tuple]:
+    """Yield every (container, body-list) pair, outermost first."""
+    for phase in spec.phases:
+        stack = [phase.loop]
+        while stack:
+            node = stack.pop(0)
+            yield node, node.body
+            for s in node.body:
+                if isinstance(s, (Loop, Guard)):
+                    stack.append(s)
+
+
+def _candidates(spec: Spec) -> Iterator[Spec]:
+    """One-edit variants of ``spec``, cheapest-win (biggest cut) first."""
+    # 1. drop a phase
+    if len(spec.phases) > 1:
+        for i in range(len(spec.phases)):
+            cand = copy.deepcopy(spec)
+            del cand.phases[i]
+            yield cand
+
+    # 2. drop a statement (keep every body non-empty)
+    for c_idx, (_, body) in enumerate(_bodies(spec)):
+        if len(body) < 2:
+            continue
+        for s_idx in range(len(body)):
+            cand = copy.deepcopy(spec)
+            _, cand_body = list(_bodies(cand))[c_idx]
+            del cand_body[s_idx]
+            yield cand
+
+    # 3. unwrap a guard  /  4. flatten an inner loop
+    for c_idx, (_, body) in enumerate(_bodies(spec)):
+        for s_idx, stmt in enumerate(body):
+            if isinstance(stmt, Guard):
+                cand = copy.deepcopy(spec)
+                _, cand_body = list(_bodies(cand))[c_idx]
+                inner = cand_body[s_idx].body
+                cand_body[s_idx : s_idx + 1] = inner
+                yield cand
+            elif isinstance(stmt, Loop) and not stmt.parallel:
+                cand = copy.deepcopy(spec)
+                _, cand_body = list(_bodies(cand))[c_idx]
+                loop = cand_body[s_idx]
+                pinned = [
+                    _pin_index(s, loop.index, loop.trip_range[0])
+                    for s in loop.body
+                ]
+                cand_body[s_idx : s_idx + 1] = pinned
+                yield cand
+
+    # 5. trim an assignment's arguments  /  6. simplify a subscript
+    for c_idx, (_, body) in enumerate(_bodies(spec)):
+        for s_idx, stmt in enumerate(body):
+            if not isinstance(stmt, Assign):
+                continue
+            if len(stmt.rhs) > 1:
+                for keep in range(len(stmt.rhs)):
+                    cand = copy.deepcopy(spec)
+                    _, cand_body = list(_bodies(cand))[c_idx]
+                    a = cand_body[s_idx]
+                    cand_body[s_idx] = Assign(a.lhs, (a.rhs[keep],))
+                    yield cand
+            refs = [("lhs", None)] + [("rhs", k) for k in range(len(stmt.rhs))]
+            for slot, k in refs:
+                ref = stmt.lhs if slot == "lhs" else stmt.rhs[k]
+                sub = ref.subscript
+                edits = []
+                if len(sub.terms) > 1:
+                    for drop in range(len(sub.terms)):
+                        edits.append(
+                            Subscript(
+                                sub.terms[:drop] + sub.terms[drop + 1 :],
+                                sub.offset_text,
+                                sub.offset_val,
+                            )
+                        )
+                if sub.offset_val != 0 and sub.terms:
+                    edits.append(Subscript(sub.terms))
+                for new_sub in edits:
+                    cand = copy.deepcopy(spec)
+                    _, cand_body = list(_bodies(cand))[c_idx]
+                    a = cand_body[s_idx]
+                    new_ref = Ref(ref.array, new_sub)
+                    if slot == "lhs":
+                        cand_body[s_idx] = Assign(new_ref, a.rhs)
+                    else:
+                        rhs = list(a.rhs)
+                        rhs[k] = new_ref
+                        cand_body[s_idx] = Assign(a.lhs, tuple(rhs))
+                    yield cand
+
+
+def shrink(
+    prog: GeneratedProgram,
+    failing: Callable[[GeneratedProgram], bool],
+    max_steps: int = 1000,
+) -> GeneratedProgram:
+    """Minimise ``prog`` while ``failing(candidate)`` stays true.
+
+    ``failing`` must already hold for ``prog`` itself (the driver only
+    shrinks confirmed failures); it is expected to swallow its own
+    exceptions — a candidate that crashes the predicate is skipped.
+    """
+    current = prog
+    for _ in range(max_steps):
+        for cand_spec in _candidates(current.spec):
+            if spec_size(cand_spec) >= spec_size(current.spec):
+                continue
+            cand = from_spec(cand_spec)
+            try:
+                still_failing = failing(cand)
+            except Exception:
+                continue
+            if still_failing:
+                current = cand
+                break
+        else:
+            return current  # no accepted candidate: fixpoint
+    return current

@@ -1,0 +1,116 @@
+"""Shared ``lo:hi:step`` grid-spec parsing with strict validation.
+
+Two subsystems accept value grids from users: session what-if sweeps
+(``repro.session.sweep``) and the soundness fuzzer's seed/H grids
+(``repro.fuzz``).  Both used to hand-roll the parsing, and the ranges
+were silently lossy: a step that does not divide ``hi - lo`` truncated
+the grid (``1:10:4`` quietly stopped at 9, never reaching 10), so a
+user sweeping "up to H=64" could silently never test 64.  This module
+is the single parser and it is strict — every malformed or lossy spec
+raises :class:`GridSpecError` naming the spec and the rule it broke:
+
+* ``step == 0`` — a grid that never advances;
+* ``lo > hi`` — an empty range (reversed bounds are always a typo here;
+  grids are unordered sets of values, so descending ranges add nothing);
+* ``step`` not dividing ``hi - lo`` — a silently truncated grid
+  (``hi`` would never be produced);
+* non-numeric bounds, missing values, too many ``:`` fields.
+
+The explicit-list form ``a,b,c`` is validated for numeric entries only.
+"""
+
+from __future__ import annotations
+
+from .errors import ReproError
+
+__all__ = ["GridSpecError", "parse_range", "parse_values"]
+
+
+class GridSpecError(ReproError, ValueError):
+    """A malformed or silently-lossy ``lo:hi:step`` grid spec."""
+
+
+#: Relative tolerance for the float divisibility check: float ranges
+#: (``alpha=0.5:2.5:0.5``) accumulate representation error, so exact
+#: modulo would reject legitimate grids.
+_FLOAT_DIV_TOL = 1e-9
+
+
+def _cast(value: str, cast, spec: str, what: str):
+    try:
+        return cast(value)
+    except (TypeError, ValueError):
+        raise GridSpecError(
+            f"bad grid spec {spec!r}: non-numeric {what} {value!r}"
+        ) from None
+
+
+def parse_range(text: str, *, cast=int, spec: str = "") -> list:
+    """Parse one inclusive ``lo:hi[:step]`` range into a value list.
+
+    ``spec`` is the full user-facing spec the range came from, used in
+    error messages; it defaults to ``text`` itself.
+    """
+    spec = spec or text
+    parts = text.split(":")
+    if len(parts) == 2:
+        parts.append("1")
+    if len(parts) != 3:
+        raise GridSpecError(
+            f"bad grid spec {spec!r}: expected lo:hi or lo:hi:step, got "
+            f"{len(parts)} fields"
+        )
+    lo = _cast(parts[0], cast, spec, "lower bound")
+    hi = _cast(parts[1], cast, spec, "upper bound")
+    step = _cast(parts[2], cast, spec, "step")
+    return explicit_range(lo, hi, step, spec=spec, cast=cast)
+
+
+def explicit_range(lo, hi, step, *, spec: str = "", cast=int) -> list:
+    """Validate and materialise an inclusive ``lo..hi`` by ``step`` grid."""
+    spec = spec or f"{lo}:{hi}:{step}"
+    if step == 0:
+        raise GridSpecError(
+            f"bad grid spec {spec!r}: step is 0 — the grid never advances"
+        )
+    if step < 0:
+        raise GridSpecError(
+            f"bad grid spec {spec!r}: step {step} is negative — grids are "
+            f"unordered value sets, write {hi}:{lo}:{-step} instead"
+        )
+    if lo > hi:
+        raise GridSpecError(
+            f"bad grid spec {spec!r}: lower bound {lo} exceeds upper "
+            f"bound {hi} (empty range)"
+        )
+    span = hi - lo
+    steps, remainder = divmod(span, step)
+    if cast is int:
+        lossy = remainder != 0
+    else:
+        ratio = span / step
+        lossy = abs(ratio - round(ratio)) > _FLOAT_DIV_TOL * max(1.0, ratio)
+        steps = round(ratio)
+    if lossy:
+        raise GridSpecError(
+            f"bad grid spec {spec!r}: step {step} does not divide the "
+            f"range {lo}..{hi} — {hi} would silently never be produced; "
+            f"use an explicit value list instead"
+        )
+    return [cast(lo + i * step) for i in range(int(steps) + 1)]
+
+
+def parse_values(text: str, *, cast=int, spec: str = "") -> list:
+    """``lo:hi[:step]`` or ``a,b,c`` into a validated typed value list."""
+    spec = spec or text
+    text = text.strip()
+    if ":" in text:
+        return parse_range(text, cast=cast, spec=spec)
+    values = [
+        _cast(part, cast, spec, "entry")
+        for part in text.split(",")
+        if part.strip()
+    ]
+    if not values:
+        raise GridSpecError(f"bad grid spec {spec!r}: names no values")
+    return values

@@ -29,7 +29,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence, Union
 
-from ..symbolic import Expr, ExprLike, Symbol, as_expr, sym
+from ..symbolic import Expr, ExprLike, Symbol, as_expr, floor_div, sym
 from .core import (
     AccessKind,
     ArrayDecl,
@@ -82,8 +82,11 @@ class PhaseBuilder:
                             parallel=parallel)
             yield_value: Expr = index_sym
         else:
-            # normalize: i' in 0..trip-1, original = lower + step*i'
-            trip_minus_1 = (upper_e - lower_e) / step  # exact for affine use
+            # normalize: i' in 0..trip-1, original = lower + step*i'.
+            # Fortran trip-count semantics: the number of full steps that
+            # fit is floor((upper-lower)/step) for either step sign; the
+            # exact-division shortcut keeps affine bounds affine.
+            trip_minus_1 = floor_div(upper_e - lower_e, step)
             node = LoopNode(index=index_sym, lower=as_expr(0),
                             upper=trip_minus_1, parallel=parallel)
             yield_value = lower_e + step * index_sym

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..symbolic import Expr, ExprLike, as_expr
+from ..symbolic import Expr, ExprLike, as_expr, floor_div
 from .core import ArrayDecl, LoopNode, Phase, RefNode, Reference
 
 __all__ = ["linearize", "normalize_phase", "normalize_loop"]
@@ -55,8 +55,10 @@ def normalize_loop(node: LoopNode, lower: ExprLike = 0, step: int = 1) -> LoopNo
         rewritten_children = [_normalize_child(c) for c in node.children]
         return LoopNode(index=node.index, lower=node.lower, upper=node.upper,
                         parallel=node.parallel, children=rewritten_children)
-    # General case: i runs lower..upper step s  ->  i' runs 0..(upper-lower)/s
-    trip_minus_1 = (node.upper - node.lower) / step
+    # General case: i runs lower..upper step s  ->  i' runs
+    # 0..floor((upper-lower)/s) — Fortran trip-count semantics; exact
+    # divisions take the affine shortcut inside floor_div.
+    trip_minus_1 = floor_div(node.upper - node.lower, step)
     original = node.lower + step * node.index
     mapping = {node.index: original}
 

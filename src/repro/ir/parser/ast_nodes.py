@@ -16,6 +16,8 @@ __all__ = [
     "ParamDecl",
     "ArrayDecl",
     "Assign",
+    "Comparison",
+    "IfGuard",
     "DoLoop",
     "PrivateDecl",
     "PhaseDef",
@@ -93,6 +95,31 @@ class Assign:
 
     target: ArrayRef
     rhs: AstExpr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <relop> right`` — only valid as an IF-guard condition."""
+
+    op: str  # < <= > >= == /=
+    left: AstExpr
+    right: AstExpr
+    line: int = 0
+
+
+@dataclass
+class IfGuard:
+    """``if (cond) then ... end if`` around statements inside a loop.
+
+    Guards are *summarized conservatively* at lowering: the guarded
+    body's references are kept unconditionally (the standard LMAD
+    over-approximation for control flow the descriptor algebra cannot
+    carry), and the condition's own array references count as reads.
+    """
+
+    cond: Comparison
+    body: list = field(default_factory=list)  # DoLoop | Assign | IfGuard
     line: int = 0
 
 

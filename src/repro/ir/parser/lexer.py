@@ -39,6 +39,7 @@ KEYWORDS = {
     "program", "end", "param", "array", "phase", "do", "doall",
     "enddo", "endphase", "endprogram", "private", "step",
     "subroutine", "endsubroutine", "call",
+    "if", "then", "endif", "else",
 }
 
 
@@ -80,6 +81,7 @@ _TOKEN_RE = re.compile(
     | (?P<number>\d+)
     | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
     | (?P<dstar>\*\*)
+    | (?P<relop><=|>=|==|/=|<|>)
     | (?P<op>[+\-*/(),=])
     """,
     re.VERBOSE,
@@ -128,6 +130,8 @@ def tokenize(source: str) -> List[Token]:
                 tokens.append(Token(TokenKind.IDENT, text, line, col))
         elif kind == "dstar":
             tokens.append(Token(TokenKind.OP, "**", line, col))
+        elif kind == "relop":
+            tokens.append(Token(TokenKind.OP, text, line, col))
         else:
             tokens.append(Token(TokenKind.OP, text, line, col))
     if tokens and tokens[-1].kind is not TokenKind.NEWLINE:

@@ -22,7 +22,9 @@ from .ast_nodes import (
     BinOp,
     Call,
     CallStmt,
+    Comparison,
     DoLoop,
+    IfGuard,
     Name,
     NumberLit,
     PhaseDef,
@@ -84,7 +86,13 @@ class _Lowerer:
             if expr.op == "*":
                 return left * right
             if expr.op == "/":
-                return left / right
+                try:
+                    return left / right
+                except ZeroDivisionError:
+                    raise LoweringError(
+                        f"line {expr.line}: division by zero in constant "
+                        f"expression"
+                    ) from None
             if expr.op == "**":
                 if left == as_expr(2):
                     return pow2(right)
@@ -107,7 +115,28 @@ class _Lowerer:
                 f"line {expr.line}: array reference {expr.array!r} cannot "
                 "appear inside a subscript or bound expression"
             )
+        if isinstance(expr, Comparison):
+            raise LoweringError(
+                f"line {expr.line}: comparisons are only valid as IF-guard "
+                "conditions"
+            )
         raise LoweringError(f"unsupported expression node {expr!r}")
+
+    def _array(self, name: str, line: int):
+        """The IR array bound to ``name``, or a positioned error.
+
+        The parser guarantees every program-level array is declared; the
+        remaining hole is a subroutine dummy used in array position when
+        the call site bound it to a scalar expression.
+        """
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise LoweringError(
+                f"line {line}: {name!r} is referenced as an array but is "
+                "not bound to one here (was a scalar passed for an array "
+                "dummy argument?)"
+            ) from None
 
     def lower_decls(self) -> None:
         for p in self.ast.params:
@@ -128,13 +157,43 @@ class _Lowerer:
             _collect_reads(sub, reads)
         for ref in reads:
             ph.read(
-                self.arrays[ref.array],
+                self._array(ref.array, ref.line),
                 *[self.lower_expr(s) for s in ref.subscripts],
             )
         ph.write(
-            self.arrays[stmt.target.array],
+            self._array(stmt.target.array, stmt.target.line),
             *[self.lower_expr(s) for s in stmt.target.subscripts],
         )
+
+    def lower_if(self, ph: PhaseBuilder, stmt: IfGuard) -> None:
+        """Lower an IF guard by conservative erasure.
+
+        The descriptor algebra carries no predicates, so the guard is
+        summarized the way the paper's LMAD framework over-approximates
+        data-dependent control flow: the guarded body contributes its
+        references unconditionally, and array references in the
+        condition itself count as reads.  Every consumer downstream —
+        the analysis, the interpreter and therefore each differential
+        oracle — sees the same erased IR, so the pipeline stays
+        internally consistent.
+        """
+        reads: list = []
+        _collect_reads(stmt.cond.left, reads)
+        _collect_reads(stmt.cond.right, reads)
+        for ref in reads:
+            ph.read(
+                self._array(ref.array, ref.line),
+                *[self.lower_expr(s) for s in ref.subscripts],
+            )
+        for inner in stmt.body:
+            if isinstance(inner, DoLoop):
+                self.lower_loop(ph, inner)
+            elif isinstance(inner, IfGuard):
+                self.lower_if(ph, inner)
+            elif isinstance(inner, CallStmt):
+                self.lower_call(ph, inner)
+            else:
+                self.lower_assign(ph, inner)
 
     def lower_loop(self, ph: PhaseBuilder, loop: DoLoop) -> None:
         step = 1
@@ -146,8 +205,29 @@ class _Lowerer:
                 raise LoweringError(
                     f"line {loop.line}: loop step must be a constant integer"
                 ) from None
+            if step == 0:
+                raise LoweringError(
+                    f"line {loop.line}: loop step must be nonzero"
+                )
         lower = self.lower_expr(loop.lower)
         upper = self.lower_expr(loop.upper)
+        try:
+            lo_i = lower.as_int()
+            hi_i = upper.as_int()
+        except ValueError:
+            # Symbolic bounds: the builder's exact normalization needs
+            # the step to divide (upper - lower); all bundled codes
+            # guarantee that algebraically (e.g. parity-matched bounds).
+            pass
+        else:
+            # Concrete bounds: renormalize to Fortran trip-count
+            # semantics.  The last iterate is lower + step*floor(span /
+            # step), not necessarily `upper`, and a deep zero-trip range
+            # canonicalises to trip count 0 — without this, a
+            # non-dividing step would leave a fractional trip count
+            # that only explodes much later, inside evaluation.
+            trips_minus_1 = max((hi_i - lo_i) // step, -1)
+            upper = as_expr(lo_i + trips_minus_1 * step)
         symbol_name = loop.index + self._suffix
         with ph.do(symbol_name, lower, upper, step=step,
                    parallel=loop.parallel) as induction:
@@ -159,6 +239,8 @@ class _Lowerer:
                 for stmt in loop.body:
                     if isinstance(stmt, DoLoop):
                         self.lower_loop(ph, stmt)
+                    elif isinstance(stmt, IfGuard):
+                        self.lower_if(ph, stmt)
                     elif isinstance(stmt, CallStmt):
                         self.lower_call(ph, stmt)
                     else:
@@ -244,6 +326,8 @@ class _Lowerer:
             for stmt in sub.body:
                 if isinstance(stmt, DoLoop):
                     self.lower_loop(ph, stmt)
+                elif isinstance(stmt, IfGuard):
+                    self.lower_if(ph, stmt)
                 elif isinstance(stmt, CallStmt):
                     self.lower_call(ph, stmt)
                 else:

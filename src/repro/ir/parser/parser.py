@@ -13,7 +13,11 @@ Grammar (newline-separated statements; keywords case-insensitive)::
     private   :=  "private" IDENT ("," IDENT)* NL
     loop      :=  ("do" | "doall") IDENT "=" expr "," expr
                   ("," "step"? expr)? NL stmt* enddo NL
-    stmt      :=  loop | assign | "call" IDENT "(" expr ("," expr)* ")" NL
+    stmt      :=  loop | ifguard | assign
+               |  "call" IDENT "(" expr ("," expr)* ")" NL
+    ifguard   :=  "if" "(" expr relop expr ")" "then" NL stmt*
+                  ("endif" | "end" "if") NL    -- no ELSE branch
+    relop     :=  "<" | "<=" | ">" | ">=" | "==" | "/="
     assign    :=  arrayref "=" expr NL
     expr      :=  term (("+" | "-") term)*
     term      :=  power (("*" | "/") power)*
@@ -39,7 +43,9 @@ from .ast_nodes import (
     BinOp,
     Call,
     CallStmt,
+    Comparison,
     DoLoop,
+    IfGuard,
     Name,
     NumberLit,
     ParamDecl,
@@ -55,6 +61,10 @@ __all__ = ["ParseError", "parse_program"]
 
 class ParseError(SyntaxError):
     """Parse failure with token context."""
+
+
+#: Relational operators accepted in IF-guard conditions.
+_RELOPS = frozenset({"<", "<=", ">", ">=", "==", "/="})
 
 
 class _Parser:
@@ -77,6 +87,13 @@ class _Parser:
     def error(self, message: str) -> ParseError:
         tok = self.peek()
         return ParseError(f"line {tok.line}: {message} (got {tok})")
+
+    def unclosed(self, what: str, opened_line: int, closer: str) -> ParseError:
+        """Positioned error for a construct still open at end of input."""
+        return ParseError(
+            f"line {self.peek().line}: unexpected end of input — unclosed "
+            f"{what} opened at line {opened_line}; expected {closer}"
+        )
 
     def expect_op(self, op: str) -> Token:
         tok = self.peek()
@@ -189,11 +206,17 @@ class _Parser:
             if self.peek().is_kw("step"):
                 self.advance()
             step = self.parse_expr()
+        elif self.peek().is_kw("step"):
+            raise self.error("expected ',' before the STEP clause")
         self.expect_newline()
         body: list = []
         while True:
             self.skip_newlines()
             tok = self.peek()
+            if tok.kind is TokenKind.EOF:
+                raise self.unclosed(
+                    f"'{kw.text}' loop over {index}", kw.line, "'end do'"
+                )
             if tok.is_kw("enddo"):
                 self.advance()
                 break
@@ -223,10 +246,54 @@ class _Parser:
         self.expect_newline()
         return CallStmt(name=name, args=tuple(args), line=kw.line)
 
+    def parse_cond(self) -> Comparison:
+        left = self.parse_expr()
+        tok = self.peek()
+        if not (tok.kind is TokenKind.OP and tok.text in _RELOPS):
+            raise self.error(
+                "expected a comparison operator (<, <=, >, >=, ==, /=)"
+            )
+        self.advance()
+        right = self.parse_expr()
+        return Comparison(tok.text, left, right, tok.line)
+
+    def parse_if(self) -> IfGuard:
+        kw = self.expect_kw("if")
+        self.expect_op("(")
+        cond = self.parse_cond()
+        self.expect_op(")")
+        self.expect_kw("then")
+        self.expect_newline()
+        body: list = []
+        while True:
+            self.skip_newlines()
+            tok = self.peek()
+            if tok.kind is TokenKind.EOF:
+                raise self.unclosed("IF guard", kw.line, "'end if'")
+            if tok.is_kw("endif"):
+                self.advance()
+                break
+            if tok.is_kw("end"):
+                self.advance()
+                if self.peek().is_kw("if"):
+                    self.advance()
+                    break
+                raise self.error("expected 'end if' to close the guard")
+            if tok.is_kw("else"):
+                raise self.error(
+                    "ELSE branches are not supported; write a second "
+                    "IF guard with the complementary condition"
+                )
+            body.append(self.parse_statement())
+        self.expect_newline()
+        return IfGuard(cond=cond, body=body, line=kw.line)
+
     def parse_statement(self):
         tok = self.peek()
         if tok.is_kw("do", "doall"):
             return self.parse_loop()
+        if tok.is_kw("if"):
+            return self.parse_if()
         if tok.is_kw("call"):
             return self.parse_call()
         if tok.kind is TokenKind.IDENT:
@@ -239,7 +306,7 @@ class _Parser:
             rhs = self.parse_expr()
             self.expect_newline()
             return Assign(target=target, rhs=rhs, line=tok.line)
-        raise self.error("expected DO loop or assignment")
+        raise self.error("expected DO loop, IF guard or assignment")
 
     # -- top level ---------------------------------------------------------------
 
@@ -251,6 +318,10 @@ class _Parser:
         while True:
             self.skip_newlines()
             tok = self.peek()
+            if tok.kind is TokenKind.EOF:
+                raise self.unclosed(
+                    f"phase {name}", kw.line, "'end phase'"
+                )
             if tok.is_kw("endphase"):
                 self.advance()
                 break
@@ -300,6 +371,10 @@ class _Parser:
             while True:
                 self.skip_newlines()
                 tok = self.peek()
+                if tok.kind is TokenKind.EOF:
+                    raise self.unclosed(
+                        f"subroutine {name}", kw.line, "'end subroutine'"
+                    )
                 if tok.is_kw("endsubroutine"):
                     self.advance()
                     break
@@ -345,7 +420,7 @@ class _Parser:
 
     def parse_program(self) -> ProgramDef:
         self.skip_newlines()
-        self.expect_kw("program")
+        kw = self.expect_kw("program")
         name = self.expect_ident().text
         self.expect_newline()
         prog = ProgramDef(name=name)
@@ -401,7 +476,9 @@ class _Parser:
                 prog.subroutines.append(self.parse_subroutine())
                 continue
             if tok.kind is TokenKind.EOF:
-                break
+                raise self.unclosed(
+                    f"program {name}", kw.line, "'end program'"
+                )
             raise self.error("expected declaration, phase or 'end program'")
         return prog
 

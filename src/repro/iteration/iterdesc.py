@@ -221,7 +221,13 @@ class IterationDescriptor:
             result = None
         else:
             a = form.coeff(p_symbol)
-            if p_symbol in form.constant.free_symbols():
+            # A usable balanced value may mention only the chunk size and
+            # program parameters.  A leftover *loop index* (triangular
+            # bounds make the row extent iteration-dependent: ``do j =
+            # 0, i``) means the value is not a function of p at all.
+            loop_syms = {lv.symbol for lv in self.ctx.loops}
+            leaked = (a.free_symbols() | form.constant.free_symbols()) & loop_syms
+            if p_symbol in form.constant.free_symbols() or leaked:
                 result = None
             else:
                 result = (a, form.constant)

@@ -35,6 +35,8 @@ __all__ = [
     "shifted_distance",
     "reverse_distance",
     "iteration_overlap_distance",
+    "cross_row_iteration_overlap",
+    "reverse_aliasing_overlap",
     "row_overlap_distance",
     "analyze_symmetry",
 ]
@@ -126,7 +128,12 @@ def iteration_overlap_distance(row: IDRow, ctx: Context) -> Optional[Expr]:
                 if steps is not None:
                     return inner.count - steps
                 return span - dp + 1
-            return None  # jumps past the whole row
+            if ctx.is_lt(span, dp):
+                return None  # provably jumps past the whole row
+            # Neither dp <= span nor span < dp is provable (symbolic
+            # count, e.g. a T-tap window): claiming overlap is the sound
+            # side — it can only downgrade locality, never fake it.
+            return row.extent + 1
         if ctx.is_lt(span, dp):
             return None
         # Not provably on/off the lattice: conservative claim.
@@ -152,7 +159,10 @@ def iteration_overlap_distance(row: IDRow, ctx: Context) -> Optional[Expr]:
                 # aligned jump by whole outer periods
                 if ctx.is_le(dp, outer.span):
                     return row.extent - dp + 1
-                return None
+                if ctx.is_lt(outer.span, dp):
+                    return None
+                # Unprovable either way: sound-conservative claim.
+                return row.extent + 1
         # Irregular two-level lattice: conservative claim when the jump
         # is within reach of the total span.
         if ctx.is_lt(row.extent, dp):
@@ -163,6 +173,135 @@ def iteration_overlap_distance(row: IDRow, ctx: Context) -> Optional[Expr]:
     if ctx.is_lt(row.extent, dp):
         return None
     return row.extent + 1
+
+
+def cross_row_iteration_overlap(
+    a: IDRow, b: IDRow, ctx: Context
+) -> Optional[Expr]:
+    """``Δs`` between row ``b`` at iteration ``i+1`` and row ``a`` at ``i``.
+
+    The per-row check (:func:`iteration_overlap_distance`) misses halos
+    carried *between* rows: a 3-D stencil's ``k+1``-plane read at
+    iteration ``i`` is exactly the ``k``-plane read of iteration
+    ``i+1`` — each row translates past itself (``delta_P`` = one whole
+    plane) yet consecutive iterations still share two planes.  For two
+    same-shape, same-direction rows the translate of ``b`` by
+    ``delta_P`` overlaps ``a`` iff their displacement is within the
+    common extent; when the displacement's sign or size cannot be
+    proved, overlap is claimed (sound-conservative).
+    """
+    if a.sign_p != b.sign_p or a.delta_p != b.delta_p:
+        return None
+    if a.delta_p.is_zero or not _same_seq_shape(a, b):
+        return None
+    shift = (b.base0 + b.delta_p) - a.base0
+    if shift.is_zero:
+        return a.extent + 1
+    for d in (shift, -shift):
+        if ctx.is_nonneg(d):
+            if ctx.is_le(d, a.extent):
+                return a.extent - d + 1
+            if ctx.is_lt(a.extent, d):
+                return None
+            return a.extent + 1
+    # Sign unknown: conservative claim.
+    return a.extent + 1
+
+
+def reverse_aliasing_overlap(
+    a: IDRow, b: IDRow, ctx: Context
+) -> Optional[Expr]:
+    """``Δs`` from a reverse pair whose address ranges intersect.
+
+    An ascending row and a descending row walking the *same* addresses
+    (``B(i)`` read, ``B(N-1-i)`` written) alias far-apart iterations
+    onto one element: iteration ``i`` and iteration ``Δr - i`` touch
+    the same address, so the regions of distinct iterations are not
+    disjoint and Theorem 1(b) must not fire.  TFFT2's F8-style reverse
+    pairs mirror into a *different* plane — provably disjoint ranges —
+    and stay overlap-free.  When disjointness cannot be proved, overlap
+    is claimed (sound-conservative, over-claiming is legal).
+    """
+    if a.sign_p == b.sign_p or a.delta_p != b.delta_p:
+        return None
+    if a.delta_p.is_zero:
+        return None
+    lo_a = a.base0
+    hi_a = a.base0 + (a.count_p - 1) * a.delta_p + a.extent
+    lo_b = b.base0
+    hi_b = b.base0 + (b.count_p - 1) * b.delta_p + b.extent
+    if ctx.is_lt(hi_a, lo_b) or ctx.is_lt(hi_b, lo_a):
+        return None  # split-plane mirror: ranges provably disjoint
+
+    if not a.seq_dims and not b.seq_dims:
+        # Pointwise rows: the ascending row's address at iteration ``i``
+        # meets the descending row's at iteration ``k`` iff
+        # ``i + k == S``.  Only ``i == k`` meetings are harmless (same
+        # processor); ``S == 0`` and the equal-count top corner are the
+        # two cases where that is the *unique* solution — e.g. TFFT2's
+        # F8 planes, which abut at exactly the mirror fixed point.
+        from ..symbolic import divide_exact
+
+        asc, desc = (a, b) if a.sign_p > 0 else (b, a)
+        d_hi = desc.base0 + (desc.count_p - 1) * desc.delta_p
+        S = divide_exact(d_hi - asc.base0, asc.delta_p)
+        if S is not None:
+            if ctx.is_lt(S, 0):
+                return None  # iteration spaces never meet
+            maxsum = (asc.count_p - 1) + (desc.count_p - 1)
+            if ctx.is_lt(maxsum, S):
+                return None
+            if S.is_zero:
+                return None  # unique meeting at i = k = 0
+            if (S - maxsum).is_zero and (asc.count_p - desc.count_p).is_zero:
+                return None  # unique meeting at the shared top corner
+    # Affine over-cover of the union (same rationale as
+    # stride_aliasing_overlap: no min/max atoms downstream).  For the
+    # common same-shape mirror the two ranges coincide and the width of
+    # either is exact.
+    width_a = hi_a - lo_a + 1
+    width_b = hi_b - lo_b + 1
+    if ctx.is_le(lo_a, lo_b) and ctx.is_le(hi_b, hi_a):
+        return width_a
+    if ctx.is_le(lo_b, lo_a) and ctx.is_le(hi_a, hi_b):
+        return width_b
+    return width_a + width_b
+
+
+def stride_aliasing_overlap(
+    a: IDRow, b: IDRow, ctx: Context
+) -> Optional[Expr]:
+    """``Δs`` from two rows with *different* parallel strides whose
+    address ranges intersect.
+
+    When ``X(i)`` sits beside ``X(2*i)`` the two arithmetic progressions
+    collide at iteration pairs ``i = 2*k`` arbitrarily far apart, so the
+    regions of distinct iterations are not disjoint and Theorem 1(b)
+    must not fire.  The same-stride machinery above never sees these
+    pairs (every check demands a common ``delta_P``).  Provably disjoint
+    ranges (split-plane segments) are exempt; otherwise the width of the
+    combined range is claimed (sound-conservative — over-claiming can
+    only downgrade locality, never fake it)."""
+    if a.delta_p == b.delta_p:
+        return None  # common-stride pairs have the exact Δ machinery
+    if a.delta_p.is_zero or b.delta_p.is_zero:
+        return None  # invariant rows already claim full overlap per-row
+    lo_a = a.base0
+    hi_a = a.base0 + (a.count_p - 1) * a.delta_p + a.extent
+    lo_b = b.base0
+    hi_b = b.base0 + (b.count_p - 1) * b.delta_p + b.extent
+    if ctx.is_lt(hi_a, lo_b) or ctx.is_lt(hi_b, lo_a):
+        return None  # separate planes: each address has one accessing row
+    # Claim an affine over-cover of the union — min/max atoms here would
+    # leak into the balanced condition's halo-slack comparisons, where
+    # the context prover handles them badly.
+    width_a = hi_a - lo_a + 1
+    width_b = hi_b - lo_b + 1
+    if ctx.is_le(lo_a, lo_b) and ctx.is_le(hi_b, hi_a):
+        return width_a  # b's range sits inside a's
+    if ctx.is_le(lo_b, lo_a) and ctx.is_le(hi_a, hi_b):
+        return width_b
+    return width_a + width_b
 
 
 def row_overlap_distance(a: IDRow, b: IDRow, ctx: Context) -> Optional[Expr]:
@@ -272,12 +411,31 @@ def analyze_symmetry(idesc: IterationDescriptor, ctx: Context) -> StorageSymmetr
                 candidate = rows[idx].base0 + rows[idx].extent
                 if ctx.is_le(top, candidate):
                     top = candidate
+                elif not ctx.is_le(candidate, top):
+                    # Unprovable order (opaque floordiv extents from
+                    # floor-normalized step loops): silently skipping
+                    # the candidate would under-claim Δs, a soundness
+                    # bug.  Fall back to the affine over-cover — the
+                    # sum of every row's reach past the cluster base
+                    # (each term is nonnegative, so the sum bounds the
+                    # true maximum); min/max atoms would choke the
+                    # context prover downstream.
+                    top = base
+                    for k in cluster:
+                        top = top + (
+                            rows[k].base0 - base + rows[k].extent
+                        )
+                    break
             combined_extent = top - base
             if delta_p.is_zero:
                 overlap.append((cluster[0], None, combined_extent + 1))
                 continue
             d = combined_extent - delta_p + 1
-            if ctx.is_positive(d):
+            if ctx.is_positive(d) or not ctx.is_nonneg(-d):
+                # Provably positive, or unprovable either way (symbolic
+                # window count with no lower bound): claiming is the
+                # sound side — dropping the claim would let Theorem 1(b)
+                # promise locality over a real halo.
                 overlap.append((cluster[0], None, d))
 
     for i in range(len(rows)):
@@ -292,4 +450,16 @@ def analyze_symmetry(idesc: IterationDescriptor, ctx: Context) -> StorageSymmetr
             ds = row_overlap_distance(a, b, ctx)
             if ds is not None:
                 overlap.append((i, j, ds))
+            dx = cross_row_iteration_overlap(a, b, ctx)
+            if dx is not None:
+                overlap.append((i, j, dx))
+            dx = cross_row_iteration_overlap(b, a, ctx)
+            if dx is not None:
+                overlap.append((j, i, dx))
+            da = reverse_aliasing_overlap(a, b, ctx)
+            if da is not None:
+                overlap.append((i, j, da))
+            ds2 = stride_aliasing_overlap(a, b, ctx)
+            if ds2 is not None:
+                overlap.append((i, j, ds2))
     return StorageSymmetry(shifted=shifted, reverse=reverse, overlap=overlap)

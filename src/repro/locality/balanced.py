@@ -110,6 +110,17 @@ class BalancedCondition:
             return Feasibility.UNKNOWN, None
         a_k, a_g, c = self.slope_k, self.slope_g, self.shift
         if c.is_zero:
+            # Parallel-invariant sides (slope 0: the row does not move
+            # with the chunk) never balance against a moving side — the
+            # equation degenerates to ``a * p = 0`` with ``p >= 1`` —
+            # while two invariant sides balance trivially.
+            if a_k.is_zero and a_g.is_zero:
+                return Feasibility.FEASIBLE, (_one(), _one())
+            if a_k.is_zero or a_g.is_zero:
+                moving = a_g if a_k.is_zero else a_k
+                if ctx.is_positive(moving) or ctx.is_positive(-moving):
+                    return Feasibility.INFEASIBLE, None
+                return Feasibility.UNKNOWN, None
             # a_k * p_k = a_g * p_g: minimal solution from the stride
             # ratio.  Note that c == 0 solutions are *cyclically
             # consistent*: the per-chunk extents a_k*p_k and a_g*p_g are
@@ -256,7 +267,7 @@ class BalancedCondition:
                 return hit
         verdict, witness = self.check_symbolic(ctx, H)
         if verdict is Feasibility.UNKNOWN:
-            if env is not None and H_value is not None:
+            if self.affine and env is not None and H_value is not None:
                 sol = self.solve_concrete(env, H_value)
                 if sol.feasible:
                     verdict, witness = Feasibility.FEASIBLE, sol.smallest()

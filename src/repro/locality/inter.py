@@ -121,9 +121,14 @@ def analyze_edge(
     balanced_holds = feas is Feasibility.FEASIBLE
 
     label = classify_edge(attr_k, attr_g, overlap_k, balanced_holds)
-    if label == "L" and not intra_k.holds:
+    if label == "L" and not (intra_k.holds and intra_g.holds):
+        # Table 1's L entries presuppose the intra-phase condition on
+        # *both* endpoints: an L edge into a phase whose own locality
+        # fails (e.g. a mirrored R/W) would promise a layout that keeps
+        # F_g local when none exists.
         label = "C"
-        reason = "balanced but intra-phase locality of F_k fails"
+        side = "F_k" if not intra_k.holds else "F_g"
+        reason = f"balanced but intra-phase locality of {side} fails"
     elif label == "L":
         reason = f"balanced locality holds ({bal.equation_str()})"
     elif not balanced_holds:

@@ -121,6 +121,24 @@ def _check_intra_phase_uncached(
             iteration_descriptor=None,
         )
 
+    if _incommensurate_strides(idesc, phase.loop_context(ctx)):
+        # Rows walk the parallel index at *different* nonzero strides
+        # over intersecting address ranges (``X(i)`` beside ``X(2*i)``).
+        # The storage-symmetry model of §3 is built on translation
+        # symmetry at a common delta_P — no CYCLIC(p) distribution makes
+        # both rows iteration-local, and iteration ``i`` of the slow row
+        # aliases iteration ``j`` of the fast row arbitrarily far away,
+        # so neither case (b) nor a Δs halo applies: no guarantee.
+        return IntraPhaseResult(
+            phase_name=phase.name,
+            array_name=array.name,
+            attribute=attribute,
+            holds=False,
+            case=None,
+            symmetry=symmetry,
+            iteration_descriptor=idesc,
+        )
+
     if not symmetry.has_overlap:
         # Case (b): non-privatizable, no overlapping storage.
         return IntraPhaseResult(
@@ -154,6 +172,31 @@ def _check_intra_phase_uncached(
         symmetry=symmetry,
         iteration_descriptor=idesc,
     )
+
+
+def _incommensurate_strides(idesc, ctx: Context) -> bool:
+    """True when two rows traverse intersecting ranges at distinct δ_P.
+
+    Provably disjoint segments (e.g. ``X(i)`` over one plane and
+    ``X(N + 2*i)`` over another) are exempt: each address keeps a unique
+    accessing row, so the rows constrain the distribution independently.
+    """
+    rows = idesc.rows
+    for i in range(len(rows)):
+        for j in range(i + 1, len(rows)):
+            a, b = rows[i], rows[j]
+            if a.delta_p.is_zero or b.delta_p.is_zero:
+                continue  # invariant rows are handled by the Δs claims
+            if a.delta_p == b.delta_p:
+                continue  # the symmetry machinery covers common strides
+            lo_a = a.base0
+            hi_a = a.base0 + (a.count_p - 1) * a.delta_p + a.extent
+            lo_b = b.base0
+            hi_b = b.base0 + (b.count_p - 1) * b.delta_p + b.extent
+            if ctx.is_lt(hi_a, lo_b) or ctx.is_lt(hi_b, lo_a):
+                continue
+            return True
+    return False
 
 
 def _descriptor_or_none(phase: Phase, array: ArrayDecl, ctx: Context):

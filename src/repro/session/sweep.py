@@ -32,6 +32,7 @@ import itertools
 from typing import Mapping
 
 from ..distribution import pareto_front
+from ..gridspec import GridSpecError, parse_values
 from .state import Session, SessionError
 
 __all__ = ["parse_sweep_spec", "parse_sweep_args", "run_sweep"]
@@ -44,40 +45,17 @@ _FLOAT_KEYS = ("alpha", "beta")
 
 
 def _parse_values(key: str, text: str) -> list:
-    """``"lo:hi:step"`` (inclusive) or ``"a,b,c"`` into typed values."""
+    """``"lo:hi:step"`` (inclusive) or ``"a,b,c"`` into typed values.
+
+    Parsing and validation live in :mod:`repro.gridspec` (shared with
+    the fuzzer's grids); the strict rules — step 0, reversed bounds and
+    non-dividing steps are all hard errors — are documented there.
+    """
     cast = float if key in _FLOAT_KEYS else int
-    text = text.strip()
-    if ":" in text:
-        parts = text.split(":")
-        if len(parts) == 2:
-            parts.append("1")
-        if len(parts) != 3:
-            raise SessionError(
-                f"bad sweep range {text!r} for {key!r}: expected lo:hi:step"
-            )
-        try:
-            lo, hi, step = (cast(p) for p in parts)
-        except ValueError:
-            raise SessionError(
-                f"bad sweep range {text!r} for {key!r}: non-numeric bound"
-            ) from None
-        if step <= 0 or hi < lo:
-            raise SessionError(
-                f"bad sweep range {text!r} for {key!r}: need lo <= hi, "
-                f"step > 0"
-            )
-        values = []
-        v = lo
-        while v <= hi:
-            values.append(cast(v))
-            v += step
-        return values
     try:
-        return [cast(p) for p in text.split(",") if p.strip()]
-    except ValueError:
-        raise SessionError(
-            f"bad sweep values {text!r} for {key!r}: non-numeric entry"
-        ) from None
+        return parse_values(text, cast=cast, spec=f"{key}={text.strip()}")
+    except GridSpecError as exc:
+        raise SessionError(str(exc)) from None
 
 
 def parse_sweep_spec(spec: str) -> tuple:

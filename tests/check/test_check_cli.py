@@ -17,9 +17,29 @@ class TestEnvScaling:
         scaled = env_for("tfft2", base, 256)
         assert scaled["P"] == 256 and scaled["p"] == 8
 
-    def test_other_codes_untouched(self):
-        env = {"N": 64}
-        assert env_for("jacobi", env, 256) == env
+    def test_linear_codes_grow_with_machine(self):
+        assert env_for("jacobi", {"N": 64}, 4) == {"N": 64}
+        assert env_for("jacobi", {"N": 64}, 256) == {"N": 1024}
+
+    def test_redblack_scaling_keeps_parity(self):
+        scaled = env_for("redblack", {"N": 64}, 25)
+        assert scaled["N"] % 2 == 0 and scaled["N"] >= 100
+
+    def test_every_registered_code_has_a_scaler(self):
+        from repro.codes import ALL_CODES, ENV_SCALERS
+
+        assert set(ENV_SCALERS) >= set(ALL_CODES)
+        for name, (_, env, _) in ALL_CODES.items():
+            scaled = env_for(name, env, 128)
+            assert isinstance(scaled, dict) and scaled
+
+    def test_unregistered_code_fails_loudly(self):
+        from repro.codes import EnvScalingError
+        from repro.errors import ReproError
+
+        with pytest.raises(EnvScalingError, match="no env scaler"):
+            env_for("fortranzilla", {"N": 4}, 16)
+        assert issubclass(EnvScalingError, ReproError)
 
 
 class TestRunChecks:

@@ -85,6 +85,55 @@ def test_negative_stride_subscript():
     assert report.ok, report.render()
 
 
+def test_triangular_bounds_fall_back_not_crash():
+    """trisolve repro: ``do j = 0, i`` keeps the parallel index inside a
+    sequential count.  The row has no dim named ``i``, so it *looks*
+    self-contained, but its count cannot be evaluated with the plain
+    env — the oracle must record the documented fallback, not raise
+    ``KeyError: no value bound for symbol 'i'``."""
+    bld = ProgramBuilder("tri")
+    N = bld.param("N", minimum=4)
+    A = bld.array("A", 64)
+    Y = bld.array("Y", 64)
+    with bld.phase("F_tri") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            with ph.do("j", 0, i) as j:
+                ph.read(A, j)
+            ph.write(Y, i)
+    prog = bld.build()
+    report = check_descriptors(prog, {"N": 12})
+    assert report.ok, report.render()
+    assert any("non-self-contained" in n for n in report.notes), report.notes
+
+
+def test_zero_trip_loop_with_index_free_body():
+    """Fuzz seeds 8/9 repro: a reference under a provably-empty loop
+    whose index it does not use.  The ARD builder used to drop the
+    loop's dimension entirely (and Rule-B coalescing vacuously dropped
+    a count-0 dim), resurrecting an access that never executes — the
+    PD overclaimed ``A(i + 2)`` on every iteration."""
+    bld = ProgramBuilder("deadzero")
+    N = bld.param("N", minimum=4)
+    M = bld.param("M", minimum=2)
+    A = bld.array("A", 256)
+    with bld.phase("F") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            with ph.do("j", M, M - 1):  # provably zero-trip
+                ph.write(A, i + 2)  # subscript never mentions j
+            ph.write(A, i)
+    prog = bld.build()
+    env = {"N": 16, "M": 3}
+    report = check_descriptors(prog, env)
+    assert report.ok, report.render()
+    phase = prog.phase("F")
+    pd = compute_pd(phase, prog.arrays["A"], prog.context)
+    region = descriptor_region(pd, env)
+    truth = phase_access_set(phase, env, "A")
+    assert region is not None
+    assert np.array_equal(region, truth)
+    assert truth.max() == 15  # the dead A(i+2) contributed nothing
+
+
 def test_tampered_descriptor_is_caught(monkeypatch):
     """Corrupting a PD row must surface as a descriptor.region mismatch."""
     builder, env, _ = ALL_CODES["jacobi"]

@@ -75,3 +75,34 @@ def test_flipped_label_is_caught():
     assert any(m.kind == "lcg.label" for m in report.mismatches)
     # the flip also promises communication that never happens
     assert any(m.kind == "lcg.c_edge_comm" for m in report.mismatches)
+
+
+def test_wide_halo_within_tolerance_at_small_chunk():
+    """Fuzz seed 6 repro: reads at ``D(i)`` and ``D(i + 2)`` give a
+    per-iteration reach of 2 while the solver picks chunk ``p = 1`` at
+    a large ``H``.  The residual-remote check used to allow exactly one
+    chunk of drift regardless of the claimed reach and flagged the
+    halo's second chunk as a soundness mismatch."""
+    from repro.ir import ProgramBuilder
+
+    bld = ProgramBuilder("widehalo")
+    N = bld.param("N", minimum=8)
+    A = bld.array("A", 130)
+    D = bld.array("D", 130)
+    with bld.phase("F0") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            ph.read(D, i)
+            ph.read(D, i + 2)
+            ph.write(A, i)
+    with bld.phase("F1") as ph:
+        with ph.doall("i", 0, N - 1) as i:
+            ph.write(A, i)
+            ph.read(D, i)
+    prog = bld.build()
+    env = {"N": 128}
+    result = analyze(prog, env=env, H=64)
+    assert result.plan.phase_chunks["F0"] == 1
+    report = check_lcg(
+        prog, env, 64, program_name="widehalo", result=result
+    )
+    assert report.ok, report.render()

@@ -123,6 +123,37 @@ class TestSolvers:
         # every phase still got a chunk
         assert set(plan.phase_chunks) == {"Fk", "Fg", "Fh"}
 
+    def test_storage_relaxation_when_mirror_excludes_all_chunks(self):
+        """Fuzz seed 0 repro: ``B(N-1-i) = f(B(i))`` yields the reverse
+        storage constraint ``p*H <= (N-1)/2``, which at ``H = 64``,
+        ``N = 128`` rejects even ``p = 1``.  No locality constraint
+        exists to relax, so the solver used to raise — it must instead
+        drop the mirror-placement scheme and report it."""
+        from repro.ir import ProgramBuilder
+        from repro.locality import build_lcg
+
+        bld = ProgramBuilder("mirror")
+        N = bld.param("N", minimum=8)
+        B = bld.array("B", N)
+        with bld.phase("F") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(B, N - 1 - i)
+                ph.read(B, i)
+        prog = bld.build()
+        env = {"N": 128}
+
+        lcg = build_lcg(prog, env=env, H_value=64)
+        system = extract_constraints(lcg)
+        assert any(c.kind == "reverse" for c in system.storage)
+        plan = solve_enumerative(system, env, H=64)
+        assert plan.relaxed_storage == [("F", "B", "reverse")]
+        assert plan.phase_chunks["F"] >= 1
+
+        # At H = 16 the box admits p in 1..3: the scheme is honoured.
+        lcg16 = build_lcg(prog, env=env, H_value=16)
+        plan16 = solve_enumerative(extract_constraints(lcg16), env, H=16)
+        assert plan16.relaxed_storage == []
+
 
 class TestCosts:
     def test_perfect_balance_zero_cost(self):

@@ -167,3 +167,18 @@ class TestEfficiencyEdgeCases:
         assert report.parallel_time() == 0.0
         assert report.serial_time() > 0.0
         assert math.isnan(report.efficiency())
+
+
+class TestIterationDependentLayouts:
+    """trisolve repro: a triangular inner bound leaves the parallel
+    index free in an ID row's extent.  Layout derivation used to crash
+    with ``KeyError: no value bound for symbol 'i'``; it must instead
+    fall back to BLOCK and still execute."""
+
+    def test_trisolve_executes_with_block_fallback(self):
+        from repro.codes import ALL_CODES
+
+        builder, env, back = ALL_CODES["trisolve"]
+        result = analyze(builder(), env=env, H=4, back_edges=back)
+        total = result.report.total_local + result.report.total_remote
+        assert total > 0

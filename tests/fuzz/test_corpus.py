@@ -1,0 +1,70 @@
+"""The committed corpus: count floor, provenance, and loader strictness."""
+
+import os
+
+import pytest
+
+from repro.codes import ALL_CODES
+from repro.fuzz import generate, load_corpus, parse_fixture, render_fixture
+from repro.fuzz.corpus import CorpusError, corpus_dir
+from repro.ir.parser import parse_and_lower
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+CORPUS = corpus_dir(REPO_ROOT)
+
+
+class TestCorpusFloor:
+    def test_total_corpus_is_at_least_fifty(self):
+        """ISSUE 10 acceptance: bundled codes + committed fixtures >= 50."""
+        fixtures = load_corpus(CORPUS)
+        assert len(ALL_CODES) + len(fixtures) >= 50
+
+    def test_every_fixture_parses_and_lowers(self):
+        for fx in load_corpus(CORPUS):
+            prog = parse_and_lower(fx.source)
+            assert prog.phases, fx.name
+
+    def test_fixtures_are_byte_identical_to_their_seed(self):
+        """Provenance guard: a generator change that drifts what a seed
+        produces must fail here and regenerate the corpus explicitly
+        (``write_corpus``), not silently invalidate committed files."""
+        for fx in load_corpus(CORPUS):
+            path = os.path.join(CORPUS, fx.name)
+            with open(path, "r", encoding="utf-8") as fh:
+                committed = fh.read()
+            assert committed == render_fixture(generate(fx.seed)), fx.name
+
+    def test_fixture_envs_are_concrete_integers(self):
+        for fx in load_corpus(CORPUS):
+            assert fx.env, fx.name
+            assert all(isinstance(v, int) for v in fx.env.values()), fx.name
+
+
+class TestFixtureParsing:
+    GOOD = "! env: N=128,M=4\n! seed: 7\nprogram p\nend program\n"
+
+    def test_roundtrip(self):
+        fx = parse_fixture(self.GOOD, name="good.f")
+        assert fx.seed == 7
+        assert fx.env == {"N": 128, "M": 4}
+        assert fx.source.startswith("program p")
+
+    def test_missing_seed_header_rejected(self):
+        with pytest.raises(CorpusError, match="seed"):
+            parse_fixture("! env: N=1\nprogram p\nend program\n")
+
+    def test_missing_env_header_rejected(self):
+        with pytest.raises(CorpusError, match="env"):
+            parse_fixture("! seed: 3\nprogram p\nend program\n")
+
+    def test_malformed_env_entry_rejected(self):
+        with pytest.raises(CorpusError, match="malformed env"):
+            parse_fixture("! env: N=big\n! seed: 3\nprogram p\nend program\n")
+
+    def test_headers_without_body_rejected(self):
+        with pytest.raises(CorpusError, match="body"):
+            parse_fixture("! env: N=1\n! seed: 3\n")
+
+    def test_missing_directory_rejected(self):
+        with pytest.raises(CorpusError, match="not found"):
+            load_corpus(os.path.join(REPO_ROOT, "corpus", "no-such-dir"))

@@ -1,0 +1,74 @@
+"""Shrinker invariants: converges, only shrinks, preserves failure.
+
+The shrinker's output is what gets committed as a regression test, so
+the properties that matter are (1) the result still fails the
+predicate, (2) it is never larger than the input, (3) a second pass
+finds nothing further (fixpoint), and (4) every candidate it tries is
+structurally valid — it re-renders and parses.
+"""
+
+from repro.fuzz.generator import generate, from_spec
+from repro.fuzz.shrink import shrink, spec_size
+from repro.ir.parser import parse_and_lower
+
+
+def _mentions(array: str):
+    """A cheap deterministic 'bug': the program references ``array``."""
+
+    def failing(prog):
+        return f"{array}(" in prog.source
+
+    return failing
+
+
+def _seed_mentioning(array: str) -> int:
+    for seed in range(60):
+        if _mentions(array)(generate(seed)):
+            return seed
+    raise AssertionError(f"no seed in range mentions {array}")
+
+
+class TestShrink:
+    def test_result_still_fails_and_is_smaller(self):
+        seed = _seed_mentioning("D")
+        prog = generate(seed)
+        small = shrink(prog, _mentions("D"))
+        assert _mentions("D")(small)
+        assert spec_size(small.spec) <= spec_size(prog.spec)
+        parse_and_lower(small.source)  # remains a valid program
+
+    def test_fixpoint_is_idempotent(self):
+        seed = _seed_mentioning("B")
+        small = shrink(generate(seed), _mentions("B"))
+        again = shrink(small, _mentions("B"))
+        assert spec_size(again.spec) == spec_size(small.spec)
+
+    def test_converges_to_a_minimal_nest(self):
+        """For a 'mentions A' bug the minimum is one phase holding one
+        assignment — the shrinker should land on (or very near) it."""
+        seed = _seed_mentioning("A")
+        small = shrink(generate(seed), _mentions("A"))
+        assert len(small.spec.phases) == 1
+        # one phase + one assignment + one rhs ref + a term per side
+        assert spec_size(small.spec) <= 5
+
+    def test_crashing_predicate_candidates_are_skipped(self):
+        calls = {"n": 0}
+
+        def flaky(prog):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise RuntimeError("probe exploded")
+            return True
+
+        prog = generate(1)
+        small = shrink(prog, flaky)
+        # Never worse than the input even when half the probes die.
+        assert spec_size(small.spec) <= spec_size(prog.spec)
+
+    def test_candidates_all_rerender(self):
+        from repro.fuzz.shrink import _candidates
+
+        spec = generate(12).spec
+        for cand in _candidates(spec):
+            parse_and_lower(from_spec(cand).source)

@@ -98,6 +98,31 @@ class TestBuilder:
         acc = prog.phase("P").accesses("A")[0]
         assert acc.ref.subscript == 2 * sym("i")
 
+    def test_inexact_step_span_uses_floor_semantics(self):
+        """Fuzz seed 17 repro: ``do j = 0, M - 1, 3`` has a symbolic
+        span the step does not divide.  Exact rational normalization
+        left a fractional trip bound that exploded only at evaluation
+        time (``loop bound -1/3 + 1/3*M evaluated to non-integer
+        2/3``); Fortran trip-count semantics require floor."""
+        from repro.ir.interp import phase_access_set
+        from repro.symbolic import floor_div
+
+        bld = ProgramBuilder("floorstep")
+        M = bld.param("M")
+        A = bld.array("A", 16)
+        with bld.phase("P") as ph:
+            with ph.doall("i", 0, 0):
+                with ph.do("j", 0, M - 1, step=3) as j:
+                    ph.read(A, j)
+        prog = bld.build()
+        inner = prog.phase("P").parallel_loop.children[0]
+        assert inner.upper == floor_div(sym("M") - 1, 3)
+        # M = 3: only j = 0 executes; M = 7: j = 0, 3, 6.
+        assert list(phase_access_set(prog.phase("P"), {"M": 3}, "A")) == [0]
+        assert list(phase_access_set(prog.phase("P"), {"M": 7}, "A")) == [
+            0, 3, 6,
+        ]
+
     def test_zero_step_rejected(self):
         bld = ProgramBuilder("bad")
         N = bld.param("N")

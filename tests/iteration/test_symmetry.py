@@ -146,6 +146,199 @@ class TestOverlap:
         assert s.has_overlap
 
 
+class TestFuzzRegressions:
+    """Minimized repros for bugs the PR-10 differential sweep surfaced."""
+
+    def test_symbolic_window_claims_overlap(self):
+        """FIR repro: ``A(i + t)``, ``t < T`` with *symbolic* T.
+
+        Neither ``delta_P <= span`` nor ``span < delta_P`` is provable
+        (T could be 1), and the old code fell through to "no overlap" —
+        unsound: at T=8 consecutive iterations share 7 addresses.  The
+        unknown case must claim the full conservative Δs = T.
+        """
+
+        def refs(ph, syms, decls):
+            N, T = syms["N"], syms["T"]
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("t", 0, T - 1) as t:
+                    ph.read(decls["A"], i + t)
+
+        idesc, ctx = make_id(
+            refs, params=("N", "T"), arrays=(("A", lambda N, T: N + T),)
+        )
+        s = analyze_symmetry(idesc, ctx)
+        assert s.has_overlap
+        assert sym("T") in {d for (_, _, d) in s.overlap}
+
+    def test_cross_row_consecutive_iteration_overlap(self):
+        """stencil3d repro: row b at iteration i equals row a at i+1.
+
+        Two plane-style rows 8 apart, each jumping 8 per iteration: no
+        row overlaps *itself* and the gap keeps them out of one halo
+        cluster, but iteration i's second row is exactly iteration
+        i+1's first row — a Δs the pairwise translation check must see.
+        """
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, 3) as j:
+                    ph.read(decls["A"], 8 * i + j)
+                    ph.read(decls["A"], 8 * i + 8 + j)
+
+        idesc, ctx = make_id(refs, arrays=(("A", lambda N: 8 * N + 16),))
+        s = analyze_symmetry(idesc, ctx)
+        assert s.has_overlap
+        assert num(4) in {d for (_, _, d) in s.overlap}
+
+
+class TestStrideAliasing:
+    """Fuzz seeds 42/44 repro: rows with *different* parallel strides.
+
+    ``C(i + 2)`` beside ``C(M*i + j)`` collide across far-apart
+    iteration pairs, but every pairwise Δ check demands a common
+    ``delta_P`` — the pair slipped through with no overlap claim while
+    the interpreter measured shared addresses between consecutive
+    iterations."""
+
+    def test_mixed_strides_claim_overlap(self):
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(decls["A"], i)
+                ph.read(decls["A"], 2 * i)
+
+        idesc, ctx = make_id(refs)
+        s = analyze_symmetry(idesc, ctx)
+        assert s.has_overlap
+
+    def test_disjoint_planes_stay_exempt(self):
+        """``A(i)`` and ``A(2*i + 2*N)`` live on provably separate
+        planes: every address keeps a unique accessing row, no Δs."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(decls["A"], i)
+                ph.write(decls["A"], 2 * i + 2 * N)
+
+        idesc, ctx = make_id(refs)
+        assert not analyze_symmetry(idesc, ctx).has_overlap
+
+    def test_claim_covers_measured_overlap(self):
+        """Seed 44 concretely: at M=6 iteration 0's window [0..5]
+        contains iteration 1's point read 1+2 — the claim must cover
+        the measured single-address overlap."""
+
+        def refs(ph, syms, decls):
+            N, M = syms["N"], syms["M"]
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, M - 1) as j:
+                    ph.read(decls["A"], M * i + j)
+                ph.read(decls["A"], i + 2)
+
+        idesc, ctx = make_id(
+            refs, params=("N", "M"), arrays=(("A", lambda N, M: M * N + M),)
+        )
+        s = analyze_symmetry(idesc, ctx)
+        env = {"N": 128, "M": 6}
+        claimed = sum(int(d.evalf(env)) for (_, _, d) in s.overlap)
+        assert claimed >= 1
+
+
+class TestMixedShapeMirror:
+    """Fuzz seeds 71/198 repro: a mirror pair with *different* shapes.
+
+    ``A(N-1-i)`` read (point row, descending) beside ``A(i+j)`` written
+    through a windowed inner loop: ``reverse_aliasing_overlap`` demanded
+    identical sequential shapes — a requirement Δr's one-region storage
+    representation needs but overlap soundness does not — so the pair
+    produced no Δs, Theorem 1(b) fired, and the F0→F1 edge kept an L
+    label over genuinely remote mirror reads."""
+
+    def test_point_mirror_of_windowed_row_claims_overlap(self):
+        def refs(ph, syms, decls):
+            N, M = syms["N"], syms["M"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(decls["A"], N - 1 - i)
+                with ph.do("j", 0, M - 1, step=3) as j:
+                    ph.write(decls["A"], i + j)
+
+        idesc, ctx = make_id(
+            refs, params=("N", "M"), arrays=(("A", lambda N, M: N + M),)
+        )
+        assert analyze_symmetry(idesc, ctx).has_overlap
+
+    def test_same_shape_split_plane_mirror_stays_exempt(self):
+        """TFFT2 F8-style mirrors into a disjoint plane keep no Δs even
+        with the shape requirement dropped."""
+
+        def refs(ph, syms, decls):
+            N = syms["N"]
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(decls["A"], i)
+                ph.write(decls["A"], 3 * N - 1 - i)
+
+        idesc, ctx = make_id(refs)
+        assert not analyze_symmetry(idesc, ctx).has_overlap
+
+
+class TestClusterClaims:
+    """Fuzz seeds 23/48 repro: cluster claims silently shrank.
+
+    Two distinct failure modes in the same loop: an unprovable extent
+    ordering (opaque floordiv bounds from floor-normalized step loops)
+    dropped the larger row from the combined extent, and an unprovable
+    ``Δs > 0`` dropped the claim entirely for windows whose symbolic
+    count has no lower bound."""
+
+    def test_floordiv_extent_cluster_over_covers(self):
+        """Seed 23: ``D(k)`` (k < K) beside ``D(j)`` (j = 0,3,.. < M).
+        The step row's extent is ``3*floordiv(M-1, 3)`` — incomparable
+        with ``K-1`` — and the old max-tracking silently kept only the
+        comparable row, under-claiming Δs = 6 against a measured 7."""
+
+        def refs(ph, syms, decls):
+            N, M, K = syms["N"], syms["M"], syms["K"]
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("k", 0, K - 1) as k:
+                    ph.read(decls["A"], k)
+                with ph.do("j", 0, M - 1, step=3) as j:
+                    ph.read(decls["A"], j)
+
+        idesc, ctx = make_id(
+            refs,
+            params=("N", "M", "K"),
+            arrays=(("A", lambda N, M, K: 4 * N),),
+        )
+        s = analyze_symmetry(idesc, ctx)
+        env = {"N": 128, "M": 8, "K": 6}
+        claimed = sum(int(d.evalf(env)) for (_, _, d) in s.overlap)
+        assert claimed >= 7  # measured: iterations share {0..6}
+
+    def test_unbounded_window_still_claims(self):
+        """Seed 48: write window ``A(i + j)``, j < M, clustered with a
+        point row ``A(i)``.  ``Δs = M - 1`` is not provably positive
+        (M could be 1), and the old code claimed nothing — at M=4
+        consecutive iterations share 3 addresses."""
+
+        def refs(ph, syms, decls):
+            N, M = syms["N"], syms["M"]
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, M - 1) as j:
+                    ph.write(decls["A"], i + j)
+                ph.read(decls["A"], i)
+
+        idesc, ctx = make_id(
+            refs, params=("N", "M"), arrays=(("A", lambda N, M: N + M),)
+        )
+        s = analyze_symmetry(idesc, ctx)
+        assert s.has_overlap
+        env = {"M": 4}
+        assert any(int(d.evalf(env)) >= 3 for (_, _, d) in s.overlap)
+
+
 class TestTFFT2F8Distances:
     """The storage distances behind Table 2: Δd = PQ, Δr = PQ and 2PQ."""
 

@@ -168,3 +168,89 @@ class TestSymbolicDecisions:
         bal = balanced_condition(idk, idg, ctx)
         verdict, _ = bal.decide(ctx, H)  # no env: stays unknown
         assert verdict in (Feasibility.UNKNOWN, Feasibility.FEASIBLE)
+
+
+class TestFuzzRegressions:
+    """Crashes the PR-10 extended sweep surfaced (seeds 58/126/181/191)."""
+
+    def _build_ids(self, build_k, build_g):
+        bld = ProgramBuilder("reg")
+        N = bld.param("N")
+        A = bld.array("A", 4 * N)
+        with bld.phase("Fk") as ph:
+            build_k(ph, N, A)
+        with bld.phase("Fg") as ph:
+            build_g(ph, N, A)
+        prog = bld.build()
+        ids = []
+        for name in ("Fk", "Fg"):
+            ph = prog.phase(name)
+            pd = compute_pd(ph, prog.arrays["A"], prog.context)
+            ids.append(IterationDescriptor(pd, ph.loop_context(prog.context)))
+        return prog.context, ids[0], ids[1]
+
+    def test_triangular_extent_degrades_not_crashes(self):
+        """Seed 58: ``do j = 0, i`` makes the row extent a function of
+        the parallel index — the balanced value is not affine in p and
+        must degrade to UNKNOWN, not leak ``i`` into concrete evaluation
+        (KeyError: no value bound for symbol 'i')."""
+
+        def k(ph, N, A):
+            with ph.doall("i", 0, N - 1) as i:
+                with ph.do("j", 0, i) as j:
+                    ph.read(A, j)
+
+        def g(ph, N, A):
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(A, i)
+
+        ctx, idk, idg = self._build_ids(k, g)
+        assert idk.balanced_affine(sym("p_Fk")) is None
+        bal = balanced_condition(idk, idg, ctx)
+        assert not bal.affine
+        verdict, _ = bal.decide(ctx, H, env={"N": 128}, H_value=16)
+        assert verdict is Feasibility.UNKNOWN
+
+    def test_zero_slope_vs_moving_side_is_infeasible(self):
+        """Seed 126: a parallel-invariant side (slope 0) against a
+        moving side with zero shift reduced to ``divide_exact(a, 0)``.
+        The equation ``0 = a * p_g`` has no boxed solution."""
+        from repro.locality.balanced import BalancedCondition
+        from repro.symbolic import Context
+
+        bal = BalancedCondition(
+            phase_k="Fk",
+            phase_g="Fg",
+            array="A",
+            p_k=sym("p_Fk"),
+            p_g=sym("p_Fg"),
+            slope_k=num(0),
+            slope_g=num(1),
+            shift=num(0),
+            trip_k=sym("N"),
+            trip_g=sym("N"),
+            affine=True,
+        )
+        verdict, _ = bal.check_symbolic(Context(), H)
+        assert verdict is Feasibility.INFEASIBLE
+
+    def test_two_invariant_sides_balance_trivially(self):
+        from repro.locality.balanced import BalancedCondition
+        from repro.symbolic import Context
+
+        bal = BalancedCondition(
+            phase_k="Fk",
+            phase_g="Fg",
+            array="A",
+            p_k=sym("p_Fk"),
+            p_g=sym("p_Fg"),
+            slope_k=num(0),
+            slope_g=num(0),
+            shift=num(0),
+            trip_k=sym("N"),
+            trip_g=sym("N"),
+            affine=True,
+        )
+        verdict, witness = bal.check_symbolic(Context(), H)
+        assert verdict is Feasibility.FEASIBLE
+        assert witness == (num(1), num(1))

@@ -64,6 +64,115 @@ class TestTheorem1:
         assert r1 is r2
 
 
+class TestMirrorAliasing:
+    """Fuzz seed 0 repro: ``B(N-1-i) = f(B(i))`` aliases iterations
+    ``i`` and ``N-1-i`` through an ascending and a descending row over
+    the same addresses.  The pair is neither shifted nor plainly
+    overlapping, so it used to slip past Theorem 1 as case b — and an
+    incoming edge kept its ``L`` label, promising a layout that keeps
+    the mirroring phase local when none exists."""
+
+    def _mirror_program(self):
+        bld = ProgramBuilder("mirror")
+        N = bld.param("N", minimum=8)
+        A = bld.array("A", N)
+        B = bld.array("B", N)
+        with bld.phase("F0") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.read(B, i)
+                ph.write(A, i)
+        with bld.phase("F1") as ph:
+            with ph.doall("i", 0, N - 1) as i:
+                ph.write(B, N - 1 - i)
+                ph.read(B, i)
+        return bld.build()
+
+    def test_mirrored_write_read_fails_intra(self):
+        prog = self._mirror_program()
+        res = check_intra_phase(
+            prog.phase("F1"), prog.arrays["B"], prog.context
+        )
+        assert not res.holds
+        assert res.symmetry.has_overlap
+
+    def test_edge_into_mirroring_phase_is_demoted_to_c(self):
+        from repro.locality import build_lcg
+
+        prog = self._mirror_program()
+        lcg = build_lcg(prog, env={"N": 64}, H_value=16)
+        labels = {
+            (k, g): label for (k, g, label) in lcg.labels("B")
+        }
+        assert labels[("F0", "F1")] == "C"
+
+
+class TestIncommensurateStrides:
+    """Fuzz seed 16 repro: ``C(i)`` beside ``C(2*i)`` in one phase.
+
+    The rows traverse intersecting addresses at *different* parallel
+    strides, so no CYCLIC(p) distribution makes both iteration-local,
+    and iteration ``i`` of the unit row aliases iteration ``2*i`` of
+    the strided one arbitrarily far away.  Every pairwise Δ check
+    requires a common delta_P, so the pair used to slip past Theorem 1
+    as case b — and an incoming W->R edge kept its ``L`` label while
+    the simulator saw remote accesses drifting linearly with ``i``."""
+
+    def _mixed_program(self):
+        bld = ProgramBuilder("mixedstride")
+        N = bld.param("N", minimum=8)
+        A = bld.array("A", 128)
+        C = bld.array("C", 256)
+        with bld.phase("F0") as ph:
+            with bld_doall(ph, "i") as i:
+                ph.write(C, i)
+        with bld.phase("F1") as ph:
+            with bld_doall(ph, "i") as i:
+                ph.write(A, i)
+                ph.read(C, i)
+                ph.read(C, 2 * i)
+        return bld.build()
+
+    def test_mixed_stride_reads_fail_intra(self):
+        prog = self._mixed_program()
+        res = check_intra_phase(
+            prog.phase("F1"), prog.arrays["C"], prog.context
+        )
+        assert not res.holds
+        assert res.case is None
+
+    def test_edge_into_mixed_stride_phase_is_demoted_to_c(self):
+        from repro.locality import build_lcg
+
+        prog = self._mixed_program()
+        lcg = build_lcg(prog, env={"N": 128}, H_value=16)
+        labels = {
+            (k, g): label for (k, g, label) in lcg.labels("C")
+        }
+        assert labels[("F0", "F1")] == "C"
+
+    def test_disjoint_segments_are_exempt(self):
+        """Distinct strides over provably separate planes keep case b:
+        each address has a unique accessing row."""
+        bld = ProgramBuilder("splitplanes")
+        N = bld.param("N", minimum=8)
+        C = bld.array("C", 4 * N)
+        with bld.phase("F") as ph:
+            with bld_doall(ph, "i") as i:
+                ph.read(C, i)
+                ph.read(C, N + 2 * i)
+        prog = bld.build()
+        res = check_intra_phase(
+            prog.phase("F"), prog.arrays["C"], prog.context
+        )
+        assert res.holds and res.case in ("b", "c")
+
+
+def bld_doall(ph, index):
+    from repro.symbolic import sym
+
+    return ph.doall(index, 0, sym("N") - 1)
+
+
 class TestTable1:
     def test_all_paper_rows_present(self):
         # the paper's 15 rows + the P-R row it omits

@@ -95,11 +95,20 @@ class TestMaterialization:
         with pytest.raises(ProtocolError, match="parse"):
             build_request_program(req)
 
-    def test_invalid_program_is_protocol_error(self):
-        # `!` starts a comment, so this parses to a phase-less program
-        # that the validator must still turn into a 400-able error.
+    def test_unclosed_program_is_positioned_parse_error(self):
+        # Truncated input is a *syntax* error with a position, not a
+        # validation error: the parser names the unclosed construct.
         req = AnalyzeRequest.from_json(
             {"source": "program x\n!!!", "env": {"N": 4}}
+        )
+        with pytest.raises(ProtocolError, match="unclosed program x"):
+            build_request_program(req)
+
+    def test_invalid_program_is_protocol_error(self):
+        # A well-formed but phase-less program must still turn into a
+        # 400-able validation error.
+        req = AnalyzeRequest.from_json(
+            {"source": "program x\nend program\n", "env": {"N": 4}}
         )
         with pytest.raises(ProtocolError, match="validate"):
             build_request_program(req)
